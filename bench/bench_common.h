@@ -1,0 +1,74 @@
+#ifndef CADDB_BENCH_BENCH_COMMON_H_
+#define CADDB_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the benchmark harness: abort-on-error unwrapping (a
+// benchmark with a broken fixture must fail loudly, not measure garbage) and
+// small workload builders over the paper's gate schema.
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace bench {
+
+inline void Abort(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// Loads the paper's gates schema (base + interfaces) into a fresh database.
+inline void LoadGatesSchema(Database* db) {
+  Abort(db->ExecuteDdl(schemas::kGatesBase));
+  Abort(db->ExecuteDdl(schemas::kGatesInterfaces));
+}
+
+/// Creates a GateInterface_I + GateInterface pair with `n_pins` pins;
+/// returns the concrete interface.
+inline Surrogate NewInterface(Database* db, int n_pins, int64_t length = 10) {
+  Surrogate abs = Unwrap(db->CreateObject("GateInterface_I"));
+  for (int i = 0; i < n_pins; ++i) {
+    Surrogate pin = Unwrap(db->CreateSubobject(abs, "Pins"));
+    Abort(db->Set(pin, "InOut", Value::Enum(i == 0 ? "OUT" : "IN")));
+  }
+  Surrogate iface = Unwrap(db->CreateObject("GateInterface"));
+  Unwrap(db->Bind(iface, abs, "AllOf_GateInterface_I"));
+  Abort(db->Set(iface, "Length", Value::Int(length)));
+  Abort(db->Set(iface, "Width", Value::Int(6)));
+  return iface;
+}
+
+/// Creates a GateImplementation bound to `iface` with `n_subgates`
+/// components bound to `component_iface`.
+inline Surrogate NewComposite(Database* db, Surrogate iface,
+                              Surrogate component_iface, int n_subgates) {
+  Surrogate impl = Unwrap(db->CreateObject("GateImplementation"));
+  Unwrap(db->Bind(impl, iface, "AllOf_GateInterface"));
+  for (int i = 0; i < n_subgates; ++i) {
+    Surrogate sub = Unwrap(db->CreateSubobject(impl, "SubGates"));
+    Unwrap(db->Bind(sub, component_iface, "AllOf_GateInterface"));
+    Abort(db->Set(sub, "GateLocation", Value::Point(i, 0)));
+  }
+  return impl;
+}
+
+}  // namespace bench
+}  // namespace caddb
+
+#endif  // CADDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,111 @@
+// Experiment F1 (DESIGN.md): complex objects à la Figure 1 — flip-flop-like
+// gates with W elementary subgates, each with 3 pins, wired together.
+// Measures construction cost, navigation throughput over the nested
+// structure, and cascade-deletion cost as a function of fanout.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace caddb {
+namespace bench {
+namespace {
+
+/// Builds one Gate with `fanout` elementary subgates (3 pins each) and a
+/// chain of wires; returns the gate.
+Surrogate BuildGate(Database* db, int fanout) {
+  Surrogate gate = Unwrap(db->CreateObject("Gate"));
+  Abort(db->Set(gate, "Length", Value::Int(10 * fanout)));
+  Surrogate ext_in = Unwrap(db->CreateSubobject(gate, "Pins"));
+  Abort(db->Set(ext_in, "InOut", Value::Enum("IN")));
+  Surrogate prev_out = ext_in;
+  for (int i = 0; i < fanout; ++i) {
+    Surrogate sub = Unwrap(db->CreateSubobject(gate, "SubGates"));
+    Abort(db->Set(sub, "Function", Value::Enum("NAND")));
+    Surrogate in1 = Unwrap(db->CreateSubobject(sub, "Pins"));
+    Abort(db->Set(in1, "InOut", Value::Enum("IN")));
+    Surrogate in2 = Unwrap(db->CreateSubobject(sub, "Pins"));
+    Abort(db->Set(in2, "InOut", Value::Enum("IN")));
+    Surrogate out = Unwrap(db->CreateSubobject(sub, "Pins"));
+    Abort(db->Set(out, "InOut", Value::Enum("OUT")));
+    // Chain wire from the previous stage.
+    Unwrap(db->CreateSubrel(gate, "Wires",
+                            {{"Pin1", {prev_out}}, {"Pin2", {in1}}}));
+    prev_out = out;
+  }
+  return gate;
+}
+
+void BM_BuildComplexGate(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Database db;
+    LoadGatesSchema(&db);
+    benchmark::DoNotOptimize(BuildGate(&db, fanout));
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_BuildComplexGate)->Range(1, 256);
+
+void BM_NavigatePinsAcrossLevels(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  Database db;
+  LoadGatesSchema(&db);
+  Surrogate gate = BuildGate(&db, fanout);
+  // count(SubGates.Pins) — the Figure 1 navigation across nesting levels.
+  auto expr = Unwrap(
+      ddl::Parser::ParseConstraintExpression("count(SubGates.Pins) >= 0"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(db.constraints().Evaluate(gate, *expr)));
+  }
+  state.SetItemsProcessed(state.iterations() * fanout * 3);
+}
+BENCHMARK(BM_NavigatePinsAcrossLevels)->Range(1, 256);
+
+void BM_CheckDeepComplexGate(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  Database db;
+  LoadGatesSchema(&db);
+  Surrogate gate = BuildGate(&db, fanout);
+  for (auto _ : state) {
+    // Pin-count constraints of every subgate + every wire where-clause.
+    Abort(db.constraints().CheckDeep(gate));
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_CheckDeepComplexGate)->Range(1, 64);
+
+void BM_CascadeDelete(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    LoadGatesSchema(&db);
+    Surrogate gate = BuildGate(&db, fanout);
+    state.ResumeTiming();
+    Abort(db.Delete(gate));
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_CascadeDelete)->Range(1, 256);
+
+void BM_ExpandComplexGate(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  Database db;
+  LoadGatesSchema(&db);
+  Surrogate gate = BuildGate(&db, fanout);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto tree = Unwrap(db.expander().Expand(gate));
+    nodes = tree.TreeSize();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_ExpandComplexGate)->Range(1, 256);
+
+}  // namespace
+}  // namespace bench
+}  // namespace caddb

@@ -1,0 +1,151 @@
+// Experiment F5 (DESIGN.md): constraint-check throughput over the steel
+// scenario — ScrewingType's full rule set (cardinalities, diameter fit,
+// length sum) per screwing, whole-structure CheckDeep as the structure
+// grows, and the constituent expression kinds in isolation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace caddb {
+namespace bench {
+namespace {
+
+struct SteelFixture {
+  Database db;
+  Surrogate bolt, nut, girder_if, plate_if;
+  std::vector<Surrogate> gbores, pbores;
+
+  explicit SteelFixture(int bores_per_part) {
+    Abort(db.ExecuteDdl(schemas::kSteel));
+    bolt = Unwrap(db.CreateObject("BoltType"));
+    Abort(db.Set(bolt, "Diameter", Value::Int(8)));
+    Abort(db.Set(bolt, "Length", Value::Int(45)));
+    nut = Unwrap(db.CreateObject("NutType"));
+    Abort(db.Set(nut, "Diameter", Value::Int(8)));
+    Abort(db.Set(nut, "Length", Value::Int(5)));
+    girder_if = Unwrap(db.CreateObject("GirderInterface"));
+    Abort(db.Set(girder_if, "Length", Value::Int(4000)));
+    Abort(db.Set(girder_if, "Height", Value::Int(20)));
+    Abort(db.Set(girder_if, "Width", Value::Int(10)));
+    plate_if = Unwrap(db.CreateObject("PlateInterface"));
+    Abort(db.Set(plate_if, "Thickness", Value::Int(20)));
+    for (int i = 0; i < bores_per_part; ++i) {
+      gbores.push_back(NewBore(girder_if, 9, 20));
+      pbores.push_back(NewBore(plate_if, 9, 20));
+    }
+  }
+
+  Surrogate NewBore(Surrogate owner, int64_t diameter, int64_t length) {
+    Surrogate bore = Unwrap(db.CreateSubobject(owner, "Bores"));
+    Abort(db.Set(bore, "Diameter", Value::Int(diameter)));
+    Abort(db.Set(bore, "Length", Value::Int(length)));
+    return bore;
+  }
+
+  /// A structure with `n_screwings` screwings, each through one girder bore
+  /// and one plate bore (bolt length must be 45 = 5 + 20 + 20).
+  Surrogate BuildStructure(int n_screwings) {
+    Surrogate wcs = Unwrap(db.CreateObject("WeightCarrying_Structure"));
+    Surrogate girder = Unwrap(db.CreateSubobject(wcs, "Girders"));
+    Unwrap(db.Bind(girder, girder_if, "AllOf_GirderIf"));
+    Surrogate plate = Unwrap(db.CreateSubobject(wcs, "Plates"));
+    Unwrap(db.Bind(plate, plate_if, "AllOf_PlateIf"));
+    for (int i = 0; i < n_screwings; ++i) {
+      Surrogate gb = gbores[i % gbores.size()];
+      Surrogate pb = pbores[i % pbores.size()];
+      Surrogate screwing =
+          Unwrap(db.CreateSubrel(wcs, "Screwings", {{"Bores", {gb, pb}}}));
+      Surrogate bolt_slot = Unwrap(db.CreateSubobject(screwing, "Bolt"));
+      Unwrap(db.Bind(bolt_slot, bolt, "AllOf_BoltType"));
+      Surrogate nut_slot = Unwrap(db.CreateSubobject(screwing, "Nut"));
+      Unwrap(db.Bind(nut_slot, nut, "AllOf_NutType"));
+    }
+    return wcs;
+  }
+};
+
+void BM_ScrewingConstraintCheck(benchmark::State& state) {
+  SteelFixture fx(2);
+  Surrogate wcs = fx.BuildStructure(1);
+  Surrogate screwing =
+      Unwrap(fx.db.store().Get(wcs))->Subrel("Screwings")->front();
+  for (auto _ : state) {
+    Abort(fx.db.constraints().CheckObject(screwing));
+  }
+  state.SetItemsProcessed(state.iterations() * 5);  // 5 constraints
+}
+BENCHMARK(BM_ScrewingConstraintCheck);
+
+void BM_StructureCheckDeep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SteelFixture fx(std::max(n, 1));
+  Surrogate wcs = fx.BuildStructure(n);
+  for (auto _ : state) {
+    Abort(fx.db.constraints().CheckDeep(wcs));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StructureCheckDeep)->Range(1, 128);
+
+void BM_SubrelWhereClause(benchmark::State& state) {
+  // `for x in Bores: x in Girders.Bores or x in Plates.Bores` with growing
+  // bore population — the membership scan is the dominant term.
+  const int bores = static_cast<int>(state.range(0));
+  SteelFixture fx(bores);
+  Surrogate wcs = fx.BuildStructure(1);
+  Surrogate screwing =
+      Unwrap(fx.db.store().Get(wcs))->Subrel("Screwings")->front();
+  for (auto _ : state) {
+    Abort(fx.db.constraints().CheckSubrelMember(wcs, "Screwings", screwing));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubrelWhereClause)->Range(1, 256);
+
+void BM_CheckAllSweep(benchmark::State& state) {
+  const int n_structures = static_cast<int>(state.range(0));
+  SteelFixture fx(2);
+  for (int i = 0; i < n_structures; ++i) fx.BuildStructure(2);
+  for (auto _ : state) {
+    Abort(fx.db.constraints().CheckAll());
+  }
+  state.SetItemsProcessed(state.iterations() * n_structures);
+}
+BENCHMARK(BM_CheckAllSweep)->Range(1, 32);
+
+// ---- Expression-kind micro-benchmarks ----
+
+void EvalExprBench(benchmark::State& state, const char* text) {
+  SteelFixture fx(8);
+  auto expr = Unwrap(ddl::Parser::ParseConstraintExpression(text));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(fx.db.constraints().Evaluate(fx.girder_if, *expr)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Expr_Arithmetic(benchmark::State& state) {
+  EvalExprBench(state, "Length < 100*Height*Width");
+}
+BENCHMARK(BM_Expr_Arithmetic);
+
+void BM_Expr_CountWhere(benchmark::State& state) {
+  EvalExprBench(state, "count(Bores) = 8 where Bores.Diameter = 9");
+}
+BENCHMARK(BM_Expr_CountWhere);
+
+void BM_Expr_SumOverSubclass(benchmark::State& state) {
+  EvalExprBench(state, "sum(Bores.Length) = 160");
+}
+BENCHMARK(BM_Expr_SumOverSubclass);
+
+void BM_Expr_ForAll(benchmark::State& state) {
+  EvalExprBench(state, "for b in Bores: b.Diameter <= 9");
+}
+BENCHMARK(BM_Expr_ForAll);
+
+}  // namespace
+}  // namespace bench
+}  // namespace caddb

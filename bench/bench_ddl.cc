@@ -1,0 +1,111 @@
+// Experiment E9 (DESIGN.md): the schema language itself — lexing and parsing
+// throughput on the paper's own schemas and on synthetically grown schemas,
+// plus expression parsing and whole-catalog validation.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "ddl/lexer.h"
+
+namespace caddb {
+namespace bench {
+namespace {
+
+std::string FullPaperSchema() {
+  return std::string(schemas::kGatesBase) + schemas::kGatesInterfaces;
+}
+
+/// A synthetic schema with `n` interface/implementation pairs.
+std::string SyntheticSchema(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    std::string id = std::to_string(i);
+    out += "obj-type Iface" + id +
+           " = attributes: L" + id + ", W" + id + ": integer; end Iface" +
+           id + ";\n";
+    out += "inher-rel-type R" + id + " = transmitter: object-of-type Iface" +
+           id + "; inheritor: object; inheriting: L" + id + ", W" + id +
+           "; end R" + id + ";\n";
+    out += "obj-type Impl" + id + " = inheritor-in: R" + id +
+           "; attributes: C" + id +
+           ": integer; constraints: C" + id + " >= 0; end Impl" + id + ";\n";
+  }
+  return out;
+}
+
+void BM_LexPaperSchema(benchmark::State& state) {
+  const std::string schema = FullPaperSchema();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(ddl::Lex(schema)).size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(schema.size()));
+}
+BENCHMARK(BM_LexPaperSchema);
+
+void BM_ParsePaperGatesSchema(benchmark::State& state) {
+  const std::string schema = FullPaperSchema();
+  for (auto _ : state) {
+    Catalog catalog;
+    Abort(ddl::Parser::ParseSchema(schema, &catalog));
+    benchmark::DoNotOptimize(catalog.ObjectTypeNames().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(schema.size()));
+}
+BENCHMARK(BM_ParsePaperGatesSchema);
+
+void BM_ParsePaperSteelSchema(benchmark::State& state) {
+  const std::string schema = schemas::kSteel;
+  for (auto _ : state) {
+    Catalog catalog;
+    Abort(ddl::Parser::ParseSchema(schema, &catalog));
+    benchmark::DoNotOptimize(catalog.RelTypeNames().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(schema.size()));
+}
+BENCHMARK(BM_ParsePaperSteelSchema);
+
+void BM_ParseSyntheticSchema(benchmark::State& state) {
+  const std::string schema = SyntheticSchema(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Catalog catalog;
+    Abort(ddl::Parser::ParseSchema(schema, &catalog));
+    benchmark::DoNotOptimize(catalog.ObjectTypeNames().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(schema.size()));
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_ParseSyntheticSchema)->Range(1, 256);
+
+void BM_ValidateSyntheticCatalog(benchmark::State& state) {
+  Catalog catalog;
+  Abort(ddl::Parser::ParseSchema(
+      SyntheticSchema(static_cast<int>(state.range(0))), &catalog));
+  for (auto _ : state) {
+    Abort(catalog.Validate());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_ValidateSyntheticCatalog)->Range(1, 256);
+
+void BM_ParseConstraintExpression(benchmark::State& state) {
+  const std::string text =
+      "for (s in Bolt, n in Nut): s.Length = n.Length + sum(Bores.Length) "
+      "and count(Bores) >= 1 where Bores.Diameter > 0";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(ddl::Parser::ParseConstraintExpression(text)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseConstraintExpression);
+
+}  // namespace
+}  // namespace bench
+}  // namespace caddb

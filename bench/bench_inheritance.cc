@@ -1,0 +1,176 @@
+// Experiment F2/E8 (DESIGN.md): update propagation from an interface to N
+// implementations — the paper's value inheritance ("updates of the
+// transmitter ... instantly visible", section 2) vs. the copy-import baseline
+// (manual re-copy per update) vs. the rigid-interface baseline (interface
+// frozen; evolution = new object + rebind everything).
+//
+// Expected shape: value inheritance updates in O(1) + notification fan-out;
+// the copy baseline pays O(N) re-copies per source update; the rigid baseline
+// pays O(N) rebinds plus object creation per interface change.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baselines/copy_import.h"
+#include "baselines/rigid_interface.h"
+#include "core/database.h"
+
+namespace {
+
+constexpr const char* kSchema = R"(
+  obj-type Iface =
+    attributes:
+      Length, Width: integer;
+  end Iface;
+
+  inher-rel-type AllOfIface =
+    transmitter: object-of-type Iface;
+    inheritor: object;
+    inheriting: Length, Width;
+  end AllOfIface;
+
+  obj-type Impl =
+    inheritor-in: AllOfIface;
+    attributes:
+      Cost: integer;
+  end Impl;
+
+  /* Copy baseline: the implementation type duplicates the interface
+     attributes as its own. */
+  obj-type ImplCopy =
+    attributes:
+      Length, Width, Cost: integer;
+  end ImplCopy;
+)";
+
+void Abort(const caddb::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T Unwrap(caddb::Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+struct InheritanceFixture {
+  std::unique_ptr<caddb::Database> db = std::make_unique<caddb::Database>();
+  caddb::Surrogate iface;
+  std::vector<caddb::Surrogate> impls;
+
+  explicit InheritanceFixture(int64_t n) {
+    Abort(db->ExecuteDdl(kSchema));
+    iface = Unwrap(db->CreateObject("Iface"));
+    Abort(db->Set(iface, "Length", caddb::Value::Int(10)));
+    Abort(db->Set(iface, "Width", caddb::Value::Int(4)));
+    for (int64_t i = 0; i < n; ++i) {
+      caddb::Surrogate impl = Unwrap(db->CreateObject("Impl"));
+      Unwrap(db->Bind(impl, iface, "AllOfIface"));
+      impls.push_back(impl);
+    }
+  }
+};
+
+/// Value inheritance: one transmitter update; every implementation's view is
+/// fresh by construction. Measures update + full read-back of all N views.
+void BM_Propagation_ValueInheritance(benchmark::State& state) {
+  InheritanceFixture fx(state.range(0));
+  int64_t tick = 0;
+  for (auto _ : state) {
+    Abort(fx.db->Set(fx.iface, "Length", caddb::Value::Int(++tick)));
+    for (caddb::Surrogate impl : fx.impls) {
+      benchmark::DoNotOptimize(Unwrap(fx.db->Get(impl, "Length")).AsInt());
+    }
+    // Drain the notification logs so they don't grow without bound.
+    for (caddb::Surrogate impl : fx.impls) {
+      fx.db->notifications().Acknowledge(
+          Unwrap(fx.db->inheritance().BindingOf(impl)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Propagation_ValueInheritance)->Range(1, 512);
+
+/// Copy baseline: one source update followed by the mandatory RefreshAllFrom
+/// (otherwise every copy is stale), then the same full read-back.
+void BM_Propagation_CopyBaseline(benchmark::State& state) {
+  caddb::Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  caddb::Surrogate source = Unwrap(db.CreateObject("Iface"));
+  Abort(db.Set(source, "Length", caddb::Value::Int(10)));
+  Abort(db.Set(source, "Width", caddb::Value::Int(4)));
+  caddb::CopyImportManager copies(&db.inheritance());
+  std::vector<caddb::Surrogate> targets;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    caddb::Surrogate t = Unwrap(db.CreateObject("ImplCopy"));
+    Unwrap(copies.ImportByCopy(t, source, {"Length", "Width"}));
+    targets.push_back(t);
+  }
+  int64_t tick = 0;
+  for (auto _ : state) {
+    Abort(db.Set(source, "Length", caddb::Value::Int(++tick)));
+    benchmark::DoNotOptimize(Unwrap(copies.RefreshAllFrom(source)));
+    for (caddb::Surrogate t : targets) {
+      benchmark::DoNotOptimize(Unwrap(db.Get(t, "Length")).AsInt());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Propagation_CopyBaseline)->Range(1, 512);
+
+/// Rigid-interface baseline: an interface with implementations is frozen, so
+/// each "update" creates a successor interface and rebinds all N
+/// implementations.
+void BM_Propagation_RigidInterface(benchmark::State& state) {
+  InheritanceFixture fx(state.range(0));
+  caddb::RigidInterfaceRegistry rigid(&fx.db->inheritance());
+  Abort(rigid.DeclareRigidInterface("Iface"));
+  caddb::Surrogate current = fx.iface;
+  int64_t tick = 0;
+  for (auto _ : state) {
+    size_t ops = 0;
+    current = Unwrap(rigid.EvolveFrozenInterface(
+        current, "Length", caddb::Value::Int(++tick), &ops));
+    benchmark::DoNotOptimize(ops);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Propagation_RigidInterface)->Range(1, 512);
+
+/// Staleness observation: how many copies are stale after one source update,
+/// without refresh (counted, not timed — reported as a counter).
+void BM_CopyBaseline_StaleCount(benchmark::State& state) {
+  caddb::Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  caddb::Surrogate source = Unwrap(db.CreateObject("Iface"));
+  Abort(db.Set(source, "Length", caddb::Value::Int(1)));
+  caddb::CopyImportManager copies(&db.inheritance());
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    caddb::Surrogate t = Unwrap(db.CreateObject("ImplCopy"));
+    Unwrap(copies.ImportByCopy(t, source, {"Length"}));
+  }
+  int64_t tick = 1;
+  size_t stale = 0;
+  for (auto _ : state) {
+    Abort(db.Set(source, "Length", caddb::Value::Int(++tick)));
+    stale = Unwrap(copies.CountStale());
+    benchmark::DoNotOptimize(stale);
+    benchmark::DoNotOptimize(Unwrap(copies.RefreshAllFrom(source)));
+  }
+  state.counters["stale_after_update"] =
+      static_cast<double>(stale);
+}
+BENCHMARK(BM_CopyBaseline_StaleCount)->Range(1, 512);
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Experiment E7 (DESIGN.md): transactions and locking — lock-inheritance
+// overhead as a function of inheritance depth, expansion-locking cost as a
+// function of structure size, whole-object vs. exported-part granularity
+// (DESIGN.md ablation 4), and raw lock manager throughput under contention.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+
+namespace caddb {
+namespace bench {
+namespace {
+
+/// Chain fixture identical to bench_hierarchy's: leaf inherits A through
+/// `depth` levels.
+Surrogate BuildChain(Database* db, int depth) {
+  std::string schema = "obj-type L0 = attributes: A: integer; end L0;\n";
+  for (int i = 1; i <= depth; ++i) {
+    std::string prev = "L" + std::to_string(i - 1);
+    std::string cur = "L" + std::to_string(i);
+    schema += "inher-rel-type R" + std::to_string(i) +
+              " = transmitter: object-of-type " + prev +
+              "; inheritor: object; inheriting: A; end R" +
+              std::to_string(i) + ";\n";
+    schema += "obj-type " + cur + " = inheritor-in: R" + std::to_string(i) +
+              "; end " + cur + ";\n";
+  }
+  Abort(db->ExecuteDdl(schema));
+  Surrogate prev = Unwrap(db->CreateObject("L0"));
+  Abort(db->Set(prev, "A", Value::Int(7)));
+  for (int i = 1; i <= depth; ++i) {
+    Surrogate cur = Unwrap(db->CreateObject("L" + std::to_string(i)));
+    Unwrap(db->Bind(cur, prev, "R" + std::to_string(i)));
+    prev = cur;
+  }
+  return prev;
+}
+
+/// Transactional read of an inherited attribute: S-lock per chain level
+/// (lock inheritance). Cost grows with depth.
+void BM_LockInheritanceByDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Database db;
+  Surrogate leaf = BuildChain(&db, depth);
+  for (auto _ : state) {
+    TxnId txn = Unwrap(db.transactions().Begin("bench"));
+    benchmark::DoNotOptimize(
+        Unwrap(db.transactions().Read(txn, leaf, "A")));
+    Abort(db.transactions().Commit(txn));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockInheritanceByDepth)->DenseRange(1, 4)->Arg(8)->Arg(16);
+
+/// Baseline: the same read without transactions (no locks at all).
+void BM_UnlockedReadByDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Database db;
+  Surrogate leaf = BuildChain(&db, depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(db.Get(leaf, "A")));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnlockedReadByDepth)->DenseRange(1, 4)->Arg(8)->Arg(16);
+
+/// Expansion locking: lock the full expansion of a composite with N
+/// components (paper section 6's complex operation).
+void BM_ExpansionLock(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db;
+  LoadGatesSchema(&db);
+  Surrogate own = NewInterface(&db, 2, 30);
+  Surrogate component = NewInterface(&db, 3, 10);
+  Surrogate composite = NewComposite(&db, own, component, n);
+  for (auto _ : state) {
+    TxnId txn = Unwrap(db.transactions().Begin("bench"));
+    benchmark::DoNotOptimize(Unwrap(
+        db.transactions().LockExpansion(txn, composite, LockMode::kShared)));
+    Abort(db.transactions().Commit(txn));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExpansionLock)->Range(1, 256);
+
+/// Granularity ablation: two writers touching *disjoint* exported parts of
+/// one object — partial locks proceed in parallel, whole-object locks
+/// serialize. Measured as ping-pong acquire/release pairs.
+void BM_Granularity_PartialLocks(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl(R"(
+    obj-type T = attributes: A, B: integer; end T;
+    inher-rel-type RA =
+      transmitter: object-of-type T; inheritor: object; inheriting: A;
+    end RA;
+    inher-rel-type RB =
+      transmitter: object-of-type T; inheritor: object; inheriting: B;
+    end RB;
+  )"));
+  Surrogate obj{1};
+  for (auto _ : state) {
+    Abort(db.locks().Acquire(1, LockItem::Exported(obj, "RA"),
+                             LockMode::kExclusive));
+    Abort(db.locks().Acquire(2, LockItem::Exported(obj, "RB"),
+                             LockMode::kExclusive));
+    db.locks().ReleaseAll(1);
+    db.locks().ReleaseAll(2);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Granularity_PartialLocks);
+
+void BM_Granularity_WholeObjectLocks(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl("obj-type T = attributes: A, B: integer; end T;"));
+  Surrogate obj{1};
+  for (auto _ : state) {
+    Abort(db.locks().Acquire(1, LockItem::Whole(obj), LockMode::kExclusive));
+    db.locks().ReleaseAll(1);
+    Abort(db.locks().Acquire(2, LockItem::Whole(obj), LockMode::kExclusive));
+    db.locks().ReleaseAll(2);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Granularity_WholeObjectLocks);
+
+/// Raw lock manager throughput: uncontended acquire/release of distinct
+/// objects.
+void BM_LockManagerThroughput(benchmark::State& state) {
+  Catalog catalog;
+  LockManager locks(&catalog);
+  uint64_t next = 1;
+  for (auto _ : state) {
+    Surrogate s{(next++ % 1024) + 1};
+    Abort(locks.Acquire(1, LockItem::Whole(s), LockMode::kShared));
+    locks.ReleaseAll(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockManagerThroughput);
+
+/// Contended throughput with reader threads against one writer.
+void BM_LockContention(benchmark::State& state) {
+  // Magic statics: thread-safe shared fixture across benchmark threads.
+  static Catalog catalog;
+  static LockManager locks(&catalog);
+  Surrogate hot{42};
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    TxnId txn =
+        static_cast<TxnId>(state.thread_index()) * 100000000ull + (++seq);
+    LockMode mode =
+        state.thread_index() == 0 ? LockMode::kExclusive : LockMode::kShared;
+    Abort(locks.Acquire(txn, LockItem::Whole(hot), mode,
+                        std::chrono::milliseconds(60000)));
+    locks.ReleaseAll(txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockContention)->Threads(2)->Threads(4)->UseRealTime();
+
+/// Transactional write + commit cycle (undo logging included).
+void BM_TransactionalWriteCommit(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl("obj-type T = attributes: A: integer; end T;"));
+  Surrogate obj = Unwrap(db.CreateObject("T"));
+  int64_t tick = 0;
+  for (auto _ : state) {
+    TxnId txn = Unwrap(db.transactions().Begin("bench"));
+    Abort(db.transactions().Write(txn, obj, "A", Value::Int(++tick)));
+    Abort(db.transactions().Commit(txn));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionalWriteCommit);
+
+void BM_TransactionalWriteAbort(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl("obj-type T = attributes: A: integer; end T;"));
+  Surrogate obj = Unwrap(db.CreateObject("T"));
+  int64_t tick = 0;
+  for (auto _ : state) {
+    TxnId txn = Unwrap(db.transactions().Begin("bench"));
+    Abort(db.transactions().Write(txn, obj, "A", Value::Int(++tick)));
+    Abort(db.transactions().Abort(txn));  // restores the before-image
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionalWriteAbort);
+
+}  // namespace
+}  // namespace bench
+}  // namespace caddb

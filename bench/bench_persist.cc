@@ -1,0 +1,115 @@
+// Supplementary benchmark: persistence and workload generation — dump/load
+// throughput on generated netlists of growing size, plus the generator
+// itself, the value codec, and whole-database operations at netlist scale.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "persist/dump.h"
+#include "persist/value_codec.h"
+#include "workload/generator.h"
+
+namespace caddb {
+namespace bench {
+namespace {
+
+workload::NetlistParams ParamsFor(int composites) {
+  workload::NetlistParams params;
+  params.composites = composites;
+  params.components_per_composite = 4;
+  params.depth = 2;
+  return params;
+}
+
+void BM_GenerateNetlist(benchmark::State& state) {
+  const int composites = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Database db;
+    benchmark::DoNotOptimize(
+        Unwrap(workload::GenerateNetlistInto(&db, ParamsFor(composites))));
+  }
+  state.SetItemsProcessed(state.iterations() * composites);
+}
+BENCHMARK(BM_GenerateNetlist)->Range(4, 128);
+
+void BM_DumpNetlist(benchmark::State& state) {
+  Database db;
+  Unwrap(workload::GenerateNetlistInto(
+      &db, ParamsFor(static_cast<int>(state.range(0)))));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string dump = Unwrap(persist::Dumper::Dump(db));
+    bytes = dump.size();
+    benchmark::DoNotOptimize(dump);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.counters["objects"] = static_cast<double>(db.store().size());
+}
+BENCHMARK(BM_DumpNetlist)->Range(4, 128);
+
+void BM_LoadNetlist(benchmark::State& state) {
+  Database db;
+  Unwrap(workload::GenerateNetlistInto(
+      &db, ParamsFor(static_cast<int>(state.range(0)))));
+  const std::string dump = Unwrap(persist::Dumper::Dump(db));
+  for (auto _ : state) {
+    Database restored;
+    Abort(persist::Dumper::Load(dump, &restored));
+    benchmark::DoNotOptimize(restored.store().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(dump.size()));
+}
+BENCHMARK(BM_LoadNetlist)->Range(4, 128);
+
+void BM_ValueEncode(benchmark::State& state) {
+  Value v = Value::Record(
+      {{"Pins", Value::Set({Value::Point(1, 2), Value::Point(3, 4)})},
+       {"Name", Value::String("half adder, carry chain")},
+       {"Fn", Value::Matrix(2, 2,
+                            {Value::Bool(true), Value::Bool(false),
+                             Value::Bool(false), Value::Bool(true)})}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(persist::EncodeValue(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValueEncode);
+
+void BM_ValueDecode(benchmark::State& state) {
+  Value v = Value::Record(
+      {{"Pins", Value::Set({Value::Point(1, 2), Value::Point(3, 4)})},
+       {"Name", Value::String("half adder, carry chain")},
+       {"Fn", Value::Matrix(2, 2,
+                            {Value::Bool(true), Value::Bool(false),
+                             Value::Bool(false), Value::Bool(true)})}});
+  const std::string encoded = persist::EncodeValue(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(persist::DecodeValue(encoded)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(encoded.size()));
+}
+BENCHMARK(BM_ValueDecode);
+
+/// Whole-database operations at netlist scale: the hot interface is shared
+/// by ~25% of all slots — one update, then a full where-used query and a
+/// constraint sweep.
+void BM_NetlistHotUpdateAndSweep(benchmark::State& state) {
+  Database db;
+  workload::Netlist netlist = Unwrap(workload::GenerateNetlistInto(
+      &db, ParamsFor(static_cast<int>(state.range(0)))));
+  int64_t tick = 0;
+  for (auto _ : state) {
+    Abort(db.Set(netlist.hot_interface, "Length", Value::Int(100 + ++tick)));
+    benchmark::DoNotOptimize(
+        Unwrap(db.query().WhereUsed(netlist.hot_interface)).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["slots"] = static_cast<double>(netlist.slots.size());
+}
+BENCHMARK(BM_NetlistHotUpdateAndSweep)->Range(4, 128);
+
+}  // namespace
+}  // namespace bench
+}  // namespace caddb

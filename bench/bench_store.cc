@@ -1,0 +1,142 @@
+// Supplementary substrate benchmark: raw object-store operation throughput —
+// the floor under every other number in this harness. Creation, attribute
+// writes with domain validation, relationship creation with participant
+// checks, and expansion-free navigation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace caddb {
+namespace bench {
+namespace {
+
+constexpr const char* kSchema = R"(
+  obj-type Pin = attributes: InOut: (IN, OUT); Loc: Point; end Pin;
+  rel-type Wire = relates: Pin1, Pin2: object-of-type Pin; end Wire;
+  obj-type Board =
+    attributes: Name: char;
+    types-of-subclasses: Pins: Pin;
+    types-of-subrels: Wires: Wire;
+  end Board;
+)";
+
+void BM_CreateObject(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(db.CreateObject("Pin")));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateObject);
+
+void BM_CreateSubobject(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  Surrogate board = Unwrap(db.CreateObject("Board"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(db.CreateSubobject(board, "Pins")));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateSubobject);
+
+void BM_SetScalarAttribute(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  Surrogate pin = Unwrap(db.CreateObject("Pin"));
+  bool flip = false;
+  for (auto _ : state) {
+    Abort(db.Set(pin, "InOut", Value::Enum(flip ? "IN" : "OUT")));
+    flip = !flip;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SetScalarAttribute);
+
+void BM_SetRecordAttribute(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  Surrogate pin = Unwrap(db.CreateObject("Pin"));
+  int64_t tick = 0;
+  for (auto _ : state) {
+    ++tick;
+    Abort(db.Set(pin, "Loc", Value::Point(tick, tick)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SetRecordAttribute);
+
+void BM_GetLocalAttribute(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  Surrogate pin = Unwrap(db.CreateObject("Pin"));
+  Abort(db.Set(pin, "InOut", Value::Enum("IN")));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(db.Get(pin, "InOut")));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetLocalAttribute);
+
+void BM_CreateRelationship(benchmark::State& state) {
+  Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  Surrogate a = Unwrap(db.CreateObject("Pin"));
+  Surrogate b = Unwrap(db.CreateObject("Pin"));
+  for (auto _ : state) {
+    Surrogate wire = Unwrap(
+        db.CreateRelationship("Wire", {{"Pin1", {a}}, {"Pin2", {b}}}));
+    benchmark::DoNotOptimize(wire);
+    // Keep the store from growing without bound.
+    state.PauseTiming();
+    Abort(db.Delete(wire));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateRelationship);
+
+void BM_SubclassScan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  Surrogate board = Unwrap(db.CreateObject("Board"));
+  for (int i = 0; i < n; ++i) {
+    Surrogate pin = Unwrap(db.CreateSubobject(board, "Pins"));
+    Abort(db.Set(pin, "InOut", Value::Enum(i % 2 == 0 ? "IN" : "OUT")));
+  }
+  for (auto _ : state) {
+    auto members = Unwrap(db.Subclass(board, "Pins"));
+    int64_t ins = 0;
+    for (Surrogate pin : members) {
+      if (Unwrap(db.Get(pin, "InOut")) == Value::Enum("IN")) ++ins;
+    }
+    benchmark::DoNotOptimize(ins);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SubclassScan)->Range(8, 4096);
+
+void BM_ExtentScanWithPredicate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db;
+  Abort(db.ExecuteDdl(kSchema));
+  for (int i = 0; i < n; ++i) {
+    Surrogate pin = Unwrap(db.CreateObject("Pin"));
+    Abort(db.Set(pin, "InOut", Value::Enum(i % 2 == 0 ? "IN" : "OUT")));
+  }
+  auto predicate = Unwrap(ddl::Parser::ParseConstraintExpression(
+      "InOut = IN"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(db.query().SelectFromExtent("Pin", predicate)).size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExtentScanWithPredicate)->Range(8, 4096);
+
+}  // namespace
+}  // namespace bench
+}  // namespace caddb

@@ -1,0 +1,141 @@
+// Experiment E6 (DESIGN.md): version management — selection-policy cost as
+// the version count grows (the three policies of paper section 6), version
+// graph traversal, and generic re-resolution (rebind) cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "versions/selection.h"
+
+namespace caddb {
+namespace bench {
+namespace {
+
+constexpr const char* kSchema = R"(
+  obj-type Iface = attributes: L: integer; end Iface;
+  inher-rel-type AllOfIface =
+    transmitter: object-of-type Iface; inheritor: object; inheriting: L;
+  end AllOfIface;
+  obj-type Impl =
+    inheritor-in: AllOfIface;
+    attributes: Speed: integer;
+  end Impl;
+  inher-rel-type SomeOfImpl =
+    transmitter: object-of-type Impl; inheritor: object; inheriting: L, Speed;
+  end SomeOfImpl;
+  obj-type Slot = inheritor-in: SomeOfImpl; end Slot;
+)";
+
+struct VersionFixture {
+  Database db;
+  Surrogate iface;
+  std::vector<Surrogate> versions;
+
+  explicit VersionFixture(int n_versions) {
+    Abort(db.ExecuteDdl(kSchema));
+    iface = Unwrap(db.CreateObject("Iface"));
+    Abort(db.Set(iface, "L", Value::Int(10)));
+    Abort(db.versions().CreateDesignObject("D", "Impl"));
+    Surrogate prev = Surrogate::Invalid();
+    for (int i = 0; i < n_versions; ++i) {
+      Surrogate v = Unwrap(db.CreateObject("Impl"));
+      Unwrap(db.Bind(v, iface, "AllOfIface"));
+      Abort(db.Set(v, "Speed", Value::Int(i)));
+      if (prev.valid()) {
+        Abort(db.versions().AddVersion("D", v, {prev}));
+      } else {
+        Abort(db.versions().AddVersion("D", v));
+      }
+      versions.push_back(v);
+      prev = v;
+    }
+  }
+};
+
+void BM_Select_DefaultVersion(benchmark::State& state) {
+  VersionFixture fx(static_cast<int>(state.range(0)));
+  Surrogate slot = Unwrap(fx.db.CreateObject("Slot"));
+  uint64_t binding =
+      Unwrap(fx.db.versions().BindGeneric(slot, "D", "SomeOfImpl"));
+  DefaultVersionPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(fx.db.versions().ResolveGeneric(binding, policy)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Select_DefaultVersion)->Range(1, 1024);
+
+void BM_Select_Predicate(benchmark::State& state) {
+  // The predicate matches only the oldest version, forcing a full backward
+  // scan: worst case for top-down selection.
+  VersionFixture fx(static_cast<int>(state.range(0)));
+  Surrogate slot = Unwrap(fx.db.CreateObject("Slot"));
+  uint64_t binding =
+      Unwrap(fx.db.versions().BindGeneric(slot, "D", "SomeOfImpl"));
+  PredicatePolicy policy(
+      Unwrap(ddl::Parser::ParseConstraintExpression("Speed <= 0")));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(fx.db.versions().ResolveGeneric(binding, policy)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Select_Predicate)->Range(1, 1024);
+
+void BM_Select_Environment(benchmark::State& state) {
+  VersionFixture fx(static_cast<int>(state.range(0)));
+  Surrogate slot = Unwrap(fx.db.CreateObject("Slot"));
+  uint64_t binding =
+      Unwrap(fx.db.versions().BindGeneric(slot, "D", "SomeOfImpl"));
+  EnvironmentPolicy policy("bench");
+  policy.Pin("D", fx.versions.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(fx.db.versions().ResolveGeneric(binding, policy)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Select_Environment)->Range(1, 1024);
+
+void BM_ReResolveAlternating(benchmark::State& state) {
+  // Each iteration flips the pinned version: full unbind + rebind.
+  VersionFixture fx(8);
+  Surrogate slot = Unwrap(fx.db.CreateObject("Slot"));
+  uint64_t binding =
+      Unwrap(fx.db.versions().BindGeneric(slot, "D", "SomeOfImpl"));
+  EnvironmentPolicy policy("bench");
+  bool flip = false;
+  for (auto _ : state) {
+    policy.Pin("D", flip ? fx.versions.front() : fx.versions.back());
+    flip = !flip;
+    benchmark::DoNotOptimize(
+        Unwrap(fx.db.versions().ResolveGeneric(binding, policy)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReResolveAlternating);
+
+void BM_HistoryTraversal(benchmark::State& state) {
+  VersionFixture fx(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(fx.db.versions().History("D", fx.versions.back())).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistoryTraversal)->Range(2, 1024);
+
+void BM_SuccessorsScan(benchmark::State& state) {
+  VersionFixture fx(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(fx.db.versions().Successors("D", fx.versions.front())).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SuccessorsScan)->Range(2, 1024);
+
+}  // namespace
+}  // namespace bench
+}  // namespace caddb

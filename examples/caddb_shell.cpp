@@ -1,0 +1,37 @@
+// Interactive shell over a caddb database.
+//
+//   ./build/examples/caddb_shell                 interactive session
+//   ./build/examples/caddb_shell < script.cdb    scripted session
+//
+// Try:
+//   caddb> schema <<<
+//     ...   obj-type Box = attributes: W, H: integer;
+//     ...     constraints: W > 0 and H > 0; end Box;
+//     ...   >>>
+//   caddb> create Box
+//   @1
+//   caddb> set @1 W i:3
+//   caddb> check @1
+//   error: ConstraintViolation: ...  (H is still unset)
+
+#include <unistd.h>
+
+#include <iostream>
+
+#include "core/database.h"
+#include "shell/shell.h"
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  caddb::Database db;
+  caddb::shell::Shell shell(&db);
+  bool interactive = isatty(0) != 0;
+  if (interactive) {
+    std::cout << "caddb shell — complex & composite objects for CAD/CAM.\n"
+                 "Commands are documented in src/shell/shell.h; 'quit' "
+                 "exits.\n";
+  }
+  shell.Run(std::cin, std::cout, interactive);
+  return shell.error_count() == 0 ? 0 : 1;
+}

@@ -1,0 +1,222 @@
+// Gates scenario — reproduces the paper's running example end to end:
+//
+//   Figure 1: the complex object "Flip-Flop" built from two NOR
+//             ElementaryGates with wires crossing nesting levels.
+//   Figure 2: GateInterface -> GateImplementation value inheritance
+//             (instant update visibility, read-only inherited data).
+//   Figure 3: one inheritance relationship in two roles — the composite
+//             inherits from its own interface while its SubGates subobjects
+//             inherit from *other* gates' interfaces (components).
+//   Figure 4 / section 4.2: the interface *hierarchy* (GateInterface_I above
+//             GateInterface) and SomeOf_Gate's tailored permeability.
+//
+// Build & run:  ./build/examples/gates_circuit
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace {
+
+void CheckOk(const caddb::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << " failed: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(caddb::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << " failed: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+using caddb::Surrogate;
+using caddb::Value;
+
+/// Creates a pin subobject in `owner`'s `subclass` with direction and
+/// location.
+Surrogate MakePin(caddb::Database& db, Surrogate owner,
+                  const std::string& subclass, const char* dir, int64_t x,
+                  int64_t y) {
+  Surrogate pin = CheckOk(db.CreateSubobject(owner, subclass), "create pin");
+  CheckOk(db.Set(pin, "InOut", Value::Enum(dir)), "set InOut");
+  CheckOk(db.Set(pin, "PinLocation", Value::Point(x, y)), "set PinLocation");
+  return pin;
+}
+
+Surrogate Wire(caddb::Database& db, Surrogate owner, Surrogate a,
+               Surrogate b) {
+  Surrogate wire = CheckOk(
+      db.CreateSubrel(owner, "Wires", {{"Pin1", {a}}, {"Pin2", {b}}}),
+      "create wire");
+  CheckOk(db.constraints().CheckSubrelMember(owner, "Wires", wire),
+          "wire where-clause");
+  return wire;
+}
+
+}  // namespace
+
+int main() {
+  caddb::Database db;
+  CheckOk(db.ExecuteDdl(caddb::schemas::kGatesBase), "gates schema");
+  CheckOk(db.ExecuteDdl(caddb::schemas::kGatesInterfaces),
+          "interface schema");
+  CheckOk(db.ValidateSchema(), "schema validation");
+
+  // ------------------------------------------------------------------
+  std::cout << "== Figure 1: complex object \"Flip-Flop\" ==\n";
+  Surrogate ff = CheckOk(db.CreateObject("Gate"), "create Gate");
+  CheckOk(db.Set(ff, "Length", Value::Int(40)), "set Length");
+  CheckOk(db.Set(ff, "Width", Value::Int(20)), "set Width");
+  // External pins: S, R inputs; Q, Q' outputs.
+  Surrogate pin_s = MakePin(db, ff, "Pins", "IN", 0, 5);
+  Surrogate pin_r = MakePin(db, ff, "Pins", "IN", 0, 15);
+  Surrogate pin_q = MakePin(db, ff, "Pins", "OUT", 40, 5);
+  Surrogate pin_qn = MakePin(db, ff, "Pins", "OUT", 40, 15);
+
+  // Two NOR elementary gates.
+  Surrogate nor[2];
+  Surrogate nor_in1[2], nor_in2[2], nor_out[2];
+  for (int i = 0; i < 2; ++i) {
+    nor[i] = CheckOk(db.CreateSubobject(ff, "SubGates"), "create SubGate");
+    CheckOk(db.Set(nor[i], "Function", Value::Enum("NOR")), "set Function");
+    CheckOk(db.Set(nor[i], "Length", Value::Int(12)), "set Length");
+    CheckOk(db.Set(nor[i], "Width", Value::Int(8)), "set Width");
+    CheckOk(db.Set(nor[i], "GatePosition", Value::Point(15, 3 + 10 * i)),
+            "set GatePosition");
+    nor_in1[i] = MakePin(db, nor[i], "Pins", "IN", 15, 4 + 10 * i);
+    nor_in2[i] = MakePin(db, nor[i], "Pins", "IN", 15, 6 + 10 * i);
+    nor_out[i] = MakePin(db, nor[i], "Pins", "OUT", 27, 5 + 10 * i);
+  }
+
+  // Wires, crossing nesting levels exactly as in Figure 1: flip-flop pins
+  // to subgate pins, and the NOR cross-coupling.
+  Wire(db, ff, pin_s, nor_in1[0]);
+  Wire(db, ff, pin_r, nor_in1[1]);
+  Wire(db, ff, nor_out[0], pin_q);
+  Wire(db, ff, nor_out[1], pin_qn);
+  Wire(db, ff, nor_out[0], nor_in2[1]);  // feedback Q -> gate 2
+  Wire(db, ff, nor_out[1], nor_in2[0]);  // feedback Q' -> gate 1
+  CheckOk(db.constraints().CheckDeep(ff), "flip-flop constraints");
+  std::cout << "flip-flop built: "
+            << CheckOk(db.Subclass(ff, "SubGates"), "SubGates").size()
+            << " subgates, "
+            << CheckOk(db.store().Get(ff), "get")->Subrel("Wires")->size()
+            << " wires, all constraints hold\n";
+
+  // ------------------------------------------------------------------
+  std::cout << "\n== Figures 2 & 4: interface hierarchy ==\n";
+  // Abstract super-interface: pins only (section 4.2's GateInterface_I).
+  Surrogate if_abstract =
+      CheckOk(db.CreateObject("GateInterface_I"), "create GateInterface_I");
+  Surrogate ipin_a = MakePin(db, if_abstract, "Pins", "IN", 0, 2);
+  Surrogate ipin_b = MakePin(db, if_abstract, "Pins", "IN", 0, 6);
+  MakePin(db, if_abstract, "Pins", "OUT", 10, 4);
+  (void)ipin_a;
+  (void)ipin_b;
+
+  // Concrete interface: inherits the pins, adds the expansion.
+  Surrogate iface =
+      CheckOk(db.CreateObject("GateInterface"), "create GateInterface");
+  CheckOk(db.Bind(iface, if_abstract, "AllOf_GateInterface_I"),
+          "bind interface to abstract interface");
+  CheckOk(db.Set(iface, "Length", Value::Int(10)), "set Length");
+  CheckOk(db.Set(iface, "Width", Value::Int(6)), "set Width");
+  std::cout << "GateInterface sees "
+            << CheckOk(db.Subclass(iface, "Pins"), "Pins").size()
+            << " pins inherited from the abstract interface\n";
+
+  // Two implementations of the same interface.
+  Surrogate impl[2];
+  for (int i = 0; i < 2; ++i) {
+    impl[i] = CheckOk(db.CreateObject("GateImplementation"), "create impl");
+    CheckOk(db.Bind(impl[i], iface, "AllOf_GateInterface"), "bind impl");
+    CheckOk(db.Set(impl[i], "TimeBehavior", Value::Int(5 + i)),
+            "set TimeBehavior");
+  }
+  std::cout << "impl[0] inherits Length = "
+            << CheckOk(db.Get(impl[0], "Length"), "get").ToString() << "\n";
+
+  // Inherited data is read-only in the inheritor...
+  caddb::Status readonly = db.Set(impl[0], "Length", Value::Int(99));
+  std::cout << "updating inherited Length in the implementation: "
+            << readonly.ToString() << "\n";
+  // ...while interface updates are instantly visible in every
+  // implementation.
+  CheckOk(db.Set(iface, "Length", Value::Int(14)), "update interface");
+  std::cout << "after interface update, impl[1] sees Length = "
+            << CheckOk(db.Get(impl[1], "Length"), "get").ToString() << "\n";
+  Surrogate binding =
+      CheckOk(db.inheritance().BindingOf(impl[1]), "binding");
+  std::cout << "the inheritance relationship logged "
+            << db.notifications().PendingFor(binding).size()
+            << " pending change(s) for adaptation\n";
+
+  // ------------------------------------------------------------------
+  std::cout << "\n== Figure 3: component + interface in one mechanism ==\n";
+  // A composite implementation: itself an inheritor of its own interface,
+  // while its SubGates subobjects inherit from the (shared) NOR interface.
+  Surrogate comp_if_abs =
+      CheckOk(db.CreateObject("GateInterface_I"), "create comp iface_I");
+  MakePin(db, comp_if_abs, "Pins", "IN", 0, 3);
+  MakePin(db, comp_if_abs, "Pins", "OUT", 20, 3);
+  Surrogate comp_if =
+      CheckOk(db.CreateObject("GateInterface"), "create comp iface");
+  CheckOk(db.Bind(comp_if, comp_if_abs, "AllOf_GateInterface_I"),
+          "bind comp iface");
+  CheckOk(db.Set(comp_if, "Length", Value::Int(20)), "set Length");
+  CheckOk(db.Set(comp_if, "Width", Value::Int(12)), "set Width");
+
+  Surrogate composite =
+      CheckOk(db.CreateObject("GateImplementation"), "create composite");
+  CheckOk(db.Bind(composite, comp_if, "AllOf_GateInterface"),
+          "composite interface binding");
+  // Components: subobjects bound to the *other* gate's interface.
+  for (int i = 0; i < 2; ++i) {
+    Surrogate sub =
+        CheckOk(db.CreateSubobject(composite, "SubGates"), "create sub");
+    CheckOk(db.Bind(sub, iface, "AllOf_GateInterface"), "component binding");
+    CheckOk(db.Set(sub, "GateLocation", Value::Point(3 + 9 * i, 2)),
+            "set GateLocation");
+    std::cout << "component subobject @" << sub.id
+              << " imports Length = "
+              << CheckOk(db.Get(sub, "Length"), "get").ToString()
+              << " and GateLocation = "
+              << CheckOk(db.Get(sub, "GateLocation"), "get").ToString()
+              << "\n";
+  }
+  auto uses = CheckOk(db.query().ComponentsOf(composite), "components-of");
+  std::cout << "configuration query: the composite uses " << uses.size()
+            << " component(s); component @" << uses[0].component.id
+            << " is used by "
+            << CheckOk(db.query().WhereUsed(uses[0].component), "where-used")
+                   .size()
+            << " composite(s)\n";
+
+  // ------------------------------------------------------------------
+  std::cout << "\n== Section 4.3: SomeOf_Gate permeability ==\n";
+  Surrogate timing =
+      CheckOk(db.CreateObject("TimingComposite"), "create timing composite");
+  CheckOk(db.Set(timing, "CycleTime", Value::Int(100)), "set CycleTime");
+  Surrogate timed_sub =
+      CheckOk(db.CreateSubobject(timing, "TimedSubGates"), "create timed sub");
+  CheckOk(db.Bind(timed_sub, impl[0], "SomeOf_Gate"), "SomeOf_Gate binding");
+  std::cout << "through SomeOf_Gate the composite sees TimeBehavior = "
+            << CheckOk(db.Get(timed_sub, "TimeBehavior"), "get").ToString()
+            << " (not part of the interface!)\n";
+
+  // ------------------------------------------------------------------
+  std::cout << "\n== Expansion of the composite (section 6) ==\n";
+  caddb::ExpandOptions options;
+  options.max_depth = 3;
+  auto tree = CheckOk(db.expander().Expand(composite, options), "expand");
+  std::cout << caddb::Expander::Render(tree);
+  std::cout << "expansion covers " << tree.TreeSize() << " nodes\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Quickstart: define the paper's SimpleGate type in the schema language,
+// create a gate, populate its pins, and watch the integrity constraints work.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/database.h"
+
+namespace {
+
+// Aborts with a message when a Status is not OK — examples keep error
+// handling deliberately blunt.
+void CheckOk(const caddb::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << " failed: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(caddb::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << " failed: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  caddb::Database db;
+
+  // The paper's first schema (section 3), verbatim modulo OCR cleanup.
+  CheckOk(db.ExecuteDdl(R"(
+    domain I/O = (IN, OUT);
+
+    obj-type SimpleGate =
+      attributes:
+        Length, Width: integer;
+        Function:      (AND, OR, NOR, NAND);
+        Pins:          set-of ( PinId: integer;
+                                InOut: I/O;
+                              );
+      constraints:
+        count (Pins) = 2 where Pins.InOut = IN;
+        count (Pins) = 1 where Pins.InOut = OUT;
+    end SimpleGate;
+  )"),
+          "schema definition");
+  CheckOk(db.ValidateSchema(), "schema validation");
+
+  CheckOk(db.CreateClass("Gates", "SimpleGate"), "class creation");
+  caddb::Surrogate gate =
+      CheckOk(db.CreateObject("SimpleGate", "Gates"), "object creation");
+  std::cout << "created SimpleGate with surrogate @" << gate.id << "\n";
+
+  CheckOk(db.Set(gate, "Length", caddb::Value::Int(12)), "set Length");
+  CheckOk(db.Set(gate, "Width", caddb::Value::Int(8)), "set Width");
+  CheckOk(db.Set(gate, "Function", caddb::Value::Enum("NAND")),
+          "set Function");
+
+  // One input pin only: the pin-count constraint must reject this state.
+  auto pin = [](int64_t id, const char* dir) {
+    return caddb::Value::Record(
+        {{"PinId", caddb::Value::Int(id)}, {"InOut", caddb::Value::Enum(dir)}});
+  };
+  CheckOk(db.Set(gate, "Pins", caddb::Value::Set({pin(1, "IN")})),
+          "set Pins (incomplete)");
+  caddb::Status incomplete = db.constraints().CheckObject(gate);
+  std::cout << "with 1 pin, constraint check says: " << incomplete.ToString()
+            << "\n";
+
+  // Complete pin set: 2 inputs + 1 output.
+  CheckOk(db.Set(gate, "Pins",
+                 caddb::Value::Set({pin(1, "IN"), pin(2, "IN"), pin(3, "OUT")})),
+          "set Pins (complete)");
+  CheckOk(db.constraints().CheckObject(gate), "constraint check");
+  std::cout << "with 3 pins, all constraints hold\n";
+
+  caddb::Value function = CheckOk(db.Get(gate, "Function"), "get Function");
+  std::cout << "the gate computes: " << function.ToString() << "\n";
+  std::cout << "objects in class Gates: "
+            << CheckOk(db.store().ClassMembers("Gates"), "class scan").size()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Steel construction — the paper's section 5 / Figure 5 scenario:
+// a weight-carrying structure assembled from girders and plates by
+// screwings (bolt + nut through matching bores), with the full constraint
+// set of ScrewingType enforced:
+//
+//   - exactly one bolt and one nut per screwing,
+//   - bolt and nut diameters match,
+//   - the bolt fits through every bore,
+//   - the bolt is exactly long enough: nut length + sum of bore lengths.
+//
+// Build & run:  ./build/examples/steel_construction
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace {
+
+void CheckOk(const caddb::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << " failed: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(caddb::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << " failed: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+using caddb::Surrogate;
+using caddb::Value;
+
+Surrogate MakeBore(caddb::Database& db, Surrogate owner, int64_t diameter,
+                   int64_t length, int64_t x, int64_t y) {
+  Surrogate bore = CheckOk(db.CreateSubobject(owner, "Bores"), "create bore");
+  CheckOk(db.Set(bore, "Diameter", Value::Int(diameter)), "set Diameter");
+  CheckOk(db.Set(bore, "Length", Value::Int(length)), "set Length");
+  CheckOk(db.Set(bore, "Position", Value::Point(x, y)), "set Position");
+  return bore;
+}
+
+}  // namespace
+
+int main() {
+  caddb::Database db;
+  CheckOk(db.ExecuteDdl(caddb::schemas::kSteel), "steel schema");
+  CheckOk(db.ValidateSchema(), "schema validation");
+
+  // ------------------------------------------------------------------
+  std::cout << "== Catalog parts: bolts, nuts (standard objects) ==\n";
+  Surrogate bolt_m8 = CheckOk(db.CreateObject("BoltType"), "create bolt");
+  CheckOk(db.Set(bolt_m8, "Diameter", Value::Int(8)), "set");
+  CheckOk(db.Set(bolt_m8, "Length", Value::Int(45)), "set");
+  Surrogate nut_m8 = CheckOk(db.CreateObject("NutType"), "create nut");
+  CheckOk(db.Set(nut_m8, "Diameter", Value::Int(8)), "set");
+  CheckOk(db.Set(nut_m8, "Length", Value::Int(5)), "set");
+
+  // ------------------------------------------------------------------
+  std::cout << "== Girder & plate interfaces with bores ==\n";
+  Surrogate girder_if =
+      CheckOk(db.CreateObject("GirderInterface"), "create girder interface");
+  CheckOk(db.Set(girder_if, "Length", Value::Int(4000)), "set");
+  CheckOk(db.Set(girder_if, "Height", Value::Int(20)), "set");
+  CheckOk(db.Set(girder_if, "Width", Value::Int(10)), "set");
+  Surrogate gbore = MakeBore(db, girder_if, 9, 20, 100, 10);
+  CheckOk(db.constraints().CheckObject(girder_if),
+          "girder interface constraint (Length < 100*Height*Width)");
+
+  Surrogate plate_if =
+      CheckOk(db.CreateObject("PlateInterface"), "create plate interface");
+  CheckOk(db.Set(plate_if, "Thickness", Value::Int(20)), "set");
+  CheckOk(db.Set(plate_if, "Area",
+                 Value::Record({{"Length", Value::Int(300)},
+                                {"Width", Value::Int(200)}})),
+          "set Area");
+  Surrogate pbore = MakeBore(db, plate_if, 9, 20, 40, 10);
+
+  // ------------------------------------------------------------------
+  std::cout << "== The weight-carrying structure ==\n";
+  Surrogate wcs = CheckOk(db.CreateObject("WeightCarrying_Structure"),
+                          "create structure");
+  CheckOk(db.Set(wcs, "Designer", Value::String("Pegels")), "set Designer");
+  CheckOk(db.Set(wcs, "Description", Value::String("portal frame, bay 3")),
+          "set Description");
+
+  Surrogate girder = CheckOk(db.CreateSubobject(wcs, "Girders"),
+                             "create girder component");
+  CheckOk(db.Bind(girder, girder_if, "AllOf_GirderIf"), "bind girder");
+  Surrogate plate =
+      CheckOk(db.CreateSubobject(wcs, "Plates"), "create plate component");
+  CheckOk(db.Bind(plate, plate_if, "AllOf_PlateIf"), "bind plate");
+
+  std::cout << "girder component inherits Length = "
+            << CheckOk(db.Get(girder, "Length"), "get").ToString()
+            << ", sees "
+            << CheckOk(db.Subclass(girder, "Bores"), "bores").size()
+            << " bore(s); plate inherits Thickness = "
+            << CheckOk(db.Get(plate, "Thickness"), "get").ToString() << "\n";
+
+  // ------------------------------------------------------------------
+  std::cout << "\n== Screwing the plate onto the girder ==\n";
+  // The screwing relates the two bores; bolt and nut live as subobjects of
+  // the relationship itself ("bolts and nuts are hidden in the relationship
+  // ScrewingType").
+  Surrogate screwing = CheckOk(
+      db.CreateSubrel(wcs, "Screwings", {{"Bores", {gbore, pbore}}}),
+      "create screwing");
+  CheckOk(db.Set(screwing, "Strength", Value::Int(75)), "set Strength");
+  Surrogate bolt =
+      CheckOk(db.CreateSubobject(screwing, "Bolt"), "create bolt component");
+  CheckOk(db.Bind(bolt, bolt_m8, "AllOf_BoltType"), "bind bolt");
+  Surrogate nut =
+      CheckOk(db.CreateSubobject(screwing, "Nut"), "create nut component");
+  CheckOk(db.Bind(nut, nut_m8, "AllOf_NutType"), "bind nut");
+
+  // Where-clause: every screwed bore belongs to a component of the
+  // structure.
+  CheckOk(db.constraints().CheckSubrelMember(wcs, "Screwings", screwing),
+          "screwing where-clause");
+  // ScrewingType's own constraints: diameters fit, bolt length adds up
+  // (45 = 5 + 20 + 20).
+  CheckOk(db.constraints().CheckObject(screwing), "screwing constraints");
+  std::cout << "screwing checks out: one M8 bolt (45mm) + one M8 nut (5mm) "
+               "through 2 bores of 20mm each\n";
+
+  // A too-short bolt must violate the length constraint.
+  Surrogate bolt_short = CheckOk(db.CreateObject("BoltType"), "create bolt");
+  CheckOk(db.Set(bolt_short, "Diameter", Value::Int(8)), "set");
+  CheckOk(db.Set(bolt_short, "Length", Value::Int(30)), "set");
+  CheckOk(db.Unbind(bolt), "unbind bolt");
+  CheckOk(db.Bind(bolt, bolt_short, "AllOf_BoltType"), "rebind short bolt");
+  caddb::Status too_short = db.constraints().CheckObject(screwing);
+  std::cout << "with a 30mm bolt instead: " << too_short.ToString() << "\n";
+  CheckOk(db.Unbind(bolt), "unbind");
+  CheckOk(db.Bind(bolt, bolt_m8, "AllOf_BoltType"), "rebind correct bolt");
+
+  // ------------------------------------------------------------------
+  std::cout << "\n== Update propagation through the assembly ==\n";
+  // The girder catalog entry gets longer; the structure sees it instantly.
+  CheckOk(db.Set(girder_if, "Length", Value::Int(4500)), "update interface");
+  std::cout << "after updating the girder interface, the component reads "
+               "Length = "
+            << CheckOk(db.Get(girder, "Length"), "get").ToString() << "\n";
+
+  CheckOk(db.constraints().CheckDeep(wcs), "full structure check");
+  std::cout << "\nfull structure expansion:\n";
+  caddb::ExpandOptions options;
+  options.max_depth = 4;
+  auto tree = CheckOk(db.expander().Expand(wcs, options), "expand");
+  std::cout << caddb::Expander::Render(tree);
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "baselines/copy_import.h"
+
+namespace caddb {
+
+Status CopyImportManager::CopyNow(CopyImport* import) {
+  const ObjectStore* store = manager_->store();
+  CADDB_ASSIGN_OR_RETURN(const DbObject* source, store->Get(import->source));
+  for (const std::string& item : import->items) {
+    CADDB_ASSIGN_OR_RETURN(Value v,
+                           manager_->GetAttribute(import->source, item));
+    CADDB_RETURN_IF_ERROR(manager_->SetAttribute(import->target, item, v));
+  }
+  import->source_version_at_copy = source->version();
+  return OkStatus();
+}
+
+Result<uint64_t> CopyImportManager::ImportByCopy(
+    Surrogate target, Surrogate source, const std::vector<std::string>& items) {
+  if (items.empty()) {
+    return InvalidArgument("copy import without items");
+  }
+  CopyImport import;
+  import.id = next_id_++;
+  import.target = target;
+  import.source = source;
+  import.items = items;
+  CADDB_RETURN_IF_ERROR(CopyNow(&import));
+  uint64_t id = import.id;
+  imports_[id] = std::move(import);
+  return id;
+}
+
+Result<bool> CopyImportManager::IsStale(uint64_t import_id) const {
+  auto it = imports_.find(import_id);
+  if (it == imports_.end()) {
+    return NotFound("no copy import with id " + std::to_string(import_id));
+  }
+  CADDB_ASSIGN_OR_RETURN(const DbObject* source,
+                         manager_->store()->Get(it->second.source));
+  return source->version() != it->second.source_version_at_copy;
+}
+
+Status CopyImportManager::Refresh(uint64_t import_id) {
+  auto it = imports_.find(import_id);
+  if (it == imports_.end()) {
+    return NotFound("no copy import with id " + std::to_string(import_id));
+  }
+  return CopyNow(&it->second);
+}
+
+Result<size_t> CopyImportManager::RefreshAllFrom(Surrogate source) {
+  size_t refreshed = 0;
+  for (auto& [id, import] : imports_) {
+    if (import.source != source) continue;
+    CADDB_RETURN_IF_ERROR(CopyNow(&import));
+    ++refreshed;
+  }
+  return refreshed;
+}
+
+Result<size_t> CopyImportManager::CountStale() const {
+  size_t stale = 0;
+  for (const auto& [id, import] : imports_) {
+    CADDB_ASSIGN_OR_RETURN(bool is_stale, IsStale(id));
+    if (is_stale) ++stale;
+  }
+  return stale;
+}
+
+std::vector<CopyImport> CopyImportManager::imports() const {
+  std::vector<CopyImport> out;
+  out.reserve(imports_.size());
+  for (const auto& [id, import] : imports_) out.push_back(import);
+  return out;
+}
+
+}  // namespace caddb

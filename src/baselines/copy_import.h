@@ -1,0 +1,75 @@
+#ifndef CADDB_BASELINES_COPY_IMPORT_H_
+#define CADDB_BASELINES_COPY_IMPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inherit/inheritance.h"
+#include "util/result.h"
+
+namespace caddb {
+
+/// One copy-based import: `items` of `source` were copied into `target`'s
+/// local attributes at a point in time.
+struct CopyImport {
+  uint64_t id = 0;
+  Surrogate target;
+  Surrogate source;
+  std::vector<std::string> items;
+  /// `source`'s object version when last copied; staleness = the source has
+  /// moved past this.
+  uint64_t source_version_at_copy = 0;
+};
+
+/// Baseline B1 (paper section 2): importing a component by *copying* its
+/// data into a local subobject of the composite. The paper's two criticisms
+/// are directly observable with this class:
+///   1. "O is not informed when updates of the component C occur" — copies
+///      go stale (IsStale) and must be refreshed by hand (Refresh /
+///      RefreshAllFrom), paying O(#copies) per source update;
+///   2. the copy severs the connection — `source` gains no where-used entry.
+/// Used as the comparison point in bench_inheritance / bench_composition.
+class CopyImportManager {
+ public:
+  /// `manager` is not owned and must outlive this object.
+  explicit CopyImportManager(InheritanceManager* manager)
+      : manager_(manager) {}
+
+  CopyImportManager(const CopyImportManager&) = delete;
+  CopyImportManager& operator=(const CopyImportManager&) = delete;
+
+  /// Copies the current (effective) values of `items` from `source` into
+  /// same-named *own* attributes of `target`. The target's type must declare
+  /// those attributes itself — the whole point of the baseline is that the
+  /// schema duplicates the component's structure.
+  Result<uint64_t> ImportByCopy(Surrogate target, Surrogate source,
+                                const std::vector<std::string>& items);
+
+  /// True when `source` changed since the last copy.
+  Result<bool> IsStale(uint64_t import_id) const;
+
+  /// Re-copies one import (the manual adaptation step).
+  Status Refresh(uint64_t import_id);
+
+  /// Re-copies every import taken from `source`; returns how many were
+  /// refreshed. This is the cost a copy-based system pays per source update.
+  Result<size_t> RefreshAllFrom(Surrogate source);
+
+  /// Count of imports whose source has changed since their last copy.
+  Result<size_t> CountStale() const;
+
+  std::vector<CopyImport> imports() const;
+
+ private:
+  Status CopyNow(CopyImport* import);
+
+  InheritanceManager* manager_;
+  std::map<uint64_t, CopyImport> imports_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_BASELINES_COPY_IMPORT_H_

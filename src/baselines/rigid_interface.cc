@@ -1,0 +1,96 @@
+#include "baselines/rigid_interface.h"
+
+namespace caddb {
+
+Status RigidInterfaceRegistry::DeclareRigidInterface(
+    const std::string& type_name) {
+  const ObjectTypeDef* def =
+      manager_->store()->catalog().FindObjectType(type_name);
+  if (def == nullptr) {
+    return NotFound("object type '" + type_name + "' is not registered");
+  }
+  if (!def->inheritor_in.empty()) {
+    return FailedPrecondition(
+        "rigid interfaces are single-level: type '" + type_name +
+        "' is itself an inheritor (in '" + def->inheritor_in + "')");
+  }
+  rigid_types_.insert(type_name);
+  return OkStatus();
+}
+
+bool RigidInterfaceRegistry::IsRigidInterfaceType(
+    const std::string& type_name) const {
+  return rigid_types_.count(type_name) > 0;
+}
+
+Result<bool> RigidInterfaceRegistry::IsFrozen(Surrogate s) const {
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, manager_->store()->Get(s));
+  if (!IsRigidInterfaceType(obj->type_name())) return false;
+  return !manager_->InheritorsOf(s).empty();
+}
+
+Status RigidInterfaceRegistry::GuardedSetAttribute(Surrogate s,
+                                                   const std::string& attr,
+                                                   Value v) {
+  CADDB_ASSIGN_OR_RETURN(bool frozen, IsFrozen(s));
+  if (frozen) {
+    return FailedPrecondition(
+        "rigid interface @" + std::to_string(s.id) +
+        " is frozen (it has implementations); updates are forbidden — evolve "
+        "by creating a new interface object");
+  }
+  return manager_->SetAttribute(s, attr, std::move(v));
+}
+
+Result<Surrogate> RigidInterfaceRegistry::EvolveFrozenInterface(
+    Surrogate old_interface, const std::string& attr, Value v,
+    size_t* operation_count) {
+  size_t ops = 0;
+  ObjectStore* store = manager_->store();
+  CADDB_ASSIGN_OR_RETURN(const DbObject* old_obj, store->Get(old_interface));
+  const std::string type = old_obj->type_name();
+  if (!IsRigidInterfaceType(type)) {
+    return FailedPrecondition("type '" + type +
+                              "' is not a declared rigid interface type");
+  }
+
+  // 1 op: create the successor interface object.
+  CADDB_ASSIGN_OR_RETURN(Surrogate fresh, store->CreateObject(type));
+  ++ops;
+
+  // N ops: copy every attribute, applying the evolution to `attr`.
+  Result<EffectiveSchema> schema =
+      store->catalog().EffectiveSchemaFor(type);
+  if (!schema.ok()) return schema.status();
+  for (const AttributeDef& a : schema->attributes) {
+    Value value;
+    if (a.name == attr) {
+      value = v;
+    } else {
+      CADDB_ASSIGN_OR_RETURN(value,
+                             manager_->GetAttribute(old_interface, a.name));
+    }
+    if (value.is_null()) continue;
+    CADDB_RETURN_IF_ERROR(manager_->SetAttribute(fresh, a.name, value));
+    ++ops;
+  }
+
+  // 2*M ops: rebind every implementation (unbind + bind).
+  std::vector<Surrogate> implementations =
+      manager_->InheritorsOf(old_interface);
+  for (Surrogate impl : implementations) {
+    CADDB_ASSIGN_OR_RETURN(Surrogate rel_s, manager_->BindingOf(impl));
+    CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store->Get(rel_s));
+    const std::string rel_type = rel->type_name();
+    CADDB_RETURN_IF_ERROR(manager_->Unbind(impl));
+    ++ops;
+    Result<Surrogate> rebound = manager_->Bind(impl, fresh, rel_type);
+    if (!rebound.ok()) return rebound.status();
+    ++ops;
+  }
+
+  if (operation_count != nullptr) *operation_count = ops;
+  return fresh;
+}
+
+}  // namespace caddb

@@ -1,0 +1,60 @@
+#ifndef CADDB_BASELINES_RIGID_INTERFACE_H_
+#define CADDB_BASELINES_RIGID_INTERFACE_H_
+
+#include <set>
+#include <string>
+
+#include "inherit/inheritance.h"
+#include "util/result.h"
+
+namespace caddb {
+
+/// Baseline B3: the *rigid* interface concept the paper argues against
+/// (section 4.2; cf. the version generalization of [BaKi85]). Under this
+/// regime:
+///   - an interface type must be a single abstraction level (it may not
+///     itself inherit from a more abstract interface), and
+///   - an interface object is *frozen* as soon as it has implementations:
+///     every update is rejected "to avoid inconsistencies".
+/// Evolving a frozen interface therefore requires creating a brand-new
+/// interface object and rebinding every implementation — the operation count
+/// the flexible model avoids (measured in bench_inheritance).
+class RigidInterfaceRegistry {
+ public:
+  /// `manager` is not owned and must outlive the registry.
+  explicit RigidInterfaceRegistry(InheritanceManager* manager)
+      : manager_(manager) {}
+
+  RigidInterfaceRegistry(const RigidInterfaceRegistry&) = delete;
+  RigidInterfaceRegistry& operator=(const RigidInterfaceRegistry&) = delete;
+
+  /// Declares `type_name` a rigid interface type. Fails if the type itself
+  /// declares inheritor-in (rigid interfaces are single-level).
+  Status DeclareRigidInterface(const std::string& type_name);
+  bool IsRigidInterfaceType(const std::string& type_name) const;
+
+  /// True when `s` is an instance of a rigid interface type with at least
+  /// one bound inheritor (and therefore frozen).
+  Result<bool> IsFrozen(Surrogate s) const;
+
+  /// SetAttribute guarded by the freeze rule; delegates to the inheritance
+  /// manager otherwise.
+  Status GuardedSetAttribute(Surrogate s, const std::string& attr, Value v);
+
+  /// The rigid evolution path: creates a fresh interface object of the same
+  /// type, copies all attributes (with `attr` set to `v`), rebinds every
+  /// implementation to it, and returns the new interface. The returned
+  /// operation count (out parameter) is 1 create + N attribute copies +
+  /// 2 * M rebinds — the price of rigidity.
+  Result<Surrogate> EvolveFrozenInterface(Surrogate old_interface,
+                                          const std::string& attr, Value v,
+                                          size_t* operation_count);
+
+ private:
+  InheritanceManager* manager_;
+  std::set<std::string> rigid_types_;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_BASELINES_RIGID_INTERFACE_H_

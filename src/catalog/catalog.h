@@ -1,0 +1,103 @@
+#ifndef CADDB_CATALOG_CATALOG_H_
+#define CADDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "values/domain.h"
+
+namespace caddb {
+
+/// The *effective* schema of an object type: its own attributes/subclasses
+/// plus everything it inherits through its `inheritor-in` relationship,
+/// transitively up the abstraction hierarchy. Inherited items are read-only
+/// in instances.
+struct EffectiveSchema {
+  struct Item {
+    bool inherited = false;
+    /// Object type where the item is locally declared.
+    std::string origin_type;
+  };
+
+  std::vector<AttributeDef> attributes;
+  std::vector<SubclassDef> subclasses;
+  std::vector<SubrelDef> subrels;
+  /// Per attribute/subclass name: provenance. Subrels are never inherited
+  /// (the paper only lists attributes and subclasses as inheritable).
+  std::map<std::string, Item> provenance;
+
+  /// Direct inheritance context (empty strings when the type is no
+  /// inheritor).
+  std::string inheritor_in;
+  std::string transmitter_type;
+
+  bool IsInherited(const std::string& name) const;
+  const AttributeDef* FindAttribute(const std::string& name) const;
+  const SubclassDef* FindSubclass(const std::string& name) const;
+  const SubrelDef* FindSubrel(const std::string& name) const;
+};
+
+/// Registry of domains, object types, relationship types and inheritance
+/// relationship types. Names share one namespace (a type may not collide with
+/// a domain). References between definitions are resolved lazily so the DDL
+/// may declare them in any order (the paper's steel example references
+/// `Girder` from `AllOf_GirderIf` before defining it); `Validate()` performs
+/// the whole-catalog consistency check.
+class Catalog : public Domain::Resolver {
+ public:
+  Catalog();
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // ---- Registration ----
+  Status RegisterDomain(const std::string& name, Domain domain);
+  Status RegisterObjectType(ObjectTypeDef def);
+  Status RegisterRelType(RelTypeDef def);
+  Status RegisterInherRelType(InherRelTypeDef def);
+
+  // ---- Lookup ----
+  Result<Domain> ResolveDomain(const std::string& name) const override;
+  const ObjectTypeDef* FindObjectType(const std::string& name) const;
+  const RelTypeDef* FindRelType(const std::string& name) const;
+  const InherRelTypeDef* FindInherRelType(const std::string& name) const;
+  bool HasName(const std::string& name) const;
+
+  std::vector<std::string> ObjectTypeNames() const;
+  std::vector<std::string> RelTypeNames() const;
+  std::vector<std::string> InherRelTypeNames() const;
+  std::vector<std::string> DomainNames() const;
+
+  /// Effective schema of an object type, following `inheritor-in` up the
+  /// abstraction hierarchy with permeability applied at every level.
+  /// Detects type-level inheritance cycles. Results are cached; any
+  /// registration invalidates the cache.
+  Result<EffectiveSchema> EffectiveSchemaFor(const std::string& type_name) const;
+
+  /// Whole-catalog validation: every referenced domain/type/inher-rel
+  /// resolves, `inheriting` lists name real (effective) items of the
+  /// transmitter type, no inheritance cycles, participant types resolve.
+  Status Validate() const;
+
+ private:
+  Result<EffectiveSchema> ComputeEffectiveSchema(
+      const std::string& type_name, std::set<std::string>* in_progress) const;
+  Status ValidateDomainTree(const Domain& d, const std::string& where) const;
+
+  std::map<std::string, Domain> domains_;
+  std::map<std::string, ObjectTypeDef> object_types_;
+  std::map<std::string, RelTypeDef> rel_types_;
+  std::map<std::string, InherRelTypeDef> inher_rel_types_;
+
+  mutable std::map<std::string, EffectiveSchema> schema_cache_;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_CATALOG_CATALOG_H_

@@ -1,0 +1,66 @@
+#include "catalog/types.h"
+
+#include <algorithm>
+
+namespace caddb {
+
+const AttributeDef* ObjectTypeDef::FindAttribute(
+    const std::string& attr) const {
+  for (const auto& a : attributes) {
+    if (a.name == attr) return &a;
+  }
+  return nullptr;
+}
+
+const SubclassDef* ObjectTypeDef::FindSubclass(
+    const std::string& subclass) const {
+  for (const auto& s : subclasses) {
+    if (s.name == subclass) return &s;
+  }
+  return nullptr;
+}
+
+const SubrelDef* ObjectTypeDef::FindSubrel(const std::string& subrel) const {
+  for (const auto& s : subrels) {
+    if (s.name == subrel) return &s;
+  }
+  return nullptr;
+}
+
+const ParticipantDef* RelTypeDef::FindParticipant(
+    const std::string& role) const {
+  for (const auto& p : participants) {
+    if (p.role == role) return &p;
+  }
+  return nullptr;
+}
+
+const AttributeDef* RelTypeDef::FindAttribute(const std::string& attr) const {
+  for (const auto& a : attributes) {
+    if (a.name == attr) return &a;
+  }
+  return nullptr;
+}
+
+const SubclassDef* RelTypeDef::FindSubclass(
+    const std::string& subclass) const {
+  for (const auto& s : subclasses) {
+    if (s.name == subclass) return &s;
+  }
+  return nullptr;
+}
+
+bool InherRelTypeDef::Permeable(const std::string& item_name) const {
+  return std::find(inheriting.begin(), inheriting.end(), item_name) !=
+         inheriting.end();
+}
+
+const AttributeDef* InherRelTypeDef::FindAttribute(
+    const std::string& attr) const {
+  for (const auto& a : attributes) {
+    if (a.name == attr) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace caddb

@@ -1,0 +1,110 @@
+#ifndef CADDB_CATALOG_TYPES_H_
+#define CADDB_CATALOG_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "values/domain.h"
+
+namespace caddb {
+
+/// One attribute of an object/relationship type.
+struct AttributeDef {
+  std::string name;
+  Domain domain;
+};
+
+/// A named integrity constraint (local to its type, paper section 3).
+struct ConstraintDef {
+  std::string label;         // diagnostic label; often the source text
+  expr::ExprPtr predicate;   // must evaluate to bool against an instance
+};
+
+/// Declaration of a local object subclass of a complex object type
+/// ("types-of-subclasses"). Elements are subobjects: they live and die with
+/// the owning complex object.
+struct SubclassDef {
+  std::string name;
+  /// Object type of the elements. For inline declarations (paper 4.3:
+  /// "the type of subclass SubGates has been declared implicitly") the DDL
+  /// layer registers a generated type named "<Owner>.<Subclass>".
+  std::string element_type;
+};
+
+/// Declaration of a local relationship subclass ("types-of-subrels"), e.g.
+/// `Wires: WireType where (Wire.Pin1 in Pins or ...)`. The where-clause
+/// restricts which objects the local relationship instances may relate.
+struct SubrelDef {
+  std::string name;
+  std::string rel_type;
+  expr::ExprPtr where;     // may be null
+  std::string where_text;  // original text for diagnostics; may be empty
+};
+
+/// An object type (paper section 3). Complex object types additionally carry
+/// subclasses/subrels. `inheritor_in` names the inheritance relationship the
+/// type participates in as inheritor (paper section 4.1, `inheritor-in:`).
+struct ObjectTypeDef {
+  std::string name;
+  std::string inheritor_in;  // inher-rel type name; empty if none
+  std::vector<AttributeDef> attributes;
+  std::vector<SubclassDef> subclasses;
+  std::vector<SubrelDef> subrels;
+  std::vector<ConstraintDef> constraints;
+
+  const AttributeDef* FindAttribute(const std::string& attr) const;
+  const SubclassDef* FindSubclass(const std::string& subclass) const;
+  const SubrelDef* FindSubrel(const std::string& subrel) const;
+};
+
+/// One participant role of a relationship type (`relates:` section).
+struct ParticipantDef {
+  std::string role;
+  /// Required object type of the participant; empty = any object
+  /// (`<name>: object`).
+  std::string object_type;
+  /// True for set-valued roles, e.g. `Bores: set-of object-of-type BoreType`.
+  bool is_set = false;
+};
+
+/// A relationship type. Relationships are represented by objects and may
+/// themselves have attributes, subclasses (ScrewingType's embedded Bolt/Nut)
+/// and constraints (paper sections 3 and 5).
+struct RelTypeDef {
+  std::string name;
+  std::vector<ParticipantDef> participants;
+  std::vector<AttributeDef> attributes;
+  std::vector<SubclassDef> subclasses;
+  std::vector<ConstraintDef> constraints;
+
+  const ParticipantDef* FindParticipant(const std::string& role) const;
+  const AttributeDef* FindAttribute(const std::string& attr) const;
+  const SubclassDef* FindSubclass(const std::string& subclass) const;
+};
+
+/// An inheritance relationship type (paper section 4.1). The transmitter
+/// transfers the data named in `inheriting` (attributes or subclasses of the
+/// transmitter's *effective* type) to its inheritors; that list is the
+/// relationship's "permeability".
+struct InherRelTypeDef {
+  std::string name;
+  std::string transmitter_type;
+  /// Required inheritor type; empty = `inheritor: object` (any type may
+  /// inherit through this relationship).
+  std::string inheritor_type;
+  std::vector<std::string> inheriting;
+  // An inheritance relationship "may possess attributes, subobjects and
+  // constraints" like any other relationship (used e.g. for consistency
+  // control bookkeeping).
+  std::vector<AttributeDef> attributes;
+  std::vector<SubclassDef> subclasses;
+  std::vector<ConstraintDef> constraints;
+
+  bool Permeable(const std::string& item_name) const;
+  const AttributeDef* FindAttribute(const std::string& attr) const;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_CATALOG_TYPES_H_

@@ -1,0 +1,328 @@
+#include "constraints/checker.h"
+
+#include <deque>
+#include <set>
+
+namespace caddb {
+
+namespace {
+
+std::vector<Value> ToRefs(const std::vector<Surrogate>& ss) {
+  std::vector<Value> out;
+  out.reserve(ss.size());
+  for (Surrogate s : ss) out.push_back(Value::Ref(s));
+  return out;
+}
+
+}  // namespace
+
+Result<expr::Resolved> ObjectEvalContext::ResolveOn(Surrogate s,
+                                                    const std::string& name) {
+  const ObjectStore* store = manager_->store();
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store->Get(s));
+
+  if (obj->kind() == ObjKind::kObject) {
+    Result<EffectiveSchema> schema =
+        store->catalog().EffectiveSchemaFor(obj->type_name());
+    if (!schema.ok()) return schema.status();
+    if (schema->FindAttribute(name) != nullptr) {
+      CADDB_ASSIGN_OR_RETURN(Value v, manager_->GetAttribute(s, name));
+      return expr::Resolved::One(std::move(v));
+    }
+    if (schema->FindSubclass(name) != nullptr) {
+      CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> members,
+                             manager_->GetSubclass(s, name));
+      return expr::Resolved::Many(ToRefs(members));
+    }
+    if (schema->FindSubrel(name) != nullptr) {
+      const std::vector<Surrogate>* members = obj->Subrel(name);
+      return expr::Resolved::Many(
+          members == nullptr ? std::vector<Value>{} : ToRefs(*members));
+    }
+    return NotFound("object type '" + obj->type_name() + "' has no member '" +
+                    name + "'");
+  }
+
+  // Relationship / inheritance-relationship object: roles, attributes,
+  // local subclasses.
+  const std::vector<Surrogate>* role = obj->Participants(name);
+  if (role != nullptr) {
+    if (role->size() == 1) {
+      // Distinguish single-valued from set-valued roles via the type.
+      const RelTypeDef* def = store->catalog().FindRelType(obj->type_name());
+      const ParticipantDef* p =
+          def == nullptr ? nullptr : def->FindParticipant(name);
+      if (p == nullptr || !p->is_set) {
+        return expr::Resolved::One(Value::Ref((*role)[0]));
+      }
+    }
+    return expr::Resolved::Many(ToRefs(*role));
+  }
+  const std::vector<Surrogate>* members = obj->Subclass(name);
+  if (members != nullptr) {
+    return expr::Resolved::Many(ToRefs(*members));
+  }
+  // Declared-but-empty subclass.
+  Result<std::vector<Surrogate>> declared = manager_->GetSubclass(s, name);
+  if (declared.ok()) {
+    return expr::Resolved::Many(ToRefs(*declared));
+  }
+  Result<Value> attr = store->GetLocalAttribute(s, name);
+  if (attr.ok()) return expr::Resolved::One(std::move(*attr));
+  return NotFound("relationship type '" + obj->type_name() +
+                  "' has no member '" + name + "'");
+}
+
+Result<expr::Resolved> ObjectEvalContext::ResolveName(
+    const std::string& name) {
+  if (primary_.valid()) {
+    Result<expr::Resolved> on_primary = ResolveOn(primary_, name);
+    if (on_primary.ok() ||
+        on_primary.status().code() != Code::kNotFound) {
+      return on_primary;
+    }
+  }
+  Result<expr::Resolved> on_anchor = ResolveOn(anchor_, name);
+  if (on_anchor.ok() ||
+      on_anchor.status().code() != Code::kNotFound) {
+    return on_anchor;
+  }
+  // Fallback: a named class of the store (supports select-style predicates
+  // such as `count(Gates) > 0`).
+  Result<std::vector<Surrogate>> members =
+      manager_->store()->ClassMembers(name);
+  if (members.ok()) {
+    return expr::Resolved::Many(ToRefs(*members));
+  }
+  return NotFound("name '" + name + "' is not a member of the anchor object " +
+                  "nor a class");
+}
+
+Result<expr::Resolved> ObjectEvalContext::ResolveMember(
+    const Value& base, const std::string& name) {
+  if (base.kind() == Value::Kind::kRecord) {
+    Result<Value> field = base.Field_(name);
+    if (!field.ok()) return field.status();
+    return expr::Resolved::One(std::move(*field));
+  }
+  if (base.kind() == Value::Kind::kRef) {
+    Surrogate target = base.AsRef();
+    if (!target.valid()) {
+      return expr::Resolved::One(Value::Null());
+    }
+    return ResolveOn(target, name);
+  }
+  return TypeMismatch("cannot resolve member '" + name + "' on value " +
+                      base.ToString());
+}
+
+Result<bool> ConstraintChecker::Evaluate(Surrogate s,
+                                         const expr::Expr& predicate) const {
+  ObjectEvalContext ctx(manager_, s);
+  return expr::EvaluatePredicate(predicate, &ctx);
+}
+
+Status ConstraintChecker::CheckConstraintList(
+    Surrogate s, const std::vector<ConstraintDef>& constraints,
+    const std::string& type_name) const {
+  for (const ConstraintDef& c : constraints) {
+    if (c.predicate == nullptr) continue;
+    Result<bool> holds = Evaluate(s, *c.predicate);
+    if (!holds.ok()) {
+      return Status(holds.status().code(),
+                    "constraint '" + c.label + "' of type '" + type_name +
+                        "' failed to evaluate on @" + std::to_string(s.id) +
+                        ": " + holds.status().message());
+    }
+    if (!*holds) {
+      return ConstraintViolation("constraint '" + c.label + "' of type '" +
+                                 type_name + "' violated by @" +
+                                 std::to_string(s.id));
+    }
+  }
+  return OkStatus();
+}
+
+Status ConstraintChecker::CheckObject(Surrogate s) const {
+  const ObjectStore* store = manager_->store();
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store->Get(s));
+  switch (obj->kind()) {
+    case ObjKind::kObject: {
+      const ObjectTypeDef* def =
+          store->catalog().FindObjectType(obj->type_name());
+      if (def == nullptr) {
+        return InternalError("object of unregistered type '" +
+                             obj->type_name() + "'");
+      }
+      return CheckConstraintList(s, def->constraints, def->name);
+    }
+    case ObjKind::kRelationship: {
+      const RelTypeDef* def = store->catalog().FindRelType(obj->type_name());
+      if (def == nullptr) {
+        return InternalError("relationship of unregistered type '" +
+                             obj->type_name() + "'");
+      }
+      return CheckConstraintList(s, def->constraints, def->name);
+    }
+    case ObjKind::kInherRel: {
+      const InherRelTypeDef* def =
+          store->catalog().FindInherRelType(obj->type_name());
+      if (def == nullptr) {
+        return InternalError("inher-rel of unregistered type '" +
+                             obj->type_name() + "'");
+      }
+      return CheckConstraintList(s, def->constraints, def->name);
+    }
+  }
+  return OkStatus();
+}
+
+Status ConstraintChecker::CheckSubrelMember(Surrogate owner,
+                                            const std::string& subrel_name,
+                                            Surrogate member) const {
+  const ObjectStore* store = manager_->store();
+  CADDB_ASSIGN_OR_RETURN(const DbObject* owner_obj, store->Get(owner));
+  Result<EffectiveSchema> schema =
+      store->catalog().EffectiveSchemaFor(owner_obj->type_name());
+  if (!schema.ok()) return schema.status();
+  const SubrelDef* def = schema->FindSubrel(subrel_name);
+  if (def == nullptr) {
+    return NotFound("type '" + owner_obj->type_name() + "' has no subrel '" +
+                    subrel_name + "'");
+  }
+  if (def->where == nullptr) return OkStatus();
+
+  ObjectEvalContext ctx(manager_, owner, member);
+  expr::Evaluator ev(&ctx);
+  // The member is addressable under the subrel name, its singular form, and
+  // the relationship type name (the paper writes `Wire.Pin1` for members of
+  // subrel `Wires` of type `WireType`).
+  std::vector<std::string> aliases = {subrel_name, def->rel_type};
+  if (subrel_name.size() > 1 && subrel_name.back() == 's') {
+    aliases.push_back(subrel_name.substr(0, subrel_name.size() - 1));
+  }
+  for (const std::string& alias : aliases) {
+    ev.Bind(alias, Value::Ref(member));
+  }
+  Result<bool> holds = ev.EvalPredicate(*def->where);
+  if (!holds.ok()) {
+    return Status(holds.status().code(),
+                  "where-clause of subrel '" + subrel_name + "' failed on @" +
+                      std::to_string(member.id) + ": " +
+                      holds.status().message());
+  }
+  if (!*holds) {
+    return ConstraintViolation(
+        "where-clause of subrel '" + subrel_name + "' (" +
+        (def->where_text.empty() ? def->where->ToString() : def->where_text) +
+        ") violated by member @" + std::to_string(member.id));
+  }
+  return OkStatus();
+}
+
+Status ConstraintChecker::CheckDeep(Surrogate root) const {
+  const ObjectStore* store = manager_->store();
+  std::deque<Surrogate> worklist{root};
+  std::set<uint64_t> seen;
+  while (!worklist.empty()) {
+    Surrogate s = worklist.front();
+    worklist.pop_front();
+    if (!seen.insert(s.id).second) continue;
+    CADDB_RETURN_IF_ERROR(CheckObject(s));
+    CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store->Get(s));
+    for (const auto& [name, members] : obj->subclasses()) {
+      for (Surrogate m : members) worklist.push_back(m);
+    }
+    for (const auto& [name, members] : obj->subrels()) {
+      for (Surrogate m : members) {
+        CADDB_RETURN_IF_ERROR(CheckSubrelMember(s, name, m));
+        worklist.push_back(m);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::vector<ConstraintChecker::Violation>>
+ConstraintChecker::FindViolations(Surrogate root) const {
+  const ObjectStore* store = manager_->store();
+  std::vector<Violation> out;
+  std::deque<Surrogate> worklist{root};
+  std::set<uint64_t> seen;
+  auto note = [&out](Surrogate s, const Status& status) -> Status {
+    if (status.ok()) return OkStatus();
+    if (status.code() == Code::kConstraintViolation) {
+      out.push_back(Violation{s, status.message()});
+      return OkStatus();
+    }
+    return status;  // evaluation errors stay fatal
+  };
+  while (!worklist.empty()) {
+    Surrogate s = worklist.front();
+    worklist.pop_front();
+    if (!seen.insert(s.id).second) continue;
+    CADDB_RETURN_IF_ERROR(note(s, CheckObject(s)));
+    CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store->Get(s));
+    for (const auto& [name, members] : obj->subclasses()) {
+      for (Surrogate m : members) worklist.push_back(m);
+    }
+    for (const auto& [name, members] : obj->subrels()) {
+      for (Surrogate m : members) {
+        CADDB_RETURN_IF_ERROR(note(m, CheckSubrelMember(s, name, m)));
+        worklist.push_back(m);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<ConstraintChecker::Violation>>
+ConstraintChecker::FindAllViolations() const {
+  const ObjectStore* store = manager_->store();
+  std::vector<Violation> out;
+  std::set<std::pair<uint64_t, std::string>> reported;
+  auto sweep = [&](const std::string& type) -> Status {
+    for (Surrogate s : store->Extent(type)) {
+      Result<const DbObject*> obj = store->Get(s);
+      if (!obj.ok() || (*obj)->IsSubobject()) continue;
+      CADDB_ASSIGN_OR_RETURN(std::vector<Violation> found,
+                             FindViolations(s));
+      for (Violation& v : found) {
+        if (reported.insert({v.object.id, v.detail}).second) {
+          out.push_back(std::move(v));
+        }
+      }
+    }
+    return OkStatus();
+  };
+  for (const std::string& type : store->catalog().ObjectTypeNames()) {
+    CADDB_RETURN_IF_ERROR(sweep(type));
+  }
+  for (const std::string& type : store->catalog().RelTypeNames()) {
+    CADDB_RETURN_IF_ERROR(sweep(type));
+  }
+  return out;
+}
+
+Status ConstraintChecker::CheckAll() const {
+  const ObjectStore* store = manager_->store();
+  for (const std::string& type : store->catalog().ObjectTypeNames()) {
+    for (Surrogate s : store->Extent(type)) {
+      Result<const DbObject*> obj = store->Get(s);
+      if (!obj.ok()) continue;
+      if ((*obj)->IsSubobject()) continue;  // visited via the root
+      CADDB_RETURN_IF_ERROR(CheckDeep(s));
+    }
+  }
+  for (const std::string& type : store->catalog().RelTypeNames()) {
+    for (Surrogate s : store->Extent(type)) {
+      Result<const DbObject*> obj = store->Get(s);
+      if (!obj.ok()) continue;
+      if ((*obj)->IsSubobject()) continue;
+      CADDB_RETURN_IF_ERROR(CheckDeep(s));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace caddb

@@ -1,0 +1,102 @@
+#ifndef CADDB_CONSTRAINTS_CHECKER_H_
+#define CADDB_CONSTRAINTS_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/eval.h"
+#include "inherit/inheritance.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace caddb {
+
+/// expr::EvalContext anchored at one stored object. Root names resolve to the
+/// anchor's (effective) attributes, subclasses, subrels, participant roles,
+/// or — as a last resort — named classes of the store. Members resolve
+/// through object references, with inherited data fully visible.
+class ObjectEvalContext : public expr::EvalContext {
+ public:
+  ObjectEvalContext(const InheritanceManager* manager, Surrogate anchor)
+      : manager_(manager), anchor_(anchor) {}
+  /// Two-level context for subrel where-clauses: names resolve against
+  /// `primary` (the relationship member) first, then against `anchor` (the
+  /// owning complex object). The paper's Screwings clause needs both:
+  /// `Bores` is a role of the screwing, `Girders` a subclass of the owner.
+  ObjectEvalContext(const InheritanceManager* manager, Surrogate anchor,
+                    Surrogate primary)
+      : manager_(manager), anchor_(anchor), primary_(primary) {}
+
+  Result<expr::Resolved> ResolveName(const std::string& name) override;
+  Result<expr::Resolved> ResolveMember(const Value& base,
+                                       const std::string& name) override;
+
+ private:
+  Result<expr::Resolved> ResolveOn(Surrogate s, const std::string& name);
+
+  const InheritanceManager* manager_;
+  Surrogate anchor_;
+  Surrogate primary_;  // optional member anchor tried before anchor_
+};
+
+/// Evaluates integrity constraints against live objects: the local
+/// constraints of object types, the constraints of relationship types
+/// (ScrewingType's bolt/nut rules), and the where-clauses restricting local
+/// relationship subclasses (Gate's wires). Violations return
+/// kConstraintViolation with the constraint's label.
+class ConstraintChecker {
+ public:
+  /// `manager` is not owned and must outlive the checker.
+  explicit ConstraintChecker(const InheritanceManager* manager)
+      : manager_(manager) {}
+
+  ConstraintChecker(const ConstraintChecker&) = delete;
+  ConstraintChecker& operator=(const ConstraintChecker&) = delete;
+
+  /// Evaluates one predicate anchored at `s` (no violation wrapping).
+  Result<bool> Evaluate(Surrogate s, const expr::Expr& predicate) const;
+
+  /// Checks all type-local constraints of `s` (object, relationship or
+  /// inheritance-relationship constraints, per its type).
+  Status CheckObject(Surrogate s) const;
+
+  /// Checks the subrel where-clause for one member of `owner`'s subrel.
+  /// The member is visible to the clause under three aliases: the subrel
+  /// name, its singular form (trailing 's' stripped: Wires -> Wire), and the
+  /// relationship type name.
+  Status CheckSubrelMember(Surrogate owner, const std::string& subrel_name,
+                           Surrogate member) const;
+
+  /// CheckObject on `s` and, recursively, on every subobject and subrel
+  /// member, including the where-clauses of all subrel members.
+  Status CheckDeep(Surrogate s) const;
+
+  /// CheckDeep over every top-level object in the store.
+  Status CheckAll() const;
+
+  /// One constraint violation found by a sweep.
+  struct Violation {
+    Surrogate object;
+    std::string detail;  // the violated constraint / where-clause message
+  };
+
+  /// Like CheckDeep, but collects *all* violations under `root` instead of
+  /// stopping at the first (the adaptation-agenda view: everything a
+  /// designer must fix after a component change). Evaluation errors are
+  /// still fatal.
+  Result<std::vector<Violation>> FindViolations(Surrogate root) const;
+
+  /// FindViolations over every top-level object.
+  Result<std::vector<Violation>> FindAllViolations() const;
+
+ private:
+  Status CheckConstraintList(Surrogate s,
+                             const std::vector<ConstraintDef>& constraints,
+                             const std::string& type_name) const;
+
+  const InheritanceManager* manager_;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_CONSTRAINTS_CHECKER_H_

@@ -1,0 +1,7 @@
+#include "core/database.h"
+
+// Database is header-only glue over the subsystem libraries; this TU exists
+// so the facade participates in the build (and catches ODR/include breaks
+// early).
+
+namespace caddb {}  // namespace caddb

@@ -1,0 +1,169 @@
+#ifndef CADDB_CORE_DATABASE_H_
+#define CADDB_CORE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "constraints/checker.h"
+#include "ddl/parser.h"
+#include "inherit/inheritance.h"
+#include "inherit/notification.h"
+#include "query/expansion.h"
+#include "query/query.h"
+#include "store/store.h"
+#include "txn/access_control.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "txn/workspace.h"
+#include "versions/version_graph.h"
+
+namespace caddb {
+
+/// One in-memory CAD/CAM database: catalog + object store + value-inheritance
+/// engine + constraint checker + query/expansion + version management +
+/// transactions. This is the public entry point; examples and benchmarks
+/// program exclusively against it.
+///
+/// Usage sketch:
+///
+///   caddb::Database db;
+///   CHECK_OK(db.ExecuteDdl(R"(obj-type Plate = attributes: ... end Plate;)"));
+///   auto plate = db.CreateObject("Plate");
+///   CHECK_OK(db.Set(*plate, "Thickness", caddb::Value::Int(4)));
+///
+/// Thread model: schema/data manipulation through the plain methods is
+/// single-threaded; multi-threaded access goes through transactions().
+class Database {
+ public:
+  Database()
+      : store_(&catalog_),
+        inheritance_(&store_, &notifications_),
+        checker_(&inheritance_),
+        query_(&inheritance_),
+        expander_(&inheritance_),
+        versions_(&inheritance_),
+        locks_(&catalog_),
+        transactions_(&inheritance_, &locks_, &acl_),
+        workspaces_(&inheritance_) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---- Schema ----
+  /// Parses and registers schema text (paper syntax); warnings accumulate in
+  /// ddl_warnings().
+  Status ExecuteDdl(const std::string& source) {
+    return ddl::Parser::ParseSchema(source, &catalog_, &ddl_warnings_);
+  }
+  /// Whole-catalog consistency check (resolves forward references).
+  Status ValidateSchema() const { return catalog_.Validate(); }
+  const std::vector<std::string>& ddl_warnings() const {
+    return ddl_warnings_;
+  }
+
+  // ---- Subsystem access ----
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+  NotificationCenter& notifications() { return notifications_; }
+  const NotificationCenter& notifications() const { return notifications_; }
+  InheritanceManager& inheritance() { return inheritance_; }
+  const InheritanceManager& inheritance() const { return inheritance_; }
+  ConstraintChecker& constraints() { return checker_; }
+  QueryEngine& query() { return query_; }
+  Expander& expander() { return expander_; }
+  VersionManager& versions() { return versions_; }
+  const VersionManager& versions() const { return versions_; }
+  LockManager& locks() { return locks_; }
+  AccessControl& access_control() { return acl_; }
+  TransactionManager& transactions() { return transactions_; }
+  WorkspaceManager& workspaces() { return workspaces_; }
+
+  // ---- Convenience forwarding (the common instance-level operations) ----
+  Status CreateClass(const std::string& name, const std::string& type) {
+    return store_.CreateClass(name, type);
+  }
+  Result<Surrogate> CreateObject(const std::string& type,
+                                 const std::string& class_name = "") {
+    return store_.CreateObject(type, class_name);
+  }
+  Result<Surrogate> CreateSubobject(Surrogate parent,
+                                    const std::string& subclass) {
+    return inheritance_.CreateSubobject(parent, subclass);
+  }
+  Result<Surrogate> CreateRelationship(
+      const std::string& rel_type,
+      const std::map<std::string, std::vector<Surrogate>>& participants) {
+    return store_.CreateRelationship(rel_type, participants);
+  }
+  Result<Surrogate> CreateSubrel(
+      Surrogate owner, const std::string& subrel,
+      const std::map<std::string, std::vector<Surrogate>>& participants) {
+    return store_.CreateSubrel(owner, subrel, participants);
+  }
+  /// CreateSubrel + immediate where-clause check; on violation the freshly
+  /// created relationship is removed again and the violation returned.
+  /// (Plain CreateSubrel defers the check — the paper's adaptation workflow
+  /// tolerates temporary inconsistency; this is the eager variant.)
+  Result<Surrogate> CreateCheckedSubrel(
+      Surrogate owner, const std::string& subrel,
+      const std::map<std::string, std::vector<Surrogate>>& participants) {
+    CADDB_ASSIGN_OR_RETURN(Surrogate member,
+                           store_.CreateSubrel(owner, subrel, participants));
+    Status where = checker_.CheckSubrelMember(owner, subrel, member);
+    if (!where.ok()) {
+      Status cleanup = inheritance_.DeleteObject(member);
+      (void)cleanup;
+      return where;
+    }
+    return member;
+  }
+  Result<Surrogate> Bind(Surrogate inheritor, Surrogate transmitter,
+                         const std::string& inher_rel_type) {
+    return inheritance_.Bind(inheritor, transmitter, inher_rel_type);
+  }
+  Status Unbind(Surrogate inheritor) { return inheritance_.Unbind(inheritor); }
+  Status Set(Surrogate s, const std::string& attr, Value v) {
+    return inheritance_.SetAttribute(s, attr, std::move(v));
+  }
+  Result<Value> Get(Surrogate s, const std::string& attr) const {
+    return inheritance_.GetAttribute(s, attr);
+  }
+  Result<std::vector<Surrogate>> Subclass(Surrogate s,
+                                          const std::string& name) const {
+    return inheritance_.GetSubclass(s, name);
+  }
+  Status Delete(Surrogate s, ObjectStore::DeletePolicy policy =
+                                 ObjectStore::DeletePolicy::kRestrict) {
+    return inheritance_.DeleteObject(s, policy);
+  }
+  /// Parses `text` as a constraint expression and evaluates it anchored at
+  /// `s` (handy for top-down version selection and ad-hoc checks).
+  Result<bool> Holds(Surrogate s, const std::string& text) const {
+    Result<expr::ExprPtr> e = ddl::Parser::ParseConstraintExpression(text);
+    if (!e.ok()) return e.status();
+    return checker_.Evaluate(s, **e);
+  }
+
+ private:
+  Catalog catalog_;
+  ObjectStore store_;
+  NotificationCenter notifications_;
+  InheritanceManager inheritance_;
+  ConstraintChecker checker_;
+  QueryEngine query_;
+  Expander expander_;
+  VersionManager versions_;
+  LockManager locks_;
+  AccessControl acl_;
+  TransactionManager transactions_;
+  WorkspaceManager workspaces_;
+  std::vector<std::string> ddl_warnings_;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_CORE_DATABASE_H_

@@ -1,0 +1,295 @@
+#ifndef CADDB_CORE_PAPER_SCHEMAS_H_
+#define CADDB_CORE_PAPER_SCHEMAS_H_
+
+// The worked schemas of Wilkes/Klahold/Schlageter (sections 3-5), cleaned of
+// the report's OCR typos (Gatelnterface -> GateInterface, Positiion ->
+// Position, bold -> bolt, inconsistent Subgates/SubGates casing) but
+// otherwise verbatim. Examples, integration tests and benchmarks all build
+// on these.
+
+namespace caddb {
+namespace schemas {
+
+/// Section 3: simple gates, pins, wires, elementary gates and the complex
+/// object type Gate (Figure 1).
+inline constexpr const char* kGatesBase = R"(
+  domain I/O = (IN, OUT);
+
+  obj-type SimpleGate =
+    attributes:
+      Length, Width: integer;
+      Function:      (AND, OR, NOR, NAND);
+      Pins:          set-of ( PinId: integer;
+                              InOut: I/O;
+                            );
+    constraints:
+      count (Pins) = 2 where Pins.InOut = IN;
+      count (Pins) = 1 where Pins.InOut = OUT;
+  end SimpleGate;
+
+  obj-type PinType =
+    attributes:
+      InOut:       I/O;
+      PinLocation: Point;
+  end PinType;
+
+  rel-type WireType =
+    relates:
+      Pin1, Pin2: object-of-type PinType;
+    attributes:
+      Corners: list-of Point;
+  end WireType;
+
+  obj-type ElementaryGate =
+    /* equals SimpleGate except for the definition of Pins */
+    attributes:
+      Length, Width: integer;
+      Function:      (AND, OR, NAND, NOR);
+      GatePosition:  Point;
+    types-of-subclasses:
+      Pins: PinType;
+    constraints:
+      count (Pins) = 2 where Pins.InOut = IN;
+      count (Pins) = 1 where Pins.InOut = OUT;
+  end ElementaryGate;
+
+  obj-type Gate =
+    /* gates constructed from AND, OR, NAND and NOR gates (Figure 1) */
+    attributes:
+      Length, Width: integer;
+      Function:      matrix-of boolean;
+    types-of-subclasses:
+      Pins:     PinType;
+      SubGates: ElementaryGate;
+    types-of-subrels:
+      Wires: WireType
+        where (Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins)
+          and (Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins);
+  end Gate;
+)";
+
+/// Section 4.2/4.3: the interface hierarchy (GateInterface_I above
+/// GateInterface), implementations inheriting interface data, composite
+/// implementations whose SubGates are inheritors of *other* gates'
+/// interfaces (Figures 2-4), and the tailored SomeOf_Gate permeability.
+inline constexpr const char* kGatesInterfaces = R"(
+  obj-type GateInterface_I =
+    /* the abstract super-interface: pins only */
+    types-of-subclasses:
+      Pins: PinType;
+  end GateInterface_I;
+
+  inher-rel-type AllOf_GateInterface_I =
+    transmitter: object-of-type GateInterface_I;
+    inheritor:   object;
+    inheriting:  Pins;
+  end AllOf_GateInterface_I;
+
+  obj-type GateInterface =
+    inheritor-in: AllOf_GateInterface_I;
+    attributes:
+      Length, Width: integer;
+  end GateInterface;
+
+  inher-rel-type AllOf_GateInterface =
+    /* enables objects to inherit all data of GateInterface objects */
+    transmitter: object-of-type GateInterface;
+    inheritor:   object;
+    inheriting:  Length, Width, Pins;
+  end AllOf_GateInterface;
+
+  obj-type GateImplementation =
+    inheritor-in: AllOf_GateInterface;
+    attributes:
+      Function:     matrix-of boolean;
+      TimeBehavior: integer;
+    types-of-subclasses:
+      SubGates:
+        inheritor-in: AllOf_GateInterface;
+        attributes:
+          GateLocation: Point;
+    types-of-subrels:
+      Wires: WireType
+        where (Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins)
+          and (Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins);
+  end GateImplementation;
+
+  inher-rel-type SomeOf_Gate =
+    /* top-down tailored visibility: exports TimeBehavior, which is not
+       part of the interface */
+    transmitter: object-of-type GateImplementation;
+    inheritor:   object;
+    inheriting:  Length, Width, TimeBehavior, Pins;
+  end SomeOf_Gate;
+
+  obj-type TimingComposite =
+    /* a composite that needs the components' timing data (section 4.3) */
+    attributes:
+      CycleTime: integer;
+    types-of-subclasses:
+      TimedSubGates:
+        inheritor-in: SomeOf_Gate;
+        attributes:
+          GateLocation: Point;
+  end TimingComposite;
+)";
+
+/// Section 5: steel construction (Figure 5). One deliberate deviation from
+/// the report: AllOf_GirderIf / AllOf_PlateIf use `inheritor: object` instead
+/// of `object-of-type Girder` / `Plate` — the report restricts the inheritor
+/// type yet immediately uses the same relationships for the implicitly-typed
+/// Girders/Plates subobjects of WeightCarrying_Structure, which can never
+/// satisfy that restriction. kSteelVerbatimInconsistency below preserves the
+/// original for the regression test that pinpoints the contradiction.
+inline constexpr const char* kSteel = R"(
+  domain AreaDom =
+    record:
+      Length, Width: integer;
+  end-domain AreaDom;
+
+  obj-type BoltType =
+    attributes:
+      Length, Diameter: integer;
+  end BoltType;
+
+  obj-type NutType =
+    attributes:
+      Length, Diameter: integer;
+  end NutType;
+
+  obj-type BoreType =
+    attributes:
+      Diameter, Length: integer;
+      Position:         Point;
+  end BoreType;
+
+  obj-type GirderInterface =
+    attributes:
+      Length, Height, Width: integer;
+    types-of-subclasses:
+      Bores: BoreType;
+    constraints:
+      Length < 100*Height*Width;
+  end GirderInterface;
+
+  obj-type PlateInterface =
+    attributes:
+      Thickness: integer;
+      Area:      AreaDom;
+    types-of-subclasses:
+      Bores: BoreType;
+  end PlateInterface;
+
+  inher-rel-type AllOf_GirderIf =
+    transmitter: object-of-type GirderInterface;
+    inheritor:   object;
+    inheriting:  Length, Height, Width, Bores;
+  end AllOf_GirderIf;
+
+  inher-rel-type AllOf_PlateIf =
+    transmitter: object-of-type PlateInterface;
+    inheritor:   object;
+    inheriting:  Thickness, Area, Bores;
+  end AllOf_PlateIf;
+
+  obj-type Girder =
+    inheritor-in: AllOf_GirderIf;
+    attributes:
+      Material: (wood, metal);
+  end Girder;
+
+  obj-type Plate =
+    inheritor-in: AllOf_PlateIf;
+    attributes:
+      Material: (wood, metal);
+  end Plate;
+
+  inher-rel-type AllOf_BoltType =
+    transmitter: object-of-type BoltType;
+    inheritor:   object;
+    inheriting:  Length, Diameter;
+  end AllOf_BoltType;
+
+  inher-rel-type AllOf_NutType =
+    transmitter: object-of-type NutType;
+    inheritor:   object;
+    inheriting:  Length, Diameter;
+  end AllOf_NutType;
+
+  rel-type ScrewingType =
+    relates:
+      Bores: set-of object-of-type BoreType;
+    attributes:
+      Strength: integer;
+    types-of-subclasses:
+      Bolt:
+        inheritor-in: AllOf_BoltType;
+      Nut:
+        inheritor-in: AllOf_NutType;
+    constraints:
+      #s in Bolt = 1;
+      #n in Nut = 1;
+      for (s in Bolt, n in Nut):
+        s.Diameter = n.Diameter;
+      for b in Bores:
+        s.Diameter <= b.Diameter;
+      s.Length = n.Length + sum (Bores.Length);
+  end ScrewingType;
+
+  obj-type WeightCarrying_Structure =
+    attributes:
+      Designer:    char;
+      Description: char;
+    types-of-subclasses:
+      Girders:
+        inheritor-in: AllOf_GirderIf;
+      Plates:
+        inheritor-in: AllOf_PlateIf;
+    types-of-subrels:
+      Screwings: ScrewingType
+        where for x in Bores:
+          x in Girders.Bores or x in Plates.Bores;
+  end WeightCarrying_Structure;
+)";
+
+/// The report's original (inconsistent) girder inheritance declaration: the
+/// inheritor is restricted to type Girder, yet section 5 also uses the
+/// relationship for WeightCarrying_Structure's implicitly-typed Girders
+/// subclass. ddl_parser_test pins down that the schema parses but cannot
+/// validate.
+inline constexpr const char* kSteelVerbatimInconsistency = R"(
+  obj-type GirderInterface =
+    attributes:
+      Length, Height, Width: integer;
+    types-of-subclasses:
+      Bores: BoreType;
+  end GirderInterface;
+
+  obj-type BoreType =
+    attributes:
+      Diameter, Length: integer;
+  end BoreType;
+
+  inher-rel-type AllOf_GirderIf =
+    transmitter: object-of-type GirderInterface;
+    inheritor:   object-of-type Girder;
+    inheriting:  Length, Height, Width, Bores;
+  end AllOf_GirderIf;
+
+  obj-type Girder =
+    inheritor-in: AllOf_GirderIf;
+    attributes:
+      Material: (wood, metal);
+  end Girder;
+
+  obj-type Structure =
+    types-of-subclasses:
+      Girders:
+        inheritor-in: AllOf_GirderIf;
+  end Structure;
+)";
+
+}  // namespace schemas
+}  // namespace caddb
+
+#endif  // CADDB_CORE_PAPER_SCHEMAS_H_

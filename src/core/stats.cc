@@ -1,0 +1,69 @@
+#include "core/stats.h"
+
+#include "util/string_util.h"
+
+namespace caddb {
+
+DatabaseStats DatabaseStats::Collect(const Database& db) {
+  DatabaseStats stats;
+  const ObjectStore& store = db.store();
+  for (Surrogate s : store.AllObjects()) {
+    Result<const DbObject*> obj = store.Get(s);
+    if (!obj.ok()) continue;
+    ++stats.total_objects;
+    ++stats.per_type[(*obj)->type_name()];
+    switch ((*obj)->kind()) {
+      case ObjKind::kObject:
+        ++stats.plain_objects;
+        break;
+      case ObjKind::kRelationship:
+        ++stats.relationship_objects;
+        break;
+      case ObjKind::kInherRel:
+        ++stats.inher_rel_objects;
+        break;
+    }
+    if ((*obj)->IsSubobject()) {
+      ++stats.subobjects;
+    } else {
+      ++stats.top_level_objects;
+    }
+    if ((*obj)->bound_inher_rel().valid()) {
+      ++stats.bound_inheritors;
+    }
+    if ((*obj)->kind() == ObjKind::kInherRel) {
+      stats.pending_notifications += db.notifications().PendingFor(s).size();
+    }
+  }
+  stats.classes = store.ClassNames().size();
+  stats.object_types = db.catalog().ObjectTypeNames().size();
+  stats.rel_types = db.catalog().RelTypeNames().size();
+  stats.inher_rel_types = db.catalog().InherRelTypeNames().size();
+  stats.domains = db.catalog().DomainNames().size();
+  return stats;
+}
+
+std::string DatabaseStats::ToString() const {
+  std::string out;
+  out += "objects:          " +
+         FormatWithCommas(static_cast<int64_t>(total_objects)) + " (" +
+         std::to_string(plain_objects) + " plain, " +
+         std::to_string(relationship_objects) + " relationships, " +
+         std::to_string(inher_rel_objects) + " inheritance relationships)\n";
+  out += "containment:      " + std::to_string(top_level_objects) +
+         " top-level, " + std::to_string(subobjects) + " subobjects\n";
+  out += "bound inheritors: " + std::to_string(bound_inheritors) + "\n";
+  out += "pending changes:  " + std::to_string(pending_notifications) + "\n";
+  out += "schema:           " + std::to_string(object_types) +
+         " object types, " + std::to_string(rel_types) + " rel types, " +
+         std::to_string(inher_rel_types) + " inher-rel types, " +
+         std::to_string(domains) + " domains, " + std::to_string(classes) +
+         " classes\n";
+  out += "population by type:\n";
+  for (const auto& [type, count] : per_type) {
+    out += "  " + type + ": " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace caddb

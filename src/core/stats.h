@@ -1,0 +1,38 @@
+#ifndef CADDB_CORE_STATS_H_
+#define CADDB_CORE_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "core/database.h"
+
+namespace caddb {
+
+/// Point-in-time introspection over a database: object population per type
+/// and kind, containment/binding structure, notification backlog. Used by
+/// the examples' final reports and by operational tooling.
+struct DatabaseStats {
+  size_t total_objects = 0;
+  size_t plain_objects = 0;
+  size_t relationship_objects = 0;
+  size_t inher_rel_objects = 0;
+  size_t subobjects = 0;
+  size_t top_level_objects = 0;
+  size_t bound_inheritors = 0;
+  size_t classes = 0;
+  size_t object_types = 0;
+  size_t rel_types = 0;
+  size_t inher_rel_types = 0;
+  size_t domains = 0;
+  size_t pending_notifications = 0;
+  std::map<std::string, size_t> per_type;
+
+  static DatabaseStats Collect(const Database& db);
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_CORE_STATS_H_

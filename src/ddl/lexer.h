@@ -1,0 +1,49 @@
+#ifndef CADDB_DDL_LEXER_H_
+#define CADDB_DDL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace caddb {
+namespace ddl {
+
+/// Lexical token of the paper's schema language.
+struct Token {
+  enum class Kind {
+    kIdent,      // identifiers and (merged) hyphenated keywords; '/' allowed
+                 // inside names, so the paper's domain `I/O` is one token
+    kNumber,     // unsigned integer literal
+    kSymbol,     // one of ; : , ( ) . # = <> < <= > >= + - * /
+    kEndOfFile,
+  };
+
+  Kind kind = Kind::kEndOfFile;
+  std::string text;
+  int64_t number = 0;
+  int line = 0;
+  int column = 0;
+
+  bool Is(Kind k) const { return kind == k; }
+  bool IsSymbol(const std::string& s) const {
+    return kind == Kind::kSymbol && text == s;
+  }
+  bool IsIdent(const std::string& s) const {
+    return kind == Kind::kIdent && text == s;
+  }
+  std::string Describe() const;
+};
+
+/// Tokenizes schema text. `/* ... */` comments are skipped. Hyphenated
+/// keywords of the paper's grammar (`obj-type`, `types-of-subclasses`,
+/// `object-of-type`, `set-of`, ...) are merged into single kIdent tokens;
+/// outside those, `-` is the minus symbol, so `a-b` still lexes as
+/// subtraction.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace ddl
+}  // namespace caddb
+
+#endif  // CADDB_DDL_LEXER_H_

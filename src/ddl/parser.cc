@@ -1,0 +1,824 @@
+#include "ddl/parser.h"
+
+#include <set>
+
+#include "ddl/lexer.h"
+
+namespace caddb {
+namespace ddl {
+
+namespace {
+
+using expr::Expr;
+using expr::ExprPtr;
+
+/// Keywords that terminate entry lists (attributes, subclasses, ...).
+const std::set<std::string>& SectionKeywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "inheritor-in", "attributes",     "types-of-subclasses",
+      "types-of-subrels", "connections", "constraints",
+      "relates",      "transmitter",    "inheritor",
+      "inheriting",   "end",            "end-domain",
+      "domain",       "obj-type",       "rel-type",
+      "inher-rel-type", "inher-rel-typ",
+  };
+  return *kKeywords;
+}
+
+struct ParsedSchema {
+  std::vector<std::pair<std::string, Domain>> domains;
+  std::vector<ObjectTypeDef> object_types;
+  std::vector<RelTypeDef> rel_types;
+  std::vector<InherRelTypeDef> inher_rel_types;
+};
+
+class ParserImpl {
+ public:
+  ParserImpl(std::vector<Token> tokens, std::vector<std::string>* warnings)
+      : tokens_(std::move(tokens)), warnings_(warnings) {}
+
+  Status ParseScript(ParsedSchema* out) {
+    out_ = out;
+    while (!Peek().Is(Token::Kind::kEndOfFile)) {
+      const Token& t = Peek();
+      if (t.IsIdent("domain")) {
+        CADDB_RETURN_IF_ERROR(ParseDomainDef());
+      } else if (t.IsIdent("obj-type")) {
+        CADDB_RETURN_IF_ERROR(ParseObjTypeDef());
+      } else if (t.IsIdent("rel-type")) {
+        CADDB_RETURN_IF_ERROR(ParseRelTypeDef());
+      } else if (t.IsIdent("inher-rel-type") || t.IsIdent("inher-rel-typ")) {
+        CADDB_RETURN_IF_ERROR(ParseInherRelTypeDef());
+      } else {
+        return Error("expected a definition (domain / obj-type / rel-type / "
+                     "inher-rel-type), got " +
+                     t.Describe());
+      }
+    }
+    return OkStatus();
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    ConstraintScope scope;
+    CADDB_ASSIGN_OR_RETURN(ExprPtr e, ParseConstraint(&scope));
+    if (!Peek().Is(Token::Kind::kEndOfFile) && !Peek().IsSymbol(";")) {
+      return Error("unexpected trailing " + Peek().Describe());
+    }
+    return e;
+  }
+
+ private:
+  // ---- Token plumbing ----
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool ConsumeSymbol(const std::string& s) {
+    if (Peek().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeIdent(const std::string& s) {
+    if (Peek().IsIdent(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!ConsumeSymbol(s)) {
+      return Error("expected '" + s + "', got " + Peek().Describe());
+    }
+    return OkStatus();
+  }
+  Result<std::string> ExpectIdent() {
+    if (!Peek().Is(Token::Kind::kIdent)) {
+      return Error("expected an identifier, got " + Peek().Describe());
+    }
+    return Advance().text;
+  }
+  Status Error(const std::string& message) const {
+    return ParseError(message + " (line " + std::to_string(Peek().line) +
+                      ")");
+  }
+  void Warn(const std::string& message) {
+    if (warnings_ != nullptr) warnings_->push_back(message);
+  }
+
+  bool AtSectionKeyword() const {
+    return Peek().Is(Token::Kind::kIdent) &&
+           SectionKeywords().count(Peek().text) > 0;
+  }
+
+  /// `end <name>? ;` with warning on name mismatch (paper typo tolerance).
+  Status ParseEnd(const std::string& defined_name) {
+    if (!ConsumeIdent("end")) {
+      return Error("expected 'end' closing '" + defined_name + "', got " +
+                   Peek().Describe());
+    }
+    if (Peek().Is(Token::Kind::kIdent)) {
+      std::string closing = Advance().text;
+      if (closing != defined_name) {
+        Warn("definition '" + defined_name + "' closed with 'end " + closing +
+             "'");
+      }
+    }
+    return ExpectSymbol(";");
+  }
+
+  // ---- Domains ----
+  Status ParseDomainDef() {
+    Advance();  // domain
+    CADDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    CADDB_RETURN_IF_ERROR(ExpectSymbol("="));
+    CADDB_ASSIGN_OR_RETURN(Domain d, ParseDomainExpr());
+    ConsumeSymbol(";");
+    out_->domains.emplace_back(std::move(name), std::move(d));
+    return OkStatus();
+  }
+
+  Result<Domain> ParseDomainExpr() {
+    const Token& t = Peek();
+    if (t.IsIdent("set-of")) {
+      Advance();
+      CADDB_ASSIGN_OR_RETURN(Domain e, ParseDomainExpr());
+      return Domain::SetOf(std::move(e));
+    }
+    if (t.IsIdent("list-of")) {
+      Advance();
+      CADDB_ASSIGN_OR_RETURN(Domain e, ParseDomainExpr());
+      return Domain::ListOf(std::move(e));
+    }
+    if (t.IsIdent("matrix-of")) {
+      Advance();
+      CADDB_ASSIGN_OR_RETURN(Domain e, ParseDomainExpr());
+      return Domain::MatrixOf(std::move(e));
+    }
+    if (t.IsIdent("record")) {
+      Advance();
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+      CADDB_ASSIGN_OR_RETURN(auto fields, ParseRecordFields());
+      if (!ConsumeIdent("end-domain")) {
+        return Error("expected 'end-domain' closing record domain");
+      }
+      if (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
+        Advance();  // optional trailing name
+      }
+      return Domain::Record(std::move(fields));
+    }
+    if (t.IsIdent("object-of-type")) {
+      Advance();
+      CADDB_ASSIGN_OR_RETURN(std::string type, ExpectIdent());
+      return Domain::Ref(std::move(type));
+    }
+    if (t.IsIdent("object")) {
+      Advance();
+      return Domain::Ref();
+    }
+    if (t.IsSymbol("(")) {
+      return ParseParenDomain();
+    }
+    if (t.Is(Token::Kind::kIdent)) {
+      std::string name = Advance().text;
+      if (name == "integer") return Domain::Int();
+      if (name == "real") return Domain::Real();
+      if (name == "boolean") return Domain::Bool();
+      if (name == "string" || name == "char") return Domain::String();
+      return Domain::Named(std::move(name));
+    }
+    return Error("expected a domain, got " + t.Describe());
+  }
+
+  /// `( IN, OUT )` enumeration or `( X, Y: integer; ... )` record.
+  Result<Domain> ParseParenDomain() {
+    CADDB_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::string> names;
+    CADDB_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    names.push_back(std::move(first));
+    while (ConsumeSymbol(",")) {
+      CADDB_ASSIGN_OR_RETURN(std::string n, ExpectIdent());
+      names.push_back(std::move(n));
+    }
+    if (ConsumeSymbol(")")) {
+      return Domain::Enum(std::move(names));  // pure symbol list
+    }
+    // Record: names were the first field group.
+    CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+    std::vector<Domain::RecordField> fields;
+    CADDB_ASSIGN_OR_RETURN(Domain d, ParseDomainExpr());
+    for (const std::string& n : names) fields.emplace_back(n, d);
+    while (ConsumeSymbol(";")) {
+      if (Peek().IsSymbol(")")) break;
+      std::vector<std::string> group;
+      CADDB_ASSIGN_OR_RETURN(std::string n, ExpectIdent());
+      group.push_back(std::move(n));
+      while (ConsumeSymbol(",")) {
+        CADDB_ASSIGN_OR_RETURN(std::string more, ExpectIdent());
+        group.push_back(std::move(more));
+      }
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+      CADDB_ASSIGN_OR_RETURN(Domain gd, ParseDomainExpr());
+      for (const std::string& n : group) fields.emplace_back(n, gd);
+    }
+    CADDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return Domain::Record(std::move(fields));
+  }
+
+  /// `Length, Width: integer; ...` until a section keyword / closer.
+  Result<std::vector<Domain::RecordField>> ParseRecordFields() {
+    std::vector<Domain::RecordField> fields;
+    while (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
+      std::vector<std::string> group;
+      CADDB_ASSIGN_OR_RETURN(std::string n, ExpectIdent());
+      group.push_back(std::move(n));
+      while (ConsumeSymbol(",")) {
+        CADDB_ASSIGN_OR_RETURN(std::string more, ExpectIdent());
+        group.push_back(std::move(more));
+      }
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+      CADDB_ASSIGN_OR_RETURN(Domain d, ParseDomainExpr());
+      for (const std::string& n : group) fields.emplace_back(n, d);
+      ConsumeSymbol(";");
+    }
+    return fields;
+  }
+
+  // ---- Attribute lists ----
+  Result<std::vector<AttributeDef>> ParseAttributeList() {
+    std::vector<AttributeDef> attrs;
+    while (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
+      std::vector<std::string> group;
+      CADDB_ASSIGN_OR_RETURN(std::string n, ExpectIdent());
+      group.push_back(std::move(n));
+      while (ConsumeSymbol(",")) {
+        CADDB_ASSIGN_OR_RETURN(std::string more, ExpectIdent());
+        group.push_back(std::move(more));
+      }
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+      CADDB_ASSIGN_OR_RETURN(Domain d, ParseDomainExpr());
+      for (const std::string& n : group) attrs.push_back({n, d});
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(";"));
+    }
+    return attrs;
+  }
+
+  // ---- Subclass lists (shared by obj-types, rel-types, inher-rel-types) ----
+  Result<std::vector<SubclassDef>> ParseSubclassList(
+      const std::string& owner_name) {
+    std::vector<SubclassDef> subclasses;
+    while (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
+      CADDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+      if (Peek().IsIdent("inheritor-in") || Peek().IsIdent("attributes")) {
+        // Inline implicit element type (paper 4.3). Only `inheritor-in:` and
+        // `attributes:` may appear inline; a following `constraints:` (or any
+        // other section) always belongs to the enclosing definition —
+        // otherwise ScrewingType's constraints would be swallowed by its
+        // inline Nut type.
+        ObjectTypeDef inline_type;
+        inline_type.name = owner_name + "." + name;
+        while (true) {
+          if (ConsumeIdent("inheritor-in")) {
+            CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+            CADDB_ASSIGN_OR_RETURN(inline_type.inheritor_in, ExpectIdent());
+            ConsumeSymbol(";");
+          } else if (Peek().IsIdent("attributes") &&
+                     Peek(1).IsSymbol(":") && IsAttributeListAhead(2)) {
+            Advance();
+            Advance();
+            CADDB_ASSIGN_OR_RETURN(inline_type.attributes,
+                                   ParseAttributeList());
+          } else {
+            break;
+          }
+        }
+        subclasses.push_back({name, inline_type.name});
+        out_->object_types.push_back(std::move(inline_type));
+      } else {
+        CADDB_ASSIGN_OR_RETURN(std::string element_type, ExpectIdent());
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(";"));
+        subclasses.push_back({name, std::move(element_type)});
+      }
+    }
+    return subclasses;
+  }
+
+  /// Heuristic: an `attributes:` keyword inside an inline subclass body is
+  /// genuine only if followed by `Ident [, Ident]* :` — always true in
+  /// practice; kept for clearer errors.
+  bool IsAttributeListAhead(size_t ahead) const {
+    return Peek(ahead).Is(Token::Kind::kIdent);
+  }
+
+  // ---- Subrel lists ----
+  Result<std::vector<SubrelDef>> ParseSubrelList() {
+    std::vector<SubrelDef> subrels;
+    while (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
+      SubrelDef def;
+      CADDB_ASSIGN_OR_RETURN(def.name, ExpectIdent());
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+      CADDB_ASSIGN_OR_RETURN(def.rel_type, ExpectIdent());
+      if (ConsumeIdent("where")) {
+        // The full constraint grammar applies here, including `for`
+        // quantifiers (WeightCarrying_Structure's Screwings clause).
+        ConstraintScope scope;
+        CADDB_ASSIGN_OR_RETURN(def.where, ParseConstraint(&scope));
+        def.where_text = def.where->ToString();
+      }
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(";"));
+      subrels.push_back(std::move(def));
+    }
+    return subrels;
+  }
+
+  // ---- Constraints ----
+  /// Variable bindings accumulated across one constraints: section; the
+  /// paper's ScrewingType references `s`/`n` from an earlier `for` in later
+  /// constraints.
+  struct ConstraintScope {
+    std::vector<expr::Binding> bindings;
+  };
+
+  Result<std::vector<ConstraintDef>> ParseConstraintList() {
+    std::vector<ConstraintDef> constraints;
+    ConstraintScope scope;
+    while (!AtSectionKeyword() &&
+           !Peek().Is(Token::Kind::kEndOfFile)) {
+      CADDB_ASSIGN_OR_RETURN(ExprPtr e, ParseConstraint(&scope));
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(";"));
+      constraints.push_back({e->ToString(), e});
+    }
+    return constraints;
+  }
+
+  /// constraint := 'for' bindings ':' constraint
+  ///             | 'exists' bindings ':' constraint
+  ///             | expr ['where' expr]
+  /// `for` bindings accumulate across the section; `exists` bindings are
+  /// local to their own body.
+  Result<ExprPtr> ParseConstraint(ConstraintScope* scope) {
+    if (ConsumeIdent("exists")) {
+      std::vector<expr::Binding> fresh;
+      if (ConsumeSymbol("(")) {
+        CADDB_ASSIGN_OR_RETURN(expr::Binding b, ParseBinding());
+        fresh.push_back(std::move(b));
+        while (ConsumeSymbol(",")) {
+          CADDB_ASSIGN_OR_RETURN(expr::Binding more, ParseBinding());
+          fresh.push_back(std::move(more));
+        }
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        CADDB_ASSIGN_OR_RETURN(expr::Binding b, ParseBinding());
+        fresh.push_back(std::move(b));
+      }
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+      // The body sees the outer for-scope via the enclosing wrap; the
+      // exists bindings stay local.
+      ConstraintScope body_scope;  // no accumulation inside exists
+      CADDB_ASSIGN_OR_RETURN(ExprPtr body, ParseExpr(&body_scope));
+      ExprPtr result = Expr::Exists(std::move(fresh), body);
+      if (!scope->bindings.empty()) {
+        return Expr::ForAll(scope->bindings, result);
+      }
+      return result;
+    }
+    if (ConsumeIdent("for")) {
+      std::vector<expr::Binding> fresh;
+      if (ConsumeSymbol("(")) {
+        CADDB_ASSIGN_OR_RETURN(expr::Binding b, ParseBinding());
+        fresh.push_back(std::move(b));
+        while (ConsumeSymbol(",")) {
+          CADDB_ASSIGN_OR_RETURN(expr::Binding more, ParseBinding());
+          fresh.push_back(std::move(more));
+        }
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        CADDB_ASSIGN_OR_RETURN(expr::Binding b, ParseBinding());
+        fresh.push_back(std::move(b));
+      }
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+      // Merge into the section scope. A re-binding of the same variable
+      // replaces the old binding (last one wins); an identical re-binding is
+      // dropped — this keeps printed schemas (whose `for`s carry the full
+      // accumulated binding list) stable under reparsing.
+      for (const auto& b : fresh) {
+        bool replaced = false;
+        for (auto& existing : scope->bindings) {
+          if (existing.var == b.var) {
+            existing.collection = b.collection;
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) scope->bindings.push_back(b);
+      }
+      CADDB_ASSIGN_OR_RETURN(ExprPtr body, ParseConstraint(scope));
+      return body;  // already wrapped with the full accumulated scope
+    }
+    CADDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr(scope));
+    if (ConsumeIdent("where")) {
+      ConstraintScope filter_scope = *scope;
+      CADDB_ASSIGN_OR_RETURN(ExprPtr filter, ParseExpr(&filter_scope));
+      e = Expr::AttachWhereFilter(e, filter);
+    }
+    if (!scope->bindings.empty()) {
+      return Expr::ForAll(scope->bindings, e);
+    }
+    return e;
+  }
+
+  Result<expr::Binding> ParseBinding() {
+    CADDB_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
+    if (!ConsumeIdent("in")) {
+      return Error("expected 'in' in for-binding, got " + Peek().Describe());
+    }
+    CADDB_ASSIGN_OR_RETURN(ExprPtr collection, ParsePath());
+    return expr::Binding{std::move(var), std::move(collection)};
+  }
+
+  // ---- Expressions ----
+  Result<ExprPtr> ParseExpr(ConstraintScope* scope) { return ParseOr(scope); }
+
+  Result<ExprPtr> ParseOr(ConstraintScope* scope) {
+    CADDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd(scope));
+    while (ConsumeIdent("or")) {
+      CADDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd(scope));
+      lhs = Expr::Or(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd(ConstraintScope* scope) {
+    CADDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot(scope));
+    while (ConsumeIdent("and")) {
+      CADDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot(scope));
+      lhs = Expr::And(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot(ConstraintScope* scope) {
+    if (ConsumeIdent("not")) {
+      CADDB_ASSIGN_OR_RETURN(ExprPtr e, ParseNot(scope));
+      return Expr::Not(e);
+    }
+    return ParseComparison(scope);
+  }
+
+  Result<ExprPtr> ParseComparison(ConstraintScope* scope) {
+    CADDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive(scope));
+    const Token& t = Peek();
+    Expr::Op op;
+    if (t.IsSymbol("=")) {
+      op = Expr::Op::kEq;
+    } else if (t.IsSymbol("<>")) {
+      op = Expr::Op::kNe;
+    } else if (t.IsSymbol("<=")) {
+      op = Expr::Op::kLe;
+    } else if (t.IsSymbol(">=")) {
+      op = Expr::Op::kGe;
+    } else if (t.IsSymbol("<")) {
+      op = Expr::Op::kLt;
+    } else if (t.IsSymbol(">")) {
+      op = Expr::Op::kGt;
+    } else if (t.IsIdent("in")) {
+      op = Expr::Op::kIn;
+    } else {
+      return lhs;
+    }
+    Advance();
+    CADDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive(scope));
+    return Expr::Binary(op, lhs, rhs);
+  }
+
+  Result<ExprPtr> ParseAdditive(ConstraintScope* scope) {
+    CADDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative(scope));
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      Expr::Op op = Peek().IsSymbol("+") ? Expr::Op::kAdd : Expr::Op::kSub;
+      Advance();
+      CADDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative(scope));
+      lhs = Expr::Binary(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative(ConstraintScope* scope) {
+    CADDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary(scope));
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      Expr::Op op = Peek().IsSymbol("*") ? Expr::Op::kMul : Expr::Op::kDiv;
+      Advance();
+      CADDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary(scope));
+      lhs = Expr::Binary(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary(ConstraintScope* scope) {
+    if (ConsumeSymbol("-")) {
+      CADDB_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary(scope));
+      return Expr::Neg(e);
+    }
+    return ParsePrimary(scope);
+  }
+
+  Result<ExprPtr> ParsePrimary(ConstraintScope* scope) {
+    const Token& t = Peek();
+    if (t.Is(Token::Kind::kNumber)) {
+      Advance();
+      return Expr::Int(t.number);
+    }
+    if (t.IsSymbol("(")) {
+      Advance();
+      CADDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr(scope));
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    if (t.IsSymbol("#")) {
+      // `# s in Bolt` — cardinality; the variable name is decorative.
+      Advance();
+      CADDB_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
+      (void)var;
+      if (!ConsumeIdent("in")) {
+        return Error("expected 'in' after '#" + var + "'");
+      }
+      CADDB_ASSIGN_OR_RETURN(ExprPtr collection, ParsePath());
+      return Expr::Card(collection);
+    }
+    if (t.IsIdent("count") || t.IsIdent("sum") || t.IsIdent("min") ||
+        t.IsIdent("max")) {
+      std::string fn = Advance().text;
+      CADDB_RETURN_IF_ERROR(ExpectSymbol("("));
+      CADDB_ASSIGN_OR_RETURN(ExprPtr arg, ParsePath());
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      // Inline filter form `count(Pins) where (<cond>)` — the notation
+      // ToString emits; the paper's trailing `... = 2 where <cond>` form is
+      // handled at the constraint level.
+      ExprPtr filter;
+      if (Peek().IsIdent("where") && Peek(1).IsSymbol("(")) {
+        Advance();
+        ConstraintScope filter_scope;
+        CADDB_ASSIGN_OR_RETURN(filter, ParsePrimary(&filter_scope));
+      }
+      if (fn == "count") return Expr::Count(arg, filter);
+      if (fn == "sum") return Expr::Sum(arg, filter);
+      if (fn == "min") return Expr::Min(arg, filter);
+      return Expr::Max(arg, filter);
+    }
+    if (t.IsIdent("true")) {
+      Advance();
+      return Expr::Literal(Value::Bool(true));
+    }
+    if (t.IsIdent("false")) {
+      Advance();
+      return Expr::Literal(Value::Bool(false));
+    }
+    if (t.Is(Token::Kind::kIdent)) {
+      return ParsePath();
+    }
+    return Error("expected an expression, got " + t.Describe());
+  }
+
+  Result<ExprPtr> ParsePath() {
+    CADDB_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    std::vector<std::string> segments{std::move(first)};
+    while (ConsumeSymbol(".")) {
+      CADDB_ASSIGN_OR_RETURN(std::string seg, ExpectIdent());
+      segments.push_back(std::move(seg));
+    }
+    return Expr::Path(std::move(segments));
+  }
+
+  // ---- obj-type ----
+  Status ParseObjTypeDef() {
+    Advance();  // obj-type
+    ObjectTypeDef def;
+    CADDB_ASSIGN_OR_RETURN(def.name, ExpectIdent());
+    CADDB_RETURN_IF_ERROR(ExpectSymbol("="));
+    while (!Peek().IsIdent("end")) {
+      if (ConsumeIdent("inheritor-in")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(def.inheritor_in, ExpectIdent());
+        ConsumeSymbol(";");
+      } else if (ConsumeIdent("attributes")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto attrs, ParseAttributeList());
+        for (auto& a : attrs) def.attributes.push_back(std::move(a));
+      } else if (ConsumeIdent("types-of-subclasses")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto subclasses, ParseSubclassList(def.name));
+        for (auto& s : subclasses) def.subclasses.push_back(std::move(s));
+      } else if (ConsumeIdent("types-of-subrels") ||
+                 ConsumeIdent("connections")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto subrels, ParseSubrelList());
+        for (auto& s : subrels) def.subrels.push_back(std::move(s));
+      } else if (ConsumeIdent("constraints")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto constraints, ParseConstraintList());
+        for (auto& c : constraints) def.constraints.push_back(std::move(c));
+      } else {
+        return Error("unexpected " + Peek().Describe() +
+                     " in obj-type '" + def.name + "'");
+      }
+    }
+    CADDB_RETURN_IF_ERROR(ParseEnd(def.name));
+    out_->object_types.push_back(std::move(def));
+    return OkStatus();
+  }
+
+  // ---- rel-type ----
+  Status ParseRelTypeDef() {
+    Advance();  // rel-type
+    RelTypeDef def;
+    CADDB_ASSIGN_OR_RETURN(def.name, ExpectIdent());
+    CADDB_RETURN_IF_ERROR(ExpectSymbol("="));
+    std::vector<SubclassDef> subclasses;
+    while (!Peek().IsIdent("end")) {
+      if (ConsumeIdent("relates")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_RETURN_IF_ERROR(ParseParticipantList(&def));
+      } else if (ConsumeIdent("attributes")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto attrs, ParseAttributeList());
+        for (auto& a : attrs) def.attributes.push_back(std::move(a));
+      } else if (ConsumeIdent("types-of-subclasses")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto subs, ParseSubclassList(def.name));
+        for (auto& s : subs) def.subclasses.push_back(std::move(s));
+      } else if (ConsumeIdent("constraints")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto constraints, ParseConstraintList());
+        for (auto& c : constraints) def.constraints.push_back(std::move(c));
+      } else {
+        return Error("unexpected " + Peek().Describe() + " in rel-type '" +
+                     def.name + "'");
+      }
+    }
+    CADDB_RETURN_IF_ERROR(ParseEnd(def.name));
+    out_->rel_types.push_back(std::move(def));
+    return OkStatus();
+  }
+
+  /// `Pin1, Pin2: object-of-type PinType;` /
+  /// `Bores: set-of object-of-type BoreType;` / `Thing: object;`
+  Status ParseParticipantList(RelTypeDef* def) {
+    while (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
+      std::vector<std::string> roles;
+      CADDB_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+      roles.push_back(std::move(first));
+      while (ConsumeSymbol(",")) {
+        CADDB_ASSIGN_OR_RETURN(std::string more, ExpectIdent());
+        roles.push_back(std::move(more));
+      }
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+      bool is_set = ConsumeIdent("set-of");
+      std::string type;
+      if (ConsumeIdent("object-of-type")) {
+        CADDB_ASSIGN_OR_RETURN(type, ExpectIdent());
+      } else if (ConsumeIdent("object")) {
+        // any type
+      } else {
+        return Error("expected 'object-of-type <T>' or 'object' in relates "
+                     "clause, got " +
+                     Peek().Describe());
+      }
+      CADDB_RETURN_IF_ERROR(ExpectSymbol(";"));
+      for (const std::string& role : roles) {
+        def->participants.push_back({role, type, is_set});
+      }
+    }
+    return OkStatus();
+  }
+
+  // ---- inher-rel-type ----
+  Status ParseInherRelTypeDef() {
+    Advance();  // inher-rel-type / inher-rel-typ
+    InherRelTypeDef def;
+    CADDB_ASSIGN_OR_RETURN(def.name, ExpectIdent());
+    CADDB_RETURN_IF_ERROR(ExpectSymbol("="));
+    while (!Peek().IsIdent("end")) {
+      if (ConsumeIdent("transmitter")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        if (!ConsumeIdent("object-of-type")) {
+          return Error("transmitter must be 'object-of-type <T>'");
+        }
+        CADDB_ASSIGN_OR_RETURN(def.transmitter_type, ExpectIdent());
+        ConsumeSymbol(";");  // the paper omits this semicolon at times
+      } else if (ConsumeIdent("inheritor")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        if (ConsumeIdent("object-of-type")) {
+          CADDB_ASSIGN_OR_RETURN(def.inheritor_type, ExpectIdent());
+        } else if (ConsumeIdent("object")) {
+          // any type may inherit
+        } else {
+          return Error(
+              "inheritor must be 'object-of-type <T>' or 'object'");
+        }
+        ConsumeSymbol(";");
+      } else if (ConsumeIdent("inheriting")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+        def.inheriting.push_back(std::move(first));
+        while (ConsumeSymbol(",")) {
+          CADDB_ASSIGN_OR_RETURN(std::string more, ExpectIdent());
+          def.inheriting.push_back(std::move(more));
+        }
+        ConsumeSymbol(";");
+      } else if (ConsumeIdent("attributes")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto attrs, ParseAttributeList());
+        for (auto& a : attrs) def.attributes.push_back(std::move(a));
+      } else if (ConsumeIdent("types-of-subclasses")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto subs, ParseSubclassList(def.name));
+        for (auto& s : subs) def.subclasses.push_back(std::move(s));
+      } else if (ConsumeIdent("constraints")) {
+        CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        CADDB_ASSIGN_OR_RETURN(auto constraints, ParseConstraintList());
+        for (auto& c : constraints) def.constraints.push_back(std::move(c));
+      } else {
+        return Error("unexpected " + Peek().Describe() +
+                     " in inher-rel-type '" + def.name + "'");
+      }
+    }
+    CADDB_RETURN_IF_ERROR(ParseEnd(def.name));
+    out_->inher_rel_types.push_back(std::move(def));
+    return OkStatus();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<std::string>* warnings_;
+  ParsedSchema* out_ = nullptr;
+};
+
+}  // namespace
+
+Status Parser::ParseSchema(const std::string& source, Catalog* catalog,
+                           std::vector<std::string>* warnings) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  if (!tokens.ok()) return tokens.status();
+  ParsedSchema parsed;
+  ParserImpl impl(std::move(*tokens), warnings);
+  CADDB_RETURN_IF_ERROR(impl.ParseScript(&parsed));
+
+  // Two-phase, atomic registration: stage into a scratch catalog first so
+  // every local registration check (duplicate names within the batch,
+  // structural validity of each definition) runs before the real catalog is
+  // touched, and pre-check collisions against the target. A failure at any
+  // point leaves `catalog` untouched.
+  Catalog scratch;
+  for (auto& [name, domain] : parsed.domains) {
+    if (catalog->HasName(name)) {
+      return AlreadyExists("name '" + name + "' is already registered");
+    }
+    CADDB_RETURN_IF_ERROR(scratch.RegisterDomain(name, domain));
+  }
+  for (auto& def : parsed.object_types) {
+    if (catalog->HasName(def.name)) {
+      return AlreadyExists("name '" + def.name + "' is already registered");
+    }
+    CADDB_RETURN_IF_ERROR(scratch.RegisterObjectType(def));
+  }
+  for (auto& def : parsed.rel_types) {
+    if (catalog->HasName(def.name)) {
+      return AlreadyExists("name '" + def.name + "' is already registered");
+    }
+    CADDB_RETURN_IF_ERROR(scratch.RegisterRelType(def));
+  }
+  for (auto& def : parsed.inher_rel_types) {
+    if (catalog->HasName(def.name)) {
+      return AlreadyExists("name '" + def.name + "' is already registered");
+    }
+    CADDB_RETURN_IF_ERROR(scratch.RegisterInherRelType(def));
+  }
+
+  // All checks passed; the real registrations below cannot fail.
+  for (auto& [name, domain] : parsed.domains) {
+    CADDB_RETURN_IF_ERROR(catalog->RegisterDomain(name, std::move(domain)));
+  }
+  for (auto& def : parsed.object_types) {
+    CADDB_RETURN_IF_ERROR(catalog->RegisterObjectType(std::move(def)));
+  }
+  for (auto& def : parsed.rel_types) {
+    CADDB_RETURN_IF_ERROR(catalog->RegisterRelType(std::move(def)));
+  }
+  for (auto& def : parsed.inher_rel_types) {
+    CADDB_RETURN_IF_ERROR(catalog->RegisterInherRelType(std::move(def)));
+  }
+  return OkStatus();
+}
+
+Result<expr::ExprPtr> Parser::ParseConstraintExpression(
+    const std::string& text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  ParserImpl impl(std::move(*tokens), nullptr);
+  return impl.ParseStandaloneExpression();
+}
+
+}  // namespace ddl
+}  // namespace caddb

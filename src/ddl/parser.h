@@ -1,0 +1,65 @@
+#ifndef CADDB_DDL_PARSER_H_
+#define CADDB_DDL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "expr/ast.h"
+#include "util/result.h"
+
+namespace caddb {
+namespace ddl {
+
+/// Recursive-descent parser for the paper's schema language. Accepts the
+/// schemas of sections 3-5 verbatim (modulo the report's OCR typos):
+///
+///   domain I/O = (IN, OUT);
+///   domain Point = (X, Y: integer);
+///   domain AreaDom = record: Length, Width: integer; end-domain AreaDom;
+///
+///   obj-type SimpleGate =
+///     attributes: ...   types-of-subclasses: ...
+///     types-of-subrels: ...  (alias: connections:)
+///     constraints: ...
+///   end SimpleGate;
+///
+///   rel-type WireType = relates: ... attributes: ... end WireType;
+///
+///   inher-rel-type AllOf_GateInterface =
+///     transmitter: object-of-type GateInterface;
+///     inheritor: object;
+///     inheriting: Length, Width, Pins;
+///   end AllOf_GateInterface;
+///
+/// Notable semantics:
+///  - Inline subclass types (`SubGates: inheritor-in: ...; attributes: ...`)
+///    register a generated object type named "<Owner>.<Subclass>".
+///  - Within one constraints: section, `for`-bindings accumulate: later
+///    constraints may reference variables bound by earlier `for`s (the paper
+///    relies on this in ScrewingType).
+///  - `count(Pins) = 2 where Pins.InOut = IN` attaches the where-filter to
+///    the aggregate; inside the filter the element is addressed by the
+///    collection's last path segment (`Pins`).
+///  - `end <name>;` accepts a mismatched or missing name with a warning (the
+///    paper itself closes NutType with `end AllOf_BoltType;`).
+class Parser {
+ public:
+  /// Parses and registers every definition in `source` into `catalog`.
+  /// Registration is two-phase: nothing is registered unless the whole
+  /// source parses. Non-fatal oddities are appended to `warnings` when
+  /// provided. Call catalog->Validate() afterwards to resolve forward
+  /// references.
+  static Status ParseSchema(const std::string& source, Catalog* catalog,
+                            std::vector<std::string>* warnings = nullptr);
+
+  /// Parses a stand-alone constraint expression (same grammar as the
+  /// constraints: section, including `for` and postfix `where`).
+  static Result<expr::ExprPtr> ParseConstraintExpression(
+      const std::string& text);
+};
+
+}  // namespace ddl
+}  // namespace caddb
+
+#endif  // CADDB_DDL_PARSER_H_

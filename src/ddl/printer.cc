@@ -1,0 +1,198 @@
+#include "ddl/printer.h"
+
+namespace caddb {
+namespace ddl {
+
+namespace {
+
+/// Built-in names never printed as definitions.
+bool IsBuiltinDomain(const std::string& name) {
+  return name == "integer" || name == "real" || name == "boolean" ||
+         name == "string" || name == "char" || name == "Point";
+}
+
+bool IsGeneratedTypeName(const std::string& name) {
+  return name.find('.') != std::string::npos;
+}
+
+void AppendAttributes(const std::vector<AttributeDef>& attrs,
+                      const std::string& indent, std::string* out) {
+  if (attrs.empty()) return;
+  *out += indent + "attributes:\n";
+  for (const AttributeDef& a : attrs) {
+    *out += indent + "  " + a.name + ": " + SchemaPrinter::DomainToDdl(a.domain) +
+            ";\n";
+  }
+}
+
+void AppendConstraints(const std::vector<ConstraintDef>& constraints,
+                       const std::string& indent, std::string* out) {
+  if (constraints.empty()) return;
+  *out += indent + "constraints:\n";
+  for (const ConstraintDef& c : constraints) {
+    if (c.predicate == nullptr) continue;
+    *out += indent + "  " + c.predicate->ToString() + ";\n";
+  }
+}
+
+void AppendSubclasses(const Catalog& catalog,
+                      const std::vector<SubclassDef>& subclasses,
+                      const std::string& indent, std::string* out) {
+  if (subclasses.empty()) return;
+  *out += indent + "types-of-subclasses:\n";
+  for (const SubclassDef& s : subclasses) {
+    if (IsGeneratedTypeName(s.element_type)) {
+      // Fold the generated type back into an inline body.
+      const ObjectTypeDef* inline_type =
+          catalog.FindObjectType(s.element_type);
+      *out += indent + "  " + s.name + ":\n";
+      if (inline_type != nullptr) {
+        if (!inline_type->inheritor_in.empty()) {
+          *out += indent + "    inheritor-in: " + inline_type->inheritor_in +
+                  ";\n";
+        }
+        AppendAttributes(inline_type->attributes, indent + "    ", out);
+      }
+    } else {
+      *out += indent + "  " + s.name + ": " + s.element_type + ";\n";
+    }
+  }
+}
+
+void AppendSubrels(const std::vector<SubrelDef>& subrels,
+                   const std::string& indent, std::string* out) {
+  if (subrels.empty()) return;
+  *out += indent + "types-of-subrels:\n";
+  for (const SubrelDef& s : subrels) {
+    *out += indent + "  " + s.name + ": " + s.rel_type;
+    if (s.where != nullptr) {
+      *out += "\n" + indent + "    where " + s.where->ToString();
+    }
+    *out += ";\n";
+  }
+}
+
+}  // namespace
+
+std::string SchemaPrinter::DomainToDdl(const Domain& d) {
+  switch (d.kind()) {
+    case Domain::Kind::kInt:
+      return "integer";
+    case Domain::Kind::kReal:
+      return "real";
+    case Domain::Kind::kBool:
+      return "boolean";
+    case Domain::Kind::kString:
+      return "char";
+    case Domain::Kind::kEnum: {
+      std::string out = "(";
+      for (size_t i = 0; i < d.symbols().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += d.symbols()[i];
+      }
+      return out + ")";
+    }
+    case Domain::Kind::kRecord: {
+      // Parenthesized record form: ( X: integer; Y: integer; ).
+      std::string out = "( ";
+      for (const auto& f : d.record_fields()) {
+        out += f.first + ": " + DomainToDdl(f.second) + "; ";
+      }
+      return out + ")";
+    }
+    case Domain::Kind::kListOf:
+      return "list-of " + DomainToDdl(d.element());
+    case Domain::Kind::kSetOf:
+      return "set-of " + DomainToDdl(d.element());
+    case Domain::Kind::kMatrixOf:
+      return "matrix-of " + DomainToDdl(d.element());
+    case Domain::Kind::kRef:
+      return d.name().empty() ? "object" : ("object-of-type " + d.name());
+    case Domain::Kind::kNamed:
+      return d.name();
+  }
+  return "integer";
+}
+
+std::string SchemaPrinter::PrintDomainDef(const std::string& name,
+                                          const Domain& d) {
+  return "domain " + name + " = " + DomainToDdl(d) + ";\n";
+}
+
+std::string SchemaPrinter::PrintObjectType(const Catalog& catalog,
+                                           const ObjectTypeDef& def) {
+  std::string out = "obj-type " + def.name + " =\n";
+  if (!def.inheritor_in.empty()) {
+    out += "  inheritor-in: " + def.inheritor_in + ";\n";
+  }
+  AppendAttributes(def.attributes, "  ", &out);
+  AppendSubclasses(catalog, def.subclasses, "  ", &out);
+  AppendSubrels(def.subrels, "  ", &out);
+  AppendConstraints(def.constraints, "  ", &out);
+  out += "end " + def.name + ";\n";
+  return out;
+}
+
+std::string SchemaPrinter::PrintRelType(const Catalog& catalog,
+                                        const RelTypeDef& def) {
+  std::string out = "rel-type " + def.name + " =\n";
+  if (!def.participants.empty()) {
+    out += "  relates:\n";
+    for (const ParticipantDef& p : def.participants) {
+      out += "    " + p.role + ": ";
+      if (p.is_set) out += "set-of ";
+      out += p.object_type.empty() ? "object"
+                                   : ("object-of-type " + p.object_type);
+      out += ";\n";
+    }
+  }
+  AppendAttributes(def.attributes, "  ", &out);
+  AppendSubclasses(catalog, def.subclasses, "  ", &out);
+  AppendConstraints(def.constraints, "  ", &out);
+  out += "end " + def.name + ";\n";
+  return out;
+}
+
+std::string SchemaPrinter::PrintInherRelType(const InherRelTypeDef& def) {
+  std::string out = "inher-rel-type " + def.name + " =\n";
+  out += "  transmitter: object-of-type " + def.transmitter_type + ";\n";
+  out += "  inheritor: ";
+  out += def.inheritor_type.empty() ? "object"
+                                    : ("object-of-type " + def.inheritor_type);
+  out += ";\n  inheriting: ";
+  for (size_t i = 0; i < def.inheriting.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += def.inheriting[i];
+  }
+  out += ";\n";
+  AppendAttributes(def.attributes, "  ", &out);
+  AppendConstraints(def.constraints, "  ", &out);
+  out += "end " + def.name + ";\n";
+  return out;
+}
+
+std::string SchemaPrinter::Print(const Catalog& catalog) {
+  std::string out;
+  for (const std::string& name : catalog.DomainNames()) {
+    if (IsBuiltinDomain(name)) continue;
+    Result<Domain> d = catalog.ResolveDomain(name);
+    if (d.ok()) out += PrintDomainDef(name, *d) + "\n";
+  }
+  for (const std::string& name : catalog.ObjectTypeNames()) {
+    if (IsGeneratedTypeName(name)) continue;  // folded into the owner
+    const ObjectTypeDef* def = catalog.FindObjectType(name);
+    if (def != nullptr) out += PrintObjectType(catalog, *def) + "\n";
+  }
+  for (const std::string& name : catalog.RelTypeNames()) {
+    const RelTypeDef* def = catalog.FindRelType(name);
+    if (def != nullptr) out += PrintRelType(catalog, *def) + "\n";
+  }
+  for (const std::string& name : catalog.InherRelTypeNames()) {
+    const InherRelTypeDef* def = catalog.FindInherRelType(name);
+    if (def != nullptr) out += PrintInherRelType(*def) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ddl
+}  // namespace caddb

@@ -1,0 +1,37 @@
+#ifndef CADDB_DDL_PRINTER_H_
+#define CADDB_DDL_PRINTER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace caddb {
+namespace ddl {
+
+/// Renders catalog definitions back into the schema language, such that
+/// Parser::ParseSchema(Print(catalog)) reconstructs an equivalent catalog
+/// (round-trip property, verified by printer_test). Inline-generated
+/// subclass element types (named "<Owner>.<Subclass>") are folded back into
+/// their owner's `types-of-subclasses:` section and never printed
+/// standalone.
+class SchemaPrinter {
+ public:
+  /// Every user-defined domain, object type, relationship type and
+  /// inheritance relationship type (built-ins and generated types omitted).
+  static std::string Print(const Catalog& catalog);
+
+  static std::string PrintDomainDef(const std::string& name, const Domain& d);
+  static std::string PrintObjectType(const Catalog& catalog,
+                                     const ObjectTypeDef& def);
+  static std::string PrintRelType(const Catalog& catalog,
+                                  const RelTypeDef& def);
+  static std::string PrintInherRelType(const InherRelTypeDef& def);
+
+  /// A domain in parseable DDL notation (records in parenthesized form).
+  static std::string DomainToDdl(const Domain& d);
+};
+
+}  // namespace ddl
+}  // namespace caddb
+
+#endif  // CADDB_DDL_PRINTER_H_

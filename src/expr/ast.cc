@@ -1,0 +1,178 @@
+#include "expr/ast.h"
+
+#include "util/string_util.h"
+
+namespace caddb {
+namespace expr {
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kLiteral;
+  e->value_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Path(std::vector<std::string> segments) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kPath;
+  e->segments_ = std::move(segments);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kNot;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::Neg(ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kNeg;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::Binary(Op op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kBinary;
+  e->op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Count(ExprPtr collection, ExprPtr filter) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kCount;
+  e->children_ = {std::move(collection)};
+  e->filter_ = std::move(filter);
+  return e;
+}
+
+ExprPtr Expr::Sum(ExprPtr collection, ExprPtr filter) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kSum;
+  e->children_ = {std::move(collection)};
+  e->filter_ = std::move(filter);
+  return e;
+}
+
+ExprPtr Expr::Min(ExprPtr collection, ExprPtr filter) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kMin;
+  e->children_ = {std::move(collection)};
+  e->filter_ = std::move(filter);
+  return e;
+}
+
+ExprPtr Expr::Max(ExprPtr collection, ExprPtr filter) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kMax;
+  e->children_ = {std::move(collection)};
+  e->filter_ = std::move(filter);
+  return e;
+}
+
+ExprPtr Expr::Card(ExprPtr collection) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kCard;
+  e->children_ = {std::move(collection)};
+  return e;
+}
+
+ExprPtr Expr::ForAll(std::vector<Binding> bindings, ExprPtr body) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kForAll;
+  e->bindings_ = std::move(bindings);
+  e->children_ = {std::move(body)};
+  return e;
+}
+
+ExprPtr Expr::Exists(std::vector<Binding> bindings, ExprPtr body) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kExists;
+  e->bindings_ = std::move(bindings);
+  e->children_ = {std::move(body)};
+  return e;
+}
+
+ExprPtr Expr::AttachWhereFilter(const ExprPtr& e, const ExprPtr& filter) {
+  if (e == nullptr) return nullptr;
+  bool is_agg = e->kind_ == Kind::kCount || e->kind_ == Kind::kSum ||
+                e->kind_ == Kind::kMin || e->kind_ == Kind::kMax;
+  auto out = std::shared_ptr<Expr>(new Expr(*e));
+  if (is_agg && out->filter_ == nullptr) {
+    out->filter_ = filter;
+  }
+  for (ExprPtr& child : out->children_) {
+    child = AttachWhereFilter(child, filter);
+  }
+  for (Binding& b : out->bindings_) {
+    b.collection = AttachWhereFilter(b.collection, filter);
+  }
+  return out;
+}
+
+const char* OpName(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kAdd: return "+";
+    case Expr::Op::kSub: return "-";
+    case Expr::Op::kMul: return "*";
+    case Expr::Op::kDiv: return "/";
+    case Expr::Op::kEq: return "=";
+    case Expr::Op::kNe: return "<>";
+    case Expr::Op::kLt: return "<";
+    case Expr::Op::kLe: return "<=";
+    case Expr::Op::kGt: return ">";
+    case Expr::Op::kGe: return ">=";
+    case Expr::Op::kAnd: return "and";
+    case Expr::Op::kOr: return "or";
+    case Expr::Op::kIn: return "in";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return value_.ToString();
+    case Kind::kPath:
+      return Join(segments_, ".");
+    case Kind::kNot:
+      return "not (" + children_[0]->ToString() + ")";
+    case Kind::kNeg:
+      return "-(" + children_[0]->ToString() + ")";
+    case Kind::kBinary:
+      return "(" + children_[0]->ToString() + " " + OpName(op_) + " " +
+             children_[1]->ToString() + ")";
+    case Kind::kCount:
+    case Kind::kSum:
+    case Kind::kMin:
+    case Kind::kMax: {
+      const char* fn = kind_ == Kind::kCount ? "count"
+                       : kind_ == Kind::kSum ? "sum"
+                       : kind_ == Kind::kMin ? "min"
+                                             : "max";
+      std::string out = std::string(fn) + "(" + children_[0]->ToString() + ")";
+      if (filter_ != nullptr) out += " where " + filter_->ToString();
+      return out;
+    }
+    case Kind::kCard:
+      // `#x in C` — the variable name is decorative but the parser expects
+      // one, so emit a placeholder to keep ToString re-parseable.
+      return "#x in " + children_[0]->ToString();
+    case Kind::kForAll:
+    case Kind::kExists: {
+      std::string out = kind_ == Kind::kForAll ? "for (" : "exists (";
+      for (size_t i = 0; i < bindings_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += bindings_[i].var + " in " + bindings_[i].collection->ToString();
+      }
+      return out + "): " + children_[0]->ToString();
+    }
+  }
+  return "?";
+}
+
+}  // namespace expr
+}  // namespace caddb

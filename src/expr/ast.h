@@ -1,0 +1,112 @@
+#ifndef CADDB_EXPR_AST_H_
+#define CADDB_EXPR_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "values/value.h"
+
+namespace caddb {
+namespace expr {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One `var in <path>` binding of a `for` quantifier.
+struct Binding {
+  std::string var;
+  ExprPtr collection;  // must evaluate to a collection (usually a path)
+};
+
+/// Immutable constraint-expression AST. Covers everything the paper's
+/// constraint sections use: attribute paths (`Pins.InOut`), literals,
+/// arithmetic, comparisons, boolean connectives, `in` membership,
+/// `count(...) where ...`, `sum(...)`, `# x in C` cardinality, and
+/// `for (v in C, ...): body` universal quantification.
+class Expr {
+ public:
+  enum class Kind {
+    kLiteral,  // value_
+    kPath,     // segments_ ("Pins", "InOut")
+    kNot,      // children_[0]
+    kNeg,      // children_[0]
+    kBinary,   // op_, children_[0], children_[1]
+    kCount,    // children_[0] = collection path; filter_ optional
+    kSum,      // children_[0] = collection path; filter_ optional
+    kMin,
+    kMax,
+    kCard,     // # var in collection; children_[0] = collection
+    kForAll,   // bindings_, children_[0] = body
+    kExists,   // bindings_, children_[0] = body
+  };
+
+  enum class Op {
+    kAdd, kSub, kMul, kDiv,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAnd, kOr,
+    kIn,  // membership of lhs in rhs collection
+  };
+
+  Kind kind() const { return kind_; }
+  Op op() const { return op_; }
+  const Value& literal() const { return value_; }
+  const std::vector<std::string>& segments() const { return segments_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const std::vector<Binding>& bindings() const { return bindings_; }
+  const ExprPtr& filter() const { return filter_; }
+
+  /// Source-like rendering for error messages.
+  std::string ToString() const;
+
+  // ---- Factories ----
+  static ExprPtr Literal(Value v);
+  static ExprPtr Int(int64_t v) { return Literal(Value::Int(v)); }
+  static ExprPtr Sym(std::string s) { return Literal(Value::Enum(std::move(s))); }
+  static ExprPtr Path(std::vector<std::string> segments);
+  static ExprPtr Not(ExprPtr e);
+  static ExprPtr Neg(ExprPtr e);
+  static ExprPtr Binary(Op op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Count(ExprPtr collection, ExprPtr filter = nullptr);
+  static ExprPtr Sum(ExprPtr collection, ExprPtr filter = nullptr);
+  static ExprPtr Min(ExprPtr collection, ExprPtr filter = nullptr);
+  static ExprPtr Max(ExprPtr collection, ExprPtr filter = nullptr);
+  static ExprPtr Card(ExprPtr collection);
+  static ExprPtr ForAll(std::vector<Binding> bindings, ExprPtr body);
+  static ExprPtr Exists(std::vector<Binding> bindings, ExprPtr body);
+
+  // Convenience comparison/logic builders.
+  static ExprPtr Eq(ExprPtr a, ExprPtr b) { return Binary(Op::kEq, a, b); }
+  static ExprPtr Ne(ExprPtr a, ExprPtr b) { return Binary(Op::kNe, a, b); }
+  static ExprPtr Lt(ExprPtr a, ExprPtr b) { return Binary(Op::kLt, a, b); }
+  static ExprPtr Le(ExprPtr a, ExprPtr b) { return Binary(Op::kLe, a, b); }
+  static ExprPtr Gt(ExprPtr a, ExprPtr b) { return Binary(Op::kGt, a, b); }
+  static ExprPtr Ge(ExprPtr a, ExprPtr b) { return Binary(Op::kGe, a, b); }
+  static ExprPtr And(ExprPtr a, ExprPtr b) { return Binary(Op::kAnd, a, b); }
+  static ExprPtr Or(ExprPtr a, ExprPtr b) { return Binary(Op::kOr, a, b); }
+  static ExprPtr In(ExprPtr a, ExprPtr b) { return Binary(Op::kIn, a, b); }
+
+  /// Returns a copy of `e` in which every Count/Sum/Min/Max node lacking a
+  /// filter gets `filter`. Implements the paper's postfix
+  /// `count(Pins) = 2 where Pins.InOut = IN` syntax.
+  static ExprPtr AttachWhereFilter(const ExprPtr& e, const ExprPtr& filter);
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  Op op_ = Op::kEq;
+  Value value_;
+  std::vector<std::string> segments_;
+  std::vector<ExprPtr> children_;
+  std::vector<Binding> bindings_;
+  ExprPtr filter_;
+};
+
+const char* OpName(Expr::Op op);
+
+}  // namespace expr
+}  // namespace caddb
+
+#endif  // CADDB_EXPR_AST_H_

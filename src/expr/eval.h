@@ -1,0 +1,96 @@
+#ifndef CADDB_EXPR_EVAL_H_
+#define CADDB_EXPR_EVAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/ast.h"
+#include "util/result.h"
+#include "values/value.h"
+
+namespace caddb {
+namespace expr {
+
+/// Result of resolving a name or member: a single value or a collection.
+/// Collections arise from subclasses (sets of subobjects), set-valued
+/// participant roles, and flattened multi-step paths (`SubGates.Pins`).
+struct Resolved {
+  bool is_collection = false;
+  Value single;
+  std::vector<Value> collection;
+
+  static Resolved One(Value v) {
+    Resolved r;
+    r.single = std::move(v);
+    return r;
+  }
+  static Resolved Many(std::vector<Value> vs) {
+    Resolved r;
+    r.is_collection = true;
+    r.collection = std::move(vs);
+    return r;
+  }
+};
+
+/// Name-resolution hook the evaluator calls into. Implemented by the
+/// constraint checker over the object store (attributes through inheritance,
+/// subclasses, participant roles) and by lightweight test fixtures.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+
+  /// Resolves a root identifier. Return NotFound for unknown names; the
+  /// evaluator then treats a bare single-segment identifier as an enumeration
+  /// symbol (so `Function = AND` works without quoting).
+  virtual Result<Resolved> ResolveName(const std::string& name) = 0;
+
+  /// Resolves `name` against `base`: a record field, or — when `base` is an
+  /// object reference — an attribute, subclass, or participant role of the
+  /// referenced object (inherited data included).
+  virtual Result<Resolved> ResolveMember(const Value& base,
+                                         const std::string& name) = 0;
+};
+
+/// Tree-walking evaluator with a lexical variable environment.
+/// Not thread-safe; create one per evaluation thread.
+class Evaluator {
+ public:
+  explicit Evaluator(EvalContext* ctx) : ctx_(ctx) {}
+
+  /// Scalar evaluation. Paths denoting collections are an error here.
+  Result<Value> Eval(const Expr& e);
+
+  /// Evaluates `e` to a collection: path collections, or the elements of a
+  /// single set/list value, or a singleton of any other scalar.
+  Result<std::vector<Value>> EvalCollection(const Expr& e);
+
+  /// Evaluates `e` and coerces to bool (null coerces to false).
+  Result<bool> EvalPredicate(const Expr& e);
+
+  /// Pushes a variable binding shadowing any outer binding of the same name.
+  void Bind(const std::string& var, Value v);
+  /// Pops the innermost binding of `var`.
+  void Unbind(const std::string& var);
+
+ private:
+  Result<Resolved> EvalResolved(const Expr& e);
+  Result<Resolved> EvalPath(const std::vector<std::string>& segments);
+  Result<Resolved> ApplyMember(const Resolved& base, const std::string& name);
+  Result<Value> EvalAggregate(const Expr& e);
+  Result<std::vector<Value>> FilteredElements(const Expr& e);
+  Result<Value> EvalBinary(const Expr& e);
+  Result<Value> EvalQuantifier(const Expr& e);
+  const Value* LookupVar(const std::string& name) const;
+
+  EvalContext* ctx_;
+  std::vector<std::pair<std::string, Value>> env_;
+};
+
+/// One-shot helper: evaluates `e` as a predicate against `ctx`.
+Result<bool> EvaluatePredicate(const Expr& e, EvalContext* ctx);
+
+}  // namespace expr
+}  // namespace caddb
+
+#endif  // CADDB_EXPR_EVAL_H_

@@ -1,0 +1,203 @@
+#include "inherit/inheritance.h"
+
+namespace caddb {
+
+Result<Surrogate> InheritanceManager::Bind(Surrogate inheritor,
+                                           Surrogate transmitter,
+                                           const std::string& inher_rel_type) {
+  return store_->CreateInherRel(inher_rel_type, transmitter, inheritor);
+}
+
+Status InheritanceManager::Unbind(Surrogate inheritor) {
+  Result<Surrogate> rel = BindingOf(inheritor);
+  if (rel.ok() && rel->valid() && notifications_ != nullptr) {
+    notifications_->Forget(*rel);
+  }
+  return store_->Unbind(inheritor);
+}
+
+Result<Surrogate> InheritanceManager::TransmitterOf(
+    Surrogate inheritor) const {
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store_->Get(inheritor));
+  Surrogate rel_s = obj->bound_inher_rel();
+  if (!rel_s.valid()) return Surrogate::Invalid();
+  CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store_->Get(rel_s));
+  return rel->Participant("transmitter");
+}
+
+Result<Surrogate> InheritanceManager::BindingOf(Surrogate inheritor) const {
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store_->Get(inheritor));
+  return obj->bound_inher_rel();
+}
+
+std::vector<Surrogate> InheritanceManager::InheritorsOf(
+    Surrogate transmitter) const {
+  std::vector<Surrogate> out;
+  for (Surrogate rel_s : store_->InherRelsOfTransmitter(transmitter)) {
+    Result<const DbObject*> rel = store_->Get(rel_s);
+    if (rel.ok()) out.push_back((*rel)->Participant("inheritor"));
+  }
+  return out;
+}
+
+Result<Value> InheritanceManager::GetAttribute(Surrogate s,
+                                               const std::string& name) const {
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store_->Get(s));
+
+  if (obj->kind() != ObjKind::kObject) {
+    // Relationship objects have no inherited attributes.
+    return store_->GetLocalAttribute(s, name);
+  }
+
+  Result<EffectiveSchema> schema =
+      store_->catalog().EffectiveSchemaFor(obj->type_name());
+  if (!schema.ok()) return schema.status();
+  if (schema->FindAttribute(name) == nullptr) {
+    return NotFound("type '" + obj->type_name() + "' has no attribute '" +
+                    name + "'");
+  }
+  if (!schema->IsInherited(name)) {
+    return obj->LocalAttribute(name);
+  }
+
+  if (cache_enabled_) {
+    auto it = cache_.find({s.id, name});
+    if (it != cache_.end() && it->second.first == store_->global_version()) {
+      ++cache_hits_;
+      return it->second.second;
+    }
+    ++cache_misses_;
+  }
+
+  // Inherited: resolve through the transmitter (view semantics). Unbound
+  // inheritors only inherit the attribute *structure*, so the value is null.
+  Value resolved = Value::Null();
+  Surrogate rel_s = obj->bound_inher_rel();
+  if (rel_s.valid()) {
+    CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store_->Get(rel_s));
+    Surrogate transmitter = rel->Participant("transmitter");
+    CADDB_ASSIGN_OR_RETURN(resolved, GetAttribute(transmitter, name));
+  }
+
+  if (cache_enabled_) {
+    cache_[{s.id, name}] = {store_->global_version(), resolved};
+  }
+  return resolved;
+}
+
+Result<std::vector<Surrogate>> InheritanceManager::GetSubclass(
+    Surrogate s, const std::string& name) const {
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store_->Get(s));
+
+  if (obj->kind() != ObjKind::kObject) {
+    const std::vector<Surrogate>* members = obj->Subclass(name);
+    if (members != nullptr) return *members;
+    // Relationship subclasses are declared in the rel / inher-rel type.
+    const RelTypeDef* rel_def =
+        store_->catalog().FindRelType(obj->type_name());
+    if (rel_def != nullptr && rel_def->FindSubclass(name) != nullptr) {
+      return std::vector<Surrogate>{};
+    }
+    const InherRelTypeDef* inher_def =
+        store_->catalog().FindInherRelType(obj->type_name());
+    if (inher_def != nullptr) {
+      for (const auto& sub : inher_def->subclasses) {
+        if (sub.name == name) return std::vector<Surrogate>{};
+      }
+    }
+    return NotFound("type '" + obj->type_name() + "' has no subclass '" +
+                    name + "'");
+  }
+
+  Result<EffectiveSchema> schema =
+      store_->catalog().EffectiveSchemaFor(obj->type_name());
+  if (!schema.ok()) return schema.status();
+  if (schema->FindSubclass(name) == nullptr) {
+    return NotFound("type '" + obj->type_name() + "' has no subclass '" +
+                    name + "'");
+  }
+  if (!schema->IsInherited(name)) {
+    const std::vector<Surrogate>* members = obj->Subclass(name);
+    return members == nullptr ? std::vector<Surrogate>{} : *members;
+  }
+  Surrogate rel_s = obj->bound_inher_rel();
+  if (!rel_s.valid()) return std::vector<Surrogate>{};
+  CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store_->Get(rel_s));
+  return GetSubclass(rel->Participant("transmitter"), name);
+}
+
+void InheritanceManager::NotifyChange(Surrogate transmitter,
+                                      const std::string& item) {
+  for (Surrogate rel_s : store_->InherRelsOfTransmitter(transmitter)) {
+    Result<const DbObject*> rel = store_->Get(rel_s);
+    if (!rel.ok()) continue;
+    const InherRelTypeDef* def =
+        store_->catalog().FindInherRelType((*rel)->type_name());
+    if (def == nullptr || !def->Permeable(item)) continue;
+    if (notifications_ != nullptr) {
+      notifications_->Record(rel_s, transmitter, item);
+    }
+    // The inheritor's *inherited* view of `item` changed, which in turn is
+    // visible to the inheritor's own inheritors if permeable there.
+    NotifyChange((*rel)->Participant("inheritor"), item);
+  }
+}
+
+Status InheritanceManager::SetAttribute(Surrogate s, const std::string& name,
+                                        Value v) {
+  CADDB_RETURN_IF_ERROR(store_->SetAttribute(s, name, std::move(v)));
+  NotifyChange(s, name);
+  return OkStatus();
+}
+
+Result<Surrogate> InheritanceManager::CreateSubobject(
+    Surrogate parent, const std::string& subclass_name) {
+  CADDB_ASSIGN_OR_RETURN(Surrogate s,
+                         store_->CreateSubobject(parent, subclass_name));
+  NotifyChange(parent, subclass_name);
+  return s;
+}
+
+Status InheritanceManager::DeleteObject(Surrogate s,
+                                        ObjectStore::DeletePolicy policy) {
+  // Capture the containment context before deletion for the notification.
+  Surrogate parent = Surrogate::Invalid();
+  std::string subclass;
+  Result<const DbObject*> obj = store_->Get(s);
+  if (obj.ok() && (*obj)->IsSubobject()) {
+    parent = (*obj)->parent();
+    subclass = (*obj)->parent_subclass();
+  }
+  CADDB_RETURN_IF_ERROR(store_->Delete(s, policy));
+  if (parent.valid() && !subclass.empty() && store_->Exists(parent)) {
+    NotifyChange(parent, subclass);
+  }
+  return OkStatus();
+}
+
+Result<std::map<std::string, Value>> InheritanceManager::Snapshot(
+    Surrogate s) const {
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store_->Get(s));
+  std::map<std::string, Value> out;
+  if (obj->kind() == ObjKind::kObject) {
+    Result<EffectiveSchema> schema =
+        store_->catalog().EffectiveSchemaFor(obj->type_name());
+    if (!schema.ok()) return schema.status();
+    for (const AttributeDef& a : schema->attributes) {
+      CADDB_ASSIGN_OR_RETURN(Value v, GetAttribute(s, a.name));
+      out[a.name] = std::move(v);
+    }
+  } else {
+    out = obj->attributes();
+  }
+  return out;
+}
+
+void InheritanceManager::EnableCache(bool on) {
+  cache_enabled_ = on;
+  cache_.clear();
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+}
+
+}  // namespace caddb

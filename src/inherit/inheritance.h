@@ -1,0 +1,101 @@
+#ifndef CADDB_INHERIT_INHERITANCE_H_
+#define CADDB_INHERIT_INHERITANCE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "inherit/notification.h"
+#include "store/store.h"
+#include "util/result.h"
+#include "values/value.h"
+
+namespace caddb {
+
+/// The value-inheritance engine — the paper's central mechanism (section 4).
+///
+/// Reads of inherited attributes/subclasses resolve *through* the inheritance
+/// chain to the transmitter at access time ("any update of the original data
+/// is instantly visible in the composite object", section 2). Nothing is
+/// copied; an unbound inheritor sees only the attribute structure (type-level
+/// inheritance = generalization). Writes to the transmitter append change
+/// records to every affected inheritance relationship, transitively, for the
+/// adaptation workflow.
+///
+/// An optional memoization cache (for the resolution-cost ablation) stores
+/// resolved inherited values stamped with the store's global version.
+class InheritanceManager {
+ public:
+  /// Neither pointer is owned; both must outlive the manager.
+  /// `notifications` may be null (no change logging).
+  InheritanceManager(ObjectStore* store, NotificationCenter* notifications)
+      : store_(store), notifications_(notifications) {}
+
+  InheritanceManager(const InheritanceManager&) = delete;
+  InheritanceManager& operator=(const InheritanceManager&) = delete;
+
+  // ---- Binding ----
+  /// Binds `inheritor` to `transmitter` through `inher_rel_type`; returns the
+  /// surrogate of the new inheritance-relationship object.
+  Result<Surrogate> Bind(Surrogate inheritor, Surrogate transmitter,
+                         const std::string& inher_rel_type);
+  Status Unbind(Surrogate inheritor);
+  /// The bound transmitter, or Invalid when unbound. NotFound if `inheritor`
+  /// does not exist.
+  Result<Surrogate> TransmitterOf(Surrogate inheritor) const;
+  /// The inheritance-relationship object binding `inheritor`, or Invalid.
+  Result<Surrogate> BindingOf(Surrogate inheritor) const;
+  /// All inheritors directly bound to `transmitter`.
+  std::vector<Surrogate> InheritorsOf(Surrogate transmitter) const;
+
+  // ---- Inheritance-aware access ----
+  /// Effective attribute read: local value for own attributes, transmitter
+  /// resolution for inherited ones (null when unbound).
+  Result<Value> GetAttribute(Surrogate s, const std::string& name) const;
+  /// Effective subclass read: local members for own subclasses, the
+  /// transmitter's members (read-only view) for inherited ones.
+  Result<std::vector<Surrogate>> GetSubclass(Surrogate s,
+                                             const std::string& name) const;
+  /// Store write plus transitive change notification to all inheritance
+  /// relationships for which `name` is permeable.
+  Status SetAttribute(Surrogate s, const std::string& name, Value v);
+  /// Store subobject creation plus change notification for the subclass.
+  Result<Surrogate> CreateSubobject(Surrogate parent,
+                                    const std::string& subclass_name);
+  /// Deletes a subobject (or any object) and notifies inheritors watching the
+  /// containing subclass.
+  Status DeleteObject(Surrogate s, ObjectStore::DeletePolicy policy =
+                                       ObjectStore::DeletePolicy::kRestrict);
+
+  /// Snapshot of every effective attribute (inherited values materialized).
+  /// Used by the copy-import baseline and workspace checkout.
+  Result<std::map<std::string, Value>> Snapshot(Surrogate s) const;
+
+  // ---- Resolution cache (ablation; off by default) ----
+  void EnableCache(bool on);
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+  NotificationCenter* notifications() const { return notifications_; }
+  ObjectStore* store() const { return store_; }
+
+ private:
+  /// Recursively notifies the inheritance relationships hanging off
+  /// `transmitter` about a change of permeable item `item`.
+  void NotifyChange(Surrogate transmitter, const std::string& item);
+
+  ObjectStore* store_;
+  NotificationCenter* notifications_;
+
+  bool cache_enabled_ = false;
+  mutable std::map<std::pair<uint64_t, std::string>,
+                   std::pair<uint64_t, Value>>
+      cache_;  // (surrogate, attr) -> (global_version stamp, value)
+  mutable uint64_t cache_hits_ = 0;
+  mutable uint64_t cache_misses_ = 0;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_INHERIT_INHERITANCE_H_

@@ -1,0 +1,55 @@
+#include "inherit/notification.h"
+
+namespace caddb {
+
+void NotificationCenter::Record(Surrogate inher_rel, Surrogate transmitter,
+                                const std::string& item) {
+  pending_[inher_rel.id].push_back(
+      ChangeRecord{next_seq_++, transmitter, item});
+  if (!observers_.empty()) {
+    const ChangeRecord& record = pending_[inher_rel.id].back();
+    for (const auto& [token, observer] : observers_) {
+      observer(inher_rel, record);
+    }
+  }
+}
+
+uint64_t NotificationCenter::AddObserver(Observer observer) {
+  uint64_t token = next_observer_++;
+  observers_[token] = std::move(observer);
+  return token;
+}
+
+void NotificationCenter::RemoveObserver(uint64_t token) {
+  observers_.erase(token);
+}
+
+const std::vector<ChangeRecord>& NotificationCenter::PendingFor(
+    Surrogate inher_rel) const {
+  static const std::vector<ChangeRecord> kEmpty;
+  auto it = pending_.find(inher_rel.id);
+  return it == pending_.end() ? kEmpty : it->second;
+}
+
+void NotificationCenter::Acknowledge(Surrogate inher_rel) {
+  auto it = pending_.find(inher_rel.id);
+  if (it != pending_.end()) it->second.clear();
+}
+
+void NotificationCenter::Forget(Surrogate inher_rel) {
+  pending_.erase(inher_rel.id);
+}
+
+Value NotificationCenter::AsValue(Surrogate inher_rel) const {
+  std::vector<Value> records;
+  for (const ChangeRecord& r : PendingFor(inher_rel)) {
+    records.push_back(Value::Record({
+        {"Seq", Value::Int(static_cast<int64_t>(r.seq))},
+        {"Transmitter", Value::Ref(r.transmitter)},
+        {"Item", Value::String(r.item)},
+    }));
+  }
+  return Value::List(std::move(records));
+}
+
+}  // namespace caddb

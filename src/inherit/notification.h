@@ -1,0 +1,81 @@
+#ifndef CADDB_INHERIT_NOTIFICATION_H_
+#define CADDB_INHERIT_NOTIFICATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "values/value.h"
+
+namespace caddb {
+
+/// One propagated transmitter update, recorded on an inheritance-relationship
+/// object. The paper (section 2): "To inform the user about changes of the
+/// transmitter object the attributes of the relationship can be used" — the
+/// inheritor side reads these records to drive its (manual or
+/// semi-automatic) adaptation, then acknowledges them.
+struct ChangeRecord {
+  uint64_t seq = 0;
+  Surrogate transmitter;
+  /// Name of the changed permeable attribute or subclass.
+  std::string item;
+};
+
+/// Per-inheritance-relationship log of unacknowledged transmitter changes.
+/// Kept outside the objects themselves so the schema of user-defined
+/// inher-rel types stays untouched; `AsValue` renders a log as a Value for
+/// storing into a declared bookkeeping attribute if the schema provides one.
+class NotificationCenter {
+ public:
+  NotificationCenter() = default;
+
+  NotificationCenter(const NotificationCenter&) = delete;
+  NotificationCenter& operator=(const NotificationCenter&) = delete;
+
+  /// Appends a change record to `inher_rel`'s pending log.
+  void Record(Surrogate inher_rel, Surrogate transmitter,
+              const std::string& item);
+
+  /// Unacknowledged changes for a relationship (empty if none).
+  const std::vector<ChangeRecord>& PendingFor(Surrogate inher_rel) const;
+
+  /// Clears the pending log (the inheritor has adapted).
+  void Acknowledge(Surrogate inher_rel);
+
+  /// Drops all bookkeeping for a deleted relationship.
+  void Forget(Surrogate inher_rel);
+
+  /// The pending log as a list-of-records Value:
+  /// [{Seq: n, Transmitter: @t, Item: "Length"}, ...].
+  Value AsValue(Surrogate inher_rel) const;
+
+  /// Total records ever written (monotone).
+  uint64_t total_recorded() const { return next_seq_ - 1; }
+
+  // ---- Observers (trigger hook) ----
+  // The paper (section 2): "In connection with trigger mechanism ... these
+  // informations can be used for building mechanisms for semi-automatical
+  // corrections of consistency violations." Observers fire synchronously on
+  // every Record(), i.e. on every propagated transmitter change. Callbacks
+  // must not mutate the store re-entrantly in ways that re-trigger
+  // themselves unboundedly; the registry performs no re-entrancy guarding.
+
+  using Observer = std::function<void(Surrogate inher_rel,
+                                      const ChangeRecord& record)>;
+  /// Registers an observer; returns a token for RemoveObserver.
+  uint64_t AddObserver(Observer observer);
+  void RemoveObserver(uint64_t token);
+  size_t observer_count() const { return observers_.size(); }
+
+ private:
+  std::map<uint64_t, std::vector<ChangeRecord>> pending_;
+  std::map<uint64_t, Observer> observers_;
+  uint64_t next_seq_ = 1;
+  uint64_t next_observer_ = 1;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_INHERIT_NOTIFICATION_H_

@@ -1,0 +1,170 @@
+#include "query/expansion.h"
+
+#include <algorithm>
+#include <set>
+
+namespace caddb {
+
+size_t ExpansionNode::TreeSize() const {
+  size_t n = 1;
+  for (const auto& [name, children] : subclasses) {
+    for (const ExpansionNode& c : children) n += c.TreeSize();
+  }
+  for (const auto& [name, children] : subrels) {
+    for (const ExpansionNode& c : children) n += c.TreeSize();
+  }
+  for (const ExpansionNode& c : component_expansion) n += c.TreeSize();
+  return n;
+}
+
+Result<ExpansionNode> Expander::Expand(Surrogate s,
+                                       const ExpandOptions& options) const {
+  std::vector<uint64_t> chain;
+  return ExpandImpl(s, options, 0, &chain);
+}
+
+Result<ExpansionNode> Expander::ExpandImpl(Surrogate s,
+                                           const ExpandOptions& options,
+                                           int depth,
+                                           std::vector<uint64_t>* chain) const {
+  const ObjectStore* store = manager_->store();
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store->Get(s));
+
+  ExpansionNode node;
+  node.surrogate = s;
+  node.type_name = obj->type_name();
+
+  if (options.materialize_attributes) {
+    CADDB_ASSIGN_OR_RETURN(node.attributes, manager_->Snapshot(s));
+  }
+
+  bool descend = options.max_depth < 0 || depth < options.max_depth;
+  if (descend) {
+    for (const auto& [name, members] : obj->subclasses()) {
+      std::vector<ExpansionNode> children;
+      children.reserve(members.size());
+      for (Surrogate m : members) {
+        CADDB_ASSIGN_OR_RETURN(ExpansionNode child,
+                               ExpandImpl(m, options, depth + 1, chain));
+        children.push_back(std::move(child));
+      }
+      node.subclasses.emplace_back(name, std::move(children));
+    }
+    for (const auto& [name, members] : obj->subrels()) {
+      std::vector<ExpansionNode> children;
+      children.reserve(members.size());
+      for (Surrogate m : members) {
+        CADDB_ASSIGN_OR_RETURN(ExpansionNode child,
+                               ExpandImpl(m, options, depth + 1, chain));
+        children.push_back(std::move(child));
+      }
+      node.subrels.emplace_back(name, std::move(children));
+    }
+  }
+
+  if (obj->bound_inher_rel().valid()) {
+    CADDB_ASSIGN_OR_RETURN(const DbObject* rel,
+                           store->Get(obj->bound_inher_rel()));
+    node.component = rel->Participant("transmitter");
+    if (options.follow_components && descend) {
+      // Bindings are acyclic (enforced at bind time), but stay defensive:
+      // never re-enter a component already on the current expansion chain.
+      if (std::find(chain->begin(), chain->end(), node.component.id) ==
+          chain->end()) {
+        chain->push_back(node.component.id);
+        CADDB_ASSIGN_OR_RETURN(
+            ExpansionNode comp,
+            ExpandImpl(node.component, options, depth + 1, chain));
+        chain->pop_back();
+        node.component_expansion.push_back(std::move(comp));
+      }
+    }
+  }
+  return node;
+}
+
+std::string Expander::Render(const ExpansionNode& node, int indent) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + node.type_name + " @" +
+                    std::to_string(node.surrogate.id);
+  if (node.component.valid()) {
+    out += " -> component @" + std::to_string(node.component.id);
+  }
+  out += "\n";
+  for (const auto& [name, value] : node.attributes) {
+    if (value.is_null()) continue;
+    out += pad + "  ." + name + " = " + value.ToString() + "\n";
+  }
+  for (const auto& [name, children] : node.subclasses) {
+    if (children.empty()) continue;
+    out += pad + "  [" + name + "]\n";
+    for (const ExpansionNode& c : children) out += Render(c, indent + 2);
+  }
+  for (const auto& [name, children] : node.subrels) {
+    if (children.empty()) continue;
+    out += pad + "  <" + name + ">\n";
+    for (const ExpansionNode& c : children) out += Render(c, indent + 2);
+  }
+  if (!node.component_expansion.empty()) {
+    out += pad + "  (component expansion)\n";
+    for (const ExpansionNode& c : node.component_expansion) {
+      out += Render(c, indent + 2);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void RenderDotNode(const ExpansionNode& node, std::set<uint64_t>* declared,
+                   std::string* out) {
+  if (declared->insert(node.surrogate.id).second) {
+    *out += "  n" + std::to_string(node.surrogate.id) + " [label=\"" +
+            node.type_name + "\\n@" + std::to_string(node.surrogate.id) +
+            "\"];\n";
+  }
+  auto edge = [&](const ExpansionNode& child, const char* style,
+                  const std::string& label) {
+    RenderDotNode(child, declared, out);
+    *out += "  n" + std::to_string(node.surrogate.id) + " -> n" +
+            std::to_string(child.surrogate.id) + " [style=" + style;
+    if (!label.empty()) *out += ", label=\"" + label + "\"";
+    *out += "];\n";
+  };
+  for (const auto& [name, children] : node.subclasses) {
+    for (const ExpansionNode& child : children) edge(child, "solid", name);
+  }
+  for (const auto& [name, children] : node.subrels) {
+    for (const ExpansionNode& child : children) edge(child, "solid", name);
+  }
+  for (const ExpansionNode& child : node.component_expansion) {
+    edge(child, "dashed", "component");
+  }
+}
+
+}  // namespace
+
+std::string Expander::RenderDot(const ExpansionNode& node) {
+  std::string out = "digraph caddb_expansion {\n  rankdir=TB;\n  node "
+                    "[shape=box, fontsize=10];\n";
+  std::set<uint64_t> declared;
+  RenderDotNode(node, &declared, &out);
+  out += "}\n";
+  return out;
+}
+
+void Expander::CollectSurrogates(const ExpansionNode& node,
+                                 std::vector<Surrogate>* out) {
+  out->push_back(node.surrogate);
+  for (const auto& [name, children] : node.subclasses) {
+    for (const ExpansionNode& c : children) CollectSurrogates(c, out);
+  }
+  for (const auto& [name, children] : node.subrels) {
+    for (const ExpansionNode& c : children) CollectSurrogates(c, out);
+  }
+  for (const ExpansionNode& c : node.component_expansion) {
+    CollectSurrogates(c, out);
+  }
+}
+
+}  // namespace caddb

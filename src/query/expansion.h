@@ -1,0 +1,82 @@
+#ifndef CADDB_QUERY_EXPANSION_H_
+#define CADDB_QUERY_EXPANSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "inherit/inheritance.h"
+#include "util/result.h"
+#include "values/value.h"
+
+namespace caddb {
+
+/// One node of a materialized composite-object expansion (paper section 6:
+/// "sometimes it is necessary to see a composite object with some or all of
+/// its components materialized ('expansion' of a composite object)").
+struct ExpansionNode {
+  Surrogate surrogate;
+  std::string type_name;
+  /// Effective attributes at expansion time (inherited values materialized).
+  std::map<std::string, Value> attributes;
+  /// Subobjects per subclass, expanded recursively.
+  std::vector<std::pair<std::string, std::vector<ExpansionNode>>> subclasses;
+  /// Subrel members, expanded recursively (participants listed as attrs).
+  std::vector<std::pair<std::string, std::vector<ExpansionNode>>> subrels;
+  /// When this node is bound to a transmitter and components are followed:
+  /// the component's expansion (0 or 1 entries).
+  Surrogate component;  // Invalid when unbound
+  std::vector<ExpansionNode> component_expansion;
+
+  /// Total node count including this one.
+  size_t TreeSize() const;
+};
+
+/// Options controlling how deep and wide an expansion materializes.
+struct ExpandOptions {
+  /// Containment recursion limit; negative = unlimited.
+  int max_depth = -1;
+  /// Follow inheritance bindings into components ("expand").
+  bool follow_components = true;
+  /// Materialize attribute values (false = structure only).
+  bool materialize_attributes = true;
+};
+
+/// Materializes composite-object expansions.
+class Expander {
+ public:
+  /// `manager` is not owned and must outlive the expander.
+  explicit Expander(const InheritanceManager* manager) : manager_(manager) {}
+
+  Expander(const Expander&) = delete;
+  Expander& operator=(const Expander&) = delete;
+
+  Result<ExpansionNode> Expand(Surrogate s, const ExpandOptions& options) const;
+  Result<ExpansionNode> Expand(Surrogate s) const {
+    return Expand(s, ExpandOptions{});
+  }
+
+  /// Indented tree rendering for examples and debugging.
+  static std::string Render(const ExpansionNode& node, int indent = 0);
+
+  /// Graphviz rendering: containment as solid edges, component bindings as
+  /// dashed edges. Pipe into `dot -Tsvg` to visualize a design.
+  static std::string RenderDot(const ExpansionNode& node);
+
+  /// Every surrogate appearing in the expansion (used by expansion locking).
+  static void CollectSurrogates(const ExpansionNode& node,
+                                std::vector<Surrogate>* out);
+
+ private:
+  Result<ExpansionNode> ExpandImpl(Surrogate s, const ExpandOptions& options,
+                                   int depth,
+                                   std::vector<uint64_t>* chain) const;
+
+  const InheritanceManager* manager_;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_QUERY_EXPANSION_H_

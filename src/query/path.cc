@@ -1,0 +1,45 @@
+#include "query/path.h"
+
+#include "constraints/checker.h"
+#include "expr/ast.h"
+#include "expr/eval.h"
+#include "util/string_util.h"
+
+namespace caddb {
+
+Result<AttributePath> AttributePath::Parse(const std::string& text) {
+  if (text.empty()) return InvalidArgument("empty attribute path");
+  AttributePath path;
+  path.segments = Split(text, '.');
+  for (const std::string& seg : path.segments) {
+    if (seg.empty()) {
+      return InvalidArgument("attribute path '" + text +
+                             "' has an empty segment");
+    }
+  }
+  return path;
+}
+
+std::string AttributePath::ToString() const { return Join(segments, "."); }
+
+Result<std::vector<Value>> EvaluatePath(const InheritanceManager& manager,
+                                        Surrogate anchor,
+                                        const AttributePath& path) {
+  ObjectEvalContext ctx(&manager, anchor);
+  expr::Evaluator ev(&ctx);
+  return ev.EvalCollection(*expr::Expr::Path(path.segments));
+}
+
+Result<Value> EvaluatePathScalar(const InheritanceManager& manager,
+                                 Surrogate anchor, const AttributePath& path) {
+  CADDB_ASSIGN_OR_RETURN(std::vector<Value> values,
+                         EvaluatePath(manager, anchor, path));
+  if (values.size() != 1) {
+    return InvalidArgument("path '" + path.ToString() + "' yields " +
+                           std::to_string(values.size()) +
+                           " values, expected exactly one");
+  }
+  return values[0];
+}
+
+}  // namespace caddb

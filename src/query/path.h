@@ -1,0 +1,35 @@
+#ifndef CADDB_QUERY_PATH_H_
+#define CADDB_QUERY_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "inherit/inheritance.h"
+#include "util/result.h"
+#include "values/value.h"
+
+namespace caddb {
+
+/// A dotted attribute path such as "SubGates.Pins.PinLocation".
+struct AttributePath {
+  std::vector<std::string> segments;
+
+  /// Parses "A.B.C"; rejects empty paths/segments.
+  static Result<AttributePath> Parse(const std::string& text);
+  std::string ToString() const;
+};
+
+/// Evaluates `path` anchored at `anchor`, resolving inherited data, fanning
+/// out over subclasses and collection values, and flattening the result.
+/// A scalar endpoint yields one element; collection endpoints yield many.
+Result<std::vector<Value>> EvaluatePath(const InheritanceManager& manager,
+                                        Surrogate anchor,
+                                        const AttributePath& path);
+
+/// Scalar convenience: path must yield exactly one value.
+Result<Value> EvaluatePathScalar(const InheritanceManager& manager,
+                                 Surrogate anchor, const AttributePath& path);
+
+}  // namespace caddb
+
+#endif  // CADDB_QUERY_PATH_H_

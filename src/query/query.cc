@@ -1,0 +1,128 @@
+#include "query/query.h"
+
+#include <deque>
+#include <set>
+
+#include "constraints/checker.h"
+#include "expr/eval.h"
+
+namespace caddb {
+
+Result<std::vector<Surrogate>> QueryEngine::Filter(
+    const std::vector<Surrogate>& in, const expr::ExprPtr& predicate) const {
+  if (predicate == nullptr) return in;
+  std::vector<Surrogate> out;
+  for (Surrogate s : in) {
+    ObjectEvalContext ctx(manager_, s);
+    Result<bool> keep = expr::EvaluatePredicate(*predicate, &ctx);
+    if (!keep.ok()) return keep.status();
+    if (*keep) out.push_back(s);
+  }
+  return out;
+}
+
+Result<std::vector<Surrogate>> QueryEngine::SelectFromClass(
+    const std::string& class_name, const expr::ExprPtr& predicate) const {
+  CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> members,
+                         manager_->store()->ClassMembers(class_name));
+  return Filter(members, predicate);
+}
+
+Result<std::vector<Surrogate>> QueryEngine::SelectFromExtent(
+    const std::string& type_name, const expr::ExprPtr& predicate) const {
+  if (manager_->store()->catalog().FindObjectType(type_name) == nullptr &&
+      manager_->store()->catalog().FindRelType(type_name) == nullptr) {
+    return NotFound("type '" + type_name + "' is not registered");
+  }
+  return Filter(manager_->store()->Extent(type_name), predicate);
+}
+
+Result<std::vector<ComponentUse>> QueryEngine::ComponentsOf(
+    Surrogate root) const {
+  const ObjectStore* store = manager_->store();
+  std::vector<ComponentUse> out;
+  std::deque<Surrogate> worklist{root};
+  std::set<uint64_t> seen;
+  while (!worklist.empty()) {
+    Surrogate s = worklist.front();
+    worklist.pop_front();
+    if (!seen.insert(s.id).second) continue;
+    CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store->Get(s));
+    if (s != root && obj->bound_inher_rel().valid()) {
+      CADDB_ASSIGN_OR_RETURN(const DbObject* rel,
+                             store->Get(obj->bound_inher_rel()));
+      out.push_back(ComponentUse{s, obj->bound_inher_rel(),
+                                 rel->Participant("transmitter")});
+    }
+    for (const auto& [name, members] : obj->subclasses()) {
+      for (Surrogate m : members) worklist.push_back(m);
+    }
+    // Relationship subclasses can embed component subobjects too
+    // (ScrewingType's Bolt/Nut), so descend through subrels as well.
+    for (const auto& [name, members] : obj->subrels()) {
+      for (Surrogate m : members) worklist.push_back(m);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Surrogate>> QueryEngine::TransitiveComponents(
+    Surrogate root) const {
+  std::vector<Surrogate> out;
+  std::deque<Surrogate> worklist{root};
+  std::set<uint64_t> seen{root.id};
+  while (!worklist.empty()) {
+    Surrogate s = worklist.front();
+    worklist.pop_front();
+    CADDB_ASSIGN_OR_RETURN(std::vector<ComponentUse> uses, ComponentsOf(s));
+    for (const ComponentUse& use : uses) {
+      if (seen.insert(use.component.id).second) {
+        out.push_back(use.component);
+        worklist.push_back(use.component);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Surrogate> QueryEngine::RootOf(Surrogate s) const {
+  const ObjectStore* store = manager_->store();
+  Surrogate current = s;
+  while (true) {
+    CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store->Get(current));
+    if (!obj->IsSubobject()) return current;
+    current = obj->parent();
+  }
+}
+
+Result<std::vector<Surrogate>> QueryEngine::WhereUsed(
+    Surrogate component) const {
+  std::vector<Surrogate> out;
+  std::set<uint64_t> seen;
+  for (Surrogate inheritor : manager_->InheritorsOf(component)) {
+    CADDB_ASSIGN_OR_RETURN(Surrogate root, RootOf(inheritor));
+    if (seen.insert(root.id).second) out.push_back(root);
+  }
+  return out;
+}
+
+Result<std::vector<Surrogate>> QueryEngine::TransitiveWhereUsed(
+    Surrogate component) const {
+  std::vector<Surrogate> out;
+  std::deque<Surrogate> worklist{component};
+  std::set<uint64_t> seen{component.id};
+  while (!worklist.empty()) {
+    Surrogate s = worklist.front();
+    worklist.pop_front();
+    CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> users, WhereUsed(s));
+    for (Surrogate user : users) {
+      if (seen.insert(user.id).second) {
+        out.push_back(user);
+        worklist.push_back(user);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace caddb

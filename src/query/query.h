@@ -1,0 +1,73 @@
+#ifndef CADDB_QUERY_QUERY_H_
+#define CADDB_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "inherit/inheritance.h"
+#include "util/result.h"
+#include "values/value.h"
+
+namespace caddb {
+
+/// A composite object's direct component usage: the inheritor subobject
+/// inside the composite, the inheritance relationship, and the component
+/// (transmitter) it imports data from (paper Figure 3).
+struct ComponentUse {
+  Surrogate subobject;
+  Surrogate inher_rel;
+  Surrogate component;
+};
+
+/// Navigation and configuration queries over the store: class scans with
+/// predicates, components-of / where-used (configuration control, paper
+/// section 2 aspect 1), and transitive closures over the composition graph.
+class QueryEngine {
+ public:
+  /// `manager` is not owned and must outlive the engine.
+  explicit QueryEngine(const InheritanceManager* manager)
+      : manager_(manager) {}
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Members of `class_name` whose anchored `predicate` holds
+  /// (null predicate = all members).
+  Result<std::vector<Surrogate>> SelectFromClass(
+      const std::string& class_name, const expr::ExprPtr& predicate) const;
+
+  /// All instances of `type_name` (incl. subobjects) satisfying `predicate`.
+  Result<std::vector<Surrogate>> SelectFromExtent(
+      const std::string& type_name, const expr::ExprPtr& predicate) const;
+
+  /// Direct components of composite `s`: every subobject (recursively inside
+  /// `s`) bound to a transmitter.
+  Result<std::vector<ComponentUse>> ComponentsOf(Surrogate s) const;
+
+  /// Transitive component closure: components of `s`, their components
+  /// (components are themselves composite objects), etc. Cycle-safe.
+  Result<std::vector<Surrogate>> TransitiveComponents(Surrogate s) const;
+
+  /// Where-used: the composite objects using `component` (the root complex
+  /// objects owning an inheritor subobject bound to `component`). Inheritors
+  /// that are top-level objects (interface implementations) are reported as
+  /// themselves.
+  Result<std::vector<Surrogate>> WhereUsed(Surrogate component) const;
+
+  /// Transitive where-used closure.
+  Result<std::vector<Surrogate>> TransitiveWhereUsed(Surrogate component) const;
+
+  /// The root complex object transitively owning `s` (s itself if top-level).
+  Result<Surrogate> RootOf(Surrogate s) const;
+
+ private:
+  Result<std::vector<Surrogate>> Filter(const std::vector<Surrogate>& in,
+                                        const expr::ExprPtr& predicate) const;
+
+  const InheritanceManager* manager_;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_QUERY_QUERY_H_

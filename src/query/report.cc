@@ -1,0 +1,116 @@
+#include "query/report.h"
+
+#include <algorithm>
+
+#include "query/path.h"
+
+namespace caddb {
+
+namespace {
+
+bool NeedsCsvQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string CsvField(const std::string& field) {
+  if (!NeedsCsvQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string Table::ToString() const {
+  // Render all cells first to size the columns.
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  std::vector<size_t> widths;
+  for (const std::string& column : columns) widths.push_back(column.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> rendered;
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string text = row[c].ToString();
+      if (c < widths.size()) widths[c] = std::max(widths[c], text.size());
+      rendered.push_back(std::move(text));
+    }
+    cells.push_back(std::move(rendered));
+  }
+  std::string out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out += columns[c];
+    out += std::string(widths[c] - columns[c].size() + 2, ' ');
+  }
+  out += "\n";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out += std::string(widths[c], '-') + "  ";
+  }
+  out += "\n";
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c < widths.size()) {
+        out += std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += ",";
+    out += CsvField(columns[c]);
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ",";
+      // Strings render unquoted in CSV cells (the codec quotes internally).
+      std::string text = row[c].kind() == Value::Kind::kString
+                             ? row[c].AsString()
+                             : row[c].ToString();
+      out += CsvField(text);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Table> Project(const InheritanceManager& manager,
+                      const std::vector<Surrogate>& objects,
+                      const std::vector<std::string>& paths) {
+  Table table;
+  table.columns.push_back("surrogate");
+  std::vector<AttributePath> parsed;
+  for (const std::string& path : paths) {
+    CADDB_ASSIGN_OR_RETURN(AttributePath p, AttributePath::Parse(path));
+    parsed.push_back(std::move(p));
+    table.columns.push_back(path);
+  }
+  for (Surrogate s : objects) {
+    std::vector<Value> row;
+    row.push_back(Value::Ref(s));
+    for (const AttributePath& path : parsed) {
+      CADDB_ASSIGN_OR_RETURN(std::vector<Value> values,
+                             EvaluatePath(manager, s, path));
+      if (values.empty()) {
+        row.push_back(Value::Null());
+      } else if (values.size() == 1) {
+        row.push_back(std::move(values[0]));
+      } else {
+        row.push_back(Value::Set(std::move(values)));
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace caddb

@@ -1,0 +1,35 @@
+#ifndef CADDB_QUERY_REPORT_H_
+#define CADDB_QUERY_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "inherit/inheritance.h"
+#include "util/result.h"
+#include "values/value.h"
+
+namespace caddb {
+
+/// A rectangular query result: one row per input object, one column per
+/// projected attribute path. Multi-valued paths render as set values.
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Fixed-width plain-text rendering with a header line.
+  std::string ToString() const;
+  /// RFC-4180-ish CSV (fields quoted when needed).
+  std::string ToCsv() const;
+};
+
+/// Projects `paths` (dotted attribute paths, inherited data resolved,
+/// fan-out collapsed into set values) over `objects`. The first column is
+/// always the surrogate. Path errors fail the projection; unset attributes
+/// yield null cells.
+Result<Table> Project(const InheritanceManager& manager,
+                      const std::vector<Surrogate>& objects,
+                      const std::vector<std::string>& paths);
+
+}  // namespace caddb
+
+#endif  // CADDB_QUERY_REPORT_H_

@@ -1,0 +1,491 @@
+#include "shell/shell.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/stats.h"
+#include "ddl/printer.h"
+#include "persist/dump.h"
+#include "persist/value_codec.h"
+#include "query/report.h"
+#include "util/string_util.h"
+
+namespace caddb {
+namespace shell {
+
+namespace {
+
+/// Splits a command line into whitespace-separated tokens, keeping quoted
+/// spans (for s:"..." values) intact.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"' && (i == 0 || line[i - 1] != '\\')) {
+      in_quotes = !in_quotes;
+      current.push_back(c);
+    } else if (!in_quotes && std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        out.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+Result<Surrogate> ParseRef(const std::string& token) {
+  if (token.size() < 2 || token[0] != '@') {
+    return InvalidArgument("expected @<surrogate>, got '" + token + "'");
+  }
+  try {
+    return Surrogate(std::stoull(token.substr(1)));
+  } catch (...) {
+    return InvalidArgument("bad surrogate '" + token + "'");
+  }
+}
+
+/// `role=@1,@2` participant syntax.
+Result<std::pair<std::string, std::vector<Surrogate>>> ParseRole(
+    const std::string& token) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return InvalidArgument("expected <role>=@id[,@id...], got '" + token +
+                           "'");
+  }
+  std::string role = token.substr(0, eq);
+  std::vector<Surrogate> members;
+  for (const std::string& part : Split(token.substr(eq + 1), ',')) {
+    CADDB_ASSIGN_OR_RETURN(Surrogate s, ParseRef(part));
+    members.push_back(s);
+  }
+  return std::make_pair(std::move(role), std::move(members));
+}
+
+std::string JoinFrom(const std::vector<std::string>& tokens, size_t start) {
+  std::vector<std::string> rest(tokens.begin() + static_cast<long>(start),
+                                tokens.end());
+  return Join(rest, " ");
+}
+
+}  // namespace
+
+bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
+  if (in_schema_block_) {
+    if (line == ">>>") {
+      in_schema_block_ = false;
+      Status s = db_->ExecuteDdl(schema_buffer_);
+      schema_buffer_.clear();
+      if (!s.ok()) {
+        ++error_count_;
+        out << "error: " << s.ToString() << "\n";
+      } else {
+        out << "ok\n";
+      }
+    } else {
+      schema_buffer_ += line + "\n";
+    }
+    return true;
+  }
+
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0][0] == '#') return true;
+  const std::string& cmd = tokens[0];
+
+  auto fail = [&](const Status& s) {
+    ++error_count_;
+    out << "error: " << s.ToString() << "\n";
+  };
+  auto need = [&](size_t n) {
+    if (tokens.size() < n + 1) {
+      fail(InvalidArgument("command '" + cmd + "' needs " +
+                           std::to_string(n) + " argument(s)"));
+      return false;
+    }
+    return true;
+  };
+
+  if (cmd == "quit" || cmd == "exit") return false;
+
+  if (cmd == "echo") {
+    out << JoinFrom(tokens, 1) << "\n";
+    return true;
+  }
+  if (cmd == "schema") {
+    if (tokens.size() >= 2 && tokens[1] == "<<<") {
+      in_schema_block_ = true;
+      return true;
+    }
+    fail(InvalidArgument("use: schema <<<  ...ddl...  >>>"));
+    return true;
+  }
+  if (cmd == "schema-file") {
+    if (!need(1)) return true;
+    std::ifstream file(tokens[1]);
+    if (!file) {
+      fail(NotFound("cannot open '" + tokens[1] + "'"));
+      return true;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    Status s = db_->ExecuteDdl(buffer.str());
+    s.ok() ? void(out << "ok\n") : fail(s);
+    return true;
+  }
+  if (cmd == "print-schema") {
+    out << ddl::SchemaPrinter::Print(db_->catalog());
+    return true;
+  }
+  if (cmd == "class") {
+    if (!need(2)) return true;
+    Status s = db_->CreateClass(tokens[1], tokens[2]);
+    s.ok() ? void(out << "ok\n") : fail(s);
+    return true;
+  }
+  if (cmd == "create") {
+    if (!need(1)) return true;
+    Result<Surrogate> s =
+        db_->CreateObject(tokens[1], tokens.size() > 2 ? tokens[2] : "");
+    s.ok() ? void(out << "@" << s->id << "\n") : fail(s.status());
+    return true;
+  }
+  if (cmd == "sub") {
+    if (!need(2)) return true;
+    Result<Surrogate> parent = ParseRef(tokens[1]);
+    if (!parent.ok()) {
+      fail(parent.status());
+      return true;
+    }
+    Result<Surrogate> s = db_->CreateSubobject(*parent, tokens[2]);
+    s.ok() ? void(out << "@" << s->id << "\n") : fail(s.status());
+    return true;
+  }
+  if (cmd == "rel" || cmd == "subrel") {
+    size_t first_role;
+    std::string rel_type;
+    Surrogate owner;
+    std::string subrel_name;
+    if (cmd == "rel") {
+      if (!need(2)) return true;
+      rel_type = tokens[1];
+      first_role = 2;
+    } else {
+      if (!need(3)) return true;
+      Result<Surrogate> o = ParseRef(tokens[1]);
+      if (!o.ok()) {
+        fail(o.status());
+        return true;
+      }
+      owner = *o;
+      subrel_name = tokens[2];
+      first_role = 3;
+    }
+    std::map<std::string, std::vector<Surrogate>> participants;
+    for (size_t i = first_role; i < tokens.size(); ++i) {
+      auto role = ParseRole(tokens[i]);
+      if (!role.ok()) {
+        fail(role.status());
+        return true;
+      }
+      participants[role->first] = role->second;
+    }
+    Result<Surrogate> s =
+        cmd == "rel" ? db_->CreateRelationship(rel_type, participants)
+                     : db_->CreateSubrel(owner, subrel_name, participants);
+    s.ok() ? void(out << "@" << s->id << "\n") : fail(s.status());
+    return true;
+  }
+  if (cmd == "bind") {
+    if (!need(3)) return true;
+    Result<Surrogate> inheritor = ParseRef(tokens[1]);
+    Result<Surrogate> transmitter = ParseRef(tokens[2]);
+    if (!inheritor.ok() || !transmitter.ok()) {
+      fail(inheritor.ok() ? transmitter.status() : inheritor.status());
+      return true;
+    }
+    Result<Surrogate> s = db_->Bind(*inheritor, *transmitter, tokens[3]);
+    s.ok() ? void(out << "@" << s->id << "\n") : fail(s.status());
+    return true;
+  }
+  if (cmd == "unbind") {
+    if (!need(1)) return true;
+    Result<Surrogate> inheritor = ParseRef(tokens[1]);
+    if (!inheritor.ok()) {
+      fail(inheritor.status());
+      return true;
+    }
+    Status s = db_->Unbind(*inheritor);
+    s.ok() ? void(out << "ok\n") : fail(s);
+    return true;
+  }
+  if (cmd == "set") {
+    if (!need(3)) return true;
+    Result<Surrogate> target = ParseRef(tokens[1]);
+    if (!target.ok()) {
+      fail(target.status());
+      return true;
+    }
+    Result<Value> v = persist::DecodeValue(JoinFrom(tokens, 3));
+    if (!v.ok()) {
+      fail(v.status());
+      return true;
+    }
+    Status s = db_->Set(*target, tokens[2], std::move(*v));
+    s.ok() ? void(out << "ok\n") : fail(s);
+    return true;
+  }
+  if (cmd == "get") {
+    if (!need(2)) return true;
+    Result<Surrogate> target = ParseRef(tokens[1]);
+    if (!target.ok()) {
+      fail(target.status());
+      return true;
+    }
+    Result<Value> v = db_->Get(*target, tokens[2]);
+    v.ok() ? void(out << v->ToString() << "\n") : fail(v.status());
+    return true;
+  }
+  if (cmd == "members") {
+    if (!need(2)) return true;
+    Result<Surrogate> target = ParseRef(tokens[1]);
+    if (!target.ok()) {
+      fail(target.status());
+      return true;
+    }
+    Result<std::vector<Surrogate>> members =
+        db_->Subclass(*target, tokens[2]);
+    if (!members.ok()) {
+      fail(members.status());
+      return true;
+    }
+    for (Surrogate m : *members) out << "@" << m.id << " ";
+    out << "(" << members->size() << ")\n";
+    return true;
+  }
+  if (cmd == "delete") {
+    if (!need(1)) return true;
+    Result<Surrogate> target = ParseRef(tokens[1]);
+    if (!target.ok()) {
+      fail(target.status());
+      return true;
+    }
+    auto policy = tokens.size() > 2 && tokens[2] == "detach"
+                      ? ObjectStore::DeletePolicy::kDetachInheritors
+                      : ObjectStore::DeletePolicy::kRestrict;
+    Status s = db_->Delete(*target, policy);
+    s.ok() ? void(out << "ok\n") : fail(s);
+    return true;
+  }
+  if (cmd == "check" || cmd == "check-deep") {
+    if (!need(1)) return true;
+    Result<Surrogate> target = ParseRef(tokens[1]);
+    if (!target.ok()) {
+      fail(target.status());
+      return true;
+    }
+    Status s = cmd == "check" ? db_->constraints().CheckObject(*target)
+                              : db_->constraints().CheckDeep(*target);
+    s.ok() ? void(out << "ok\n") : fail(s);
+    return true;
+  }
+  if (cmd == "check-all") {
+    Status s = db_->constraints().CheckAll();
+    s.ok() ? void(out << "ok\n") : fail(s);
+    return true;
+  }
+  if (cmd == "violations") {
+    auto violations = db_->constraints().FindAllViolations();
+    if (!violations.ok()) {
+      fail(violations.status());
+      return true;
+    }
+    for (const auto& v : *violations) {
+      out << "@" << v.object.id << ": " << v.detail << "\n";
+    }
+    out << "(" << violations->size() << " violations)\n";
+    return true;
+  }
+  if (cmd == "holds") {
+    if (!need(2)) return true;
+    Result<Surrogate> target = ParseRef(tokens[1]);
+    if (!target.ok()) {
+      fail(target.status());
+      return true;
+    }
+    Result<bool> holds = db_->Holds(*target, JoinFrom(tokens, 2));
+    holds.ok() ? void(out << (*holds ? "true" : "false") << "\n")
+               : fail(holds.status());
+    return true;
+  }
+  if (cmd == "expand" || cmd == "expand-dot") {
+    if (!need(1)) return true;
+    Result<Surrogate> target = ParseRef(tokens[1]);
+    if (!target.ok()) {
+      fail(target.status());
+      return true;
+    }
+    ExpandOptions options;
+    if (tokens.size() > 2) {
+      try {
+        options.max_depth = std::stoi(tokens[2]);
+      } catch (...) {
+        fail(InvalidArgument("bad depth '" + tokens[2] + "'"));
+        return true;
+      }
+    }
+    Result<ExpansionNode> tree = db_->expander().Expand(*target, options);
+    if (!tree.ok()) {
+      fail(tree.status());
+      return true;
+    }
+    out << (cmd == "expand" ? Expander::Render(*tree)
+                            : Expander::RenderDot(*tree));
+    return true;
+  }
+  if (cmd == "components" || cmd == "where-used") {
+    if (!need(1)) return true;
+    Result<Surrogate> target = ParseRef(tokens[1]);
+    if (!target.ok()) {
+      fail(target.status());
+      return true;
+    }
+    if (cmd == "components") {
+      auto uses = db_->query().ComponentsOf(*target);
+      if (!uses.ok()) {
+        fail(uses.status());
+        return true;
+      }
+      for (const ComponentUse& use : *uses) {
+        out << "@" << use.subobject.id << " -> @" << use.component.id
+            << " (via @" << use.inher_rel.id << ")\n";
+      }
+      out << "(" << uses->size() << " components)\n";
+    } else {
+      auto users = db_->query().WhereUsed(*target);
+      if (!users.ok()) {
+        fail(users.status());
+        return true;
+      }
+      for (Surrogate user : *users) out << "@" << user.id << " ";
+      out << "(" << users->size() << " users)\n";
+    }
+    return true;
+  }
+  if (cmd == "pending" || cmd == "ack") {
+    if (!need(1)) return true;
+    Result<Surrogate> target = ParseRef(tokens[1]);
+    if (!target.ok()) {
+      fail(target.status());
+      return true;
+    }
+    Result<Surrogate> binding = db_->inheritance().BindingOf(*target);
+    if (!binding.ok() || !binding->valid()) {
+      fail(FailedPrecondition("@" + std::to_string(target->id) +
+                              " is not bound"));
+      return true;
+    }
+    if (cmd == "ack") {
+      db_->notifications().Acknowledge(*binding);
+      out << "ok\n";
+    } else {
+      out << db_->notifications().AsValue(*binding).ToString() << "\n";
+    }
+    return true;
+  }
+  if (cmd == "select") {
+    // select <class-or-type> [<path>...] [where <expr...>]
+    if (!need(1)) return true;
+    std::vector<std::string> paths;
+    std::string predicate_text;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      if (tokens[i] == "where") {
+        predicate_text = JoinFrom(tokens, i + 1);
+        break;
+      }
+      paths.push_back(tokens[i]);
+    }
+    expr::ExprPtr predicate;
+    if (!predicate_text.empty()) {
+      Result<expr::ExprPtr> parsed =
+          ddl::Parser::ParseConstraintExpression(predicate_text);
+      if (!parsed.ok()) {
+        fail(parsed.status());
+        return true;
+      }
+      predicate = *parsed;
+    }
+    // Classes take precedence over type extents.
+    Result<std::vector<Surrogate>> hits =
+        db_->query().SelectFromClass(tokens[1], predicate);
+    if (!hits.ok() && hits.status().code() == Code::kNotFound) {
+      hits = db_->query().SelectFromExtent(tokens[1], predicate);
+    }
+    if (!hits.ok()) {
+      fail(hits.status());
+      return true;
+    }
+    Result<Table> table = Project(db_->inheritance(), *hits, paths);
+    if (!table.ok()) {
+      fail(table.status());
+      return true;
+    }
+    out << table->ToString();
+    out << "(" << table->rows.size() << " rows)\n";
+    return true;
+  }
+  if (cmd == "stats") {
+    out << DatabaseStats::Collect(*db_).ToString();
+    return true;
+  }
+  if (cmd == "dump" || cmd == "load") {
+    if (!need(1)) return true;
+    if (cmd == "dump") {
+      Result<std::string> dump = persist::Dumper::Dump(*db_);
+      if (!dump.ok()) {
+        fail(dump.status());
+        return true;
+      }
+      std::ofstream file(tokens[1]);
+      if (!file) {
+        fail(InvalidArgument("cannot write '" + tokens[1] + "'"));
+        return true;
+      }
+      file << *dump;
+      out << "ok (" << dump->size() << " bytes)\n";
+    } else {
+      std::ifstream file(tokens[1]);
+      if (!file) {
+        fail(NotFound("cannot open '" + tokens[1] + "'"));
+        return true;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      Status s = persist::Dumper::Load(buffer.str(), db_);
+      s.ok() ? void(out << "ok\n") : fail(s);
+    }
+    return true;
+  }
+
+  fail(InvalidArgument("unknown command '" + cmd + "' (see shell.h)"));
+  return true;
+}
+
+void Shell::Run(std::istream& in, std::ostream& out, bool prompt) {
+  std::string line;
+  while (true) {
+    if (prompt && !in_schema_block_) out << "caddb> ";
+    if (prompt && in_schema_block_) out << "  ... ";
+    if (!std::getline(in, line)) break;
+    if (!ExecuteLine(line, out)) break;
+  }
+}
+
+}  // namespace shell
+}  // namespace caddb

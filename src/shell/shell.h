@@ -1,0 +1,77 @@
+#ifndef CADDB_SHELL_SHELL_H_
+#define CADDB_SHELL_SHELL_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace caddb {
+namespace shell {
+
+/// Line-command interpreter over a Database — the scripting surface behind
+/// examples/caddb_shell and a convenient integration-test driver. One
+/// command per line; `#` starts a comment. Values use the persist codec
+/// notation (i:42, e:NAND, s:"text", R{X=i:1;Y=i:2}, ...), objects are
+/// addressed as @<surrogate>.
+///
+/// Commands:
+///   schema <<<            ... multi-line DDL until a line '>>>'
+///   schema-file <path>    load DDL from a file
+///   print-schema          regenerate the DDL for the whole catalog
+///   class <name> <type>   create a class
+///   create <type> [<class>]            -> prints @id
+///   sub @<parent> <subclass>           -> prints @id
+///   rel <rel-type> <role>=@id[,@id...] ...   -> prints @id
+///   subrel @<owner> <subrel> <role>=@id[,...] ...  -> prints @id
+///   bind @<inheritor> @<transmitter> <inher-rel-type>
+///   unbind @<inheritor>
+///   set @<id> <attr> <value>
+///   get @<id> <attr>
+///   members @<id> <subclass>
+///   delete @<id> [detach]
+///   check @<id> | check-deep @<id> | check-all | violations
+///   holds @<id> <expression...>
+///   expand @<id> [depth]  |  expand-dot @<id> [depth]   (graphviz)
+///   components @<id> | where-used @<id>
+///   pending @<id>         change log of an inheritor's binding
+///   ack @<id>             acknowledge it
+///   select <class-or-type> [<path>...] [where <expr...>]
+///   stats
+///   dump <path> | load <path>
+///   echo <text...>
+///   quit
+class Shell {
+ public:
+  /// `db` is not owned and must outlive the shell.
+  explicit Shell(Database* db) : db_(db) {}
+
+  Shell(const Shell&) = delete;
+  Shell& operator=(const Shell&) = delete;
+
+  /// Executes one command line; output (including error reports) goes to
+  /// `out`. Returns false when the command asked to quit. Errors are
+  /// reported inline, never thrown or returned: the shell always continues.
+  bool ExecuteLine(const std::string& line, std::ostream& out);
+
+  /// Reads and executes commands from `in` until EOF or `quit`. When
+  /// `prompt` is set, writes "caddb> " before each line.
+  void Run(std::istream& in, std::ostream& out, bool prompt = false);
+
+  /// Number of commands that reported an error so far (for scripts/tests).
+  size_t error_count() const { return error_count_; }
+
+ private:
+  /// Continuation state for the multi-line `schema <<<` form.
+  bool in_schema_block_ = false;
+  std::string schema_buffer_;
+
+  Database* db_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace shell
+}  // namespace caddb
+
+#endif  // CADDB_SHELL_SHELL_H_

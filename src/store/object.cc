@@ -1,0 +1,91 @@
+#include "store/object.h"
+
+#include <algorithm>
+
+namespace caddb {
+
+const char* ObjKindName(ObjKind kind) {
+  switch (kind) {
+    case ObjKind::kObject:
+      return "object";
+    case ObjKind::kRelationship:
+      return "relationship";
+    case ObjKind::kInherRel:
+      return "inheritance-relationship";
+  }
+  return "?";
+}
+
+Value DbObject::LocalAttribute(const std::string& name) const {
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? Value::Null() : it->second;
+}
+
+void DbObject::SetLocalAttribute(const std::string& name, Value v) {
+  attrs_[name] = std::move(v);
+}
+
+bool DbObject::HasLocalAttribute(const std::string& name) const {
+  return attrs_.count(name) > 0;
+}
+
+const std::vector<Surrogate>* DbObject::Subclass(
+    const std::string& name) const {
+  auto it = subclasses_.find(name);
+  return it == subclasses_.end() ? nullptr : &it->second;
+}
+
+const std::vector<Surrogate>* DbObject::Subrel(const std::string& name) const {
+  auto it = subrels_.find(name);
+  return it == subrels_.end() ? nullptr : &it->second;
+}
+
+void DbObject::AddToSubclass(const std::string& name, Surrogate member) {
+  subclasses_[name].push_back(member);
+}
+
+void DbObject::AddToSubrel(const std::string& name, Surrogate member) {
+  subrels_[name].push_back(member);
+}
+
+namespace {
+
+bool RemoveFrom(std::map<std::string, std::vector<Surrogate>>& m,
+                const std::string& name, Surrogate member) {
+  auto it = m.find(name);
+  if (it == m.end()) return false;
+  auto& v = it->second;
+  auto pos = std::find(v.begin(), v.end(), member);
+  if (pos == v.end()) return false;
+  v.erase(pos);
+  return true;
+}
+
+}  // namespace
+
+bool DbObject::RemoveFromSubclass(const std::string& name, Surrogate member) {
+  return RemoveFrom(subclasses_, name, member);
+}
+
+bool DbObject::RemoveFromSubrel(const std::string& name, Surrogate member) {
+  return RemoveFrom(subrels_, name, member);
+}
+
+const std::vector<Surrogate>* DbObject::Participants(
+    const std::string& role) const {
+  auto it = participants_.find(role);
+  return it == participants_.end() ? nullptr : &it->second;
+}
+
+Surrogate DbObject::Participant(const std::string& role) const {
+  const std::vector<Surrogate>* ps = Participants(role);
+  if (ps == nullptr || ps->empty()) return Surrogate::Invalid();
+  return (*ps)[0];
+}
+
+void DbObject::SetParticipants(const std::string& role,
+                               std::vector<Surrogate> ss) {
+  participants_[role] = std::move(ss);
+}
+
+}  // namespace caddb

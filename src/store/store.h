@@ -1,0 +1,149 @@
+#ifndef CADDB_STORE_STORE_H_
+#define CADDB_STORE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "store/object.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace caddb {
+
+/// In-memory object store: owns every object, relationship object and
+/// inheritance-relationship object; allocates surrogates; maintains classes,
+/// per-type extents and the where-used index; enforces schema/domain rules,
+/// the read-only nature of inherited data, and the subobject lifetime rule
+/// ("all subobjects depend on the complex object, they are deleted with the
+/// complex object", paper section 3).
+///
+/// Single-writer: the store is not internally synchronized. Concurrency is
+/// mediated above it by the transaction manager (locks) and workspaces.
+class ObjectStore {
+ public:
+  /// `catalog` must outlive the store.
+  explicit ObjectStore(const Catalog* catalog) : catalog_(catalog) {}
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  // ---- Classes ("sets of objects belonging to the same object type;
+  //      several classes may have objects of the same type") ----
+  Status CreateClass(const std::string& class_name,
+                     const std::string& object_type);
+  Result<std::vector<Surrogate>> ClassMembers(
+      const std::string& class_name) const;
+  Result<std::string> ClassType(const std::string& class_name) const;
+  std::vector<std::string> ClassNames() const;
+
+  // ---- Creation ----
+  /// Creates a top-level object of `type_name`, optionally into a class.
+  Result<Surrogate> CreateObject(const std::string& type_name,
+                                 const std::string& class_name = "");
+  /// Creates a subobject in `subclass_name` of `parent` (element type taken
+  /// from the owner's schema). Fails with kInheritedReadOnly when the
+  /// subclass is inherited — inherited subobjects are created in the
+  /// transmitter, never in the inheritor.
+  Result<Surrogate> CreateSubobject(Surrogate parent,
+                                    const std::string& subclass_name);
+  /// Creates a free-standing relationship object relating `participants`
+  /// (role -> members). Every declared role must be present; single-valued
+  /// roles take exactly one member.
+  Result<Surrogate> CreateRelationship(
+      const std::string& rel_type,
+      const std::map<std::string, std::vector<Surrogate>>& participants);
+  /// Creates a relationship object in local relationship subclass
+  /// `subrel_name` of `owner`. The subrel's where-clause is checked by the
+  /// constraint checker, not here.
+  Result<Surrogate> CreateSubrel(
+      Surrogate owner, const std::string& subrel_name,
+      const std::map<std::string, std::vector<Surrogate>>& participants);
+  /// Creates an inheritance-relationship object binding `inheritor` to
+  /// `transmitter`. Checks: type compatibility on both ends, the inheritor's
+  /// type declares `inheritor-in` this relationship type, the inheritor is
+  /// not yet bound, and the binding creates no object-level cycle.
+  Result<Surrogate> CreateInherRel(const std::string& inher_rel_type,
+                                   Surrogate transmitter, Surrogate inheritor);
+
+  // ---- Deletion ----
+  enum class DeletePolicy {
+    /// Refuse to delete a transmitter that still has bound inheritors
+    /// outside the deleted subtree.
+    kRestrict,
+    /// Unbind such inheritors (they keep only type-level inheritance).
+    kDetachInheritors,
+  };
+  /// Deletes `s`, cascading to all subobjects/subrels and to every
+  /// relationship object referencing anything deleted.
+  Status Delete(Surrogate s, DeletePolicy policy = DeletePolicy::kRestrict);
+  /// Removes an inheritance binding (the inheritor becomes unbound).
+  Status Unbind(Surrogate inheritor);
+
+  // ---- Lookup ----
+  Result<const DbObject*> Get(Surrogate s) const;
+  DbObject* GetMutable(Surrogate s);
+  bool Exists(Surrogate s) const { return objects_.count(s.id) > 0; }
+  size_t size() const { return objects_.size(); }
+
+  // ---- Attributes ----
+  /// Validates the name against the (effective) schema, rejects writes to
+  /// inherited attributes, validates `v` against the attribute domain
+  /// including referenced-object type restrictions, then stores locally.
+  Status SetAttribute(Surrogate s, const std::string& name, Value v);
+  /// Local value only (null when unset); use the inheritance manager for
+  /// inheritance-aware reads. NotFound when the schema has no such attribute.
+  Result<Value> GetLocalAttribute(Surrogate s, const std::string& name) const;
+
+  // ---- Extents & indexes ----
+  /// All live instances of a type (including subobjects).
+  std::vector<Surrogate> Extent(const std::string& type_name) const;
+  /// Relationship objects (incl. inher-rels) having `s` as a participant.
+  std::vector<Surrogate> ReferencingRelationships(Surrogate s) const;
+  /// Every live object in ascending surrogate order (creation order).
+  std::vector<Surrogate> AllObjects() const;
+  /// Inher-rel objects in which `s` is the transmitter.
+  std::vector<Surrogate> InherRelsOfTransmitter(Surrogate s) const;
+
+  /// Monotone counter bumped on every mutation; used as a cheap
+  /// whole-store invalidation stamp by resolution caches.
+  uint64_t global_version() const { return global_version_; }
+
+ private:
+  struct ClassInfo {
+    std::string object_type;
+    std::vector<Surrogate> members;
+  };
+
+  DbObject* Find(Surrogate s);
+  const DbObject* Find(Surrogate s) const;
+  Result<Surrogate> NewObjectInternal(const std::string& type_name,
+                                      ObjKind kind);
+  Status ValidateParticipants(
+      const RelTypeDef& def,
+      const std::map<std::string, std::vector<Surrogate>>& participants) const;
+  /// Checks kRef values (recursively) against the domain's object-type
+  /// restriction using the live objects' types.
+  Status ValidateRefTargets(const Value& v, const Domain& d) const;
+  /// Collects `s` plus all transitively contained subobjects/subrels plus
+  /// all relationship objects referencing anything collected.
+  void CollectCascade(Surrogate s, std::set<uint64_t>* out) const;
+  void Touch(DbObject* obj);
+
+  const Catalog* catalog_;
+  std::map<uint64_t, std::unique_ptr<DbObject>> objects_;
+  std::map<std::string, ClassInfo> classes_;
+  std::map<std::string, std::vector<Surrogate>> extents_;
+  std::map<uint64_t, std::set<uint64_t>> where_used_;  // target -> rel objects
+  uint64_t next_surrogate_ = 1;
+  uint64_t global_version_ = 0;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_STORE_STORE_H_

@@ -1,0 +1,76 @@
+#include "txn/access_control.h"
+
+namespace caddb {
+
+void AccessControl::GrantUserDefault(const std::string& user, Rights rights) {
+  user_defaults_[user] = rights;
+}
+
+void AccessControl::GrantOnType(const std::string& user,
+                                const std::string& type_name, Rights rights) {
+  type_grants_[user][type_name] = rights;
+}
+
+void AccessControl::GrantOnObject(const std::string& user, Surrogate object,
+                                  Rights rights) {
+  object_grants_[user][object.id] = rights;
+}
+
+void AccessControl::ProtectStandardObject(Surrogate object,
+                                          const std::string& owner) {
+  standard_objects_[object.id] = owner;
+}
+
+bool AccessControl::IsStandardObject(Surrogate object) const {
+  return standard_objects_.count(object.id) > 0;
+}
+
+Rights AccessControl::EffectiveRights(const std::string& user,
+                                      Surrogate object,
+                                      const ObjectStore& store) const {
+  Rights rights = global_default_;
+  auto user_it = user_defaults_.find(user);
+  if (user_it != user_defaults_.end()) rights = user_it->second;
+
+  auto type_user = type_grants_.find(user);
+  if (type_user != type_grants_.end()) {
+    Result<const DbObject*> obj = store.Get(object);
+    if (obj.ok()) {
+      auto type_it = type_user->second.find((*obj)->type_name());
+      if (type_it != type_user->second.end()) rights = type_it->second;
+    }
+  }
+
+  auto obj_user = object_grants_.find(user);
+  if (obj_user != object_grants_.end()) {
+    auto obj_it = obj_user->second.find(object.id);
+    if (obj_it != obj_user->second.end()) rights = obj_it->second;
+  }
+
+  // Standard-object protection caps everyone but the owner at read-only.
+  auto std_it = standard_objects_.find(object.id);
+  if (std_it != standard_objects_.end() && std_it->second != user) {
+    rights.update = false;
+  }
+  return rights;
+}
+
+Status AccessControl::CheckRead(const std::string& user, Surrogate object,
+                                const ObjectStore& store) const {
+  if (!EffectiveRights(user, object, store).read) {
+    return PermissionDenied("user '" + user + "' may not read @" +
+                            std::to_string(object.id));
+  }
+  return OkStatus();
+}
+
+Status AccessControl::CheckUpdate(const std::string& user, Surrogate object,
+                                  const ObjectStore& store) const {
+  if (!EffectiveRights(user, object, store).update) {
+    return PermissionDenied("user '" + user + "' may not update @" +
+                            std::to_string(object.id));
+  }
+  return OkStatus();
+}
+
+}  // namespace caddb

@@ -1,0 +1,72 @@
+#ifndef CADDB_TXN_ACCESS_CONTROL_H_
+#define CADDB_TXN_ACCESS_CONTROL_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "store/store.h"
+#include "util/status.h"
+#include "values/value.h"
+
+namespace caddb {
+
+/// What a user may do with an object.
+struct Rights {
+  bool read = false;
+  bool update = false;
+
+  static Rights None() { return {false, false}; }
+  static Rights ReadOnly() { return {true, false}; }
+  static Rights ReadWrite() { return {true, true}; }
+};
+
+/// Access-control manager (paper section 6): heavily shared "standard
+/// objects" (bolts, nuts, VLSI standard cells) are protected from updates by
+/// normal users; the lock manager consults these rights so that implicit
+/// locks taken by complex operations never exceed what access control admits.
+///
+/// Resolution order (most specific wins): per-object grant, per-type grant,
+/// per-user default, global default. Standard-object protection caps the
+/// result at read-only for everyone but the object's registered owners.
+class AccessControl {
+ public:
+  AccessControl() = default;
+
+  AccessControl(const AccessControl&) = delete;
+  AccessControl& operator=(const AccessControl&) = delete;
+
+  /// Rights for users with no grant at all (defaults to read+update: an
+  /// unconfigured database behaves like one without access control).
+  void SetGlobalDefault(Rights rights) { global_default_ = rights; }
+
+  void GrantUserDefault(const std::string& user, Rights rights);
+  void GrantOnType(const std::string& user, const std::string& type_name,
+                   Rights rights);
+  void GrantOnObject(const std::string& user, Surrogate object, Rights rights);
+
+  /// Marks `object` as a protected standard object: read-only for everyone
+  /// except `owner` (who keeps full rights).
+  void ProtectStandardObject(Surrogate object, const std::string& owner);
+  bool IsStandardObject(Surrogate object) const;
+
+  /// Effective rights of `user` on `object` (store resolves the type).
+  Rights EffectiveRights(const std::string& user, Surrogate object,
+                         const ObjectStore& store) const;
+
+  Status CheckRead(const std::string& user, Surrogate object,
+                   const ObjectStore& store) const;
+  Status CheckUpdate(const std::string& user, Surrogate object,
+                     const ObjectStore& store) const;
+
+ private:
+  Rights global_default_ = Rights::ReadWrite();
+  std::map<std::string, Rights> user_defaults_;
+  std::map<std::string, std::map<std::string, Rights>> type_grants_;
+  std::map<std::string, std::map<uint64_t, Rights>> object_grants_;
+  std::map<uint64_t, std::string> standard_objects_;  // object -> owner
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_TXN_ACCESS_CONTROL_H_

@@ -1,0 +1,193 @@
+#include "txn/transaction.h"
+
+namespace caddb {
+
+Result<TxnId> TransactionManager::Begin(const std::string& user) {
+  if (user.empty()) return InvalidArgument("transaction without a user");
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnId id = next_txn_++;
+  txns_[id] = TxnState{user, {}};
+  return id;
+}
+
+Status TransactionManager::Commit(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return NotFound("transaction " + std::to_string(txn) + " is not active");
+    }
+    txns_.erase(it);
+  }
+  locks_->ReleaseAll(txn);
+  return OkStatus();
+}
+
+Status TransactionManager::Abort(TxnId txn) {
+  TxnState state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return NotFound("transaction " + std::to_string(txn) + " is not active");
+    }
+    state = std::move(it->second);
+    txns_.erase(it);
+  }
+  // Restore before-images newest-first while still holding the X-locks.
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    for (auto it = state.undo.rbegin(); it != state.undo.rend(); ++it) {
+      // Restoration also re-notifies inheritors: their view changed back.
+      Status restored =
+          manager_->SetAttribute(it->object, it->attr, it->before);
+      (void)restored;  // the object may have been deleted meanwhile
+    }
+  }
+  locks_->ReleaseAll(txn);
+  return OkStatus();
+}
+
+bool TransactionManager::IsActive(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txns_.count(txn) > 0;
+}
+
+Status TransactionManager::LockInheritanceChain(TxnId txn, Surrogate s,
+                                                const std::string& attr) {
+  const ObjectStore* store = manager_->store();
+  Surrogate current = s;
+  std::string item = attr;
+  while (true) {
+    const DbObject* obj;
+    {
+      std::lock_guard<std::mutex> lock(store_mu_);
+      Result<const DbObject*> r = store->Get(current);
+      if (!r.ok()) return r.status();
+      obj = *r;
+    }
+    if (obj->kind() != ObjKind::kObject) return OkStatus();
+    Result<EffectiveSchema> schema =
+        store->catalog().EffectiveSchemaFor(obj->type_name());
+    if (!schema.ok()) return schema.status();
+    if (!schema->IsInherited(item)) return OkStatus();
+    Surrogate rel_s = obj->bound_inher_rel();
+    if (!rel_s.valid()) return OkStatus();
+    Surrogate transmitter;
+    std::string rel_type;
+    {
+      std::lock_guard<std::mutex> lock(store_mu_);
+      Result<const DbObject*> rel = store->Get(rel_s);
+      if (!rel.ok()) return rel.status();
+      transmitter = (*rel)->Participant("transmitter");
+      rel_type = (*rel)->type_name();
+    }
+    // Lock inheritance: read-lock the transmitter's exported part.
+    CADDB_RETURN_IF_ERROR(locks_->Acquire(
+        txn, LockItem::Exported(transmitter, rel_type), LockMode::kShared));
+    current = transmitter;
+  }
+}
+
+Result<Value> TransactionManager::Read(TxnId txn, Surrogate s,
+                                       const std::string& attr) {
+  std::string user;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return NotFound("transaction " + std::to_string(txn) + " is not active");
+    }
+    user = it->second.user;
+  }
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    CADDB_RETURN_IF_ERROR(acl_->CheckRead(user, s, *manager_->store()));
+  }
+  CADDB_RETURN_IF_ERROR(
+      locks_->Acquire(txn, LockItem::Whole(s), LockMode::kShared));
+  CADDB_RETURN_IF_ERROR(LockInheritanceChain(txn, s, attr));
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return manager_->GetAttribute(s, attr);
+}
+
+Status TransactionManager::Write(TxnId txn, Surrogate s,
+                                 const std::string& attr, Value v) {
+  std::string user;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return NotFound("transaction " + std::to_string(txn) + " is not active");
+    }
+    user = it->second.user;
+  }
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    // The lock manager only grants what access control admits (section 6):
+    // an X-lock for a user without update rights is refused outright.
+    CADDB_RETURN_IF_ERROR(acl_->CheckUpdate(user, s, *manager_->store()));
+  }
+  CADDB_RETURN_IF_ERROR(
+      locks_->Acquire(txn, LockItem::Whole(s), LockMode::kExclusive));
+
+  std::lock_guard<std::mutex> store_lock(store_mu_);
+  Result<Value> before = manager_->store()->GetLocalAttribute(s, attr);
+  if (!before.ok()) return before.status();
+  CADDB_RETURN_IF_ERROR(manager_->SetAttribute(s, attr, std::move(v)));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn);
+  if (it != txns_.end()) {
+    it->second.undo.push_back(UndoRecord{s, attr, std::move(*before)});
+  }
+  return OkStatus();
+}
+
+Result<size_t> TransactionManager::LockExpansion(TxnId txn, Surrogate root,
+                                                 LockMode desired) {
+  std::string user;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return NotFound("transaction " + std::to_string(txn) + " is not active");
+    }
+    user = it->second.user;
+  }
+
+  std::vector<Surrogate> targets;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    Expander expander(manager_);
+    ExpandOptions options;
+    options.materialize_attributes = false;  // structure walk only
+    CADDB_ASSIGN_OR_RETURN(ExpansionNode tree, expander.Expand(root, options));
+    Expander::CollectSurrogates(tree, &targets);
+  }
+
+  size_t locked = 0;
+  for (Surrogate s : targets) {
+    Rights rights;
+    {
+      std::lock_guard<std::mutex> lock(store_mu_);
+      rights = acl_->EffectiveRights(user, s, *manager_->store());
+    }
+    if (!rights.read) {
+      return PermissionDenied("user '" + user + "' may not read @" +
+                              std::to_string(s.id) +
+                              " inside the expansion of @" +
+                              std::to_string(root.id));
+    }
+    // Downgrade: never grant a lock allowing more than access control
+    // admits. Standard objects in the expansion are locked in read-mode.
+    LockMode mode = desired;
+    if (mode == LockMode::kExclusive && !rights.update) {
+      mode = LockMode::kShared;
+    }
+    CADDB_RETURN_IF_ERROR(locks_->Acquire(txn, LockItem::Whole(s), mode));
+    ++locked;
+  }
+  return locked;
+}
+
+}  // namespace caddb

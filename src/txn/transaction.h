@@ -1,0 +1,90 @@
+#ifndef CADDB_TXN_TRANSACTION_H_
+#define CADDB_TXN_TRANSACTION_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "inherit/inheritance.h"
+#include "query/expansion.h"
+#include "txn/access_control.h"
+#include "txn/lock_manager.h"
+#include "util/result.h"
+
+namespace caddb {
+
+/// Transactional facade over the inheritance-aware store: strict 2PL with
+/// lock-inheritance (paper section 6), access-control-mediated lock grants,
+/// before-image undo on abort, and expansion locking as a complex operation.
+///
+/// Reading inherited data in a composite/implementation read-locks the
+/// *exported part* of every transmitter on the resolution chain ("lock
+/// inheritance in the reverse direction of data inheritance"). Writes
+/// X-lock the whole object and are checked against the access-control
+/// manager; complex operations downgrade to read-mode on objects the user
+/// may not update, exactly as section 6 prescribes for standard objects.
+///
+/// Thread-safe: logical isolation via locks, physical safety via a short
+/// internal mutex around each store access.
+class TransactionManager {
+ public:
+  /// None of the pointers are owned; all must outlive the manager.
+  TransactionManager(InheritanceManager* manager, LockManager* locks,
+                     AccessControl* acl)
+      : manager_(manager), locks_(locks), acl_(acl) {}
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  Result<TxnId> Begin(const std::string& user);
+  Status Commit(TxnId txn);
+  /// Rolls back all writes (before-images) and releases locks.
+  Status Abort(TxnId txn);
+  bool IsActive(TxnId txn) const;
+
+  /// Inheritance-aware read under S-locks: whole-object S-lock on `s`, plus
+  /// exported-part S-locks up the transmitter chain when `attr` is
+  /// inherited.
+  Result<Value> Read(TxnId txn, Surrogate s, const std::string& attr);
+
+  /// Write under whole-object X-lock with access control and undo logging.
+  Status Write(TxnId txn, Surrogate s, const std::string& attr, Value v);
+
+  /// Complex operation (paper section 6): locks the entire expansion of a
+  /// composite object in `desired` mode, downgrading to S on objects the
+  /// user may only read. Fails with kPermissionDenied if some object is not
+  /// even readable. Returns the number of objects locked.
+  Result<size_t> LockExpansion(TxnId txn, Surrogate root, LockMode desired);
+
+  /// Locks held by a transaction (diagnostics).
+  size_t LockCount(TxnId txn) const { return locks_->HeldCount(txn); }
+
+ private:
+  struct UndoRecord {
+    Surrogate object;
+    std::string attr;
+    Value before;
+  };
+  struct TxnState {
+    std::string user;
+    std::vector<UndoRecord> undo;
+  };
+
+  /// S-locks the exported parts up the inheritance chain for an inherited
+  /// attribute read.
+  Status LockInheritanceChain(TxnId txn, Surrogate s, const std::string& attr);
+
+  InheritanceManager* manager_;
+  LockManager* locks_;
+  AccessControl* acl_;
+
+  mutable std::mutex mu_;        // guards txns_ and next id
+  mutable std::mutex store_mu_;  // serializes physical store access
+  std::map<TxnId, TxnState> txns_;
+  TxnId next_txn_ = 1;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_TXN_TRANSACTION_H_

@@ -1,0 +1,147 @@
+#include "txn/workspace.h"
+
+namespace caddb {
+
+Result<WorkspaceId> WorkspaceManager::Create(const std::string& user) {
+  if (user.empty()) return InvalidArgument("workspace without a user");
+  WorkspaceId id = next_id_++;
+  workspaces_[id] = Workspace{user, {}};
+  return id;
+}
+
+Status WorkspaceManager::Discard(WorkspaceId ws) {
+  auto it = workspaces_.find(ws);
+  if (it == workspaces_.end()) {
+    return NotFound("workspace " + std::to_string(ws) + " does not exist");
+  }
+  for (const auto& [object_id, state] : it->second.objects) {
+    checkout_owner_.erase(object_id);
+  }
+  workspaces_.erase(it);
+  return OkStatus();
+}
+
+Status WorkspaceManager::Checkout(WorkspaceId ws, Surrogate object) {
+  auto it = workspaces_.find(ws);
+  if (it == workspaces_.end()) {
+    return NotFound("workspace " + std::to_string(ws) + " does not exist");
+  }
+  auto owner = checkout_owner_.find(object.id);
+  if (owner != checkout_owner_.end()) {
+    if (owner->second == ws) {
+      return AlreadyExists("@" + std::to_string(object.id) +
+                           " is already checked out by this workspace");
+    }
+    return ConflictError("@" + std::to_string(object.id) +
+                         " is checked out by workspace " +
+                         std::to_string(owner->second));
+  }
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, manager_->store()->Get(object));
+  CheckedOutObject state;
+  state.base_version = obj->version();
+  CADDB_ASSIGN_OR_RETURN(state.copy, manager_->Snapshot(object));
+  it->second.objects[object.id] = std::move(state);
+  checkout_owner_[object.id] = ws;
+  return OkStatus();
+}
+
+bool WorkspaceManager::IsCheckedOut(Surrogate object) const {
+  return checkout_owner_.count(object.id) > 0;
+}
+
+std::vector<Surrogate> WorkspaceManager::CheckedOutBy(WorkspaceId ws) const {
+  std::vector<Surrogate> out;
+  auto it = workspaces_.find(ws);
+  if (it == workspaces_.end()) return out;
+  for (const auto& [object_id, state] : it->second.objects) {
+    out.push_back(Surrogate(object_id));
+  }
+  return out;
+}
+
+Status WorkspaceManager::Set(WorkspaceId ws, Surrogate object,
+                             const std::string& attr, Value v) {
+  auto it = workspaces_.find(ws);
+  if (it == workspaces_.end()) {
+    return NotFound("workspace " + std::to_string(ws) + " does not exist");
+  }
+  auto obj_it = it->second.objects.find(object.id);
+  if (obj_it == it->second.objects.end()) {
+    return FailedPrecondition("@" + std::to_string(object.id) +
+                              " is not checked out by workspace " +
+                              std::to_string(ws));
+  }
+  // Schema / domain / read-only validation against the live type.
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, manager_->store()->Get(object));
+  if (obj->kind() == ObjKind::kObject) {
+    Result<EffectiveSchema> schema =
+        manager_->store()->catalog().EffectiveSchemaFor(obj->type_name());
+    if (!schema.ok()) return schema.status();
+    const AttributeDef* def = schema->FindAttribute(attr);
+    if (def == nullptr) {
+      return NotFound("type '" + obj->type_name() + "' has no attribute '" +
+                      attr + "'");
+    }
+    if (schema->IsInherited(attr)) {
+      return InheritedReadOnly("attribute '" + attr +
+                               "' is inherited and read-only, even in a "
+                               "workspace");
+    }
+    CADDB_RETURN_IF_ERROR(
+        def->domain.Validate(v, &manager_->store()->catalog()));
+  }
+  obj_it->second.copy[attr] = v;
+  obj_it->second.dirty[attr] = std::move(v);
+  return OkStatus();
+}
+
+Result<Value> WorkspaceManager::Get(WorkspaceId ws, Surrogate object,
+                                    const std::string& attr) const {
+  auto it = workspaces_.find(ws);
+  if (it == workspaces_.end()) {
+    return NotFound("workspace " + std::to_string(ws) + " does not exist");
+  }
+  auto obj_it = it->second.objects.find(object.id);
+  if (obj_it == it->second.objects.end()) {
+    return FailedPrecondition("@" + std::to_string(object.id) +
+                              " is not checked out by workspace " +
+                              std::to_string(ws));
+  }
+  auto attr_it = obj_it->second.copy.find(attr);
+  if (attr_it == obj_it->second.copy.end()) {
+    return NotFound("no attribute '" + attr + "' in the checked-out copy");
+  }
+  return attr_it->second;
+}
+
+Status WorkspaceManager::Checkin(WorkspaceId ws) {
+  auto it = workspaces_.find(ws);
+  if (it == workspaces_.end()) {
+    return NotFound("workspace " + std::to_string(ws) + " does not exist");
+  }
+  // Phase 1: validate — every object unchanged in the store since checkout.
+  for (const auto& [object_id, state] : it->second.objects) {
+    Result<const DbObject*> obj = manager_->store()->Get(Surrogate(object_id));
+    if (!obj.ok()) {
+      return ConflictError("@" + std::to_string(object_id) +
+                           " was deleted during the design transaction");
+    }
+    if ((*obj)->version() != state.base_version) {
+      return ConflictError("@" + std::to_string(object_id) +
+                           " changed in the database during the design "
+                           "transaction (lost update prevented)");
+    }
+  }
+  // Phase 2: apply dirty attributes and release checkouts.
+  for (auto& [object_id, state] : it->second.objects) {
+    for (auto& [attr, value] : state.dirty) {
+      CADDB_RETURN_IF_ERROR(
+          manager_->SetAttribute(Surrogate(object_id), attr, value));
+    }
+    checkout_owner_.erase(object_id);
+  }
+  workspaces_.erase(it);
+  return OkStatus();
+}
+
+}  // namespace caddb

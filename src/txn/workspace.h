@@ -1,0 +1,75 @@
+#ifndef CADDB_TXN_WORKSPACE_H_
+#define CADDB_TXN_WORKSPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inherit/inheritance.h"
+#include "util/result.h"
+
+namespace caddb {
+
+using WorkspaceId = uint64_t;
+
+/// Long design transactions via checkout/checkin (paper section 6 cites
+/// [KLMP84], [KSUW85]): a designer checks objects out into a private
+/// workspace, works on the copies for however long the design takes, and
+/// checks the changes back in. Checkout is exclusive per object (classic
+/// engineering checkout), and checkin detects lost updates by comparing the
+/// object's version counter against the checkout-time base.
+class WorkspaceManager {
+ public:
+  /// `manager` is not owned and must outlive the workspace manager.
+  explicit WorkspaceManager(InheritanceManager* manager)
+      : manager_(manager) {}
+
+  WorkspaceManager(const WorkspaceManager&) = delete;
+  WorkspaceManager& operator=(const WorkspaceManager&) = delete;
+
+  Result<WorkspaceId> Create(const std::string& user);
+  /// Discards all private changes and releases checkouts.
+  Status Discard(WorkspaceId ws);
+
+  /// Copies the object's effective attributes (inherited values
+  /// materialized) into the workspace and marks it checked out. Fails with
+  /// kConflict when another workspace holds it.
+  Status Checkout(WorkspaceId ws, Surrogate object);
+  /// True if `object` is checked out by any workspace.
+  bool IsCheckedOut(Surrogate object) const;
+  std::vector<Surrogate> CheckedOutBy(WorkspaceId ws) const;
+
+  /// Updates the private copy. Inherited attributes stay read-only even in
+  /// the workspace — adaptation happens on local data only.
+  Status Set(WorkspaceId ws, Surrogate object, const std::string& attr,
+             Value v);
+  /// Reads the private copy (checkout-time value unless overwritten).
+  Result<Value> Get(WorkspaceId ws, Surrogate object,
+                    const std::string& attr) const;
+
+  /// Writes all dirty attributes back and releases the workspace's
+  /// checkouts. Fails with kConflict — touching nothing — when any
+  /// checked-out object changed in the store since checkout.
+  Status Checkin(WorkspaceId ws);
+
+ private:
+  struct CheckedOutObject {
+    uint64_t base_version = 0;                // store version at checkout
+    std::map<std::string, Value> copy;        // private attribute values
+    std::map<std::string, Value> dirty;       // changed in the workspace
+  };
+  struct Workspace {
+    std::string user;
+    std::map<uint64_t, CheckedOutObject> objects;
+  };
+
+  InheritanceManager* manager_;
+  std::map<WorkspaceId, Workspace> workspaces_;
+  std::map<uint64_t, WorkspaceId> checkout_owner_;  // object -> workspace
+  WorkspaceId next_id_ = 1;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_TXN_WORKSPACE_H_

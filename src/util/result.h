@@ -1,0 +1,72 @@
+#ifndef CADDB_UTIL_RESULT_H_
+#define CADDB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace caddb {
+
+/// Status-or-value: either an error Status or a T. Modeled on
+/// absl::StatusOr / rocksdb's status-and-out-param idiom, but value-returning.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from Status so `return NotFound(...)` works in Result-returning
+  /// functions. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  /// Implicit from T so `return value;` works.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace caddb
+
+/// Assigns the value of a Result-returning expression to `lhs`, or propagates
+/// its Status. `lhs` may be a declaration ("auto x").
+#define CADDB_ASSIGN_OR_RETURN(lhs, expr)                \
+  CADDB_ASSIGN_OR_RETURN_IMPL_(                          \
+      CADDB_RESULT_CONCAT_(_caddb_result, __LINE__), lhs, expr)
+
+#define CADDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define CADDB_RESULT_CONCAT_(a, b) CADDB_RESULT_CONCAT_IMPL_(a, b)
+#define CADDB_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // CADDB_UTIL_RESULT_H_

@@ -1,0 +1,95 @@
+#include "util/status.h"
+
+namespace caddb {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kTypeMismatch:
+      return "TypeMismatch";
+    case Code::kConstraintViolation:
+      return "ConstraintViolation";
+    case Code::kInheritedReadOnly:
+      return "InheritedReadOnly";
+    case Code::kCycle:
+      return "Cycle";
+    case Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Code::kPermissionDenied:
+      return "PermissionDenied";
+    case Code::kDeadlock:
+      return "Deadlock";
+    case Code::kConflict:
+      return "Conflict";
+    case Code::kParseError:
+      return "ParseError";
+    case Code::kUnimplemented:
+      return "Unimplemented";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "UnknownCode";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+Status InvalidArgument(std::string msg) {
+  return Status(Code::kInvalidArgument, std::move(msg));
+}
+Status NotFound(std::string msg) {
+  return Status(Code::kNotFound, std::move(msg));
+}
+Status AlreadyExists(std::string msg) {
+  return Status(Code::kAlreadyExists, std::move(msg));
+}
+Status TypeMismatch(std::string msg) {
+  return Status(Code::kTypeMismatch, std::move(msg));
+}
+Status ConstraintViolation(std::string msg) {
+  return Status(Code::kConstraintViolation, std::move(msg));
+}
+Status InheritedReadOnly(std::string msg) {
+  return Status(Code::kInheritedReadOnly, std::move(msg));
+}
+Status CycleError(std::string msg) {
+  return Status(Code::kCycle, std::move(msg));
+}
+Status FailedPrecondition(std::string msg) {
+  return Status(Code::kFailedPrecondition, std::move(msg));
+}
+Status PermissionDenied(std::string msg) {
+  return Status(Code::kPermissionDenied, std::move(msg));
+}
+Status DeadlockError(std::string msg) {
+  return Status(Code::kDeadlock, std::move(msg));
+}
+Status ConflictError(std::string msg) {
+  return Status(Code::kConflict, std::move(msg));
+}
+Status ParseError(std::string msg) {
+  return Status(Code::kParseError, std::move(msg));
+}
+Status Unimplemented(std::string msg) {
+  return Status(Code::kUnimplemented, std::move(msg));
+}
+Status InternalError(std::string msg) {
+  return Status(Code::kInternal, std::move(msg));
+}
+
+}  // namespace caddb

@@ -1,0 +1,84 @@
+#ifndef CADDB_UTIL_STATUS_H_
+#define CADDB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace caddb {
+
+/// Error categories used across the whole engine. The public API never throws;
+/// every fallible operation reports through Status / Result<T>.
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,      // malformed input (bad name, bad value shape, ...)
+  kNotFound,             // named entity or surrogate does not exist
+  kAlreadyExists,        // duplicate registration / duplicate binding
+  kTypeMismatch,         // value does not satisfy a domain / wrong object type
+  kConstraintViolation,  // an integrity constraint evaluated to false
+  kInheritedReadOnly,    // attempt to update inherited data in an inheritor
+  kCycle,                // inheritance or containment cycle detected
+  kFailedPrecondition,   // operation not legal in the current state
+  kPermissionDenied,     // access-control manager rejected the operation
+  kDeadlock,             // transaction chosen as deadlock victim
+  kConflict,             // checkin / update conflict between transactions
+  kParseError,           // DDL / expression text could not be parsed
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a Code ("ConstraintViolation", ...).
+const char* CodeName(Code code);
+
+/// Value-semantic error carrier: a Code plus a context message.
+class Status {
+ public:
+  /// Constructs OK.
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<CodeName>: <message>" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+// Terse factories, mirroring the RocksDB/Abseil convention.
+Status OkStatus();
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status TypeMismatch(std::string msg);
+Status ConstraintViolation(std::string msg);
+Status InheritedReadOnly(std::string msg);
+Status CycleError(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status PermissionDenied(std::string msg);
+Status DeadlockError(std::string msg);
+Status ConflictError(std::string msg);
+Status ParseError(std::string msg);
+Status Unimplemented(std::string msg);
+Status InternalError(std::string msg);
+
+}  // namespace caddb
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define CADDB_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::caddb::Status _caddb_status = (expr);          \
+    if (!_caddb_status.ok()) return _caddb_status;   \
+  } while (0)
+
+#endif  // CADDB_UTIL_STATUS_H_

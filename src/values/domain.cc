@@ -1,0 +1,255 @@
+#include "values/domain.h"
+
+#include <algorithm>
+
+namespace caddb {
+
+Domain Domain::Int() {
+  Domain d;
+  d.kind_ = Kind::kInt;
+  return d;
+}
+
+Domain Domain::Real() {
+  Domain d;
+  d.kind_ = Kind::kReal;
+  return d;
+}
+
+Domain Domain::Bool() {
+  Domain d;
+  d.kind_ = Kind::kBool;
+  return d;
+}
+
+Domain Domain::String() {
+  Domain d;
+  d.kind_ = Kind::kString;
+  return d;
+}
+
+Domain Domain::Enum(std::vector<std::string> symbols) {
+  Domain d;
+  d.kind_ = Kind::kEnum;
+  d.symbols_ = std::move(symbols);
+  return d;
+}
+
+Domain Domain::Record(std::vector<RecordField> fields) {
+  Domain d;
+  d.kind_ = Kind::kRecord;
+  d.fields_ = std::move(fields);
+  return d;
+}
+
+Domain Domain::ListOf(Domain element) {
+  Domain d;
+  d.kind_ = Kind::kListOf;
+  d.element_ = std::make_shared<Domain>(std::move(element));
+  return d;
+}
+
+Domain Domain::SetOf(Domain element) {
+  Domain d;
+  d.kind_ = Kind::kSetOf;
+  d.element_ = std::make_shared<Domain>(std::move(element));
+  return d;
+}
+
+Domain Domain::MatrixOf(Domain element) {
+  Domain d;
+  d.kind_ = Kind::kMatrixOf;
+  d.element_ = std::make_shared<Domain>(std::move(element));
+  return d;
+}
+
+Domain Domain::Ref(std::string type_name) {
+  Domain d;
+  d.kind_ = Kind::kRef;
+  d.name_ = std::move(type_name);
+  return d;
+}
+
+Domain Domain::Named(std::string name) {
+  Domain d;
+  d.kind_ = Kind::kNamed;
+  d.name_ = std::move(name);
+  return d;
+}
+
+Domain Domain::Point() {
+  return Record({{"X", Int()}, {"Y", Int()}});
+}
+
+Status Domain::Validate(const Value& v, const Resolver* resolver) const {
+  if (v.is_null()) return OkStatus();  // unset attribute
+  switch (kind_) {
+    case Kind::kInt:
+      if (v.kind() != Value::Kind::kInt) {
+        return TypeMismatch("expected integer, got " + v.ToString());
+      }
+      return OkStatus();
+    case Kind::kReal:
+      if (v.kind() != Value::Kind::kReal && v.kind() != Value::Kind::kInt) {
+        return TypeMismatch("expected real, got " + v.ToString());
+      }
+      return OkStatus();
+    case Kind::kBool:
+      if (v.kind() != Value::Kind::kBool) {
+        return TypeMismatch("expected boolean, got " + v.ToString());
+      }
+      return OkStatus();
+    case Kind::kString:
+      if (v.kind() != Value::Kind::kString) {
+        return TypeMismatch("expected string, got " + v.ToString());
+      }
+      return OkStatus();
+    case Kind::kEnum: {
+      if (v.kind() != Value::Kind::kEnum && v.kind() != Value::Kind::kString) {
+        return TypeMismatch("expected enum symbol, got " + v.ToString());
+      }
+      const std::string& sym = v.AsString();
+      if (std::find(symbols_.begin(), symbols_.end(), sym) == symbols_.end()) {
+        return TypeMismatch("symbol '" + sym + "' not in enumeration " +
+                            ToString());
+      }
+      return OkStatus();
+    }
+    case Kind::kRecord: {
+      if (v.kind() != Value::Kind::kRecord) {
+        return TypeMismatch("expected record " + ToString() + ", got " +
+                            v.ToString());
+      }
+      // Every value field must correspond to a declared field and validate;
+      // missing fields are treated as unset (null) and therefore legal.
+      for (const auto& vf : v.fields()) {
+        const Domain* fd = nullptr;
+        for (const auto& df : fields_) {
+          if (df.first == vf.first) {
+            fd = &df.second;
+            break;
+          }
+        }
+        if (fd == nullptr) {
+          return TypeMismatch("record field '" + vf.first +
+                              "' not declared in " + ToString());
+        }
+        CADDB_RETURN_IF_ERROR(fd->Validate(vf.second, resolver));
+      }
+      return OkStatus();
+    }
+    case Kind::kListOf:
+    case Kind::kSetOf:
+    case Kind::kMatrixOf: {
+      Value::Kind want = kind_ == Kind::kListOf    ? Value::Kind::kList
+                         : kind_ == Kind::kSetOf   ? Value::Kind::kSet
+                                                   : Value::Kind::kMatrix;
+      if (v.kind() != want) {
+        return TypeMismatch("expected " + ToString() + ", got " +
+                            v.ToString());
+      }
+      for (const Value& e : v.elements()) {
+        CADDB_RETURN_IF_ERROR(element_->Validate(e, resolver));
+      }
+      return OkStatus();
+    }
+    case Kind::kRef:
+      if (v.kind() != Value::Kind::kRef) {
+        return TypeMismatch("expected object reference, got " + v.ToString());
+      }
+      // Type restriction (name_) is checked by the store, which knows the
+      // referenced object's type.
+      return OkStatus();
+    case Kind::kNamed: {
+      if (resolver == nullptr) {
+        return InternalError("named domain '" + name_ +
+                             "' validated without a resolver");
+      }
+      Result<Domain> resolved = resolver->ResolveDomain(name_);
+      if (!resolved.ok()) return resolved.status();
+      return resolved->Validate(v, resolver);
+    }
+  }
+  return InternalError("unhandled domain kind");
+}
+
+Value Domain::DefaultValue(const Resolver* resolver) const {
+  switch (kind_) {
+    case Kind::kInt:
+      return Value::Int(0);
+    case Kind::kReal:
+      return Value::Real(0.0);
+    case Kind::kBool:
+      return Value::Bool(false);
+    case Kind::kString:
+      return Value::String("");
+    case Kind::kEnum:
+      return symbols_.empty() ? Value::Null() : Value::Enum(symbols_[0]);
+    case Kind::kRecord: {
+      std::vector<Value::Field> fields;
+      fields.reserve(fields_.size());
+      for (const auto& f : fields_) {
+        fields.emplace_back(f.first, f.second.DefaultValue(resolver));
+      }
+      return Value::Record(std::move(fields));
+    }
+    case Kind::kListOf:
+      return Value::List({});
+    case Kind::kSetOf:
+      return Value::Set({});
+    case Kind::kMatrixOf:
+      return Value::Matrix(0, 0, {});
+    case Kind::kRef:
+      return Value::Ref(Surrogate::Invalid());
+    case Kind::kNamed: {
+      if (resolver != nullptr) {
+        Result<Domain> resolved = resolver->ResolveDomain(name_);
+        if (resolved.ok()) return resolved->DefaultValue(resolver);
+      }
+      return Value::Null();
+    }
+  }
+  return Value::Null();
+}
+
+std::string Domain::ToString() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return "integer";
+    case Kind::kReal:
+      return "real";
+    case Kind::kBool:
+      return "boolean";
+    case Kind::kString:
+      return "string";
+    case Kind::kEnum: {
+      std::string out = "(";
+      for (size_t i = 0; i < symbols_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += symbols_[i];
+      }
+      return out + ")";
+    }
+    case Kind::kRecord: {
+      std::string out = "{";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields_[i].first + ": " + fields_[i].second.ToString();
+      }
+      return out + "}";
+    }
+    case Kind::kListOf:
+      return "list-of " + element_->ToString();
+    case Kind::kSetOf:
+      return "set-of " + element_->ToString();
+    case Kind::kMatrixOf:
+      return "matrix-of " + element_->ToString();
+    case Kind::kRef:
+      return name_.empty() ? "object" : ("object-of-type " + name_);
+    case Kind::kNamed:
+      return name_;
+  }
+  return "?";
+}
+
+}  // namespace caddb

@@ -1,0 +1,92 @@
+#ifndef CADDB_VALUES_DOMAIN_H_
+#define CADDB_VALUES_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "values/value.h"
+
+namespace caddb {
+
+/// Structural description of an attribute's legal values. Domains "may be
+/// simple (integer, string, etc.) or structured (using constructors as
+/// record, list-of, set-of, etc.)" (paper section 3).
+///
+/// Domains are value types; nested structure is shared via shared_ptr so
+/// copies of deep domains stay cheap.
+class Domain {
+ public:
+  enum class Kind {
+    kInt,
+    kReal,
+    kBool,
+    kString,  // covers the paper's `char`
+    kEnum,    // (IN, OUT) style symbol list
+    kRecord,
+    kListOf,
+    kSetOf,
+    kMatrixOf,
+    kRef,    // surrogate reference, optionally restricted to one object type
+    kNamed,  // deferred reference to a catalog-registered domain name
+  };
+
+  using RecordField = std::pair<std::string, Domain>;
+
+  Domain() : kind_(Kind::kInt) {}
+
+  static Domain Int();
+  static Domain Real();
+  static Domain Bool();
+  static Domain String();
+  static Domain Enum(std::vector<std::string> symbols);
+  static Domain Record(std::vector<RecordField> fields);
+  static Domain ListOf(Domain element);
+  static Domain SetOf(Domain element);
+  static Domain MatrixOf(Domain element);
+  /// `type_name` empty means a reference to any object.
+  static Domain Ref(std::string type_name = "");
+  /// Reference to a domain registered in the catalog under `name`; resolved
+  /// at validation time through a DomainResolver.
+  static Domain Named(std::string name);
+  /// The (X, Y: integer) point record used throughout the paper.
+  static Domain Point();
+
+  Kind kind() const { return kind_; }
+  const std::vector<std::string>& symbols() const { return symbols_; }
+  const std::vector<RecordField>& record_fields() const { return fields_; }
+  const Domain& element() const { return *element_; }
+  const std::string& name() const { return name_; }  // kNamed / kRef type
+
+  /// Resolves kNamed domains. Implemented by the catalog.
+  class Resolver {
+   public:
+    virtual ~Resolver() = default;
+    virtual Result<Domain> ResolveDomain(const std::string& name) const = 0;
+  };
+
+  /// Checks that `v` structurally satisfies this domain. Null is accepted for
+  /// every domain (attributes start unset). `resolver` may be null when the
+  /// domain tree contains no kNamed nodes.
+  Status Validate(const Value& v, const Resolver* resolver = nullptr) const;
+
+  /// A canonical "empty" value: 0 / false / "" / first enum symbol / empty
+  /// collection / null-ref / record of defaults.
+  Value DefaultValue(const Resolver* resolver = nullptr) const;
+
+  /// Readable form, e.g. `set-of {PinId: integer, InOut: (IN, OUT)}`.
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  std::vector<std::string> symbols_;   // kEnum
+  std::vector<RecordField> fields_;    // kRecord
+  std::shared_ptr<Domain> element_;    // kListOf / kSetOf / kMatrixOf
+  std::string name_;                   // kNamed name or kRef type restriction
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_VALUES_DOMAIN_H_

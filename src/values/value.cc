@@ -1,0 +1,318 @@
+#include "values/value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace caddb {
+
+Value Value::Null() { return Value(); }
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.kind_ = Kind::kInt;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::Real(double v) {
+  Value out;
+  out.kind_ = Kind::kReal;
+  out.real_ = v;
+  return out;
+}
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.kind_ = Kind::kBool;
+  out.int_ = v ? 1 : 0;
+  return out;
+}
+
+Value Value::String(std::string v) {
+  Value out;
+  out.kind_ = Kind::kString;
+  out.str_ = std::move(v);
+  return out;
+}
+
+Value Value::Enum(std::string symbol) {
+  Value out;
+  out.kind_ = Kind::kEnum;
+  out.str_ = std::move(symbol);
+  return out;
+}
+
+Value Value::Record(std::vector<Field> fields) {
+  Value out;
+  out.kind_ = Kind::kRecord;
+  out.record_ = std::move(fields);
+  return out;
+}
+
+Value Value::List(std::vector<Value> elements) {
+  Value out;
+  out.kind_ = Kind::kList;
+  out.elems_ = std::move(elements);
+  return out;
+}
+
+Value Value::Set(std::vector<Value> elements) {
+  Value out;
+  out.kind_ = Kind::kSet;
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  out.elems_ = std::move(elements);
+  return out;
+}
+
+Value Value::Matrix(size_t rows, size_t cols, std::vector<Value> elements) {
+  assert(elements.size() == rows * cols);
+  Value out;
+  out.kind_ = Kind::kMatrix;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.elems_ = std::move(elements);
+  return out;
+}
+
+Value Value::Ref(Surrogate s) {
+  Value out;
+  out.kind_ = Kind::kRef;
+  out.int_ = static_cast<int64_t>(s.id);
+  return out;
+}
+
+Value Value::Point(int64_t x, int64_t y) {
+  return Record({{"X", Int(x)}, {"Y", Int(y)}});
+}
+
+int64_t Value::AsInt() const {
+  assert(kind_ == Kind::kInt || kind_ == Kind::kBool);
+  return int_;
+}
+
+double Value::AsReal() const {
+  assert(kind_ == Kind::kReal || kind_ == Kind::kInt);
+  return kind_ == Kind::kReal ? real_ : static_cast<double>(int_);
+}
+
+bool Value::AsBool() const {
+  assert(kind_ == Kind::kBool);
+  return int_ != 0;
+}
+
+const std::string& Value::AsString() const {
+  assert(kind_ == Kind::kString || kind_ == Kind::kEnum);
+  return str_;
+}
+
+Surrogate Value::AsRef() const {
+  assert(kind_ == Kind::kRef);
+  return Surrogate(static_cast<uint64_t>(int_));
+}
+
+const std::vector<Value::Field>& Value::fields() const {
+  assert(kind_ == Kind::kRecord);
+  return record_;
+}
+
+const std::vector<Value>& Value::elements() const {
+  assert(kind_ == Kind::kList || kind_ == Kind::kSet ||
+         kind_ == Kind::kMatrix);
+  return elems_;
+}
+
+Result<Value> Value::Field_(const std::string& name) const {
+  if (kind_ != Kind::kRecord) {
+    return TypeMismatch("field access '" + name + "' on non-record value " +
+                        ToString());
+  }
+  for (const Field& f : record_) {
+    if (f.first == name) return f.second;
+  }
+  return NotFound("record has no field '" + name + "'");
+}
+
+size_t Value::size() const {
+  switch (kind_) {
+    case Kind::kList:
+    case Kind::kSet:
+    case Kind::kMatrix:
+      return elems_.size();
+    case Kind::kRecord:
+      return record_.size();
+    default:
+      return 0;
+  }
+}
+
+bool Value::Contains(const Value& v) const {
+  if (kind_ == Kind::kSet) {
+    return std::binary_search(elems_.begin(), elems_.end(), v);
+  }
+  if (kind_ == Kind::kList || kind_ == Kind::kMatrix) {
+    return std::find(elems_.begin(), elems_.end(), v) != elems_.end();
+  }
+  return false;
+}
+
+void Value::SetInsert(Value v) {
+  assert(kind_ == Kind::kSet);
+  auto it = std::lower_bound(elems_.begin(), elems_.end(), v);
+  if (it != elems_.end() && *it == v) return;
+  elems_.insert(it, std::move(v));
+}
+
+void Value::ListAppend(Value v) {
+  assert(kind_ == Kind::kList);
+  elems_.push_back(std::move(v));
+}
+
+namespace {
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  // Numeric kinds compare cross-kind by value so `3 = 3.0` holds; all other
+  // kind mixes order by kind tag.
+  bool self_num = kind_ == Kind::kInt || kind_ == Kind::kReal;
+  bool other_num = other.kind_ == Kind::kInt || other.kind_ == Kind::kReal;
+  if (self_num && other_num) {
+    if (kind_ == Kind::kInt && other.kind_ == Kind::kInt) {
+      return Cmp(int_, other.int_);
+    }
+    return Cmp(AsReal(), other.AsReal());
+  }
+  if (kind_ != other.kind_) {
+    return Cmp(static_cast<int>(kind_), static_cast<int>(other.kind_));
+  }
+  switch (kind_) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kInt:
+    case Kind::kBool:
+    case Kind::kRef:
+      return Cmp(int_, other.int_);
+    case Kind::kReal:
+      return Cmp(real_, other.real_);
+    case Kind::kString:
+    case Kind::kEnum:
+      return str_.compare(other.str_);
+    case Kind::kRecord: {
+      int c = Cmp(record_.size(), other.record_.size());
+      if (c != 0) return c;
+      for (size_t i = 0; i < record_.size(); ++i) {
+        c = record_[i].first.compare(other.record_[i].first);
+        if (c != 0) return c;
+        c = record_[i].second.Compare(other.record_[i].second);
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+    case Kind::kList:
+    case Kind::kSet:
+    case Kind::kMatrix: {
+      if (kind_ == Kind::kMatrix) {
+        int c = Cmp(rows_, other.rows_);
+        if (c != 0) return c;
+        c = Cmp(cols_, other.cols_);
+        if (c != 0) return c;
+      }
+      int c = Cmp(elems_.size(), other.elems_.size());
+      if (c != 0) return c;
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        c = elems_[i].Compare(other.elems_[i]);
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kReal: {
+      std::string s = std::to_string(real_);
+      return s;
+    }
+    case Kind::kBool:
+      return int_ ? "true" : "false";
+    case Kind::kString:
+      return "\"" + str_ + "\"";
+    case Kind::kEnum:
+      return str_;
+    case Kind::kRef:
+      return "@" + std::to_string(int_);
+    case Kind::kRecord: {
+      std::string out = "{";
+      for (size_t i = 0; i < record_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += record_[i].first + ": " + record_[i].second.ToString();
+      }
+      return out + "}";
+    }
+    case Kind::kList:
+    case Kind::kSet: {
+      std::string out = kind_ == Kind::kList ? "[" : "{|";
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += elems_[i].ToString();
+      }
+      return out + (kind_ == Kind::kList ? "]" : "|}");
+    }
+    case Kind::kMatrix: {
+      std::string out = "matrix(" + std::to_string(rows_) + "x" +
+                        std::to_string(cols_) + ")[";
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += elems_[i].ToString();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+const char* ValueKindName(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kNull:
+      return "null";
+    case Value::Kind::kInt:
+      return "int";
+    case Value::Kind::kReal:
+      return "real";
+    case Value::Kind::kBool:
+      return "bool";
+    case Value::Kind::kString:
+      return "string";
+    case Value::Kind::kEnum:
+      return "enum";
+    case Value::Kind::kRecord:
+      return "record";
+    case Value::Kind::kList:
+      return "list";
+    case Value::Kind::kSet:
+      return "set";
+    case Value::Kind::kMatrix:
+      return "matrix";
+    case Value::Kind::kRef:
+      return "ref";
+  }
+  return "?";
+}
+
+}  // namespace caddb

@@ -1,0 +1,139 @@
+#ifndef CADDB_VALUES_VALUE_H_
+#define CADDB_VALUES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace caddb {
+
+/// System-wide object identifier ("any object has an attribute called
+/// surrogate which allows a system-wide identification", paper section 3).
+/// Strongly typed wrapper so surrogates cannot be confused with integers.
+struct Surrogate {
+  uint64_t id = 0;
+
+  constexpr Surrogate() = default;
+  constexpr explicit Surrogate(uint64_t v) : id(v) {}
+
+  constexpr bool valid() const { return id != 0; }
+  static constexpr Surrogate Invalid() { return Surrogate(); }
+
+  friend constexpr bool operator==(Surrogate a, Surrogate b) {
+    return a.id == b.id;
+  }
+  friend constexpr bool operator!=(Surrogate a, Surrogate b) {
+    return a.id != b.id;
+  }
+  friend constexpr bool operator<(Surrogate a, Surrogate b) {
+    return a.id < b.id;
+  }
+};
+
+/// Tagged, deeply comparable attribute value. Covers the paper's simple
+/// domains (integer, boolean, char/string, enumeration symbols) and its
+/// structured constructors (record, list-of, set-of, matrix-of) plus
+/// surrogate references for relating objects.
+class Value {
+ public:
+  enum class Kind {
+    kNull,
+    kInt,
+    kReal,
+    kBool,
+    kString,
+    kEnum,    // an enumeration symbol such as IN, OUT, AND, wood
+    kRecord,  // named fields, canonical order = declaration order
+    kList,    // ordered, duplicates allowed
+    kSet,     // unordered semantics; stored sorted & deduplicated
+    kMatrix,  // rows x cols, row-major elements
+    kRef,     // surrogate reference to another object
+  };
+
+  using Field = std::pair<std::string, Value>;
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null();
+  static Value Int(int64_t v);
+  static Value Real(double v);
+  static Value Bool(bool v);
+  static Value String(std::string v);
+  static Value Enum(std::string symbol);
+  static Value Record(std::vector<Field> fields);
+  static Value List(std::vector<Value> elements);
+  /// Sorts and deduplicates `elements` into canonical set form.
+  static Value Set(std::vector<Value> elements);
+  static Value Matrix(size_t rows, size_t cols, std::vector<Value> elements);
+  static Value Ref(Surrogate s);
+  /// Convenience for the ubiquitous (X, Y: integer) Point record.
+  static Value Point(int64_t x, int64_t y);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  // Scalar accessors; preconditions checked with assert in debug builds.
+  int64_t AsInt() const;
+  double AsReal() const;
+  bool AsBool() const;
+  const std::string& AsString() const;  // kString or kEnum symbol
+  Surrogate AsRef() const;
+
+  // Structured accessors.
+  const std::vector<Field>& fields() const;          // kRecord
+  const std::vector<Value>& elements() const;        // kList/kSet/kMatrix
+  size_t rows() const { return rows_; }              // kMatrix
+  size_t cols() const { return cols_; }              // kMatrix
+
+  /// Record field lookup by name; kNotFound if absent or not a record.
+  Result<Value> Field_(const std::string& name) const;
+
+  /// List/set element count; 0 for non-collections.
+  size_t size() const;
+
+  /// Set membership / list containment by deep equality.
+  bool Contains(const Value& v) const;
+
+  /// Inserts into a set value keeping canonical order; no-op on duplicates.
+  /// Precondition: kind() == kSet.
+  void SetInsert(Value v);
+  /// Appends to a list value. Precondition: kind() == kList.
+  void ListAppend(Value v);
+
+  /// Total order over all values: first by kind, then by content. Gives the
+  /// canonical set ordering and a deterministic sort for query output.
+  int Compare(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+  /// Display form, e.g. {X: 3, Y: 4}, [1, 2], (IN), "abc", @17.
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  int64_t int_ = 0;  // also Bool (0/1) and Ref (surrogate id)
+  double real_ = 0.0;
+  std::string str_;                  // kString / kEnum
+  std::vector<Field> record_;        // kRecord
+  std::vector<Value> elems_;         // kList / kSet / kMatrix
+  size_t rows_ = 0, cols_ = 0;       // kMatrix
+};
+
+/// Kind name for diagnostics ("int", "set", ...).
+const char* ValueKindName(Value::Kind kind);
+
+}  // namespace caddb
+
+#endif  // CADDB_VALUES_VALUE_H_

@@ -1,0 +1,76 @@
+#include "versions/selection.h"
+
+#include <algorithm>
+
+#include "constraints/checker.h"
+#include "expr/eval.h"
+
+namespace caddb {
+
+std::vector<const VersionInfo*> CandidateVersions(const DesignObject& design) {
+  std::vector<const VersionInfo*> out;
+  out.reserve(design.versions().size());
+  for (const VersionInfo& v : design.versions()) out.push_back(&v);
+  std::sort(out.begin(), out.end(),
+            [](const VersionInfo* a, const VersionInfo* b) {
+              return a->seq < b->seq;
+            });
+  return out;
+}
+
+Result<Surrogate> DefaultVersionPolicy::Select(
+    const DesignObject& design, Surrogate /*inheritor*/,
+    const InheritanceManager& /*manager*/) const {
+  if (!design.default_version().valid()) {
+    return FailedPrecondition("design object '" + design.name() +
+                              "' has no default version");
+  }
+  return design.default_version();
+}
+
+Result<Surrogate> PredicatePolicy::Select(
+    const DesignObject& design, Surrogate /*inheritor*/,
+    const InheritanceManager& manager) const {
+  if (predicate_ == nullptr) {
+    return InvalidArgument("predicate policy without a predicate");
+  }
+  std::vector<const VersionInfo*> candidates = CandidateVersions(design);
+  // Newest first: designs usually want the most recent version that meets
+  // the composite's requirements.
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    ObjectEvalContext ctx(&manager, (*it)->object);
+    Result<bool> match = expr::EvaluatePredicate(*predicate_, &ctx);
+    if (!match.ok()) return match.status();
+    if (*match) return (*it)->object;
+  }
+  return NotFound("no version of design object '" + design.name() +
+                  "' satisfies the selection predicate " +
+                  predicate_->ToString());
+}
+
+void EnvironmentPolicy::Pin(const std::string& design, Surrogate version) {
+  pins_[design] = version;
+}
+
+void EnvironmentPolicy::Unpin(const std::string& design) {
+  pins_.erase(design);
+}
+
+Surrogate EnvironmentPolicy::PinnedVersion(const std::string& design) const {
+  auto it = pins_.find(design);
+  return it == pins_.end() ? Surrogate::Invalid() : it->second;
+}
+
+Result<Surrogate> EnvironmentPolicy::Select(
+    const DesignObject& design, Surrogate /*inheritor*/,
+    const InheritanceManager& /*manager*/) const {
+  Surrogate pinned = PinnedVersion(design.name());
+  if (!pinned.valid()) {
+    return FailedPrecondition("environment '" + environment_name_ +
+                              "' does not pin design object '" +
+                              design.name() + "'");
+  }
+  return pinned;
+}
+
+}  // namespace caddb

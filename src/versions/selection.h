@@ -1,0 +1,88 @@
+#ifndef CADDB_VERSIONS_SELECTION_H_
+#define CADDB_VERSIONS_SELECTION_H_
+
+#include <map>
+#include <string>
+
+#include "expr/ast.h"
+#include "versions/version_graph.h"
+
+namespace caddb {
+
+/// Strategy for choosing the component version when a generic relationship is
+/// resolved at assembly time. The paper (section 6) lists exactly three:
+/// top-down (query from the composite), bottom-up (design object's default
+/// version), and environment-guided selection.
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  /// Picks a version of `design` for the given `inheritor`. Must return a
+  /// surrogate that is a version of `design`.
+  virtual Result<Surrogate> Select(const DesignObject& design,
+                                   Surrogate inheritor,
+                                   const InheritanceManager& manager) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Bottom-up: "Design objects supply a specific version as the default
+/// version ... this default version becomes the actual component."
+class DefaultVersionPolicy : public SelectionPolicy {
+ public:
+  Result<Surrogate> Select(const DesignObject& design, Surrogate inheritor,
+                           const InheritanceManager& manager) const override;
+  std::string name() const override { return "default-version"; }
+};
+
+/// Top-down: "A component is selected by queries associated with the
+/// composite object giving the required properties of the component."
+/// Evaluates `predicate` anchored at each candidate version (newest first)
+/// and picks the first match.
+class PredicatePolicy : public SelectionPolicy {
+ public:
+  explicit PredicatePolicy(expr::ExprPtr predicate)
+      : predicate_(std::move(predicate)) {}
+
+  Result<Surrogate> Select(const DesignObject& design, Surrogate inheritor,
+                           const InheritanceManager& manager) const override;
+  std::string name() const override { return "predicate"; }
+
+ private:
+  expr::ExprPtr predicate_;
+};
+
+/// Environment-guided: "the selection is guided by information not included
+/// in the object definition (e.g. environments in [DiLo85])" — a named table
+/// pinning design objects to versions.
+class EnvironmentPolicy : public SelectionPolicy {
+ public:
+  explicit EnvironmentPolicy(std::string environment_name = "default")
+      : environment_name_(std::move(environment_name)) {}
+
+  /// Pins `design` to `version` in this environment.
+  void Pin(const std::string& design, Surrogate version);
+  void Unpin(const std::string& design);
+  /// Invalid if unpinned.
+  Surrogate PinnedVersion(const std::string& design) const;
+
+  /// Fails with kFailedPrecondition when `design` is unpinned (environments
+  /// are explicit: no silent fallback).
+  Result<Surrogate> Select(const DesignObject& design, Surrogate inheritor,
+                           const InheritanceManager& manager) const override;
+  std::string name() const override {
+    return "environment:" + environment_name_;
+  }
+
+ private:
+  std::string environment_name_;
+  std::map<std::string, Surrogate> pins_;
+};
+
+/// Version filter helper shared by policies: candidates in creation order,
+/// optionally restricted to a lifecycle state.
+std::vector<const VersionInfo*> CandidateVersions(const DesignObject& design);
+
+}  // namespace caddb
+
+#endif  // CADDB_VERSIONS_SELECTION_H_

@@ -1,0 +1,285 @@
+#include "versions/version_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "versions/selection.h"
+
+namespace caddb {
+
+const char* VersionStateName(VersionState state) {
+  switch (state) {
+    case VersionState::kInProgress:
+      return "in-progress";
+    case VersionState::kTested:
+      return "tested";
+    case VersionState::kReleased:
+      return "released";
+    case VersionState::kDeprecated:
+      return "deprecated";
+  }
+  return "?";
+}
+
+Result<VersionState> VersionStateFromName(const std::string& name) {
+  for (VersionState state :
+       {VersionState::kInProgress, VersionState::kTested,
+        VersionState::kReleased, VersionState::kDeprecated}) {
+    if (name == VersionStateName(state)) return state;
+  }
+  return InvalidArgument("unknown version state '" + name + "'");
+}
+
+const VersionInfo* DesignObject::Find(Surrogate object) const {
+  for (const VersionInfo& v : versions_) {
+    if (v.object == object) return &v;
+  }
+  return nullptr;
+}
+
+Status VersionManager::CreateDesignObject(const std::string& name,
+                                          const std::string& object_type) {
+  if (name.empty()) return InvalidArgument("empty design object name");
+  if (designs_.count(name) > 0) {
+    return AlreadyExists("design object '" + name + "' already exists");
+  }
+  if (manager_->store()->catalog().FindObjectType(object_type) == nullptr) {
+    return NotFound("design object '" + name + "' names unknown type '" +
+                    object_type + "'");
+  }
+  designs_[name] = DesignObject(name, object_type);
+  return OkStatus();
+}
+
+Result<const DesignObject*> VersionManager::Find(
+    const std::string& name) const {
+  auto it = designs_.find(name);
+  if (it == designs_.end()) {
+    return NotFound("design object '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+DesignObject* VersionManager::FindMutable(const std::string& name) {
+  auto it = designs_.find(name);
+  return it == designs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> VersionManager::DesignObjectNames() const {
+  std::vector<std::string> out;
+  out.reserve(designs_.size());
+  for (const auto& [name, d] : designs_) out.push_back(name);
+  return out;
+}
+
+Status VersionManager::AddVersion(const std::string& design, Surrogate object,
+                                  const std::vector<Surrogate>& predecessors) {
+  DesignObject* d = FindMutable(design);
+  if (d == nullptr) {
+    return NotFound("design object '" + design + "' does not exist");
+  }
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj, manager_->store()->Get(object));
+  if (obj->type_name() != d->object_type()) {
+    return TypeMismatch("design object '" + design + "' holds versions of '" +
+                        d->object_type() + "', got '" + obj->type_name() +
+                        "'");
+  }
+  if (d->Find(object) != nullptr) {
+    return AlreadyExists("@" + std::to_string(object.id) +
+                         " is already a version of '" + design + "'");
+  }
+  for (Surrogate p : predecessors) {
+    if (d->Find(p) == nullptr) {
+      return NotFound("predecessor @" + std::to_string(p.id) +
+                      " is not a version of '" + design + "'");
+    }
+  }
+  VersionInfo info;
+  info.object = object;
+  info.predecessors = predecessors;
+  info.seq = d->next_seq_++;
+  d->versions_.push_back(std::move(info));
+  if (!d->default_version_.valid()) d->default_version_ = object;
+  return OkStatus();
+}
+
+Status VersionManager::SetState(const std::string& design, Surrogate object,
+                                VersionState state) {
+  DesignObject* d = FindMutable(design);
+  if (d == nullptr) {
+    return NotFound("design object '" + design + "' does not exist");
+  }
+  for (VersionInfo& v : d->versions_) {
+    if (v.object == object) {
+      v.state = state;
+      return OkStatus();
+    }
+  }
+  return NotFound("@" + std::to_string(object.id) +
+                  " is not a version of '" + design + "'");
+}
+
+Status VersionManager::SetDefaultVersion(const std::string& design,
+                                         Surrogate object) {
+  DesignObject* d = FindMutable(design);
+  if (d == nullptr) {
+    return NotFound("design object '" + design + "' does not exist");
+  }
+  if (d->Find(object) == nullptr) {
+    return NotFound("@" + std::to_string(object.id) +
+                    " is not a version of '" + design + "'");
+  }
+  d->default_version_ = object;
+  return OkStatus();
+}
+
+Result<Surrogate> VersionManager::DefaultVersion(
+    const std::string& design) const {
+  CADDB_ASSIGN_OR_RETURN(const DesignObject* d, Find(design));
+  if (!d->default_version().valid()) {
+    return FailedPrecondition("design object '" + design +
+                              "' has no versions yet");
+  }
+  return d->default_version();
+}
+
+Result<std::vector<Surrogate>> VersionManager::VersionsInState(
+    const std::string& design, VersionState state) const {
+  CADDB_ASSIGN_OR_RETURN(const DesignObject* d, Find(design));
+  std::vector<Surrogate> out;
+  for (const VersionInfo& v : d->versions()) {
+    if (v.state == state) out.push_back(v.object);
+  }
+  return out;
+}
+
+Result<std::vector<Surrogate>> VersionManager::History(
+    const std::string& design, Surrogate object) const {
+  CADDB_ASSIGN_OR_RETURN(const DesignObject* d, Find(design));
+  if (d->Find(object) == nullptr) {
+    return NotFound("@" + std::to_string(object.id) +
+                    " is not a version of '" + design + "'");
+  }
+  std::vector<Surrogate> out;
+  std::deque<Surrogate> worklist{object};
+  std::set<uint64_t> seen{object.id};
+  while (!worklist.empty()) {
+    Surrogate s = worklist.front();
+    worklist.pop_front();
+    const VersionInfo* info = d->Find(s);
+    if (info == nullptr) continue;
+    for (Surrogate p : info->predecessors) {
+      if (seen.insert(p.id).second) {
+        out.push_back(p);
+        worklist.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Surrogate>> VersionManager::Successors(
+    const std::string& design, Surrogate object) const {
+  CADDB_ASSIGN_OR_RETURN(const DesignObject* d, Find(design));
+  if (d->Find(object) == nullptr) {
+    return NotFound("@" + std::to_string(object.id) +
+                    " is not a version of '" + design + "'");
+  }
+  std::vector<Surrogate> out;
+  for (const VersionInfo& v : d->versions()) {
+    if (std::find(v.predecessors.begin(), v.predecessors.end(), object) !=
+        v.predecessors.end()) {
+      out.push_back(v.object);
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> VersionManager::BindGeneric(
+    Surrogate inheritor, const std::string& design,
+    const std::string& inher_rel_type) {
+  CADDB_ASSIGN_OR_RETURN(const DesignObject* d, Find(design));
+  (void)d;
+  CADDB_ASSIGN_OR_RETURN(const DbObject* obj,
+                         manager_->store()->Get(inheritor));
+  (void)obj;
+  if (manager_->store()->catalog().FindInherRelType(inher_rel_type) ==
+      nullptr) {
+    return NotFound("inher-rel-type '" + inher_rel_type +
+                    "' is not registered");
+  }
+  uint64_t id = next_binding_id_++;
+  generic_bindings_[id] = GenericBinding{id, inheritor, design,
+                                         inher_rel_type, Surrogate::Invalid()};
+  return id;
+}
+
+Result<VersionManager::GenericBinding> VersionManager::GetGenericBinding(
+    uint64_t id) const {
+  auto it = generic_bindings_.find(id);
+  if (it == generic_bindings_.end()) {
+    return NotFound("no generic binding with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<VersionManager::GenericBinding> VersionManager::GenericBindings()
+    const {
+  std::vector<GenericBinding> out;
+  out.reserve(generic_bindings_.size());
+  for (const auto& [id, b] : generic_bindings_) out.push_back(b);
+  return out;
+}
+
+Result<Surrogate> VersionManager::ResolveGeneric(
+    uint64_t id, const SelectionPolicy& policy) {
+  auto it = generic_bindings_.find(id);
+  if (it == generic_bindings_.end()) {
+    return NotFound("no generic binding with id " + std::to_string(id));
+  }
+  GenericBinding& binding = it->second;
+  CADDB_ASSIGN_OR_RETURN(const DesignObject* d, Find(binding.design));
+  CADDB_ASSIGN_OR_RETURN(
+      Surrogate version,
+      policy.Select(*d, binding.inheritor, *manager_));
+  if (d->Find(version) == nullptr) {
+    return InternalError("policy '" + policy.name() +
+                         "' selected @" + std::to_string(version.id) +
+                         " which is not a version of '" + binding.design +
+                         "'");
+  }
+  if (binding.resolved_version == version) return version;
+  if (binding.resolved_version.valid()) {
+    CADDB_RETURN_IF_ERROR(manager_->Unbind(binding.inheritor));
+  }
+  Result<Surrogate> rel =
+      manager_->Bind(binding.inheritor, version, binding.inher_rel_type);
+  if (!rel.ok()) return rel.status();
+  binding.resolved_version = version;
+  return version;
+}
+
+Status VersionManager::MarkResolved(uint64_t id, Surrogate version) {
+  auto it = generic_bindings_.find(id);
+  if (it == generic_bindings_.end()) {
+    return NotFound("no generic binding with id " + std::to_string(id));
+  }
+  GenericBinding& binding = it->second;
+  CADDB_ASSIGN_OR_RETURN(const DesignObject* d, Find(binding.design));
+  if (d->Find(version) == nullptr) {
+    return NotFound("@" + std::to_string(version.id) +
+                    " is not a version of '" + binding.design + "'");
+  }
+  CADDB_ASSIGN_OR_RETURN(Surrogate transmitter,
+                         manager_->TransmitterOf(binding.inheritor));
+  if (transmitter != version) {
+    return FailedPrecondition(
+        "inheritor @" + std::to_string(binding.inheritor.id) +
+        " is not currently bound to @" + std::to_string(version.id));
+  }
+  binding.resolved_version = version;
+  return OkStatus();
+}
+
+}  // namespace caddb

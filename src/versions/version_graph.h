@@ -1,0 +1,146 @@
+#ifndef CADDB_VERSIONS_VERSION_GRAPH_H_
+#define CADDB_VERSIONS_VERSION_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inherit/inheritance.h"
+#include "util/result.h"
+#include "values/value.h"
+
+namespace caddb {
+
+/// Lifecycle state used to classify versions "e.g. according to their degree
+/// of correctness" (paper section 6).
+enum class VersionState {
+  kInProgress,
+  kTested,
+  kReleased,
+  kDeprecated,
+};
+
+const char* VersionStateName(VersionState state);
+/// Inverse of VersionStateName; kInvalidArgument for unknown names.
+Result<VersionState> VersionStateFromName(const std::string& name);
+
+/// One version of a design object: a stored object plus derivation edges
+/// into the version graph.
+struct VersionInfo {
+  Surrogate object;
+  VersionState state = VersionState::kInProgress;
+  /// Versions this one was derived from ("ordering relationships among the
+  /// versions ... keeping track of the design history"). Multiple
+  /// predecessors model merges; none marks an initial version.
+  std::vector<Surrogate> predecessors;
+  /// Creation order within the design object (1-based, monotone).
+  uint64_t seq = 0;
+};
+
+/// A design object = a named group of versions of one object type, typically
+/// the implementations of an interface. Supports the paper's "versioned
+/// versions": an interface is itself a version of a more abstract design
+/// object, with its own implementations as versions.
+class DesignObject {
+ public:
+  DesignObject() = default;
+  DesignObject(std::string name, std::string object_type)
+      : name_(std::move(name)), object_type_(std::move(object_type)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& object_type() const { return object_type_; }
+  const std::vector<VersionInfo>& versions() const { return versions_; }
+  Surrogate default_version() const { return default_version_; }
+
+  const VersionInfo* Find(Surrogate object) const;
+
+ private:
+  friend class VersionManager;
+
+  std::string name_;
+  std::string object_type_;
+  std::vector<VersionInfo> versions_;
+  Surrogate default_version_;
+  uint64_t next_seq_ = 1;
+};
+
+/// Registry of design objects and their version graphs, plus generic
+/// component bindings whose version choice is deferred to assembly time
+/// (paper section 6; [Wilk87], [DiLo85]).
+class VersionManager {
+ public:
+  /// `manager` is not owned and must outlive the version manager.
+  explicit VersionManager(InheritanceManager* manager) : manager_(manager) {}
+
+  VersionManager(const VersionManager&) = delete;
+  VersionManager& operator=(const VersionManager&) = delete;
+
+  // ---- Design objects & version graphs ----
+  Status CreateDesignObject(const std::string& name,
+                            const std::string& object_type);
+  Result<const DesignObject*> Find(const std::string& name) const;
+  std::vector<std::string> DesignObjectNames() const;
+
+  /// Registers `object` as a new version derived from `predecessors` (all of
+  /// which must already be versions). The object must exist and have the
+  /// design object's type. The first version becomes the default.
+  Status AddVersion(const std::string& design, Surrogate object,
+                    const std::vector<Surrogate>& predecessors = {});
+  Status SetState(const std::string& design, Surrogate object,
+                  VersionState state);
+  Status SetDefaultVersion(const std::string& design, Surrogate object);
+  Result<Surrogate> DefaultVersion(const std::string& design) const;
+  /// Versions in `state` (creation order).
+  Result<std::vector<Surrogate>> VersionsInState(const std::string& design,
+                                                 VersionState state) const;
+  /// All transitive ancestors of `object` in derivation order (nearest
+  /// first). Supports "keeping track of the design history".
+  Result<std::vector<Surrogate>> History(const std::string& design,
+                                         Surrogate object) const;
+  /// Direct derivation successors of `object` ("parallel development of
+  /// alternatives" shows as multiple successors).
+  Result<std::vector<Surrogate>> Successors(const std::string& design,
+                                            Surrogate object) const;
+
+  // ---- Generic bindings (deferred version selection) ----
+  /// Declares that `inheritor` takes its transmitter from some version of
+  /// `design`, to be selected later via a SelectionPolicy. Returns a binding
+  /// id.
+  Result<uint64_t> BindGeneric(Surrogate inheritor, const std::string& design,
+                               const std::string& inher_rel_type);
+  struct GenericBinding {
+    uint64_t id = 0;
+    Surrogate inheritor;
+    std::string design;
+    std::string inher_rel_type;
+    /// The version currently materialized as transmitter (Invalid before the
+    /// first resolution).
+    Surrogate resolved_version;
+  };
+  Result<GenericBinding> GetGenericBinding(uint64_t id) const;
+  std::vector<GenericBinding> GenericBindings() const;
+
+  /// Selects a version through `policy` and materializes the inheritance
+  /// binding (rebinding if a different version was previously selected).
+  /// Returns the selected version.
+  Result<Surrogate> ResolveGeneric(uint64_t id, const class SelectionPolicy& policy);
+
+  /// Restore path (persist::Dumper): records that `id` is already resolved
+  /// to `version` — the inheritance binding must already exist and point at
+  /// `version`. Never creates or changes bindings.
+  Status MarkResolved(uint64_t id, Surrogate version);
+
+  InheritanceManager* manager() const { return manager_; }
+
+ private:
+  DesignObject* FindMutable(const std::string& name);
+
+  InheritanceManager* manager_;
+  std::map<std::string, DesignObject> designs_;
+  std::map<uint64_t, GenericBinding> generic_bindings_;
+  uint64_t next_binding_id_ = 1;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_VERSIONS_VERSION_GRAPH_H_

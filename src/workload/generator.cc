@@ -1,0 +1,126 @@
+#include "workload/generator.h"
+
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace workload {
+
+namespace {
+
+/// A GateInterface_I + GateInterface pair with pins; returns the interface.
+Result<Surrogate> NewInterface(Database* db, std::mt19937* rng, int pins) {
+  CADDB_ASSIGN_OR_RETURN(Surrogate abs, db->CreateObject("GateInterface_I"));
+  for (int i = 0; i < pins; ++i) {
+    CADDB_ASSIGN_OR_RETURN(Surrogate pin, db->CreateSubobject(abs, "Pins"));
+    CADDB_RETURN_IF_ERROR(
+        db->Set(pin, "InOut", Value::Enum(i == 0 ? "OUT" : "IN")));
+    CADDB_RETURN_IF_ERROR(db->Set(
+        pin, "PinLocation",
+        Value::Point(static_cast<int64_t>((*rng)() % 100),
+                     static_cast<int64_t>((*rng)() % 100))));
+  }
+  CADDB_ASSIGN_OR_RETURN(Surrogate iface, db->CreateObject("GateInterface"));
+  CADDB_ASSIGN_OR_RETURN(Surrogate binding,
+                         db->Bind(iface, abs, "AllOf_GateInterface_I"));
+  (void)binding;
+  CADDB_RETURN_IF_ERROR(db->Set(
+      iface, "Length", Value::Int(static_cast<int64_t>(4 + (*rng)() % 60))));
+  CADDB_RETURN_IF_ERROR(db->Set(
+      iface, "Width", Value::Int(static_cast<int64_t>(2 + (*rng)() % 30))));
+  return iface;
+}
+
+}  // namespace
+
+Result<Netlist> GenerateNetlist(Database* db, const NetlistParams& params) {
+  if (params.library_size < 1 || params.pins_per_interface < 1 ||
+      params.depth < 1) {
+    return InvalidArgument("netlist params out of range");
+  }
+  std::mt19937 rng(params.seed);
+  Netlist out;
+
+  // The shared library.
+  for (int i = 0; i < params.library_size; ++i) {
+    CADDB_ASSIGN_OR_RETURN(
+        Surrogate iface,
+        NewInterface(db, &rng, params.pins_per_interface));
+    out.library.push_back(iface);
+  }
+  out.hot_interface = out.library.front();
+
+  // Composites, layered by depth: layer k may use interfaces of layer < k
+  // composites as components.
+  std::vector<Surrogate> candidate_pool = out.library;
+  int per_layer = std::max(1, params.composites / params.depth);
+  int built = 0;
+  for (int layer = 0; layer < params.depth && built < params.composites;
+       ++layer) {
+    std::vector<Surrogate> new_interfaces;
+    for (int c = 0; c < per_layer && built < params.composites;
+         ++c, ++built) {
+      CADDB_ASSIGN_OR_RETURN(
+          Surrogate own_iface,
+          NewInterface(db, &rng, params.pins_per_interface));
+      CADDB_ASSIGN_OR_RETURN(Surrogate composite,
+                             db->CreateObject("GateImplementation"));
+      CADDB_ASSIGN_OR_RETURN(
+          Surrogate binding,
+          db->Bind(composite, own_iface, "AllOf_GateInterface"));
+      (void)binding;
+      out.composites.push_back(composite);
+      new_interfaces.push_back(own_iface);
+
+      for (int s = 0; s < params.components_per_composite; ++s) {
+        Surrogate component;
+        if (static_cast<int>(rng() % 100) < params.hot_share_percent) {
+          component = out.hot_interface;
+        } else {
+          component = candidate_pool[rng() % candidate_pool.size()];
+        }
+        CADDB_ASSIGN_OR_RETURN(Surrogate slot,
+                               db->CreateSubobject(composite, "SubGates"));
+        CADDB_ASSIGN_OR_RETURN(
+            Surrogate slot_binding,
+            db->Bind(slot, component, "AllOf_GateInterface"));
+        (void)slot_binding;
+        CADDB_RETURN_IF_ERROR(db->Set(
+            slot, "GateLocation",
+            Value::Point(static_cast<int64_t>(s * 10),
+                         static_cast<int64_t>(layer * 10))));
+        out.slots.push_back(slot);
+
+        if (params.wire_up) {
+          // Wire the composite's first (inherited) pin to the component's
+          // first pin, through the inheritance-resolved views.
+          CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> own_pins,
+                                 db->Subclass(composite, "Pins"));
+          CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> sub_pins,
+                                 db->Subclass(slot, "Pins"));
+          if (!own_pins.empty() && !sub_pins.empty()) {
+            CADDB_ASSIGN_OR_RETURN(
+                Surrogate wire,
+                db->CreateSubrel(composite, "Wires",
+                                 {{"Pin1", {own_pins[rng() % own_pins.size()]}},
+                                  {"Pin2", {sub_pins[rng() % sub_pins.size()]}}}));
+            (void)wire;
+            ++out.wires;
+          }
+        }
+      }
+    }
+    candidate_pool.insert(candidate_pool.end(), new_interfaces.begin(),
+                          new_interfaces.end());
+  }
+  return out;
+}
+
+Result<Netlist> GenerateNetlistInto(Database* db,
+                                    const NetlistParams& params) {
+  CADDB_RETURN_IF_ERROR(db->ExecuteDdl(schemas::kGatesBase));
+  CADDB_RETURN_IF_ERROR(db->ExecuteDdl(schemas::kGatesInterfaces));
+  return GenerateNetlist(db, params);
+}
+
+}  // namespace workload
+}  // namespace caddb

@@ -1,0 +1,55 @@
+#ifndef CADDB_WORKLOAD_GENERATOR_H_
+#define CADDB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/database.h"
+
+namespace caddb {
+namespace workload {
+
+/// Parameters of a synthetic design workload: a library of gate interfaces
+/// and a forest of composite implementations using them as components —
+/// the population the paper's CAD scenarios imply but never quantify.
+struct NetlistParams {
+  uint32_t seed = 42;
+  /// Interfaces in the shared library.
+  int library_size = 8;
+  /// Pins per interface (one OUT, rest IN).
+  int pins_per_interface = 3;
+  /// Composite implementations to build.
+  int composites = 16;
+  /// Component slots per composite (subgates bound to library interfaces).
+  int components_per_composite = 4;
+  /// Composition nesting depth: depth > 1 promotes earlier composites'
+  /// interfaces into the candidate pool, creating part-of hierarchies.
+  int depth = 2;
+  /// Fraction (0-100) of component slots that bind to the single "hot"
+  /// library interface — models heavily shared standard cells.
+  int hot_share_percent = 25;
+  /// Create wires between the composite's pins and component pins.
+  bool wire_up = true;
+};
+
+/// The generated population, for benchmarks and stress tests to navigate.
+struct Netlist {
+  std::vector<Surrogate> library;     // library GateInterface objects
+  Surrogate hot_interface;            // the most-shared interface
+  std::vector<Surrogate> composites;  // GateImplementation objects
+  std::vector<Surrogate> slots;       // all component subobjects
+  size_t wires = 0;
+};
+
+/// Populates `db` (which must already hold the paper gate schemas — see
+/// core/paper_schemas.h) with a random netlist. Deterministic per seed.
+Result<Netlist> GenerateNetlist(Database* db, const NetlistParams& params);
+
+/// Convenience: fresh database + schemas + netlist.
+Result<Netlist> GenerateNetlistInto(Database* db, const NetlistParams& params);
+
+}  // namespace workload
+}  // namespace caddb
+
+#endif  // CADDB_WORKLOAD_GENERATOR_H_

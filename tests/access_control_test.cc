@@ -1,0 +1,85 @@
+#include "txn/access_control.h"
+
+#include <gtest/gtest.h>
+
+#include "ddl/parser.h"
+
+namespace caddb {
+namespace {
+
+class AccessControlTest : public ::testing::Test {
+ protected:
+  AccessControlTest() : store_(&catalog_) {
+    Status s = ddl::Parser::ParseSchema(R"(
+      obj-type Bolt = attributes: L: integer; end Bolt;
+      obj-type Sketch = attributes: L: integer; end Sketch;
+    )",
+                                        &catalog_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    bolt_ = store_.CreateObject("Bolt").value();
+    sketch_ = store_.CreateObject("Sketch").value();
+  }
+
+  Catalog catalog_;
+  ObjectStore store_;
+  AccessControl acl_;
+  Surrogate bolt_, sketch_;
+};
+
+TEST_F(AccessControlTest, GlobalDefaultIsReadWrite) {
+  EXPECT_TRUE(acl_.CheckRead("anyone", bolt_, store_).ok());
+  EXPECT_TRUE(acl_.CheckUpdate("anyone", bolt_, store_).ok());
+}
+
+TEST_F(AccessControlTest, GlobalDefaultOverride) {
+  acl_.SetGlobalDefault(Rights::ReadOnly());
+  EXPECT_TRUE(acl_.CheckRead("anyone", bolt_, store_).ok());
+  EXPECT_EQ(acl_.CheckUpdate("anyone", bolt_, store_).code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(AccessControlTest, ResolutionOrderMostSpecificWins) {
+  // user default < type grant < object grant.
+  acl_.GrantUserDefault("eve", Rights::None());
+  EXPECT_FALSE(acl_.EffectiveRights("eve", bolt_, store_).read);
+
+  acl_.GrantOnType("eve", "Bolt", Rights::ReadOnly());
+  EXPECT_TRUE(acl_.EffectiveRights("eve", bolt_, store_).read);
+  EXPECT_FALSE(acl_.EffectiveRights("eve", bolt_, store_).update);
+  EXPECT_FALSE(acl_.EffectiveRights("eve", sketch_, store_).read)
+      << "type grant only covers Bolt";
+
+  acl_.GrantOnObject("eve", bolt_, Rights::ReadWrite());
+  EXPECT_TRUE(acl_.EffectiveRights("eve", bolt_, store_).update);
+}
+
+TEST_F(AccessControlTest, StandardObjectProtection) {
+  acl_.ProtectStandardObject(bolt_, "librarian");
+  EXPECT_TRUE(acl_.IsStandardObject(bolt_));
+  EXPECT_FALSE(acl_.IsStandardObject(sketch_));
+  // Everyone else: capped at read-only, even with explicit write grants.
+  acl_.GrantOnObject("alice", bolt_, Rights::ReadWrite());
+  EXPECT_TRUE(acl_.EffectiveRights("alice", bolt_, store_).read);
+  EXPECT_FALSE(acl_.EffectiveRights("alice", bolt_, store_).update);
+  // The owner keeps full rights.
+  EXPECT_TRUE(acl_.EffectiveRights("librarian", bolt_, store_).update);
+}
+
+TEST_F(AccessControlTest, RightsHelpers) {
+  EXPECT_FALSE(Rights::None().read);
+  EXPECT_FALSE(Rights::None().update);
+  EXPECT_TRUE(Rights::ReadOnly().read);
+  EXPECT_FALSE(Rights::ReadOnly().update);
+  EXPECT_TRUE(Rights::ReadWrite().update);
+}
+
+TEST_F(AccessControlTest, ErrorMessagesNameUserAndObject) {
+  acl_.GrantUserDefault("eve", Rights::None());
+  Status denied = acl_.CheckRead("eve", bolt_, store_);
+  EXPECT_NE(denied.message().find("eve"), std::string::npos);
+  EXPECT_NE(denied.message().find("@" + std::to_string(bolt_.id)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace caddb

@@ -1,0 +1,149 @@
+#include "baselines/copy_import.h"
+#include "baselines/rigid_interface.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace caddb {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() {
+    Status s = db_.ExecuteDdl(R"(
+      obj-type Iface = attributes: L, W: integer; end Iface;
+      inher-rel-type AllOfIface =
+        transmitter: object-of-type Iface;
+        inheritor: object;
+        inheriting: L, W;
+      end AllOfIface;
+      obj-type Impl =
+        inheritor-in: AllOfIface;
+        attributes: Cost: integer;
+      end Impl;
+      /* copy-baseline target type duplicates the interface attributes */
+      obj-type CopyTarget = attributes: L, W, Cost: integer; end CopyTarget;
+      /* a second-level interface to prove the single-level restriction */
+      obj-type SubIface =
+        inheritor-in: AllOfIface;
+      end SubIface;
+    )");
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    source_ = db_.CreateObject("Iface").value();
+    EXPECT_TRUE(db_.Set(source_, "L", Value::Int(10)).ok());
+    EXPECT_TRUE(db_.Set(source_, "W", Value::Int(4)).ok());
+  }
+
+  Database db_;
+  Surrogate source_;
+};
+
+TEST_F(BaselinesTest, CopyImportCopiesCurrentValues) {
+  CopyImportManager copies(&db_.inheritance());
+  Surrogate target = db_.CreateObject("CopyTarget").value();
+  uint64_t id = copies.ImportByCopy(target, source_, {"L", "W"}).value();
+  EXPECT_EQ(db_.Get(target, "L")->AsInt(), 10);
+  EXPECT_EQ(db_.Get(target, "W")->AsInt(), 4);
+  EXPECT_FALSE(*copies.IsStale(id));
+  EXPECT_EQ(copies.imports().size(), 1u);
+  EXPECT_EQ(copies.ImportByCopy(target, source_, {}).status().code(),
+            Code::kInvalidArgument);
+}
+
+TEST_F(BaselinesTest, CopiesGoStaleAndNeedManualRefresh) {
+  CopyImportManager copies(&db_.inheritance());
+  Surrogate t1 = db_.CreateObject("CopyTarget").value();
+  Surrogate t2 = db_.CreateObject("CopyTarget").value();
+  uint64_t id1 = copies.ImportByCopy(t1, source_, {"L"}).value();
+  uint64_t id2 = copies.ImportByCopy(t2, source_, {"L"}).value();
+
+  ASSERT_TRUE(db_.Set(source_, "L", Value::Int(20)).ok());
+  EXPECT_TRUE(*copies.IsStale(id1));
+  EXPECT_TRUE(*copies.IsStale(id2));
+  EXPECT_EQ(*copies.CountStale(), 2u);
+  EXPECT_EQ(db_.Get(t1, "L")->AsInt(), 10) << "stale until refreshed";
+
+  EXPECT_EQ(*copies.RefreshAllFrom(source_), 2u);
+  EXPECT_EQ(db_.Get(t1, "L")->AsInt(), 20);
+  EXPECT_EQ(db_.Get(t2, "L")->AsInt(), 20);
+  EXPECT_EQ(*copies.CountStale(), 0u);
+}
+
+TEST_F(BaselinesTest, CopySeversTheConnection) {
+  // The paper's first criticism: with a copy, the component does not know
+  // its users. Value inheritance keeps the where-used link; copies don't.
+  CopyImportManager copies(&db_.inheritance());
+  Surrogate target = db_.CreateObject("CopyTarget").value();
+  copies.ImportByCopy(target, source_, {"L"}).value();
+  EXPECT_TRUE(db_.store().ReferencingRelationships(source_).empty());
+
+  Surrogate impl = db_.CreateObject("Impl").value();
+  ASSERT_TRUE(db_.Bind(impl, source_, "AllOfIface").ok());
+  EXPECT_EQ(db_.store().ReferencingRelationships(source_).size(), 1u);
+}
+
+TEST_F(BaselinesTest, RefreshSingleImport) {
+  CopyImportManager copies(&db_.inheritance());
+  Surrogate target = db_.CreateObject("CopyTarget").value();
+  uint64_t id = copies.ImportByCopy(target, source_, {"L"}).value();
+  ASSERT_TRUE(db_.Set(source_, "L", Value::Int(30)).ok());
+  ASSERT_TRUE(copies.Refresh(id).ok());
+  EXPECT_EQ(db_.Get(target, "L")->AsInt(), 30);
+  EXPECT_EQ(copies.Refresh(999).code(), Code::kNotFound);
+  EXPECT_EQ(copies.IsStale(999).status().code(), Code::kNotFound);
+}
+
+TEST_F(BaselinesTest, RigidInterfaceFreezesOnFirstImplementation) {
+  RigidInterfaceRegistry rigid(&db_.inheritance());
+  ASSERT_TRUE(rigid.DeclareRigidInterface("Iface").ok());
+  EXPECT_TRUE(rigid.IsRigidInterfaceType("Iface"));
+  // No implementations yet: still mutable.
+  EXPECT_FALSE(*rigid.IsFrozen(source_));
+  EXPECT_TRUE(rigid.GuardedSetAttribute(source_, "L", Value::Int(11)).ok());
+
+  Surrogate impl = db_.CreateObject("Impl").value();
+  ASSERT_TRUE(db_.Bind(impl, source_, "AllOfIface").ok());
+  EXPECT_TRUE(*rigid.IsFrozen(source_));
+  EXPECT_EQ(
+      rigid.GuardedSetAttribute(source_, "L", Value::Int(12)).code(),
+      Code::kFailedPrecondition);
+  // The flexible model, by contrast, just updates.
+  EXPECT_TRUE(db_.Set(source_, "L", Value::Int(12)).ok());
+}
+
+TEST_F(BaselinesTest, RigidInterfaceRejectsHierarchies) {
+  RigidInterfaceRegistry rigid(&db_.inheritance());
+  // SubIface is itself an inheritor: not allowed as a rigid interface.
+  EXPECT_EQ(rigid.DeclareRigidInterface("SubIface").code(),
+            Code::kFailedPrecondition);
+  EXPECT_EQ(rigid.DeclareRigidInterface("Nope").code(), Code::kNotFound);
+}
+
+TEST_F(BaselinesTest, EvolveFrozenInterfaceRebindsEverything) {
+  RigidInterfaceRegistry rigid(&db_.inheritance());
+  ASSERT_TRUE(rigid.DeclareRigidInterface("Iface").ok());
+  std::vector<Surrogate> impls;
+  for (int i = 0; i < 3; ++i) {
+    Surrogate impl = db_.CreateObject("Impl").value();
+    ASSERT_TRUE(db_.Bind(impl, source_, "AllOfIface").ok());
+    impls.push_back(impl);
+  }
+  size_t ops = 0;
+  Surrogate fresh =
+      rigid.EvolveFrozenInterface(source_, "L", Value::Int(99), &ops)
+          .value();
+  EXPECT_NE(fresh, source_);
+  // 1 create + 2 attribute copies (L, W) + 3 * 2 rebinds.
+  EXPECT_EQ(ops, 9u);
+  for (Surrogate impl : impls) {
+    EXPECT_EQ(*db_.inheritance().TransmitterOf(impl), fresh);
+    EXPECT_EQ(db_.Get(impl, "L")->AsInt(), 99);
+    EXPECT_EQ(db_.Get(impl, "W")->AsInt(), 4) << "other attributes copied";
+  }
+  // The old interface is now implementation-free and thawed.
+  EXPECT_FALSE(*rigid.IsFrozen(source_));
+}
+
+}  // namespace
+}  // namespace caddb

@@ -1,0 +1,249 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace caddb {
+namespace {
+
+ObjectTypeDef SimpleType(const std::string& name) {
+  ObjectTypeDef def;
+  def.name = name;
+  def.attributes.push_back({"A", Domain::Int()});
+  return def;
+}
+
+InherRelTypeDef InherRel(const std::string& name,
+                         const std::string& transmitter,
+                         std::vector<std::string> inheriting,
+                         const std::string& inheritor = "") {
+  InherRelTypeDef def;
+  def.name = name;
+  def.transmitter_type = transmitter;
+  def.inheritor_type = inheritor;
+  def.inheriting = std::move(inheriting);
+  return def;
+}
+
+TEST(CatalogTest, BuiltinDomains) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.ResolveDomain("integer").ok());
+  EXPECT_TRUE(catalog.ResolveDomain("boolean").ok());
+  EXPECT_TRUE(catalog.ResolveDomain("char").ok());
+  EXPECT_TRUE(catalog.ResolveDomain("Point").ok());
+  EXPECT_EQ(catalog.ResolveDomain("nonsense").status().code(),
+            Code::kNotFound);
+}
+
+TEST(CatalogTest, DomainRegistrationAndCollision) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterDomain("IO", Domain::Enum({"IN", "OUT"})).ok());
+  EXPECT_EQ(catalog.RegisterDomain("IO", Domain::Int()).code(),
+            Code::kAlreadyExists);
+  // One namespace for all names: a type may not shadow a domain.
+  EXPECT_EQ(catalog.RegisterObjectType(SimpleType("IO")).code(),
+            Code::kAlreadyExists);
+}
+
+TEST(CatalogTest, DuplicateMemberRejected) {
+  Catalog catalog;
+  ObjectTypeDef def = SimpleType("T");
+  def.attributes.push_back({"A", Domain::Int()});
+  EXPECT_EQ(catalog.RegisterObjectType(def).code(), Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, EffectiveSchemaWithoutInheritance) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterObjectType(SimpleType("T")).ok());
+  auto schema = catalog.EffectiveSchemaFor("T");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->attributes.size(), 1u);
+  EXPECT_FALSE(schema->IsInherited("A"));
+  EXPECT_TRUE(schema->transmitter_type.empty());
+}
+
+TEST(CatalogTest, EffectiveSchemaMergesInheritedItems) {
+  Catalog catalog;
+  ObjectTypeDef iface;
+  iface.name = "Iface";
+  iface.attributes = {{"L", Domain::Int()}, {"W", Domain::Int()}};
+  iface.subclasses = {{"Pins", "Pin"}};
+  ASSERT_TRUE(catalog.RegisterObjectType(iface).ok());
+  ASSERT_TRUE(catalog.RegisterObjectType(SimpleType("Pin")).ok());
+  ASSERT_TRUE(
+      catalog.RegisterInherRelType(InherRel("R", "Iface", {"L", "Pins"}))
+          .ok());
+  ObjectTypeDef impl;
+  impl.name = "Impl";
+  impl.inheritor_in = "R";
+  impl.attributes = {{"Cost", Domain::Int()}};
+  ASSERT_TRUE(catalog.RegisterObjectType(impl).ok());
+
+  auto schema = catalog.EffectiveSchemaFor("Impl");
+  ASSERT_TRUE(schema.ok());
+  // Inherited L + Pins, own Cost; W is NOT permeable.
+  EXPECT_NE(schema->FindAttribute("L"), nullptr);
+  EXPECT_EQ(schema->FindAttribute("W"), nullptr);
+  EXPECT_NE(schema->FindAttribute("Cost"), nullptr);
+  EXPECT_NE(schema->FindSubclass("Pins"), nullptr);
+  EXPECT_TRUE(schema->IsInherited("L"));
+  EXPECT_TRUE(schema->IsInherited("Pins"));
+  EXPECT_FALSE(schema->IsInherited("Cost"));
+  EXPECT_EQ(schema->provenance.at("L").origin_type, "Iface");
+  EXPECT_EQ(schema->inheritor_in, "R");
+  EXPECT_EQ(schema->transmitter_type, "Iface");
+}
+
+TEST(CatalogTest, ChainedHierarchyComposesPermeability) {
+  Catalog catalog;
+  ObjectTypeDef top;
+  top.name = "Top";
+  top.attributes = {{"A", Domain::Int()}, {"B", Domain::Int()}};
+  ASSERT_TRUE(catalog.RegisterObjectType(top).ok());
+  ASSERT_TRUE(
+      catalog.RegisterInherRelType(InherRel("R1", "Top", {"A"})).ok());
+  ObjectTypeDef mid;
+  mid.name = "Mid";
+  mid.inheritor_in = "R1";
+  mid.attributes = {{"C", Domain::Int()}};
+  ASSERT_TRUE(catalog.RegisterObjectType(mid).ok());
+  ASSERT_TRUE(
+      catalog.RegisterInherRelType(InherRel("R2", "Mid", {"A", "C"})).ok());
+  ObjectTypeDef leaf;
+  leaf.name = "Leaf";
+  leaf.inheritor_in = "R2";
+  ASSERT_TRUE(catalog.RegisterObjectType(leaf).ok());
+
+  auto schema = catalog.EffectiveSchemaFor("Leaf");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->IsInherited("A"));
+  EXPECT_TRUE(schema->IsInherited("C"));
+  // A originates two levels up; provenance tracks the declaring type.
+  EXPECT_EQ(schema->provenance.at("A").origin_type, "Top");
+  EXPECT_EQ(schema->provenance.at("C").origin_type, "Mid");
+  // B never passed R1, so R2 may not export it either.
+  EXPECT_EQ(schema->FindAttribute("B"), nullptr);
+}
+
+TEST(CatalogTest, InheritingUnknownItemFails) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterObjectType(SimpleType("T")).ok());
+  ASSERT_TRUE(
+      catalog.RegisterInherRelType(InherRel("R", "T", {"Nope"})).ok());
+  ObjectTypeDef leaf;
+  leaf.name = "Leaf";
+  leaf.inheritor_in = "R";
+  ASSERT_TRUE(catalog.RegisterObjectType(leaf).ok());
+  auto schema = catalog.EffectiveSchemaFor("Leaf");
+  EXPECT_EQ(schema.status().code(), Code::kInvalidArgument);
+  EXPECT_EQ(catalog.Validate().code(), Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, TypeLevelCycleDetected) {
+  Catalog catalog;
+  ObjectTypeDef a;
+  a.name = "A";
+  a.inheritor_in = "RB";
+  a.attributes = {{"X", Domain::Int()}};
+  ObjectTypeDef b;
+  b.name = "B";
+  b.inheritor_in = "RA";
+  b.attributes = {{"Y", Domain::Int()}};
+  ASSERT_TRUE(catalog.RegisterObjectType(a).ok());
+  ASSERT_TRUE(catalog.RegisterObjectType(b).ok());
+  ASSERT_TRUE(catalog.RegisterInherRelType(InherRel("RA", "A", {"X"})).ok());
+  ASSERT_TRUE(catalog.RegisterInherRelType(InherRel("RB", "B", {"Y"})).ok());
+  EXPECT_EQ(catalog.EffectiveSchemaFor("A").status().code(), Code::kCycle);
+  EXPECT_EQ(catalog.EffectiveSchemaFor("B").status().code(), Code::kCycle);
+}
+
+TEST(CatalogTest, ShadowingInheritedNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterObjectType(SimpleType("T")).ok());
+  ASSERT_TRUE(catalog.RegisterInherRelType(InherRel("R", "T", {"A"})).ok());
+  ObjectTypeDef leaf;
+  leaf.name = "Leaf";
+  leaf.inheritor_in = "R";
+  leaf.attributes = {{"A", Domain::Int()}};  // shadows inherited A
+  ASSERT_TRUE(catalog.RegisterObjectType(leaf).ok());
+  EXPECT_EQ(catalog.EffectiveSchemaFor("Leaf").status().code(),
+            Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, InheritorTypeRestrictionEnforced) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterObjectType(SimpleType("T")).ok());
+  ASSERT_TRUE(
+      catalog.RegisterInherRelType(InherRel("R", "T", {"A"}, "OnlyThis"))
+          .ok());
+  ObjectTypeDef other;
+  other.name = "Other";
+  other.inheritor_in = "R";
+  ASSERT_TRUE(catalog.RegisterObjectType(other).ok());
+  EXPECT_EQ(catalog.EffectiveSchemaFor("Other").status().code(),
+            Code::kTypeMismatch);
+}
+
+TEST(CatalogTest, ValidateCatchesDanglingReferences) {
+  Catalog catalog;
+  ObjectTypeDef def = SimpleType("T");
+  def.subclasses.push_back({"Subs", "MissingType"});
+  ASSERT_TRUE(catalog.RegisterObjectType(def).ok());
+  EXPECT_EQ(catalog.Validate().code(), Code::kNotFound);
+}
+
+TEST(CatalogTest, ValidateResolvesForwardReferences) {
+  // The paper's steel schema declares AllOf_GirderIf before Girder exists;
+  // registration must not demand definition order.
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.RegisterInherRelType(InherRel("R", "Late", {"A"})).ok());
+  ObjectTypeDef leaf;
+  leaf.name = "Leaf";
+  leaf.inheritor_in = "R";
+  ASSERT_TRUE(catalog.RegisterObjectType(leaf).ok());
+  EXPECT_EQ(catalog.Validate().code(), Code::kNotFound);  // Late missing
+  ASSERT_TRUE(catalog.RegisterObjectType(SimpleType("Late")).ok());
+  EXPECT_TRUE(catalog.Validate().ok());
+}
+
+TEST(CatalogTest, EmptyInheritingClauseRejected) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.RegisterInherRelType(InherRel("R", "T", {})).code(),
+            Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, RelTypeRegistrationAndLookup) {
+  Catalog catalog;
+  RelTypeDef rel;
+  rel.name = "Wire";
+  rel.participants = {{"P1", "Pin", false}, {"P2", "Pin", false}};
+  rel.attributes = {{"Len", Domain::Int()}};
+  ASSERT_TRUE(catalog.RegisterRelType(rel).ok());
+  const RelTypeDef* found = catalog.FindRelType("Wire");
+  ASSERT_NE(found, nullptr);
+  EXPECT_NE(found->FindParticipant("P1"), nullptr);
+  EXPECT_EQ(found->FindParticipant("P9"), nullptr);
+  EXPECT_NE(found->FindAttribute("Len"), nullptr);
+  // Duplicate role.
+  RelTypeDef dup;
+  dup.name = "Dup";
+  dup.participants = {{"P", "", false}, {"P", "", false}};
+  EXPECT_EQ(catalog.RegisterRelType(dup).code(), Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, SchemaCacheInvalidatedByRegistration) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterObjectType(SimpleType("T")).ok());
+  ASSERT_TRUE(catalog.EffectiveSchemaFor("T").ok());  // warm the cache
+  ASSERT_TRUE(catalog.RegisterInherRelType(InherRel("R", "T", {"A"})).ok());
+  ObjectTypeDef leaf;
+  leaf.name = "Leaf";
+  leaf.inheritor_in = "R";
+  ASSERT_TRUE(catalog.RegisterObjectType(leaf).ok());
+  auto schema = catalog.EffectiveSchemaFor("Leaf");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->IsInherited("A"));
+}
+
+}  // namespace
+}  // namespace caddb

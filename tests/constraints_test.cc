@@ -1,0 +1,256 @@
+#include "constraints/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace {
+
+Value Pin(int64_t id, const char* dir) {
+  return Value::Record(
+      {{"PinId", Value::Int(id)}, {"InOut", Value::Enum(dir)}});
+}
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  ConstraintsTest() {
+    Status s = db_.ExecuteDdl(schemas::kGatesBase);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    s = db_.ValidateSchema();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  Database db_;
+};
+
+TEST_F(ConstraintsTest, SimpleGatePinCounts) {
+  Surrogate gate = db_.CreateObject("SimpleGate").value();
+  // No pins at all: count = 0 != 2 -> violated.
+  EXPECT_EQ(db_.constraints().CheckObject(gate).code(),
+            Code::kConstraintViolation);
+  ASSERT_TRUE(db_.Set(gate, "Pins",
+                      Value::Set({Pin(1, "IN"), Pin(2, "IN"), Pin(3, "OUT")}))
+                  .ok());
+  EXPECT_TRUE(db_.constraints().CheckObject(gate).ok());
+  // Two outputs: second constraint violated.
+  ASSERT_TRUE(db_.Set(gate, "Pins",
+                      Value::Set({Pin(1, "IN"), Pin(2, "IN"), Pin(3, "OUT"),
+                                  Pin(4, "OUT")}))
+                  .ok());
+  EXPECT_EQ(db_.constraints().CheckObject(gate).code(),
+            Code::kConstraintViolation);
+}
+
+TEST_F(ConstraintsTest, ElementaryGateCountsOverSubclass) {
+  Surrogate gate = db_.CreateObject("ElementaryGate").value();
+  auto add_pin = [&](const char* dir) {
+    Surrogate pin = db_.CreateSubobject(gate, "Pins").value();
+    EXPECT_TRUE(db_.Set(pin, "InOut", Value::Enum(dir)).ok());
+    return pin;
+  };
+  add_pin("IN");
+  add_pin("IN");
+  EXPECT_EQ(db_.constraints().CheckObject(gate).code(),
+            Code::kConstraintViolation)
+      << "missing output pin";
+  add_pin("OUT");
+  EXPECT_TRUE(db_.constraints().CheckObject(gate).ok());
+}
+
+TEST_F(ConstraintsTest, WireWhereClauseCrossNestingLevels) {
+  Surrogate gate = db_.CreateObject("Gate").value();
+  Surrogate ext_pin = db_.CreateSubobject(gate, "Pins").value();
+  Surrogate sub = db_.CreateSubobject(gate, "SubGates").value();
+  // CheckDeep will also verify the subgate's own pin-count constraints, so
+  // build a complete 2-in/1-out elementary gate.
+  Surrogate sub_pin = db_.CreateSubobject(sub, "Pins").value();
+  ASSERT_TRUE(db_.Set(sub_pin, "InOut", Value::Enum("IN")).ok());
+  Surrogate sub_in2 = db_.CreateSubobject(sub, "Pins").value();
+  ASSERT_TRUE(db_.Set(sub_in2, "InOut", Value::Enum("IN")).ok());
+  Surrogate sub_out = db_.CreateSubobject(sub, "Pins").value();
+  ASSERT_TRUE(db_.Set(sub_out, "InOut", Value::Enum("OUT")).ok());
+  // Stranger pin, not part of the gate at all.
+  Surrogate stranger = db_.CreateObject("PinType").value();
+
+  Surrogate good =
+      db_.CreateSubrel(gate, "Wires",
+                       {{"Pin1", {ext_pin}}, {"Pin2", {sub_pin}}})
+          .value();
+  EXPECT_TRUE(db_.constraints().CheckSubrelMember(gate, "Wires", good).ok());
+
+  Surrogate bad =
+      db_.CreateSubrel(gate, "Wires",
+                       {{"Pin1", {ext_pin}}, {"Pin2", {stranger}}})
+          .value();
+  EXPECT_EQ(db_.constraints().CheckSubrelMember(gate, "Wires", bad).code(),
+            Code::kConstraintViolation);
+
+  // CheckDeep finds the bad wire from the root.
+  EXPECT_EQ(db_.constraints().CheckDeep(gate).code(),
+            Code::kConstraintViolation);
+  ASSERT_TRUE(db_.Delete(bad).ok());
+  EXPECT_TRUE(db_.constraints().CheckDeep(gate).ok());
+}
+
+TEST_F(ConstraintsTest, CheckAllSweepsTopLevelObjects) {
+  Surrogate ok_gate = db_.CreateObject("SimpleGate").value();
+  ASSERT_TRUE(db_.Set(ok_gate, "Pins",
+                      Value::Set({Pin(1, "IN"), Pin(2, "IN"), Pin(3, "OUT")}))
+                  .ok());
+  EXPECT_TRUE(db_.constraints().CheckAll().ok());
+  db_.CreateObject("SimpleGate").value();  // empty gate violates
+  EXPECT_EQ(db_.constraints().CheckAll().code(), Code::kConstraintViolation);
+}
+
+TEST_F(ConstraintsTest, EvaluateAdHocPredicates) {
+  Surrogate gate = db_.CreateObject("SimpleGate").value();
+  ASSERT_TRUE(db_.Set(gate, "Length", Value::Int(12)).ok());
+  ASSERT_TRUE(db_.Set(gate, "Function", Value::Enum("NAND")).ok());
+  EXPECT_TRUE(*db_.Holds(gate, "Length > 10"));
+  EXPECT_FALSE(*db_.Holds(gate, "Length > 20"));
+  EXPECT_TRUE(*db_.Holds(gate, "Function = NAND"));
+  EXPECT_TRUE(*db_.Holds(gate, "Length * 2 = 24"));
+  EXPECT_FALSE(db_.Holds(gate, "NoSuchAttr.X = 1").ok());
+}
+
+class SteelConstraintsTest : public ::testing::Test {
+ protected:
+  SteelConstraintsTest() {
+    Status s = db_.ExecuteDdl(schemas::kSteel);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    bolt_ = NewBolt(8, 45);
+    nut_ = db_.CreateObject("NutType").value();
+    EXPECT_TRUE(db_.Set(nut_, "Diameter", Value::Int(8)).ok());
+    EXPECT_TRUE(db_.Set(nut_, "Length", Value::Int(5)).ok());
+    plate_ = db_.CreateObject("PlateInterface").value();
+    bore1_ = NewBore(9, 20);
+    bore2_ = NewBore(9, 20);
+  }
+
+  Surrogate NewBolt(int64_t diameter, int64_t length) {
+    Surrogate bolt = db_.CreateObject("BoltType").value();
+    EXPECT_TRUE(db_.Set(bolt, "Diameter", Value::Int(diameter)).ok());
+    EXPECT_TRUE(db_.Set(bolt, "Length", Value::Int(length)).ok());
+    return bolt;
+  }
+
+  Surrogate NewBore(int64_t diameter, int64_t length) {
+    Surrogate bore = db_.CreateSubobject(plate_, "Bores").value();
+    EXPECT_TRUE(db_.Set(bore, "Diameter", Value::Int(diameter)).ok());
+    EXPECT_TRUE(db_.Set(bore, "Length", Value::Int(length)).ok());
+    return bore;
+  }
+
+  /// Builds a screwing over the two bores with bolt/nut subobjects bound to
+  /// the given catalog parts.
+  Surrogate MakeScrewing(Surrogate bolt, Surrogate nut) {
+    Surrogate screwing =
+        db_.CreateRelationship("ScrewingType", {{"Bores", {bore1_, bore2_}}})
+            .value();
+    Surrogate bolt_slot = db_.CreateSubobject(screwing, "Bolt").value();
+    EXPECT_TRUE(db_.Bind(bolt_slot, bolt, "AllOf_BoltType").ok());
+    Surrogate nut_slot = db_.CreateSubobject(screwing, "Nut").value();
+    EXPECT_TRUE(db_.Bind(nut_slot, nut, "AllOf_NutType").ok());
+    return screwing;
+  }
+
+  Database db_;
+  Surrogate bolt_, nut_, plate_, bore1_, bore2_;
+};
+
+TEST_F(SteelConstraintsTest, WellFormedScrewingPasses) {
+  Surrogate screwing = MakeScrewing(bolt_, nut_);
+  Status s = db_.constraints().CheckObject(screwing);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST_F(SteelConstraintsTest, MissingNutViolatesCardinality) {
+  Surrogate screwing =
+      db_.CreateRelationship("ScrewingType", {{"Bores", {bore1_}}}).value();
+  Surrogate bolt_slot = db_.CreateSubobject(screwing, "Bolt").value();
+  ASSERT_TRUE(db_.Bind(bolt_slot, bolt_, "AllOf_BoltType").ok());
+  EXPECT_EQ(db_.constraints().CheckObject(screwing).code(),
+            Code::kConstraintViolation);
+}
+
+TEST_F(SteelConstraintsTest, DiameterMismatchCaught) {
+  Surrogate fat_bolt = NewBolt(10, 45);
+  Surrogate screwing = MakeScrewing(fat_bolt, nut_);
+  EXPECT_EQ(db_.constraints().CheckObject(screwing).code(),
+            Code::kConstraintViolation)
+      << "bolt 10mm vs nut 8mm";
+}
+
+TEST_F(SteelConstraintsTest, BoltMustFitThroughBores) {
+  // Bolt diameter 8 > a narrow 7mm bore.
+  Surrogate narrow = NewBore(7, 20);
+  Surrogate screwing =
+      db_.CreateRelationship("ScrewingType", {{"Bores", {narrow, bore1_}}})
+          .value();
+  Surrogate bolt_slot = db_.CreateSubobject(screwing, "Bolt").value();
+  ASSERT_TRUE(db_.Bind(bolt_slot, bolt_, "AllOf_BoltType").ok());
+  Surrogate nut_slot = db_.CreateSubobject(screwing, "Nut").value();
+  ASSERT_TRUE(db_.Bind(nut_slot, nut_, "AllOf_NutType").ok());
+  EXPECT_EQ(db_.constraints().CheckObject(screwing).code(),
+            Code::kConstraintViolation);
+}
+
+TEST_F(SteelConstraintsTest, BoltLengthMustAddUp) {
+  // 45 != 5 + 20 + 20 + 20 with a third bore.
+  Surrogate bore3 = NewBore(9, 20);
+  Surrogate screwing =
+      db_.CreateRelationship("ScrewingType",
+                             {{"Bores", {bore1_, bore2_, bore3}}})
+          .value();
+  Surrogate bolt_slot = db_.CreateSubobject(screwing, "Bolt").value();
+  ASSERT_TRUE(db_.Bind(bolt_slot, bolt_, "AllOf_BoltType").ok());
+  Surrogate nut_slot = db_.CreateSubobject(screwing, "Nut").value();
+  ASSERT_TRUE(db_.Bind(nut_slot, nut_, "AllOf_NutType").ok());
+  EXPECT_EQ(db_.constraints().CheckObject(screwing).code(),
+            Code::kConstraintViolation);
+  // A 65mm bolt fixes it.
+  Surrogate long_bolt = NewBolt(8, 65);
+  ASSERT_TRUE(db_.Unbind(bolt_slot).ok());
+  ASSERT_TRUE(db_.Bind(bolt_slot, long_bolt, "AllOf_BoltType").ok());
+  EXPECT_TRUE(db_.constraints().CheckObject(screwing).ok());
+}
+
+TEST_F(SteelConstraintsTest, GirderInterfaceArithmeticConstraint) {
+  Surrogate girder = db_.CreateObject("GirderInterface").value();
+  ASSERT_TRUE(db_.Set(girder, "Length", Value::Int(4000)).ok());
+  ASSERT_TRUE(db_.Set(girder, "Height", Value::Int(20)).ok());
+  ASSERT_TRUE(db_.Set(girder, "Width", Value::Int(10)).ok());
+  EXPECT_TRUE(db_.constraints().CheckObject(girder).ok());
+  // 30000 >= 100*20*10 = 20000 -> violated.
+  ASSERT_TRUE(db_.Set(girder, "Length", Value::Int(30000)).ok());
+  EXPECT_EQ(db_.constraints().CheckObject(girder).code(),
+            Code::kConstraintViolation);
+}
+
+TEST_F(SteelConstraintsTest, StructureScrewingWhereClause) {
+  Surrogate wcs = db_.CreateObject("WeightCarrying_Structure").value();
+  Surrogate plate_slot = db_.CreateSubobject(wcs, "Plates").value();
+  ASSERT_TRUE(db_.Bind(plate_slot, plate_, "AllOf_PlateIf").ok());
+
+  // Screwing through bores of the structure's own plate: fine.
+  Surrogate good =
+      db_.CreateSubrel(wcs, "Screwings", {{"Bores", {bore1_, bore2_}}})
+          .value();
+  Status ok = db_.constraints().CheckSubrelMember(wcs, "Screwings", good);
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+
+  // Screwing through a foreign plate's bore: rejected.
+  Surrogate foreign_plate = db_.CreateObject("PlateInterface").value();
+  Surrogate foreign_bore =
+      db_.CreateSubobject(foreign_plate, "Bores").value();
+  Surrogate bad =
+      db_.CreateSubrel(wcs, "Screwings", {{"Bores", {foreign_bore}}})
+          .value();
+  EXPECT_EQ(
+      db_.constraints().CheckSubrelMember(wcs, "Screwings", bad).code(),
+      Code::kConstraintViolation);
+}
+
+}  // namespace
+}  // namespace caddb

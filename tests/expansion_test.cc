@@ -1,0 +1,182 @@
+#include "query/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace {
+
+class ExpansionTest : public ::testing::Test {
+ protected:
+  ExpansionTest() {
+    Status s = db_.ExecuteDdl(schemas::kGatesBase);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    s = db_.ExecuteDdl(schemas::kGatesInterfaces);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExpansionTest, FlatObjectExpandsToSingleNode) {
+  Surrogate pin = db_.CreateObject("PinType").value();
+  ASSERT_TRUE(db_.Set(pin, "InOut", Value::Enum("IN")).ok());
+  auto tree = db_.expander().Expand(pin);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->TreeSize(), 1u);
+  EXPECT_EQ(tree->type_name, "PinType");
+  EXPECT_EQ(tree->attributes.at("InOut"), Value::Enum("IN"));
+  EXPECT_FALSE(tree->component.valid());
+}
+
+TEST_F(ExpansionTest, SubclassesAndSubrelsExpand) {
+  Surrogate gate = db_.CreateObject("Gate").value();
+  Surrogate p1 = db_.CreateSubobject(gate, "Pins").value();
+  Surrogate p2 = db_.CreateSubobject(gate, "Pins").value();
+  db_.CreateSubrel(gate, "Wires", {{"Pin1", {p1}}, {"Pin2", {p2}}}).value();
+  auto tree = db_.expander().Expand(gate);
+  ASSERT_TRUE(tree.ok());
+  // gate + 2 pins + 1 wire.
+  EXPECT_EQ(tree->TreeSize(), 4u);
+  bool found_pins = false, found_wires = false;
+  for (const auto& [name, children] : tree->subclasses) {
+    if (name == "Pins") {
+      found_pins = true;
+      EXPECT_EQ(children.size(), 2u);
+    }
+  }
+  for (const auto& [name, children] : tree->subrels) {
+    if (name == "Wires") {
+      found_wires = true;
+      ASSERT_EQ(children.size(), 1u);
+      EXPECT_EQ(children[0].type_name, "WireType");
+    }
+  }
+  EXPECT_TRUE(found_pins);
+  EXPECT_TRUE(found_wires);
+}
+
+TEST_F(ExpansionTest, ComponentExpansionFollowsBindings) {
+  Surrogate abs = db_.CreateObject("GateInterface_I").value();
+  db_.CreateSubobject(abs, "Pins").value();
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  ASSERT_TRUE(db_.Bind(iface, abs, "AllOf_GateInterface_I").ok());
+  Surrogate impl = db_.CreateObject("GateImplementation").value();
+  ASSERT_TRUE(db_.Bind(impl, iface, "AllOf_GateInterface").ok());
+
+  ExpandOptions follow;
+  auto tree = db_.expander().Expand(impl, follow);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->component, iface);
+  ASSERT_EQ(tree->component_expansion.size(), 1u);
+  EXPECT_EQ(tree->component_expansion[0].surrogate, iface);
+  ASSERT_EQ(tree->component_expansion[0].component_expansion.size(), 1u);
+  EXPECT_EQ(tree->component_expansion[0].component_expansion[0].surrogate,
+            abs);
+  // impl + iface + abs + pin.
+  EXPECT_EQ(tree->TreeSize(), 4u);
+
+  ExpandOptions no_follow;
+  no_follow.follow_components = false;
+  auto flat = db_.expander().Expand(impl, no_follow);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->TreeSize(), 1u);
+  EXPECT_EQ(flat->component, iface) << "binding still reported";
+}
+
+TEST_F(ExpansionTest, DepthLimitCutsRecursion) {
+  Surrogate gate = db_.CreateObject("Gate").value();
+  Surrogate sub = db_.CreateSubobject(gate, "SubGates").value();
+  db_.CreateSubobject(sub, "Pins").value();
+  ExpandOptions depth1;
+  depth1.max_depth = 1;
+  auto tree = db_.expander().Expand(gate, depth1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->TreeSize(), 2u) << "gate + subgate, pins cut off";
+  ExpandOptions depth0;
+  depth0.max_depth = 0;
+  EXPECT_EQ(db_.expander().Expand(gate, depth0)->TreeSize(), 1u);
+}
+
+TEST_F(ExpansionTest, StructureOnlyExpansionSkipsAttributes) {
+  Surrogate gate = db_.CreateObject("Gate").value();
+  ASSERT_TRUE(db_.Set(gate, "Length", Value::Int(5)).ok());
+  ExpandOptions structure_only;
+  structure_only.materialize_attributes = false;
+  auto tree = db_.expander().Expand(gate, structure_only);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->attributes.empty());
+}
+
+TEST_F(ExpansionTest, SharedComponentExpandedPerUse) {
+  // Two subgates bound to the same interface: both expansions include it.
+  Surrogate abs = db_.CreateObject("GateInterface_I").value();
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  ASSERT_TRUE(db_.Bind(iface, abs, "AllOf_GateInterface_I").ok());
+  Surrogate own = db_.CreateObject("GateInterface").value();
+  Surrogate own_abs = db_.CreateObject("GateInterface_I").value();
+  ASSERT_TRUE(db_.Bind(own, own_abs, "AllOf_GateInterface_I").ok());
+  Surrogate impl = db_.CreateObject("GateImplementation").value();
+  ASSERT_TRUE(db_.Bind(impl, own, "AllOf_GateInterface").ok());
+  for (int i = 0; i < 2; ++i) {
+    Surrogate sub = db_.CreateSubobject(impl, "SubGates").value();
+    ASSERT_TRUE(db_.Bind(sub, iface, "AllOf_GateInterface").ok());
+  }
+  auto tree = db_.expander().Expand(impl);
+  ASSERT_TRUE(tree.ok());
+  std::vector<Surrogate> all;
+  Expander::CollectSurrogates(*tree, &all);
+  int iface_count = 0;
+  for (Surrogate s : all) {
+    if (s == iface) ++iface_count;
+  }
+  EXPECT_EQ(iface_count, 2) << "shared component appears once per use";
+}
+
+TEST_F(ExpansionTest, RenderContainsTypesAndAttributes) {
+  Surrogate gate = db_.CreateObject("Gate").value();
+  ASSERT_TRUE(db_.Set(gate, "Length", Value::Int(7)).ok());
+  db_.CreateSubobject(gate, "Pins").value();
+  auto tree = db_.expander().Expand(gate);
+  ASSERT_TRUE(tree.ok());
+  std::string text = Expander::Render(*tree);
+  EXPECT_NE(text.find("Gate @"), std::string::npos);
+  EXPECT_NE(text.find(".Length = 7"), std::string::npos);
+  EXPECT_NE(text.find("[Pins]"), std::string::npos);
+}
+
+TEST_F(ExpansionTest, RenderDotEmitsNodesAndEdges) {
+  Surrogate abs = db_.CreateObject("GateInterface_I").value();
+  Surrogate pin = db_.CreateSubobject(abs, "Pins").value();
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  ASSERT_TRUE(db_.Bind(iface, abs, "AllOf_GateInterface_I").ok());
+  auto tree = db_.expander().Expand(iface);
+  ASSERT_TRUE(tree.ok());
+  std::string dot = Expander::RenderDot(*tree);
+  EXPECT_NE(dot.find("digraph caddb_expansion"), std::string::npos);
+  EXPECT_NE(dot.find("n" + std::to_string(iface.id)), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed, label=\"component\""),
+            std::string::npos);
+  EXPECT_NE(dot.find("label=\"Pins\""), std::string::npos);
+  EXPECT_NE(dot.find("n" + std::to_string(pin.id)), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST_F(ExpansionTest, CollectSurrogatesCoversWholeTree) {
+  Surrogate gate = db_.CreateObject("Gate").value();
+  Surrogate p1 = db_.CreateSubobject(gate, "Pins").value();
+  Surrogate p2 = db_.CreateSubobject(gate, "Pins").value();
+  Surrogate wire =
+      db_.CreateSubrel(gate, "Wires", {{"Pin1", {p1}}, {"Pin2", {p2}}})
+          .value();
+  auto tree = db_.expander().Expand(gate);
+  std::vector<Surrogate> all;
+  Expander::CollectSurrogates(*tree, &all);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_NE(std::find(all.begin(), all.end(), wire), all.end());
+}
+
+}  // namespace
+}  // namespace caddb

@@ -1,0 +1,182 @@
+// Integration test for DESIGN.md experiment F3: the paper's Figure 3 —
+// one inheritance relationship serving simultaneously as the
+// interface-implementation relationship (the composite inherits from its own
+// interface) and as the component relationship (the composite's subobjects
+// inherit from other gates' interfaces).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace {
+
+class CompositeIntegrationTest : public ::testing::Test {
+ protected:
+  CompositeIntegrationTest() {
+    EXPECT_TRUE(db_.ExecuteDdl(schemas::kGatesBase).ok());
+    EXPECT_TRUE(db_.ExecuteDdl(schemas::kGatesInterfaces).ok());
+  }
+
+  /// A GateInterface (with its abstract super-interface) exposing `n_pins`.
+  Surrogate NewInterface(int64_t length, int n_pins) {
+    Surrogate abs = db_.CreateObject("GateInterface_I").value();
+    for (int i = 0; i < n_pins; ++i) {
+      Surrogate pin = db_.CreateSubobject(abs, "Pins").value();
+      EXPECT_TRUE(
+          db_.Set(pin, "InOut", Value::Enum(i == 0 ? "OUT" : "IN")).ok());
+    }
+    Surrogate iface = db_.CreateObject("GateInterface").value();
+    EXPECT_TRUE(db_.Bind(iface, abs, "AllOf_GateInterface_I").ok());
+    EXPECT_TRUE(db_.Set(iface, "Length", Value::Int(length)).ok());
+    return iface;
+  }
+
+  Database db_;
+};
+
+TEST_F(CompositeIntegrationTest, F3_DualRoleOfTheInheritanceRelationship) {
+  Surrogate own_iface = NewInterface(30, 2);
+  Surrogate nand_iface = NewInterface(10, 3);
+
+  Surrogate composite = db_.CreateObject("GateImplementation").value();
+  // Role 1: interface relationship (whole object -> its interface).
+  ASSERT_TRUE(db_.Bind(composite, own_iface, "AllOf_GateInterface").ok());
+  // Role 2: component relationship (subobject -> the component's interface),
+  // using the very same inher-rel-type AllOf_GateInterface — the crux of
+  // Figure 3.
+  Surrogate sub1 = db_.CreateSubobject(composite, "SubGates").value();
+  ASSERT_TRUE(db_.Bind(sub1, nand_iface, "AllOf_GateInterface").ok());
+  Surrogate sub2 = db_.CreateSubobject(composite, "SubGates").value();
+  ASSERT_TRUE(db_.Bind(sub2, nand_iface, "AllOf_GateInterface").ok());
+
+  // The composite sees its own interface data...
+  EXPECT_EQ(db_.Get(composite, "Length")->AsInt(), 30);
+  EXPECT_EQ(db_.Subclass(composite, "Pins")->size(), 2u);
+  // ...and the components' data through the subobjects.
+  EXPECT_EQ(db_.Get(sub1, "Length")->AsInt(), 10);
+  EXPECT_EQ(db_.Subclass(sub1, "Pins")->size(), 3u);
+  // Subobjects specialize the component with placement data (section 2:
+  // "composite objects, for instance, add placement data to a component").
+  ASSERT_TRUE(db_.Set(sub1, "GateLocation", Value::Point(2, 3)).ok());
+  ASSERT_TRUE(db_.Set(sub2, "GateLocation", Value::Point(12, 3)).ok());
+  // But cannot touch the imported data.
+  EXPECT_EQ(db_.Set(sub1, "Length", Value::Int(99)).code(),
+            Code::kInheritedReadOnly);
+
+  // Component update propagates into every use.
+  ASSERT_TRUE(db_.Set(nand_iface, "Length", Value::Int(11)).ok());
+  EXPECT_EQ(db_.Get(sub1, "Length")->AsInt(), 11);
+  EXPECT_EQ(db_.Get(sub2, "Length")->AsInt(), 11);
+  // And the notification log tells the composite to adapt (section 2's
+  // "it becomes obvious now, that adaptations are necessary").
+  Surrogate rel1 = *db_.inheritance().BindingOf(sub1);
+  EXPECT_EQ(db_.notifications().PendingFor(rel1).size(), 1u);
+}
+
+TEST_F(CompositeIntegrationTest, F3_WiresConnectInheritedAndComponentPins) {
+  Surrogate own_iface = NewInterface(30, 2);
+  Surrogate nand_iface = NewInterface(10, 3);
+  Surrogate composite = db_.CreateObject("GateImplementation").value();
+  ASSERT_TRUE(db_.Bind(composite, own_iface, "AllOf_GateInterface").ok());
+  Surrogate sub = db_.CreateSubobject(composite, "SubGates").value();
+  ASSERT_TRUE(db_.Bind(sub, nand_iface, "AllOf_GateInterface").ok());
+
+  // A wire from an (inherited) external pin of the composite to an
+  // (inherited) pin of the component subobject — the where-clause resolves
+  // both through inheritance.
+  Surrogate ext_pin = db_.Subclass(composite, "Pins")->front();
+  Surrogate sub_pin = db_.Subclass(sub, "Pins")->front();
+  Surrogate wire =
+      db_.CreateSubrel(composite, "Wires",
+                       {{"Pin1", {ext_pin}}, {"Pin2", {sub_pin}}})
+          .value();
+  Status where =
+      db_.constraints().CheckSubrelMember(composite, "Wires", wire);
+  EXPECT_TRUE(where.ok()) << where.ToString();
+
+  // A pin of an unrelated interface is rejected.
+  Surrogate foreign_iface = NewInterface(5, 1);
+  Surrogate foreign_pin =
+      db_.Subclass(foreign_iface, "Pins")->front();
+  Surrogate bad =
+      db_.CreateSubrel(composite, "Wires",
+                       {{"Pin1", {ext_pin}}, {"Pin2", {foreign_pin}}})
+          .value();
+  EXPECT_EQ(
+      db_.constraints().CheckSubrelMember(composite, "Wires", bad).code(),
+      Code::kConstraintViolation);
+}
+
+TEST_F(CompositeIntegrationTest, F3_ConfigurationQueries) {
+  Surrogate shared = NewInterface(10, 2);
+  Surrogate composites[3];
+  for (auto& c : composites) {
+    Surrogate own = NewInterface(20, 2);
+    c = db_.CreateObject("GateImplementation").value();
+    ASSERT_TRUE(db_.Bind(c, own, "AllOf_GateInterface").ok());
+    Surrogate sub = db_.CreateSubobject(c, "SubGates").value();
+    ASSERT_TRUE(db_.Bind(sub, shared, "AllOf_GateInterface").ok());
+  }
+  // Components-of each composite: exactly the shared interface.
+  for (Surrogate c : composites) {
+    auto uses = db_.query().ComponentsOf(c);
+    ASSERT_TRUE(uses.ok());
+    ASSERT_EQ(uses->size(), 1u);
+    EXPECT_EQ((*uses)[0].component, shared);
+  }
+  // Where-used of the shared interface: all three composites.
+  auto users = db_.query().WhereUsed(shared);
+  ASSERT_TRUE(users.ok());
+  EXPECT_EQ(users->size(), 3u);
+}
+
+TEST_F(CompositeIntegrationTest, F3_NestedCompositeExpansion) {
+  // Composite-of-composite: leaf interface <- mid composite; mid's own
+  // interface <- top composite's subgate.
+  Surrogate leaf_iface = NewInterface(5, 1);
+  Surrogate mid_iface = NewInterface(15, 2);
+  Surrogate mid = db_.CreateObject("GateImplementation").value();
+  ASSERT_TRUE(db_.Bind(mid, mid_iface, "AllOf_GateInterface").ok());
+  Surrogate mid_sub = db_.CreateSubobject(mid, "SubGates").value();
+  ASSERT_TRUE(db_.Bind(mid_sub, leaf_iface, "AllOf_GateInterface").ok());
+
+  Surrogate top_iface = NewInterface(40, 2);
+  Surrogate top = db_.CreateObject("GateImplementation").value();
+  ASSERT_TRUE(db_.Bind(top, top_iface, "AllOf_GateInterface").ok());
+  Surrogate top_sub = db_.CreateSubobject(top, "SubGates").value();
+  ASSERT_TRUE(db_.Bind(top_sub, mid_iface, "AllOf_GateInterface").ok());
+
+  // Transitive components of top: mid_iface (direct) — the closure then
+  // looks *into* mid_iface's composite structure only via its own bindings,
+  // which point upward to its abstract interface, not into `mid`. So the
+  // component set is {mid_iface}.
+  auto components = db_.query().TransitiveComponents(top);
+  ASSERT_TRUE(components.ok());
+  ASSERT_EQ(components->size(), 1u);
+  EXPECT_EQ((*components)[0], mid_iface);
+
+  // Where-used propagates the other way: the direct user of leaf_iface is
+  // `mid`; nothing inherits from `mid` itself (top's subgate binds to
+  // mid_iface, the abstraction), so the closure stops there.
+  auto users = db_.query().TransitiveWhereUsed(leaf_iface);
+  ASSERT_TRUE(users.ok());
+  ASSERT_EQ(users->size(), 1u);
+  EXPECT_EQ((*users)[0], mid);
+  // From the abstraction the closure does reach the top composite.
+  auto iface_users = db_.query().TransitiveWhereUsed(mid_iface);
+  ASSERT_TRUE(iface_users.ok());
+  EXPECT_EQ(iface_users->size(), 2u) << "mid (as implementation) and top";
+
+  // Full expansion of `top` reaches the mid interface via the component
+  // edge.
+  auto tree = db_.expander().Expand(top);
+  ASSERT_TRUE(tree.ok());
+  std::vector<Surrogate> all;
+  Expander::CollectSurrogates(*tree, &all);
+  EXPECT_NE(std::find(all.begin(), all.end(), mid_iface), all.end());
+}
+
+}  // namespace
+}  // namespace caddb

@@ -1,0 +1,209 @@
+// Integration tests for DESIGN.md experiments F1, F2 and F4: the paper's
+// gates scenario built end-to-end on the public API and verified
+// structurally.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace {
+
+class GatesIntegrationTest : public ::testing::Test {
+ protected:
+  GatesIntegrationTest() {
+    EXPECT_TRUE(db_.ExecuteDdl(schemas::kGatesBase).ok());
+    EXPECT_TRUE(db_.ExecuteDdl(schemas::kGatesInterfaces).ok());
+    EXPECT_TRUE(db_.ValidateSchema().ok());
+  }
+
+  Surrogate MakePin(Surrogate owner, const char* dir) {
+    Surrogate pin = db_.CreateSubobject(owner, "Pins").value();
+    EXPECT_TRUE(db_.Set(pin, "InOut", Value::Enum(dir)).ok());
+    return pin;
+  }
+
+  /// Figure 1's flip-flop; returns the gate.
+  Surrogate BuildFlipFlop() {
+    Surrogate ff = db_.CreateObject("Gate").value();
+    Surrogate s = MakePin(ff, "IN");
+    Surrogate r = MakePin(ff, "IN");
+    Surrogate q = MakePin(ff, "OUT");
+    Surrogate qn = MakePin(ff, "OUT");
+    Surrogate nor[2];
+    Surrogate in1[2], in2[2], out[2];
+    for (int i = 0; i < 2; ++i) {
+      nor[i] = db_.CreateSubobject(ff, "SubGates").value();
+      EXPECT_TRUE(db_.Set(nor[i], "Function", Value::Enum("NOR")).ok());
+      in1[i] = MakePin(nor[i], "IN");
+      in2[i] = MakePin(nor[i], "IN");
+      out[i] = MakePin(nor[i], "OUT");
+    }
+    auto wire = [&](Surrogate a, Surrogate b) {
+      Surrogate w =
+          db_.CreateSubrel(ff, "Wires", {{"Pin1", {a}}, {"Pin2", {b}}})
+              .value();
+      EXPECT_TRUE(
+          db_.constraints().CheckSubrelMember(ff, "Wires", w).ok());
+    };
+    wire(s, in1[0]);
+    wire(r, in1[1]);
+    wire(out[0], q);
+    wire(out[1], qn);
+    wire(out[0], in2[1]);
+    wire(out[1], in2[0]);
+    (void)qn;
+    return ff;
+  }
+
+  Database db_;
+};
+
+TEST_F(GatesIntegrationTest, F1_FlipFlopStructure) {
+  Surrogate ff = BuildFlipFlop();
+  EXPECT_EQ(db_.Subclass(ff, "Pins")->size(), 4u);
+  EXPECT_EQ(db_.Subclass(ff, "SubGates")->size(), 2u);
+  EXPECT_EQ(db_.store().Get(ff).value()->Subrel("Wires")->size(), 6u);
+  // Every object carries a unique surrogate; subobjects know their parent.
+  Surrogate sub = db_.Subclass(ff, "SubGates")->front();
+  EXPECT_EQ(db_.store().Get(sub).value()->parent(), ff);
+  // Deep constraint check: pin counts of both NORs, all wire where-clauses.
+  Status deep = db_.constraints().CheckDeep(ff);
+  EXPECT_TRUE(deep.ok()) << deep.ToString();
+}
+
+TEST_F(GatesIntegrationTest, F1_WireToForeignPinRejected) {
+  Surrogate ff = BuildFlipFlop();
+  Surrogate other = db_.CreateObject("Gate").value();
+  Surrogate foreign = MakePin(other, "IN");
+  Surrogate own = db_.Subclass(ff, "Pins")->front();
+  Surrogate bad =
+      db_.CreateSubrel(ff, "Wires", {{"Pin1", {own}}, {"Pin2", {foreign}}})
+          .value();
+  EXPECT_EQ(db_.constraints().CheckSubrelMember(ff, "Wires", bad).code(),
+            Code::kConstraintViolation);
+}
+
+TEST_F(GatesIntegrationTest, F1_DeletingGateCascades) {
+  Surrogate ff = BuildFlipFlop();
+  size_t before = db_.store().size();
+  ASSERT_GE(before, 17u);  // 1 gate + 4 pins + 2 subgates + 6 pins + 6 wires
+  ASSERT_TRUE(db_.Delete(ff).ok());
+  EXPECT_EQ(db_.store().size(), before - 19);
+  EXPECT_TRUE(db_.store().Extent("WireType").empty());
+  EXPECT_TRUE(db_.store().Extent("ElementaryGate").empty());
+}
+
+TEST_F(GatesIntegrationTest, F2_InterfaceImplementationContract) {
+  // Build the Figure 2 constellation.
+  Surrogate abs = db_.CreateObject("GateInterface_I").value();
+  MakePin(abs, "IN");
+  MakePin(abs, "IN");
+  MakePin(abs, "OUT");
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  ASSERT_TRUE(db_.Bind(iface, abs, "AllOf_GateInterface_I").ok());
+  ASSERT_TRUE(db_.Set(iface, "Length", Value::Int(10)).ok());
+  ASSERT_TRUE(db_.Set(iface, "Width", Value::Int(6)).ok());
+
+  Surrogate impls[3];
+  for (auto& impl : impls) {
+    impl = db_.CreateObject("GateImplementation").value();
+    ASSERT_TRUE(db_.Bind(impl, iface, "AllOf_GateInterface").ok());
+  }
+
+  // (a) All implementations share the interface data, including pins
+  //     inherited across two hierarchy levels.
+  for (Surrogate impl : impls) {
+    EXPECT_EQ(db_.Get(impl, "Length")->AsInt(), 10);
+    EXPECT_EQ(db_.Subclass(impl, "Pins")->size(), 3u);
+  }
+  // (b) "The interface data must not be updated within a single
+  //     implementation."
+  for (Surrogate impl : impls) {
+    EXPECT_EQ(db_.Set(impl, "Length", Value::Int(11)).code(),
+              Code::kInheritedReadOnly);
+  }
+  // (c) "Updates of the interface-object itself ... are transmitted into
+  //     the implementations" — instantly.
+  ASSERT_TRUE(db_.Set(iface, "Length", Value::Int(12)).ok());
+  for (Surrogate impl : impls) {
+    EXPECT_EQ(db_.Get(impl, "Length")->AsInt(), 12);
+  }
+  // (d) Implementations specialize by adding local data.
+  ASSERT_TRUE(db_.Set(impls[0], "TimeBehavior", Value::Int(5)).ok());
+  EXPECT_TRUE(db_.Get(impls[1], "TimeBehavior")->is_null());
+}
+
+TEST_F(GatesIntegrationTest, F4_InterfaceHierarchyAbstractionLevels) {
+  // GateInterface_I (pins) above GateInterface (expansion) above
+  // implementations: pins flow through the whole hierarchy; expansion only
+  // from the middle level.
+  Surrogate abs = db_.CreateObject("GateInterface_I").value();
+  Surrogate pin = MakePin(abs, "IN");
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  ASSERT_TRUE(db_.Bind(iface, abs, "AllOf_GateInterface_I").ok());
+  ASSERT_TRUE(db_.Set(iface, "Length", Value::Int(9)).ok());
+  Surrogate impl = db_.CreateObject("GateImplementation").value();
+  ASSERT_TRUE(db_.Bind(impl, iface, "AllOf_GateInterface").ok());
+
+  ASSERT_EQ(db_.Subclass(impl, "Pins")->size(), 1u);
+  EXPECT_EQ(db_.Subclass(impl, "Pins")->front(), pin)
+      << "the very same pin subobject, two levels up";
+  // Interfaces *are* changeable in this model (the section 4.2 argument):
+  // adding a pin at the top level becomes visible everywhere below.
+  MakePin(abs, "OUT");
+  EXPECT_EQ(db_.Subclass(iface, "Pins")->size(), 2u);
+  EXPECT_EQ(db_.Subclass(impl, "Pins")->size(), 2u);
+  // The post-binding pin addition is logged on every level below the
+  // change (the first pin predates the bindings).
+  Surrogate rel_iface = *db_.inheritance().BindingOf(iface);
+  Surrogate rel_impl = *db_.inheritance().BindingOf(impl);
+  EXPECT_EQ(db_.notifications().PendingFor(rel_iface).size(), 1u);
+  EXPECT_EQ(db_.notifications().PendingFor(rel_impl).size(), 1u);
+}
+
+TEST_F(GatesIntegrationTest, F4_SomeOfGateExportsBeyondInterface) {
+  Surrogate abs = db_.CreateObject("GateInterface_I").value();
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  ASSERT_TRUE(db_.Bind(iface, abs, "AllOf_GateInterface_I").ok());
+  ASSERT_TRUE(db_.Set(iface, "Length", Value::Int(9)).ok());
+  Surrogate impl = db_.CreateObject("GateImplementation").value();
+  ASSERT_TRUE(db_.Bind(impl, iface, "AllOf_GateInterface").ok());
+  ASSERT_TRUE(db_.Set(impl, "TimeBehavior", Value::Int(7)).ok());
+
+  Surrogate timing = db_.CreateObject("TimingComposite").value();
+  Surrogate slot = db_.CreateSubobject(timing, "TimedSubGates").value();
+  ASSERT_TRUE(db_.Bind(slot, impl, "SomeOf_Gate").ok());
+
+  // TimeBehavior is not interface data, yet SomeOf_Gate exports it.
+  EXPECT_EQ(db_.Get(slot, "TimeBehavior")->AsInt(), 7);
+  // Interface data also passes through (Length via the implementation's own
+  // inherited view).
+  EXPECT_EQ(db_.Get(slot, "Length")->AsInt(), 9);
+  // Function is NOT in SomeOf_Gate's inheriting clause: invisible.
+  EXPECT_EQ(db_.Get(slot, "Function").status().code(), Code::kNotFound);
+  // The slot adds placement data locally.
+  ASSERT_TRUE(db_.Set(slot, "GateLocation", Value::Point(1, 2)).ok());
+  EXPECT_EQ(db_.Get(slot, "GateLocation")->Field_("X")->AsInt(), 1);
+}
+
+TEST_F(GatesIntegrationTest, DeleteInterfaceRestrictedWhileImplemented) {
+  Surrogate abs = db_.CreateObject("GateInterface_I").value();
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  ASSERT_TRUE(db_.Bind(iface, abs, "AllOf_GateInterface_I").ok());
+  Surrogate impl = db_.CreateObject("GateImplementation").value();
+  ASSERT_TRUE(db_.Bind(impl, iface, "AllOf_GateInterface").ok());
+  // The interface cannot vanish under its implementation...
+  EXPECT_EQ(db_.Delete(iface).code(), Code::kFailedPrecondition);
+  // ...nor can the abstract interface vanish under the interface.
+  EXPECT_EQ(db_.Delete(abs).code(), Code::kFailedPrecondition);
+  // Deleting the implementation first unblocks the chain.
+  ASSERT_TRUE(db_.Delete(impl).ok());
+  ASSERT_TRUE(db_.Delete(iface).ok());
+  ASSERT_TRUE(db_.Delete(abs).ok());
+  EXPECT_EQ(db_.store().size(), 0u);
+}
+
+}  // namespace
+}  // namespace caddb

@@ -1,0 +1,165 @@
+// Integration test for DESIGN.md experiment F5: the paper's section 5 steel
+// construction scenario, end to end.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace {
+
+class SteelIntegrationTest : public ::testing::Test {
+ protected:
+  SteelIntegrationTest() {
+    EXPECT_TRUE(db_.ExecuteDdl(schemas::kSteel).ok());
+    EXPECT_TRUE(db_.ValidateSchema().ok());
+
+    bolt_ = db_.CreateObject("BoltType").value();
+    EXPECT_TRUE(db_.Set(bolt_, "Diameter", Value::Int(8)).ok());
+    EXPECT_TRUE(db_.Set(bolt_, "Length", Value::Int(45)).ok());
+    nut_ = db_.CreateObject("NutType").value();
+    EXPECT_TRUE(db_.Set(nut_, "Diameter", Value::Int(8)).ok());
+    EXPECT_TRUE(db_.Set(nut_, "Length", Value::Int(5)).ok());
+
+    girder_if_ = db_.CreateObject("GirderInterface").value();
+    EXPECT_TRUE(db_.Set(girder_if_, "Length", Value::Int(4000)).ok());
+    EXPECT_TRUE(db_.Set(girder_if_, "Height", Value::Int(20)).ok());
+    EXPECT_TRUE(db_.Set(girder_if_, "Width", Value::Int(10)).ok());
+    gbore_ = NewBore(girder_if_, 9, 20);
+
+    plate_if_ = db_.CreateObject("PlateInterface").value();
+    EXPECT_TRUE(db_.Set(plate_if_, "Thickness", Value::Int(20)).ok());
+    pbore_ = NewBore(plate_if_, 9, 20);
+  }
+
+  Surrogate NewBore(Surrogate owner, int64_t diameter, int64_t length) {
+    Surrogate bore = db_.CreateSubobject(owner, "Bores").value();
+    EXPECT_TRUE(db_.Set(bore, "Diameter", Value::Int(diameter)).ok());
+    EXPECT_TRUE(db_.Set(bore, "Length", Value::Int(length)).ok());
+    return bore;
+  }
+
+  /// The full Figure 5 structure: one girder, one plate, one screwing.
+  Surrogate BuildStructure() {
+    Surrogate wcs = db_.CreateObject("WeightCarrying_Structure").value();
+    EXPECT_TRUE(db_.Set(wcs, "Designer", Value::String("Pegels")).ok());
+    Surrogate girder = db_.CreateSubobject(wcs, "Girders").value();
+    EXPECT_TRUE(db_.Bind(girder, girder_if_, "AllOf_GirderIf").ok());
+    Surrogate plate = db_.CreateSubobject(wcs, "Plates").value();
+    EXPECT_TRUE(db_.Bind(plate, plate_if_, "AllOf_PlateIf").ok());
+    Surrogate screwing =
+        db_.CreateSubrel(wcs, "Screwings", {{"Bores", {gbore_, pbore_}}})
+            .value();
+    EXPECT_TRUE(db_.Set(screwing, "Strength", Value::Int(75)).ok());
+    Surrogate bolt_slot = db_.CreateSubobject(screwing, "Bolt").value();
+    EXPECT_TRUE(db_.Bind(bolt_slot, bolt_, "AllOf_BoltType").ok());
+    Surrogate nut_slot = db_.CreateSubobject(screwing, "Nut").value();
+    EXPECT_TRUE(db_.Bind(nut_slot, nut_, "AllOf_NutType").ok());
+    return wcs;
+  }
+
+  Database db_;
+  Surrogate bolt_, nut_, girder_if_, plate_if_, gbore_, pbore_;
+};
+
+TEST_F(SteelIntegrationTest, F5_FullStructureChecksOut) {
+  Surrogate wcs = BuildStructure();
+  Status deep = db_.constraints().CheckDeep(wcs);
+  EXPECT_TRUE(deep.ok()) << deep.ToString();
+  // Components see interface data, including the bores subclass.
+  Surrogate girder = db_.Subclass(wcs, "Girders")->front();
+  EXPECT_EQ(db_.Get(girder, "Length")->AsInt(), 4000);
+  EXPECT_EQ(db_.Subclass(girder, "Bores")->size(), 1u);
+  Surrogate plate = db_.Subclass(wcs, "Plates")->front();
+  EXPECT_EQ(db_.Get(plate, "Thickness")->AsInt(), 20);
+  // The implicit Girders slot type has no Material of its own (only the
+  // standalone Girder type declares it) and can never update inherited data.
+  EXPECT_EQ(db_.Set(girder, "Material", Value::Enum("metal")).code(),
+            Code::kNotFound);
+  EXPECT_EQ(db_.Set(girder, "Length", Value::Int(1)).code(),
+            Code::kInheritedReadOnly);
+  // A standalone Girder bound to the same interface does carry Material.
+  Surrogate standalone = db_.CreateObject("Girder").value();
+  ASSERT_TRUE(db_.Bind(standalone, girder_if_, "AllOf_GirderIf").ok());
+  ASSERT_TRUE(db_.Set(standalone, "Material", Value::Enum("metal")).ok());
+  EXPECT_EQ(db_.Get(standalone, "Length")->AsInt(), 4000);
+}
+
+TEST_F(SteelIntegrationTest, F5_BoltAndNutHiddenInTheRelationship) {
+  Surrogate wcs = BuildStructure();
+  Surrogate screwing =
+      db_.store().Get(wcs).value()->Subrel("Screwings")->front();
+  // The screwing's Bolt/Nut subclasses each hold one inheritor subobject.
+  auto bolts = db_.Subclass(screwing, "Bolt");
+  ASSERT_TRUE(bolts.ok());
+  ASSERT_EQ(bolts->size(), 1u);
+  // The subobject imports the catalog part's data by value inheritance.
+  EXPECT_EQ(db_.Get(bolts->front(), "Diameter")->AsInt(), 8);
+  EXPECT_EQ(db_.Get(bolts->front(), "Length")->AsInt(), 45);
+  // The standard part itself knows where it is used.
+  auto users = db_.query().WhereUsed(bolt_);
+  ASSERT_TRUE(users.ok());
+  ASSERT_EQ(users->size(), 1u);
+  EXPECT_EQ((*users)[0], wcs) << "root of the bolt slot is the structure";
+}
+
+TEST_F(SteelIntegrationTest, F5_CatalogPartUpdatePropagatesEverywhere) {
+  Surrogate wcs1 = BuildStructure();
+  Surrogate wcs2 = BuildStructure();
+  // One M8 bolt used in two structures: shortening it breaks both.
+  ASSERT_TRUE(db_.Set(bolt_, "Length", Value::Int(30)).ok());
+  for (Surrogate wcs : {wcs1, wcs2}) {
+    EXPECT_EQ(db_.constraints().CheckDeep(wcs).code(),
+              Code::kConstraintViolation)
+        << "45 = 5 + 20 + 20 no longer holds";
+  }
+  ASSERT_TRUE(db_.Set(bolt_, "Length", Value::Int(45)).ok());
+  EXPECT_TRUE(db_.constraints().CheckDeep(wcs1).ok());
+}
+
+TEST_F(SteelIntegrationTest, F5_ScrewingThroughForeignBoreRejected) {
+  Surrogate wcs = BuildStructure();
+  Surrogate foreign_plate = db_.CreateObject("PlateInterface").value();
+  Surrogate foreign_bore = NewBore(foreign_plate, 9, 20);
+  Surrogate rogue =
+      db_.CreateSubrel(wcs, "Screwings", {{"Bores", {foreign_bore}}})
+          .value();
+  EXPECT_EQ(
+      db_.constraints().CheckSubrelMember(wcs, "Screwings", rogue).code(),
+      Code::kConstraintViolation);
+}
+
+TEST_F(SteelIntegrationTest, F5_DeletingStructureSparesCatalogParts) {
+  Surrogate wcs = BuildStructure();
+  ASSERT_TRUE(db_.Delete(wcs).ok());
+  // Catalog parts and interfaces survive; the structure, its component
+  // slots, the screwing and its bolt/nut slots are gone.
+  EXPECT_TRUE(db_.store().Exists(bolt_));
+  EXPECT_TRUE(db_.store().Exists(girder_if_));
+  EXPECT_TRUE(db_.store().Extent("WeightCarrying_Structure").empty());
+  EXPECT_TRUE(db_.store().Extent("ScrewingType").empty());
+  EXPECT_TRUE(db_.store().InherRelsOfTransmitter(bolt_).empty())
+      << "bindings from deleted slots cleaned up";
+}
+
+TEST_F(SteelIntegrationTest, F5_DeletingCatalogPartRestricted) {
+  BuildStructure();
+  EXPECT_EQ(db_.Delete(bolt_).code(), Code::kFailedPrecondition)
+      << "the bolt is a bound transmitter";
+  EXPECT_TRUE(
+      db_.Delete(bolt_, ObjectStore::DeletePolicy::kDetachInheritors).ok());
+}
+
+TEST_F(SteelIntegrationTest, F5_GirderConstraintHoldsThroughInheritance) {
+  Surrogate wcs = BuildStructure();
+  (void)wcs;
+  // Grow the girder interface beyond its own constraint: the interface
+  // object itself now violates Length < 100*Height*Width.
+  ASSERT_TRUE(db_.Set(girder_if_, "Length", Value::Int(30000)).ok());
+  EXPECT_EQ(db_.constraints().CheckObject(girder_if_).code(),
+            Code::kConstraintViolation);
+}
+
+}  // namespace
+}  // namespace caddb

@@ -1,0 +1,229 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ddl/parser.h"
+
+namespace caddb {
+namespace {
+
+/// Catalog with two inheritance relationships over one transmitter type:
+/// R_ab exports {A, B}, R_bc exports {B, C}, R_c exports {C} — so
+/// R_ab/R_bc overlap (B), R_ab/R_c do not.
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest() {
+    Status s = ddl::Parser::ParseSchema(R"(
+      obj-type T = attributes: A, B, C: integer; end T;
+      inher-rel-type R_ab =
+        transmitter: object-of-type T; inheritor: object; inheriting: A, B;
+      end R_ab;
+      inher-rel-type R_bc =
+        transmitter: object-of-type T; inheritor: object; inheriting: B, C;
+      end R_bc;
+      inher-rel-type R_c =
+        transmitter: object-of-type T; inheritor: object; inheriting: C;
+      end R_c;
+    )",
+                                       &catalog_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  static constexpr auto kShort = std::chrono::milliseconds(50);
+
+  Catalog catalog_;
+  Surrogate obj_{7};
+};
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  LockManager locks(&catalog_);
+  EXPECT_TRUE(locks.Acquire(1, LockItem::Whole(obj_), LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(2, LockItem::Whole(obj_), LockMode::kShared).ok());
+  EXPECT_EQ(locks.TotalHeld(), 2u);
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+  EXPECT_EQ(locks.TotalHeld(), 0u);
+}
+
+TEST_F(LockManagerTest, ExclusiveConflictsTimeout) {
+  LockManager locks(&catalog_);
+  ASSERT_TRUE(
+      locks.Acquire(1, LockItem::Whole(obj_), LockMode::kExclusive).ok());
+  Status blocked =
+      locks.Acquire(2, LockItem::Whole(obj_), LockMode::kShared, kShort);
+  EXPECT_EQ(blocked.code(), Code::kFailedPrecondition) << "timeout";
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.Acquire(2, LockItem::Whole(obj_), LockMode::kShared).ok());
+}
+
+TEST_F(LockManagerTest, ReacquisitionIsIdempotent) {
+  LockManager locks(&catalog_);
+  ASSERT_TRUE(locks.Acquire(1, LockItem::Whole(obj_), LockMode::kShared).ok());
+  ASSERT_TRUE(locks.Acquire(1, LockItem::Whole(obj_), LockMode::kShared).ok());
+  EXPECT_EQ(locks.HeldCount(1), 1u);
+}
+
+TEST_F(LockManagerTest, UpgradeSucceedsWhenAlone) {
+  LockManager locks(&catalog_);
+  ASSERT_TRUE(locks.Acquire(1, LockItem::Whole(obj_), LockMode::kShared).ok());
+  EXPECT_TRUE(
+      locks.Acquire(1, LockItem::Whole(obj_), LockMode::kExclusive).ok());
+  // Downgrade request after upgrade is a no-op (still X).
+  EXPECT_TRUE(locks.Acquire(1, LockItem::Whole(obj_), LockMode::kShared).ok());
+  EXPECT_FALSE(locks.WouldGrant(2, LockItem::Whole(obj_), LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, UpgradeDeadlockDetected) {
+  LockManager locks(&catalog_);
+  ASSERT_TRUE(locks.Acquire(1, LockItem::Whole(obj_), LockMode::kShared).ok());
+  ASSERT_TRUE(locks.Acquire(2, LockItem::Whole(obj_), LockMode::kShared).ok());
+  // Both upgrade: txn1 blocks on txn2; txn2's upgrade closes the cycle.
+  std::atomic<bool> t1_done{false};
+  Status t1_status;
+  std::thread t1([&] {
+    t1_status = locks.Acquire(1, LockItem::Whole(obj_), LockMode::kExclusive,
+                              std::chrono::milliseconds(2000));
+    t1_done = true;
+  });
+  // Give txn1 time to block.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Status t2_status =
+      locks.Acquire(2, LockItem::Whole(obj_), LockMode::kExclusive,
+                    std::chrono::milliseconds(2000));
+  EXPECT_EQ(t2_status.code(), Code::kDeadlock) << "requester is the victim";
+  locks.ReleaseAll(2);
+  t1.join();
+  EXPECT_TRUE(t1_status.ok()) << "survivor gets the lock: "
+                              << t1_status.ToString();
+  locks.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, TwoTxnCycleDetected) {
+  LockManager locks(&catalog_);
+  Surrogate a{1}, b{2};
+  ASSERT_TRUE(locks.Acquire(1, LockItem::Whole(a), LockMode::kExclusive).ok());
+  ASSERT_TRUE(locks.Acquire(2, LockItem::Whole(b), LockMode::kExclusive).ok());
+  std::thread t1([&] {
+    // txn1 waits for b (held by txn2)...
+    Status s = locks.Acquire(1, LockItem::Whole(b), LockMode::kExclusive,
+                             std::chrono::milliseconds(2000));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // ...and txn2 requesting a closes the cycle.
+  Status s = locks.Acquire(2, LockItem::Whole(a), LockMode::kExclusive,
+                           std::chrono::milliseconds(2000));
+  EXPECT_EQ(s.code(), Code::kDeadlock);
+  locks.ReleaseAll(2);
+  t1.join();
+  locks.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, DisjointExportedPartsDontConflict) {
+  LockManager locks(&catalog_);
+  // R_ab = {A,B}, R_c = {C}: disjoint, X+X compatible.
+  ASSERT_TRUE(locks.Acquire(1, LockItem::Exported(obj_, "R_ab"),
+                            LockMode::kExclusive)
+                  .ok());
+  EXPECT_TRUE(locks.Acquire(2, LockItem::Exported(obj_, "R_c"),
+                            LockMode::kExclusive)
+                  .ok());
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, OverlappingExportedPartsConflict) {
+  LockManager locks(&catalog_);
+  // R_ab and R_bc share B.
+  ASSERT_TRUE(locks.Acquire(1, LockItem::Exported(obj_, "R_ab"),
+                            LockMode::kExclusive)
+                  .ok());
+  Status blocked = locks.Acquire(2, LockItem::Exported(obj_, "R_bc"),
+                                 LockMode::kExclusive, kShort);
+  EXPECT_EQ(blocked.code(), Code::kFailedPrecondition);
+  // Shared on the overlapping part also blocks against X.
+  EXPECT_FALSE(
+      locks.WouldGrant(2, LockItem::Exported(obj_, "R_bc"), LockMode::kShared));
+  locks.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, WholeObjectOverlapsEveryPart) {
+  LockManager locks(&catalog_);
+  ASSERT_TRUE(locks.Acquire(1, LockItem::Exported(obj_, "R_c"),
+                            LockMode::kShared)
+                  .ok());
+  EXPECT_FALSE(locks.WouldGrant(2, LockItem::Whole(obj_),
+                                LockMode::kExclusive));
+  // S on the whole object coexists with S on a part.
+  EXPECT_TRUE(locks.Acquire(2, LockItem::Whole(obj_), LockMode::kShared).ok());
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, UnknownPartIsConservative) {
+  LockManager locks(&catalog_);
+  ASSERT_TRUE(locks.Acquire(1, LockItem::Exported(obj_, "NoSuchRel"),
+                            LockMode::kExclusive)
+                  .ok());
+  EXPECT_FALSE(locks.WouldGrant(2, LockItem::Exported(obj_, "R_c"),
+                                LockMode::kExclusive));
+  locks.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, DifferentObjectsNeverConflict) {
+  LockManager locks(&catalog_);
+  ASSERT_TRUE(
+      locks.Acquire(1, LockItem::Whole(Surrogate(1)), LockMode::kExclusive)
+          .ok());
+  EXPECT_TRUE(
+      locks.Acquire(2, LockItem::Whole(Surrogate(2)), LockMode::kExclusive)
+          .ok());
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, ReleaseWakesWaiters) {
+  LockManager locks(&catalog_);
+  ASSERT_TRUE(
+      locks.Acquire(1, LockItem::Whole(obj_), LockMode::kExclusive).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    Status s = locks.Acquire(2, LockItem::Whole(obj_), LockMode::kShared,
+                             std::chrono::milliseconds(2000));
+    EXPECT_TRUE(s.ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted);
+  locks.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(granted);
+  locks.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, ManyReadersOneWriterStress) {
+  LockManager locks(&catalog_);
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        TxnId txn = static_cast<TxnId>(t * 1000 + i + 1);
+        LockMode mode = (t == 0) ? LockMode::kExclusive : LockMode::kShared;
+        Status s = locks.Acquire(txn, LockItem::Whole(obj_), mode,
+                                 std::chrono::milliseconds(5000));
+        if (s.ok()) ++successes;
+        locks.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes.load(), 200);
+  EXPECT_EQ(locks.TotalHeld(), 0u);
+}
+
+}  // namespace
+}  // namespace caddb

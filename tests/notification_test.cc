@@ -1,0 +1,183 @@
+#include "inherit/notification.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/stats.h"
+
+namespace caddb {
+namespace {
+
+TEST(NotificationCenterTest, RecordAndAcknowledge) {
+  NotificationCenter center;
+  Surrogate rel{10}, transmitter{1};
+  center.Record(rel, transmitter, "A");
+  center.Record(rel, transmitter, "B");
+  ASSERT_EQ(center.PendingFor(rel).size(), 2u);
+  EXPECT_EQ(center.PendingFor(rel)[0].seq, 1u);
+  EXPECT_EQ(center.PendingFor(rel)[1].item, "B");
+  EXPECT_EQ(center.total_recorded(), 2u);
+  center.Acknowledge(rel);
+  EXPECT_TRUE(center.PendingFor(rel).empty());
+  EXPECT_EQ(center.total_recorded(), 2u) << "monotone";
+  EXPECT_TRUE(center.PendingFor(Surrogate{99}).empty());
+}
+
+TEST(NotificationCenterTest, ForgetDropsBookkeeping) {
+  NotificationCenter center;
+  Surrogate rel{10};
+  center.Record(rel, Surrogate{1}, "A");
+  center.Forget(rel);
+  EXPECT_TRUE(center.PendingFor(rel).empty());
+}
+
+TEST(NotificationCenterTest, AsValueRendersRecords) {
+  NotificationCenter center;
+  Surrogate rel{10};
+  center.Record(rel, Surrogate{7}, "Length");
+  Value log = center.AsValue(rel);
+  ASSERT_EQ(log.kind(), Value::Kind::kList);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.elements()[0].Field_("Item")->AsString(), "Length");
+  EXPECT_EQ(log.elements()[0].Field_("Transmitter")->AsRef(), Surrogate{7});
+}
+
+TEST(NotificationCenterTest, ObserversFireOnRecord) {
+  NotificationCenter center;
+  std::vector<std::string> seen;
+  uint64_t token = center.AddObserver(
+      [&seen](Surrogate rel, const ChangeRecord& record) {
+        seen.push_back(std::to_string(rel.id) + ":" + record.item);
+      });
+  center.Record(Surrogate{10}, Surrogate{1}, "A");
+  center.Record(Surrogate{11}, Surrogate{1}, "B");
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "10:A");
+  EXPECT_EQ(seen[1], "11:B");
+  center.RemoveObserver(token);
+  center.Record(Surrogate{10}, Surrogate{1}, "C");
+  EXPECT_EQ(seen.size(), 2u) << "removed observers stay silent";
+  EXPECT_EQ(center.observer_count(), 0u);
+}
+
+/// End-to-end trigger scenario (paper section 2): an observer reacts to a
+/// propagated interface change by re-checking the affected composite and
+/// collecting the adaptation agenda.
+TEST(TriggerTest, SemiAutomaticAdaptationAgenda) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteDdl(R"(
+    obj-type Iface = attributes: L: integer; end Iface;
+    inher-rel-type AllOfIface =
+      transmitter: object-of-type Iface; inheritor: object; inheriting: L;
+    end AllOfIface;
+    obj-type Impl =
+      inheritor-in: AllOfIface;
+      attributes: Margin: integer;
+      constraints:
+        Margin > L;   /* local data must fit the inherited data */
+    end Impl;
+  )")
+                  .ok());
+  Surrogate iface = db.CreateObject("Iface").value();
+  ASSERT_TRUE(db.Set(iface, "L", Value::Int(10)).ok());
+  Surrogate impl = db.CreateObject("Impl").value();
+  ASSERT_TRUE(db.Bind(impl, iface, "AllOfIface").ok());
+  ASSERT_TRUE(db.Set(impl, "Margin", Value::Int(15)).ok());
+  ASSERT_TRUE(db.constraints().CheckObject(impl).ok());
+
+  // Trigger: whenever a change propagates, sweep the inheritor for
+  // violations and collect them.
+  std::vector<Surrogate> agenda;
+  db.notifications().AddObserver(
+      [&](Surrogate rel, const ChangeRecord&) {
+        Result<const DbObject*> rel_obj = db.store().Get(rel);
+        if (!rel_obj.ok()) return;
+        Surrogate inheritor = (*rel_obj)->Participant("inheritor");
+        auto violations = db.constraints().FindViolations(inheritor);
+        if (violations.ok()) {
+          for (const auto& v : *violations) agenda.push_back(v.object);
+        }
+      });
+
+  // Benign update: no violation, empty agenda.
+  ASSERT_TRUE(db.Set(iface, "L", Value::Int(12)).ok());
+  EXPECT_TRUE(agenda.empty());
+  // Breaking update: Margin 15 is no longer > L 20.
+  ASSERT_TRUE(db.Set(iface, "L", Value::Int(20)).ok());
+  ASSERT_EQ(agenda.size(), 1u);
+  EXPECT_EQ(agenda[0], impl);
+  // The designer adapts; the agenda mechanism confirms.
+  ASSERT_TRUE(db.Set(impl, "Margin", Value::Int(25)).ok());
+  EXPECT_TRUE(db.constraints().CheckObject(impl).ok());
+}
+
+TEST(ViolationSweepTest, FindViolationsCollectsAll) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteDdl(R"(
+    obj-type Leaf =
+      attributes: V: integer;
+      constraints: V > 0;
+    end Leaf;
+    obj-type Root =
+      attributes: W: integer;
+      types-of-subclasses: Leaves: Leaf;
+      constraints: W > 0;
+    end Root;
+  )")
+                  .ok());
+  Surrogate root = db.CreateObject("Root").value();
+  ASSERT_TRUE(db.Set(root, "W", Value::Int(-1)).ok());  // violation 1
+  std::vector<Surrogate> bad;
+  for (int i = 0; i < 3; ++i) {
+    Surrogate leaf = db.CreateSubobject(root, "Leaves").value();
+    ASSERT_TRUE(db.Set(leaf, "V", Value::Int(i == 1 ? 5 : -5)).ok());
+    if (i != 1) bad.push_back(leaf);
+  }
+  auto violations = db.constraints().FindViolations(root);
+  ASSERT_TRUE(violations.ok());
+  EXPECT_EQ(violations->size(), 3u) << "root + two bad leaves";
+  // CheckDeep stops at the first.
+  EXPECT_EQ(db.constraints().CheckDeep(root).code(),
+            Code::kConstraintViolation);
+  // FindAllViolations sweeps the whole store identically here.
+  auto all = db.constraints().FindAllViolations();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST(StatsTest, CollectCountsEverything) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteDdl(R"(
+    obj-type Iface = attributes: L: integer; end Iface;
+    inher-rel-type R =
+      transmitter: object-of-type Iface; inheritor: object; inheriting: L;
+    end R;
+    obj-type Impl = inheritor-in: R; end Impl;
+    rel-type Link = relates: A, B: object-of-type Iface; end Link;
+  )")
+                  .ok());
+  ASSERT_TRUE(db.CreateClass("Ifaces", "Iface").ok());
+  Surrogate i1 = db.CreateObject("Iface", "Ifaces").value();
+  Surrogate i2 = db.CreateObject("Iface").value();
+  Surrogate impl = db.CreateObject("Impl").value();
+  ASSERT_TRUE(db.Bind(impl, i1, "R").ok());
+  ASSERT_TRUE(
+      db.CreateRelationship("Link", {{"A", {i1}}, {"B", {i2}}}).ok());
+  ASSERT_TRUE(db.Set(i1, "L", Value::Int(3)).ok());  // 1 pending change
+
+  DatabaseStats stats = DatabaseStats::Collect(db);
+  EXPECT_EQ(stats.total_objects, 5u);  // 2 ifaces + impl + link + binding
+  EXPECT_EQ(stats.plain_objects, 3u);
+  EXPECT_EQ(stats.relationship_objects, 1u);
+  EXPECT_EQ(stats.inher_rel_objects, 1u);
+  EXPECT_EQ(stats.bound_inheritors, 1u);
+  EXPECT_EQ(stats.classes, 1u);
+  EXPECT_EQ(stats.pending_notifications, 1u);
+  EXPECT_EQ(stats.per_type.at("Iface"), 2u);
+  std::string report = stats.ToString();
+  EXPECT_NE(report.find("bound inheritors: 1"), std::string::npos);
+  EXPECT_NE(report.find("Iface: 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caddb

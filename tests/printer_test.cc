@@ -1,0 +1,161 @@
+#include "ddl/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_schemas.h"
+#include "ddl/parser.h"
+
+namespace caddb {
+namespace ddl {
+namespace {
+
+/// Parses `schema`, prints the catalog, re-parses the print-out, and checks
+/// the two catalogs expose identical effective schemas.
+void ExpectRoundTrip(const std::string& schema) {
+  Catalog first;
+  Status parsed = Parser::ParseSchema(schema, &first);
+  ASSERT_TRUE(parsed.ok()) << parsed.ToString();
+  ASSERT_TRUE(first.Validate().ok());
+
+  std::string printed = SchemaPrinter::Print(first);
+  Catalog second;
+  Status reparsed = Parser::ParseSchema(printed, &second);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.ToString() << "\n--- printed ---\n"
+                             << printed;
+  Status valid = second.Validate();
+  ASSERT_TRUE(valid.ok()) << valid.ToString() << "\n--- printed ---\n"
+                          << printed;
+
+  // Same type population.
+  EXPECT_EQ(first.ObjectTypeNames(), second.ObjectTypeNames());
+  EXPECT_EQ(first.RelTypeNames(), second.RelTypeNames());
+  EXPECT_EQ(first.InherRelTypeNames(), second.InherRelTypeNames());
+  EXPECT_EQ(first.DomainNames(), second.DomainNames());
+
+  // Same effective schemas: attributes (name + domain shape), subclasses,
+  // subrels, inheritance provenance, constraint counts.
+  for (const std::string& type : first.ObjectTypeNames()) {
+    auto a = first.EffectiveSchemaFor(type);
+    auto b = second.EffectiveSchemaFor(type);
+    ASSERT_TRUE(a.ok() && b.ok()) << type;
+    ASSERT_EQ(a->attributes.size(), b->attributes.size()) << type;
+    for (size_t i = 0; i < a->attributes.size(); ++i) {
+      EXPECT_EQ(a->attributes[i].name, b->attributes[i].name) << type;
+      EXPECT_EQ(a->attributes[i].domain.ToString(),
+                b->attributes[i].domain.ToString())
+          << type << "." << a->attributes[i].name;
+      EXPECT_EQ(a->IsInherited(a->attributes[i].name),
+                b->IsInherited(b->attributes[i].name))
+          << type;
+    }
+    ASSERT_EQ(a->subclasses.size(), b->subclasses.size()) << type;
+    for (size_t i = 0; i < a->subclasses.size(); ++i) {
+      EXPECT_EQ(a->subclasses[i].name, b->subclasses[i].name);
+      EXPECT_EQ(a->subclasses[i].element_type, b->subclasses[i].element_type);
+    }
+    ASSERT_EQ(a->subrels.size(), b->subrels.size()) << type;
+    const ObjectTypeDef* da = first.FindObjectType(type);
+    const ObjectTypeDef* db = second.FindObjectType(type);
+    EXPECT_EQ(da->constraints.size(), db->constraints.size()) << type;
+  }
+  for (const std::string& rel : first.RelTypeNames()) {
+    const RelTypeDef* da = first.FindRelType(rel);
+    const RelTypeDef* db = second.FindRelType(rel);
+    ASSERT_EQ(da->participants.size(), db->participants.size());
+    for (size_t i = 0; i < da->participants.size(); ++i) {
+      EXPECT_EQ(da->participants[i].role, db->participants[i].role);
+      EXPECT_EQ(da->participants[i].object_type,
+                db->participants[i].object_type);
+      EXPECT_EQ(da->participants[i].is_set, db->participants[i].is_set);
+    }
+    EXPECT_EQ(da->constraints.size(), db->constraints.size()) << rel;
+  }
+  for (const std::string& rel : first.InherRelTypeNames()) {
+    const InherRelTypeDef* da = first.FindInherRelType(rel);
+    const InherRelTypeDef* db = second.FindInherRelType(rel);
+    EXPECT_EQ(da->transmitter_type, db->transmitter_type);
+    EXPECT_EQ(da->inheritor_type, db->inheritor_type);
+    EXPECT_EQ(da->inheriting, db->inheriting);
+  }
+}
+
+TEST(PrinterTest, SimpleTypeRoundTrip) {
+  ExpectRoundTrip(R"(
+    domain IO = (IN, OUT);
+    obj-type Pin =
+      attributes:
+        InOut: IO;
+        Loc: Point;
+    end Pin;
+  )");
+}
+
+TEST(PrinterTest, ConstraintRoundTrip) {
+  ExpectRoundTrip(R"(
+    obj-type Gate =
+      attributes:
+        Length: integer;
+        Pins: set-of ( PinId: integer; InOut: (IN, OUT); );
+      constraints:
+        count(Pins) = 2 where Pins.InOut = IN;
+        Length < 100;
+        not (Length = 13);
+    end Gate;
+  )");
+}
+
+TEST(PrinterTest, PaperGatesSchemaRoundTrips) {
+  ExpectRoundTrip(std::string(schemas::kGatesBase) +
+                  schemas::kGatesInterfaces);
+}
+
+TEST(PrinterTest, PaperSteelSchemaRoundTrips) {
+  ExpectRoundTrip(schemas::kSteel);
+}
+
+TEST(PrinterTest, InlineSubclassFoldedBack) {
+  Catalog catalog;
+  ASSERT_TRUE(Parser::ParseSchema(R"(
+    obj-type Iface = attributes: L: integer; end Iface;
+    inher-rel-type R =
+      transmitter: object-of-type Iface; inheritor: object; inheriting: L;
+    end R;
+    obj-type Comp =
+      types-of-subclasses:
+        Subs:
+          inheritor-in: R;
+          attributes:
+            Loc: Point;
+    end Comp;
+  )",
+                                  &catalog)
+                  .ok());
+  std::string printed = SchemaPrinter::Print(catalog);
+  // The generated type never appears as a standalone definition.
+  EXPECT_EQ(printed.find("obj-type Comp.Subs"), std::string::npos);
+  EXPECT_NE(printed.find("inheritor-in: R;"), std::string::npos);
+  ExpectRoundTrip(printed);
+}
+
+TEST(PrinterTest, DomainFormsAreParseable) {
+  EXPECT_EQ(SchemaPrinter::DomainToDdl(Domain::Int()), "integer");
+  EXPECT_EQ(SchemaPrinter::DomainToDdl(Domain::Enum({"A", "B"})), "(A, B)");
+  EXPECT_EQ(SchemaPrinter::DomainToDdl(Domain::SetOf(Domain::Named("IO"))),
+            "set-of IO");
+  EXPECT_EQ(
+      SchemaPrinter::DomainToDdl(Domain::Record({{"X", Domain::Int()}})),
+      "( X: integer; )");
+  EXPECT_EQ(SchemaPrinter::DomainToDdl(Domain::Ref("Pin")),
+            "object-of-type Pin");
+  EXPECT_EQ(SchemaPrinter::DomainToDdl(Domain::Ref()), "object");
+}
+
+TEST(PrinterTest, BuiltinsNotPrinted) {
+  Catalog catalog;
+  std::string printed = SchemaPrinter::Print(catalog);
+  EXPECT_TRUE(printed.empty()) << printed;
+}
+
+}  // namespace
+}  // namespace ddl
+}  // namespace caddb

@@ -1,0 +1,354 @@
+// Property-based tests: randomized object graphs checked against the model's
+// core invariants. Parameterized over seeds (TEST_P) so each property runs on
+// several independent random instances.
+//
+// Invariants covered:
+//   P1  Inherited views always equal the transmitter's current value, under
+//       arbitrary interleavings of updates and rebinds (view semantics).
+//   P2  Cascade deletion never leaves dangling containment edges, dangling
+//       relationship participants, or stale extents/where-used entries.
+//   P3  Surrogates are never reused across create/delete churn.
+//   P4  Set values stay canonical (sorted, deduplicated) under random
+//       insertion orders.
+//   P5  Expansion reaches exactly the objects reachable through containment
+//       and component edges.
+//   P6  Notification counts equal the number of permeable updates observed
+//       by each binding.
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/stats.h"
+#include "persist/dump.h"
+
+namespace caddb {
+namespace {
+
+constexpr const char* kSchema = R"(
+  obj-type Part = attributes: P: integer; end Part;
+  obj-type Iface =
+    attributes: A, B: integer;
+    types-of-subclasses: Parts: Part;
+  end Iface;
+  inher-rel-type AllOfIface =
+    transmitter: object-of-type Iface;
+    inheritor: object;
+    inheriting: A, Parts;
+  end AllOfIface;
+  obj-type Impl =
+    inheritor-in: AllOfIface;
+    attributes: C: integer;
+    types-of-subclasses: Own: Part;
+  end Impl;
+  rel-type Link =
+    relates: From, To: object-of-type Part;
+  end Link;
+)";
+
+class PropertyTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  PropertyTest() : rng_(GetParam()) {
+    Status s = db_.ExecuteDdl(kSchema);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  int64_t RandInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(rng_);
+  }
+
+  Database db_;
+  std::mt19937 rng_;
+};
+
+TEST_P(PropertyTest, P1_InheritedViewTracksTransmitter) {
+  // A few interfaces, many implementations, random update/rebind churn.
+  std::vector<Surrogate> ifaces;
+  std::map<uint64_t, int64_t> truth;  // iface -> current A
+  for (int i = 0; i < 4; ++i) {
+    Surrogate iface = db_.CreateObject("Iface").value();
+    int64_t a = RandInt(0, 1000);
+    ASSERT_TRUE(db_.Set(iface, "A", Value::Int(a)).ok());
+    truth[iface.id] = a;
+    ifaces.push_back(iface);
+  }
+  std::vector<Surrogate> impls;
+  std::map<uint64_t, uint64_t> bound_to;  // impl -> iface (0 = unbound)
+  for (int i = 0; i < 12; ++i) {
+    Surrogate impl = db_.CreateObject("Impl").value();
+    Surrogate iface = ifaces[RandInt(0, ifaces.size() - 1)];
+    ASSERT_TRUE(db_.Bind(impl, iface, "AllOfIface").ok());
+    bound_to[impl.id] = iface.id;
+    impls.push_back(impl);
+  }
+  for (int step = 0; step < 300; ++step) {
+    int action = RandInt(0, 2);
+    if (action == 0) {
+      // Update a random interface.
+      Surrogate iface = ifaces[RandInt(0, ifaces.size() - 1)];
+      int64_t a = RandInt(0, 1000);
+      ASSERT_TRUE(db_.Set(iface, "A", Value::Int(a)).ok());
+      truth[iface.id] = a;
+    } else if (action == 1) {
+      // Rebind a random implementation.
+      Surrogate impl = impls[RandInt(0, impls.size() - 1)];
+      if (bound_to[impl.id] != 0) {
+        ASSERT_TRUE(db_.Unbind(impl).ok());
+        bound_to[impl.id] = 0;
+      } else {
+        Surrogate iface = ifaces[RandInt(0, ifaces.size() - 1)];
+        ASSERT_TRUE(db_.Bind(impl, iface, "AllOfIface").ok());
+        bound_to[impl.id] = iface.id;
+      }
+    } else {
+      // Verify a random implementation's view.
+      Surrogate impl = impls[RandInt(0, impls.size() - 1)];
+      Value seen = db_.Get(impl, "A").value();
+      if (bound_to[impl.id] == 0) {
+        EXPECT_TRUE(seen.is_null());
+      } else {
+        EXPECT_EQ(seen.AsInt(), truth[bound_to[impl.id]]);
+      }
+    }
+  }
+  // Final exhaustive verification.
+  for (Surrogate impl : impls) {
+    Value seen = db_.Get(impl, "A").value();
+    if (bound_to[impl.id] == 0) {
+      EXPECT_TRUE(seen.is_null());
+    } else {
+      EXPECT_EQ(seen.AsInt(), truth[bound_to[impl.id]]);
+    }
+  }
+}
+
+TEST_P(PropertyTest, P2_CascadeDeleteLeavesNoDanglingEdges) {
+  // Random forest of interfaces with parts, links between random parts,
+  // implementations bound to random interfaces; then random deletions.
+  std::vector<Surrogate> ifaces, parts;
+  for (int i = 0; i < 6; ++i) {
+    Surrogate iface = db_.CreateObject("Iface").value();
+    ifaces.push_back(iface);
+    int n = static_cast<int>(RandInt(0, 4));
+    for (int p = 0; p < n; ++p) {
+      parts.push_back(db_.CreateSubobject(iface, "Parts").value());
+    }
+  }
+  for (int l = 0; l < 10 && parts.size() >= 2; ++l) {
+    Surrogate a = parts[RandInt(0, parts.size() - 1)];
+    Surrogate b = parts[RandInt(0, parts.size() - 1)];
+    ASSERT_TRUE(
+        db_.CreateRelationship("Link", {{"From", {a}}, {"To", {b}}}).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    Surrogate impl = db_.CreateObject("Impl").value();
+    ASSERT_TRUE(
+        db_.Bind(impl, ifaces[RandInt(0, ifaces.size() - 1)], "AllOfIface")
+            .ok());
+  }
+  // Delete half the interfaces (detaching implementations).
+  for (size_t i = 0; i < ifaces.size() / 2; ++i) {
+    ASSERT_TRUE(
+        db_.Delete(ifaces[i], ObjectStore::DeletePolicy::kDetachInheritors)
+            .ok());
+  }
+  // Invariant sweep over every surviving object.
+  const ObjectStore& store = db_.store();
+  for (const char* type : {"Iface", "Impl", "Part", "Link"}) {
+    for (Surrogate s : store.Extent(type)) {
+      auto obj = store.Get(s);
+      ASSERT_TRUE(obj.ok()) << "extent entry must exist";
+      // Parent edges resolve.
+      if ((*obj)->IsSubobject()) {
+        ASSERT_TRUE(store.Exists((*obj)->parent()));
+        // And the parent's member list contains us.
+        auto parent = store.Get((*obj)->parent());
+        const auto* members =
+            (*parent)->Subclass((*obj)->parent_subclass());
+        if (members == nullptr) {
+          members = (*parent)->Subrel((*obj)->parent_subclass());
+        }
+        ASSERT_NE(members, nullptr);
+        EXPECT_NE(std::find(members->begin(), members->end(), s),
+                  members->end());
+      }
+      // Participant edges resolve.
+      for (const auto& [role, members] : (*obj)->participants()) {
+        for (Surrogate m : members) {
+          EXPECT_TRUE(store.Exists(m))
+              << "dangling participant @" << m.id << " in rel @" << s.id;
+        }
+      }
+      // Member lists resolve.
+      for (const auto& [name, members] : (*obj)->subclasses()) {
+        for (Surrogate m : members) EXPECT_TRUE(store.Exists(m));
+      }
+      // Bindings resolve.
+      if ((*obj)->bound_inher_rel().valid()) {
+        EXPECT_TRUE(store.Exists((*obj)->bound_inher_rel()));
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, P3_SurrogatesNeverReused) {
+  std::set<uint64_t> seen;
+  std::vector<Surrogate> live;
+  for (int step = 0; step < 200; ++step) {
+    if (live.empty() || RandInt(0, 2) != 0) {
+      Surrogate s = db_.CreateObject("Part").value();
+      EXPECT_TRUE(seen.insert(s.id).second)
+          << "surrogate @" << s.id << " reused";
+      live.push_back(s);
+    } else {
+      size_t idx = static_cast<size_t>(RandInt(0, live.size() - 1));
+      ASSERT_TRUE(db_.Delete(live[idx]).ok());
+      live.erase(live.begin() + idx);
+    }
+  }
+}
+
+TEST_P(PropertyTest, P4_SetValuesStayCanonical) {
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Value> elements;
+    int n = static_cast<int>(RandInt(0, 20));
+    for (int i = 0; i < n; ++i) {
+      elements.push_back(Value::Int(RandInt(0, 9)));
+    }
+    Value set = Value::Set(elements);
+    // Sorted and unique.
+    for (size_t i = 1; i < set.elements().size(); ++i) {
+      EXPECT_LT(set.elements()[i - 1], set.elements()[i]);
+    }
+    // Same elements, any order -> same canonical set.
+    std::shuffle(elements.begin(), elements.end(), rng_);
+    EXPECT_EQ(set, Value::Set(elements));
+    // SetInsert is equivalent to rebuild.
+    Value incremental = Value::Set({});
+    for (const Value& e : elements) incremental.SetInsert(e);
+    EXPECT_EQ(incremental, set);
+  }
+}
+
+TEST_P(PropertyTest, P5_ExpansionMatchesReachability) {
+  // Build a random two-level composite structure.
+  Surrogate iface = db_.CreateObject("Iface").value();
+  int n_parts = static_cast<int>(RandInt(1, 4));
+  for (int i = 0; i < n_parts; ++i) {
+    db_.CreateSubobject(iface, "Parts").value();
+  }
+  Surrogate impl = db_.CreateObject("Impl").value();
+  ASSERT_TRUE(db_.Bind(impl, iface, "AllOfIface").ok());
+  int n_own = static_cast<int>(RandInt(0, 3));
+  for (int i = 0; i < n_own; ++i) {
+    db_.CreateSubobject(impl, "Own").value();
+  }
+  auto tree = db_.expander().Expand(impl);
+  ASSERT_TRUE(tree.ok());
+  // Expected: impl + own parts + iface + iface parts.
+  EXPECT_EQ(tree->TreeSize(),
+            static_cast<size_t>(1 + n_own + 1 + n_parts));
+  std::vector<Surrogate> all;
+  Expander::CollectSurrogates(*tree, &all);
+  std::set<uint64_t> unique_ids;
+  for (Surrogate s : all) unique_ids.insert(s.id);
+  EXPECT_EQ(unique_ids.size(), all.size()) << "no duplicates in this shape";
+}
+
+TEST_P(PropertyTest, P6_NotificationCountsMatchPermeableUpdates) {
+  Surrogate iface = db_.CreateObject("Iface").value();
+  Surrogate impl = db_.CreateObject("Impl").value();
+  ASSERT_TRUE(db_.Bind(impl, iface, "AllOfIface").ok());
+  Surrogate rel = *db_.inheritance().BindingOf(impl);
+  size_t expected = 0;
+  for (int step = 0; step < 100; ++step) {
+    switch (RandInt(0, 2)) {
+      case 0:  // permeable attribute
+        ASSERT_TRUE(db_.Set(iface, "A", Value::Int(step)).ok());
+        ++expected;
+        break;
+      case 1:  // non-permeable attribute
+        ASSERT_TRUE(db_.Set(iface, "B", Value::Int(step)).ok());
+        break;
+      default:  // permeable subclass
+        ASSERT_TRUE(db_.CreateSubobject(iface, "Parts").ok());
+        ++expected;
+        break;
+    }
+  }
+  EXPECT_EQ(db_.notifications().PendingFor(rel).size(), expected);
+  db_.notifications().Acknowledge(rel);
+  EXPECT_EQ(db_.notifications().PendingFor(rel).size(), 0u);
+}
+
+TEST_P(PropertyTest, P7_DumpLoadRoundTripOnRandomGraphs) {
+  // Random population: interfaces with parts, implementations with random
+  // bindings and attribute values, links between parts.
+  std::vector<Surrogate> ifaces, parts;
+  for (int i = 0; i < 5; ++i) {
+    Surrogate iface = db_.CreateObject("Iface").value();
+    ASSERT_TRUE(db_.Set(iface, "A", Value::Int(RandInt(0, 99))).ok());
+    if (RandInt(0, 1) == 0) {
+      ASSERT_TRUE(db_.Set(iface, "B", Value::Int(RandInt(0, 99))).ok());
+    }
+    ifaces.push_back(iface);
+    int n = static_cast<int>(RandInt(0, 3));
+    for (int p = 0; p < n; ++p) {
+      Surrogate part = db_.CreateSubobject(iface, "Parts").value();
+      ASSERT_TRUE(db_.Set(part, "P", Value::Int(RandInt(0, 9))).ok());
+      parts.push_back(part);
+    }
+  }
+  for (int i = 0; i < 6; ++i) {
+    Surrogate impl = db_.CreateObject("Impl").value();
+    if (RandInt(0, 3) != 0) {
+      ASSERT_TRUE(
+          db_.Bind(impl, ifaces[RandInt(0, ifaces.size() - 1)], "AllOfIface")
+              .ok());
+    }
+    ASSERT_TRUE(db_.Set(impl, "C", Value::Int(RandInt(0, 99))).ok());
+  }
+  for (int l = 0; l < 4 && parts.size() >= 2; ++l) {
+    ASSERT_TRUE(db_.CreateRelationship(
+                       "Link", {{"From", {parts[RandInt(0, parts.size() - 1)]}},
+                                {"To", {parts[RandInt(0, parts.size() - 1)]}}})
+                    .ok());
+  }
+
+  auto dump = persist::Dumper::Dump(db_);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  Database restored;
+  Status loaded = persist::Dumper::Load(*dump, &restored);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+
+  // Population identical; second dump canonical (fixed point).
+  DatabaseStats a = DatabaseStats::Collect(db_);
+  DatabaseStats b = DatabaseStats::Collect(restored);
+  EXPECT_EQ(a.total_objects, b.total_objects);
+  EXPECT_EQ(a.per_type, b.per_type);
+  EXPECT_EQ(a.bound_inheritors, b.bound_inheritors);
+  EXPECT_EQ(a.subobjects, b.subobjects);
+  auto second = persist::Dumper::Dump(restored);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, *dump);
+
+  // Inherited views line up pairwise (same creation order).
+  std::vector<Surrogate> impls_a = db_.store().Extent("Impl");
+  std::vector<Surrogate> impls_b = restored.store().Extent("Impl");
+  ASSERT_EQ(impls_a.size(), impls_b.size());
+  for (size_t i = 0; i < impls_a.size(); ++i) {
+    EXPECT_EQ(*db_.Get(impls_a[i], "A"), *restored.Get(impls_b[i], "A"));
+    EXPECT_EQ(*db_.Get(impls_a[i], "C"), *restored.Get(impls_b[i], "C"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
+}  // namespace
+}  // namespace caddb

@@ -1,0 +1,97 @@
+#include "query/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() {
+    EXPECT_TRUE(db_.ExecuteDdl(schemas::kGatesBase).ok());
+    EXPECT_TRUE(db_.ExecuteDdl(schemas::kGatesInterfaces).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(ReportTest, ProjectsScalarsAndFanOuts) {
+  Surrogate abs = db_.CreateObject("GateInterface_I").value();
+  for (int i = 0; i < 2; ++i) {
+    Surrogate pin = db_.CreateSubobject(abs, "Pins").value();
+    ASSERT_TRUE(
+        db_.Set(pin, "InOut", Value::Enum(i == 0 ? "IN" : "OUT")).ok());
+  }
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  ASSERT_TRUE(db_.Bind(iface, abs, "AllOf_GateInterface_I").ok());
+  ASSERT_TRUE(db_.Set(iface, "Length", Value::Int(10)).ok());
+  Surrogate impl = db_.CreateObject("GateImplementation").value();
+  ASSERT_TRUE(db_.Bind(impl, iface, "AllOf_GateInterface").ok());
+  ASSERT_TRUE(db_.Set(impl, "TimeBehavior", Value::Int(7)).ok());
+
+  auto table = Project(db_.inheritance(), {impl},
+                       {"Length", "TimeBehavior", "Pins.InOut"});
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->columns.size(), 4u);
+  ASSERT_EQ(table->rows.size(), 1u);
+  const auto& row = table->rows[0];
+  EXPECT_EQ(row[0], Value::Ref(impl));
+  EXPECT_EQ(row[1], Value::Int(10)) << "inherited through two levels";
+  EXPECT_EQ(row[2], Value::Int(7));
+  // Fan-out collapses into a set.
+  EXPECT_EQ(row[3].kind(), Value::Kind::kSet);
+  EXPECT_EQ(row[3].size(), 2u);
+}
+
+TEST_F(ReportTest, NullCellsForUnsetAndEmpty) {
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  auto table =
+      Project(db_.inheritance(), {iface}, {"Length", "Pins.InOut"});
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->rows[0][1].is_null()) << "unset attribute";
+  EXPECT_TRUE(table->rows[0][2].is_null()) << "empty fan-out (unbound)";
+}
+
+TEST_F(ReportTest, BadPathFails) {
+  Surrogate iface = db_.CreateObject("GateInterface").value();
+  EXPECT_FALSE(Project(db_.inheritance(), {iface}, {"No.Such.Path"}).ok());
+  EXPECT_FALSE(Project(db_.inheritance(), {iface}, {""}).ok());
+}
+
+TEST_F(ReportTest, TextAndCsvRendering) {
+  Surrogate a = db_.CreateObject("GateInterface").value();
+  Surrogate b = db_.CreateObject("GateInterface").value();
+  ASSERT_TRUE(db_.Set(a, "Length", Value::Int(5)).ok());
+  ASSERT_TRUE(db_.Set(b, "Length", Value::Int(1234)).ok());
+  auto table = Project(db_.inheritance(), {a, b}, {"Length", "Width"});
+  ASSERT_TRUE(table.ok());
+
+  std::string text = table->ToString();
+  EXPECT_NE(text.find("surrogate"), std::string::npos);
+  EXPECT_NE(text.find("Length"), std::string::npos);
+  EXPECT_NE(text.find("1234"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+
+  std::string csv = table->ToCsv();
+  EXPECT_NE(csv.find("surrogate,Length,Width"), std::string::npos);
+  EXPECT_NE(csv.find("@" + std::to_string(a.id) + ",5,null"),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, CsvQuoting) {
+  Table table;
+  table.columns = {"plain", "with,comma", "with\"quote"};
+  table.rows.push_back({Value::String("a,b"), Value::String("x\"y"),
+                        Value::Int(1)});
+  std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"x\"\"y\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caddb

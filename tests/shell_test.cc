@@ -1,0 +1,212 @@
+#include "shell/shell.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace caddb {
+namespace shell {
+namespace {
+
+/// Runs `script` through a fresh shell; returns its full output.
+std::string RunScript(const std::string& script, size_t* errors = nullptr,
+                      Database* external_db = nullptr) {
+  Database local_db;
+  Database* db = external_db != nullptr ? external_db : &local_db;
+  Shell shell(db);
+  std::istringstream in(script);
+  std::ostringstream out;
+  shell.Run(in, out);
+  if (errors != nullptr) *errors = shell.error_count();
+  return out.str();
+}
+
+constexpr const char* kBoxSchema = R"(schema <<<
+obj-type Box =
+  attributes:
+    W, H: integer;
+  constraints:
+    W > 0 and H > 0;
+end Box;
+>>>
+)";
+
+TEST(ShellTest, SchemaBlockAndCreate) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) +
+                                  "create Box\n"
+                                  "set @1 W i:3\n"
+                                  "set @1 H i:4\n"
+                                  "check @1\n"
+                                  "get @1 W\n",
+                              &errors);
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("@1\n"), std::string::npos);
+  EXPECT_NE(out.find("ok\n"), std::string::npos);
+  EXPECT_NE(out.find("3\n"), std::string::npos);
+}
+
+TEST(ShellTest, ErrorsAreReportedInlineAndCounted) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) +
+                                  "create Box\n"
+                                  "check @1\n"      // W/H unset -> violation
+                                  "set @1 W e:NO\n"  // domain error
+                                  "get @99 W\n"      // unknown surrogate
+                                  "frobnicate\n",    // unknown command
+                              &errors);
+  EXPECT_EQ(errors, 4u) << out;
+  EXPECT_NE(out.find("ConstraintViolation"), std::string::npos);
+  EXPECT_NE(out.find("TypeMismatch"), std::string::npos);
+  EXPECT_NE(out.find("NotFound"), std::string::npos);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST(ShellTest, CommentsAndEchoAndQuit) {
+  size_t errors = 0;
+  std::string out = RunScript(
+      "# a comment\n"
+      "echo hello world\n"
+      "quit\n"
+      "echo never reached\n",
+      &errors);
+  EXPECT_EQ(errors, 0u);
+  EXPECT_NE(out.find("hello world\n"), std::string::npos);
+  EXPECT_EQ(out.find("never reached"), std::string::npos);
+}
+
+TEST(ShellTest, FullInheritanceWorkflow) {
+  size_t errors = 0;
+  std::string out = RunScript(
+      "schema <<<\n"
+      "obj-type Iface = attributes: L: integer; end Iface;\n"
+      "inher-rel-type R =\n"
+      "  transmitter: object-of-type Iface;\n"
+      "  inheritor: object; inheriting: L;\n"
+      "end R;\n"
+      "obj-type Impl = inheritor-in: R; end Impl;\n"
+      ">>>\n"
+      "create Iface\n"   // @1
+      "create Impl\n"    // @2
+      "bind @2 @1 R\n"   // @3
+      "set @1 L i:10\n"
+      "get @2 L\n"       // 10 through inheritance
+      "set @2 L i:9\n"   // inherited -> error
+      "pending @2\n"
+      "ack @2\n"
+      "where-used @1\n"
+      "unbind @2\n"
+      "get @2 L\n",      // null when unbound
+      &errors);
+  EXPECT_EQ(errors, 1u) << out;  // exactly the read-only write
+  EXPECT_NE(out.find("10\n"), std::string::npos);
+  EXPECT_NE(out.find("InheritedReadOnly"), std::string::npos);
+  EXPECT_NE(out.find("Item: \"L\""), std::string::npos) << "pending log";
+  EXPECT_NE(out.find("(1 users)"), std::string::npos);
+  EXPECT_NE(out.find("null\n"), std::string::npos);
+}
+
+TEST(ShellTest, SubobjectsRelationshipsAndExpand) {
+  size_t errors = 0;
+  std::string out = RunScript(
+      "schema <<<\n"
+      "obj-type Pin = attributes: D: integer; end Pin;\n"
+      "rel-type Wire = relates: A, B: object-of-type Pin; end Wire;\n"
+      "obj-type Board =\n"
+      "  types-of-subclasses: Pins: Pin;\n"
+      "  types-of-subrels: Wires: Wire;\n"
+      "end Board;\n"
+      ">>>\n"
+      "create Board\n"       // @1
+      "sub @1 Pins\n"        // @2
+      "sub @1 Pins\n"        // @3
+      "members @1 Pins\n"
+      "subrel @1 Wires A=@2 B=@3\n"  // @4
+      "rel Wire A=@2 B=@3\n"         // @5
+      "expand @1\n"
+      "expand-dot @1\n"
+      "stats\n"
+      "delete @1\n"
+      "members @1 Pins\n",  // gone
+      &errors);
+  EXPECT_EQ(errors, 1u) << out;  // only the final members on deleted @1
+  EXPECT_NE(out.find("@2 @3 (2)"), std::string::npos);
+  EXPECT_NE(out.find("Board @1"), std::string::npos);
+  EXPECT_NE(out.find("[Pins]"), std::string::npos);
+  EXPECT_NE(out.find("digraph caddb_expansion"), std::string::npos);
+  EXPECT_NE(out.find("bound inheritors: 0"), std::string::npos);
+}
+
+TEST(ShellTest, ViolationsSweepAndHolds) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) +
+                                  "create Box\n"
+                                  "create Box\n"
+                                  "set @1 W i:3\n"
+                                  "set @1 H i:4\n"
+                                  "holds @1 W * H = 12\n"
+                                  "violations\n",
+                              &errors);
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("true\n"), std::string::npos);
+  // @2 has unset W/H: exactly one violating object.
+  EXPECT_NE(out.find("(1 violations)"), std::string::npos);
+}
+
+TEST(ShellTest, SelectProjectsTables) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) +
+                                  "class Boxes Box\n"
+                                  "create Box Boxes\n"
+                                  "create Box Boxes\n"
+                                  "set @1 W i:3\n"
+                                  "set @1 H i:4\n"
+                                  "set @2 W i:10\n"
+                                  "set @2 H i:20\n"
+                                  "select Boxes W H where W > 5\n"
+                                  "select Box W\n",
+                              &errors);
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("(1 rows)"), std::string::npos) << out;
+  EXPECT_NE(out.find("(2 rows)"), std::string::npos) << out;
+  EXPECT_NE(out.find("surrogate"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(ShellTest, DumpAndLoadThroughFiles) {
+  std::string path = ::testing::TempDir() + "/shell_dump.cdb";
+  size_t errors = 0;
+  RunScript(std::string(kBoxSchema) +
+                "create Box\n"
+                "set @1 W i:3\n"
+                "set @1 H i:4\n"
+                "dump " +
+                path + "\n",
+            &errors);
+  ASSERT_EQ(errors, 0u);
+
+  Database restored;
+  std::string out =
+      RunScript("load " + path + "\nget @1 W\n", &errors, &restored);
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("3\n"), std::string::npos);
+}
+
+TEST(ShellTest, PrintSchemaRoundTripsThroughShell) {
+  size_t errors = 0;
+  std::string printed = RunScript(std::string(kBoxSchema) + "print-schema\n",
+                                  &errors);
+  ASSERT_EQ(errors, 0u);
+  // Feed the printed schema into a fresh shell.
+  size_t start = printed.find("obj-type");
+  ASSERT_NE(start, std::string::npos);
+  std::string schema_text = printed.substr(start);
+  std::string out = RunScript("schema <<<\n" + schema_text + ">>>\ncreate Box\n",
+                              &errors);
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("@1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shell
+}  // namespace caddb

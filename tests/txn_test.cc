@@ -1,0 +1,285 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest() {
+    Status s = db_.ExecuteDdl(schemas::kSteel);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    girder_if_ = db_.CreateObject("GirderInterface").value();
+    EXPECT_TRUE(db_.Set(girder_if_, "Length", Value::Int(4000)).ok());
+    wcs_ = db_.CreateObject("WeightCarrying_Structure").value();
+    girder_ = db_.CreateSubobject(wcs_, "Girders").value();
+    EXPECT_TRUE(db_.Bind(girder_, girder_if_, "AllOf_GirderIf").ok());
+  }
+
+  Database db_;
+  Surrogate girder_if_, wcs_, girder_;
+};
+
+TEST_F(TxnTest, BeginCommitLifecycle) {
+  TxnId txn = db_.transactions().Begin("alice").value();
+  EXPECT_TRUE(db_.transactions().IsActive(txn));
+  EXPECT_TRUE(db_.transactions().Commit(txn).ok());
+  EXPECT_FALSE(db_.transactions().IsActive(txn));
+  EXPECT_EQ(db_.transactions().Commit(txn).code(), Code::kNotFound);
+  EXPECT_EQ(db_.transactions().Begin("").status().code(),
+            Code::kInvalidArgument);
+}
+
+TEST_F(TxnTest, WriteVisibleAfterCommit) {
+  TxnId txn = db_.transactions().Begin("alice").value();
+  ASSERT_TRUE(db_.transactions()
+                  .Write(txn, girder_if_, "Length", Value::Int(4200))
+                  .ok());
+  EXPECT_EQ(db_.transactions().Read(txn, girder_if_, "Length")->AsInt(),
+            4200);
+  ASSERT_TRUE(db_.transactions().Commit(txn).ok());
+  EXPECT_EQ(db_.Get(girder_if_, "Length")->AsInt(), 4200);
+}
+
+TEST_F(TxnTest, AbortRollsBackWrites) {
+  TxnId txn = db_.transactions().Begin("alice").value();
+  ASSERT_TRUE(db_.transactions()
+                  .Write(txn, girder_if_, "Length", Value::Int(4200))
+                  .ok());
+  ASSERT_TRUE(db_.transactions()
+                  .Write(txn, girder_if_, "Length", Value::Int(4300))
+                  .ok());
+  ASSERT_TRUE(db_.transactions().Abort(txn).ok());
+  EXPECT_EQ(db_.Get(girder_if_, "Length")->AsInt(), 4000)
+      << "before-image restored through double overwrite";
+  // The composite's inherited view reflects the rollback too.
+  EXPECT_EQ(db_.Get(girder_, "Length")->AsInt(), 4000);
+}
+
+TEST_F(TxnTest, WriteLocksBlockConcurrentWriters) {
+  TxnId t1 = db_.transactions().Begin("alice").value();
+  ASSERT_TRUE(db_.transactions()
+                  .Write(t1, girder_if_, "Length", Value::Int(4100))
+                  .ok());
+  std::atomic<bool> t2_committed{false};
+  std::thread other([&] {
+    TxnId t2 = db_.transactions().Begin("bob").value();
+    Status s =
+        db_.transactions().Write(t2, girder_if_, "Length", Value::Int(4500));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(db_.transactions().Commit(t2).ok());
+    t2_committed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(t2_committed) << "bob blocks behind alice's X-lock";
+  ASSERT_TRUE(db_.transactions().Commit(t1).ok());
+  other.join();
+  EXPECT_TRUE(t2_committed);
+  EXPECT_EQ(db_.Get(girder_if_, "Length")->AsInt(), 4500);
+}
+
+TEST_F(TxnTest, LockInheritanceBlocksTransmitterUpdate) {
+  // Reading the composite's inherited attribute S-locks the transmitter's
+  // exported part; a writer on the transmitter must wait.
+  TxnId reader = db_.transactions().Begin("alice").value();
+  ASSERT_TRUE(db_.transactions().Read(reader, girder_, "Length").ok());
+  EXPECT_GE(db_.transactions().LockCount(reader), 2u)
+      << "whole-object S on the composite + exported-part S on the girder "
+         "interface";
+
+  std::atomic<bool> write_done{false};
+  std::thread writer([&] {
+    TxnId w = db_.transactions().Begin("bob").value();
+    Status s =
+        db_.transactions().Write(w, girder_if_, "Length", Value::Int(9000));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(db_.transactions().Commit(w).ok());
+    write_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(write_done) << "lock inheritance protects the reader";
+  ASSERT_TRUE(db_.transactions().Commit(reader).ok());
+  writer.join();
+  EXPECT_TRUE(write_done);
+}
+
+TEST_F(TxnTest, NonInheritedReadDoesNotLockTransmitter) {
+  // Designer is the structure's own attribute: only one lock.
+  TxnId txn = db_.transactions().Begin("alice").value();
+  ASSERT_TRUE(db_.transactions().Read(txn, wcs_, "Designer").ok());
+  EXPECT_EQ(db_.transactions().LockCount(txn), 1u);
+  db_.transactions().Commit(txn).ok();
+}
+
+TEST_F(TxnTest, AccessControlGatesWrites) {
+  db_.access_control().GrantUserDefault("intern", Rights::ReadOnly());
+  TxnId txn = db_.transactions().Begin("intern").value();
+  EXPECT_EQ(db_.transactions()
+                .Write(txn, girder_if_, "Length", Value::Int(1))
+                .code(),
+            Code::kPermissionDenied);
+  EXPECT_TRUE(db_.transactions().Read(txn, girder_if_, "Length").ok());
+  db_.transactions().Commit(txn).ok();
+
+  db_.access_control().GrantUserDefault("ghost", Rights::None());
+  TxnId blind = db_.transactions().Begin("ghost").value();
+  EXPECT_EQ(db_.transactions().Read(blind, girder_if_, "Length").status().code(),
+            Code::kPermissionDenied);
+  db_.transactions().Commit(blind).ok();
+}
+
+TEST_F(TxnTest, StandardObjectProtection) {
+  Surrogate bolt = db_.CreateObject("BoltType").value();
+  ASSERT_TRUE(db_.Set(bolt, "Length", Value::Int(45)).ok());
+  db_.access_control().ProtectStandardObject(bolt, "librarian");
+  EXPECT_TRUE(db_.access_control().IsStandardObject(bolt));
+
+  TxnId user = db_.transactions().Begin("alice").value();
+  EXPECT_EQ(
+      db_.transactions().Write(user, bolt, "Length", Value::Int(50)).code(),
+      Code::kPermissionDenied);
+  db_.transactions().Commit(user).ok();
+
+  TxnId owner = db_.transactions().Begin("librarian").value();
+  EXPECT_TRUE(
+      db_.transactions().Write(owner, bolt, "Length", Value::Int(50)).ok());
+  db_.transactions().Commit(owner).ok();
+}
+
+TEST_F(TxnTest, ExpansionLockDowngradesOnStandardObjects) {
+  // Put a bolt into the structure via a screwing.
+  Surrogate bore = db_.CreateSubobject(girder_if_, "Bores").value();
+  Surrogate bolt = db_.CreateObject("BoltType").value();
+  Surrogate screwing =
+      db_.CreateSubrel(wcs_, "Screwings", {{"Bores", {bore}}}).value();
+  Surrogate slot = db_.CreateSubobject(screwing, "Bolt").value();
+  ASSERT_TRUE(db_.Bind(slot, bolt, "AllOf_BoltType").ok());
+  db_.access_control().ProtectStandardObject(bolt, "librarian");
+
+  TxnId txn = db_.transactions().Begin("alice").value();
+  auto locked =
+      db_.transactions().LockExpansion(txn, wcs_, LockMode::kExclusive);
+  ASSERT_TRUE(locked.ok()) << locked.status().ToString();
+  EXPECT_GE(*locked, 5u);
+  // The bolt was locked in S, not X: another reader passes instantly.
+  EXPECT_TRUE(db_.locks().WouldGrant(9999, LockItem::Whole(bolt),
+                                     LockMode::kShared));
+  // But the structure itself is X-locked.
+  EXPECT_FALSE(db_.locks().WouldGrant(9999, LockItem::Whole(wcs_),
+                                      LockMode::kShared));
+  db_.transactions().Commit(txn).ok();
+}
+
+TEST_F(TxnTest, ExpansionLockFailsWithoutReadRights) {
+  db_.access_control().GrantUserDefault("ghost", Rights::None());
+  TxnId txn = db_.transactions().Begin("ghost").value();
+  EXPECT_EQ(db_.transactions()
+                .LockExpansion(txn, wcs_, LockMode::kShared)
+                .status()
+                .code(),
+            Code::kPermissionDenied);
+  db_.transactions().Commit(txn).ok();
+}
+
+TEST_F(TxnTest, SerializabilityStressTransfersConserveTotal) {
+  // Classic bank-transfer invariant under strict 2PL with deadlock-victim
+  // retry: concurrent transfers between girder interfaces must conserve the
+  // total Length. Exercises blocking, deadlock detection, abort/rollback
+  // and retry on a single shared lock manager.
+  constexpr int kAccounts = 4;
+  constexpr int kThreads = 4;
+  constexpr int kTransfersPerThread = 60;
+  std::vector<Surrogate> accounts;
+  int64_t initial_total = 0;
+  for (int i = 0; i < kAccounts; ++i) {
+    Surrogate account = db_.CreateObject("GirderInterface").value();
+    ASSERT_TRUE(db_.Set(account, "Length", Value::Int(1000)).ok());
+    accounts.push_back(account);
+    initial_total += 1000;
+  }
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<uint32_t>(t) + 1);
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        size_t from = rng() % kAccounts;
+        size_t to = (from + 1 + rng() % (kAccounts - 1)) % kAccounts;
+        int64_t amount = static_cast<int64_t>(rng() % 10);
+        // Retry loop: deadlock victims roll back and try again.
+        while (true) {
+          TxnId txn = db_.transactions().Begin("worker").value();
+          auto a = db_.transactions().Read(txn, accounts[from], "Length");
+          if (!a.ok()) {
+            db_.transactions().Abort(txn).ok();
+            continue;
+          }
+          Status w1 = db_.transactions().Write(
+              txn, accounts[from], "Length", Value::Int(a->AsInt() - amount));
+          if (!w1.ok()) {
+            db_.transactions().Abort(txn).ok();
+            continue;
+          }
+          auto b = db_.transactions().Read(txn, accounts[to], "Length");
+          if (!b.ok()) {
+            db_.transactions().Abort(txn).ok();
+            continue;
+          }
+          Status w2 = db_.transactions().Write(
+              txn, accounts[to], "Length", Value::Int(b->AsInt() + amount));
+          if (!w2.ok()) {
+            db_.transactions().Abort(txn).ok();
+            continue;
+          }
+          ASSERT_TRUE(db_.transactions().Commit(txn).ok());
+          ++committed;
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(committed.load(), kThreads * kTransfersPerThread);
+  int64_t total = 0;
+  for (Surrogate account : accounts) {
+    total += db_.Get(account, "Length")->AsInt();
+  }
+  EXPECT_EQ(total, initial_total) << "money was created or destroyed";
+  EXPECT_EQ(db_.locks().TotalHeld(), 0u) << "all locks released";
+}
+
+TEST_F(TxnTest, DeadlockVictimCanAbortAndRetry) {
+  Surrogate other = db_.CreateObject("GirderInterface").value();
+  ASSERT_TRUE(db_.Set(other, "Length", Value::Int(1)).ok());
+  TxnId t1 = db_.transactions().Begin("alice").value();
+  TxnId t2 = db_.transactions().Begin("bob").value();
+  ASSERT_TRUE(
+      db_.transactions().Write(t1, girder_if_, "Length", Value::Int(2)).ok());
+  ASSERT_TRUE(
+      db_.transactions().Write(t2, other, "Length", Value::Int(3)).ok());
+  std::thread t1_thread([&] {
+    Status s = db_.transactions().Write(t1, other, "Length", Value::Int(4));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(db_.transactions().Commit(t1).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  Status deadlocked =
+      db_.transactions().Write(t2, girder_if_, "Length", Value::Int(5));
+  EXPECT_EQ(deadlocked.code(), Code::kDeadlock);
+  ASSERT_TRUE(db_.transactions().Abort(t2).ok());
+  t1_thread.join();
+  // t2's write to `other` rolled back; t1's writes won.
+  EXPECT_EQ(db_.Get(other, "Length")->AsInt(), 4);
+  EXPECT_EQ(db_.Get(girder_if_, "Length")->AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace caddb

@@ -1,0 +1,123 @@
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace caddb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, OkStatus());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    Code code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {InvalidArgument("m"), Code::kInvalidArgument, "InvalidArgument"},
+      {NotFound("m"), Code::kNotFound, "NotFound"},
+      {AlreadyExists("m"), Code::kAlreadyExists, "AlreadyExists"},
+      {TypeMismatch("m"), Code::kTypeMismatch, "TypeMismatch"},
+      {ConstraintViolation("m"), Code::kConstraintViolation,
+       "ConstraintViolation"},
+      {InheritedReadOnly("m"), Code::kInheritedReadOnly, "InheritedReadOnly"},
+      {CycleError("m"), Code::kCycle, "Cycle"},
+      {FailedPrecondition("m"), Code::kFailedPrecondition,
+       "FailedPrecondition"},
+      {PermissionDenied("m"), Code::kPermissionDenied, "PermissionDenied"},
+      {DeadlockError("m"), Code::kDeadlock, "Deadlock"},
+      {ConflictError("m"), Code::kConflict, "Conflict"},
+      {ParseError("m"), Code::kParseError, "ParseError"},
+      {Unimplemented("m"), Code::kUnimplemented, "Unimplemented"},
+      {InternalError("m"), Code::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+    EXPECT_STREQ(CodeName(c.code), c.name);
+  }
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value_or(7), 42);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad = NotFound("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Code::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CADDB_ASSIGN_OR_RETURN(int half, Half(x));
+  CADDB_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+Status CheckQuarterable(int x) {
+  CADDB_RETURN_IF_ERROR(Quarter(x).status());
+  return OkStatus();
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_EQ(Quarter(6).status().code(), Code::kInvalidArgument);
+  EXPECT_EQ(Quarter(5).status().code(), Code::kInvalidArgument);
+  EXPECT_TRUE(CheckQuarterable(8).ok());
+  EXPECT_FALSE(CheckQuarterable(5).ok());
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({}, "."), "");
+  EXPECT_EQ(Join({"a"}, "."), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(Split("a.b.c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  // Round trip.
+  std::vector<std::string> parts{"x", "yy", "zzz"};
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("schema 42", "schema "));
+  EXPECT_FALSE(StartsWith("sch", "schema"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringUtilTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace caddb

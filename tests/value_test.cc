@@ -1,0 +1,100 @@
+#include "values/value.h"
+
+#include <gtest/gtest.h>
+
+#include "values/domain.h"
+
+namespace caddb {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), Value::Kind::kNull);
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(42);
+  EXPECT_EQ(v.kind(), Value::Kind::kInt);
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, IntRealCrossKindEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Real(3.0));
+  EXPECT_NE(Value::Int(3), Value::Real(3.5));
+  EXPECT_LT(Value::Int(3), Value::Real(3.5));
+}
+
+TEST(ValueTest, SetCanonicalization) {
+  Value s = Value::Set({Value::Int(3), Value::Int(1), Value::Int(3)});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.elements()[0], Value::Int(1));
+  EXPECT_EQ(s.elements()[1], Value::Int(3));
+  EXPECT_TRUE(s.Contains(Value::Int(3)));
+  EXPECT_FALSE(s.Contains(Value::Int(2)));
+}
+
+TEST(ValueTest, SetInsertKeepsOrderAndDedups) {
+  Value s = Value::Set({Value::Int(5)});
+  s.SetInsert(Value::Int(2));
+  s.SetInsert(Value::Int(5));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.elements()[0], Value::Int(2));
+}
+
+TEST(ValueTest, RecordFieldAccess) {
+  Value p = Value::Point(3, 4);
+  auto x = p.Field_("X");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->AsInt(), 3);
+  EXPECT_EQ(p.Field_("Z").status().code(), Code::kNotFound);
+  EXPECT_EQ(Value::Int(1).Field_("X").status().code(), Code::kTypeMismatch);
+}
+
+TEST(ValueTest, DeepEqualityOnRecords) {
+  EXPECT_EQ(Value::Point(1, 2), Value::Point(1, 2));
+  EXPECT_NE(Value::Point(1, 2), Value::Point(2, 1));
+}
+
+TEST(ValueTest, RefComparesBySurrogate) {
+  EXPECT_EQ(Value::Ref(Surrogate(7)), Value::Ref(Surrogate(7)));
+  EXPECT_NE(Value::Ref(Surrogate(7)), Value::Ref(Surrogate(8)));
+  EXPECT_EQ(Value::Ref(Surrogate(7)).ToString(), "@7");
+}
+
+TEST(DomainTest, ValidatesScalars) {
+  EXPECT_TRUE(Domain::Int().Validate(Value::Int(1)).ok());
+  EXPECT_EQ(Domain::Int().Validate(Value::Bool(true)).code(),
+            Code::kTypeMismatch);
+  EXPECT_TRUE(Domain::Int().Validate(Value::Null()).ok()) << "null = unset";
+}
+
+TEST(DomainTest, EnumMembership) {
+  Domain d = Domain::Enum({"IN", "OUT"});
+  EXPECT_TRUE(d.Validate(Value::Enum("IN")).ok());
+  EXPECT_EQ(d.Validate(Value::Enum("SIDEWAYS")).code(), Code::kTypeMismatch);
+}
+
+TEST(DomainTest, NestedSetOfRecord) {
+  Domain pin = Domain::Record(
+      {{"PinId", Domain::Int()}, {"InOut", Domain::Enum({"IN", "OUT"})}});
+  Domain pins = Domain::SetOf(pin);
+  Value good = Value::Set({Value::Record(
+      {{"PinId", Value::Int(1)}, {"InOut", Value::Enum("IN")}})});
+  EXPECT_TRUE(pins.Validate(good).ok());
+  Value bad = Value::Set({Value::Record(
+      {{"PinId", Value::Int(1)}, {"InOut", Value::Enum("NO")}})});
+  EXPECT_FALSE(pins.Validate(bad).ok());
+}
+
+TEST(DomainTest, DefaultValues) {
+  EXPECT_EQ(Domain::Int().DefaultValue(), Value::Int(0));
+  EXPECT_EQ(Domain::Enum({"A", "B"}).DefaultValue(), Value::Enum("A"));
+  EXPECT_EQ(Domain::SetOf(Domain::Int()).DefaultValue().size(), 0u);
+  Value p = Domain::Point().DefaultValue();
+  EXPECT_EQ(p.Field_("X")->AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace caddb

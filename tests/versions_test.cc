@@ -1,0 +1,210 @@
+#include "versions/version_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "versions/selection.h"
+
+namespace caddb {
+namespace {
+
+class VersionsTest : public ::testing::Test {
+ protected:
+  VersionsTest() {
+    Status s = db_.ExecuteDdl(R"(
+      obj-type Iface = attributes: L: integer; end Iface;
+      inher-rel-type AllOfIface =
+        transmitter: object-of-type Iface;
+        inheritor: object;
+        inheriting: L;
+      end AllOfIface;
+      obj-type Impl =
+        inheritor-in: AllOfIface;
+        attributes: Speed: integer;
+      end Impl;
+      inher-rel-type SomeOfImpl =
+        transmitter: object-of-type Impl;
+        inheritor: object;
+        inheriting: L, Speed;
+      end SomeOfImpl;
+      obj-type Slot =
+        inheritor-in: SomeOfImpl;
+      end Slot;
+    )");
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    iface_ = db_.CreateObject("Iface").value();
+    EXPECT_TRUE(db_.Set(iface_, "L", Value::Int(4)).ok());
+    EXPECT_TRUE(db_.versions().CreateDesignObject("D", "Impl").ok());
+  }
+
+  Surrogate NewImpl(int64_t speed) {
+    Surrogate impl = db_.CreateObject("Impl").value();
+    EXPECT_TRUE(db_.Bind(impl, iface_, "AllOfIface").ok());
+    EXPECT_TRUE(db_.Set(impl, "Speed", Value::Int(speed)).ok());
+    return impl;
+  }
+
+  Database db_;
+  Surrogate iface_;
+};
+
+TEST_F(VersionsTest, DesignObjectLifecycle) {
+  EXPECT_EQ(db_.versions().CreateDesignObject("D", "Impl").code(),
+            Code::kAlreadyExists);
+  EXPECT_EQ(db_.versions().CreateDesignObject("E", "Nope").code(),
+            Code::kNotFound);
+  EXPECT_EQ(db_.versions().DesignObjectNames().size(), 1u);
+  EXPECT_EQ(db_.versions().DefaultVersion("D").status().code(),
+            Code::kFailedPrecondition)
+      << "no versions yet";
+}
+
+TEST_F(VersionsTest, AddVersionRules) {
+  Surrogate v1 = NewImpl(10);
+  ASSERT_TRUE(db_.versions().AddVersion("D", v1).ok());
+  EXPECT_EQ(db_.versions().AddVersion("D", v1).code(), Code::kAlreadyExists);
+  EXPECT_EQ(db_.versions().AddVersion("D", iface_).code(),
+            Code::kTypeMismatch);
+  Surrogate v2 = NewImpl(12);
+  EXPECT_EQ(db_.versions().AddVersion("D", v2, {Surrogate(999)}).code(),
+            Code::kNotFound)
+      << "predecessor must be a version";
+  ASSERT_TRUE(db_.versions().AddVersion("D", v2, {v1}).ok());
+  // First version became the default automatically.
+  EXPECT_EQ(*db_.versions().DefaultVersion("D"), v1);
+}
+
+TEST_F(VersionsTest, HistoryAndSuccessors) {
+  Surrogate v1 = NewImpl(1);
+  Surrogate v2 = NewImpl(2);
+  Surrogate v3a = NewImpl(3);
+  Surrogate v3b = NewImpl(4);
+  Surrogate merged = NewImpl(5);
+  ASSERT_TRUE(db_.versions().AddVersion("D", v1).ok());
+  ASSERT_TRUE(db_.versions().AddVersion("D", v2, {v1}).ok());
+  ASSERT_TRUE(db_.versions().AddVersion("D", v3a, {v2}).ok());
+  ASSERT_TRUE(db_.versions().AddVersion("D", v3b, {v2}).ok());
+  ASSERT_TRUE(db_.versions().AddVersion("D", merged, {v3a, v3b}).ok());
+
+  auto history = db_.versions().History("D", merged);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), 4u) << "v3a, v3b, v2, v1";
+  auto successors = db_.versions().Successors("D", v2);
+  ASSERT_TRUE(successors.ok());
+  EXPECT_EQ(successors->size(), 2u) << "parallel alternatives";
+  EXPECT_TRUE(db_.versions().History("D", v1)->empty());
+}
+
+TEST_F(VersionsTest, StateClassification) {
+  Surrogate v1 = NewImpl(1);
+  Surrogate v2 = NewImpl(2);
+  ASSERT_TRUE(db_.versions().AddVersion("D", v1).ok());
+  ASSERT_TRUE(db_.versions().AddVersion("D", v2, {v1}).ok());
+  ASSERT_TRUE(
+      db_.versions().SetState("D", v1, VersionState::kReleased).ok());
+  auto released =
+      db_.versions().VersionsInState("D", VersionState::kReleased);
+  ASSERT_TRUE(released.ok());
+  ASSERT_EQ(released->size(), 1u);
+  EXPECT_EQ((*released)[0], v1);
+  EXPECT_EQ(
+      db_.versions().VersionsInState("D", VersionState::kInProgress)->size(),
+      1u);
+  EXPECT_EQ(db_.versions().SetState("D", iface_, VersionState::kTested).code(),
+            Code::kNotFound);
+}
+
+TEST_F(VersionsTest, DefaultVersionPolicySelectsDefault) {
+  Surrogate v1 = NewImpl(1);
+  Surrogate v2 = NewImpl(2);
+  ASSERT_TRUE(db_.versions().AddVersion("D", v1).ok());
+  ASSERT_TRUE(db_.versions().AddVersion("D", v2, {v1}).ok());
+  ASSERT_TRUE(db_.versions().SetDefaultVersion("D", v2).ok());
+
+  Surrogate slot = db_.CreateObject("Slot").value();
+  uint64_t binding =
+      db_.versions().BindGeneric(slot, "D", "SomeOfImpl").value();
+  DefaultVersionPolicy policy;
+  auto picked = db_.versions().ResolveGeneric(binding, policy);
+  ASSERT_TRUE(picked.ok()) << picked.status().ToString();
+  EXPECT_EQ(*picked, v2);
+  EXPECT_EQ(*db_.inheritance().TransmitterOf(slot), v2);
+  // The binding records the resolution.
+  EXPECT_EQ(db_.versions().GetGenericBinding(binding)->resolved_version, v2);
+}
+
+TEST_F(VersionsTest, PredicatePolicyPicksNewestMatch) {
+  Surrogate v1 = NewImpl(10);
+  Surrogate v2 = NewImpl(6);
+  Surrogate v3 = NewImpl(4);
+  ASSERT_TRUE(db_.versions().AddVersion("D", v1).ok());
+  ASSERT_TRUE(db_.versions().AddVersion("D", v2, {v1}).ok());
+  ASSERT_TRUE(db_.versions().AddVersion("D", v3, {v2}).ok());
+
+  Surrogate slot = db_.CreateObject("Slot").value();
+  uint64_t binding =
+      db_.versions().BindGeneric(slot, "D", "SomeOfImpl").value();
+  // Newest with Speed >= 6 is v2 (v3 has 4).
+  PredicatePolicy policy(
+      ddl::Parser::ParseConstraintExpression("Speed >= 6").value());
+  EXPECT_EQ(*db_.versions().ResolveGeneric(binding, policy), v2);
+  // No match at all.
+  PredicatePolicy impossible(
+      ddl::Parser::ParseConstraintExpression("Speed > 100").value());
+  Surrogate slot2 = db_.CreateObject("Slot").value();
+  uint64_t binding2 =
+      db_.versions().BindGeneric(slot2, "D", "SomeOfImpl").value();
+  EXPECT_EQ(db_.versions().ResolveGeneric(binding2, impossible).status().code(),
+            Code::kNotFound);
+}
+
+TEST_F(VersionsTest, EnvironmentPolicyPinsAndFailsClosed) {
+  Surrogate v1 = NewImpl(1);
+  ASSERT_TRUE(db_.versions().AddVersion("D", v1).ok());
+  Surrogate slot = db_.CreateObject("Slot").value();
+  uint64_t binding =
+      db_.versions().BindGeneric(slot, "D", "SomeOfImpl").value();
+  EnvironmentPolicy env("test-env");
+  EXPECT_EQ(db_.versions().ResolveGeneric(binding, env).status().code(),
+            Code::kFailedPrecondition)
+      << "unpinned design object";
+  env.Pin("D", v1);
+  EXPECT_EQ(*db_.versions().ResolveGeneric(binding, env), v1);
+  EXPECT_EQ(env.PinnedVersion("D"), v1);
+  env.Unpin("D");
+  EXPECT_FALSE(env.PinnedVersion("D").valid());
+}
+
+TEST_F(VersionsTest, ReResolutionRebinds) {
+  Surrogate v1 = NewImpl(1);
+  Surrogate v2 = NewImpl(2);
+  ASSERT_TRUE(db_.versions().AddVersion("D", v1).ok());
+  ASSERT_TRUE(db_.versions().AddVersion("D", v2, {v1}).ok());
+  Surrogate slot = db_.CreateObject("Slot").value();
+  uint64_t binding =
+      db_.versions().BindGeneric(slot, "D", "SomeOfImpl").value();
+  DefaultVersionPolicy policy;
+  EXPECT_EQ(*db_.versions().ResolveGeneric(binding, policy), v1);
+  ASSERT_TRUE(db_.versions().SetDefaultVersion("D", v2).ok());
+  EXPECT_EQ(*db_.versions().ResolveGeneric(binding, policy), v2);
+  EXPECT_EQ(*db_.inheritance().TransmitterOf(slot), v2);
+  // Resolving again with the same outcome is a no-op.
+  EXPECT_EQ(*db_.versions().ResolveGeneric(binding, policy), v2);
+}
+
+TEST_F(VersionsTest, VersionedVersions) {
+  // "Versioned versions": the interface itself is a version of a more
+  // abstract design object.
+  ASSERT_TRUE(db_.versions().CreateDesignObject("AbstractGate", "Iface").ok());
+  ASSERT_TRUE(db_.versions().AddVersion("AbstractGate", iface_).ok());
+  Surrogate iface2 = db_.CreateObject("Iface").value();
+  ASSERT_TRUE(
+      db_.versions().AddVersion("AbstractGate", iface2, {iface_}).ok());
+  // And each interface version has its own implementations in "D".
+  Surrogate impl = NewImpl(3);
+  ASSERT_TRUE(db_.versions().AddVersion("D", impl).ok());
+  EXPECT_EQ(db_.versions().Successors("AbstractGate", iface_)->size(), 1u);
+}
+
+}  // namespace
+}  // namespace caddb

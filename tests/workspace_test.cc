@@ -1,0 +1,128 @@
+#include "txn/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace caddb {
+namespace {
+
+class WorkspaceTest : public ::testing::Test {
+ protected:
+  WorkspaceTest() {
+    Status s = db_.ExecuteDdl(R"(
+      obj-type Iface = attributes: L: integer; end Iface;
+      inher-rel-type AllOfIface =
+        transmitter: object-of-type Iface;
+        inheritor: object;
+        inheriting: L;
+      end AllOfIface;
+      obj-type Impl =
+        inheritor-in: AllOfIface;
+        attributes: Cost: integer;
+      end Impl;
+    )");
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    iface_ = db_.CreateObject("Iface").value();
+    EXPECT_TRUE(db_.Set(iface_, "L", Value::Int(10)).ok());
+    impl_ = db_.CreateObject("Impl").value();
+    EXPECT_TRUE(db_.Bind(impl_, iface_, "AllOfIface").ok());
+    EXPECT_TRUE(db_.Set(impl_, "Cost", Value::Int(100)).ok());
+  }
+
+  Database db_;
+  Surrogate iface_, impl_;
+};
+
+TEST_F(WorkspaceTest, CheckoutIsExclusive) {
+  WorkspaceId w1 = db_.workspaces().Create("alice").value();
+  WorkspaceId w2 = db_.workspaces().Create("bob").value();
+  ASSERT_TRUE(db_.workspaces().Checkout(w1, iface_).ok());
+  EXPECT_TRUE(db_.workspaces().IsCheckedOut(iface_));
+  EXPECT_EQ(db_.workspaces().Checkout(w2, iface_).code(), Code::kConflict);
+  EXPECT_EQ(db_.workspaces().Checkout(w1, iface_).code(),
+            Code::kAlreadyExists);
+  ASSERT_TRUE(db_.workspaces().Discard(w1).ok());
+  EXPECT_FALSE(db_.workspaces().IsCheckedOut(iface_));
+  EXPECT_TRUE(db_.workspaces().Checkout(w2, iface_).ok());
+}
+
+TEST_F(WorkspaceTest, PrivateCopyIsolatedUntilCheckin) {
+  WorkspaceId ws = db_.workspaces().Create("alice").value();
+  ASSERT_TRUE(db_.workspaces().Checkout(ws, iface_).ok());
+  ASSERT_TRUE(db_.workspaces().Set(ws, iface_, "L", Value::Int(20)).ok());
+  EXPECT_EQ(db_.workspaces().Get(ws, iface_, "L")->AsInt(), 20);
+  EXPECT_EQ(db_.Get(iface_, "L")->AsInt(), 10) << "database untouched";
+  EXPECT_EQ(db_.Get(impl_, "L")->AsInt(), 10) << "inheritors untouched";
+  ASSERT_TRUE(db_.workspaces().Checkin(ws).ok());
+  EXPECT_EQ(db_.Get(iface_, "L")->AsInt(), 20);
+  EXPECT_EQ(db_.Get(impl_, "L")->AsInt(), 20)
+      << "checkin propagates through inheritance";
+  EXPECT_FALSE(db_.workspaces().IsCheckedOut(iface_));
+}
+
+TEST_F(WorkspaceTest, CheckoutSnapshotsInheritedValues) {
+  WorkspaceId ws = db_.workspaces().Create("alice").value();
+  ASSERT_TRUE(db_.workspaces().Checkout(ws, impl_).ok());
+  EXPECT_EQ(db_.workspaces().Get(ws, impl_, "L")->AsInt(), 10)
+      << "inherited value materialized into the copy";
+  // But inherited attributes stay read-only even privately.
+  EXPECT_EQ(db_.workspaces().Set(ws, impl_, "L", Value::Int(1)).code(),
+            Code::kInheritedReadOnly);
+  EXPECT_TRUE(db_.workspaces().Set(ws, impl_, "Cost", Value::Int(1)).ok());
+}
+
+TEST_F(WorkspaceTest, CheckinDetectsLostUpdate) {
+  WorkspaceId ws = db_.workspaces().Create("alice").value();
+  ASSERT_TRUE(db_.workspaces().Checkout(ws, iface_).ok());
+  ASSERT_TRUE(db_.workspaces().Set(ws, iface_, "L", Value::Int(20)).ok());
+  // Someone else updates the object directly in the database.
+  ASSERT_TRUE(db_.Set(iface_, "L", Value::Int(15)).ok());
+  EXPECT_EQ(db_.workspaces().Checkin(ws).code(), Code::kConflict);
+  EXPECT_EQ(db_.Get(iface_, "L")->AsInt(), 15) << "conflict applies nothing";
+}
+
+TEST_F(WorkspaceTest, CheckinDetectsDeletion) {
+  Surrogate doomed = db_.CreateObject("Iface").value();
+  WorkspaceId ws = db_.workspaces().Create("alice").value();
+  ASSERT_TRUE(db_.workspaces().Checkout(ws, doomed).ok());
+  ASSERT_TRUE(db_.Delete(doomed).ok());
+  EXPECT_EQ(db_.workspaces().Checkin(ws).code(), Code::kConflict);
+}
+
+TEST_F(WorkspaceTest, DomainValidationInWorkspace) {
+  WorkspaceId ws = db_.workspaces().Create("alice").value();
+  ASSERT_TRUE(db_.workspaces().Checkout(ws, iface_).ok());
+  EXPECT_EQ(db_.workspaces().Set(ws, iface_, "L", Value::Enum("x")).code(),
+            Code::kTypeMismatch);
+  EXPECT_EQ(db_.workspaces().Set(ws, iface_, "Nope", Value::Int(1)).code(),
+            Code::kNotFound);
+}
+
+TEST_F(WorkspaceTest, OperationsRequireCheckout) {
+  WorkspaceId ws = db_.workspaces().Create("alice").value();
+  EXPECT_EQ(db_.workspaces().Set(ws, iface_, "L", Value::Int(1)).code(),
+            Code::kFailedPrecondition);
+  EXPECT_EQ(db_.workspaces().Get(ws, iface_, "L").status().code(),
+            Code::kFailedPrecondition);
+  EXPECT_EQ(db_.workspaces().Checkout(99, iface_).code(), Code::kNotFound);
+  EXPECT_EQ(db_.workspaces().Checkin(99).code(), Code::kNotFound);
+}
+
+TEST_F(WorkspaceTest, MultiObjectCheckinIsAtomicOnConflict) {
+  Surrogate second = db_.CreateObject("Iface").value();
+  ASSERT_TRUE(db_.Set(second, "L", Value::Int(1)).ok());
+  WorkspaceId ws = db_.workspaces().Create("alice").value();
+  ASSERT_TRUE(db_.workspaces().Checkout(ws, iface_).ok());
+  ASSERT_TRUE(db_.workspaces().Checkout(ws, second).ok());
+  ASSERT_TRUE(db_.workspaces().Set(ws, iface_, "L", Value::Int(20)).ok());
+  ASSERT_TRUE(db_.workspaces().Set(ws, second, "L", Value::Int(21)).ok());
+  // Conflict on `second` only.
+  ASSERT_TRUE(db_.Set(second, "L", Value::Int(5)).ok());
+  EXPECT_EQ(db_.workspaces().Checkin(ws).code(), Code::kConflict);
+  EXPECT_EQ(db_.Get(iface_, "L")->AsInt(), 10)
+      << "validation precedes any write";
+}
+
+}  // namespace
+}  // namespace caddb
