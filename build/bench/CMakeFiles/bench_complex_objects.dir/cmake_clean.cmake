@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complex_objects.dir/bench_complex_objects.cc.o"
+  "CMakeFiles/bench_complex_objects.dir/bench_complex_objects.cc.o.d"
+  "bench_complex_objects"
+  "bench_complex_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complex_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddl.dir/bench_ddl.cc.o"
+  "CMakeFiles/bench_ddl.dir/bench_ddl.cc.o.d"
+  "bench_ddl"
+  "bench_ddl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

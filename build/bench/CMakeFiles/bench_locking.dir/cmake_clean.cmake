@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_locking.dir/bench_locking.cc.o"
+  "CMakeFiles/bench_locking.dir/bench_locking.cc.o.d"
+  "bench_locking"
+  "bench_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caddb_shell.dir/caddb_shell.cpp.o"
+  "CMakeFiles/caddb_shell.dir/caddb_shell.cpp.o.d"
+  "caddb_shell"
+  "caddb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caddb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_transactions.dir/design_transactions.cpp.o"
+  "CMakeFiles/design_transactions.dir/design_transactions.cpp.o.d"
+  "design_transactions"
+  "design_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_circuit.dir/gates_circuit.cpp.o"
+  "CMakeFiles/gates_circuit.dir/gates_circuit.cpp.o.d"
+  "gates_circuit"
+  "gates_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steel_construction.dir/steel_construction.cpp.o"
+  "CMakeFiles/steel_construction.dir/steel_construction.cpp.o.d"
+  "steel_construction"
+  "steel_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steel_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_design.dir/versioned_design.cpp.o"
+  "CMakeFiles/versioned_design.dir/versioned_design.cpp.o.d"
+  "versioned_design"
+  "versioned_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

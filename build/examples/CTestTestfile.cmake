@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;caddb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gates_circuit "/root/repo/build/examples/gates_circuit")
+set_tests_properties(example_gates_circuit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;caddb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_steel_construction "/root/repo/build/examples/steel_construction")
+set_tests_properties(example_steel_construction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;caddb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_versioned_design "/root/repo/build/examples/versioned_design")
+set_tests_properties(example_versioned_design PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;caddb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_design_transactions "/root/repo/build/examples/design_transactions")
+set_tests_properties(example_design_transactions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;caddb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_schema_tools "/root/repo/build/examples/schema_tools")
+set_tests_properties(example_schema_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;caddb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_caddb_shell "/root/repo/build/examples/caddb_shell")
+set_tests_properties(example_caddb_shell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;caddb_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/copy_import.cc" "src/CMakeFiles/caddb.dir/baselines/copy_import.cc.o" "gcc" "src/CMakeFiles/caddb.dir/baselines/copy_import.cc.o.d"
+  "/root/repo/src/baselines/rigid_interface.cc" "src/CMakeFiles/caddb.dir/baselines/rigid_interface.cc.o" "gcc" "src/CMakeFiles/caddb.dir/baselines/rigid_interface.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/caddb.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/caddb.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/types.cc" "src/CMakeFiles/caddb.dir/catalog/types.cc.o" "gcc" "src/CMakeFiles/caddb.dir/catalog/types.cc.o.d"
+  "/root/repo/src/constraints/checker.cc" "src/CMakeFiles/caddb.dir/constraints/checker.cc.o" "gcc" "src/CMakeFiles/caddb.dir/constraints/checker.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/caddb.dir/core/database.cc.o" "gcc" "src/CMakeFiles/caddb.dir/core/database.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/caddb.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/caddb.dir/core/stats.cc.o.d"
+  "/root/repo/src/ddl/lexer.cc" "src/CMakeFiles/caddb.dir/ddl/lexer.cc.o" "gcc" "src/CMakeFiles/caddb.dir/ddl/lexer.cc.o.d"
+  "/root/repo/src/ddl/parser.cc" "src/CMakeFiles/caddb.dir/ddl/parser.cc.o" "gcc" "src/CMakeFiles/caddb.dir/ddl/parser.cc.o.d"
+  "/root/repo/src/ddl/printer.cc" "src/CMakeFiles/caddb.dir/ddl/printer.cc.o" "gcc" "src/CMakeFiles/caddb.dir/ddl/printer.cc.o.d"
+  "/root/repo/src/expr/ast.cc" "src/CMakeFiles/caddb.dir/expr/ast.cc.o" "gcc" "src/CMakeFiles/caddb.dir/expr/ast.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/caddb.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/caddb.dir/expr/eval.cc.o.d"
+  "/root/repo/src/inherit/inheritance.cc" "src/CMakeFiles/caddb.dir/inherit/inheritance.cc.o" "gcc" "src/CMakeFiles/caddb.dir/inherit/inheritance.cc.o.d"
+  "/root/repo/src/inherit/notification.cc" "src/CMakeFiles/caddb.dir/inherit/notification.cc.o" "gcc" "src/CMakeFiles/caddb.dir/inherit/notification.cc.o.d"
+  "/root/repo/src/persist/dump.cc" "src/CMakeFiles/caddb.dir/persist/dump.cc.o" "gcc" "src/CMakeFiles/caddb.dir/persist/dump.cc.o.d"
+  "/root/repo/src/persist/value_codec.cc" "src/CMakeFiles/caddb.dir/persist/value_codec.cc.o" "gcc" "src/CMakeFiles/caddb.dir/persist/value_codec.cc.o.d"
+  "/root/repo/src/query/expansion.cc" "src/CMakeFiles/caddb.dir/query/expansion.cc.o" "gcc" "src/CMakeFiles/caddb.dir/query/expansion.cc.o.d"
+  "/root/repo/src/query/path.cc" "src/CMakeFiles/caddb.dir/query/path.cc.o" "gcc" "src/CMakeFiles/caddb.dir/query/path.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/caddb.dir/query/query.cc.o" "gcc" "src/CMakeFiles/caddb.dir/query/query.cc.o.d"
+  "/root/repo/src/query/report.cc" "src/CMakeFiles/caddb.dir/query/report.cc.o" "gcc" "src/CMakeFiles/caddb.dir/query/report.cc.o.d"
+  "/root/repo/src/shell/shell.cc" "src/CMakeFiles/caddb.dir/shell/shell.cc.o" "gcc" "src/CMakeFiles/caddb.dir/shell/shell.cc.o.d"
+  "/root/repo/src/store/object.cc" "src/CMakeFiles/caddb.dir/store/object.cc.o" "gcc" "src/CMakeFiles/caddb.dir/store/object.cc.o.d"
+  "/root/repo/src/store/store.cc" "src/CMakeFiles/caddb.dir/store/store.cc.o" "gcc" "src/CMakeFiles/caddb.dir/store/store.cc.o.d"
+  "/root/repo/src/txn/access_control.cc" "src/CMakeFiles/caddb.dir/txn/access_control.cc.o" "gcc" "src/CMakeFiles/caddb.dir/txn/access_control.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/caddb.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/caddb.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/caddb.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/caddb.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/txn/workspace.cc" "src/CMakeFiles/caddb.dir/txn/workspace.cc.o" "gcc" "src/CMakeFiles/caddb.dir/txn/workspace.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/caddb.dir/util/status.cc.o" "gcc" "src/CMakeFiles/caddb.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/caddb.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/caddb.dir/util/string_util.cc.o.d"
+  "/root/repo/src/values/domain.cc" "src/CMakeFiles/caddb.dir/values/domain.cc.o" "gcc" "src/CMakeFiles/caddb.dir/values/domain.cc.o.d"
+  "/root/repo/src/values/value.cc" "src/CMakeFiles/caddb.dir/values/value.cc.o" "gcc" "src/CMakeFiles/caddb.dir/values/value.cc.o.d"
+  "/root/repo/src/versions/selection.cc" "src/CMakeFiles/caddb.dir/versions/selection.cc.o" "gcc" "src/CMakeFiles/caddb.dir/versions/selection.cc.o.d"
+  "/root/repo/src/versions/version_graph.cc" "src/CMakeFiles/caddb.dir/versions/version_graph.cc.o" "gcc" "src/CMakeFiles/caddb.dir/versions/version_graph.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/caddb.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/caddb.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddl_lexer_test.dir/ddl_lexer_test.cc.o"
+  "CMakeFiles/ddl_lexer_test.dir/ddl_lexer_test.cc.o.d"
+  "ddl_lexer_test"
+  "ddl_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddl_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddl_parser_test.dir/ddl_parser_test.cc.o"
+  "CMakeFiles/ddl_parser_test.dir/ddl_parser_test.cc.o.d"
+  "ddl_parser_test"
+  "ddl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

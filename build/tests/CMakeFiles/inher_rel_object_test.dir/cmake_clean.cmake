@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inher_rel_object_test.dir/inher_rel_object_test.cc.o"
+  "CMakeFiles/inher_rel_object_test.dir/inher_rel_object_test.cc.o.d"
+  "inher_rel_object_test"
+  "inher_rel_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inher_rel_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

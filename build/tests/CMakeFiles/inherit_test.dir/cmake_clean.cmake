@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inherit_test.dir/inherit_test.cc.o"
+  "CMakeFiles/inherit_test.dir/inherit_test.cc.o.d"
+  "inherit_test"
+  "inherit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inherit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_composite_test.dir/integration_composite_test.cc.o"
+  "CMakeFiles/integration_composite_test.dir/integration_composite_test.cc.o.d"
+  "integration_composite_test"
+  "integration_composite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_composite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

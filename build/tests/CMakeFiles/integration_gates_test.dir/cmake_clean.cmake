@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_gates_test.dir/integration_gates_test.cc.o"
+  "CMakeFiles/integration_gates_test.dir/integration_gates_test.cc.o.d"
+  "integration_gates_test"
+  "integration_gates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_gates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_steel_test.dir/integration_steel_test.cc.o"
+  "CMakeFiles/integration_steel_test.dir/integration_steel_test.cc.o.d"
+  "integration_steel_test"
+  "integration_steel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_steel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notification_test.dir/notification_test.cc.o"
+  "CMakeFiles/notification_test.dir/notification_test.cc.o.d"
+  "notification_test"
+  "notification_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versions_test.dir/versions_test.cc.o"
+  "CMakeFiles/versions_test.dir/versions_test.cc.o.d"
+  "versions_test"
+  "versions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
