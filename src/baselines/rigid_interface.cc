@@ -26,7 +26,9 @@ bool RigidInterfaceRegistry::IsRigidInterfaceType(
 Result<bool> RigidInterfaceRegistry::IsFrozen(Surrogate s) const {
   CADDB_ASSIGN_OR_RETURN(const DbObject* obj, manager_->store()->Get(s));
   if (!IsRigidInterfaceType(obj->type_name())) return false;
-  return !manager_->InheritorsOf(s).empty();
+  CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> inheritors,
+                         manager_->InheritorsOf(s));
+  return !inheritors.empty();
 }
 
 Status RigidInterfaceRegistry::GuardedSetAttribute(Surrogate s,
@@ -76,8 +78,8 @@ Result<Surrogate> RigidInterfaceRegistry::EvolveFrozenInterface(
   }
 
   // 2*M ops: rebind every implementation (unbind + bind).
-  std::vector<Surrogate> implementations =
-      manager_->InheritorsOf(old_interface);
+  CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> implementations,
+                         manager_->InheritorsOf(old_interface));
   for (Surrogate impl : implementations) {
     CADDB_ASSIGN_OR_RETURN(Surrogate rel_s, manager_->BindingOf(impl));
     CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store->Get(rel_s));

@@ -47,7 +47,7 @@ Status Catalog::RegisterDomain(const std::string& name, Domain domain) {
     return AlreadyExists("name '" + name + "' is already registered");
   }
   domains_[name] = std::move(domain);
-  schema_cache_.clear();
+  InvalidateSchemaCache();
   return OkStatus();
 }
 
@@ -77,7 +77,7 @@ Status Catalog::RegisterObjectType(ObjectTypeDef def) {
     }
   }
   object_types_[def.name] = std::move(def);
-  schema_cache_.clear();
+  InvalidateSchemaCache();
   return OkStatus();
 }
 
@@ -108,7 +108,7 @@ Status Catalog::RegisterRelType(RelTypeDef def) {
     }
   }
   rel_types_[def.name] = std::move(def);
-  schema_cache_.clear();
+  InvalidateSchemaCache();
   return OkStatus();
 }
 
@@ -135,7 +135,7 @@ Status Catalog::RegisterInherRelType(InherRelTypeDef def) {
     }
   }
   inher_rel_types_[def.name] = std::move(def);
-  schema_cache_.clear();
+  InvalidateSchemaCache();
   return OkStatus();
 }
 
@@ -196,15 +196,33 @@ std::vector<std::string> Catalog::DomainNames() const {
   return out;
 }
 
+void Catalog::InvalidateSchemaCache() {
+  schema_cache_.clear();
+  ++schema_epoch_;
+}
+
 Result<EffectiveSchema> Catalog::EffectiveSchemaFor(
     const std::string& type_name) const {
+  CADDB_ASSIGN_OR_RETURN(const EffectiveSchema* schema,
+                         FindEffectiveSchema(type_name));
+  return *schema;
+}
+
+Result<const EffectiveSchema*> Catalog::FindEffectiveSchema(
+    const std::string& type_name) const {
   auto it = schema_cache_.find(type_name);
-  if (it != schema_cache_.end()) return it->second;
+  if (it != schema_cache_.end()) {
+    ++schema_cache_hits_;
+    return &it->second;
+  }
+  ++schema_cache_misses_;
   std::set<std::string> in_progress;
   Result<EffectiveSchema> schema =
       ComputeEffectiveSchema(type_name, &in_progress);
-  if (schema.ok()) schema_cache_[type_name] = *schema;
-  return schema;
+  if (!schema.ok()) return schema.status();
+  const EffectiveSchema* cached =
+      &(schema_cache_[type_name] = *std::move(schema));
+  return cached;
 }
 
 Result<EffectiveSchema> Catalog::ComputeEffectiveSchema(

@@ -77,8 +77,25 @@ class Catalog : public Domain::Resolver {
   /// Effective schema of an object type, following `inheritor-in` up the
   /// abstraction hierarchy with permeability applied at every level.
   /// Detects type-level inheritance cycles. Results are cached; any
-  /// registration invalidates the cache.
+  /// registration invalidates the cache. Returns a copy of the cached
+  /// schema; prefer FindEffectiveSchema on hot paths.
   Result<EffectiveSchema> EffectiveSchemaFor(const std::string& type_name) const;
+
+  /// Copy-free variant: a pointer into the schema cache, valid until the
+  /// next registration (which clears the cache and bumps schema_epoch()).
+  /// Hot paths (attribute/subclass resolution, store-side validation) use
+  /// this to avoid re-copying attribute and domain vectors per lookup.
+  Result<const EffectiveSchema*> FindEffectiveSchema(
+      const std::string& type_name) const;
+
+  /// Monotone counter bumped whenever a registration invalidates the schema
+  /// cache. Resolution caches built on top of effective schemas record the
+  /// epoch at fill time and treat an epoch change as invalidation.
+  uint64_t schema_epoch() const { return schema_epoch_; }
+
+  /// Schema-cache telemetry (FindEffectiveSchema/EffectiveSchemaFor probes).
+  uint64_t schema_cache_hits() const { return schema_cache_hits_; }
+  uint64_t schema_cache_misses() const { return schema_cache_misses_; }
 
   /// Whole-catalog validation: every referenced domain/type/inher-rel
   /// resolves, `inheriting` lists name real (effective) items of the
@@ -95,7 +112,14 @@ class Catalog : public Domain::Resolver {
   std::map<std::string, RelTypeDef> rel_types_;
   std::map<std::string, InherRelTypeDef> inher_rel_types_;
 
+  /// Bumps schema_epoch_ and drops all cached effective schemas (and the
+  /// pointers FindEffectiveSchema handed out).
+  void InvalidateSchemaCache();
+
   mutable std::map<std::string, EffectiveSchema> schema_cache_;
+  mutable uint64_t schema_cache_hits_ = 0;
+  mutable uint64_t schema_cache_misses_ = 0;
+  uint64_t schema_epoch_ = 0;
 };
 
 }  // namespace caddb

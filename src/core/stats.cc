@@ -35,6 +35,14 @@ DatabaseStats DatabaseStats::Collect(const Database& db) {
       stats.pending_notifications += db.notifications().PendingFor(s).size();
     }
   }
+  const InheritanceManager& inheritance = db.inheritance();
+  stats.cache_mode = CacheModeName(inheritance.cache_mode());
+  stats.cache_hits = inheritance.cache_hits();
+  stats.cache_misses = inheritance.cache_misses();
+  stats.cache_invalidations = inheritance.cache_invalidations();
+  stats.cache_entries = inheritance.cache_entries();
+  stats.schema_cache_hits = db.catalog().schema_cache_hits();
+  stats.schema_cache_misses = db.catalog().schema_cache_misses();
   stats.classes = store.ClassNames().size();
   stats.object_types = db.catalog().ObjectTypeNames().size();
   stats.rel_types = db.catalog().RelTypeNames().size();
@@ -54,6 +62,13 @@ std::string DatabaseStats::ToString() const {
          " top-level, " + std::to_string(subobjects) + " subobjects\n";
   out += "bound inheritors: " + std::to_string(bound_inheritors) + "\n";
   out += "pending changes:  " + std::to_string(pending_notifications) + "\n";
+  out += "resolution cache: " + cache_mode + ", " +
+         std::to_string(cache_entries) + " entries; " +
+         std::to_string(cache_hits) + " hits, " +
+         std::to_string(cache_misses) + " misses, " +
+         std::to_string(cache_invalidations) + " invalidations\n";
+  out += "schema cache:     " + std::to_string(schema_cache_hits) +
+         " hits, " + std::to_string(schema_cache_misses) + " misses\n";
   out += "schema:           " + std::to_string(object_types) +
          " object types, " + std::to_string(rel_types) + " rel types, " +
          std::to_string(inher_rel_types) + " inher-rel types, " +

@@ -2,6 +2,18 @@
 
 namespace caddb {
 
+const char* CacheModeName(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kOff:
+      return "off";
+    case CacheMode::kGlobalStamp:
+      return "global-stamp";
+    case CacheMode::kFineGrained:
+      return "fine-grained";
+  }
+  return "?";
+}
+
 Result<Surrogate> InheritanceManager::Bind(Surrogate inheritor,
                                            Surrogate transmitter,
                                            const std::string& inher_rel_type) {
@@ -10,10 +22,15 @@ Result<Surrogate> InheritanceManager::Bind(Surrogate inheritor,
 
 Status InheritanceManager::Unbind(Surrogate inheritor) {
   Result<Surrogate> rel = BindingOf(inheritor);
+  // ObjectStore::Unbind bumps the inheritor's per-object version (the one
+  // fine-grained cache entries depend on), so cached inherited values of the
+  // inheritor — and of everything bound below it — go stale here, never
+  // serving a pre-unbind value for a now-unbound inheritor.
+  CADDB_RETURN_IF_ERROR(store_->Unbind(inheritor));
   if (rel.ok() && rel->valid() && notifications_ != nullptr) {
     notifications_->Forget(*rel);
   }
-  return store_->Unbind(inheritor);
+  return OkStatus();
 }
 
 Result<Surrogate> InheritanceManager::TransmitterOf(
@@ -30,14 +47,73 @@ Result<Surrogate> InheritanceManager::BindingOf(Surrogate inheritor) const {
   return obj->bound_inher_rel();
 }
 
-std::vector<Surrogate> InheritanceManager::InheritorsOf(
+Result<std::vector<Surrogate>> InheritanceManager::InheritorsOf(
     Surrogate transmitter) const {
   std::vector<Surrogate> out;
   for (Surrogate rel_s : store_->InherRelsOfTransmitter(transmitter)) {
     Result<const DbObject*> rel = store_->Get(rel_s);
-    if (rel.ok()) out.push_back((*rel)->Participant("inheritor"));
+    if (!rel.ok()) {
+      return InternalError(
+          "where-used index names inher-rel @" + std::to_string(rel_s.id) +
+          " of transmitter @" + std::to_string(transmitter.id) +
+          " which the store cannot produce: " + rel.status().ToString());
+    }
+    out.push_back((*rel)->Participant("inheritor"));
   }
   return out;
+}
+
+template <typename T>
+bool InheritanceManager::EntryValid(const CacheEntry<T>& entry) const {
+  if (entry.schema_epoch != store_->catalog().schema_epoch()) return false;
+  if (cache_mode_ == CacheMode::kGlobalStamp) {
+    return entry.stamp == store_->global_version();
+  }
+  for (const auto& [id, version] : entry.deps) {
+    if (store_->ObjectVersion(Surrogate(id)) != version) return false;
+  }
+  return true;
+}
+
+template <typename T>
+const T* InheritanceManager::Probe(std::map<CacheKey, CacheEntry<T>>* cache,
+                                   const CacheKey& key) const {
+  auto it = cache->find(key);
+  if (it != cache->end()) {
+    if (EntryValid(it->second)) {
+      ++cache_hits_;
+      return &it->second.payload;
+    }
+    ++cache_invalidations_;
+    cache->erase(it);
+  }
+  ++cache_misses_;
+  return nullptr;
+}
+
+template <typename T>
+void InheritanceManager::FillChain(std::map<CacheKey, CacheEntry<T>>* cache,
+                                   const std::string& item,
+                                   const std::vector<const DbObject*>& chain,
+                                   bool terminal_is_local,
+                                   const T& payload) const {
+  const uint64_t stamp = store_->global_version();
+  const uint64_t epoch = store_->catalog().schema_epoch();
+  // A terminal that resolved `item` as its own local data never consults the
+  // cache on reads, so an entry keyed on it would be dead weight.
+  const size_t cached_nodes =
+      terminal_is_local ? chain.size() - 1 : chain.size();
+  for (size_t i = 0; i < cached_nodes; ++i) {
+    CacheEntry<T>& entry =
+        (*cache)[CacheKey(chain[i]->surrogate().id, item)];
+    entry.stamp = stamp;
+    entry.schema_epoch = epoch;
+    entry.deps.clear();
+    for (size_t j = i; j < chain.size(); ++j) {
+      entry.deps.emplace_back(chain[j]->surrogate().id, chain[j]->version());
+    }
+    entry.payload = payload;
+  }
 }
 
 Result<Value> InheritanceManager::GetAttribute(Surrogate s,
@@ -49,9 +125,9 @@ Result<Value> InheritanceManager::GetAttribute(Surrogate s,
     return store_->GetLocalAttribute(s, name);
   }
 
-  Result<EffectiveSchema> schema =
-      store_->catalog().EffectiveSchemaFor(obj->type_name());
-  if (!schema.ok()) return schema.status();
+  CADDB_ASSIGN_OR_RETURN(
+      const EffectiveSchema* schema,
+      store_->catalog().FindEffectiveSchema(obj->type_name()));
   if (schema->FindAttribute(name) == nullptr) {
     return NotFound("type '" + obj->type_name() + "' has no attribute '" +
                     name + "'");
@@ -60,27 +136,39 @@ Result<Value> InheritanceManager::GetAttribute(Surrogate s,
     return obj->LocalAttribute(name);
   }
 
-  if (cache_enabled_) {
-    auto it = cache_.find({s.id, name});
-    if (it != cache_.end() && it->second.first == store_->global_version()) {
-      ++cache_hits_;
-      return it->second.second;
+  if (cache_mode_ != CacheMode::kOff) {
+    if (const Value* hit = Probe(&attr_cache_, CacheKey(s.id, name))) {
+      return *hit;
     }
-    ++cache_misses_;
   }
 
-  // Inherited: resolve through the transmitter (view semantics). Unbound
-  // inheritors only inherit the attribute *structure*, so the value is null.
+  // Inherited: resolve through the transmitter chain (view semantics),
+  // recording every visited object as a dependency of the result. Unbound
+  // inheritors only inherit the attribute *structure*, so the value is null
+  // (and depends on exactly the node whose binding is missing).
+  std::vector<const DbObject*> chain;
   Value resolved = Value::Null();
-  Surrogate rel_s = obj->bound_inher_rel();
-  if (rel_s.valid()) {
+  bool terminal_is_local = false;
+  const DbObject* node = obj;
+  const EffectiveSchema* node_schema = schema;
+  while (true) {
+    chain.push_back(node);
+    if (!node_schema->IsInherited(name)) {
+      resolved = node->LocalAttribute(name);
+      terminal_is_local = true;
+      break;
+    }
+    Surrogate rel_s = node->bound_inher_rel();
+    if (!rel_s.valid()) break;
     CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store_->Get(rel_s));
-    Surrogate transmitter = rel->Participant("transmitter");
-    CADDB_ASSIGN_OR_RETURN(resolved, GetAttribute(transmitter, name));
+    CADDB_ASSIGN_OR_RETURN(node, store_->Get(rel->Participant("transmitter")));
+    CADDB_ASSIGN_OR_RETURN(
+        node_schema,
+        store_->catalog().FindEffectiveSchema(node->type_name()));
   }
 
-  if (cache_enabled_) {
-    cache_[{s.id, name}] = {store_->global_version(), resolved};
+  if (cache_mode_ != CacheMode::kOff) {
+    FillChain(&attr_cache_, name, chain, terminal_is_local, resolved);
   }
   return resolved;
 }
@@ -109,9 +197,9 @@ Result<std::vector<Surrogate>> InheritanceManager::GetSubclass(
                     name + "'");
   }
 
-  Result<EffectiveSchema> schema =
-      store_->catalog().EffectiveSchemaFor(obj->type_name());
-  if (!schema.ok()) return schema.status();
+  CADDB_ASSIGN_OR_RETURN(
+      const EffectiveSchema* schema,
+      store_->catalog().FindEffectiveSchema(obj->type_name()));
   if (schema->FindSubclass(name) == nullptr) {
     return NotFound("type '" + obj->type_name() + "' has no subclass '" +
                     name + "'");
@@ -120,10 +208,42 @@ Result<std::vector<Surrogate>> InheritanceManager::GetSubclass(
     const std::vector<Surrogate>* members = obj->Subclass(name);
     return members == nullptr ? std::vector<Surrogate>{} : *members;
   }
-  Surrogate rel_s = obj->bound_inher_rel();
-  if (!rel_s.valid()) return std::vector<Surrogate>{};
-  CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store_->Get(rel_s));
-  return GetSubclass(rel->Participant("transmitter"), name);
+
+  if (cache_mode_ != CacheMode::kOff) {
+    if (const std::vector<Surrogate>* hit =
+            Probe(&subclass_cache_, CacheKey(s.id, name))) {
+      return *hit;
+    }
+  }
+
+  // Same chain walk as GetAttribute: the member list is the terminal
+  // transmitter's local subclass, viewed read-only through the chain.
+  std::vector<const DbObject*> chain;
+  std::vector<Surrogate> resolved;
+  bool terminal_is_local = false;
+  const DbObject* node = obj;
+  const EffectiveSchema* node_schema = schema;
+  while (true) {
+    chain.push_back(node);
+    if (!node_schema->IsInherited(name)) {
+      const std::vector<Surrogate>* members = node->Subclass(name);
+      if (members != nullptr) resolved = *members;
+      terminal_is_local = true;
+      break;
+    }
+    Surrogate rel_s = node->bound_inher_rel();
+    if (!rel_s.valid()) break;
+    CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store_->Get(rel_s));
+    CADDB_ASSIGN_OR_RETURN(node, store_->Get(rel->Participant("transmitter")));
+    CADDB_ASSIGN_OR_RETURN(
+        node_schema,
+        store_->catalog().FindEffectiveSchema(node->type_name()));
+  }
+
+  if (cache_mode_ != CacheMode::kOff) {
+    FillChain(&subclass_cache_, name, chain, terminal_is_local, resolved);
+  }
+  return resolved;
 }
 
 void InheritanceManager::NotifyChange(Surrogate transmitter,
@@ -180,9 +300,9 @@ Result<std::map<std::string, Value>> InheritanceManager::Snapshot(
   CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store_->Get(s));
   std::map<std::string, Value> out;
   if (obj->kind() == ObjKind::kObject) {
-    Result<EffectiveSchema> schema =
-        store_->catalog().EffectiveSchemaFor(obj->type_name());
-    if (!schema.ok()) return schema.status();
+    CADDB_ASSIGN_OR_RETURN(
+        const EffectiveSchema* schema,
+        store_->catalog().FindEffectiveSchema(obj->type_name()));
     for (const AttributeDef& a : schema->attributes) {
       CADDB_ASSIGN_OR_RETURN(Value v, GetAttribute(s, a.name));
       out[a.name] = std::move(v);
@@ -193,11 +313,22 @@ Result<std::map<std::string, Value>> InheritanceManager::Snapshot(
   return out;
 }
 
+void InheritanceManager::SetCacheMode(CacheMode mode) {
+  if (mode == cache_mode_) return;
+  cache_mode_ = mode;
+  attr_cache_.clear();
+  subclass_cache_.clear();
+}
+
 void InheritanceManager::EnableCache(bool on) {
-  cache_enabled_ = on;
-  cache_.clear();
+  if (on == cache_enabled()) return;
+  SetCacheMode(on ? CacheMode::kFineGrained : CacheMode::kOff);
+}
+
+void InheritanceManager::ResetCacheStats() {
   cache_hits_ = 0;
   cache_misses_ = 0;
+  cache_invalidations_ = 0;
 }
 
 }  // namespace caddb

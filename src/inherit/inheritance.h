@@ -13,6 +13,22 @@
 
 namespace caddb {
 
+/// Invalidation strategy of the inheritance-resolution cache.
+enum class CacheMode {
+  /// No memoization; every inherited read walks the transmitter chain.
+  kOff,
+  /// Legacy ablation baseline: entries are stamped with the store's global
+  /// version, so *any* write to *any* object invalidates the whole cache.
+  /// Kept only for benchmarking against the fine-grained scheme.
+  kGlobalStamp,
+  /// Entries record the full transmitter-chain dependency set as
+  /// (surrogate, per-object version) pairs and stay valid until one of
+  /// *those* objects mutates (or the catalog's schema epoch changes).
+  kFineGrained,
+};
+
+const char* CacheModeName(CacheMode mode);
+
 /// The value-inheritance engine — the paper's central mechanism (section 4).
 ///
 /// Reads of inherited attributes/subclasses resolve *through* the inheritance
@@ -23,8 +39,13 @@ namespace caddb {
 /// records to every affected inheritance relationship, transitively, for the
 /// adaptation workflow.
 ///
-/// An optional memoization cache (for the resolution-cost ablation) stores
-/// resolved inherited values stamped with the store's global version.
+/// An optional memoization cache accelerates repeated inherited reads. In
+/// its default fine-grained mode every entry records the chain of objects
+/// the resolved value depends on, each with the per-object version observed
+/// while resolving; a probe revalidates only those versions, so writes to
+/// unrelated objects never evict anything. Attribute and subclass
+/// resolutions are cached for every node of the walked chain (a leaf read
+/// warms the cache for the whole hierarchy above it).
 class InheritanceManager {
  public:
   /// Neither pointer is owned; both must outlive the manager.
@@ -46,8 +67,10 @@ class InheritanceManager {
   Result<Surrogate> TransmitterOf(Surrogate inheritor) const;
   /// The inheritance-relationship object binding `inheritor`, or Invalid.
   Result<Surrogate> BindingOf(Surrogate inheritor) const;
-  /// All inheritors directly bound to `transmitter`.
-  std::vector<Surrogate> InheritorsOf(Surrogate transmitter) const;
+  /// All inheritors directly bound to `transmitter`. InternalError when the
+  /// where-used index names an inheritance relationship the store cannot
+  /// produce (index corruption must surface, not silently shrink results).
+  Result<std::vector<Surrogate>> InheritorsOf(Surrogate transmitter) const;
 
   // ---- Inheritance-aware access ----
   /// Effective attribute read: local value for own attributes, transmitter
@@ -72,15 +95,63 @@ class InheritanceManager {
   /// Used by the copy-import baseline and workspace checkout.
   Result<std::map<std::string, Value>> Snapshot(Surrogate s) const;
 
-  // ---- Resolution cache (ablation; off by default) ----
+  // ---- Resolution cache (off by default) ----
+  /// Switches the invalidation strategy. Changing the mode drops all
+  /// entries (their validity metadata is mode-specific) but keeps the
+  /// counters; setting the current mode again is a no-op.
+  void SetCacheMode(CacheMode mode);
+  CacheMode cache_mode() const { return cache_mode_; }
+  /// Convenience toggle: on = kFineGrained, off = kOff. Idempotent —
+  /// enabling an already-enabled cache keeps entries and counters.
   void EnableCache(bool on);
+  bool cache_enabled() const { return cache_mode_ != CacheMode::kOff; }
+  /// Zeroes hit/miss/invalidation counters without touching the entries.
+  void ResetCacheStats();
   uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
+  /// Probes that found an entry whose dependency set (or global stamp) was
+  /// out of date; the entry is evicted and the probe also counts as a miss.
+  uint64_t cache_invalidations() const { return cache_invalidations_; }
+  size_t cache_entries() const {
+    return attr_cache_.size() + subclass_cache_.size();
+  }
 
   NotificationCenter* notifications() const { return notifications_; }
   ObjectStore* store() const { return store_; }
 
  private:
+  /// One memoized resolution. `deps` lists every object of the transmitter
+  /// chain the payload was derived from, leaf-entry first, paired with the
+  /// per-object version observed during resolution (kFineGrained validity);
+  /// `stamp` is the store's global version at fill time (kGlobalStamp
+  /// validity); `schema_epoch` guards against DDL registrations changing
+  /// permeability after the fill (both modes).
+  template <typename T>
+  struct CacheEntry {
+    uint64_t stamp = 0;
+    uint64_t schema_epoch = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> deps;
+    T payload;
+  };
+  using CacheKey = std::pair<uint64_t, std::string>;  // (surrogate, item)
+
+  template <typename T>
+  bool EntryValid(const CacheEntry<T>& entry) const;
+  /// Cache probe with hit/miss/invalidation accounting; returns the payload
+  /// or null. Stale entries are evicted on probe.
+  template <typename T>
+  const T* Probe(std::map<CacheKey, CacheEntry<T>>* cache,
+                 const CacheKey& key) const;
+  /// Inserts one entry per chain node (except a terminal node that resolved
+  /// `item` locally — local reads never consult the cache), so one deep read
+  /// warms every level above it. chain[i]'s dependency set is the chain
+  /// suffix starting at i.
+  template <typename T>
+  void FillChain(std::map<CacheKey, CacheEntry<T>>* cache,
+                 const std::string& item,
+                 const std::vector<const DbObject*>& chain,
+                 bool terminal_is_local, const T& payload) const;
+
   /// Recursively notifies the inheritance relationships hanging off
   /// `transmitter` about a change of permeable item `item`.
   void NotifyChange(Surrogate transmitter, const std::string& item);
@@ -88,12 +159,13 @@ class InheritanceManager {
   ObjectStore* store_;
   NotificationCenter* notifications_;
 
-  bool cache_enabled_ = false;
-  mutable std::map<std::pair<uint64_t, std::string>,
-                   std::pair<uint64_t, Value>>
-      cache_;  // (surrogate, attr) -> (global_version stamp, value)
+  CacheMode cache_mode_ = CacheMode::kOff;
+  mutable std::map<CacheKey, CacheEntry<Value>> attr_cache_;
+  mutable std::map<CacheKey, CacheEntry<std::vector<Surrogate>>>
+      subclass_cache_;
   mutable uint64_t cache_hits_ = 0;
   mutable uint64_t cache_misses_ = 0;
+  mutable uint64_t cache_invalidations_ = 0;
 };
 
 }  // namespace caddb

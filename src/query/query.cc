@@ -99,7 +99,9 @@ Result<std::vector<Surrogate>> QueryEngine::WhereUsed(
     Surrogate component) const {
   std::vector<Surrogate> out;
   std::set<uint64_t> seen;
-  for (Surrogate inheritor : manager_->InheritorsOf(component)) {
+  CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> inheritors,
+                         manager_->InheritorsOf(component));
+  for (Surrogate inheritor : inheritors) {
     CADDB_ASSIGN_OR_RETURN(Surrogate root, RootOf(inheritor));
     if (seen.insert(root.id).second) out.push_back(root);
   }

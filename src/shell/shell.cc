@@ -444,6 +444,30 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     out << DatabaseStats::Collect(*db_).ToString();
     return true;
   }
+  if (cmd == "cache") {
+    InheritanceManager& inherit = db_->inheritance();
+    if (tokens.size() == 1) {
+      out << CacheModeName(inherit.cache_mode()) << ": "
+          << inherit.cache_entries() << " entries; " << inherit.cache_hits()
+          << " hits, " << inherit.cache_misses() << " misses, "
+          << inherit.cache_invalidations() << " invalidations\n";
+    } else if (tokens[1] == "off") {
+      inherit.SetCacheMode(CacheMode::kOff);
+      out << "ok\n";
+    } else if (tokens[1] == "global") {
+      inherit.SetCacheMode(CacheMode::kGlobalStamp);
+      out << "ok\n";
+    } else if (tokens[1] == "fine" || tokens[1] == "on") {
+      inherit.SetCacheMode(CacheMode::kFineGrained);
+      out << "ok\n";
+    } else if (tokens[1] == "reset-stats") {
+      inherit.ResetCacheStats();
+      out << "ok\n";
+    } else {
+      fail(InvalidArgument("use: cache [off|global|fine|on|reset-stats]"));
+    }
+    return true;
+  }
   if (cmd == "dump" || cmd == "load") {
     if (!need(1)) return true;
     if (cmd == "dump") {

@@ -39,6 +39,7 @@ namespace shell {
 ///   ack @<id>             acknowledge it
 ///   select <class-or-type> [<path>...] [where <expr...>]
 ///   stats
+///   cache [off|global|fine|on|reset-stats]   resolution-cache mode & stats
 ///   dump <path> | load <path>
 ///   echo <text...>
 ///   quit

@@ -82,7 +82,8 @@ Result<Surrogate> ObjectStore::CreateObject(const std::string& type_name,
                                             const std::string& class_name) {
   // Computing the effective schema both validates the type and catches
   // broken inheritor-in declarations before any instance exists.
-  Result<EffectiveSchema> schema = catalog_->EffectiveSchemaFor(type_name);
+  Result<const EffectiveSchema*> schema =
+      catalog_->FindEffectiveSchema(type_name);
   if (!schema.ok()) return schema.status();
 
   std::string cls;
@@ -118,15 +119,15 @@ Result<Surrogate> ObjectStore::CreateSubobject(
   std::string element_type;
   switch (owner->kind()) {
     case ObjKind::kObject: {
-      Result<EffectiveSchema> schema =
-          catalog_->EffectiveSchemaFor(owner->type_name());
+      Result<const EffectiveSchema*> schema =
+          catalog_->FindEffectiveSchema(owner->type_name());
       if (!schema.ok()) return schema.status();
-      const SubclassDef* def = schema->FindSubclass(subclass_name);
+      const SubclassDef* def = (*schema)->FindSubclass(subclass_name);
       if (def == nullptr) {
         return NotFound("type '" + owner->type_name() +
                         "' has no subclass '" + subclass_name + "'");
       }
-      if (schema->IsInherited(subclass_name)) {
+      if ((*schema)->IsInherited(subclass_name)) {
         return InheritedReadOnly(
             "subclass '" + subclass_name + "' of " + Describe(*owner) +
             " is inherited; create the subobject in the transmitter instead");
@@ -171,8 +172,8 @@ Result<Surrogate> ObjectStore::CreateSubobject(
     }
   }
 
-  Result<EffectiveSchema> element_schema =
-      catalog_->EffectiveSchemaFor(element_type);
+  Result<const EffectiveSchema*> element_schema =
+      catalog_->FindEffectiveSchema(element_type);
   if (!element_schema.ok()) return element_schema.status();
 
   CADDB_ASSIGN_OR_RETURN(Surrogate s,
@@ -252,10 +253,10 @@ Result<Surrogate> ObjectStore::CreateSubrel(
     return InvalidArgument("subrels can only be created in objects, not in " +
                            Describe(*owner));
   }
-  Result<EffectiveSchema> schema =
-      catalog_->EffectiveSchemaFor(owner->type_name());
+  Result<const EffectiveSchema*> schema =
+      catalog_->FindEffectiveSchema(owner->type_name());
   if (!schema.ok()) return schema.status();
-  const SubrelDef* def = schema->FindSubrel(subrel_name);
+  const SubrelDef* def = (*schema)->FindSubrel(subrel_name);
   if (def == nullptr) {
     return NotFound("type '" + owner->type_name() + "' has no subrel '" +
                     subrel_name + "'");
@@ -418,21 +419,20 @@ Status ObjectStore::SetAttribute(Surrogate s, const std::string& name,
     return NotFound("no object with surrogate @" + std::to_string(s.id));
   }
 
-  // Copied by value: for kObject the AttributeDef lives inside a temporary
-  // EffectiveSchema result, so a pointer would dangle past the switch.
-  // Domain copies are cheap (nested structure is shared_ptr-shared).
+  // Domain copies are cheap (nested structure is shared_ptr-shared); the
+  // schema itself comes from the catalog cache and is not copied.
   Domain domain;
   switch (obj->kind()) {
     case ObjKind::kObject: {
-      Result<EffectiveSchema> schema =
-          catalog_->EffectiveSchemaFor(obj->type_name());
+      Result<const EffectiveSchema*> schema =
+          catalog_->FindEffectiveSchema(obj->type_name());
       if (!schema.ok()) return schema.status();
-      const AttributeDef* def = schema->FindAttribute(name);
+      const AttributeDef* def = (*schema)->FindAttribute(name);
       if (def == nullptr) {
         return NotFound("type '" + obj->type_name() + "' has no attribute '" +
                         name + "'");
       }
-      if (schema->IsInherited(name)) {
+      if ((*schema)->IsInherited(name)) {
         // "The inherited data must not be updated in the inheritor" (paper
         // section 2); updates go through the transmitter.
         return InheritedReadOnly("attribute '" + name + "' of " +
@@ -482,10 +482,10 @@ Result<Value> ObjectStore::GetLocalAttribute(Surrogate s,
   }
   switch (obj->kind()) {
     case ObjKind::kObject: {
-      Result<EffectiveSchema> schema =
-          catalog_->EffectiveSchemaFor(obj->type_name());
+      Result<const EffectiveSchema*> schema =
+          catalog_->FindEffectiveSchema(obj->type_name());
       if (!schema.ok()) return schema.status();
-      if (schema->FindAttribute(name) == nullptr) {
+      if ((*schema)->FindAttribute(name) == nullptr) {
         return NotFound("type '" + obj->type_name() + "' has no attribute '" +
                         name + "'");
       }

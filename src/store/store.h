@@ -114,6 +114,19 @@ class ObjectStore {
   /// whole-store invalidation stamp by resolution caches.
   uint64_t global_version() const { return global_version_; }
 
+  /// Sentinel returned by ObjectVersion for objects that are not live.
+  static constexpr uint64_t kDeadVersion = ~uint64_t{0};
+  /// Per-object mutation counter of `s` — bumped on every attribute,
+  /// subclass/subrel and binding mutation of that object — or kDeadVersion
+  /// when `s` is not live. Surrogates are never reused, so a
+  /// (surrogate, version) pair identifies one observed object state; the
+  /// inheritance manager's fine-grained resolution cache validates entries
+  /// against these pairs.
+  uint64_t ObjectVersion(Surrogate s) const {
+    auto it = objects_.find(s.id);
+    return it == objects_.end() ? kDeadVersion : it->second->version();
+  }
+
  private:
   struct ClassInfo {
     std::string object_type;
