@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI check matrix for caddb.
+#
+#   1. Tier-1: warnings-as-errors build + full ctest suite
+#   2. ASan + UBSan build + full ctest suite
+#   3. TSan build + the concurrency tests (lock manager, transactions)
+#   4. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
+#
+# Each configuration gets its own build directory under build-ci/ so the
+# sanitizer runtimes never mix. Usage: ci/check.sh [jobs]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+GENERATOR_FLAGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "tier-1: -Werror build + full suite"
+cmake -B build-ci/werror -S . -DCADDB_WERROR=ON "${GENERATOR_FLAGS[@]}"
+cmake --build build-ci/werror -j "$JOBS"
+ctest --test-dir build-ci/werror --output-on-failure -j "$JOBS"
+
+step "asan+ubsan: full suite"
+cmake -B build-ci/asan-ubsan -S . -DCADDB_WERROR=ON -DCADDB_ASAN=ON \
+      -DCADDB_UBSAN=ON "${GENERATOR_FLAGS[@]}"
+cmake --build build-ci/asan-ubsan -j "$JOBS"
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure -j "$JOBS"
+
+step "tsan: lock manager + transaction tests"
+cmake -B build-ci/tsan -S . -DCADDB_WERROR=ON -DCADDB_TSAN=ON \
+      "${GENERATOR_FLAGS[@]}"
+cmake --build build-ci/tsan -j "$JOBS" --target lock_manager_test txn_test
+ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
+      -R '^(lock_manager_test|txn_test)$'
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy (advisory)"
+  cmake --build build-ci/werror --target tidy || \
+    echo "clang-tidy reported findings (advisory, not failing the build)"
+else
+  step "clang-tidy not installed; skipping"
+fi
+
+step "all checks passed"

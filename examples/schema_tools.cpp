@@ -4,7 +4,9 @@
 //   - Dumper: persist a whole database to text and restore it elsewhere,
 //   - DatabaseStats: population introspection,
 //   - FindAllViolations + notification observers: the "adaptation agenda"
-//     workflow after a component changes.
+//     workflow after a component changes,
+//   - Check(): the static integrity analyzer (`caddb check`) on a healthy
+//     database and on a schema with seeded defects.
 //
 // Build & run:  ./build/examples/schema_tools
 
@@ -117,5 +119,30 @@ int main() {
     std::cout << "  @" << violation.object.id << ": " << violation.detail
               << "\n";
   }
+
+  std::cout << "\n== Static integrity analysis (caddb check) ==\n";
+  std::cout << "healthy database: " << db.Check().Summary() << "\n";
+  // Seed a schema defect in a scratch database: a typo'd transmitter type.
+  caddb::Database scratch;
+  CheckOk(scratch.ExecuteDdl(R"(
+    obj-type Gate =
+      attributes:
+        Length: integer;
+    end Gate;
+    obj-type Part =
+      inheritor-in: AllOf_Gate;
+      attributes:
+        Z: integer;
+    end Part;
+    inher-rel-type AllOf_Gate =
+      transmitter: object-of-type Gatee;
+      inheritor: object;
+      inheriting: Length;
+    end AllOf_Gate;
+  )"),
+          "defective schema");
+  caddb::analysis::DiagnosticBag findings = scratch.CheckSchema();
+  std::cout << "seeded defects (" << findings.Summary() << "):\n"
+            << findings.RenderText();
   return 0;
 }

@@ -1,0 +1,184 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+
+namespace caddb {
+namespace analysis {
+
+namespace {
+
+int SeverityRank(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return 0;
+    case Severity::kWarning:
+      return 1;
+    case Severity::kNote:
+      return 2;
+  }
+  return 3;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[(c >> 4) & 0xf]);
+          out->push_back(kHex[c & 0xf]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string Plural(size_t n, const char* noun) {
+  return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+void DiagnosticBag::Add(std::string code, Severity severity,
+                        std::string message, SourceLoc loc, std::string entity,
+                        std::string hint) {
+  diagnostics_.push_back({std::move(code), severity, std::move(message), loc,
+                          std::move(entity), std::move(hint)});
+}
+
+void DiagnosticBag::Merge(const DiagnosticBag& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+bool DiagnosticBag::Has(const std::string& code) const {
+  return std::any_of(
+      diagnostics_.begin(), diagnostics_.end(),
+      [&code](const Diagnostic& d) { return d.code == code; });
+}
+
+size_t DiagnosticBag::Count(Severity severity) const {
+  return static_cast<size_t>(std::count_if(
+      diagnostics_.begin(), diagnostics_.end(),
+      [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+void DiagnosticBag::Sort() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (SeverityRank(a.severity) != SeverityRank(b.severity)) {
+                       return SeverityRank(a.severity) < SeverityRank(b.severity);
+                     }
+                     if (a.loc.line != b.loc.line) {
+                       return a.loc.line < b.loc.line;
+                     }
+                     return a.code < b.code;
+                   });
+}
+
+std::string DiagnosticBag::RenderText() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.code;
+    out += " ";
+    out += SeverityName(d.severity);
+    out += ": ";
+    out += d.message;
+    if (!d.entity.empty() || d.loc.valid()) {
+      out += " [";
+      out += d.entity;
+      if (d.loc.valid()) {
+        if (!d.entity.empty()) out += " @ ";
+        out += d.loc.ToString();
+      }
+      out += "]";
+    }
+    out += "\n";
+    if (!d.hint.empty()) {
+      out += "    hint: ";
+      out += d.hint;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticBag::RenderJson() const {
+  std::string out = "{\"diagnostics\":[";
+  for (size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i > 0) out += ",";
+    out += "{\"code\":";
+    AppendJsonString(&out, d.code);
+    out += ",\"severity\":";
+    AppendJsonString(&out, SeverityName(d.severity));
+    out += ",\"message\":";
+    AppendJsonString(&out, d.message);
+    if (d.loc.valid()) {
+      out += ",\"line\":" + std::to_string(d.loc.line);
+      out += ",\"column\":" + std::to_string(d.loc.column);
+    }
+    out += ",\"entity\":";
+    AppendJsonString(&out, d.entity);
+    if (!d.hint.empty()) {
+      out += ",\"hint\":";
+      AppendJsonString(&out, d.hint);
+    }
+    out += "}";
+  }
+  out += "],\"errors\":" + std::to_string(error_count());
+  out += ",\"warnings\":" + std::to_string(warning_count());
+  out += ",\"notes\":" + std::to_string(Count(Severity::kNote));
+  out += "}";
+  return out;
+}
+
+std::string DiagnosticBag::Summary() const {
+  if (diagnostics_.empty()) return "clean";
+  std::string out;
+  if (error_count() > 0) out += Plural(error_count(), "error");
+  if (warning_count() > 0) {
+    if (!out.empty()) out += ", ";
+    out += Plural(warning_count(), "warning");
+  }
+  size_t notes = Count(Severity::kNote);
+  if (notes > 0) {
+    if (!out.empty()) out += ", ";
+    out += Plural(notes, "note");
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace caddb

@@ -1,0 +1,106 @@
+#ifndef CADDB_ANALYSIS_DIAGNOSTICS_H_
+#define CADDB_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/source_loc.h"
+
+namespace caddb {
+namespace analysis {
+
+enum class Severity {
+  kError,    // the schema/store is broken; operations will misbehave
+  kWarning,  // legal but almost certainly unintended
+  kNote,     // supplementary information attached to another finding
+};
+
+const char* SeverityName(Severity severity);
+
+/// Stable diagnostic codes. Values are part of the tool's contract:
+/// scripts filter on them, tests pin them, and renumbering breaks both —
+/// append new codes, never reuse retired ones. CAD0xx are schema-level
+/// (catalog) findings, CAD1xx are store-level (fsck) findings.
+///
+///   CAD001  inheritance cycle (inheritor-in / transmitter chain)
+///   CAD002  inher-rel-type names an unknown transmitter type
+///   CAD003  inher-rel-type names an unknown inheritor type
+///   CAD004  obj-type is inheritor-in an unknown inher-rel-type
+///   CAD005  inheritor type mismatch (rel requires a different inheritor)
+///   CAD006  inheriting clause names no attribute/subclass of transmitter
+///   CAD007  local declaration shadows an inherited item
+///   CAD008  constraint expression references an unknown name
+///   CAD009  subclass has an unknown element type
+///   CAD010  subrel has an unknown rel-type
+///   CAD011  participant role has an unknown object type
+///   CAD012  unresolved domain reference
+///   CAD013  inher-rel-type is never used as anyone's inheritor-in
+///   CAD014  inheritor-type restriction no type can ever satisfy
+///   CAD101  dangling surrogate reference
+///   CAD102  orphaned subobject (containment back-pointer broken)
+///   CAD103  locally stored value for an inherited (read-only) attribute
+///   CAD104  live object of an unregistered type
+///   CAD105  inheritance binding inconsistency
+///   CAD106  store index inconsistency (extent / class / where-used)
+///   CAD107  resolution-cache entry disagrees with a fresh resolution
+
+/// One finding of the static analyzer.
+struct Diagnostic {
+  std::string code;     // "CAD001", ...
+  Severity severity = Severity::kError;
+  std::string message;  // human-readable, single line
+  SourceLoc loc;        // DDL position when known
+  std::string entity;   // owning construct, e.g. "obj-type Gate" or "@12"
+  std::string hint;     // optional fix-it, e.g. "did you mean 'Length'?"
+};
+
+/// Ordered collection of findings plus the text / JSON renderers.
+class DiagnosticBag {
+ public:
+  void Add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+  void Add(std::string code, Severity severity, std::string message,
+           SourceLoc loc = {}, std::string entity = "", std::string hint = "");
+
+  /// Appends every finding of `other`.
+  void Merge(const DiagnosticBag& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+  size_t error_count() const { return Count(Severity::kError); }
+  size_t warning_count() const { return Count(Severity::kWarning); }
+  bool HasErrors() const { return error_count() > 0; }
+
+  /// True when some finding carries `code` ("CAD005").
+  bool Has(const std::string& code) const;
+
+  /// Stable order for rendering: errors before warnings before notes,
+  /// then by source line, then by code. Insertion order breaks ties.
+  void Sort();
+
+  /// One line per finding:
+  ///   CAD005 error: <message> [obj-type Gate @ line 3, column 7]
+  ///       hint: did you mean 'Length'?
+  std::string RenderText() const;
+
+  /// {"diagnostics":[{"code":...,"severity":...,"message":...,
+  ///   "line":...,"column":...,"entity":...,"hint":...},...],
+  ///  "errors":N,"warnings":N,"notes":N}
+  /// `line`/`column` are present only for located findings, `hint` only
+  /// when non-empty. Output is valid JSON (strings escaped).
+  std::string RenderJson() const;
+
+  /// "clean" or "3 errors, 1 warning".
+  std::string Summary() const;
+
+ private:
+  size_t Count(Severity severity) const;
+
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace analysis
+}  // namespace caddb
+
+#endif  // CADDB_ANALYSIS_DIAGNOSTICS_H_

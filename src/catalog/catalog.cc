@@ -197,6 +197,7 @@ std::vector<std::string> Catalog::DomainNames() const {
 }
 
 void Catalog::InvalidateSchemaCache() {
+  std::lock_guard<std::mutex> lock(schema_cache_mu_);
   schema_cache_.clear();
   ++schema_epoch_;
 }
@@ -210,6 +211,9 @@ Result<EffectiveSchema> Catalog::EffectiveSchemaFor(
 
 Result<const EffectiveSchema*> Catalog::FindEffectiveSchema(
     const std::string& type_name) const {
+  // Held across the compute: ComputeEffectiveSchema never re-enters the
+  // cache, and serializing concurrent misses avoids duplicate work.
+  std::lock_guard<std::mutex> lock(schema_cache_mu_);
   auto it = schema_cache_.find(type_name);
   if (it != schema_cache_.end()) {
     ++schema_cache_hits_;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -116,6 +117,12 @@ class Catalog : public Domain::Resolver {
   /// pointers FindEffectiveSchema handed out).
   void InvalidateSchemaCache();
 
+  /// Guards schema_cache_ and its counters: resolution runs concurrently
+  /// from transaction threads (LockInheritanceChain), so the lazy fill in
+  /// the const FindEffectiveSchema must be synchronized. Handed-out
+  /// pointers stay valid without the lock — std::map nodes are stable and
+  /// only DDL registration (single-threaded by contract) clears the map.
+  mutable std::mutex schema_cache_mu_;
   mutable std::map<std::string, EffectiveSchema> schema_cache_;
   mutable uint64_t schema_cache_hits_ = 0;
   mutable uint64_t schema_cache_misses_ = 0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "expr/ast.h"
+#include "util/source_loc.h"
 #include "values/domain.h"
 
 namespace caddb {
@@ -13,12 +14,14 @@ namespace caddb {
 struct AttributeDef {
   std::string name;
   Domain domain;
+  SourceLoc loc;  // of the attribute name in DDL; invalid if programmatic
 };
 
 /// A named integrity constraint (local to its type, paper section 3).
 struct ConstraintDef {
   std::string label;         // diagnostic label; often the source text
   expr::ExprPtr predicate;   // must evaluate to bool against an instance
+  SourceLoc loc;             // of the constraint's first token in DDL
 };
 
 /// Declaration of a local object subclass of a complex object type
@@ -30,6 +33,7 @@ struct SubclassDef {
   /// "the type of subclass SubGates has been declared implicitly") the DDL
   /// layer registers a generated type named "<Owner>.<Subclass>".
   std::string element_type;
+  SourceLoc loc;  // of the subclass name in DDL
 };
 
 /// Declaration of a local relationship subclass ("types-of-subrels"), e.g.
@@ -40,6 +44,7 @@ struct SubrelDef {
   std::string rel_type;
   expr::ExprPtr where;     // may be null
   std::string where_text;  // original text for diagnostics; may be empty
+  SourceLoc loc;           // of the subrel name in DDL
 };
 
 /// An object type (paper section 3). Complex object types additionally carry
@@ -48,6 +53,8 @@ struct SubrelDef {
 struct ObjectTypeDef {
   std::string name;
   std::string inheritor_in;  // inher-rel type name; empty if none
+  SourceLoc loc;              // of the type name in DDL
+  SourceLoc inheritor_in_loc;  // of the inheritor-in reference
   std::vector<AttributeDef> attributes;
   std::vector<SubclassDef> subclasses;
   std::vector<SubrelDef> subrels;
@@ -66,6 +73,7 @@ struct ParticipantDef {
   std::string object_type;
   /// True for set-valued roles, e.g. `Bores: set-of object-of-type BoreType`.
   bool is_set = false;
+  SourceLoc loc;  // of the role name in DDL
 };
 
 /// A relationship type. Relationships are represented by objects and may
@@ -73,6 +81,7 @@ struct ParticipantDef {
 /// and constraints (paper sections 3 and 5).
 struct RelTypeDef {
   std::string name;
+  SourceLoc loc;  // of the type name in DDL
   std::vector<ParticipantDef> participants;
   std::vector<AttributeDef> attributes;
   std::vector<SubclassDef> subclasses;
@@ -93,7 +102,13 @@ struct InherRelTypeDef {
   /// Required inheritor type; empty = `inheritor: object` (any type may
   /// inherit through this relationship).
   std::string inheritor_type;
+  SourceLoc loc;              // of the type name in DDL
+  SourceLoc transmitter_loc;  // of the transmitter type reference
+  SourceLoc inheritor_loc;    // of the inheritor type reference
   std::vector<std::string> inheriting;
+  /// Parallel to `inheriting`: DDL position of each item. Empty when the
+  /// definition was registered programmatically.
+  std::vector<SourceLoc> inheriting_locs;
   // An inheritance relationship "may possess attributes, subobjects and
   // constraints" like any other relationship (used e.g. for consistency
   // control bookkeeping).

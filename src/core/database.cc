@@ -1,7 +1,29 @@
 #include "core/database.h"
 
-// Database is header-only glue over the subsystem libraries; this TU exists
-// so the facade participates in the build (and catches ODR/include breaks
-// early).
+#include "analysis/analyzer.h"
 
-namespace caddb {}  // namespace caddb
+namespace caddb {
+
+Status Database::ExecuteDdl(const std::string& source) {
+  CADDB_RETURN_IF_ERROR(
+      ddl::Parser::ParseSchema(source, &catalog_, &ddl_warnings_));
+  if (!eager_ddl_validation_) return OkStatus();
+  analysis::DiagnosticBag bag = CheckSchema();
+  if (!bag.HasErrors()) return OkStatus();
+  return FailedPrecondition("schema analysis found " + bag.Summary() + ":\n" +
+                            bag.RenderText());
+}
+
+analysis::DiagnosticBag Database::CheckSchema() const {
+  return analysis::AnalyzeSchema(catalog_);
+}
+
+analysis::DiagnosticBag Database::CheckStore() const {
+  return analysis::AnalyzeStore(store_, &inheritance_);
+}
+
+analysis::DiagnosticBag Database::Check() const {
+  return analysis::AnalyzeDatabase(store_, &inheritance_);
+}
+
+}  // namespace caddb

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "catalog/catalog.h"
 #include "constraints/checker.h"
 #include "ddl/parser.h"
@@ -53,15 +54,32 @@ class Database {
 
   // ---- Schema ----
   /// Parses and registers schema text (paper syntax); warnings accumulate in
-  /// ddl_warnings().
-  Status ExecuteDdl(const std::string& source) {
-    return ddl::Parser::ParseSchema(source, &catalog_, &ddl_warnings_);
-  }
+  /// ddl_warnings(). With eager DDL validation enabled, the schema analyzer
+  /// runs after registration and any *error*-severity finding fails the
+  /// call (the definitions stay registered, like a failing ValidateSchema
+  /// after the fact; analyzer warnings never fail it).
+  Status ExecuteDdl(const std::string& source);
   /// Whole-catalog consistency check (resolves forward references).
   Status ValidateSchema() const { return catalog_.Validate(); }
   const std::vector<std::string>& ddl_warnings() const {
     return ddl_warnings_;
   }
+
+  /// When on, every ExecuteDdl is followed by the static schema analysis
+  /// (`caddb check`-style) so defective DDL fails at definition time instead
+  /// of at first use. Off by default: the paper's adaptation workflow
+  /// tolerates temporarily inconsistent schemas (forward references across
+  /// multiple ExecuteDdl calls).
+  void set_eager_ddl_validation(bool on) { eager_ddl_validation_ = on; }
+  bool eager_ddl_validation() const { return eager_ddl_validation_; }
+
+  // ---- Static integrity analysis ----
+  /// Schema passes only (CAD0xx).
+  analysis::DiagnosticBag CheckSchema() const;
+  /// Store passes only (CAD1xx), including the resolution-cache audit.
+  analysis::DiagnosticBag CheckStore() const;
+  /// Both, merged and sorted — the `caddb check` entry point.
+  analysis::DiagnosticBag Check() const;
 
   // ---- Subsystem access ----
   Catalog& catalog() { return catalog_; }
@@ -162,6 +180,7 @@ class Database {
   TransactionManager transactions_;
   WorkspaceManager workspaces_;
   std::vector<std::string> ddl_warnings_;
+  bool eager_ddl_validation_ = false;
 };
 
 }  // namespace caddb

@@ -94,13 +94,14 @@ class LexerImpl {
       if (std::isspace(static_cast<unsigned char>(c)) != 0) {
         Advance();
       } else if (c == '/' && Peek(1) == '*') {
-        int start_line = line_;
+        int start_line = line_, start_col = col_;
         Advance();
         Advance();
         while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
         if (AtEnd()) {
           return ParseError("unterminated comment starting at line " +
-                            std::to_string(start_line));
+                            std::to_string(start_line) + ", column " +
+                            std::to_string(start_col));
         }
         Advance();
         Advance();
@@ -111,12 +112,15 @@ class LexerImpl {
     return OkStatus();
   }
 
+  /// Stamps the token with the position where it *started* (captured at the
+  /// top of Next()), not the current cursor — diagnostics must point at the
+  /// first character of the offending construct.
   Token Make(Token::Kind kind, std::string text) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
-    t.line = line_;
-    t.column = col_;
+    t.line = start_line_;
+    t.column = start_col_;
     return t;
   }
 
@@ -140,6 +144,8 @@ class LexerImpl {
   }
 
   Result<Token> Next() {
+    start_line_ = line_;
+    start_col_ = col_;
     char c = Peek();
     if (IsIdentStart(c)) {
       std::string ident = ReadIdentSegment();
@@ -210,6 +216,8 @@ class LexerImpl {
   size_t pos_ = 0;
   int line_ = 1;
   int col_ = 1;
+  int start_line_ = 1;  // position of the token being lexed (set by Next)
+  int start_col_ = 1;
 };
 
 }  // namespace

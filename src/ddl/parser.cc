@@ -100,9 +100,12 @@ class ParserImpl {
     }
     return Advance().text;
   }
+  /// Position of the token about to be consumed — recorded into definitions
+  /// so analyzer diagnostics can point back at the DDL source.
+  SourceLoc Loc() const { return {Peek().line, Peek().column}; }
   Status Error(const std::string& message) const {
     return ParseError(message + " (line " + std::to_string(Peek().line) +
-                      ")");
+                      ", column " + std::to_string(Peek().column) + ")");
   }
   void Warn(const std::string& message) {
     if (warnings_ != nullptr) warnings_->push_back(message);
@@ -250,16 +253,18 @@ class ParserImpl {
   Result<std::vector<AttributeDef>> ParseAttributeList() {
     std::vector<AttributeDef> attrs;
     while (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
-      std::vector<std::string> group;
+      std::vector<std::pair<std::string, SourceLoc>> group;
+      SourceLoc loc = Loc();
       CADDB_ASSIGN_OR_RETURN(std::string n, ExpectIdent());
-      group.push_back(std::move(n));
+      group.emplace_back(std::move(n), loc);
       while (ConsumeSymbol(",")) {
+        loc = Loc();
         CADDB_ASSIGN_OR_RETURN(std::string more, ExpectIdent());
-        group.push_back(std::move(more));
+        group.emplace_back(std::move(more), loc);
       }
       CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
       CADDB_ASSIGN_OR_RETURN(Domain d, ParseDomainExpr());
-      for (const std::string& n : group) attrs.push_back({n, d});
+      for (auto& [name, name_loc] : group) attrs.push_back({name, d, name_loc});
       CADDB_RETURN_IF_ERROR(ExpectSymbol(";"));
     }
     return attrs;
@@ -270,6 +275,7 @@ class ParserImpl {
       const std::string& owner_name) {
     std::vector<SubclassDef> subclasses;
     while (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
+      SourceLoc name_loc = Loc();
       CADDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
       CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
       if (Peek().IsIdent("inheritor-in") || Peek().IsIdent("attributes")) {
@@ -280,9 +286,11 @@ class ParserImpl {
         // inline Nut type.
         ObjectTypeDef inline_type;
         inline_type.name = owner_name + "." + name;
+        inline_type.loc = name_loc;
         while (true) {
           if (ConsumeIdent("inheritor-in")) {
             CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+            inline_type.inheritor_in_loc = Loc();
             CADDB_ASSIGN_OR_RETURN(inline_type.inheritor_in, ExpectIdent());
             ConsumeSymbol(";");
           } else if (Peek().IsIdent("attributes") &&
@@ -295,12 +303,12 @@ class ParserImpl {
             break;
           }
         }
-        subclasses.push_back({name, inline_type.name});
+        subclasses.push_back({name, inline_type.name, name_loc});
         out_->object_types.push_back(std::move(inline_type));
       } else {
         CADDB_ASSIGN_OR_RETURN(std::string element_type, ExpectIdent());
         CADDB_RETURN_IF_ERROR(ExpectSymbol(";"));
-        subclasses.push_back({name, std::move(element_type)});
+        subclasses.push_back({name, std::move(element_type), name_loc});
       }
     }
     return subclasses;
@@ -318,6 +326,7 @@ class ParserImpl {
     std::vector<SubrelDef> subrels;
     while (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
       SubrelDef def;
+      def.loc = Loc();
       CADDB_ASSIGN_OR_RETURN(def.name, ExpectIdent());
       CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
       CADDB_ASSIGN_OR_RETURN(def.rel_type, ExpectIdent());
@@ -347,9 +356,10 @@ class ParserImpl {
     ConstraintScope scope;
     while (!AtSectionKeyword() &&
            !Peek().Is(Token::Kind::kEndOfFile)) {
+      SourceLoc loc = Loc();
       CADDB_ASSIGN_OR_RETURN(ExprPtr e, ParseConstraint(&scope));
       CADDB_RETURN_IF_ERROR(ExpectSymbol(";"));
-      constraints.push_back({e->ToString(), e});
+      constraints.push_back({e->ToString(), e, loc});
     }
     return constraints;
   }
@@ -595,11 +605,13 @@ class ParserImpl {
   Status ParseObjTypeDef() {
     Advance();  // obj-type
     ObjectTypeDef def;
+    def.loc = Loc();
     CADDB_ASSIGN_OR_RETURN(def.name, ExpectIdent());
     CADDB_RETURN_IF_ERROR(ExpectSymbol("="));
     while (!Peek().IsIdent("end")) {
       if (ConsumeIdent("inheritor-in")) {
         CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        def.inheritor_in_loc = Loc();
         CADDB_ASSIGN_OR_RETURN(def.inheritor_in, ExpectIdent());
         ConsumeSymbol(";");
       } else if (ConsumeIdent("attributes")) {
@@ -633,6 +645,7 @@ class ParserImpl {
   Status ParseRelTypeDef() {
     Advance();  // rel-type
     RelTypeDef def;
+    def.loc = Loc();
     CADDB_ASSIGN_OR_RETURN(def.name, ExpectIdent());
     CADDB_RETURN_IF_ERROR(ExpectSymbol("="));
     std::vector<SubclassDef> subclasses;
@@ -666,12 +679,14 @@ class ParserImpl {
   /// `Bores: set-of object-of-type BoreType;` / `Thing: object;`
   Status ParseParticipantList(RelTypeDef* def) {
     while (Peek().Is(Token::Kind::kIdent) && !AtSectionKeyword()) {
-      std::vector<std::string> roles;
+      std::vector<std::pair<std::string, SourceLoc>> roles;
+      SourceLoc role_loc = Loc();
       CADDB_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
-      roles.push_back(std::move(first));
+      roles.emplace_back(std::move(first), role_loc);
       while (ConsumeSymbol(",")) {
+        role_loc = Loc();
         CADDB_ASSIGN_OR_RETURN(std::string more, ExpectIdent());
-        roles.push_back(std::move(more));
+        roles.emplace_back(std::move(more), role_loc);
       }
       CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
       bool is_set = ConsumeIdent("set-of");
@@ -686,8 +701,8 @@ class ParserImpl {
                      Peek().Describe());
       }
       CADDB_RETURN_IF_ERROR(ExpectSymbol(";"));
-      for (const std::string& role : roles) {
-        def->participants.push_back({role, type, is_set});
+      for (auto& [role, loc] : roles) {
+        def->participants.push_back({role, type, is_set, loc});
       }
     }
     return OkStatus();
@@ -697,6 +712,7 @@ class ParserImpl {
   Status ParseInherRelTypeDef() {
     Advance();  // inher-rel-type / inher-rel-typ
     InherRelTypeDef def;
+    def.loc = Loc();
     CADDB_ASSIGN_OR_RETURN(def.name, ExpectIdent());
     CADDB_RETURN_IF_ERROR(ExpectSymbol("="));
     while (!Peek().IsIdent("end")) {
@@ -705,11 +721,14 @@ class ParserImpl {
         if (!ConsumeIdent("object-of-type")) {
           return Error("transmitter must be 'object-of-type <T>'");
         }
+        def.transmitter_loc = Loc();
         CADDB_ASSIGN_OR_RETURN(def.transmitter_type, ExpectIdent());
         ConsumeSymbol(";");  // the paper omits this semicolon at times
       } else if (ConsumeIdent("inheritor")) {
         CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
-        if (ConsumeIdent("object-of-type")) {
+        if (Peek().IsIdent("object-of-type")) {
+          Advance();
+          def.inheritor_loc = Loc();
           CADDB_ASSIGN_OR_RETURN(def.inheritor_type, ExpectIdent());
         } else if (ConsumeIdent("object")) {
           // any type may inherit
@@ -720,9 +739,11 @@ class ParserImpl {
         ConsumeSymbol(";");
       } else if (ConsumeIdent("inheriting")) {
         CADDB_RETURN_IF_ERROR(ExpectSymbol(":"));
+        def.inheriting_locs.push_back(Loc());
         CADDB_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
         def.inheriting.push_back(std::move(first));
         while (ConsumeSymbol(",")) {
+          def.inheriting_locs.push_back(Loc());
           CADDB_ASSIGN_OR_RETURN(std::string more, ExpectIdent());
           def.inheriting.push_back(std::move(more));
         }

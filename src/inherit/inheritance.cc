@@ -313,6 +313,88 @@ Result<std::map<std::string, Value>> InheritanceManager::Snapshot(
   return out;
 }
 
+Result<Value> InheritanceManager::ResolveAttributeUncached(
+    Surrogate s, const std::string& name) const {
+  CADDB_ASSIGN_OR_RETURN(const DbObject* node, store_->Get(s));
+  CADDB_ASSIGN_OR_RETURN(
+      const EffectiveSchema* node_schema,
+      store_->catalog().FindEffectiveSchema(node->type_name()));
+  if (node_schema->FindAttribute(name) == nullptr) {
+    return NotFound("type '" + node->type_name() + "' has no attribute '" +
+                    name + "'");
+  }
+  while (node_schema->IsInherited(name)) {
+    Surrogate rel_s = node->bound_inher_rel();
+    if (!rel_s.valid()) return Value::Null();  // unbound: structure only
+    CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store_->Get(rel_s));
+    CADDB_ASSIGN_OR_RETURN(node, store_->Get(rel->Participant("transmitter")));
+    CADDB_ASSIGN_OR_RETURN(
+        node_schema,
+        store_->catalog().FindEffectiveSchema(node->type_name()));
+  }
+  return node->LocalAttribute(name);
+}
+
+Result<std::vector<Surrogate>> InheritanceManager::ResolveSubclassUncached(
+    Surrogate s, const std::string& name) const {
+  CADDB_ASSIGN_OR_RETURN(const DbObject* node, store_->Get(s));
+  CADDB_ASSIGN_OR_RETURN(
+      const EffectiveSchema* node_schema,
+      store_->catalog().FindEffectiveSchema(node->type_name()));
+  if (node_schema->FindSubclass(name) == nullptr) {
+    return NotFound("type '" + node->type_name() + "' has no subclass '" +
+                    name + "'");
+  }
+  while (node_schema->IsInherited(name)) {
+    Surrogate rel_s = node->bound_inher_rel();
+    if (!rel_s.valid()) return std::vector<Surrogate>{};
+    CADDB_ASSIGN_OR_RETURN(const DbObject* rel, store_->Get(rel_s));
+    CADDB_ASSIGN_OR_RETURN(node, store_->Get(rel->Participant("transmitter")));
+    CADDB_ASSIGN_OR_RETURN(
+        node_schema,
+        store_->catalog().FindEffectiveSchema(node->type_name()));
+  }
+  const std::vector<Surrogate>* members = node->Subclass(name);
+  return members == nullptr ? std::vector<Surrogate>{} : *members;
+}
+
+std::vector<std::string> InheritanceManager::AuditCache() const {
+  std::vector<std::string> out;
+  auto describe = [](const CacheKey& key) {
+    return "(@" + std::to_string(key.first) + ", '" + key.second + "')";
+  };
+  for (const auto& [key, entry] : attr_cache_) {
+    if (!EntryValid(entry)) continue;  // legal staleness, evicted on probe
+    Result<Value> fresh =
+        ResolveAttributeUncached(Surrogate(key.first), key.second);
+    if (!fresh.ok()) {
+      out.push_back("attribute cache entry " + describe(key) +
+                    " validates but cannot be re-resolved: " +
+                    fresh.status().ToString());
+    } else if (*fresh != entry.payload) {
+      out.push_back("attribute cache entry " + describe(key) + " holds " +
+                    entry.payload.ToString() +
+                    " but a fresh resolution yields " + fresh->ToString());
+    }
+  }
+  for (const auto& [key, entry] : subclass_cache_) {
+    if (!EntryValid(entry)) continue;
+    Result<std::vector<Surrogate>> fresh =
+        ResolveSubclassUncached(Surrogate(key.first), key.second);
+    if (!fresh.ok()) {
+      out.push_back("subclass cache entry " + describe(key) +
+                    " validates but cannot be re-resolved: " +
+                    fresh.status().ToString());
+    } else if (*fresh != entry.payload) {
+      out.push_back("subclass cache entry " + describe(key) + " holds " +
+                    std::to_string(entry.payload.size()) +
+                    " member(s) but a fresh resolution yields " +
+                    std::to_string(fresh->size()));
+    }
+  }
+  return out;
+}
+
 void InheritanceManager::SetCacheMode(CacheMode mode) {
   if (mode == cache_mode_) return;
   cache_mode_ = mode;

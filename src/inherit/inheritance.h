@@ -116,6 +116,14 @@ class InheritanceManager {
     return attr_cache_.size() + subclass_cache_.size();
   }
 
+  /// Consistency audit for the static analyzer (CAD107): re-resolves every
+  /// cache entry whose validity metadata still checks out *without* the
+  /// cache and reports entries whose payload disagrees with the fresh
+  /// resolution — i.e. dependency tracking failed to notice a change.
+  /// Entries whose metadata is already stale are skipped (staleness is the
+  /// normal eviction path, not corruption). Read-only; never repairs.
+  std::vector<std::string> AuditCache() const;
+
   NotificationCenter* notifications() const { return notifications_; }
   ObjectStore* store() const { return store_; }
 
@@ -155,6 +163,13 @@ class InheritanceManager {
   /// Recursively notifies the inheritance relationships hanging off
   /// `transmitter` about a change of permeable item `item`.
   void NotifyChange(Surrogate transmitter, const std::string& item);
+
+  /// Chain-walk resolutions that bypass the cache entirely (no probe, no
+  /// fill, no counters). AuditCache compares cached payloads against these.
+  Result<Value> ResolveAttributeUncached(Surrogate s,
+                                         const std::string& name) const;
+  Result<std::vector<Surrogate>> ResolveSubclassUncached(
+      Surrogate s, const std::string& name) const;
 
   ObjectStore* store_;
   NotificationCenter* notifications_;

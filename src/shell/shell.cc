@@ -283,6 +283,41 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     s.ok() ? void(out << "ok\n") : fail(s);
     return true;
   }
+  if (cmd == "check" && (tokens.size() == 1 || tokens[1][0] != '@')) {
+    // Static integrity analysis: `check [schema|store] [--format=json]`.
+    // (`check @<id>` keeps its historic meaning: constraint check of one
+    // object — handled below.)
+    bool schema = true;
+    bool store = true;
+    bool json = false;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i] == "schema") {
+        store = false;
+      } else if (tokens[i] == "store") {
+        schema = false;
+      } else if (tokens[i] == "--format=json") {
+        json = true;
+      } else if (tokens[i] == "--format=text") {
+        json = false;
+      } else {
+        fail(InvalidArgument("unknown check argument '" + tokens[i] +
+                             "' (expected schema, store, or --format=json)"));
+        return true;
+      }
+    }
+    analysis::DiagnosticBag bag;
+    if (schema) bag.Merge(db_->CheckSchema());
+    if (store) bag.Merge(db_->CheckStore());
+    bag.Sort();
+    if (json) {
+      out << bag.RenderJson() << "\n";
+    } else {
+      out << bag.RenderText();
+      out << "check: " << bag.Summary() << "\n";
+    }
+    if (bag.HasErrors()) ++error_count_;
+    return true;
+  }
   if (cmd == "check" || cmd == "check-deep") {
     if (!need(1)) return true;
     Result<Surrogate> target = ParseRef(tokens[1]);

@@ -31,6 +31,7 @@ namespace shell {
 ///   get @<id> <attr>
 ///   members @<id> <subclass>
 ///   delete @<id> [detach]
+///   check [schema|store] [--format=json]   static integrity analysis
 ///   check @<id> | check-deep @<id> | check-all | violations
 ///   holds @<id> <expression...>
 ///   expand @<id> [depth]  |  expand-dot @<id> [depth]   (graphviz)

@@ -572,6 +572,127 @@ void ObjectStore::CollectCascade(Surrogate s, std::set<uint64_t>* out) const {
   }
 }
 
+std::vector<std::string> ObjectStore::AuditIndexes() const {
+  std::vector<std::string> out;
+  auto describe = [](uint64_t id) { return "@" + std::to_string(id); };
+
+  // classes_: every listed member is live, of the class's type, claims the
+  // class, and is listed once.
+  for (const auto& [name, info] : classes_) {
+    std::set<uint64_t> seen;
+    for (Surrogate m : info.members) {
+      const DbObject* obj = Find(m);
+      if (obj == nullptr) {
+        out.push_back("class '" + name + "' lists dead object " +
+                      describe(m.id));
+        continue;
+      }
+      if (!seen.insert(m.id).second) {
+        out.push_back("class '" + name + "' lists " + describe(m.id) +
+                      " more than once");
+      }
+      if (obj->type_name() != info.object_type) {
+        out.push_back("class '" + name + "' (type '" + info.object_type +
+                      "') lists " + describe(m.id) + " of type '" +
+                      obj->type_name() + "'");
+      }
+      if (obj->class_name() != name) {
+        out.push_back("class '" + name + "' lists " + describe(m.id) +
+                      " which claims class '" + obj->class_name() + "'");
+      }
+    }
+  }
+  for (const auto& [id, obj] : objects_) {
+    if (obj->class_name().empty()) continue;
+    auto cls = classes_.find(obj->class_name());
+    if (cls == classes_.end()) {
+      out.push_back("object " + describe(id) + " claims unknown class '" +
+                    obj->class_name() + "'");
+    } else if (std::find(cls->second.members.begin(),
+                         cls->second.members.end(),
+                         obj->surrogate()) == cls->second.members.end()) {
+      out.push_back("object " + describe(id) + " claims class '" +
+                    obj->class_name() + "' but the class does not list it");
+    }
+  }
+
+  // extents_: membership matches the primary map exactly.
+  for (const auto& [type, members] : extents_) {
+    std::set<uint64_t> seen;
+    for (Surrogate m : members) {
+      const DbObject* obj = Find(m);
+      if (obj == nullptr) {
+        out.push_back("extent of '" + type + "' lists dead object " +
+                      describe(m.id));
+        continue;
+      }
+      if (!seen.insert(m.id).second) {
+        out.push_back("extent of '" + type + "' lists " + describe(m.id) +
+                      " more than once");
+      }
+      if (obj->type_name() != type) {
+        out.push_back("extent of '" + type + "' lists " + describe(m.id) +
+                      " of type '" + obj->type_name() + "'");
+      }
+    }
+  }
+  for (const auto& [id, obj] : objects_) {
+    auto ext = extents_.find(obj->type_name());
+    if (ext == extents_.end() ||
+        std::find(ext->second.begin(), ext->second.end(), obj->surrogate()) ==
+            ext->second.end()) {
+      out.push_back("object " + describe(id) +
+                    " is missing from the extent of '" + obj->type_name() +
+                    "'");
+    }
+  }
+
+  // where_used_: forward entries reference live relationship objects that
+  // really have the key as a participant; reverse, every participant link of
+  // every relationship object is indexed.
+  for (const auto& [target, rels] : where_used_) {
+    if (Find(Surrogate(target)) == nullptr) {
+      out.push_back("where-used index has an entry for dead object " +
+                    describe(target));
+    }
+    for (uint64_t rel_id : rels) {
+      const DbObject* rel = Find(Surrogate(rel_id));
+      if (rel == nullptr) {
+        out.push_back("where-used entry of " + describe(target) +
+                      " names dead relationship " + describe(rel_id));
+        continue;
+      }
+      bool references = false;
+      for (const auto& [role, members] : rel->participants()) {
+        if (std::find(members.begin(), members.end(), Surrogate(target)) !=
+            members.end()) {
+          references = true;
+          break;
+        }
+      }
+      if (!references) {
+        out.push_back("where-used entry of " + describe(target) + " names " +
+                      describe(rel_id) +
+                      " which has no such participant");
+      }
+    }
+  }
+  for (const auto& [id, obj] : objects_) {
+    if (obj->kind() == ObjKind::kObject) continue;
+    for (const auto& [role, members] : obj->participants()) {
+      for (Surrogate m : members) {
+        auto used = where_used_.find(m.id);
+        if (used == where_used_.end() || used->second.count(id) == 0) {
+          out.push_back("participant " + describe(m.id) +
+                        " of relationship " + describe(id) +
+                        " is missing from the where-used index");
+        }
+      }
+    }
+  }
+  return out;
+}
+
 Status ObjectStore::Delete(Surrogate s, DeletePolicy policy) {
   if (Find(s) == nullptr) {
     return NotFound("no object with surrogate @" + std::to_string(s.id));

@@ -110,6 +110,13 @@ class ObjectStore {
   /// Inher-rel objects in which `s` is the transmitter.
   std::vector<Surrogate> InherRelsOfTransmitter(Surrogate s) const;
 
+  /// Consistency audit of the secondary indexes (classes, per-type extents,
+  /// where-used) against the primary object map, in both directions. Returns
+  /// one human-readable description per inconsistency; empty means the
+  /// indexes are sound. Read-only — used by the static analyzer (CAD106),
+  /// never repairs.
+  std::vector<std::string> AuditIndexes() const;
+
   /// Monotone counter bumped on every mutation; used as a cheap
   /// whole-store invalidation stamp by resolution caches.
   uint64_t global_version() const { return global_version_; }

@@ -11,8 +11,10 @@ namespace caddb {
 
 /// Status-or-value: either an error Status or a T. Modeled on
 /// absl::StatusOr / rocksdb's status-and-out-param idiom, but value-returning.
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from Status so `return NotFound(...)` works in Result-returning
   /// functions. The status must not be OK.

@@ -1,0 +1,31 @@
+#ifndef CADDB_UTIL_SOURCE_LOC_H_
+#define CADDB_UTIL_SOURCE_LOC_H_
+
+#include <string>
+
+namespace caddb {
+
+/// Position of a construct in DDL source text (1-based). Definitions
+/// registered programmatically (without DDL) carry the invalid default;
+/// diagnostics then omit the location.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+
+  /// "line 12, column 3" (or "" when invalid).
+  std::string ToString() const {
+    if (!valid()) return "";
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  }
+
+  bool operator==(const SourceLoc& other) const {
+    return line == other.line && column == other.column;
+  }
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_UTIL_SOURCE_LOC_H_

@@ -30,7 +30,10 @@ enum class Code {
 const char* CodeName(Code code);
 
 /// Value-semantic error carrier: a Code plus a context message.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures; the rare
+/// intentionally-ignored result must be spelled `(void)` with a comment
+/// saying why ignoring it is sound.
+class [[nodiscard]] Status {
  public:
   /// Constructs OK.
   Status() : code_(Code::kOk) {}

@@ -8,7 +8,7 @@ namespace {
 ObjectTypeDef SimpleType(const std::string& name) {
   ObjectTypeDef def;
   def.name = name;
-  def.attributes.push_back({"A", Domain::Int()});
+  def.attributes.push_back({"A", Domain::Int(), {}});
   return def;
 }
 
@@ -47,7 +47,7 @@ TEST(CatalogTest, DomainRegistrationAndCollision) {
 TEST(CatalogTest, DuplicateMemberRejected) {
   Catalog catalog;
   ObjectTypeDef def = SimpleType("T");
-  def.attributes.push_back({"A", Domain::Int()});
+  def.attributes.push_back({"A", Domain::Int(), {}});
   EXPECT_EQ(catalog.RegisterObjectType(def).code(), Code::kInvalidArgument);
 }
 
@@ -65,8 +65,8 @@ TEST(CatalogTest, EffectiveSchemaMergesInheritedItems) {
   Catalog catalog;
   ObjectTypeDef iface;
   iface.name = "Iface";
-  iface.attributes = {{"L", Domain::Int()}, {"W", Domain::Int()}};
-  iface.subclasses = {{"Pins", "Pin"}};
+  iface.attributes = {{"L", Domain::Int(), {}}, {"W", Domain::Int(), {}}};
+  iface.subclasses = {{"Pins", "Pin", {}}};
   ASSERT_TRUE(catalog.RegisterObjectType(iface).ok());
   ASSERT_TRUE(catalog.RegisterObjectType(SimpleType("Pin")).ok());
   ASSERT_TRUE(
@@ -75,7 +75,7 @@ TEST(CatalogTest, EffectiveSchemaMergesInheritedItems) {
   ObjectTypeDef impl;
   impl.name = "Impl";
   impl.inheritor_in = "R";
-  impl.attributes = {{"Cost", Domain::Int()}};
+  impl.attributes = {{"Cost", Domain::Int(), {}}};
   ASSERT_TRUE(catalog.RegisterObjectType(impl).ok());
 
   auto schema = catalog.EffectiveSchemaFor("Impl");
@@ -97,14 +97,14 @@ TEST(CatalogTest, ChainedHierarchyComposesPermeability) {
   Catalog catalog;
   ObjectTypeDef top;
   top.name = "Top";
-  top.attributes = {{"A", Domain::Int()}, {"B", Domain::Int()}};
+  top.attributes = {{"A", Domain::Int(), {}}, {"B", Domain::Int(), {}}};
   ASSERT_TRUE(catalog.RegisterObjectType(top).ok());
   ASSERT_TRUE(
       catalog.RegisterInherRelType(InherRel("R1", "Top", {"A"})).ok());
   ObjectTypeDef mid;
   mid.name = "Mid";
   mid.inheritor_in = "R1";
-  mid.attributes = {{"C", Domain::Int()}};
+  mid.attributes = {{"C", Domain::Int(), {}}};
   ASSERT_TRUE(catalog.RegisterObjectType(mid).ok());
   ASSERT_TRUE(
       catalog.RegisterInherRelType(InherRel("R2", "Mid", {"A", "C"})).ok());
@@ -143,11 +143,11 @@ TEST(CatalogTest, TypeLevelCycleDetected) {
   ObjectTypeDef a;
   a.name = "A";
   a.inheritor_in = "RB";
-  a.attributes = {{"X", Domain::Int()}};
+  a.attributes = {{"X", Domain::Int(), {}}};
   ObjectTypeDef b;
   b.name = "B";
   b.inheritor_in = "RA";
-  b.attributes = {{"Y", Domain::Int()}};
+  b.attributes = {{"Y", Domain::Int(), {}}};
   ASSERT_TRUE(catalog.RegisterObjectType(a).ok());
   ASSERT_TRUE(catalog.RegisterObjectType(b).ok());
   ASSERT_TRUE(catalog.RegisterInherRelType(InherRel("RA", "A", {"X"})).ok());
@@ -163,7 +163,7 @@ TEST(CatalogTest, ShadowingInheritedNameRejected) {
   ObjectTypeDef leaf;
   leaf.name = "Leaf";
   leaf.inheritor_in = "R";
-  leaf.attributes = {{"A", Domain::Int()}};  // shadows inherited A
+  leaf.attributes = {{"A", Domain::Int(), {}}};  // shadows inherited A
   ASSERT_TRUE(catalog.RegisterObjectType(leaf).ok());
   EXPECT_EQ(catalog.EffectiveSchemaFor("Leaf").status().code(),
             Code::kInvalidArgument);
@@ -186,7 +186,7 @@ TEST(CatalogTest, InheritorTypeRestrictionEnforced) {
 TEST(CatalogTest, ValidateCatchesDanglingReferences) {
   Catalog catalog;
   ObjectTypeDef def = SimpleType("T");
-  def.subclasses.push_back({"Subs", "MissingType"});
+  def.subclasses.push_back({"Subs", "MissingType", {}});
   ASSERT_TRUE(catalog.RegisterObjectType(def).ok());
   EXPECT_EQ(catalog.Validate().code(), Code::kNotFound);
 }
@@ -216,8 +216,8 @@ TEST(CatalogTest, RelTypeRegistrationAndLookup) {
   Catalog catalog;
   RelTypeDef rel;
   rel.name = "Wire";
-  rel.participants = {{"P1", "Pin", false}, {"P2", "Pin", false}};
-  rel.attributes = {{"Len", Domain::Int()}};
+  rel.participants = {{"P1", "Pin", false, {}}, {"P2", "Pin", false, {}}};
+  rel.attributes = {{"Len", Domain::Int(), {}}};
   ASSERT_TRUE(catalog.RegisterRelType(rel).ok());
   const RelTypeDef* found = catalog.FindRelType("Wire");
   ASSERT_NE(found, nullptr);
@@ -227,7 +227,7 @@ TEST(CatalogTest, RelTypeRegistrationAndLookup) {
   // Duplicate role.
   RelTypeDef dup;
   dup.name = "Dup";
-  dup.participants = {{"P", "", false}, {"P", "", false}};
+  dup.participants = {{"P", "", false, {}}, {"P", "", false, {}}};
   EXPECT_EQ(catalog.RegisterRelType(dup).code(), Code::kInvalidArgument);
 }
 

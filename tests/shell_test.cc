@@ -207,6 +207,48 @@ TEST(ShellTest, PrintSchemaRoundTripsThroughShell) {
   EXPECT_NE(out.find("@1\n"), std::string::npos);
 }
 
+TEST(ShellTest, CheckCommandReportsClean) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) + "check\n", &errors);
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("check: clean\n"), std::string::npos) << out;
+}
+
+constexpr const char* kBrokenSchema = R"(schema <<<
+obj-type Odd =
+  inheritor-in: Missing;
+  attributes:
+    A: integer;
+end Odd;
+>>>
+)";
+
+TEST(ShellTest, CheckCommandReportsDefectsAndCountsAsError) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBrokenSchema) + "check schema\n",
+                              &errors);
+  EXPECT_EQ(errors, 1u) << out;
+  EXPECT_NE(out.find("CAD004"), std::string::npos) << out;
+  EXPECT_NE(out.find("obj-type Odd"), std::string::npos) << out;
+}
+
+TEST(ShellTest, CheckCommandJsonFormat) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBrokenSchema) +
+                                  "check --format=json\n",
+                              &errors);
+  EXPECT_EQ(errors, 1u) << out;
+  EXPECT_NE(out.find("{\"diagnostics\":["), std::string::npos) << out;
+  EXPECT_NE(out.find("\"code\":\"CAD004\""), std::string::npos) << out;
+}
+
+TEST(ShellTest, CheckCommandRejectsUnknownArgument) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) + "check bogus-mode\n",
+                              &errors);
+  EXPECT_EQ(errors, 1u) << out;
+}
+
 }  // namespace
 }  // namespace shell
 }  // namespace caddb
