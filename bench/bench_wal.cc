@@ -1,0 +1,139 @@
+// Durability benchmarks: commit throughput under the three sync policies
+// (the group-commit payoff the paper-era engineering argument rests on),
+// checkpoint cost at netlist scale, and recovery replay time as a function
+// of log length.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench_common.h"
+#include "wal/wal.h"
+#include "workload/generator.h"
+
+namespace caddb {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh directory under the build tree (never /tmp).
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::current_path() / "bench_wal_tmp" / name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Auto-committed attribute writes against a durable database; arg 0 is the
+/// SyncPolicy (0 = always, 1 = batch, 2 = none). Every Set appends one redo
+/// record and hits the policy's commit path, so items/s is commits/s.
+void BM_WalCommitThroughput(benchmark::State& state) {
+  const auto policy = static_cast<wal::SyncPolicy>(state.range(0));
+  const std::string dir = FreshDir("commit");
+  wal::DurabilityOptions options;
+  options.wal.sync = policy;
+  auto db = Unwrap(Database::Open(dir, options));
+  LoadGatesSchema(db.get());
+  Surrogate iface = NewInterface(db.get(), 2);
+  int64_t tick = 0;
+  for (auto _ : state) {
+    Abort(db->Set(iface, "Length", Value::Int(1 + (++tick % 500))));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(wal::SyncPolicyName(policy));
+  state.counters["fsyncs"] = static_cast<double>(db->wal()->stats().fsyncs);
+  Abort(db->Close());
+}
+BENCHMARK(BM_WalCommitThroughput)->DenseRange(0, 2)->UseRealTime();
+
+/// Explicit two-write transactions (Begin/Write/Write/Commit) — the commit
+/// marker is the only forced sync point, so group commit amortizes across
+/// whole transactions, not records.
+void BM_WalTxnCommit(benchmark::State& state) {
+  const auto policy = static_cast<wal::SyncPolicy>(state.range(0));
+  const std::string dir = FreshDir("txn");
+  wal::DurabilityOptions options;
+  options.wal.sync = policy;
+  auto db = Unwrap(Database::Open(dir, options));
+  LoadGatesSchema(db.get());
+  Surrogate iface = NewInterface(db.get(), 2);
+  int64_t tick = 0;
+  for (auto _ : state) {
+    TxnId txn = Unwrap(db->transactions().Begin("bench"));
+    Abort(db->transactions().Write(txn, iface, "Length",
+                                   Value::Int(1 + (++tick % 500))));
+    Abort(db->transactions().Write(txn, iface, "Width", Value::Int(6)));
+    Abort(db->transactions().Commit(txn));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(wal::SyncPolicyName(policy));
+  state.counters["fsyncs"] = static_cast<double>(db->wal()->stats().fsyncs);
+  Abort(db->Close());
+}
+BENCHMARK(BM_WalTxnCommit)->DenseRange(0, 2)->UseRealTime();
+
+/// Checkpoint publication (dump + atomic write + log truncation) against a
+/// generated netlist of `range(0)` composites.
+void BM_Checkpoint(benchmark::State& state) {
+  const std::string dir = FreshDir("checkpoint");
+  wal::DurabilityOptions options;
+  options.wal.sync = wal::SyncPolicy::kNone;
+  auto db = Unwrap(Database::Open(dir, options));
+  LoadGatesSchema(db.get());
+  workload::NetlistParams params;
+  params.composites = static_cast<int>(state.range(0));
+  Unwrap(workload::GenerateNetlist(db.get(), params));
+  for (auto _ : state) {
+    Abort(db->Checkpoint());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["objects"] = static_cast<double>(db->store().size());
+  Abort(db->Close());
+}
+BENCHMARK(BM_Checkpoint)->Range(4, 64);
+
+/// Crash recovery: replay of a `range(0)`-operation log into a fresh
+/// process. The pristine directory (checkpoint of an empty database + one
+/// segment of logged operations) is prepared once; each iteration recovers
+/// a copy of it, so the measured work is checkpoint load + full replay +
+/// fsck + fresh-checkpoint publication — exactly what Database::Open does
+/// after a crash.
+void BM_WalRecovery(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  const std::string pristine = FreshDir("recovery_pristine");
+  {
+    wal::DurabilityOptions options;
+    options.wal.sync = wal::SyncPolicy::kNone;
+    auto db = Unwrap(Database::Open(pristine, options));
+    LoadGatesSchema(db.get());
+    Surrogate iface = NewInterface(db.get(), 2);
+    for (int i = 0; i < ops; ++i) {
+      Abort(db->Set(iface, "Length", Value::Int(1 + i % 500)));
+    }
+    Abort(db->Close());
+  }
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string dir = FreshDir("recovery_work");
+    fs::copy(pristine, dir,
+             fs::copy_options::overwrite_existing |
+                 fs::copy_options::recursive);
+    state.ResumeTiming();
+    auto db = Unwrap(Database::Open(dir));
+    replayed = db->recovery_report().records_applied;
+    benchmark::DoNotOptimize(db->store().size());
+    state.PauseTiming();
+    Abort(db->Close());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+  state.counters["replayed"] = static_cast<double>(replayed);
+}
+BENCHMARK(BM_WalRecovery)->Range(64, 4096);
+
+}  // namespace
+}  // namespace bench
+}  // namespace caddb

@@ -3,8 +3,10 @@
 #
 #   1. Tier-1: warnings-as-errors build + full ctest suite
 #   2. ASan + UBSan build + full ctest suite
-#   3. TSan build + the concurrency tests (lock manager, transactions)
-#   4. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
+#   3. Crash-recovery smoke: the fault-injection matrix under ASan
+#   4. TSan build + the concurrency tests (lock manager, transactions)
+#   5. Bench build: every benchmark target must compile (incl. bench_wal)
+#   6. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
 #
 # Each configuration gets its own build directory under build-ci/ so the
 # sanitizer runtimes never mix. Usage: ci/check.sh [jobs]
@@ -29,12 +31,26 @@ cmake --build build-ci/asan-ubsan -j "$JOBS"
 UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-ci/asan-ubsan --output-on-failure -j "$JOBS"
 
+step "crash-recovery smoke: fault-injection matrix under asan+ubsan"
+# Re-runs just the durability tests with verbose failure output; a torn-log
+# replay that touches freed memory or trips UB fails loudly here.
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure \
+        -R '^(wal_test|wal_recovery_test)$'
+
 step "tsan: lock manager + transaction tests"
 cmake -B build-ci/tsan -S . -DCADDB_WERROR=ON -DCADDB_TSAN=ON \
       "${GENERATOR_FLAGS[@]}"
 cmake --build build-ci/tsan -j "$JOBS" --target lock_manager_test txn_test
 ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
       -R '^(lock_manager_test|txn_test)$'
+
+step "bench build: all benchmark targets compile"
+cmake --build build-ci/werror -j "$JOBS" --target \
+      bench_inheritance bench_inherit_cache bench_complex_objects \
+      bench_composition bench_hierarchy bench_constraints bench_versions \
+      bench_locking bench_ddl bench_store bench_persist bench_analysis \
+      bench_wal
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy (advisory)"

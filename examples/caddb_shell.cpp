@@ -1,6 +1,9 @@
 // Interactive shell over a caddb database.
 //
-//   ./build/examples/caddb_shell                 interactive session
+//   ./build/examples/caddb_shell                 in-memory session
+//   ./build/examples/caddb_shell <dir>           durable session (WAL +
+//                                                checkpoints under <dir>;
+//                                                recovers on open)
 //   ./build/examples/caddb_shell < script.cdb    scripted session
 //
 // Try:
@@ -17,21 +20,44 @@
 #include <unistd.h>
 
 #include <iostream>
+#include <memory>
 
 #include "core/database.h"
 #include "shell/shell.h"
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
-  caddb::Database db;
-  caddb::shell::Shell shell(&db);
+  caddb::Database memory_db;
+  std::unique_ptr<caddb::Database> durable_db;
+  caddb::Database* db = &memory_db;
+  if (argc > 1) {
+    auto opened = caddb::Database::Open(argv[1]);
+    if (!opened.ok()) {
+      std::cerr << "cannot open database directory '" << argv[1]
+                << "': " << opened.status().ToString() << "\n";
+      return 2;
+    }
+    durable_db = std::move(*opened);
+    db = durable_db.get();
+  }
+  caddb::shell::Shell shell(db);
   bool interactive = isatty(0) != 0;
   if (interactive) {
     std::cout << "caddb shell — complex & composite objects for CAD/CAM.\n"
                  "Commands are documented in src/shell/shell.h; 'quit' "
                  "exits.\n";
+    if (db->durable()) {
+      std::cout << "durable session: " << argv[1]
+                << " ('wal status' for the log, 'checkpoint' to truncate "
+                   "it)\n";
+    }
   }
   shell.Run(std::cin, std::cout, interactive);
+  if (db->durable()) {
+    caddb::Status closed = db->Close();
+    if (!closed.ok()) {
+      std::cerr << "close failed: " << closed.ToString() << "\n";
+      return 2;
+    }
+  }
   return shell.error_count() == 0 ? 0 : 1;
 }

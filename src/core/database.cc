@@ -1,21 +1,104 @@
 #include "core/database.h"
 
 #include "analysis/analyzer.h"
+#include "persist/dump.h"
+#include "wal/checkpoint.h"
+#include "wal/record.h"
+#include "wal/wal.h"
 
 namespace caddb {
+
+using wal::kAutoCommitTxn;
+using wal::Record;
+
+Database::~Database() {
+  if (wal_ != nullptr) {
+    // Best-effort clean shutdown; a real crash never reaches this.
+    (void)Close();
+  }
+}
+
+Status Database::LogOp(const Record& record) {
+  if (wal_ == nullptr) return OkStatus();
+  return wal_->AppendCommit(record);
+}
+
+// ---- Durability ----
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& dir, const wal::DurabilityOptions& options) {
+  auto db = std::make_unique<Database>();
+  CADDB_ASSIGN_OR_RETURN(db->recovery_report_,
+                         wal::Recover(dir, db.get(), options));
+  // The log is attached only now, so replay above did not re-log itself,
+  // and always starts a fresh segment — a torn tail is never appended to.
+  CADDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<wal::Wal> wal,
+      wal::Wal::Open(dir, options.wal, db->recovery_report_.last_lsn + 1));
+  db->wal_ = std::move(wal);
+  db->transactions_.set_wal(db->wal_.get());
+  db->versions_.set_wal(db->wal_.get());
+  db->workspaces_.set_wal(db->wal_.get());
+  CADDB_RETURN_IF_ERROR(db->Checkpoint());
+  return db;
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return FailedPrecondition("database is not durable (no wal attached)");
+  }
+  if (transactions_.ActiveCount() > 0) {
+    return FailedPrecondition(
+        "checkpoint with active transactions would freeze uncommitted "
+        "writes into the snapshot");
+  }
+  CADDB_ASSIGN_OR_RETURN(std::string dump, persist::Dumper::Dump(*this));
+  // Everything the snapshot reflects must be on disk before the covering
+  // lsn claims it; then the snapshot covers last_lsn exactly (the store is
+  // quiescent here — no active transactions, and this thread is the
+  // caller).
+  CADDB_RETURN_IF_ERROR(wal_->Sync());
+  CADDB_RETURN_IF_ERROR(
+      wal::WriteCheckpoint(wal_->dir(), wal_->last_lsn(), dump));
+  return wal_->RotateAndTruncate();
+}
+
+Status Database::Close() {
+  if (wal_ == nullptr) return OkStatus();
+  transactions_.set_wal(nullptr);
+  versions_.set_wal(nullptr);
+  workspaces_.set_wal(nullptr);
+  Status closed = wal_->Close();
+  wal_.reset();
+  return closed;
+}
+
+// ---- Schema ----
 
 Status Database::ExecuteDdl(const std::string& source) {
   CADDB_RETURN_IF_ERROR(
       ddl::Parser::ParseSchema(source, &catalog_, &ddl_warnings_));
-  if (!eager_ddl_validation_) return OkStatus();
-  analysis::DiagnosticBag bag = CheckSchema();
-  if (!bag.HasErrors()) return OkStatus();
-  return FailedPrecondition("schema analysis found " + bag.Summary() + ":\n" +
-                            bag.RenderText());
+  if (eager_ddl_validation_) {
+    analysis::DiagnosticBag bag = CheckSchema();
+    if (bag.HasErrors()) {
+      return FailedPrecondition("schema analysis found " + bag.Summary() +
+                                ":\n" + bag.RenderText());
+    }
+  }
+  return LogOp(Record::Ddl(kAutoCommitTxn, source));
 }
 
 analysis::DiagnosticBag Database::CheckSchema() const {
-  return analysis::AnalyzeSchema(catalog_);
+  const uint64_t epoch = catalog_.schema_epoch();
+  if (schema_check_valid_ && schema_check_epoch_ == epoch) {
+    ++schema_analyses_skipped_;
+    return schema_check_cache_;
+  }
+  schema_check_cache_ = analysis::AnalyzeSchema(catalog_);
+  schema_check_epoch_ = epoch;
+  schema_check_valid_ = true;
+  ++schema_analyses_run_;
+  return schema_check_cache_;
 }
 
 analysis::DiagnosticBag Database::CheckStore() const {
@@ -24,6 +107,114 @@ analysis::DiagnosticBag Database::CheckStore() const {
 
 analysis::DiagnosticBag Database::Check() const {
   return analysis::AnalyzeDatabase(store_, &inheritance_);
+}
+
+// ---- Convenience forwarding with redo logging ----
+
+Status Database::CreateClass(const std::string& name,
+                             const std::string& type) {
+  CADDB_RETURN_IF_ERROR(store_.CreateClass(name, type));
+  return LogOp(Record::CreateClass(kAutoCommitTxn, name, type));
+}
+
+Result<Surrogate> Database::CreateObject(const std::string& type,
+                                         const std::string& class_name) {
+  CADDB_ASSIGN_OR_RETURN(Surrogate created,
+                         store_.CreateObject(type, class_name));
+  CADDB_RETURN_IF_ERROR(LogOp(
+      Record::CreateObject(kAutoCommitTxn, created.id, type, class_name)));
+  return created;
+}
+
+Result<Surrogate> Database::CreateSubobject(Surrogate parent,
+                                            const std::string& subclass) {
+  CADDB_ASSIGN_OR_RETURN(Surrogate created,
+                         inheritance_.CreateSubobject(parent, subclass));
+  CADDB_RETURN_IF_ERROR(LogOp(Record::CreateSubobject(
+      kAutoCommitTxn, created.id, parent.id, subclass)));
+  return created;
+}
+
+namespace {
+
+std::map<std::string, std::vector<uint64_t>> ParticipantIds(
+    const std::map<std::string, std::vector<Surrogate>>& participants) {
+  std::map<std::string, std::vector<uint64_t>> out;
+  for (const auto& [role, members] : participants) {
+    std::vector<uint64_t>& ids = out[role];
+    for (Surrogate m : members) ids.push_back(m.id);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Surrogate> Database::CreateRelationship(
+    const std::string& rel_type,
+    const std::map<std::string, std::vector<Surrogate>>& participants) {
+  CADDB_ASSIGN_OR_RETURN(Surrogate created,
+                         store_.CreateRelationship(rel_type, participants));
+  CADDB_RETURN_IF_ERROR(LogOp(Record::CreateRelationship(
+      kAutoCommitTxn, created.id, rel_type, ParticipantIds(participants))));
+  return created;
+}
+
+Result<Surrogate> Database::CreateSubrel(
+    Surrogate owner, const std::string& subrel,
+    const std::map<std::string, std::vector<Surrogate>>& participants) {
+  CADDB_ASSIGN_OR_RETURN(Surrogate created,
+                         store_.CreateSubrel(owner, subrel, participants));
+  CADDB_RETURN_IF_ERROR(LogOp(Record::CreateSubrel(
+      kAutoCommitTxn, created.id, owner.id, subrel,
+      ParticipantIds(participants))));
+  return created;
+}
+
+Result<Surrogate> Database::CreateCheckedSubrel(
+    Surrogate owner, const std::string& subrel,
+    const std::map<std::string, std::vector<Surrogate>>& participants) {
+  CADDB_ASSIGN_OR_RETURN(Surrogate member,
+                         store_.CreateSubrel(owner, subrel, participants));
+  Status where = checker_.CheckSubrelMember(owner, subrel, member);
+  if (!where.ok()) {
+    Status cleanup = inheritance_.DeleteObject(member);
+    (void)cleanup;
+    return where;
+  }
+  CADDB_RETURN_IF_ERROR(LogOp(Record::CreateSubrel(
+      kAutoCommitTxn, member.id, owner.id, subrel,
+      ParticipantIds(participants))));
+  return member;
+}
+
+Result<Surrogate> Database::Bind(Surrogate inheritor, Surrogate transmitter,
+                                 const std::string& inher_rel_type) {
+  CADDB_ASSIGN_OR_RETURN(
+      Surrogate created,
+      inheritance_.Bind(inheritor, transmitter, inher_rel_type));
+  CADDB_RETURN_IF_ERROR(LogOp(Record::Bind(kAutoCommitTxn, created.id,
+                                           inheritor.id, transmitter.id,
+                                           inher_rel_type)));
+  return created;
+}
+
+Status Database::Unbind(Surrogate inheritor) {
+  CADDB_RETURN_IF_ERROR(inheritance_.Unbind(inheritor));
+  return LogOp(Record::Unbind(kAutoCommitTxn, inheritor.id));
+}
+
+Status Database::Set(Surrogate s, const std::string& attr, Value v) {
+  Value logged = wal_ != nullptr ? v : Value();
+  CADDB_RETURN_IF_ERROR(inheritance_.SetAttribute(s, attr, std::move(v)));
+  return LogOp(
+      Record::SetAttribute(kAutoCommitTxn, s.id, attr, std::move(logged)));
+}
+
+Status Database::Delete(Surrogate s, ObjectStore::DeletePolicy policy) {
+  CADDB_RETURN_IF_ERROR(inheritance_.DeleteObject(s, policy));
+  return LogOp(Record::Delete(
+      kAutoCommitTxn, s.id,
+      policy == ObjectStore::DeletePolicy::kDetachInheritors));
 }
 
 }  // namespace caddb

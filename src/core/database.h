@@ -1,7 +1,9 @@
 #ifndef CADDB_CORE_DATABASE_H_
 #define CADDB_CORE_DATABASE_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "txn/transaction.h"
 #include "txn/workspace.h"
 #include "versions/version_graph.h"
+#include "wal/recovery.h"
 
 namespace caddb {
 
@@ -52,6 +55,39 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Closes the write-ahead log cleanly (best effort) if one is attached.
+  ~Database();
+
+  // ---- Durability (write-ahead log + checkpoints + crash recovery) ----
+  /// Opens (creating if necessary) a durable database rooted at directory
+  /// `dir`: loads the newest valid checkpoint, replays every committed
+  /// transaction and auto-committed operation from the log (stopping at the
+  /// first torn or corrupt record), runs the store fsck, then publishes a
+  /// fresh checkpoint and truncates the log before logging resumes. The
+  /// fresh checkpoint is not optional — it anchors the new process's
+  /// surrogate and transaction id spaces, so a log generation never mixes
+  /// the ids of two processes.
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& dir,
+      const wal::DurabilityOptions& options = wal::DurabilityOptions{});
+
+  /// Snapshot (Dumper::Dump) + atomic checkpoint publication + log
+  /// truncation. Fails with kFailedPrecondition while explicit transactions
+  /// are active: their uncommitted writes would be frozen into the snapshot
+  /// and survive a later abort.
+  Status Checkpoint();
+
+  /// Syncs and closes the log; mutations afterwards are no longer logged.
+  Status Close();
+
+  bool durable() const { return wal_ != nullptr; }
+  wal::Wal* wal() { return wal_.get(); }
+  /// What the recovery pass of Open found (default-initialized for a
+  /// database that was default-constructed rather than opened).
+  const wal::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
   // ---- Schema ----
   /// Parses and registers schema text (paper syntax); warnings accumulate in
   /// ddl_warnings(). With eager DDL validation enabled, the schema analyzer
@@ -74,8 +110,14 @@ class Database {
   bool eager_ddl_validation() const { return eager_ddl_validation_; }
 
   // ---- Static integrity analysis ----
-  /// Schema passes only (CAD0xx).
+  /// Schema passes only (CAD0xx). Memoized on the catalog's schema epoch:
+  /// a check against a schema that has not changed since the last one
+  /// returns the cached diagnostics without re-analyzing, so eager DDL
+  /// validation and repeated `check schema` runs cost one analysis per
+  /// actual schema change. The counters below prove the skip.
   analysis::DiagnosticBag CheckSchema() const;
+  uint64_t schema_analyses_run() const { return schema_analyses_run_; }
+  uint64_t schema_analyses_skipped() const { return schema_analyses_skipped_; }
   /// Store passes only (CAD1xx), including the resolution-cache audit.
   analysis::DiagnosticBag CheckStore() const;
   /// Both, merged and sorted — the `caddb check` entry point.
@@ -101,52 +143,32 @@ class Database {
   WorkspaceManager& workspaces() { return workspaces_; }
 
   // ---- Convenience forwarding (the common instance-level operations) ----
-  Status CreateClass(const std::string& name, const std::string& type) {
-    return store_.CreateClass(name, type);
-  }
+  // Mutating operations live in database.cc: each one appends its redo
+  // record to the write-ahead log (as an auto-committed operation) when the
+  // database was opened durably. Reads stay inline.
+  Status CreateClass(const std::string& name, const std::string& type);
   Result<Surrogate> CreateObject(const std::string& type,
-                                 const std::string& class_name = "") {
-    return store_.CreateObject(type, class_name);
-  }
+                                 const std::string& class_name = "");
   Result<Surrogate> CreateSubobject(Surrogate parent,
-                                    const std::string& subclass) {
-    return inheritance_.CreateSubobject(parent, subclass);
-  }
+                                    const std::string& subclass);
   Result<Surrogate> CreateRelationship(
       const std::string& rel_type,
-      const std::map<std::string, std::vector<Surrogate>>& participants) {
-    return store_.CreateRelationship(rel_type, participants);
-  }
+      const std::map<std::string, std::vector<Surrogate>>& participants);
   Result<Surrogate> CreateSubrel(
       Surrogate owner, const std::string& subrel,
-      const std::map<std::string, std::vector<Surrogate>>& participants) {
-    return store_.CreateSubrel(owner, subrel, participants);
-  }
+      const std::map<std::string, std::vector<Surrogate>>& participants);
   /// CreateSubrel + immediate where-clause check; on violation the freshly
   /// created relationship is removed again and the violation returned.
   /// (Plain CreateSubrel defers the check — the paper's adaptation workflow
-  /// tolerates temporary inconsistency; this is the eager variant.)
+  /// tolerates temporary inconsistency; this is the eager variant.) Logged
+  /// only after the check passes: a rejected member nets out to nothing.
   Result<Surrogate> CreateCheckedSubrel(
       Surrogate owner, const std::string& subrel,
-      const std::map<std::string, std::vector<Surrogate>>& participants) {
-    CADDB_ASSIGN_OR_RETURN(Surrogate member,
-                           store_.CreateSubrel(owner, subrel, participants));
-    Status where = checker_.CheckSubrelMember(owner, subrel, member);
-    if (!where.ok()) {
-      Status cleanup = inheritance_.DeleteObject(member);
-      (void)cleanup;
-      return where;
-    }
-    return member;
-  }
+      const std::map<std::string, std::vector<Surrogate>>& participants);
   Result<Surrogate> Bind(Surrogate inheritor, Surrogate transmitter,
-                         const std::string& inher_rel_type) {
-    return inheritance_.Bind(inheritor, transmitter, inher_rel_type);
-  }
-  Status Unbind(Surrogate inheritor) { return inheritance_.Unbind(inheritor); }
-  Status Set(Surrogate s, const std::string& attr, Value v) {
-    return inheritance_.SetAttribute(s, attr, std::move(v));
-  }
+                         const std::string& inher_rel_type);
+  Status Unbind(Surrogate inheritor);
+  Status Set(Surrogate s, const std::string& attr, Value v);
   Result<Value> Get(Surrogate s, const std::string& attr) const {
     return inheritance_.GetAttribute(s, attr);
   }
@@ -155,9 +177,7 @@ class Database {
     return inheritance_.GetSubclass(s, name);
   }
   Status Delete(Surrogate s, ObjectStore::DeletePolicy policy =
-                                 ObjectStore::DeletePolicy::kRestrict) {
-    return inheritance_.DeleteObject(s, policy);
-  }
+                                 ObjectStore::DeletePolicy::kRestrict);
   /// Parses `text` as a constraint expression and evaluates it anchored at
   /// `s` (handy for top-down version selection and ad-hoc checks).
   Result<bool> Holds(Surrogate s, const std::string& text) const {
@@ -167,6 +187,10 @@ class Database {
   }
 
  private:
+  /// Appends `record` as an auto-committed operation when a wal is
+  /// attached; OK (and free) otherwise.
+  Status LogOp(const wal::Record& record);
+
   Catalog catalog_;
   ObjectStore store_;
   NotificationCenter notifications_;
@@ -181,6 +205,18 @@ class Database {
   WorkspaceManager workspaces_;
   std::vector<std::string> ddl_warnings_;
   bool eager_ddl_validation_ = false;
+
+  // Durability: present only for databases created via Open.
+  std::unique_ptr<wal::Wal> wal_;
+  wal::RecoveryReport recovery_report_;
+
+  // CheckSchema memoization (satellite of the durability work: recovery and
+  // eager DDL validation both call it repeatedly).
+  mutable analysis::DiagnosticBag schema_check_cache_;
+  mutable uint64_t schema_check_epoch_ = 0;
+  mutable bool schema_check_valid_ = false;
+  mutable uint64_t schema_analyses_run_ = 0;
+  mutable uint64_t schema_analyses_skipped_ = 0;
 };
 
 }  // namespace caddb

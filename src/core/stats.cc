@@ -43,6 +43,8 @@ DatabaseStats DatabaseStats::Collect(const Database& db) {
   stats.cache_entries = inheritance.cache_entries();
   stats.schema_cache_hits = db.catalog().schema_cache_hits();
   stats.schema_cache_misses = db.catalog().schema_cache_misses();
+  stats.schema_analyses_run = db.schema_analyses_run();
+  stats.schema_analyses_skipped = db.schema_analyses_skipped();
   stats.classes = store.ClassNames().size();
   stats.object_types = db.catalog().ObjectTypeNames().size();
   stats.rel_types = db.catalog().RelTypeNames().size();
@@ -69,6 +71,9 @@ std::string DatabaseStats::ToString() const {
          std::to_string(cache_invalidations) + " invalidations\n";
   out += "schema cache:     " + std::to_string(schema_cache_hits) +
          " hits, " + std::to_string(schema_cache_misses) + " misses\n";
+  out += "schema analyses:  " + std::to_string(schema_analyses_run) +
+         " run, " + std::to_string(schema_analyses_skipped) +
+         " skipped (epoch unchanged)\n";
   out += "schema:           " + std::to_string(object_types) +
          " object types, " + std::to_string(rel_types) + " rel types, " +
          std::to_string(inher_rel_types) + " inher-rel types, " +

@@ -38,6 +38,12 @@ struct DatabaseStats {
   uint64_t schema_cache_hits = 0;
   uint64_t schema_cache_misses = 0;
 
+  // Analyzer telemetry: eager DDL validation is memoized on the catalog's
+  // schema epoch, so repeated statements against an unchanged schema skip the
+  // full AnalyzeSchema pass.
+  uint64_t schema_analyses_run = 0;
+  uint64_t schema_analyses_skipped = 0;
+
   static DatabaseStats Collect(const Database& db);
 
   /// Multi-line human-readable report.

@@ -11,18 +11,15 @@
 namespace caddb {
 namespace persist {
 
-namespace {
-
-/// Remaps every kRef inside `v` through `mapping`; unknown targets fail.
-Result<Value> RemapRefs(const Value& v,
-                        const std::map<uint64_t, uint64_t>& mapping) {
+Result<Value> RemapValueRefs(const Value& v,
+                             const std::map<uint64_t, uint64_t>& mapping) {
   switch (v.kind()) {
     case Value::Kind::kRef: {
       Surrogate target = v.AsRef();
       if (!target.valid()) return v;
       auto it = mapping.find(target.id);
       if (it == mapping.end()) {
-        return ParseError("dump references unknown surrogate @" +
+        return ParseError("value references unknown surrogate @" +
                           std::to_string(target.id));
       }
       return Value::Ref(Surrogate(it->second));
@@ -30,7 +27,7 @@ Result<Value> RemapRefs(const Value& v,
     case Value::Kind::kRecord: {
       std::vector<Value::Field> fields;
       for (const auto& [name, field] : v.fields()) {
-        CADDB_ASSIGN_OR_RETURN(Value mapped, RemapRefs(field, mapping));
+        CADDB_ASSIGN_OR_RETURN(Value mapped, RemapValueRefs(field, mapping));
         fields.emplace_back(name, std::move(mapped));
       }
       return Value::Record(std::move(fields));
@@ -40,7 +37,7 @@ Result<Value> RemapRefs(const Value& v,
     case Value::Kind::kMatrix: {
       std::vector<Value> elements;
       for (const Value& e : v.elements()) {
-        CADDB_ASSIGN_OR_RETURN(Value mapped, RemapRefs(e, mapping));
+        CADDB_ASSIGN_OR_RETURN(Value mapped, RemapValueRefs(e, mapping));
         elements.push_back(std::move(mapped));
       }
       if (v.kind() == Value::Kind::kList) return Value::List(elements);
@@ -51,8 +48,6 @@ Result<Value> RemapRefs(const Value& v,
       return v;
   }
 }
-
-}  // namespace
 
 Result<std::string> Dumper::Dump(const Database& db) {
   std::string out = "caddb-dump 1\n";
@@ -148,11 +143,18 @@ Result<std::string> Dumper::Dump(const Database& db) {
 }
 
 Status Dumper::Load(const std::string& dump, Database* db) {
+  return Load(dump, db, nullptr);
+}
+
+Status Dumper::Load(const std::string& dump, Database* db,
+                    std::map<uint64_t, uint64_t>* mapping_out) {
   if (db->store().size() != 0) {
     return FailedPrecondition("Load requires an empty database");
   }
   size_t pos = 0;
+  size_t line_no = 0;  // 1-based line of the most recent next_line()
   auto next_line = [&]() -> std::string {
+    ++line_no;
     size_t eol = dump.find('\n', pos);
     std::string line = eol == std::string::npos
                            ? dump.substr(pos)
@@ -160,27 +162,37 @@ Status Dumper::Load(const std::string& dump, Database* db) {
     pos = eol == std::string::npos ? dump.size() : eol + 1;
     return line;
   };
+  auto here = [&](Status status) {
+    return Annotate("dump line " + std::to_string(line_no),
+                    std::move(status));
+  };
 
   if (next_line() != "caddb-dump 1") {
-    return ParseError("not a caddb dump (bad magic line)");
+    return here(ParseError("not a caddb dump (bad magic line)"));
   }
   std::string schema_header = next_line();
   if (!StartsWith(schema_header, "schema ")) {
-    return ParseError("missing schema section");
+    return here(ParseError("missing schema section"));
   }
   size_t schema_size = 0;
   try {
     schema_size = static_cast<size_t>(std::stoull(schema_header.substr(7)));
   } catch (...) {
-    return ParseError("bad schema byte count");
+    return here(ParseError("bad schema byte count"));
   }
   if (pos + schema_size > dump.size()) {
-    return ParseError("truncated schema section");
+    return here(ParseError("truncated schema section"));
   }
   std::string schema = dump.substr(pos, schema_size);
   pos += schema_size;
-  CADDB_RETURN_IF_ERROR(db->ExecuteDdl(schema));
-  CADDB_RETURN_IF_ERROR(db->ValidateSchema());
+  ++line_no;  // errors in the schema body point at its first line
+  CADDB_RETURN_IF_ERROR(here(db->ExecuteDdl(schema)));
+  CADDB_RETURN_IF_ERROR(here(db->ValidateSchema()));
+  // Skip past the schema body so the record lines below report accurately.
+  const size_t schema_lines =
+      static_cast<size_t>(std::count(schema.begin(), schema.end(), '\n')) +
+      ((!schema.empty() && schema.back() != '\n') ? 1 : 0);
+  line_no = 2 + schema_lines;
 
   std::map<uint64_t, uint64_t> mapping;  // old surrogate -> new surrogate
   auto map_id = [&](uint64_t old_id) -> Result<Surrogate> {
@@ -196,6 +208,7 @@ Status Dumper::Load(const std::string& dump, Database* db) {
     uint64_t old_id;
     std::string attr;
     std::string encoded;
+    size_t line;
   };
   std::vector<AttrRecord> attrs;
 
@@ -203,6 +216,9 @@ Status Dumper::Load(const std::string& dump, Database* db) {
     std::string line = next_line();
     if (line.empty()) continue;
     if (line == "end") break;
+    // One record per line; the lambda collects this line's errors so they
+    // can all be stamped with the line number in a single place.
+    Status line_status = [&]() -> Status {
     std::istringstream in(line);
     std::string tag;
     in >> tag;
@@ -334,18 +350,28 @@ Status Dumper::Load(const std::string& dump, Database* db) {
       std::getline(in, rest);
       if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
       record.encoded = rest;
+      record.line = line_no;
       attrs.push_back(std::move(record));
     } else {
       return ParseError("unknown dump record '" + tag + "'");
     }
+    return OkStatus();
+    }();
+    CADDB_RETURN_IF_ERROR(here(std::move(line_status)));
   }
 
   for (const AttrRecord& record : attrs) {
-    CADDB_ASSIGN_OR_RETURN(Surrogate target, map_id(record.old_id));
-    CADDB_ASSIGN_OR_RETURN(Value decoded, DecodeValue(record.encoded));
-    CADDB_ASSIGN_OR_RETURN(Value remapped, RemapRefs(decoded, mapping));
-    CADDB_RETURN_IF_ERROR(db->Set(target, record.attr, std::move(remapped)));
+    line_no = record.line;  // attributes apply after all objects exist
+    Status attr_status = [&]() -> Status {
+      CADDB_ASSIGN_OR_RETURN(Surrogate target, map_id(record.old_id));
+      CADDB_ASSIGN_OR_RETURN(Value decoded, DecodeValue(record.encoded));
+      CADDB_ASSIGN_OR_RETURN(Value remapped,
+                             RemapValueRefs(decoded, mapping));
+      return db->Set(target, record.attr, std::move(remapped));
+    }();
+    CADDB_RETURN_IF_ERROR(here(std::move(attr_status)));
   }
+  if (mapping_out != nullptr) *mapping_out = std::move(mapping);
   return OkStatus();
 }
 

@@ -11,6 +11,7 @@
 #include "persist/value_codec.h"
 #include "query/report.h"
 #include "util/string_util.h"
+#include "wal/wal.h"
 
 namespace caddb {
 namespace shell {
@@ -290,29 +291,50 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     bool schema = true;
     bool store = true;
     bool json = false;
+    bool repair = false;
     for (size_t i = 1; i < tokens.size(); ++i) {
       if (tokens[i] == "schema") {
         store = false;
       } else if (tokens[i] == "store") {
         schema = false;
+      } else if (tokens[i] == "--repair") {
+        repair = true;
       } else if (tokens[i] == "--format=json") {
         json = true;
       } else if (tokens[i] == "--format=text") {
         json = false;
       } else {
-        fail(InvalidArgument("unknown check argument '" + tokens[i] +
-                             "' (expected schema, store, or --format=json)"));
+        fail(InvalidArgument(
+            "unknown check argument '" + tokens[i] +
+            "' (expected schema, store, --repair, or --format=json)"));
         return true;
       }
+    }
+    if (repair && !store) {
+      fail(InvalidArgument("--repair only applies to the store pass"));
+      return true;
     }
     analysis::DiagnosticBag bag;
     if (schema) bag.Merge(db_->CheckSchema());
     if (store) bag.Merge(db_->CheckStore());
     bag.Sort();
+    bool repaired = false;
+    if (repair && bag.HasErrors()) {
+      // Rebuild the secondary indexes from the primary object map and see
+      // whether that cleared the findings.
+      db_->store().RepairIndexes();
+      analysis::DiagnosticBag after;
+      if (schema) after.Merge(db_->CheckSchema());
+      after.Merge(db_->CheckStore());
+      after.Sort();
+      bag = std::move(after);
+      repaired = true;
+    }
     if (json) {
       out << bag.RenderJson() << "\n";
     } else {
       out << bag.RenderText();
+      if (repaired) out << "check: indexes rebuilt (--repair)\n";
       out << "check: " << bag.Summary() << "\n";
     }
     if (bag.HasErrors()) ++error_count_;
@@ -529,6 +551,29 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       Status s = persist::Dumper::Load(buffer.str(), db_);
       s.ok() ? void(out << "ok\n") : fail(s);
     }
+    return true;
+  }
+
+  if (cmd == "wal") {
+    if (tokens.size() < 2 || tokens[1] != "status") {
+      fail(InvalidArgument("use: wal status"));
+      return true;
+    }
+    if (!db_->durable()) {
+      fail(FailedPrecondition(
+          "database is not durable (opened without a log directory)"));
+      return true;
+    }
+    out << "log:        " << db_->wal()->stats().ToString() << "\n";
+    out << "sync:       " << wal::SyncPolicyName(db_->wal()->policy()) << "\n";
+    out << "last lsn:   " << db_->wal()->last_lsn() << "\n";
+    out << "recovery:   " << db_->recovery_report().ToString() << "\n";
+    return true;
+  }
+  if (cmd == "checkpoint") {
+    Status s = db_->Checkpoint();
+    s.ok() ? void(out << "ok (lsn " << db_->wal()->last_lsn() << ")\n")
+           : fail(s);
     return true;
   }
 

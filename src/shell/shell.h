@@ -31,7 +31,9 @@ namespace shell {
 ///   get @<id> <attr>
 ///   members @<id> <subclass>
 ///   delete @<id> [detach]
-///   check [schema|store] [--format=json]   static integrity analysis
+///   check [schema|store] [--repair] [--format=json]   static integrity
+///       analysis; --repair rebuilds the store's secondary indexes from the
+///       primary object map when the store pass finds errors, then re-checks
 ///   check @<id> | check-deep @<id> | check-all | violations
 ///   holds @<id> <expression...>
 ///   expand @<id> [depth]  |  expand-dot @<id> [depth]   (graphviz)
@@ -42,6 +44,8 @@ namespace shell {
 ///   stats
 ///   cache [off|global|fine|on|reset-stats]   resolution-cache mode & stats
 ///   dump <path> | load <path>
+///   wal status            log/recovery telemetry (durable databases only)
+///   checkpoint            snapshot + truncate the log (durable only)
 ///   echo <text...>
 ///   quit
 class Shell {

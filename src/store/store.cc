@@ -693,6 +693,29 @@ std::vector<std::string> ObjectStore::AuditIndexes() const {
   return out;
 }
 
+void ObjectStore::RepairIndexes() {
+  // The membership lists are fully derivable from the primary map; class
+  // registrations keep their declared type, and a class that exists only as
+  // an object's claim is recreated from that object.
+  for (auto& [name, info] : classes_) info.members.clear();
+  extents_.clear();
+  where_used_.clear();
+  for (const auto& [id, obj] : objects_) {  // ascending id = creation order
+    extents_[obj->type_name()].push_back(obj->surrogate());
+    if (!obj->class_name().empty()) {
+      ClassInfo& info = classes_[obj->class_name()];
+      if (info.object_type.empty()) info.object_type = obj->type_name();
+      info.members.push_back(obj->surrogate());
+    }
+    if (obj->kind() != ObjKind::kObject) {
+      for (const auto& [role, members] : obj->participants()) {
+        for (Surrogate m : members) where_used_[m.id].insert(id);
+      }
+    }
+  }
+  ++global_version_;
+}
+
 Status ObjectStore::Delete(Surrogate s, DeletePolicy policy) {
   if (Find(s) == nullptr) {
     return NotFound("no object with surrogate @" + std::to_string(s.id));

@@ -117,6 +117,16 @@ class ObjectStore {
   /// never repairs.
   std::vector<std::string> AuditIndexes() const;
 
+  /// Destructive counterpart of AuditIndexes: rebuilds the class-membership,
+  /// per-type-extent and where-used indexes from the primary object map,
+  /// which is authoritative (every object carries its type, class claim and
+  /// participant links). Classes claimed by an object but missing from the
+  /// registry are recreated with the claiming object's type; stale and
+  /// duplicate index entries are dropped. `check store --repair` and the
+  /// crash-recovery fsck use this as the last resort for CAD101/CAD106
+  /// findings.
+  void RepairIndexes();
+
   /// Monotone counter bumped on every mutation; used as a cheap
   /// whole-store invalidation stamp by resolution caches.
   uint64_t global_version() const { return global_version_; }

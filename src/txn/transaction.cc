@@ -1,5 +1,7 @@
 #include "txn/transaction.h"
 
+#include "wal/wal.h"
+
 namespace caddb {
 
 Result<TxnId> TransactionManager::Begin(const std::string& user) {
@@ -11,13 +13,25 @@ Result<TxnId> TransactionManager::Begin(const std::string& user) {
 }
 
 Status TransactionManager::Commit(TxnId txn) {
+  bool begin_logged = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = txns_.find(txn);
     if (it == txns_.end()) {
       return NotFound("transaction " + std::to_string(txn) + " is not active");
     }
+    begin_logged = it->second.begin_logged;
     txns_.erase(it);
+  }
+  // The commit marker goes to the log *before* the locks fall: any
+  // conflicting write of another transaction can only be logged after it,
+  // so log order stays consistent with the 2PL serialization order.
+  if (wal_ != nullptr && begin_logged) {
+    Status logged = wal_->AppendCommit(wal::Record::Commit(txn));
+    if (!logged.ok()) {
+      locks_->ReleaseAll(txn);
+      return logged;
+    }
   }
   locks_->ReleaseAll(txn);
   return OkStatus();
@@ -42,6 +56,16 @@ Status TransactionManager::Abort(TxnId txn) {
       Status restored =
           manager_->SetAttribute(it->object, it->attr, it->before);
       (void)restored;  // the object may have been deleted meanwhile
+    }
+  }
+  if (wal_ != nullptr && state.begin_logged) {
+    // The restores above are not logged; the abort marker tells recovery to
+    // skip this transaction's records wholesale. No fsync — an abort that
+    // evaporates in a crash aborts again implicitly (no commit marker).
+    Result<uint64_t> logged = wal_->Append(wal::Record::Abort(txn));
+    if (!logged.ok()) {
+      locks_->ReleaseAll(txn);
+      return logged.status();
     }
   }
   locks_->ReleaseAll(txn);
@@ -134,11 +158,31 @@ Status TransactionManager::Write(TxnId txn, Surrogate s,
   std::lock_guard<std::mutex> store_lock(store_mu_);
   Result<Value> before = manager_->store()->GetLocalAttribute(s, attr);
   if (!before.ok()) return before.status();
+  Value logged_value = wal_ != nullptr ? v : Value();
   CADDB_RETURN_IF_ERROR(manager_->SetAttribute(s, attr, std::move(v)));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(txn);
-  if (it != txns_.end()) {
-    it->second.undo.push_back(UndoRecord{s, attr, std::move(*before)});
+  bool need_begin = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txns_.find(txn);
+    if (it != txns_.end()) {
+      it->second.undo.push_back(UndoRecord{s, attr, std::move(*before)});
+      if (wal_ != nullptr && !it->second.begin_logged) {
+        it->second.begin_logged = true;
+        need_begin = true;
+      }
+    }
+  }
+  // Logged while still under store_mu_, so log order matches the physical
+  // mutation order. Durability rides on the later commit marker — no sync
+  // here.
+  if (wal_ != nullptr) {
+    if (need_begin) {
+      CADDB_RETURN_IF_ERROR(wal_->Append(wal::Record::Begin(txn)).status());
+    }
+    CADDB_RETURN_IF_ERROR(
+        wal_->Append(wal::Record::SetAttribute(txn, s.id, attr,
+                                               std::move(logged_value)))
+            .status());
   }
   return OkStatus();
 }

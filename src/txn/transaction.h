@@ -14,6 +14,10 @@
 
 namespace caddb {
 
+namespace wal {
+class Wal;
+}
+
 /// Transactional facade over the inheritance-aware store: strict 2PL with
 /// lock-inheritance (paper section 6), access-control-mediated lock grants,
 /// before-image undo on abort, and expansion locking as a complex operation.
@@ -42,6 +46,18 @@ class TransactionManager {
   /// Rolls back all writes (before-images) and releases locks.
   Status Abort(TxnId txn);
   bool IsActive(TxnId txn) const;
+  size_t ActiveCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return txns_.size();
+  }
+
+  /// Attaches (or with nullptr, detaches) the write-ahead log. While
+  /// attached, every Write appends a redo record bracketed by a lazily
+  /// logged BEGIN and a COMMIT/ABORT marker; the commit marker is the
+  /// transaction's durability point (fsync per the wal's sync policy).
+  /// Undo restores on abort are deliberately NOT logged — recovery simply
+  /// skips every record of an aborted or uncommitted transaction.
+  void set_wal(wal::Wal* wal) { wal_ = wal; }
 
   /// Inheritance-aware read under S-locks: whole-object S-lock on `s`, plus
   /// exported-part S-locks up the transmitter chain when `attr` is
@@ -69,6 +85,9 @@ class TransactionManager {
   struct TxnState {
     std::string user;
     std::vector<UndoRecord> undo;
+    /// BEGIN is logged lazily at the first write, so read-only
+    /// transactions leave no trace in the log.
+    bool begin_logged = false;
   };
 
   /// S-locks the exported parts up the inheritance chain for an inherited
@@ -78,6 +97,7 @@ class TransactionManager {
   InheritanceManager* manager_;
   LockManager* locks_;
   AccessControl* acl_;
+  wal::Wal* wal_ = nullptr;  // not owned; null = non-durable
 
   mutable std::mutex mu_;        // guards txns_ and next id
   mutable std::mutex store_mu_;  // serializes physical store access

@@ -1,5 +1,7 @@
 #include "txn/workspace.h"
 
+#include "wal/wal.h"
+
 namespace caddb {
 
 Result<WorkspaceId> WorkspaceManager::Create(const std::string& user) {
@@ -132,16 +134,40 @@ Status WorkspaceManager::Checkin(WorkspaceId ws) {
                            "transaction (lost update prevented)");
     }
   }
-  // Phase 2: apply dirty attributes and release checkouts.
+  // Phase 2: apply dirty attributes and release checkouts. The writes are
+  // logged as one bracketed group under a pseudo-transaction id, so a crash
+  // mid-checkin replays either the whole batch or none of it.
+  uint64_t group = 0;
+  auto log = [&](wal::Record record) -> Status {
+    if (wal_ == nullptr) return OkStatus();
+    if (group == 0) {
+      group = wal_->AllocateGroupTxn();
+      CADDB_RETURN_IF_ERROR(wal_->Append(wal::Record::Begin(group)).status());
+    }
+    record.txn = group;
+    return wal_->Append(std::move(record)).status();
+  };
+  auto commit_group = [&]() -> Status {
+    if (group == 0) return OkStatus();
+    return wal_->AppendCommit(wal::Record::Commit(group));
+  };
   for (auto& [object_id, state] : it->second.objects) {
     for (auto& [attr, value] : state.dirty) {
-      CADDB_RETURN_IF_ERROR(
-          manager_->SetAttribute(Surrogate(object_id), attr, value));
+      Status applied =
+          manager_->SetAttribute(Surrogate(object_id), attr, value);
+      if (!applied.ok()) {
+        // Seal what was already applied so the log matches the store.
+        CADDB_RETURN_IF_ERROR(commit_group());
+        return applied;
+      }
+      CADDB_RETURN_IF_ERROR(log(
+          wal::Record::SetAttribute(wal::kAutoCommitTxn, object_id, attr,
+                                    value)));
     }
     checkout_owner_.erase(object_id);
   }
   workspaces_.erase(it);
-  return OkStatus();
+  return commit_group();
 }
 
 }  // namespace caddb

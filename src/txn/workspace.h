@@ -11,6 +11,10 @@
 
 namespace caddb {
 
+namespace wal {
+class Wal;
+}
+
 using WorkspaceId = uint64_t;
 
 /// Long design transactions via checkout/checkin (paper section 6 cites
@@ -53,6 +57,13 @@ class WorkspaceManager {
   /// checked-out object changed in the store since checkout.
   Status Checkin(WorkspaceId ws);
 
+  /// Attaches (or with nullptr, detaches) the write-ahead log. Workspace
+  /// state itself is transient by design (like locks, it is not dumped),
+  /// but a checkin mutates the store — those writes are logged as one
+  /// Begin/Commit-bracketed group (pseudo-transaction id from the Wal), so
+  /// recovery replays a checkin all-or-nothing with one durability point.
+  void set_wal(wal::Wal* wal) { wal_ = wal; }
+
  private:
   struct CheckedOutObject {
     uint64_t base_version = 0;                // store version at checkout
@@ -65,6 +76,7 @@ class WorkspaceManager {
   };
 
   InheritanceManager* manager_;
+  wal::Wal* wal_ = nullptr;  // not owned; null = non-durable
   std::map<WorkspaceId, Workspace> workspaces_;
   std::map<uint64_t, WorkspaceId> checkout_owner_;  // object -> workspace
   WorkspaceId next_id_ = 1;

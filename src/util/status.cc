@@ -92,4 +92,9 @@ Status InternalError(std::string msg) {
   return Status(Code::kInternal, std::move(msg));
 }
 
+Status Annotate(const std::string& context, const Status& status) {
+  if (status.ok()) return status;
+  return Status(status.code(), context + ": " + status.message());
+}
+
 }  // namespace caddb

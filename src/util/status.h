@@ -75,6 +75,12 @@ Status ParseError(std::string msg);
 Status Unimplemented(std::string msg);
 Status InternalError(std::string msg);
 
+/// Prefixes the message of a non-OK Status with location/context ("dump line
+/// 17", "wal segment wal-...log record 42"), keeping the code. OK passes
+/// through unchanged. Dump loading and WAL replay use this to attach source
+/// positions to errors raised by deeper layers.
+Status Annotate(const std::string& context, const Status& status);
+
 }  // namespace caddb
 
 /// Propagates a non-OK Status from the evaluated expression.

@@ -5,8 +5,19 @@
 #include <set>
 
 #include "versions/selection.h"
+#include "wal/wal.h"
 
 namespace caddb {
+
+namespace {
+
+/// Appends an auto-committed redo record when a wal is attached.
+Status LogOp(wal::Wal* wal, const wal::Record& record) {
+  if (wal == nullptr) return OkStatus();
+  return wal->AppendCommit(record);
+}
+
+}  // namespace
 
 const char* VersionStateName(VersionState state) {
   switch (state) {
@@ -49,7 +60,8 @@ Status VersionManager::CreateDesignObject(const std::string& name,
                     object_type + "'");
   }
   designs_[name] = DesignObject(name, object_type);
-  return OkStatus();
+  return LogOp(wal_, wal::Record::CreateDesign(wal::kAutoCommitTxn, name,
+                                               object_type));
 }
 
 Result<const DesignObject*> VersionManager::Find(
@@ -101,7 +113,11 @@ Status VersionManager::AddVersion(const std::string& design, Surrogate object,
   info.seq = d->next_seq_++;
   d->versions_.push_back(std::move(info));
   if (!d->default_version_.valid()) d->default_version_ = object;
-  return OkStatus();
+  std::vector<uint64_t> predecessor_ids;
+  for (Surrogate p : predecessors) predecessor_ids.push_back(p.id);
+  return LogOp(wal_,
+               wal::Record::AddVersion(wal::kAutoCommitTxn, design, object.id,
+                                       std::move(predecessor_ids)));
 }
 
 Status VersionManager::SetState(const std::string& design, Surrogate object,
@@ -113,7 +129,9 @@ Status VersionManager::SetState(const std::string& design, Surrogate object,
   for (VersionInfo& v : d->versions_) {
     if (v.object == object) {
       v.state = state;
-      return OkStatus();
+      return LogOp(wal_, wal::Record::SetVersionState(
+                             wal::kAutoCommitTxn, design, object.id,
+                             VersionStateName(state)));
     }
   }
   return NotFound("@" + std::to_string(object.id) +
@@ -131,7 +149,8 @@ Status VersionManager::SetDefaultVersion(const std::string& design,
                     " is not a version of '" + design + "'");
   }
   d->default_version_ = object;
-  return OkStatus();
+  return LogOp(wal_, wal::Record::SetDefaultVersion(wal::kAutoCommitTxn,
+                                                    design, object.id));
 }
 
 Result<Surrogate> VersionManager::DefaultVersion(
@@ -212,6 +231,10 @@ Result<uint64_t> VersionManager::BindGeneric(
   uint64_t id = next_binding_id_++;
   generic_bindings_[id] = GenericBinding{id, inheritor, design,
                                          inher_rel_type, Surrogate::Invalid()};
+  CADDB_RETURN_IF_ERROR(
+      LogOp(wal_, wal::Record::BindGeneric(wal::kAutoCommitTxn, id,
+                                           inheritor.id, design,
+                                           inher_rel_type)));
   return id;
 }
 
@@ -250,13 +273,43 @@ Result<Surrogate> VersionManager::ResolveGeneric(
                          "'");
   }
   if (binding.resolved_version == version) return version;
+  // The physical effects (unbind + bind + resolved marker) go to the log as
+  // one bracketed group under a pseudo-transaction id: a crash mid-rebinding
+  // replays either the whole rebinding or none of it.
+  uint64_t group = 0;
+  auto log = [&](wal::Record record) -> Status {
+    if (wal_ == nullptr) return OkStatus();
+    if (group == 0) {
+      group = wal_->AllocateGroupTxn();
+      CADDB_RETURN_IF_ERROR(wal_->Append(wal::Record::Begin(group)).status());
+    }
+    record.txn = group;
+    return wal_->Append(std::move(record)).status();
+  };
+  auto commit_group = [&]() -> Status {
+    if (group == 0) return OkStatus();
+    return wal_->AppendCommit(wal::Record::Commit(group));
+  };
   if (binding.resolved_version.valid()) {
     CADDB_RETURN_IF_ERROR(manager_->Unbind(binding.inheritor));
+    CADDB_RETURN_IF_ERROR(
+        log(wal::Record::Unbind(wal::kAutoCommitTxn, binding.inheritor.id)));
   }
   Result<Surrogate> rel =
       manager_->Bind(binding.inheritor, version, binding.inher_rel_type);
-  if (!rel.ok()) return rel.status();
+  if (!rel.ok()) {
+    // Seal the already-applied unbind so the log matches the store.
+    CADDB_RETURN_IF_ERROR(commit_group());
+    return rel.status();
+  }
+  CADDB_RETURN_IF_ERROR(
+      log(wal::Record::Bind(wal::kAutoCommitTxn, rel->id,
+                            binding.inheritor.id, version.id,
+                            binding.inher_rel_type)));
   binding.resolved_version = version;
+  CADDB_RETURN_IF_ERROR(
+      log(wal::Record::MarkResolved(wal::kAutoCommitTxn, id, version.id)));
+  CADDB_RETURN_IF_ERROR(commit_group());
   return version;
 }
 
@@ -279,7 +332,8 @@ Status VersionManager::MarkResolved(uint64_t id, Surrogate version) {
         " is not currently bound to @" + std::to_string(version.id));
   }
   binding.resolved_version = version;
-  return OkStatus();
+  return LogOp(wal_, wal::Record::MarkResolved(wal::kAutoCommitTxn, id,
+                                               version.id));
 }
 
 }  // namespace caddb

@@ -11,6 +11,10 @@
 
 namespace caddb {
 
+namespace wal {
+class Wal;
+}
+
 /// Lifecycle state used to classify versions "e.g. according to their degree
 /// of correctness" (paper section 6).
 enum class VersionState {
@@ -132,10 +136,19 @@ class VersionManager {
 
   InheritanceManager* manager() const { return manager_; }
 
+  /// Attaches (or with nullptr, detaches) the write-ahead log. Every
+  /// mutating operation above then appends its redo record as an
+  /// auto-committed operation. ResolveGeneric logs its *physical* effects
+  /// (unbind + bind + resolved marker), not the policy call — replay must
+  /// reproduce the choice that was made, not re-run the policy against a
+  /// possibly different version graph.
+  void set_wal(wal::Wal* wal) { wal_ = wal; }
+
  private:
   DesignObject* FindMutable(const std::string& name);
 
   InheritanceManager* manager_;
+  wal::Wal* wal_ = nullptr;  // not owned; null = non-durable
   std::map<std::string, DesignObject> designs_;
   std::map<uint64_t, GenericBinding> generic_bindings_;
   uint64_t next_binding_id_ = 1;

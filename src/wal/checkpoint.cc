@@ -1,0 +1,136 @@
+#include "wal/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "wal/crc32c.h"
+#include "wal/log_io.h"
+
+namespace caddb {
+namespace wal {
+
+namespace fs = std::filesystem;
+
+std::string CheckpointFileName(uint64_t lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%016llx.db",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+std::vector<CheckpointFileInfo> ListCheckpoints(const std::string& dir) {
+  std::vector<CheckpointFileInfo> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long lsn = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "checkpoint-%16llx.db%n", &lsn,
+                    &consumed) == 1 &&
+        static_cast<size_t>(consumed) == name.size()) {
+      out.push_back({entry.path().string(), static_cast<uint64_t>(lsn)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointFileInfo& a, const CheckpointFileInfo& b) {
+              return a.lsn < b.lsn;
+            });
+  return out;
+}
+
+Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
+                       const std::string& dump) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("cannot create checkpoint directory '" + dir +
+                         "': " + ec.message());
+  }
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                Crc32cMask(Crc32c(dump.data(), dump.size())));
+  std::string contents = "caddb-checkpoint 1 " + std::to_string(lsn) + " " +
+                         std::to_string(dump.size()) + " " + crc_hex + "\n" +
+                         dump;
+  const std::string path = (fs::path(dir) / CheckpointFileName(lsn)).string();
+  CADDB_RETURN_IF_ERROR(AtomicWriteFile(path, contents));
+  // The new checkpoint is durable; older ones are now dead weight.
+  for (const CheckpointFileInfo& info : ListCheckpoints(dir)) {
+    if (info.lsn >= lsn) continue;
+    fs::remove(info.path, ec);
+    if (ec) {
+      return InternalError("cannot remove old checkpoint '" + info.path +
+                           "': " + ec.message());
+    }
+  }
+  return SyncDir(dir);
+}
+
+namespace {
+
+/// Parses + CRC-checks one checkpoint file.
+Result<LoadedCheckpoint> ReadCheckpointFile(const CheckpointFileInfo& info) {
+  CADDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(info.path));
+  size_t eol = contents.find('\n');
+  if (eol == std::string::npos) {
+    return ParseError("checkpoint '" + info.path + "': missing header line");
+  }
+  std::istringstream header(contents.substr(0, eol));
+  std::string magic;
+  int version = 0;
+  uint64_t lsn = 0;
+  size_t body_bytes = 0;
+  std::string crc_hex;
+  header >> magic >> version >> lsn >> body_bytes >> crc_hex;
+  if (magic != "caddb-checkpoint" || version != 1 || header.fail()) {
+    return ParseError("checkpoint '" + info.path + "': bad header");
+  }
+  if (lsn != info.lsn) {
+    return ParseError("checkpoint '" + info.path +
+                      "': header lsn does not match file name");
+  }
+  std::string body = contents.substr(eol + 1);
+  if (body.size() != body_bytes) {
+    return ParseError("checkpoint '" + info.path + "': body is " +
+                      std::to_string(body.size()) + " bytes, header says " +
+                      std::to_string(body_bytes));
+  }
+  uint32_t expected = 0;
+  if (std::sscanf(crc_hex.c_str(), "%8x", &expected) != 1) {
+    return ParseError("checkpoint '" + info.path + "': bad crc field");
+  }
+  uint32_t actual = Crc32cMask(Crc32c(body.data(), body.size()));
+  if (actual != expected) {
+    return ParseError("checkpoint '" + info.path + "': crc mismatch");
+  }
+  LoadedCheckpoint out;
+  out.lsn = lsn;
+  out.dump = std::move(body);
+  out.path = info.path;
+  return out;
+}
+
+}  // namespace
+
+Result<LoadedCheckpoint> ReadNewestCheckpoint(const std::string& dir) {
+  std::vector<CheckpointFileInfo> all = ListCheckpoints(dir);
+  std::string first_error;
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    Result<LoadedCheckpoint> loaded = ReadCheckpointFile(*it);
+    if (loaded.ok()) return loaded;
+    if (first_error.empty()) first_error = loaded.status().message();
+  }
+  if (!all.empty()) {
+    // Every checkpoint on disk is damaged: surface it rather than silently
+    // replaying the whole log against an empty store, which would produce a
+    // plausible-looking but wrong database.
+    return InternalError("no usable checkpoint in '" + dir +
+                         "' (newest failed with: " + first_error + ")");
+  }
+  return LoadedCheckpoint{};  // fresh directory
+}
+
+}  // namespace wal
+}  // namespace caddb

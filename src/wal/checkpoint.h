@@ -1,0 +1,65 @@
+#ifndef CADDB_WAL_CHECKPOINT_H_
+#define CADDB_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace caddb {
+namespace wal {
+
+/// Checkpoint files: a database snapshot (persist::Dumper text) covering
+/// every log record up to and including an lsn, published atomically.
+///
+/// On-disk format:
+///
+///   caddb-checkpoint 1 <lsn> <body-bytes> <crc32c-hex>\n
+///   <Dumper::Dump body>
+///
+/// The CRC is the masked CRC32C of the body, so a checkpoint torn by a
+/// crash during publication is detected and skipped in favour of the
+/// previous one (writes go through a temp file + rename, so a torn final
+/// file should be impossible on POSIX — the CRC is defence in depth
+/// against partial copies and bit rot).
+///
+/// This layer deliberately knows nothing about Database; the engine hands
+/// it dump text (core/database.cc composes Dump + WriteCheckpoint +
+/// Wal::RotateAndTruncate).
+
+/// `checkpoint-<lsn, 16 hex digits>.db`.
+std::string CheckpointFileName(uint64_t lsn);
+
+struct CheckpointFileInfo {
+  std::string path;
+  uint64_t lsn = 0;
+};
+
+/// Checkpoint files of `dir` sorted by covered lsn (ascending). Files with
+/// other names are ignored.
+std::vector<CheckpointFileInfo> ListCheckpoints(const std::string& dir);
+
+/// Atomically publishes a checkpoint covering `lsn` (temp file + fsync +
+/// rename + directory fsync), then deletes every older checkpoint file.
+/// `lsn` may be 0 for a checkpoint of a database with an empty log.
+Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
+                       const std::string& dump);
+
+struct LoadedCheckpoint {
+  /// 0 when no checkpoint exists (recovery replays the log from lsn 1).
+  uint64_t lsn = 0;
+  /// Empty when no checkpoint exists; otherwise a Dumper::Dump text.
+  std::string dump;
+  std::string path;
+};
+
+/// Loads the newest checkpoint whose header parses and whose body matches
+/// its CRC, skipping (but not deleting) invalid ones. A directory with no
+/// usable checkpoint yields {lsn = 0, dump = ""} — not an error.
+Result<LoadedCheckpoint> ReadNewestCheckpoint(const std::string& dir);
+
+}  // namespace wal
+}  // namespace caddb
+
+#endif  // CADDB_WAL_CHECKPOINT_H_

@@ -1,0 +1,49 @@
+#include "wal/crc32c.h"
+
+#include <array>
+
+namespace caddb {
+namespace wal {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+constexpr uint32_t kMaskDelta = 0xA282EAD8u;
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t Crc32cUnmask(uint32_t masked) {
+  uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace wal
+}  // namespace caddb

@@ -1,0 +1,498 @@
+#include "wal/record.h"
+
+#include <sstream>
+
+#include "persist/value_codec.h"
+
+namespace caddb {
+namespace wal {
+
+namespace {
+
+/// Payload tags. Part of the on-disk contract (like the dump format):
+/// append new tags, never reuse or renumber.
+constexpr const char* kTagOf[] = {
+    "begin",  "commit",   "abort",   "ddl",      "class",
+    "create", "sub",      "rel",     "subrel",   "bind",
+    "unbind", "set",      "delete",  "design",   "version",
+    "vstate", "vdefault", "vgeneric", "vresolved",
+};
+
+std::string Ref(uint64_t id) { return "@" + std::to_string(id); }
+
+Result<uint64_t> ParseRef(const std::string& token) {
+  if (token.size() < 2 || token[0] != '@') {
+    return ParseError("expected @<surrogate>, got '" + token + "'");
+  }
+  try {
+    return static_cast<uint64_t>(std::stoull(token.substr(1)));
+  } catch (...) {
+    return ParseError("bad surrogate '" + token + "'");
+  }
+}
+
+Result<uint64_t> ReadRef(std::istringstream& in, const char* what) {
+  std::string token;
+  if (!(in >> token)) {
+    return ParseError(std::string("record is missing the ") + what +
+                      " surrogate");
+  }
+  return ParseRef(token);
+}
+
+Result<std::string> ReadName(std::istringstream& in, const char* what) {
+  std::string token;
+  if (!(in >> token)) {
+    return ParseError(std::string("record is missing the ") + what);
+  }
+  return token;
+}
+
+/// `role <name> @1 @2 ; role ...` — the dump format's participant notation.
+void EncodeParticipants(
+    const std::map<std::string, std::vector<uint64_t>>& participants,
+    std::string* out) {
+  for (const auto& [role, members] : participants) {
+    *out += " role " + role;
+    for (uint64_t m : members) *out += " " + Ref(m);
+    *out += " ;";
+  }
+}
+
+Result<std::map<std::string, std::vector<uint64_t>>> DecodeParticipants(
+    std::istringstream& in) {
+  std::map<std::string, std::vector<uint64_t>> participants;
+  std::string token;
+  while (in >> token) {
+    if (token != "role") {
+      return ParseError("bad participant token '" + token +
+                        "' (expected 'role')");
+    }
+    CADDB_ASSIGN_OR_RETURN(std::string role, ReadName(in, "role name"));
+    std::vector<uint64_t>& members = participants[role];
+    while (in >> token && token != ";") {
+      CADDB_ASSIGN_OR_RETURN(uint64_t m, ParseRef(token));
+      members.push_back(m);
+    }
+  }
+  return participants;
+}
+
+}  // namespace
+
+const char* RecordTypeName(RecordType type) {
+  return kTagOf[static_cast<int>(type)];
+}
+
+Record Record::Begin(uint64_t txn) {
+  Record r;
+  r.type = RecordType::kBegin;
+  r.txn = txn;
+  return r;
+}
+
+Record Record::Commit(uint64_t txn) {
+  Record r;
+  r.type = RecordType::kCommit;
+  r.txn = txn;
+  return r;
+}
+
+Record Record::Abort(uint64_t txn) {
+  Record r;
+  r.type = RecordType::kAbort;
+  r.txn = txn;
+  return r;
+}
+
+Record Record::Ddl(uint64_t txn, std::string source) {
+  Record r;
+  r.type = RecordType::kDdl;
+  r.txn = txn;
+  r.text = std::move(source);
+  return r;
+}
+
+Record Record::CreateClass(uint64_t txn, std::string name, std::string type) {
+  Record r;
+  r.type = RecordType::kCreateClass;
+  r.txn = txn;
+  r.name = std::move(name);
+  r.aux = std::move(type);
+  return r;
+}
+
+Record Record::CreateObject(uint64_t txn, uint64_t created, std::string type,
+                            std::string class_name) {
+  Record r;
+  r.type = RecordType::kCreateObject;
+  r.txn = txn;
+  r.result = created;
+  r.name = std::move(type);
+  r.aux = std::move(class_name);
+  return r;
+}
+
+Record Record::CreateSubobject(uint64_t txn, uint64_t created,
+                               uint64_t parent, std::string subclass) {
+  Record r;
+  r.type = RecordType::kCreateSubobject;
+  r.txn = txn;
+  r.result = created;
+  r.a = parent;
+  r.name = std::move(subclass);
+  return r;
+}
+
+Record Record::CreateRelationship(
+    uint64_t txn, uint64_t created, std::string rel_type,
+    std::map<std::string, std::vector<uint64_t>> participants) {
+  Record r;
+  r.type = RecordType::kCreateRelationship;
+  r.txn = txn;
+  r.result = created;
+  r.name = std::move(rel_type);
+  r.participants = std::move(participants);
+  return r;
+}
+
+Record Record::CreateSubrel(
+    uint64_t txn, uint64_t created, uint64_t owner, std::string subrel,
+    std::map<std::string, std::vector<uint64_t>> participants) {
+  Record r;
+  r.type = RecordType::kCreateSubrel;
+  r.txn = txn;
+  r.result = created;
+  r.a = owner;
+  r.name = std::move(subrel);
+  r.participants = std::move(participants);
+  return r;
+}
+
+Record Record::Bind(uint64_t txn, uint64_t created, uint64_t inheritor,
+                    uint64_t transmitter, std::string rel_type) {
+  Record r;
+  r.type = RecordType::kBind;
+  r.txn = txn;
+  r.result = created;
+  r.a = inheritor;
+  r.b = transmitter;
+  r.name = std::move(rel_type);
+  return r;
+}
+
+Record Record::Unbind(uint64_t txn, uint64_t inheritor) {
+  Record r;
+  r.type = RecordType::kUnbind;
+  r.txn = txn;
+  r.a = inheritor;
+  return r;
+}
+
+Record Record::SetAttribute(uint64_t txn, uint64_t object, std::string attr,
+                            Value value) {
+  Record r;
+  r.type = RecordType::kSetAttribute;
+  r.txn = txn;
+  r.a = object;
+  r.name = std::move(attr);
+  r.value = std::move(value);
+  return r;
+}
+
+Record Record::Delete(uint64_t txn, uint64_t object, bool detach) {
+  Record r;
+  r.type = RecordType::kDelete;
+  r.txn = txn;
+  r.a = object;
+  r.detach = detach;
+  return r;
+}
+
+Record Record::CreateDesign(uint64_t txn, std::string design,
+                            std::string object_type) {
+  Record r;
+  r.type = RecordType::kCreateDesign;
+  r.txn = txn;
+  r.name = std::move(design);
+  r.aux = std::move(object_type);
+  return r;
+}
+
+Record Record::AddVersion(uint64_t txn, std::string design, uint64_t object,
+                          std::vector<uint64_t> predecessors) {
+  Record r;
+  r.type = RecordType::kAddVersion;
+  r.txn = txn;
+  r.name = std::move(design);
+  r.a = object;
+  r.ids = std::move(predecessors);
+  return r;
+}
+
+Record Record::SetVersionState(uint64_t txn, std::string design,
+                               uint64_t object, std::string state) {
+  Record r;
+  r.type = RecordType::kSetVersionState;
+  r.txn = txn;
+  r.name = std::move(design);
+  r.a = object;
+  r.aux = std::move(state);
+  return r;
+}
+
+Record Record::SetDefaultVersion(uint64_t txn, std::string design,
+                                 uint64_t object) {
+  Record r;
+  r.type = RecordType::kSetDefaultVersion;
+  r.txn = txn;
+  r.name = std::move(design);
+  r.a = object;
+  return r;
+}
+
+Record Record::BindGeneric(uint64_t txn, uint64_t binding_id,
+                           uint64_t inheritor, std::string design,
+                           std::string rel_type) {
+  Record r;
+  r.type = RecordType::kBindGeneric;
+  r.txn = txn;
+  r.result = binding_id;
+  r.a = inheritor;
+  r.name = std::move(design);
+  r.aux = std::move(rel_type);
+  return r;
+}
+
+Record Record::MarkResolved(uint64_t txn, uint64_t binding_id,
+                            uint64_t version) {
+  Record r;
+  r.type = RecordType::kMarkResolved;
+  r.txn = txn;
+  r.result = binding_id;
+  r.a = version;
+  return r;
+}
+
+std::string Record::Encode() const {
+  std::string out = std::string(RecordTypeName(type)) + " " +
+                    std::to_string(txn);
+  switch (type) {
+    case RecordType::kBegin:
+    case RecordType::kCommit:
+    case RecordType::kAbort:
+      break;
+    case RecordType::kDdl:
+      out += " \"" + persist::EscapeString(text) + "\"";
+      break;
+    case RecordType::kCreateClass:
+    case RecordType::kCreateDesign:
+      out += " " + name + " " + aux;
+      break;
+    case RecordType::kCreateObject:
+      out += " " + Ref(result) + " " + name;
+      if (!aux.empty()) out += " C " + aux;
+      break;
+    case RecordType::kCreateSubobject:
+      out += " " + Ref(result) + " " + Ref(a) + " " + name;
+      break;
+    case RecordType::kCreateRelationship:
+      out += " " + Ref(result) + " " + name;
+      EncodeParticipants(participants, &out);
+      break;
+    case RecordType::kCreateSubrel:
+      out += " " + Ref(result) + " " + Ref(a) + " " + name;
+      EncodeParticipants(participants, &out);
+      break;
+    case RecordType::kBind:
+      out += " " + Ref(result) + " " + Ref(a) + " " + Ref(b) + " " + name;
+      break;
+    case RecordType::kUnbind:
+      out += " " + Ref(a);
+      break;
+    case RecordType::kSetAttribute:
+      // The encoded value is the last field: it may contain spaces inside
+      // quoted strings, so decoding reads to end of payload.
+      out += " " + Ref(a) + " " + name + " " + persist::EncodeValue(value);
+      break;
+    case RecordType::kDelete:
+      out += " " + Ref(a) + (detach ? " detach" : " restrict");
+      break;
+    case RecordType::kAddVersion:
+      out += " " + name + " " + Ref(a);
+      for (uint64_t p : ids) out += " " + Ref(p);
+      break;
+    case RecordType::kSetVersionState:
+      out += " " + name + " " + Ref(a) + " " + aux;
+      break;
+    case RecordType::kSetDefaultVersion:
+      out += " " + name + " " + Ref(a);
+      break;
+    case RecordType::kBindGeneric:
+      out += " " + std::to_string(result) + " " + Ref(a) + " " + name + " " +
+             aux;
+      break;
+    case RecordType::kMarkResolved:
+      out += " " + std::to_string(result) + " " + Ref(a);
+      break;
+  }
+  return out;
+}
+
+Result<Record> Record::Decode(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag)) return ParseError("empty log record payload");
+
+  Record r;
+  bool known = false;
+  for (int i = 0; i <= static_cast<int>(RecordType::kMarkResolved); ++i) {
+    if (tag == kTagOf[i]) {
+      r.type = static_cast<RecordType>(i);
+      known = true;
+      break;
+    }
+  }
+  if (!known) return ParseError("unknown log record tag '" + tag + "'");
+  if (!(in >> r.txn)) {
+    return ParseError("log record '" + tag + "' is missing the txn id");
+  }
+
+  switch (r.type) {
+    case RecordType::kBegin:
+    case RecordType::kCommit:
+    case RecordType::kAbort:
+      break;
+    case RecordType::kDdl: {
+      std::string rest;
+      std::getline(in, rest);
+      size_t open = rest.find('"');
+      size_t close = rest.rfind('"');
+      if (open == std::string::npos || close <= open) {
+        return ParseError("ddl record has no quoted source text");
+      }
+      CADDB_ASSIGN_OR_RETURN(
+          r.text,
+          persist::UnescapeString(rest.substr(open + 1, close - open - 1)));
+      break;
+    }
+    case RecordType::kCreateClass:
+    case RecordType::kCreateDesign: {
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "name"));
+      CADDB_ASSIGN_OR_RETURN(r.aux, ReadName(in, "object type"));
+      break;
+    }
+    case RecordType::kCreateObject: {
+      CADDB_ASSIGN_OR_RETURN(r.result, ReadRef(in, "created"));
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "object type"));
+      std::string marker;
+      if (in >> marker) {
+        if (marker != "C") {
+          return ParseError("bad create marker '" + marker + "'");
+        }
+        CADDB_ASSIGN_OR_RETURN(r.aux, ReadName(in, "class name"));
+      }
+      break;
+    }
+    case RecordType::kCreateSubobject: {
+      CADDB_ASSIGN_OR_RETURN(r.result, ReadRef(in, "created"));
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "parent"));
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "subclass"));
+      break;
+    }
+    case RecordType::kCreateRelationship: {
+      CADDB_ASSIGN_OR_RETURN(r.result, ReadRef(in, "created"));
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "rel type"));
+      CADDB_ASSIGN_OR_RETURN(r.participants, DecodeParticipants(in));
+      break;
+    }
+    case RecordType::kCreateSubrel: {
+      CADDB_ASSIGN_OR_RETURN(r.result, ReadRef(in, "created"));
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "owner"));
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "subrel"));
+      CADDB_ASSIGN_OR_RETURN(r.participants, DecodeParticipants(in));
+      break;
+    }
+    case RecordType::kBind: {
+      CADDB_ASSIGN_OR_RETURN(r.result, ReadRef(in, "created"));
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "inheritor"));
+      CADDB_ASSIGN_OR_RETURN(r.b, ReadRef(in, "transmitter"));
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "inher-rel type"));
+      break;
+    }
+    case RecordType::kUnbind: {
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "inheritor"));
+      break;
+    }
+    case RecordType::kSetAttribute: {
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "object"));
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "attribute"));
+      std::string rest;
+      std::getline(in, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      CADDB_ASSIGN_OR_RETURN(r.value, persist::DecodeValue(rest));
+      break;
+    }
+    case RecordType::kDelete: {
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "object"));
+      CADDB_ASSIGN_OR_RETURN(std::string policy, ReadName(in, "policy"));
+      if (policy == "detach") {
+        r.detach = true;
+      } else if (policy == "restrict") {
+        r.detach = false;
+      } else {
+        return ParseError("bad delete policy '" + policy + "'");
+      }
+      break;
+    }
+    case RecordType::kAddVersion: {
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "design"));
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "version object"));
+      std::string token;
+      while (in >> token) {
+        CADDB_ASSIGN_OR_RETURN(uint64_t p, ParseRef(token));
+        r.ids.push_back(p);
+      }
+      break;
+    }
+    case RecordType::kSetVersionState: {
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "design"));
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "version object"));
+      CADDB_ASSIGN_OR_RETURN(r.aux, ReadName(in, "state"));
+      break;
+    }
+    case RecordType::kSetDefaultVersion: {
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "design"));
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "version object"));
+      break;
+    }
+    case RecordType::kBindGeneric: {
+      if (!(in >> r.result)) {
+        return ParseError("vgeneric record is missing the binding id");
+      }
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "inheritor"));
+      CADDB_ASSIGN_OR_RETURN(r.name, ReadName(in, "design"));
+      CADDB_ASSIGN_OR_RETURN(r.aux, ReadName(in, "inher-rel type"));
+      break;
+    }
+    case RecordType::kMarkResolved: {
+      if (!(in >> r.result)) {
+        return ParseError("vresolved record is missing the binding id");
+      }
+      CADDB_ASSIGN_OR_RETURN(r.a, ReadRef(in, "version"));
+      break;
+    }
+  }
+  return r;
+}
+
+bool Record::operator==(const Record& other) const {
+  return type == other.type && txn == other.txn && result == other.result &&
+         a == other.a && b == other.b && name == other.name &&
+         aux == other.aux && text == other.text && value == other.value &&
+         ids == other.ids && participants == other.participants &&
+         detach == other.detach;
+}
+
+}  // namespace wal
+}  // namespace caddb

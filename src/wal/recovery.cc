@@ -1,0 +1,295 @@
+#include "wal/recovery.h"
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/database.h"
+#include "persist/dump.h"
+#include "wal/checkpoint.h"
+#include "wal/log_io.h"
+#include "wal/record.h"
+
+namespace caddb {
+namespace wal {
+
+namespace fs = std::filesystem;
+
+std::string RecoveryReport::ToString() const {
+  std::string out;
+  out += "checkpoint:    ";
+  out += checkpoint_path.empty()
+             ? "none"
+             : checkpoint_path + " (lsn " + std::to_string(checkpoint_lsn) +
+                   ")";
+  out += "\n";
+  out += "log:           " + std::to_string(records_scanned) +
+         " record(s) over " + std::to_string(segments_scanned) +
+         " segment(s), trustworthy through lsn " + std::to_string(last_lsn) +
+         "\n";
+  out += "replayed:      " + std::to_string(records_applied) +
+         " operation(s), " + std::to_string(txns_committed) +
+         " transaction(s) committed, " + std::to_string(txns_discarded) +
+         " discarded\n";
+  if (!tail_error.empty()) {
+    out += "torn tail:     " + tail_error + "\n";
+  }
+  if (fsck_ran) {
+    out += std::string("fsck:          clean") +
+           (repaired ? " (after index repair)" : "") + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// One decoded, committed-or-pending log record plus where it came from
+/// (for error messages).
+struct ScannedRecord {
+  uint64_t lsn = 0;
+  Record record;
+  std::string where;  // "wal-....log lsn N"
+};
+
+/// Applies one already-committed record to `db`, translating the writing
+/// process's surrogates through `mapping` (old id -> new id) and generic
+/// binding ids through `binding_mapping`.
+Status ApplyRecord(const Record& r, Database* db,
+                   std::map<uint64_t, uint64_t>* mapping,
+                   std::map<uint64_t, uint64_t>* binding_mapping) {
+  auto map_id = [&](uint64_t old_id) -> Result<Surrogate> {
+    auto it = mapping->find(old_id);
+    if (it == mapping->end()) {
+      return ParseError("log references unknown surrogate @" +
+                        std::to_string(old_id));
+    }
+    return Surrogate(it->second);
+  };
+  auto map_participants = [&](const std::map<
+      std::string, std::vector<uint64_t>>& participants)
+      -> Result<std::map<std::string, std::vector<Surrogate>>> {
+    std::map<std::string, std::vector<Surrogate>> out;
+    for (const auto& [role, members] : participants) {
+      std::vector<Surrogate>& mapped = out[role];
+      for (uint64_t m : members) {
+        CADDB_ASSIGN_OR_RETURN(Surrogate s, map_id(m));
+        mapped.push_back(s);
+      }
+    }
+    return out;
+  };
+
+  switch (r.type) {
+    case RecordType::kBegin:
+    case RecordType::kCommit:
+    case RecordType::kAbort:
+      return OkStatus();  // markers carry no state
+    case RecordType::kDdl:
+      return db->ExecuteDdl(r.text);
+    case RecordType::kCreateClass:
+      return db->CreateClass(r.name, r.aux);
+    case RecordType::kCreateObject: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate created,
+                             db->CreateObject(r.name, r.aux));
+      (*mapping)[r.result] = created.id;
+      return OkStatus();
+    }
+    case RecordType::kCreateSubobject: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate parent, map_id(r.a));
+      CADDB_ASSIGN_OR_RETURN(Surrogate created,
+                             db->CreateSubobject(parent, r.name));
+      (*mapping)[r.result] = created.id;
+      return OkStatus();
+    }
+    case RecordType::kCreateRelationship: {
+      CADDB_ASSIGN_OR_RETURN(auto participants,
+                             map_participants(r.participants));
+      CADDB_ASSIGN_OR_RETURN(Surrogate created,
+                             db->CreateRelationship(r.name, participants));
+      (*mapping)[r.result] = created.id;
+      return OkStatus();
+    }
+    case RecordType::kCreateSubrel: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate owner, map_id(r.a));
+      CADDB_ASSIGN_OR_RETURN(auto participants,
+                             map_participants(r.participants));
+      CADDB_ASSIGN_OR_RETURN(Surrogate created,
+                             db->CreateSubrel(owner, r.name, participants));
+      (*mapping)[r.result] = created.id;
+      return OkStatus();
+    }
+    case RecordType::kBind: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate inheritor, map_id(r.a));
+      CADDB_ASSIGN_OR_RETURN(Surrogate transmitter, map_id(r.b));
+      CADDB_ASSIGN_OR_RETURN(Surrogate created,
+                             db->Bind(inheritor, transmitter, r.name));
+      (*mapping)[r.result] = created.id;
+      return OkStatus();
+    }
+    case RecordType::kUnbind: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate inheritor, map_id(r.a));
+      return db->Unbind(inheritor);
+    }
+    case RecordType::kSetAttribute: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate object, map_id(r.a));
+      CADDB_ASSIGN_OR_RETURN(Value remapped,
+                             persist::RemapValueRefs(r.value, *mapping));
+      return db->Set(object, r.name, std::move(remapped));
+    }
+    case RecordType::kDelete: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate object, map_id(r.a));
+      return db->Delete(object,
+                        r.detach ? ObjectStore::DeletePolicy::kDetachInheritors
+                                 : ObjectStore::DeletePolicy::kRestrict);
+    }
+    case RecordType::kCreateDesign:
+      return db->versions().CreateDesignObject(r.name, r.aux);
+    case RecordType::kAddVersion: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate object, map_id(r.a));
+      std::vector<Surrogate> predecessors;
+      for (uint64_t p : r.ids) {
+        CADDB_ASSIGN_OR_RETURN(Surrogate mapped, map_id(p));
+        predecessors.push_back(mapped);
+      }
+      return db->versions().AddVersion(r.name, object, predecessors);
+    }
+    case RecordType::kSetVersionState: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate object, map_id(r.a));
+      CADDB_ASSIGN_OR_RETURN(VersionState state,
+                             VersionStateFromName(r.aux));
+      return db->versions().SetState(r.name, object, state);
+    }
+    case RecordType::kSetDefaultVersion: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate object, map_id(r.a));
+      return db->versions().SetDefaultVersion(r.name, object);
+    }
+    case RecordType::kBindGeneric: {
+      CADDB_ASSIGN_OR_RETURN(Surrogate inheritor, map_id(r.a));
+      CADDB_ASSIGN_OR_RETURN(
+          uint64_t binding,
+          db->versions().BindGeneric(inheritor, r.name, r.aux));
+      (*binding_mapping)[r.result] = binding;
+      return OkStatus();
+    }
+    case RecordType::kMarkResolved: {
+      auto it = binding_mapping->find(r.result);
+      if (it == binding_mapping->end()) {
+        return ParseError("log references unknown generic binding #" +
+                          std::to_string(r.result));
+      }
+      CADDB_ASSIGN_OR_RETURN(Surrogate version, map_id(r.a));
+      return db->versions().MarkResolved(it->second, version);
+    }
+  }
+  return InternalError("unhandled record type");
+}
+
+}  // namespace
+
+Result<RecoveryReport> Recover(const std::string& dir, Database* db,
+                               const DurabilityOptions& options) {
+  if (db->store().size() != 0 || !db->catalog().ObjectTypeNames().empty()) {
+    return FailedPrecondition("Recover requires an empty database");
+  }
+  RecoveryReport report;
+
+  // 1. Snapshot: newest checkpoint whose CRC matches.
+  CADDB_ASSIGN_OR_RETURN(LoadedCheckpoint checkpoint,
+                         ReadNewestCheckpoint(dir));
+  std::map<uint64_t, uint64_t> mapping;  // writer's surrogate -> ours
+  if (!checkpoint.dump.empty()) {
+    CADDB_RETURN_IF_ERROR(Annotate(
+        "checkpoint '" + checkpoint.path + "'",
+        persist::Dumper::Load(checkpoint.dump, db, &mapping)));
+  }
+  report.checkpoint_lsn = checkpoint.lsn;
+  report.checkpoint_path = checkpoint.path;
+  report.last_lsn = checkpoint.lsn;
+
+  // 2. Scan: every valid frame past the checkpoint, in lsn order, stopping
+  // at the first torn or corrupt frame. Segments after a torn one are
+  // unreachable noise (rotation only happens at checkpoints) and ignored.
+  std::vector<ScannedRecord> records;
+  uint64_t prev_lsn = 0;
+  for (const SegmentFileInfo& segment : ListSegments(dir)) {
+    CADDB_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(segment.path));
+    SegmentContents contents = DecodeFrames(bytes);
+    ++report.segments_scanned;
+    const std::string segment_name = fs::path(segment.path).filename().string();
+    for (const Frame& frame : contents.frames) {
+      ++report.records_scanned;
+      if (prev_lsn != 0 && frame.lsn <= prev_lsn) {
+        return InternalError("wal " + segment_name +
+                             ": lsn went backwards (" +
+                             std::to_string(frame.lsn) + " after " +
+                             std::to_string(prev_lsn) + ")");
+      }
+      prev_lsn = frame.lsn;
+      if (frame.lsn <= checkpoint.lsn) continue;  // covered by the snapshot
+      const std::string where =
+          "wal " + segment_name + " lsn " + std::to_string(frame.lsn);
+      // A frame whose CRC matched but whose payload does not decode is not
+      // a crash artifact — fail loudly instead of silently dropping data.
+      Result<Record> record = Record::Decode(frame.payload);
+      CADDB_RETURN_IF_ERROR(Annotate(where, record.status()));
+      report.last_lsn = frame.lsn;
+      records.push_back({frame.lsn, std::move(*record), where});
+    }
+    if (!contents.tail_error.empty()) {
+      report.tail_error = segment_name + ": " + contents.tail_error;
+      break;
+    }
+  }
+
+  // 3. Commit analysis: a transaction's records count only if its commit
+  // marker made it into the trustworthy prefix. Auto-committed records
+  // (txn 0) are their own commit point.
+  std::set<uint64_t> seen_txns, committed;
+  for (const ScannedRecord& scanned : records) {
+    if (scanned.record.txn != kAutoCommitTxn) {
+      seen_txns.insert(scanned.record.txn);
+    }
+    if (scanned.record.type == RecordType::kCommit &&
+        scanned.record.txn != kAutoCommitTxn) {
+      committed.insert(scanned.record.txn);
+    }
+  }
+  report.txns_committed = committed.size();
+  report.txns_discarded = seen_txns.size() - committed.size();
+
+  // 4. Redo: committed records in original lsn order, through the public
+  // API, with surrogate translation.
+  std::map<uint64_t, uint64_t> binding_mapping;
+  for (const ScannedRecord& scanned : records) {
+    const Record& r = scanned.record;
+    if (r.txn != kAutoCommitTxn && committed.count(r.txn) == 0) continue;
+    if (r.type == RecordType::kBegin || r.type == RecordType::kCommit ||
+        r.type == RecordType::kAbort) {
+      continue;
+    }
+    CADDB_RETURN_IF_ERROR(
+        Annotate(scanned.where,
+                 ApplyRecord(r, db, &mapping, &binding_mapping)));
+    ++report.records_applied;
+  }
+
+  // 5. fsck: the replayed store must pass the static integrity analysis.
+  if (options.fsck_on_open) {
+    report.fsck_ran = true;
+    analysis::DiagnosticBag findings = db->CheckStore();
+    if (findings.HasErrors() && options.repair_on_fsck) {
+      db->store().RepairIndexes();
+      report.repaired = true;
+      findings = db->CheckStore();
+    }
+    if (findings.HasErrors()) {
+      return InternalError("post-recovery fsck failed: " +
+                           findings.Summary());
+    }
+  }
+  return report;
+}
+
+}  // namespace wal
+}  // namespace caddb

@@ -1,0 +1,66 @@
+#ifndef CADDB_WAL_RECOVERY_H_
+#define CADDB_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "wal/wal.h"
+
+namespace caddb {
+
+class Database;
+
+namespace wal {
+
+/// Durability knobs for Database::Open.
+struct DurabilityOptions {
+  /// Sync policy and fault-injection hooks for the log opened after
+  /// recovery.
+  WalOptions wal;
+  /// Run the store-integrity analysis (Database::CheckStore) at the end of
+  /// recovery, so a replay that produced an inconsistent store fails Open
+  /// instead of handing out a corrupt database.
+  bool fsck_on_open = true;
+  /// If that fsck reports errors, rebuild the secondary indexes
+  /// (ObjectStore::RepairIndexes) and re-run it once before giving up.
+  bool repair_on_fsck = true;
+};
+
+/// What one recovery pass found and did. Surfaced by `wal status` and the
+/// crash-matrix tests.
+struct RecoveryReport {
+  uint64_t checkpoint_lsn = 0;   // 0 = no checkpoint, replay from lsn 1
+  std::string checkpoint_path;
+  uint64_t segments_scanned = 0;
+  uint64_t records_scanned = 0;  // valid frames seen (incl. pre-checkpoint)
+  uint64_t records_applied = 0;  // operations re-executed
+  uint64_t txns_committed = 0;   // explicit transactions replayed
+  uint64_t txns_discarded = 0;   // uncommitted or aborted transactions
+  /// Last lsn of the trustworthy log prefix (checkpoint lsn when the log
+  /// holds nothing newer). The reopened Wal continues at last_lsn + 1.
+  uint64_t last_lsn = 0;
+  /// Empty when every segment ended exactly on a frame boundary; otherwise
+  /// a description of the torn/corrupt tail that ended replay.
+  std::string tail_error;
+  bool fsck_ran = false;
+  bool repaired = false;
+
+  std::string ToString() const;
+};
+
+/// Rebuilds `db` (which must be empty) from the durability directory `dir`:
+/// loads the newest valid checkpoint, then replays every committed
+/// transaction and auto-committed operation from the log segments in lsn
+/// order, stopping at the first torn or corrupt frame. Replay goes through
+/// the public Database API, so every schema/domain/binding/cycle invariant
+/// is re-validated; surrogates are re-assigned and remapped exactly like a
+/// dump load. Does not open a Wal — Database::Open does that afterwards,
+/// always into a fresh segment.
+Result<RecoveryReport> Recover(const std::string& dir, Database* db,
+                               const DurabilityOptions& options);
+
+}  // namespace wal
+}  // namespace caddb
+
+#endif  // CADDB_WAL_RECOVERY_H_

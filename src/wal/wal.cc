@@ -1,0 +1,231 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace caddb {
+namespace wal {
+
+namespace fs = std::filesystem;
+
+const char* SyncPolicyName(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kAlways:
+      return "always";
+    case SyncPolicy::kBatch:
+      return "batch";
+    case SyncPolicy::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+Result<SyncPolicy> SyncPolicyFromName(const std::string& name) {
+  if (name == "always") return SyncPolicy::kAlways;
+  if (name == "batch") return SyncPolicy::kBatch;
+  if (name == "none") return SyncPolicy::kNone;
+  return InvalidArgument("unknown sync policy '" + name +
+                         "' (expected always, batch, or none)");
+}
+
+std::string WalStats::ToString() const {
+  std::string out;
+  out += "wal dir:       " + dir + "\n";
+  out += "sync policy:   " + std::string(SyncPolicyName(policy)) + "\n";
+  out += "last lsn:      " + std::to_string(last_lsn) + " (synced through " +
+         std::to_string(synced_lsn) + ")\n";
+  out += "live segment:  " + SegmentFileName(segment_start_lsn) + "\n";
+  out += "records:       " + std::to_string(records_appended) + " appended, " +
+         std::to_string(commits) + " commit points, " +
+         std::to_string(bytes_appended) + " bytes\n";
+  out += "fsyncs:        " + std::to_string(fsyncs) + " over " +
+         std::to_string(segments_created) + " segment(s)\n";
+  return out;
+}
+
+std::string SegmentFileName(uint64_t start_lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016llx.log",
+                static_cast<unsigned long long>(start_lsn));
+  return buf;
+}
+
+std::vector<SegmentFileInfo> ListSegments(const std::string& dir) {
+  std::vector<SegmentFileInfo> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long start = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "wal-%16llx.log%n", &start, &consumed) ==
+            1 &&
+        static_cast<size_t>(consumed) == name.size()) {
+      out.push_back({entry.path().string(), static_cast<uint64_t>(start)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentFileInfo& a, const SegmentFileInfo& b) {
+              return a.start_lsn < b.start_lsn;
+            });
+  return out;
+}
+
+Wal::Wal(std::string dir, WalOptions options, uint64_t next_lsn)
+    : dir_(std::move(dir)), options_(std::move(options)), next_lsn_(next_lsn) {
+  synced_lsn_ = next_lsn_ - 1;
+}
+
+Wal::~Wal() {
+  // Destruction without Close is the crash path: drop the file unsynced.
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
+                                       const WalOptions& options,
+                                       uint64_t next_lsn) {
+  if (next_lsn == 0) return InvalidArgument("lsn 0 is reserved (pre-log)");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("cannot create wal directory '" + dir +
+                         "': " + ec.message());
+  }
+  std::unique_ptr<Wal> wal(new Wal(dir, options, next_lsn));
+  std::lock_guard<std::mutex> lock(wal->mu_);
+  CADDB_RETURN_IF_ERROR(wal->OpenSegmentLocked(next_lsn));
+  return wal;
+}
+
+Status Wal::OpenSegmentLocked(uint64_t start_lsn) {
+  const std::string path =
+      (fs::path(dir_) / SegmentFileName(start_lsn)).string();
+  Result<std::unique_ptr<WritableFile>> file =
+      options_.file_factory ? options_.file_factory(path)
+                            : OpenWritableFile(path);
+  if (!file.ok()) return file.status();
+  file_ = std::move(*file);
+  segment_start_lsn_ = start_lsn;
+  ++stats_.segments_created;
+  // Make the (empty) segment's directory entry durable so recovery sees a
+  // clean new segment rather than nothing.
+  return SyncDir(dir_);
+}
+
+Status Wal::AppendLocked(const Record& record, uint64_t* lsn_out) {
+  if (closed_) return FailedPrecondition("wal is closed");
+  uint64_t lsn = next_lsn_++;
+  std::string frame = EncodeFrame(lsn, record.Encode());
+  CADDB_RETURN_IF_ERROR(file_->Append(frame));
+  ++stats_.records_appended;
+  stats_.bytes_appended += frame.size();
+  stats_.last_lsn = lsn;
+  if (lsn_out != nullptr) *lsn_out = lsn;
+  return OkStatus();
+}
+
+Status Wal::SyncLocked() {
+  if (closed_) return FailedPrecondition("wal is closed");
+  if (synced_lsn_ == next_lsn_ - 1) {
+    unsynced_commits_ = 0;
+    return OkStatus();  // nothing new since the last fsync
+  }
+  CADDB_RETURN_IF_ERROR(file_->Sync());
+  synced_lsn_ = next_lsn_ - 1;
+  stats_.synced_lsn = synced_lsn_;
+  unsynced_commits_ = 0;
+  ++stats_.fsyncs;
+  return OkStatus();
+}
+
+Result<uint64_t> Wal::Append(const Record& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t lsn = 0;
+  CADDB_RETURN_IF_ERROR(AppendLocked(record, &lsn));
+  return lsn;
+}
+
+Status Wal::AppendCommit(const Record& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CADDB_RETURN_IF_ERROR(AppendLocked(record, nullptr));
+  ++stats_.commits;
+  switch (options_.sync) {
+    case SyncPolicy::kAlways:
+      return SyncLocked();
+    case SyncPolicy::kBatch: {
+      if (unsynced_commits_ == 0) {
+        oldest_unsynced_commit_ = std::chrono::steady_clock::now();
+      }
+      ++unsynced_commits_;
+      bool full = unsynced_commits_ >= options_.batch_commits;
+      bool overdue =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - oldest_unsynced_commit_)
+              .count() >= static_cast<int64_t>(options_.batch_interval_us);
+      if (full || overdue) return SyncLocked();
+      return OkStatus();
+    }
+    case SyncPolicy::kNone:
+      return OkStatus();
+  }
+  return OkStatus();
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+Status Wal::RotateAndTruncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CADDB_RETURN_IF_ERROR(SyncLocked());
+  CADDB_RETURN_IF_ERROR(file_->Close());
+  uint64_t old_start = segment_start_lsn_;
+  CADDB_RETURN_IF_ERROR(OpenSegmentLocked(next_lsn_));
+  // Rotation happens only here, so every older segment is entirely covered
+  // by the checkpoint the caller just published — safe to delete.
+  for (const SegmentFileInfo& segment : ListSegments(dir_)) {
+    if (segment.start_lsn > old_start ||
+        segment.start_lsn == segment_start_lsn_) {
+      continue;
+    }
+    std::error_code ec;
+    fs::remove(segment.path, ec);
+    if (ec) {
+      return InternalError("cannot remove old segment '" + segment.path +
+                           "': " + ec.message());
+    }
+  }
+  return SyncDir(dir_);
+}
+
+Status Wal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return OkStatus();
+  CADDB_RETURN_IF_ERROR(SyncLocked());
+  closed_ = true;
+  return file_->Close();
+}
+
+uint64_t Wal::AllocateGroupTxn() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_group_txn_++;
+}
+
+uint64_t Wal::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_ - 1;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats out = stats_;
+  out.dir = dir_;
+  out.policy = options_.sync;
+  out.segment_start_lsn = segment_start_lsn_;
+  out.synced_lsn = synced_lsn_;
+  out.last_lsn = next_lsn_ - 1;
+  return out;
+}
+
+}  // namespace wal
+}  // namespace caddb

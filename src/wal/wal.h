@@ -1,0 +1,160 @@
+#ifndef CADDB_WAL_WAL_H_
+#define CADDB_WAL_WAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "wal/log_io.h"
+#include "wal/record.h"
+
+namespace caddb {
+namespace wal {
+
+/// When a commit becomes durable (fsync policy).
+enum class SyncPolicy {
+  /// fsync before every commit acknowledgement: a committed transaction is
+  /// durable the moment Commit returns.
+  kAlways,
+  /// Group commit: commits are acknowledged after the buffered write; the
+  /// log is fsynced once per `batch_commits` commits or once the oldest
+  /// unsynced commit is `batch_interval_us` old, whichever comes first.
+  /// On a crash the un-fsynced suffix — at most one batch — may be lost,
+  /// but recovery always lands on a committed-prefix state: batches end on
+  /// record boundaries and replay discards torn tails and uncommitted
+  /// transactions. Atomicity and prefix consistency are identical to
+  /// kAlways; only the ack-to-durable window differs.
+  kBatch,
+  /// Never fsync (except on rotate/close/checkpoint). Durability only up to
+  /// the last checkpoint; for bulk loads and benchmark baselines.
+  kNone,
+};
+
+const char* SyncPolicyName(SyncPolicy policy);
+Result<SyncPolicy> SyncPolicyFromName(const std::string& name);
+
+struct WalOptions {
+  SyncPolicy sync = SyncPolicy::kAlways;
+  /// kBatch: fsync after this many unsynced commits...
+  size_t batch_commits = 32;
+  /// ...or once the oldest unsynced commit is this old.
+  uint64_t batch_interval_us = 1000;
+  /// How segment files are opened — tests swap in FailpointFactory to
+  /// simulate crashes at arbitrary byte offsets. Null means real files.
+  FileFactory file_factory;
+};
+
+/// Point-in-time counters for `wal status` and the benchmarks.
+struct WalStats {
+  std::string dir;
+  SyncPolicy policy = SyncPolicy::kAlways;
+  uint64_t last_lsn = 0;          // last appended record
+  uint64_t synced_lsn = 0;        // last record guaranteed on disk
+  uint64_t segment_start_lsn = 0; // first lsn of the live segment
+  uint64_t records_appended = 0;
+  uint64_t commits = 0;           // commit points (txn commits + auto-commits)
+  uint64_t fsyncs = 0;
+  uint64_t segments_created = 0;
+  uint64_t bytes_appended = 0;
+
+  std::string ToString() const;
+};
+
+/// One segment file on disk: `wal-<first-lsn, 16 hex digits>.log`.
+struct SegmentFileInfo {
+  std::string path;
+  uint64_t start_lsn = 0;
+};
+
+/// Segment files of `dir` sorted by start lsn. Non-segment files ignored.
+std::vector<SegmentFileInfo> ListSegments(const std::string& dir);
+
+/// Segment file name for a starting lsn.
+std::string SegmentFileName(uint64_t start_lsn);
+
+/// The append side of the write-ahead log: length-prefixed CRC32C-framed
+/// records in numbered segment files, group-commit batching, rotation and
+/// truncation at checkpoints. Thread-safe — the transaction manager appends
+/// from concurrent committers; one fsync then covers every record buffered
+/// before it (group commit).
+///
+/// The Wal never reads its own files; recovery (wal/recovery.h) scans
+/// segments independently before a Wal is opened for the new process, and
+/// always into a *fresh* segment — a torn tail from a crash is never
+/// appended to.
+class Wal {
+ public:
+  /// Starts logging into the new segment `wal-<next_lsn>.log` under `dir`
+  /// (created if missing). `next_lsn` is 1 for a fresh database or
+  /// last-recovered-lsn + 1 after recovery.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           const WalOptions& options,
+                                           uint64_t next_lsn);
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  ~Wal();
+
+  /// Appends without forcing a sync: transaction-interior records, whose
+  /// durability rides on the following commit marker. Returns the lsn.
+  Result<uint64_t> Append(const Record& record);
+
+  /// Appends `record` and applies the sync policy: commit markers and
+  /// auto-committed single operations go through here.
+  Status AppendCommit(const Record& record);
+
+  /// Forces everything appended so far to disk.
+  Status Sync();
+
+  /// Syncs and switches to a fresh segment starting at last_lsn() + 1, then
+  /// deletes every older segment — called by checkpointing after the
+  /// snapshot covering those records has been atomically published.
+  Status RotateAndTruncate();
+
+  /// Syncs and closes the live segment. The Wal is unusable afterwards.
+  Status Close();
+
+  /// Allocates a pseudo-transaction id for a multi-record atomic group
+  /// logged outside the transaction manager (workspace checkin, generic
+  /// rebinding). The group brackets its records with Begin/Commit like an
+  /// explicit transaction, so replay applies it all-or-nothing. Ids come
+  /// from a high range that the transaction manager's counter can never
+  /// reach within one log generation (checkpoint-on-open confines every
+  /// generation to a single process).
+  uint64_t AllocateGroupTxn();
+
+  uint64_t last_lsn() const;
+  const std::string& dir() const { return dir_; }
+  SyncPolicy policy() const { return options_.sync; }
+  WalStats stats() const;
+
+ private:
+  Wal(std::string dir, WalOptions options, uint64_t next_lsn);
+
+  Status OpenSegmentLocked(uint64_t start_lsn);
+  Status AppendLocked(const Record& record, uint64_t* lsn_out);
+  Status SyncLocked();
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t next_lsn_;
+  uint64_t segment_start_lsn_ = 0;
+  uint64_t synced_lsn_ = 0;
+  size_t unsynced_commits_ = 0;
+  std::chrono::steady_clock::time_point oldest_unsynced_commit_{};
+  bool closed_ = false;
+  uint64_t next_group_txn_ = (1ull << 62) + 1;
+  WalStats stats_{};
+};
+
+}  // namespace wal
+}  // namespace caddb
+
+#endif  // CADDB_WAL_WAL_H_
