@@ -4,9 +4,12 @@
 #   1. Tier-1: warnings-as-errors build + full ctest suite
 #   2. ASan + UBSan build + full ctest suite
 #   3. Crash-recovery smoke: the fault-injection matrix under ASan
-#   4. TSan build + the concurrency tests (lock manager, transactions)
-#   5. Bench build: every benchmark target must compile (incl. bench_wal)
-#   6. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
+#   4. Replication smoke: shipper/follower fault matrix + the kill -9
+#      promote drill under ASan+UBSan
+#   5. TSan build + the concurrency tests (lock manager, transactions,
+#      batched-fsync committers)
+#   6. Bench build: every benchmark target must compile (incl. bench_wal)
+#   7. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
 #
 # Each configuration gets its own build directory under build-ci/ so the
 # sanitizer runtimes never mix. Usage: ci/check.sh [jobs]
@@ -38,12 +41,22 @@ UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-ci/asan-ubsan --output-on-failure \
         -R '^(wal_test|wal_recovery_test)$'
 
-step "tsan: lock manager + transaction tests"
+step "replication smoke: fault matrix + kill -9 promote drill under asan+ubsan"
+# replication_test drives the drop/truncate/duplicate/reorder/corrupt/stall
+# matrix and every CAD201-205 quarantine; replication_smoke_test forks a
+# live primary, SIGKILLs it mid-shipment, and promotes the follower against
+# a ship-time oracle.
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure \
+        -R '^(replication_test|replication_smoke_test)$'
+
+step "tsan: lock manager + transaction + batched-fsync tests"
 cmake -B build-ci/tsan -S . -DCADDB_WERROR=ON -DCADDB_TSAN=ON \
       "${GENERATOR_FLAGS[@]}"
-cmake --build build-ci/tsan -j "$JOBS" --target lock_manager_test txn_test
+cmake --build build-ci/tsan -j "$JOBS" --target lock_manager_test txn_test \
+      wal_batch_sync_test
 ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
-      -R '^(lock_manager_test|txn_test)$'
+      -R '^(lock_manager_test|txn_test|wal_batch_sync_test)$'
 
 step "bench build: all benchmark targets compile"
 cmake --build build-ci/werror -j "$JOBS" --target \

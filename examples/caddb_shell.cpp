@@ -4,6 +4,11 @@
 //   ./build/examples/caddb_shell <dir>           durable session (WAL +
 //                                                checkpoints under <dir>;
 //                                                recovers on open)
+//   ./build/examples/caddb_shell --follow <dir>  follower session: tail a
+//                                                replica directory a primary
+//                                                ships into (`ship <dir>` on
+//                                                the primary side); read-only
+//                                                until `replica promote`
 //   ./build/examples/caddb_shell < script.cdb    scripted session
 //
 // Try:
@@ -21,18 +26,38 @@
 
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "core/database.h"
+#include "replication/follower.h"
 #include "shell/shell.h"
 
 int main(int argc, char** argv) {
   caddb::Database memory_db;
   std::unique_ptr<caddb::Database> durable_db;
+  std::unique_ptr<caddb::replication::Follower> follower;
   caddb::Database* db = &memory_db;
-  if (argc > 1) {
-    auto opened = caddb::Database::Open(argv[1]);
+  std::string dir;
+  bool follow = false;
+  if (argc > 2 && std::string(argv[1]) == "--follow") {
+    follow = true;
+    dir = argv[2];
+  } else if (argc > 1) {
+    dir = argv[1];
+  }
+  if (follow) {
+    follower = std::make_unique<caddb::replication::Follower>(dir);
+    // First catch-up before the prompt; an empty or unreachable replica
+    // directory is fine — polling continues per `replica poll`.
+    caddb::Result<caddb::replication::PollResult> first = follower->Poll();
+    if (!first.ok()) {
+      std::cerr << "initial poll: " << first.status().ToString() << "\n";
+    }
+    if (follower->db() != nullptr) db = follower->db();
+  } else if (!dir.empty()) {
+    auto opened = caddb::Database::Open(dir);
     if (!opened.ok()) {
-      std::cerr << "cannot open database directory '" << argv[1]
+      std::cerr << "cannot open database directory '" << dir
                 << "': " << opened.status().ToString() << "\n";
       return 2;
     }
@@ -40,19 +65,24 @@ int main(int argc, char** argv) {
     db = durable_db.get();
   }
   caddb::shell::Shell shell(db);
+  if (follower != nullptr) shell.AttachFollower(follower.get());
   bool interactive = isatty(0) != 0;
   if (interactive) {
     std::cout << "caddb shell — complex & composite objects for CAD/CAM.\n"
                  "Commands are documented in src/shell/shell.h; 'quit' "
                  "exits.\n";
-    if (db->durable()) {
-      std::cout << "durable session: " << argv[1]
+    if (follow) {
+      std::cout << "follower session: " << dir
+                << " ('replica status' for lag, 'replica poll' to catch "
+                   "up, 'replica promote' to take over)\n";
+    } else if (db->durable()) {
+      std::cout << "durable session: " << dir
                 << " ('wal status' for the log, 'checkpoint' to truncate "
-                   "it)\n";
+                   "it, 'ship <dir>' to replicate)\n";
     }
   }
   shell.Run(std::cin, std::cout, interactive);
-  if (db->durable()) {
+  if (!follow && db->durable()) {
     caddb::Status closed = db->Close();
     if (!closed.ok()) {
       std::cerr << "close failed: " << closed.ToString() << "\n";

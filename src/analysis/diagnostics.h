@@ -44,6 +44,18 @@ const char* SeverityName(Severity severity);
 ///   CAD105  inheritance binding inconsistency
 ///   CAD106  store index inconsistency (extent / class / where-used)
 ///   CAD107  resolution-cache entry disagrees with a fresh resolution
+///
+/// CAD2xx are replication findings, raised by replication::Follower when it
+/// refuses to apply shipped state (the replica quarantines itself rather
+/// than diverge silently):
+///
+///   CAD201  primary log generation moved backwards
+///   CAD202  checkpoint anchor moved backwards within one generation
+///   CAD203  replayed log prefix no longer matches what was applied
+///           (history rewritten under the follower's feet)
+///   CAD204  manifest structurally inconsistent (overlapping/backwards
+///           segments, tail before checkpoint, ...)
+///   CAD205  shipped state fails replay or fsck despite valid checksums
 
 /// One finding of the static analyzer.
 struct Diagnostic {

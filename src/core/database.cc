@@ -23,6 +23,15 @@ Status Database::LogOp(const Record& record) {
   return wal_->AppendCommit(record);
 }
 
+Status Database::CheckWritable() const {
+  if (read_only_) {
+    return FailedPrecondition(
+        "database is read-only (a replica follows the primary's log; "
+        "promote it before writing)");
+  }
+  return OkStatus();
+}
+
 // ---- Durability ----
 
 Result<std::unique_ptr<Database>> Database::Open(
@@ -39,7 +48,21 @@ Result<std::unique_ptr<Database>> Database::Open(
   db->transactions_.set_wal(db->wal_.get());
   db->versions_.set_wal(db->wal_.get());
   db->workspaces_.set_wal(db->wal_.get());
+  // A new generation per process lifetime: the fresh checkpoint below
+  // anchors it, so one generation never mixes two processes' id spaces and
+  // a replication follower can spot a rewound primary.
+  db->generation_ = db->recovery_report_.generation + 1;
   CADDB_RETURN_IF_ERROR(db->Checkpoint());
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::OpenReadOnly(
+    const std::string& dir, const wal::DurabilityOptions& options) {
+  auto db = std::make_unique<Database>();
+  CADDB_ASSIGN_OR_RETURN(db->recovery_report_,
+                         wal::Recover(dir, db.get(), options));
+  db->generation_ = db->recovery_report_.generation;
+  db->read_only_ = true;
   return db;
 }
 
@@ -59,7 +82,7 @@ Status Database::Checkpoint() {
   // caller).
   CADDB_RETURN_IF_ERROR(wal_->Sync());
   CADDB_RETURN_IF_ERROR(
-      wal::WriteCheckpoint(wal_->dir(), wal_->last_lsn(), dump));
+      wal::WriteCheckpoint(wal_->dir(), wal_->last_lsn(), generation_, dump));
   return wal_->RotateAndTruncate();
 }
 
@@ -76,6 +99,7 @@ Status Database::Close() {
 // ---- Schema ----
 
 Status Database::ExecuteDdl(const std::string& source) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_RETURN_IF_ERROR(
       ddl::Parser::ParseSchema(source, &catalog_, &ddl_warnings_));
   if (eager_ddl_validation_) {
@@ -113,12 +137,14 @@ analysis::DiagnosticBag Database::Check() const {
 
 Status Database::CreateClass(const std::string& name,
                              const std::string& type) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_RETURN_IF_ERROR(store_.CreateClass(name, type));
   return LogOp(Record::CreateClass(kAutoCommitTxn, name, type));
 }
 
 Result<Surrogate> Database::CreateObject(const std::string& type,
                                          const std::string& class_name) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_ASSIGN_OR_RETURN(Surrogate created,
                          store_.CreateObject(type, class_name));
   CADDB_RETURN_IF_ERROR(LogOp(
@@ -128,6 +154,7 @@ Result<Surrogate> Database::CreateObject(const std::string& type,
 
 Result<Surrogate> Database::CreateSubobject(Surrogate parent,
                                             const std::string& subclass) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_ASSIGN_OR_RETURN(Surrogate created,
                          inheritance_.CreateSubobject(parent, subclass));
   CADDB_RETURN_IF_ERROR(LogOp(Record::CreateSubobject(
@@ -152,6 +179,7 @@ std::map<std::string, std::vector<uint64_t>> ParticipantIds(
 Result<Surrogate> Database::CreateRelationship(
     const std::string& rel_type,
     const std::map<std::string, std::vector<Surrogate>>& participants) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_ASSIGN_OR_RETURN(Surrogate created,
                          store_.CreateRelationship(rel_type, participants));
   CADDB_RETURN_IF_ERROR(LogOp(Record::CreateRelationship(
@@ -162,6 +190,7 @@ Result<Surrogate> Database::CreateRelationship(
 Result<Surrogate> Database::CreateSubrel(
     Surrogate owner, const std::string& subrel,
     const std::map<std::string, std::vector<Surrogate>>& participants) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_ASSIGN_OR_RETURN(Surrogate created,
                          store_.CreateSubrel(owner, subrel, participants));
   CADDB_RETURN_IF_ERROR(LogOp(Record::CreateSubrel(
@@ -173,6 +202,7 @@ Result<Surrogate> Database::CreateSubrel(
 Result<Surrogate> Database::CreateCheckedSubrel(
     Surrogate owner, const std::string& subrel,
     const std::map<std::string, std::vector<Surrogate>>& participants) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_ASSIGN_OR_RETURN(Surrogate member,
                          store_.CreateSubrel(owner, subrel, participants));
   Status where = checker_.CheckSubrelMember(owner, subrel, member);
@@ -189,6 +219,7 @@ Result<Surrogate> Database::CreateCheckedSubrel(
 
 Result<Surrogate> Database::Bind(Surrogate inheritor, Surrogate transmitter,
                                  const std::string& inher_rel_type) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_ASSIGN_OR_RETURN(
       Surrogate created,
       inheritance_.Bind(inheritor, transmitter, inher_rel_type));
@@ -199,11 +230,13 @@ Result<Surrogate> Database::Bind(Surrogate inheritor, Surrogate transmitter,
 }
 
 Status Database::Unbind(Surrogate inheritor) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_RETURN_IF_ERROR(inheritance_.Unbind(inheritor));
   return LogOp(Record::Unbind(kAutoCommitTxn, inheritor.id));
 }
 
 Status Database::Set(Surrogate s, const std::string& attr, Value v) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   Value logged = wal_ != nullptr ? v : Value();
   CADDB_RETURN_IF_ERROR(inheritance_.SetAttribute(s, attr, std::move(v)));
   return LogOp(
@@ -211,6 +244,7 @@ Status Database::Set(Surrogate s, const std::string& attr, Value v) {
 }
 
 Status Database::Delete(Surrogate s, ObjectStore::DeletePolicy policy) {
+  CADDB_RETURN_IF_ERROR(CheckWritable());
   CADDB_RETURN_IF_ERROR(inheritance_.DeleteObject(s, policy));
   return LogOp(Record::Delete(
       kAutoCommitTxn, s.id,

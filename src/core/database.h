@@ -25,6 +25,22 @@
 
 namespace caddb {
 
+/// Replication telemetry a replication::Follower attaches to the read-only
+/// database it maintains, surfaced through DatabaseStats and the shell's
+/// `replica status`.
+struct ReplicaInfo {
+  bool is_replica = false;
+  /// "following", "caught-up", or "quarantined (CADnnn ...)".
+  std::string state;
+  uint64_t manifest_seq = 0;  // last manifest applied
+  uint64_t generation = 0;    // primary log generation being followed
+  uint64_t replay_lsn = 0;    // last lsn replayed into this database
+  uint64_t shipped_lsn = 0;   // newest lsn the primary has shipped
+  uint64_t lag() const {
+    return shipped_lsn > replay_lsn ? shipped_lsn - replay_lsn : 0;
+  }
+};
+
 /// One in-memory CAD/CAM database: catalog + object store + value-inheritance
 /// engine + constraint checker + query/expansion + version management +
 /// transactions. This is the public entry point; examples and benchmarks
@@ -71,6 +87,15 @@ class Database {
       const std::string& dir,
       const wal::DurabilityOptions& options = wal::DurabilityOptions{});
 
+  /// Replays `dir` like Open but writes nothing back: no log is attached,
+  /// no fresh checkpoint is published, and every mutating entry point fails
+  /// with kFailedPrecondition afterwards. This is how a replication
+  /// follower materializes shipped state without disturbing the shipped
+  /// bytes (the staged directory stays byte-comparable to the primary's).
+  static Result<std::unique_ptr<Database>> OpenReadOnly(
+      const std::string& dir,
+      const wal::DurabilityOptions& options = wal::DurabilityOptions{});
+
   /// Snapshot (Dumper::Dump) + atomic checkpoint publication + log
   /// truncation. Fails with kFailedPrecondition while explicit transactions
   /// are active: their uncommitted writes would be frozen into the snapshot
@@ -87,6 +112,16 @@ class Database {
   const wal::RecoveryReport& recovery_report() const {
     return recovery_report_;
   }
+
+  /// True for databases materialized via OpenReadOnly: every mutating entry
+  /// point fails with kFailedPrecondition.
+  bool read_only() const { return read_only_; }
+  /// Log generation this process writes (loaded generation + 1 for Open;
+  /// the loaded generation itself for OpenReadOnly, which writes nothing).
+  uint64_t generation() const { return generation_; }
+  /// Replication telemetry; is_replica is false unless a Follower set it.
+  const ReplicaInfo& replica_info() const { return replica_info_; }
+  void set_replica_info(const ReplicaInfo& info) { replica_info_ = info; }
 
   // ---- Schema ----
   /// Parses and registers schema text (paper syntax); warnings accumulate in
@@ -191,6 +226,10 @@ class Database {
   /// attached; OK (and free) otherwise.
   Status LogOp(const wal::Record& record);
 
+  /// kFailedPrecondition for read-only (replica) databases, OK otherwise.
+  /// Every mutating convenience method and ExecuteDdl checks it first.
+  Status CheckWritable() const;
+
   Catalog catalog_;
   ObjectStore store_;
   NotificationCenter notifications_;
@@ -209,6 +248,9 @@ class Database {
   // Durability: present only for databases created via Open.
   std::unique_ptr<wal::Wal> wal_;
   wal::RecoveryReport recovery_report_;
+  bool read_only_ = false;
+  uint64_t generation_ = 0;
+  ReplicaInfo replica_info_;
 
   // CheckSchema memoization (satellite of the durability work: recovery and
   // eager DDL validation both call it repeatedly).

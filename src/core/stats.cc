@@ -45,6 +45,14 @@ DatabaseStats DatabaseStats::Collect(const Database& db) {
   stats.schema_cache_misses = db.catalog().schema_cache_misses();
   stats.schema_analyses_run = db.schema_analyses_run();
   stats.schema_analyses_skipped = db.schema_analyses_skipped();
+  const ReplicaInfo& replica = db.replica_info();
+  stats.is_replica = replica.is_replica;
+  stats.replica_state = replica.state;
+  stats.replica_generation = replica.generation;
+  stats.replica_manifest_seq = replica.manifest_seq;
+  stats.replay_lsn = replica.replay_lsn;
+  stats.shipped_lsn = replica.shipped_lsn;
+  stats.replica_lag = replica.lag();
   stats.classes = store.ClassNames().size();
   stats.object_types = db.catalog().ObjectTypeNames().size();
   stats.rel_types = db.catalog().RelTypeNames().size();
@@ -79,6 +87,14 @@ std::string DatabaseStats::ToString() const {
          std::to_string(inher_rel_types) + " inher-rel types, " +
          std::to_string(domains) + " domains, " + std::to_string(classes) +
          " classes\n";
+  if (is_replica) {
+    out += "replica:          " + replica_state + "; generation " +
+           std::to_string(replica_generation) + ", manifest seq " +
+           std::to_string(replica_manifest_seq) + ", replay lsn " +
+           std::to_string(replay_lsn) + " / shipped lsn " +
+           std::to_string(shipped_lsn) + " (lag " +
+           std::to_string(replica_lag) + ")\n";
+  }
   out += "population by type:\n";
   for (const auto& [type, count] : per_type) {
     out += "  " + type + ": " + std::to_string(count) + "\n";

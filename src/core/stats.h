@@ -44,6 +44,16 @@ struct DatabaseStats {
   uint64_t schema_analyses_run = 0;
   uint64_t schema_analyses_skipped = 0;
 
+  // Replication telemetry (meaningful only when is_replica: the database is
+  // the read-only product of a replication::Follower).
+  bool is_replica = false;
+  std::string replica_state;
+  uint64_t replica_generation = 0;
+  uint64_t replica_manifest_seq = 0;
+  uint64_t replay_lsn = 0;
+  uint64_t shipped_lsn = 0;
+  uint64_t replica_lag = 0;
+
   static DatabaseStats Collect(const Database& db);
 
   /// Multi-line human-readable report.

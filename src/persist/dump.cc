@@ -375,5 +375,12 @@ Status Dumper::Load(const std::string& dump, Database* db,
   return OkStatus();
 }
 
+Result<std::string> CanonicalDump(const Database& db) {
+  CADDB_ASSIGN_OR_RETURN(std::string raw, Dumper::Dump(db));
+  Database fresh;
+  CADDB_RETURN_IF_ERROR(Dumper::Load(raw, &fresh));
+  return Dumper::Dump(fresh);
+}
+
 }  // namespace persist
 }  // namespace caddb

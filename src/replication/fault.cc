@@ -1,0 +1,66 @@
+#include "replication/fault.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace caddb {
+namespace replication {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+Result<FaultKind> FaultKindFromName(const std::string& name) {
+  if (name == "none") return FaultKind::kNone;
+  if (name == "drop") return FaultKind::kDrop;
+  if (name == "truncate") return FaultKind::kTruncate;
+  if (name == "duplicate") return FaultKind::kDuplicate;
+  if (name == "reorder") return FaultKind::kReorder;
+  if (name == "corrupt") return FaultKind::kCorrupt;
+  if (name == "stall") return FaultKind::kStall;
+  return InvalidArgument("unknown fault kind '" + name +
+                         "' (want drop|truncate|duplicate|reorder|corrupt|"
+                         "stall|none)");
+}
+
+Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return InvalidArgument("fault plan entry '" + entry +
+                             "' is not <attempt>:<kind>");
+    }
+    uint64_t attempt = 0;
+    std::istringstream num(entry.substr(0, colon));
+    if (!(num >> attempt) || attempt == 0) {
+      return InvalidArgument("fault plan entry '" + entry +
+                             "' has a bad attempt number");
+    }
+    CADDB_ASSIGN_OR_RETURN(FaultKind kind,
+                           FaultKindFromName(entry.substr(colon + 1)));
+    plan.by_attempt[attempt] = kind;
+  }
+  return plan;
+}
+
+}  // namespace replication
+}  // namespace caddb

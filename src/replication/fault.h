@@ -1,0 +1,59 @@
+#ifndef CADDB_REPLICATION_FAULT_H_
+#define CADDB_REPLICATION_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/result.h"
+
+namespace caddb {
+namespace replication {
+
+/// Shipment-level fault injection: what the transport "does" to one whole
+/// shipment attempt. Where wal::FailpointFile cuts a single file at a byte
+/// offset, these model the failure modes of copying a *set* of files plus
+/// a manifest to another machine. The Shipper applies them; the follower
+/// fault-plan matrix in tests/replication_test.cc asserts that every one of
+/// them either heals (follower converges to the oracle) or quarantines —
+/// never silently diverges.
+enum class FaultKind {
+  kNone,
+  /// Nothing reaches the replica; the attempt vanishes.
+  kDrop,
+  /// The last shipped file is cut mid-way, but the manifest claims the
+  /// full length (a torn transfer the manifest CRCs catch).
+  kTruncate,
+  /// The manifest is published twice.
+  kDuplicate,
+  /// This shipment's manifest is withheld and re-published *after* the
+  /// next one, so an older seq overwrites a newer (out-of-order delivery).
+  kReorder,
+  /// One byte of one shipped file is flipped after the copy.
+  kCorrupt,
+  /// The shipper hangs: the attempt does nothing and publishes nothing.
+  kStall,
+};
+
+const char* FaultKindName(FaultKind kind);
+Result<FaultKind> FaultKindFromName(const std::string& name);
+
+/// Which fault hits which shipment attempt (1-based attempt numbers, as
+/// counted by Shipper::attempts()). Attempts without an entry ship clean.
+struct FaultPlan {
+  std::map<uint64_t, FaultKind> by_attempt;
+
+  FaultKind For(uint64_t attempt) const {
+    auto it = by_attempt.find(attempt);
+    return it == by_attempt.end() ? FaultKind::kNone : it->second;
+  }
+  bool empty() const { return by_attempt.empty(); }
+};
+
+/// Parses "3:drop,5:corrupt" into a plan (attempt:kind pairs).
+Result<FaultPlan> ParseFaultPlan(const std::string& spec);
+
+}  // namespace replication
+}  // namespace caddb
+
+#endif  // CADDB_REPLICATION_FAULT_H_

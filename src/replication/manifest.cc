@@ -1,0 +1,149 @@
+#include "replication/manifest.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+#include "wal/crc32c.h"
+
+namespace caddb {
+namespace replication {
+
+namespace {
+
+std::string CrcHex(uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+Result<uint32_t> ParseCrcHex(const std::string& hex) {
+  if (hex.size() != 8) return ParseError("bad crc field '" + hex + "'");
+  uint32_t crc = 0;
+  for (char c : hex) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return ParseError("bad crc field '" + hex + "'");
+    }
+    crc = (crc << 4) | digit;
+  }
+  return crc;
+}
+
+}  // namespace
+
+std::string Manifest::Encode() const {
+  std::string out = "caddb-replica 1 " + std::to_string(seq) + " " +
+                    std::to_string(generation) + "\n";
+  if (!checkpoint.file.empty()) {
+    out += "checkpoint " + checkpoint.file + " " +
+           std::to_string(checkpoint.lsn) + " " +
+           std::to_string(checkpoint.bytes) + " " + CrcHex(checkpoint.crc) +
+           "\n";
+  }
+  for (const ManifestSegment& seg : segments) {
+    out += "segment " + seg.file + " " + std::to_string(seg.start_lsn) + " " +
+           std::to_string(seg.last_lsn) + " " + std::to_string(seg.bytes) +
+           " " + CrcHex(seg.crc) + (seg.tail ? " tail" : " closed") + "\n";
+  }
+  out += "end " + CrcHex(wal::Crc32c(out.data(), out.size())) + "\n";
+  return out;
+}
+
+Result<Manifest> Manifest::Decode(const std::string& text) {
+  Manifest manifest;
+  std::istringstream in(text);
+  std::string line;
+  size_t consumed = 0;  // bytes before the current line (for the end CRC)
+  bool saw_header = false, saw_end = false;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (!saw_header) {
+      uint64_t version = 0;
+      if (tag != "caddb-replica" || !(fields >> version >> manifest.seq >>
+                                      manifest.generation)) {
+        return ParseError("manifest: bad header '" + line + "'");
+      }
+      if (version != 1) {
+        return ParseError("manifest: unsupported version " +
+                          std::to_string(version));
+      }
+      saw_header = true;
+    } else if (tag == "checkpoint") {
+      std::string crc_hex;
+      if (!(fields >> manifest.checkpoint.file >> manifest.checkpoint.lsn >>
+            manifest.checkpoint.bytes >> crc_hex)) {
+        return ParseError("manifest: bad checkpoint line '" + line + "'");
+      }
+      CADDB_ASSIGN_OR_RETURN(manifest.checkpoint.crc, ParseCrcHex(crc_hex));
+    } else if (tag == "segment") {
+      ManifestSegment seg;
+      std::string crc_hex, kind;
+      if (!(fields >> seg.file >> seg.start_lsn >> seg.last_lsn >>
+            seg.bytes >> crc_hex >> kind) ||
+          (kind != "tail" && kind != "closed")) {
+        return ParseError("manifest: bad segment line '" + line + "'");
+      }
+      CADDB_ASSIGN_OR_RETURN(seg.crc, ParseCrcHex(crc_hex));
+      seg.tail = kind == "tail";
+      manifest.segments.push_back(std::move(seg));
+    } else if (tag == "end") {
+      std::string crc_hex;
+      if (!(fields >> crc_hex)) {
+        return ParseError("manifest: bad end line '" + line + "'");
+      }
+      CADDB_ASSIGN_OR_RETURN(uint32_t expected, ParseCrcHex(crc_hex));
+      uint32_t actual = wal::Crc32c(text.data(), consumed);
+      if (actual != expected) {
+        return ParseError("manifest: end crc mismatch (partial transfer?)");
+      }
+      saw_end = true;
+      break;
+    } else {
+      return ParseError("manifest: unknown record '" + tag + "'");
+    }
+    consumed += line.size() + 1;
+  }
+  if (!saw_header) return ParseError("manifest: empty");
+  if (!saw_end) return ParseError("manifest: truncated (no end record)");
+  return manifest;
+}
+
+Status Manifest::Validate() const {
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const ManifestSegment& seg = segments[i];
+    if (seg.last_lsn < seg.start_lsn) {
+      return InternalError("manifest: segment " + seg.file +
+                           " ends before it starts");
+    }
+    if (i == 0) {
+      if (checkpoint.lsn != 0 && seg.start_lsn > checkpoint.lsn + 1) {
+        return InternalError(
+            "manifest: first segment " + seg.file + " starts at lsn " +
+            std::to_string(seg.start_lsn) + " but the checkpoint covers " +
+            std::to_string(checkpoint.lsn) + " — lsns between are missing");
+      }
+    } else {
+      const ManifestSegment& prev = segments[i - 1];
+      if (seg.start_lsn != prev.last_lsn + 1) {
+        return InternalError("manifest: seam break between " + prev.file +
+                             " (ends " + std::to_string(prev.last_lsn) +
+                             ") and " + seg.file + " (starts " +
+                             std::to_string(seg.start_lsn) + ")");
+      }
+    }
+    if (seg.tail && i + 1 != segments.size()) {
+      return InternalError("manifest: tail segment " + seg.file +
+                           " is not the last segment");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace replication
+}  // namespace caddb

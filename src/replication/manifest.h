@@ -1,0 +1,76 @@
+#ifndef CADDB_REPLICATION_MANIFEST_H_
+#define CADDB_REPLICATION_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace caddb {
+namespace replication {
+
+/// The replica directory's table of contents, published atomically by the
+/// Shipper after every shipment (temp + rename, like a checkpoint). Text
+/// format, one record per line:
+///
+///   caddb-replica 1 <seq> <generation>
+///   checkpoint <file> <lsn> <bytes> <crc32c-hex>
+///   segment <file> <start-lsn> <last-lsn> <bytes> <crc32c-hex> <closed|tail>
+///   end <crc32c-hex>
+///
+/// `seq` increases with every publication — a follower that has applied
+/// seq S ignores any manifest with seq <= S, which is what makes reordered
+/// or duplicated publications harmless. `generation` is the primary's log
+/// generation (see wal/checkpoint.h). Segment `bytes`/`crc` describe the
+/// *shipped* byte prefix, which for the live tail segment is its valid
+/// frame prefix at shipping time, not the whole file. The `end` line's CRC
+/// covers every preceding byte of the manifest, so a partially transferred
+/// manifest is detected even on transports without atomic rename.
+constexpr char kManifestFileName[] = "MANIFEST";
+
+struct ManifestCheckpoint {
+  std::string file;
+  uint64_t lsn = 0;
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+};
+
+struct ManifestSegment {
+  std::string file;
+  uint64_t start_lsn = 0;
+  uint64_t last_lsn = 0;  // last lsn within the shipped prefix
+  uint64_t bytes = 0;     // shipped prefix length, not on-primary file size
+  uint32_t crc = 0;       // over the shipped prefix
+  bool tail = false;      // still the primary's live segment when shipped
+};
+
+struct Manifest {
+  uint64_t seq = 0;
+  uint64_t generation = 0;
+  ManifestCheckpoint checkpoint;
+  std::vector<ManifestSegment> segments;
+
+  /// Newest lsn this manifest makes reachable.
+  uint64_t shipped_lsn() const {
+    return segments.empty() ? checkpoint.lsn : segments.back().last_lsn;
+  }
+
+  std::string Encode() const;
+  /// Rejects bad magic/version, malformed lines and a mismatched end CRC
+  /// (all kParseError — the follower treats that as a transient transfer
+  /// problem, not divergence).
+  static Result<Manifest> Decode(const std::string& text);
+
+  /// Structural soundness of a decoded manifest: segments ordered and
+  /// seam-continuous, first segment anchored at most one lsn past the
+  /// checkpoint, only the final segment marked tail. A violation is real
+  /// divergence territory (CAD204) — the primary published nonsense — so
+  /// it is separate from Decode's transient errors.
+  Status Validate() const;
+};
+
+}  // namespace replication
+}  // namespace caddb
+
+#endif  // CADDB_REPLICATION_MANIFEST_H_

@@ -1,0 +1,87 @@
+#ifndef CADDB_REPLICATION_SHIPPER_H_
+#define CADDB_REPLICATION_SHIPPER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "replication/fault.h"
+#include "replication/manifest.h"
+#include "util/result.h"
+#include "wal/wal.h"
+
+namespace caddb {
+
+class Database;
+
+namespace replication {
+
+struct ShipperOptions {
+  /// fsync the primary's log before reading it, so the shipped bytes are
+  /// the durable bytes (a follower never learns of records the primary
+  /// itself could lose in a crash).
+  bool sync_before_ship = true;
+  /// Fault injection for the robustness matrix; empty ships clean.
+  FaultPlan faults;
+};
+
+/// What one ShipNow did.
+struct ShipmentReport {
+  uint64_t seq = 0;          // manifest seq published (0 when none was)
+  uint64_t shipped_lsn = 0;  // newest lsn the manifest makes reachable
+  uint64_t files_copied = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t files_healed = 0;   // replica copies that differed and were redone
+  uint64_t files_deleted = 0;  // stale replica files garbage-collected
+  FaultKind fault = FaultKind::kNone;  // what the plan injected
+};
+
+/// Primary-side log shipping: copies the newest checkpoint, every closed
+/// segment, and the live tail segment's valid frame prefix into a replica
+/// directory, then atomically publishes a Manifest describing them. Every
+/// copy is idempotent and self-healing — a file already present with the
+/// right size and CRC is skipped, a wrong one (previous torn/corrupted
+/// shipment) is re-copied — so a clean ShipNow converges the replica
+/// directory no matter what earlier attempts did to it. Files no longer
+/// referenced (truncated segments, superseded checkpoints) are deleted
+/// after the new manifest is durable.
+///
+/// Wire `MakeCloseHook()` into WalOptions::segment_close_hook to ship
+/// whenever size rotation closes a segment; call ShipNow() directly for
+/// time-based or manual shipping (`ship` in the shell). Single-threaded
+/// like the Database it serves.
+class Shipper {
+ public:
+  /// `db` must outlive the Shipper and have been opened durably.
+  Shipper(Database* db, std::string replica_dir, ShipperOptions options = {});
+
+  /// One shipment attempt. Fault injection consults the plan with the
+  /// attempt number (1-based); an injected fault is reported in the
+  /// ShipmentReport, not as an error — the transport losing a shipment is
+  /// not the shipper failing.
+  Result<ShipmentReport> ShipNow();
+
+  /// A WalOptions::segment_close_hook that ships on every size rotation
+  /// (shipment errors are swallowed there — the next attempt self-heals;
+  /// rotation must not fail because the replica directory hiccuped).
+  wal::SegmentCloseHook MakeCloseHook();
+
+  uint64_t attempts() const { return attempts_; }
+  const std::string& replica_dir() const { return replica_dir_; }
+
+ private:
+  Database* db_;
+  const std::string replica_dir_;
+  const ShipperOptions options_;
+  uint64_t attempts_ = 0;
+  /// First ShipNow seeds attempts_ from the replica's existing manifest so
+  /// a restarted primary's seq keeps ascending past the old one's.
+  bool seq_seeded_ = false;
+  /// A kReorder fault stashes the withheld manifest here; the next attempt
+  /// re-publishes it after its own, simulating out-of-order delivery.
+  std::string reorder_stash_;
+};
+
+}  // namespace replication
+}  // namespace caddb
+
+#endif  // CADDB_REPLICATION_SHIPPER_H_

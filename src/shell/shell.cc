@@ -10,6 +10,8 @@
 #include "persist/dump.h"
 #include "persist/value_codec.h"
 #include "query/report.h"
+#include "replication/follower.h"
+#include "replication/shipper.h"
 #include "util/string_util.h"
 #include "wal/wal.h"
 
@@ -78,7 +80,21 @@ std::string JoinFrom(const std::vector<std::string>& tokens, size_t start) {
 
 }  // namespace
 
+Shell::Shell(Database* db) : db_(db) {}
+
+Shell::~Shell() = default;
+
+void Shell::AttachFollower(replication::Follower* follower) {
+  follower_ = follower;
+}
+
 bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
+  // In follower mode every applying poll replaces the follower's database
+  // wholesale, so the shell re-fetches it per line instead of caching a
+  // pointer that a `replica poll` two lines ago invalidated.
+  if (follower_ != nullptr && follower_->db() != nullptr) {
+    db_ = follower_->db();
+  }
   if (in_schema_block_) {
     if (line == ">>>") {
       in_schema_block_ = false;
@@ -574,6 +590,106 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     Status s = db_->Checkpoint();
     s.ok() ? void(out << "ok (lsn " << db_->wal()->last_lsn() << ")\n")
            : fail(s);
+    return true;
+  }
+
+  if (cmd == "ship") {
+    if (tokens.size() >= 2 &&
+        (shipper_ == nullptr || shipper_->replica_dir() != tokens[1])) {
+      if (!db_->durable()) {
+        fail(FailedPrecondition(
+            "shipping needs a durable database (opened with a directory)"));
+        return true;
+      }
+      shipper_ =
+          std::make_unique<replication::Shipper>(db_, tokens[1]);
+    }
+    if (shipper_ == nullptr) {
+      fail(InvalidArgument("use: ship <replica-dir> (directory sticks "
+                           "for later plain `ship`)"));
+      return true;
+    }
+    Result<replication::ShipmentReport> report = shipper_->ShipNow();
+    if (!report.ok()) {
+      fail(report.status());
+      return true;
+    }
+    out << "ok (manifest seq " << report->seq << ", shipped lsn "
+        << report->shipped_lsn << ", " << report->files_copied
+        << " file(s) copied, " << report->bytes_copied << " bytes";
+    if (report->files_healed > 0) {
+      out << ", " << report->files_healed << " healed";
+    }
+    if (report->files_deleted > 0) {
+      out << ", " << report->files_deleted << " gc'd";
+    }
+    out << ")\n";
+    return true;
+  }
+  if (cmd == "replica") {
+    if (tokens.size() < 2) {
+      fail(InvalidArgument("use: replica status|poll|promote"));
+      return true;
+    }
+    if (tokens[1] == "status") {
+      const ReplicaInfo info = follower_ != nullptr
+                                   ? follower_->replica_info()
+                                   : db_->replica_info();
+      if (!info.is_replica) {
+        out << "not a replica (this database "
+            << (shipper_ != nullptr ? "ships to " + shipper_->replica_dir()
+                                    : "neither ships nor follows")
+            << ")\n";
+        return true;
+      }
+      out << "state:        " << info.state << "\n";
+      out << "generation:   " << info.generation << "\n";
+      out << "manifest seq: " << info.manifest_seq << "\n";
+      out << "replay lsn:   " << info.replay_lsn << " / shipped lsn "
+          << info.shipped_lsn << " (lag " << info.lag() << ")\n";
+      if (follower_ != nullptr &&
+          follower_->state() ==
+              replication::FollowerState::kQuarantined) {
+        out << "quarantine:   " << follower_->quarantine_code() << ": "
+            << follower_->quarantine_reason() << "\n";
+      }
+      return true;
+    }
+    if (follower_ == nullptr) {
+      fail(FailedPrecondition("replica " + tokens[1] +
+                              " needs follower mode (caddb_shell --follow)"));
+      return true;
+    }
+    if (tokens[1] == "poll") {
+      Result<replication::PollResult> polled = follower_->Poll();
+      if (!polled.ok()) {
+        fail(polled.status());
+        return true;
+      }
+      if (polled->advanced) {
+        out << "ok (applied manifest seq " << polled->manifest_seq
+            << ", replay lsn " << polled->replay_lsn << ", "
+            << polled->read_attempts << " read attempt(s))\n";
+      } else {
+        out << "ok (nothing new; manifest seq " << polled->manifest_seq
+            << ")\n";
+      }
+      return true;
+    }
+    if (tokens[1] == "promote") {
+      Result<std::unique_ptr<Database>> promoted = follower_->Promote();
+      if (!promoted.ok()) {
+        fail(promoted.status());
+        return true;
+      }
+      promoted_ = std::move(*promoted);
+      db_ = promoted_.get();
+      follower_ = nullptr;
+      out << "ok: promoted to writable primary (generation "
+          << db_->generation() << ", dir " << db_->wal()->dir() << ")\n";
+      return true;
+    }
+    fail(InvalidArgument("use: replica status|poll|promote"));
     return true;
   }
 

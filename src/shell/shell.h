@@ -2,12 +2,17 @@
 #define CADDB_SHELL_SHELL_H_
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/database.h"
 
 namespace caddb {
+namespace replication {
+class Follower;
+class Shipper;
+}  // namespace replication
 namespace shell {
 
 /// Line-command interpreter over a Database — the scripting surface behind
@@ -46,15 +51,28 @@ namespace shell {
 ///   dump <path> | load <path>
 ///   wal status            log/recovery telemetry (durable databases only)
 ///   checkpoint            snapshot + truncate the log (durable only)
+///   ship [<replica-dir>]  ship checkpoint + log to a replica directory
+///       (the directory sticks after the first use; plain `ship` re-ships)
+///   replica status        replication state of this database / follower
+///   replica poll          one follower catch-up cycle (follower mode)
+///   replica promote       promote the follower to a writable primary
 ///   echo <text...>
 ///   quit
 class Shell {
  public:
   /// `db` is not owned and must outlive the shell.
-  explicit Shell(Database* db) : db_(db) {}
+  explicit Shell(Database* db);
+
+  ~Shell();
 
   Shell(const Shell&) = delete;
   Shell& operator=(const Shell&) = delete;
+
+  /// Puts the shell in follower mode: every command sees the follower's
+  /// current read-only database (re-fetched per line — each applying poll
+  /// replaces it), `replica poll|promote` drive it. Not owned; must
+  /// outlive the shell or be detached by promotion.
+  void AttachFollower(replication::Follower* follower);
 
   /// Executes one command line; output (including error reports) goes to
   /// `out`. Returns false when the command asked to quit. Errors are
@@ -75,6 +93,13 @@ class Shell {
 
   Database* db_;
   size_t error_count_ = 0;
+
+  // Replication wiring. The shipper is created by the first `ship <dir>`;
+  // the follower is attached by follower mode; `replica promote` parks the
+  // promoted (owned) database here and detaches the follower.
+  std::unique_ptr<replication::Shipper> shipper_;
+  replication::Follower* follower_ = nullptr;
+  std::unique_ptr<Database> promoted_;
 };
 
 }  // namespace shell

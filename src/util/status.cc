@@ -34,6 +34,8 @@ const char* CodeName(Code code) {
       return "Unimplemented";
     case Code::kInternal:
       return "Internal";
+    case Code::kUnavailable:
+      return "Unavailable";
   }
   return "UnknownCode";
 }
@@ -90,6 +92,9 @@ Status Unimplemented(std::string msg) {
 }
 Status InternalError(std::string msg) {
   return Status(Code::kInternal, std::move(msg));
+}
+Status Unavailable(std::string msg) {
+  return Status(Code::kUnavailable, std::move(msg));
 }
 
 Status Annotate(const std::string& context, const Status& status) {

@@ -24,6 +24,7 @@ enum class Code {
   kParseError,           // DDL / expression text could not be parsed
   kUnimplemented,
   kInternal,
+  kUnavailable,          // transient I/O failure; retrying may succeed
 };
 
 /// Human-readable name of a Code ("ConstraintViolation", ...).
@@ -74,6 +75,7 @@ Status ConflictError(std::string msg);
 Status ParseError(std::string msg);
 Status Unimplemented(std::string msg);
 Status InternalError(std::string msg);
+Status Unavailable(std::string msg);
 
 /// Prefixes the message of a non-OK Status with location/context ("dump line
 /// 17", "wal segment wal-...log record 42"), keeping the code. OK passes

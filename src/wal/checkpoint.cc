@@ -41,7 +41,7 @@ std::vector<CheckpointFileInfo> ListCheckpoints(const std::string& dir) {
 }
 
 Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
-                       const std::string& dump) {
+                       uint64_t generation, const std::string& dump) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -51,7 +51,8 @@ Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
   char crc_hex[16];
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
                 Crc32cMask(Crc32c(dump.data(), dump.size())));
-  std::string contents = "caddb-checkpoint 1 " + std::to_string(lsn) + " " +
+  std::string contents = "caddb-checkpoint 2 " + std::to_string(lsn) + " " +
+                         std::to_string(generation) + " " +
                          std::to_string(dump.size()) + " " + crc_hex + "\n" +
                          dump;
   const std::string path = (fs::path(dir) / CheckpointFileName(lsn)).string();
@@ -68,6 +69,11 @@ Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
   return SyncDir(dir);
 }
 
+Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
+                       const std::string& dump) {
+  return WriteCheckpoint(dir, lsn, /*generation=*/0, dump);
+}
+
 namespace {
 
 /// Parses + CRC-checks one checkpoint file.
@@ -81,10 +87,18 @@ Result<LoadedCheckpoint> ReadCheckpointFile(const CheckpointFileInfo& info) {
   std::string magic;
   int version = 0;
   uint64_t lsn = 0;
+  uint64_t generation = 0;
   size_t body_bytes = 0;
   std::string crc_hex;
-  header >> magic >> version >> lsn >> body_bytes >> crc_hex;
-  if (magic != "caddb-checkpoint" || version != 1 || header.fail()) {
+  header >> magic >> version;
+  if (version == 1) {
+    // Version 1 predates log generations; it loads as generation 0.
+    header >> lsn >> body_bytes >> crc_hex;
+  } else {
+    header >> lsn >> generation >> body_bytes >> crc_hex;
+  }
+  if (magic != "caddb-checkpoint" || (version != 1 && version != 2) ||
+      header.fail()) {
     return ParseError("checkpoint '" + info.path + "': bad header");
   }
   if (lsn != info.lsn) {
@@ -107,6 +121,7 @@ Result<LoadedCheckpoint> ReadCheckpointFile(const CheckpointFileInfo& info) {
   }
   LoadedCheckpoint out;
   out.lsn = lsn;
+  out.generation = generation;
   out.dump = std::move(body);
   out.path = info.path;
   return out;

@@ -13,10 +13,17 @@ namespace wal {
 /// Checkpoint files: a database snapshot (persist::Dumper text) covering
 /// every log record up to and including an lsn, published atomically.
 ///
-/// On-disk format:
+/// On-disk format (version 2):
 ///
-///   caddb-checkpoint 1 <lsn> <body-bytes> <crc32c-hex>\n
+///   caddb-checkpoint 2 <lsn> <generation> <body-bytes> <crc32c-hex>\n
 ///   <Dumper::Dump body>
+///
+/// `generation` numbers log generations: every Database::Open writes a
+/// fresh checkpoint with the loaded generation + 1, so one generation never
+/// mixes the surrogate/transaction id spaces of two processes, and a
+/// replication follower can detect a stale or rewound primary by a
+/// generation that moves backwards. Version-1 files (no generation field)
+/// are still readable and load as generation 0.
 ///
 /// The CRC is the masked CRC32C of the body, so a checkpoint torn by a
 /// crash during publication is detected and skipped in favour of the
@@ -40,15 +47,23 @@ struct CheckpointFileInfo {
 /// other names are ignored.
 std::vector<CheckpointFileInfo> ListCheckpoints(const std::string& dir);
 
-/// Atomically publishes a checkpoint covering `lsn` (temp file + fsync +
-/// rename + directory fsync), then deletes every older checkpoint file.
-/// `lsn` may be 0 for a checkpoint of a database with an empty log.
+/// Atomically publishes a checkpoint covering `lsn` in log generation
+/// `generation` (temp file + fsync + rename + directory fsync), then
+/// deletes every older checkpoint file. `lsn` may be 0 for a checkpoint of
+/// a database with an empty log.
+Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
+                       uint64_t generation, const std::string& dump);
+
+/// Back-compat convenience: generation 0.
 Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
                        const std::string& dump);
 
 struct LoadedCheckpoint {
   /// 0 when no checkpoint exists (recovery replays the log from lsn 1).
   uint64_t lsn = 0;
+  /// Log generation the checkpoint was written in (0 for version-1 files
+  /// and for fresh directories).
+  uint64_t generation = 0;
   /// Empty when no checkpoint exists; otherwise a Dumper::Dump text.
   std::string dump;
   std::string path;

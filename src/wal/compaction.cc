@@ -1,0 +1,59 @@
+#include "wal/compaction.h"
+
+#include <set>
+#include <vector>
+
+#include "wal/log_io.h"
+#include "wal/record.h"
+
+namespace caddb {
+namespace wal {
+
+Result<CompactionResult> CompactClosedSegment(const std::string& path) {
+  CompactionResult result;
+  CADDB_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  result.bytes_before = bytes.size();
+  result.bytes_after = bytes.size();
+  SegmentContents contents = DecodeFrames(bytes);
+  if (!contents.tail_error.empty()) return result;  // crash artifact: keep
+
+  struct DecodedFrame {
+    uint64_t lsn;
+    Record record;
+    const Frame* frame;
+  };
+  std::vector<DecodedFrame> decoded;
+  decoded.reserve(contents.frames.size());
+  std::set<uint64_t> aborted_here;
+  for (const Frame& frame : contents.frames) {
+    CADDB_ASSIGN_OR_RETURN(Record record, Record::Decode(frame.payload));
+    if (record.type == RecordType::kAbort &&
+        record.txn != kAutoCommitTxn) {
+      aborted_here.insert(record.txn);
+    }
+    decoded.push_back({frame.lsn, std::move(record), &frame});
+  }
+  if (aborted_here.empty()) return result;
+
+  std::string compacted;
+  compacted.reserve(bytes.size());
+  for (const DecodedFrame& d : decoded) {
+    bool marker = d.record.type == RecordType::kBegin ||
+                  d.record.type == RecordType::kCommit ||
+                  d.record.type == RecordType::kAbort;
+    if (!marker && aborted_here.count(d.record.txn) != 0) {
+      ++result.records_dropped;
+      continue;
+    }
+    compacted += EncodeFrame(d.lsn, d.frame->payload);
+  }
+  if (result.records_dropped == 0) return result;
+
+  CADDB_RETURN_IF_ERROR(AtomicWriteFile(path, compacted));
+  result.bytes_after = compacted.size();
+  result.rewritten = true;
+  return result;
+}
+
+}  // namespace wal
+}  // namespace caddb

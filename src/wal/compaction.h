@@ -1,0 +1,43 @@
+#ifndef CADDB_WAL_COMPACTION_H_
+#define CADDB_WAL_COMPACTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace caddb {
+namespace wal {
+
+/// What one segment compaction did.
+struct CompactionResult {
+  uint64_t bytes_before = 0;
+  uint64_t bytes_after = 0;
+  uint64_t records_dropped = 0;
+  /// False when the segment held nothing droppable (file untouched).
+  bool rewritten = false;
+
+  uint64_t bytes_reclaimed() const { return bytes_before - bytes_after; }
+};
+
+/// Rewrites the closed segment at `path`, dropping the payload records of
+/// every transaction whose Abort marker lies within the segment. The
+/// Begin/Commit/Abort markers themselves are kept: replay's commit analysis
+/// still sees the whole transaction bracket, and the segment's first/last
+/// frame lsns are unchanged, so the recovery-time continuity check across
+/// segment seams ("last lsn + 1 == next segment's start") keeps holding.
+/// Interior lsn gaps are legal — replay only requires monotonic lsns.
+///
+/// Aborted records replay as no-ops anyway; compaction just stops paying
+/// their disk and shipping cost. The rewrite is atomic (temp + rename); a
+/// crash mid-compaction leaves either the old or the new file, both valid.
+///
+/// A segment with a torn tail is left untouched (rewritten = false): this
+/// function is for cleanly closed segments, and rewriting a crash artifact
+/// would destroy forensic state.
+Result<CompactionResult> CompactClosedSegment(const std::string& path);
+
+}  // namespace wal
+}  // namespace caddb
+
+#endif  // CADDB_WAL_COMPACTION_H_

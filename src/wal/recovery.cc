@@ -8,6 +8,7 @@
 #include "core/database.h"
 #include "persist/dump.h"
 #include "wal/checkpoint.h"
+#include "wal/crc32c.h"
 #include "wal/log_io.h"
 #include "wal/record.h"
 
@@ -22,7 +23,7 @@ std::string RecoveryReport::ToString() const {
   out += checkpoint_path.empty()
              ? "none"
              : checkpoint_path + " (lsn " + std::to_string(checkpoint_lsn) +
-                   ")";
+                   ", generation " + std::to_string(generation) + ")";
   out += "\n";
   out += "log:           " + std::to_string(records_scanned) +
          " record(s) over " + std::to_string(segments_scanned) +
@@ -49,8 +50,26 @@ namespace {
 struct ScannedRecord {
   uint64_t lsn = 0;
   Record record;
-  std::string where;  // "wal-....log lsn N"
+  uint32_t payload_crc = 0;  // masked CRC32C of the encoded payload
+  std::string where;         // "wal-....log lsn N"
 };
+
+/// Folds one applied record into the running replay fingerprint: a chained
+/// CRC32C over (previous fingerprint, lsn, payload crc).
+uint32_t CombineFingerprint(uint32_t fingerprint, uint64_t lsn,
+                            uint32_t payload_crc) {
+  unsigned char buf[16];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<unsigned char>(fingerprint >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    buf[4 + i] = static_cast<unsigned char>(lsn >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    buf[12 + i] = static_cast<unsigned char>(payload_crc >> (8 * i));
+  }
+  return Crc32c(reinterpret_cast<const char*>(buf), sizeof(buf));
+}
 
 /// Applies one already-committed record to `db`, translating the writing
 /// process's surrogates through `mapping` (old id -> new id) and generic
@@ -204,23 +223,79 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
         persist::Dumper::Load(checkpoint.dump, db, &mapping)));
   }
   report.checkpoint_lsn = checkpoint.lsn;
+  report.generation = checkpoint.generation;
   report.checkpoint_path = checkpoint.path;
   report.last_lsn = checkpoint.lsn;
 
-  // 2. Scan: every valid frame past the checkpoint, in lsn order, stopping
-  // at the first torn or corrupt frame. Segments after a torn one are
-  // unreachable noise (rotation only happens at checkpoints) and ignored.
-  std::vector<ScannedRecord> records;
-  uint64_t prev_lsn = 0;
+  // 2. Scan: every valid frame past the checkpoint, in lsn order. With
+  // size-based rotation the log is a *chain* of segments, so segment seams
+  // are verified before anything is trusted: a non-final segment must end
+  // cleanly exactly one lsn before its successor starts. Only the chain's
+  // effective tail may be torn (a crash mid-append) or empty (a crashed
+  // rotation created the file and died before appending — including the
+  // zero-length-file case, which is a clean recovery, not corruption).
+  // A torn or missing segment in the *middle* of the chain is committed
+  // data that cannot be replayed — that fails loudly instead of silently
+  // recovering a hole.
+  struct LoadedSegment {
+    SegmentFileInfo info;
+    SegmentContents contents;
+    std::string name;
+  };
+  std::vector<LoadedSegment> segments;
   for (const SegmentFileInfo& segment : ListSegments(dir)) {
     CADDB_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(segment.path));
-    SegmentContents contents = DecodeFrames(bytes);
+    segments.push_back({segment, DecodeFrames(bytes),
+                        fs::path(segment.path).filename().string()});
+  }
+  if (!segments.empty() && checkpoint.lsn != 0 &&
+      segments.front().info.start_lsn > checkpoint.lsn + 1) {
+    return InternalError(
+        "wal gap: checkpoint covers lsn " + std::to_string(checkpoint.lsn) +
+        " but the oldest segment " + segments.front().name + " starts at " +
+        std::to_string(segments.front().info.start_lsn) +
+        " — records in between are missing");
+  }
+  size_t scan_limit = segments.size();
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    const LoadedSegment& seg = segments[i];
+    if (!seg.contents.tail_error.empty()) {
+      // A torn non-final segment is tolerable only as the effective tail:
+      // every later segment must be an empty crashed-rotation artifact.
+      for (size_t j = i + 1; j < segments.size(); ++j) {
+        if (!segments[j].contents.frames.empty()) {
+          return InternalError("wal " + seg.name +
+                               " is torn in the middle of the log (" +
+                               seg.contents.tail_error + ") but " +
+                               segments[j].name +
+                               " still holds records — committed data "
+                               "between them is unrecoverable");
+        }
+      }
+      scan_limit = i + 1;
+      break;
+    }
+    uint64_t end_lsn = seg.contents.frames.empty()
+                           ? seg.info.start_lsn - 1
+                           : seg.contents.frames.back().lsn;
+    if (end_lsn + 1 != segments[i + 1].info.start_lsn) {
+      return InternalError(
+          "wal gap between " + seg.name + " (ends at lsn " +
+          std::to_string(end_lsn) + ") and " + segments[i + 1].name +
+          " (starts at lsn " +
+          std::to_string(segments[i + 1].info.start_lsn) + ")");
+    }
+  }
+
+  std::vector<ScannedRecord> records;
+  uint64_t prev_lsn = 0;
+  for (size_t i = 0; i < scan_limit; ++i) {
+    const LoadedSegment& segment = segments[i];
     ++report.segments_scanned;
-    const std::string segment_name = fs::path(segment.path).filename().string();
-    for (const Frame& frame : contents.frames) {
+    for (const Frame& frame : segment.contents.frames) {
       ++report.records_scanned;
       if (prev_lsn != 0 && frame.lsn <= prev_lsn) {
-        return InternalError("wal " + segment_name +
+        return InternalError("wal " + segment.name +
                              ": lsn went backwards (" +
                              std::to_string(frame.lsn) + " after " +
                              std::to_string(prev_lsn) + ")");
@@ -228,42 +303,48 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
       prev_lsn = frame.lsn;
       if (frame.lsn <= checkpoint.lsn) continue;  // covered by the snapshot
       const std::string where =
-          "wal " + segment_name + " lsn " + std::to_string(frame.lsn);
+          "wal " + segment.name + " lsn " + std::to_string(frame.lsn);
       // A frame whose CRC matched but whose payload does not decode is not
       // a crash artifact — fail loudly instead of silently dropping data.
       Result<Record> record = Record::Decode(frame.payload);
       CADDB_RETURN_IF_ERROR(Annotate(where, record.status()));
       report.last_lsn = frame.lsn;
-      records.push_back({frame.lsn, std::move(*record), where});
+      records.push_back({frame.lsn, std::move(*record),
+                         Crc32c(frame.payload.data(), frame.payload.size()),
+                         where});
     }
-    if (!contents.tail_error.empty()) {
-      report.tail_error = segment_name + ": " + contents.tail_error;
+    if (!segment.contents.tail_error.empty()) {
+      report.tail_error = segment.name + ": " + segment.contents.tail_error;
       break;
     }
   }
 
   // 3. Commit analysis: a transaction's records count only if its commit
   // marker made it into the trustworthy prefix. Auto-committed records
-  // (txn 0) are their own commit point.
-  std::set<uint64_t> seen_txns, committed;
+  // (txn 0) are their own commit point. The commit *lsn* is kept, not just
+  // membership: the fingerprint-at-watermark below needs to know whether a
+  // transaction would already have been committed by a recovery cut at the
+  // watermark.
+  std::set<uint64_t> seen_txns;
+  std::map<uint64_t, uint64_t> commit_lsn;  // txn -> lsn of its kCommit
   for (const ScannedRecord& scanned : records) {
     if (scanned.record.txn != kAutoCommitTxn) {
       seen_txns.insert(scanned.record.txn);
     }
     if (scanned.record.type == RecordType::kCommit &&
         scanned.record.txn != kAutoCommitTxn) {
-      committed.insert(scanned.record.txn);
+      commit_lsn[scanned.record.txn] = scanned.lsn;
     }
   }
-  report.txns_committed = committed.size();
-  report.txns_discarded = seen_txns.size() - committed.size();
+  report.txns_committed = commit_lsn.size();
+  report.txns_discarded = seen_txns.size() - commit_lsn.size();
 
   // 4. Redo: committed records in original lsn order, through the public
   // API, with surrogate translation.
   std::map<uint64_t, uint64_t> binding_mapping;
   for (const ScannedRecord& scanned : records) {
     const Record& r = scanned.record;
-    if (r.txn != kAutoCommitTxn && committed.count(r.txn) == 0) continue;
+    if (r.txn != kAutoCommitTxn && commit_lsn.count(r.txn) == 0) continue;
     if (r.type == RecordType::kBegin || r.type == RecordType::kCommit ||
         r.type == RecordType::kAbort) {
       continue;
@@ -272,6 +353,21 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
         Annotate(scanned.where,
                  ApplyRecord(r, db, &mapping, &binding_mapping)));
     ++report.records_applied;
+    report.applied_fingerprint = CombineFingerprint(
+        report.applied_fingerprint, scanned.lsn, scanned.payload_crc);
+    // fingerprint_at is its own chain over the records a recovery cut at
+    // the watermark would have applied: both the record and its commit
+    // point must lie at or before the watermark. (A transaction whose
+    // records straddle the watermark but whose commit arrived later was
+    // *discarded* by the earlier recovery this fingerprint is compared
+    // against — folding its records in would fabricate a divergence.)
+    if (options.fingerprint_lsn != 0 &&
+        scanned.lsn <= options.fingerprint_lsn &&
+        (r.txn == kAutoCommitTxn ||
+         commit_lsn[r.txn] <= options.fingerprint_lsn)) {
+      report.fingerprint_at = CombineFingerprint(
+          report.fingerprint_at, scanned.lsn, scanned.payload_crc);
+    }
   }
 
   // 5. fsck: the replayed store must pass the static integrity analysis.

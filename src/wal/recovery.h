@@ -25,12 +25,21 @@ struct DurabilityOptions {
   /// If that fsck reports errors, rebuild the secondary indexes
   /// (ObjectStore::RepairIndexes) and re-run it once before giving up.
   bool repair_on_fsck = true;
+  /// When non-zero, RecoveryReport::fingerprint_at captures the running
+  /// applied-record fingerprint as of this lsn (see the report field). The
+  /// replication follower uses it to prove that a re-replayed log prefix
+  /// is byte-identical to what it applied last time.
+  uint64_t fingerprint_lsn = 0;
 };
 
 /// What one recovery pass found and did. Surfaced by `wal status` and the
 /// crash-matrix tests.
 struct RecoveryReport {
   uint64_t checkpoint_lsn = 0;   // 0 = no checkpoint, replay from lsn 1
+  /// Log generation of the loaded checkpoint (0 with no checkpoint or a
+  /// version-1 file). Database::Open writes its fresh checkpoint with
+  /// generation + 1, so every process lifetime is its own generation.
+  uint64_t generation = 0;
   std::string checkpoint_path;
   uint64_t segments_scanned = 0;
   uint64_t records_scanned = 0;  // valid frames seen (incl. pre-checkpoint)
@@ -45,6 +54,19 @@ struct RecoveryReport {
   std::string tail_error;
   bool fsck_ran = false;
   bool repaired = false;
+  /// Chained CRC32C over the (lsn, payload) of every record this pass
+  /// applied, in lsn order. Two recoveries that applied the same committed
+  /// operations from the same bytes agree on it; two histories that
+  /// diverged do not (with CRC32C confidence). Compaction never changes it:
+  /// it only drops records replay skips anyway.
+  uint32_t applied_fingerprint = 0;
+  /// Separate fingerprint chain over the records a recovery cut at
+  /// DurabilityOptions::fingerprint_lsn would have applied: record lsn
+  /// *and* its transaction's commit lsn both at or before the watermark.
+  /// Equals the applied_fingerprint an earlier recovery reported when its
+  /// last_lsn was the watermark — unless the log's history changed under
+  /// it. (0 when the option is unset or nothing qualified.)
+  uint32_t fingerprint_at = 0;
 
   std::string ToString() const;
 };

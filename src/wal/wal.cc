@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "wal/compaction.h"
+
 namespace caddb {
 namespace wal {
 
@@ -41,6 +43,10 @@ std::string WalStats::ToString() const {
          std::to_string(bytes_appended) + " bytes\n";
   out += "fsyncs:        " + std::to_string(fsyncs) + " over " +
          std::to_string(segments_created) + " segment(s)\n";
+  out += "rotation:      " + std::to_string(size_rotations) +
+         " size rotation(s), " + std::to_string(compactions) +
+         " compaction(s), " + std::to_string(compaction_bytes_reclaimed) +
+         " bytes reclaimed\n";
   return out;
 }
 
@@ -78,6 +84,14 @@ Wal::Wal(std::string dir, WalOptions options, uint64_t next_lsn)
 
 Wal::~Wal() {
   // Destruction without Close is the crash path: drop the file unsynced.
+  // The syncer thread still has to be joined (it may be mid-fsync; letting
+  // that finish is harmless — a crash that syncs *more* than required).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    syncer_stop_ = true;
+  }
+  syncer_wake_cv_.notify_all();
+  if (syncer_.joinable()) syncer_.join();
 }
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
@@ -91,8 +105,13 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
                          "': " + ec.message());
   }
   std::unique_ptr<Wal> wal(new Wal(dir, options, next_lsn));
-  std::lock_guard<std::mutex> lock(wal->mu_);
-  CADDB_RETURN_IF_ERROR(wal->OpenSegmentLocked(next_lsn));
+  {
+    std::lock_guard<std::mutex> lock(wal->mu_);
+    CADDB_RETURN_IF_ERROR(wal->OpenSegmentLocked(next_lsn));
+  }
+  if (options.batched_fsync) {
+    wal->syncer_ = std::thread(&Wal::SyncerLoop, wal.get());
+  }
   return wal;
 }
 
@@ -104,53 +123,78 @@ Status Wal::OpenSegmentLocked(uint64_t start_lsn) {
                             : OpenWritableFile(path);
   if (!file.ok()) return file.status();
   file_ = std::move(*file);
+  segment_path_ = path;
   segment_start_lsn_ = start_lsn;
+  segment_bytes_written_ = 0;
   ++stats_.segments_created;
   // Make the (empty) segment's directory entry durable so recovery sees a
   // clean new segment rather than nothing.
   return SyncDir(dir_);
 }
 
-Status Wal::AppendLocked(const Record& record, uint64_t* lsn_out) {
+Status Wal::AppendLocked(std::unique_lock<std::mutex>& lock,
+                         const Record& record, uint64_t* lsn_out) {
+  rotate_done_cv_.wait(lock, [&] { return !rotating_ || closed_; });
   if (closed_) return FailedPrecondition("wal is closed");
+  if (!sync_error_.ok()) return sync_error_;
   uint64_t lsn = next_lsn_++;
   std::string frame = EncodeFrame(lsn, record.Encode());
   CADDB_RETURN_IF_ERROR(file_->Append(frame));
   ++stats_.records_appended;
   stats_.bytes_appended += frame.size();
+  segment_bytes_written_ += frame.size();
   stats_.last_lsn = lsn;
   if (lsn_out != nullptr) *lsn_out = lsn;
   return OkStatus();
 }
 
-Status Wal::SyncLocked() {
-  if (closed_) return FailedPrecondition("wal is closed");
-  if (synced_lsn_ == next_lsn_ - 1) {
-    unsynced_commits_ = 0;
-    return OkStatus();  // nothing new since the last fsync
+void Wal::RequestSyncLocked(uint64_t target) {
+  if (target > sync_requested_lsn_) sync_requested_lsn_ = target;
+  syncer_wake_cv_.notify_one();
+}
+
+Status Wal::SyncFileLocked() {
+  uint64_t target = next_lsn_ - 1;
+  if (synced_lsn_ >= target) return OkStatus();
+  Status s = file_->Sync();
+  if (!s.ok()) {
+    sync_error_ = s;
+    // Wake batched committers waiting on sync_done_cv_: their predicate
+    // checks sync_error_, and the syncer stands down during rotation, so
+    // this in-line fsync may be the only wake-up they ever get.
+    sync_done_cv_.notify_all();
+    return s;
   }
-  CADDB_RETURN_IF_ERROR(file_->Sync());
-  synced_lsn_ = next_lsn_ - 1;
+  synced_lsn_ = target;
   stats_.synced_lsn = synced_lsn_;
-  unsynced_commits_ = 0;
   ++stats_.fsyncs;
+  sync_done_cv_.notify_all();
   return OkStatus();
 }
 
-Result<uint64_t> Wal::Append(const Record& record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t lsn = 0;
-  CADDB_RETURN_IF_ERROR(AppendLocked(record, &lsn));
-  return lsn;
+Status Wal::SyncLocked(std::unique_lock<std::mutex>& lock) {
+  if (closed_) return FailedPrecondition("wal is closed");
+  if (!sync_error_.ok()) return sync_error_;
+  uint64_t target = next_lsn_ - 1;
+  unsynced_commits_ = 0;
+  if (synced_lsn_ >= target) return OkStatus();
+  if (options_.batched_fsync && syncer_.joinable() && !rotating_) {
+    RequestSyncLocked(target);
+    sync_done_cv_.wait(lock, [&] {
+      return synced_lsn_ >= target || !sync_error_.ok();
+    });
+    return sync_error_;
+  }
+  // In-line path (also taken during rotation, when the syncer stands down).
+  sync_done_cv_.wait(lock, [&] { return !sync_in_flight_; });
+  return SyncFileLocked();
 }
 
-Status Wal::AppendCommit(const Record& record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  CADDB_RETURN_IF_ERROR(AppendLocked(record, nullptr));
+Status Wal::CommitSyncLocked(std::unique_lock<std::mutex>& lock) {
   ++stats_.commits;
   switch (options_.sync) {
     case SyncPolicy::kAlways:
-      return SyncLocked();
+      return SyncLocked(lock);
     case SyncPolicy::kBatch: {
       if (unsynced_commits_ == 0) {
         oldest_unsynced_commit_ = std::chrono::steady_clock::now();
@@ -161,7 +205,15 @@ Status Wal::AppendCommit(const Record& record) {
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - oldest_unsynced_commit_)
               .count() >= static_cast<int64_t>(options_.batch_interval_us);
-      if (full || overdue) return SyncLocked();
+      if (full || overdue) {
+        if (options_.batched_fsync && syncer_.joinable()) {
+          // Fire-and-forget: kBatch never promised durability at ack time.
+          unsynced_commits_ = 0;
+          RequestSyncLocked(next_lsn_ - 1);
+          return sync_error_;
+        }
+        return SyncLocked(lock);
+      }
       return OkStatus();
     }
     case SyncPolicy::kNone:
@@ -170,39 +222,166 @@ Status Wal::AppendCommit(const Record& record) {
   return OkStatus();
 }
 
-Status Wal::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return SyncLocked();
+Result<uint64_t> Wal::Append(const Record& record) {
+  std::vector<ClosedSegment> closed;
+  uint64_t lsn = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    CADDB_RETURN_IF_ERROR(AppendLocked(lock, record, &lsn));
+    CADDB_RETURN_IF_ERROR(MaybeRotateBySizeLocked(lock));
+    closed.swap(pending_closed_);
+  }
+  FireCloseHook(std::move(closed));
+  return lsn;
 }
 
-Status Wal::RotateAndTruncate() {
-  std::lock_guard<std::mutex> lock(mu_);
-  CADDB_RETURN_IF_ERROR(SyncLocked());
-  CADDB_RETURN_IF_ERROR(file_->Close());
-  uint64_t old_start = segment_start_lsn_;
-  CADDB_RETURN_IF_ERROR(OpenSegmentLocked(next_lsn_));
-  // Rotation happens only here, so every older segment is entirely covered
-  // by the checkpoint the caller just published — safe to delete.
-  for (const SegmentFileInfo& segment : ListSegments(dir_)) {
-    if (segment.start_lsn > old_start ||
-        segment.start_lsn == segment_start_lsn_) {
-      continue;
+Status Wal::AppendCommit(const Record& record) {
+  std::vector<ClosedSegment> closed;
+  Status result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    CADDB_RETURN_IF_ERROR(AppendLocked(lock, record, nullptr));
+    result = CommitSyncLocked(lock);
+    if (result.ok()) result = MaybeRotateBySizeLocked(lock);
+    closed.swap(pending_closed_);
+  }
+  FireCloseHook(std::move(closed));
+  return result;
+}
+
+Status Wal::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return SyncLocked(lock);
+}
+
+Status Wal::MaybeRotateBySizeLocked(std::unique_lock<std::mutex>& lock) {
+  if (options_.segment_bytes == 0 ||
+      segment_bytes_written_ < options_.segment_bytes || rotating_) {
+    return OkStatus();
+  }
+  ++stats_.size_rotations;
+  return RotateLocked(lock, /*truncate=*/false);
+}
+
+Status Wal::RotateLocked(std::unique_lock<std::mutex>& lock, bool truncate) {
+  // Stand the syncer down and block new appends, then drain any in-flight
+  // fsync: after this, the segment's bytes are stable and nobody touches
+  // the file descriptor we are about to close.
+  rotating_ = true;
+  struct RotationGuard {
+    Wal* wal;
+    ~RotationGuard() {
+      wal->rotating_ = false;
+      wal->rotate_done_cv_.notify_all();
     }
-    std::error_code ec;
-    fs::remove(segment.path, ec);
-    if (ec) {
-      return InternalError("cannot remove old segment '" + segment.path +
-                           "': " + ec.message());
+  } guard{this};
+  sync_done_cv_.wait(lock, [&] { return !sync_in_flight_; });
+  CADDB_RETURN_IF_ERROR(SyncFileLocked());
+  unsynced_commits_ = 0;
+  CADDB_RETURN_IF_ERROR(file_->Close());
+  const std::string old_path = segment_path_;
+  const uint64_t old_start = segment_start_lsn_;
+  const uint64_t old_last = next_lsn_ - 1;
+  const bool old_nonempty = old_last >= old_start;
+
+  if (!truncate && old_nonempty) {
+    ClosedSegment info{old_path, old_start, old_last};
+    if (options_.compact_on_rotate) {
+      Result<CompactionResult> compacted = CompactClosedSegment(old_path);
+      // Compaction is an optimization; a failure to rewrite must not take
+      // down the log. The uncompacted segment replays identically.
+      if (compacted.ok() && compacted->rewritten) {
+        ++stats_.compactions;
+        stats_.compaction_bytes_reclaimed += compacted->bytes_reclaimed();
+      }
+    }
+    pending_closed_.push_back(std::move(info));
+  }
+
+  CADDB_RETURN_IF_ERROR(OpenSegmentLocked(next_lsn_));
+  if (truncate) {
+    // Rotation-with-truncation happens only at checkpoints, so every older
+    // segment is entirely covered by the checkpoint the caller just
+    // published — safe to delete.
+    for (const SegmentFileInfo& segment : ListSegments(dir_)) {
+      if (segment.start_lsn > old_start ||
+          segment.start_lsn == segment_start_lsn_) {
+        continue;
+      }
+      std::error_code ec;
+      fs::remove(segment.path, ec);
+      if (ec) {
+        return InternalError("cannot remove old segment '" + segment.path +
+                             "': " + ec.message());
+      }
     }
   }
   return SyncDir(dir_);
 }
 
+Status Wal::RotateAndTruncate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return FailedPrecondition("wal is closed");
+  return RotateLocked(lock, /*truncate=*/true);
+}
+
+void Wal::FireCloseHook(std::vector<ClosedSegment> closed) {
+  if (!options_.segment_close_hook) return;
+  for (const ClosedSegment& segment : closed) {
+    options_.segment_close_hook(segment);
+  }
+}
+
+void Wal::SyncerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    syncer_wake_cv_.wait(lock, [&] {
+      return syncer_stop_ ||
+             (!rotating_ && sync_error_.ok() &&
+              sync_requested_lsn_ > synced_lsn_);
+    });
+    if (syncer_stop_) return;
+    WritableFile* file = file_.get();
+    uint64_t target = next_lsn_ - 1;
+    sync_in_flight_ = true;
+    lock.unlock();
+    // The fsync runs without the mutex: committers keep appending to the
+    // same fd meanwhile (concurrent write+fsync on one descriptor is
+    // safe; the fsync simply covers whatever had been written when the
+    // kernel processed it — we only *claim* `target`).
+    Status s = file->Sync();
+    lock.lock();
+    sync_in_flight_ = false;
+    if (!s.ok()) {
+      sync_error_ = s;
+    } else {
+      // Rotation waits for !sync_in_flight_ before swapping file_, so the
+      // descriptor we synced is still the live segment.
+      if (target > synced_lsn_) {
+        synced_lsn_ = target;
+        stats_.synced_lsn = synced_lsn_;
+      }
+      ++stats_.fsyncs;
+    }
+    sync_done_cv_.notify_all();
+  }
+}
+
 Status Wal::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   if (closed_) return OkStatus();
-  CADDB_RETURN_IF_ERROR(SyncLocked());
+  Status synced = SyncLocked(lock);
+  sync_done_cv_.wait(lock, [&] { return !sync_in_flight_; });
   closed_ = true;
+  syncer_stop_ = true;
+  syncer_wake_cv_.notify_all();
+  rotate_done_cv_.notify_all();
+  if (syncer_.joinable()) {
+    lock.unlock();
+    syncer_.join();
+    lock.lock();
+  }
+  CADDB_RETURN_IF_ERROR(synced);
   return file_->Close();
 }
 

@@ -2,10 +2,13 @@
 #define CADDB_WAL_WAL_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/result.h"
@@ -37,6 +40,17 @@ enum class SyncPolicy {
 const char* SyncPolicyName(SyncPolicy policy);
 Result<SyncPolicy> SyncPolicyFromName(const std::string& name);
 
+/// A segment that was closed by size-based rotation (not by checkpoint
+/// truncation, which deletes the closed files immediately). The replication
+/// shipper hangs off this via WalOptions::segment_close_hook.
+struct ClosedSegment {
+  std::string path;
+  uint64_t start_lsn = 0;
+  uint64_t last_lsn = 0;  // lsn of the segment's final record
+};
+
+using SegmentCloseHook = std::function<void(const ClosedSegment&)>;
+
 struct WalOptions {
   SyncPolicy sync = SyncPolicy::kAlways;
   /// kBatch: fsync after this many unsynced commits...
@@ -46,6 +60,28 @@ struct WalOptions {
   /// How segment files are opened — tests swap in FailpointFactory to
   /// simulate crashes at arbitrary byte offsets. Null means real files.
   FileFactory file_factory;
+  /// Rotate to a fresh segment once the live one reaches this many bytes
+  /// (0 = segments only rotate at checkpoints). Size-closed segments stay
+  /// on disk until the next checkpoint truncates them; recovery replays
+  /// across the whole chain and verifies lsn continuity at every seam.
+  uint64_t segment_bytes = 0;
+  /// Rewrite size-closed segments dropping the payload records of
+  /// transactions that aborted within the segment (their Begin/Abort
+  /// markers stay, so replay analysis and segment-seam lsns are
+  /// unaffected). Reclaimed bytes show up in WalStats / `wal status`.
+  bool compact_on_rotate = true;
+  /// Called after a segment is closed (and compacted) by size rotation.
+  /// Runs on the appending thread with the Wal mutex released, so the hook
+  /// may call back into the Wal (the replication shipper does).
+  SegmentCloseHook segment_close_hook;
+  /// Move fsyncs to a dedicated syncer thread: committers enqueue their
+  /// target lsn and wait (SyncPolicy::kAlways) or continue
+  /// (kBatch/kNone); one fsync then acknowledges every commit buffered
+  /// before it, and — unlike the in-line path — the fsync itself runs
+  /// outside the Wal mutex, so concurrent committers append while the
+  /// previous batch is still being made durable. A failed fsync is sticky:
+  /// every later commit/sync reports it.
+  bool batched_fsync = false;
 };
 
 /// Point-in-time counters for `wal status` and the benchmarks.
@@ -60,6 +96,9 @@ struct WalStats {
   uint64_t fsyncs = 0;
   uint64_t segments_created = 0;
   uint64_t bytes_appended = 0;
+  uint64_t size_rotations = 0;    // segments closed because they grew full
+  uint64_t compactions = 0;       // size-closed segments that were rewritten
+  uint64_t compaction_bytes_reclaimed = 0;
 
   std::string ToString() const;
 };
@@ -136,14 +175,35 @@ class Wal {
   Wal(std::string dir, WalOptions options, uint64_t next_lsn);
 
   Status OpenSegmentLocked(uint64_t start_lsn);
-  Status AppendLocked(const Record& record, uint64_t* lsn_out);
-  Status SyncLocked();
+  Status AppendLocked(std::unique_lock<std::mutex>& lock, const Record& record,
+                      uint64_t* lsn_out);
+  /// Applies the commit-time sync policy (shared tail of AppendCommit).
+  Status CommitSyncLocked(std::unique_lock<std::mutex>& lock);
+  /// Makes everything appended so far durable — in-line fsync, or a
+  /// request + wait on the syncer thread when batched_fsync is on.
+  Status SyncLocked(std::unique_lock<std::mutex>& lock);
+  /// In-line fsync of the live file; requires no syncer fsync in flight.
+  Status SyncFileLocked();
+  /// Asks the syncer thread to cover lsns through `target`.
+  void RequestSyncLocked(uint64_t target);
+  /// Closes the live segment and opens a fresh one at next_lsn_. With
+  /// `truncate`, deletes every older segment (checkpoint path); without,
+  /// compacts the closed segment and queues it for the close hook (size
+  /// rotation).
+  Status RotateLocked(std::unique_lock<std::mutex>& lock, bool truncate);
+  /// Size-rotation trigger, called after a successful append.
+  Status MaybeRotateBySizeLocked(std::unique_lock<std::mutex>& lock);
+  /// Drains pending_closed_ into the close hook; call with mu_ released.
+  void FireCloseHook(std::vector<ClosedSegment> closed);
+  void SyncerLoop();
 
   const std::string dir_;
   const WalOptions options_;
 
   mutable std::mutex mu_;
   std::unique_ptr<WritableFile> file_;
+  std::string segment_path_;
+  uint64_t segment_bytes_written_ = 0;
   uint64_t next_lsn_;
   uint64_t segment_start_lsn_ = 0;
   uint64_t synced_lsn_ = 0;
@@ -152,6 +212,18 @@ class Wal {
   bool closed_ = false;
   uint64_t next_group_txn_ = (1ull << 62) + 1;
   WalStats stats_{};
+  std::vector<ClosedSegment> pending_closed_;  // awaiting the close hook
+
+  // Batched-fsync machinery (idle unless options_.batched_fsync).
+  std::thread syncer_;
+  std::condition_variable syncer_wake_cv_;  // work for the syncer
+  std::condition_variable sync_done_cv_;    // synced_lsn_ advanced / drained
+  std::condition_variable rotate_done_cv_;  // appenders blocked by rotation
+  bool syncer_stop_ = false;
+  bool sync_in_flight_ = false;
+  bool rotating_ = false;
+  uint64_t sync_requested_lsn_ = 0;
+  Status sync_error_;  // sticky: first failed fsync poisons the log
 };
 
 }  // namespace wal

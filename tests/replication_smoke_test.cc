@@ -1,0 +1,142 @@
+// End-to-end crash drill: a forked child process runs a primary that works,
+// checkpoints, and ships continuously — writing a canonical oracle dump
+// *before* every shipment. The parent tails the replica directory with a
+// Follower, SIGKILLs the primary mid-flight, promotes, and the promoted
+// database must equal the oracle recorded at the applied shipment. This is
+// the test the CI replication stage runs under ASan+UBSan.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/database.h"
+#include "core/paper_schemas.h"
+#include "persist/dump.h"
+#include "replication/follower.h"
+#include "replication/shipper.h"
+#include "wal/log_io.h"
+#include "wal/recovery.h"
+
+namespace caddb {
+namespace replication {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  fs::path dir = fs::current_path() / "replication_smoke_tmp" / name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+Status ApplyStage(Database* db, int stage) {
+  if (stage == 1) {
+    CADDB_RETURN_IF_ERROR(db->ExecuteDdl(schemas::kGatesBase));
+  }
+  CADDB_ASSIGN_OR_RETURN(Surrogate gate, db->CreateObject("SimpleGate"));
+  CADDB_RETURN_IF_ERROR(db->Set(gate, "Length", Value::Int(stage * 10)));
+  {
+    CADDB_ASSIGN_OR_RETURN(TxnId txn, db->transactions().Begin("committer"));
+    CADDB_RETURN_IF_ERROR(
+        db->transactions().Write(txn, gate, "Width", Value::Int(stage)));
+    CADDB_RETURN_IF_ERROR(db->transactions().Commit(txn));
+  }
+  {
+    CADDB_ASSIGN_OR_RETURN(TxnId txn, db->transactions().Begin("aborter"));
+    CADDB_RETURN_IF_ERROR(
+        db->transactions().Write(txn, gate, "Width", Value::Int(9999)));
+    CADDB_RETURN_IF_ERROR(db->transactions().Abort(txn));
+  }
+  return OkStatus();
+}
+
+/// The child's main: work, oracle, ship — forever, until SIGKILLed. The
+/// oracle for shipment seq N is written (atomically) before ShipNow, so it
+/// is exactly the state the Nth manifest captures. Exits only through
+/// _exit — no gtest machinery runs in the child.
+[[noreturn]] void RunPrimaryChild(const std::string& primary_dir,
+                                  const std::string& replica_dir,
+                                  const std::string& oracle_dir) {
+  wal::DurabilityOptions options;
+  options.wal.sync = wal::SyncPolicy::kNone;  // the shipper syncs per ship
+  auto db = Database::Open(primary_dir, options);
+  if (!db.ok()) _exit(2);
+  Shipper shipper((*db).get(), replica_dir);
+  for (int stage = 1; stage <= 500; ++stage) {
+    if (!ApplyStage((*db).get(), stage).ok()) _exit(3);
+    if (stage % 7 == 0 && !(*db)->Checkpoint().ok()) _exit(4);
+    Result<std::string> oracle = persist::CanonicalDump(**db);
+    if (!oracle.ok()) _exit(5);
+    const std::string path =
+        (fs::path(oracle_dir) / ("oracle-" + std::to_string(stage))).string();
+    if (!wal::AtomicWriteFile(path, *oracle).ok()) _exit(6);
+    auto shipped = shipper.ShipNow();
+    if (!shipped.ok() || shipped->seq != static_cast<uint64_t>(stage)) {
+      _exit(7);
+    }
+  }
+  _exit(0);
+}
+
+TEST(ReplicationSmokeTest, PromoteAfterSigkillMatchesShipTimeOracle) {
+  const std::string primary_dir = TestDir("primary");
+  const std::string replica_dir = TestDir("replica");
+  const std::string oracle_dir = TestDir("oracle");
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    RunPrimaryChild(primary_dir, replica_dir, oracle_dir);
+  }
+
+  // Tail the replica while the primary runs. Polls racing in-flight
+  // shipments may report kUnavailable — that is the design, not a failure.
+  Follower follower(replica_dir);
+  uint64_t applied = 0;
+  for (int i = 0; i < 3000 && applied < 5; ++i) {
+    (void)follower.Poll();
+    ASSERT_NE(follower.state(), FollowerState::kQuarantined)
+        << follower.quarantine_code() << ": " << follower.quarantine_reason();
+    applied = follower.replica_info().manifest_seq;
+    usleep(10 * 1000);
+  }
+  ASSERT_GE(applied, 5u) << "primary child never shipped enough";
+
+  // kill -9, mid-whatever it was doing.
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+
+  // Promote: final catch-up (whatever the dead primary managed to publish),
+  // replay, fsck, fresh checkpoint, new generation.
+  auto promoted = follower.Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  const uint64_t seq = follower.replica_info().manifest_seq;
+  ASSERT_GE(seq, applied);
+
+  Result<std::string> oracle = wal::ReadFileToString(
+      (fs::path(oracle_dir) / ("oracle-" + std::to_string(seq))).string());
+  ASSERT_TRUE(oracle.ok()) << "no oracle for applied seq " << seq;
+  Result<std::string> promoted_dump = persist::CanonicalDump(**promoted);
+  ASSERT_TRUE(promoted_dump.ok()) << promoted_dump.status().ToString();
+  EXPECT_EQ(*promoted_dump, *oracle)
+      << "promoted state diverged from the primary's state at shipment "
+      << seq;
+
+  // The promoted database is a writable primary in its own right.
+  EXPECT_FALSE((*promoted)->read_only());
+  EXPECT_TRUE((*promoted)->recovery_report().fsck_ran);
+  ASSERT_TRUE(ApplyStage((*promoted).get(), 1000).ok());
+  ASSERT_TRUE((*promoted)->Close().ok());
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace caddb

@@ -464,6 +464,229 @@ TEST(RecoveryPropertyTest, GeneratorTraceRecoversAtEveryBoundary) {
   EXPECT_EQ(CanonicalDump(**again), half_dump);
 }
 
+void TouchEmptyFile(const std::string& path) {
+  auto file = OpenWritableFile(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+/// Copies a whole durability directory so each mutation test can corrupt
+/// its own copy (Database::Open rewrites the directory it recovers).
+std::string CloneDir(const std::string& src, const std::string& name) {
+  const std::string dst = TestDir(name);
+  for (const fs::directory_entry& entry : fs::directory_iterator(src)) {
+    fs::copy_file(entry.path(), fs::path(dst) / entry.path().filename());
+  }
+  return dst;
+}
+
+/// A rotated multi-segment durability directory (closed, not reopened),
+/// with the live run's final dump. Built once per test via segment_bytes
+/// small enough that the scripted workload rotates several times.
+struct RotatedLog {
+  std::string dir;
+  std::string live_dump;
+  uint64_t last_lsn = 0;
+};
+
+RotatedLog BuildRotatedLog(const std::string& name) {
+  RotatedLog log;
+  log.dir = TestDir(name);
+  DurabilityOptions options;
+  options.wal.sync = SyncPolicy::kNone;
+  options.wal.segment_bytes = 4096;
+  auto db = Database::Open(log.dir, options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  Status workload = RunScriptedWorkload((*db).get(), [] {});
+  EXPECT_TRUE(workload.ok()) << workload.ToString();
+  log.live_dump = CanonicalDump(**db);
+  log.last_lsn = (*db)->wal()->last_lsn();
+  EXPECT_TRUE((*db)->Close().ok());
+  EXPECT_GT(ListSegments(log.dir).size(), 2u)
+      << "workload no longer rotates; shrink segment_bytes";
+  return log;
+}
+
+TEST(RecoveryRotationCrashTest, EmptyFinalSegmentFromCrashedRotationIsClean) {
+  // Crash between "create the next segment file" and "append to it": the
+  // chain ends in a zero-length segment. That is a healthy tail, not a torn
+  // log — recovery must come back with the full state and no tail error.
+  RotatedLog log = BuildRotatedLog("rotation_empty_final");
+  TouchEmptyFile(
+      (fs::path(log.dir) / SegmentFileName(log.last_lsn + 1)).string());
+  auto recovered = Database::Open(log.dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->recovery_report().tail_error.empty())
+      << (*recovered)->recovery_report().ToString();
+  EXPECT_EQ((*recovered)->recovery_report().last_lsn, log.last_lsn);
+  EXPECT_EQ(CanonicalDump(**recovered), log.live_dump);
+  ASSERT_TRUE((*recovered)->Close().ok());
+}
+
+TEST(RecoveryRotationCrashTest, ZeroLengthOnlySegmentRecoversToCheckpoint) {
+  // The degenerate directory a crash right after Open can leave: checkpoint
+  // plus one zero-length segment. Recovery is the checkpoint state.
+  const std::string live_dir = TestDir("zero_only_live");
+  std::string checkpoint_dump;
+  uint64_t checkpoint_lsn = 0;
+  {
+    auto db = Database::Open(live_dir);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    checkpoint_dump = CanonicalDump(**db);
+    ASSERT_TRUE((*db)->Close().ok());
+    checkpoint_lsn = ListCheckpoints(live_dir).back().lsn;
+  }
+  const std::string crash_dir = TestDir("zero_only_crash");
+  fs::copy_file(ListCheckpoints(live_dir).back().path,
+                fs::path(crash_dir) /
+                    fs::path(ListCheckpoints(live_dir).back().path).filename());
+  TouchEmptyFile(
+      (fs::path(crash_dir) / SegmentFileName(checkpoint_lsn + 1)).string());
+  auto recovered = Database::Open(crash_dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->recovery_report().tail_error.empty());
+  EXPECT_EQ(CanonicalDump(**recovered), checkpoint_dump);
+  ASSERT_TRUE((*recovered)->Close().ok());
+}
+
+TEST(RecoveryRotationCrashTest, TornTailPlusEmptyNextSegmentRecoversPrefix) {
+  // Crash during rotation after a torn append: the (now second-to-last)
+  // segment has a torn tail and the fresh segment is empty. The torn
+  // segment is the effective tail — recovery lands on its valid prefix.
+  const std::string live_dir = TestDir("torn_plus_empty_live");
+  std::vector<OraclePoint> oracles;
+  std::string segment_path;
+  {
+    DurabilityOptions options;
+    options.wal.sync = SyncPolicy::kNone;
+    auto db = Database::Open(live_dir, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    segment_path = ListSegments(live_dir)[0].path;
+    auto mark = [&] {
+      oracles.push_back({static_cast<uint64_t>(fs::file_size(segment_path)),
+                         CanonicalDump(**db)});
+    };
+    mark();
+    ASSERT_TRUE(RunScriptedWorkload((*db).get(), mark).ok());
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  Result<std::string> bytes = ReadFileToString(segment_path);
+  ASSERT_TRUE(bytes.ok());
+  SegmentContents contents = DecodeFrames(*bytes);
+  ASSERT_TRUE(contents.tail_error.empty());
+  std::vector<CheckpointFileInfo> checkpoints = ListCheckpoints(live_dir);
+  ASSERT_EQ(checkpoints.size(), 1u);
+  const std::string segment_name = fs::path(segment_path).filename().string();
+
+  const size_t mid = contents.frames.size() / 2;
+  const uint64_t cut = contents.frames[mid].end_offset - 3;  // mid-frame
+  const std::string crash_dir = TestDir("torn_plus_empty_crash");
+  BuildCrashDir(crash_dir, checkpoints[0], segment_name, *bytes, cut);
+  TouchEmptyFile(
+      (fs::path(crash_dir) / SegmentFileName(contents.frames[mid].lsn + 1))
+          .string());
+
+  auto recovered = Database::Open(crash_dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE((*recovered)->recovery_report().tail_error.empty());
+  const OraclePoint* expected = &oracles.front();
+  for (const OraclePoint& o : oracles) {
+    if (o.bytes > cut) break;
+    expected = &o;
+  }
+  EXPECT_EQ(CanonicalDump(**recovered), expected->dump);
+  ASSERT_TRUE((*recovered)->Close().ok());
+}
+
+TEST(RecoveryRotationCrashTest, TornNonFinalSegmentWithLaterRecordsIsFatal) {
+  // A torn segment *followed by real records* is not a crash artifact —
+  // committed data between them is gone. Recovery must refuse, not
+  // silently replay around the hole.
+  RotatedLog log = BuildRotatedLog("rotation_torn_midchain");
+  std::vector<SegmentFileInfo> segments = ListSegments(log.dir);
+  const std::string crash_dir = CloneDir(log.dir, "rotation_torn_crash");
+  const std::string victim =
+      (fs::path(crash_dir) / fs::path(segments[0].path).filename()).string();
+  Result<std::string> bytes = ReadFileToString(victim);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(AtomicWriteFile(victim, bytes->substr(0, bytes->size() - 5))
+                  .ok());
+  auto recovered = Database::Open(crash_dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("torn in the middle"),
+            std::string::npos)
+      << recovered.status().ToString();
+}
+
+TEST(RecoveryRotationCrashTest, MissingMiddleSegmentIsFatal) {
+  RotatedLog log = BuildRotatedLog("rotation_gap_midchain");
+  std::vector<SegmentFileInfo> segments = ListSegments(log.dir);
+  ASSERT_GT(segments.size(), 2u);
+  const std::string crash_dir = CloneDir(log.dir, "rotation_gap_crash");
+  fs::remove(fs::path(crash_dir) / fs::path(segments[1].path).filename());
+  auto recovered = Database::Open(crash_dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("wal gap between"),
+            std::string::npos)
+      << recovered.status().ToString();
+}
+
+TEST(RecoveryRotationCrashTest, MissingOldestSegmentIsFatal) {
+  // The anchor check needs a real checkpoint (lsn != 0): checkpoint
+  // mid-history, rotate a couple more segments past it, then lose the
+  // oldest surviving segment — the one that connects chain to checkpoint.
+  RotatedLog log = BuildRotatedLog("rotation_gap_oldest");
+  {
+    DurabilityOptions options;
+    options.wal.sync = SyncPolicy::kNone;
+    options.wal.segment_bytes = 4096;
+    auto db = Database::Open(log.dir, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    Result<Surrogate> gate = (*db)->CreateObject("SimpleGate");
+    ASSERT_TRUE(gate.ok()) << gate.status().ToString();
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*db)->Set(*gate, "Length", Value::Int(i)).ok());
+    }
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  std::vector<SegmentFileInfo> segments = ListSegments(log.dir);
+  ASSERT_GT(segments.size(), 1u) << "writes no longer rotate past checkpoint";
+  const std::string crash_dir = CloneDir(log.dir, "rotation_gap_oldest_crash");
+  fs::remove(fs::path(crash_dir) / fs::path(segments[0].path).filename());
+  auto recovered = Database::Open(crash_dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("wal gap: checkpoint covers"),
+            std::string::npos)
+      << recovered.status().ToString();
+}
+
+TEST(RecoveryRotationCrashTest, RotatedChainRecoversAtEverySegmentCount) {
+  // Dropping suffixes of the segment chain steps recovery back through
+  // rotation history; each prefix of the chain must be fsck-clean.
+  RotatedLog log = BuildRotatedLog("rotation_prefixes");
+  std::vector<SegmentFileInfo> segments = ListSegments(log.dir);
+  size_t prev_objects = 0;
+  for (size_t keep = 1; keep <= segments.size(); ++keep) {
+    const std::string crash_dir =
+        CloneDir(log.dir, "rotation_prefix_crash");
+    for (size_t i = keep; i < segments.size(); ++i) {
+      fs::remove(fs::path(crash_dir) / fs::path(segments[i].path).filename());
+    }
+    auto recovered = Database::Open(crash_dir);
+    ASSERT_TRUE(recovered.ok())
+        << "keep=" << keep << ": " << recovered.status().ToString();
+    EXPECT_TRUE((*recovered)->recovery_report().fsck_ran);
+    size_t objects = (*recovered)->store().size();
+    EXPECT_GE(objects, prev_objects) << "keep=" << keep;
+    prev_objects = objects;
+    if (keep == segments.size()) {
+      EXPECT_EQ(CanonicalDump(**recovered), log.live_dump);
+    }
+    ASSERT_TRUE((*recovered)->Close().ok());
+  }
+}
+
 }  // namespace
 }  // namespace wal
 }  // namespace caddb
