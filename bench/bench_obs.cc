@@ -1,0 +1,153 @@
+// Experiment E14 (EXPERIMENTS.md): cost of the observability layer. Two
+// questions. (1) What do the primitives cost in isolation — a counter
+// increment, a histogram record, a Span with tracing disabled (the
+// load-and-branch path every hot operation now pays) and enabled? (2) What
+// does the instrumentation add to a real hot path — an inherited-attribute
+// read — with tracing off (the ≤5% budget against the pre-observability
+// baselines) and on?
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "obs/exposition.h"
+#include "obs/observability.h"
+
+namespace {
+
+using caddb::Database;
+using caddb::Surrogate;
+using caddb::Value;
+using caddb::bench::Abort;
+using caddb::bench::LoadGatesSchema;
+using caddb::bench::NewInterface;
+using caddb::bench::Unwrap;
+
+// ---- Primitive costs ----
+
+void BM_CounterIncrement(benchmark::State& state) {
+  caddb::obs::MetricsRegistry registry;
+  caddb::obs::Counter* counter = registry.GetCounter("caddb_bench_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  caddb::obs::MetricsRegistry registry;
+  caddb::obs::Histogram* hist = registry.GetHistogram("caddb_bench_us");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    hist->Record(v);
+    v = (v * 7 + 3) & 0xFFFFF;  // spread across buckets
+  }
+  benchmark::DoNotOptimize(hist->count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  caddb::obs::Tracer tracer;
+  for (auto _ : state) {
+    caddb::obs::Span span(&tracer, "bench.op");
+    benchmark::DoNotOptimize(span.recording());
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanAlwaysTime(benchmark::State& state) {
+  caddb::obs::Tracer tracer;
+  caddb::obs::Histogram hist;
+  for (auto _ : state) {
+    caddb::obs::Span span(&tracer, "bench.op", &hist, /*always_time=*/true);
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_SpanAlwaysTime);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  caddb::obs::Tracer tracer;
+  tracer.Enable();
+  for (auto _ : state) {
+    caddb::obs::Span span(&tracer, "bench.op");
+  }
+  benchmark::DoNotOptimize(tracer.total_spans());
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SpanEnabledWithAttributes(benchmark::State& state) {
+  caddb::obs::Tracer tracer;
+  tracer.Enable();
+  for (auto _ : state) {
+    caddb::obs::Span span(&tracer, "bench.op");
+    span.AddAttribute("attr", "value");
+    span.AddAttribute("n", uint64_t{42});
+  }
+  benchmark::DoNotOptimize(tracer.total_spans());
+}
+BENCHMARK(BM_SpanEnabledWithAttributes);
+
+void BM_MetricsSnapshotAndRender(benchmark::State& state) {
+  // A registry about the size a real database produces (~30 instruments).
+  caddb::obs::MetricsRegistry registry;
+  for (int i = 0; i < 20; ++i) {
+    registry.GetCounter("caddb_bench_c" + std::to_string(i) + "_total")
+        ->Increment(i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    caddb::obs::Histogram* hist =
+        registry.GetHistogram("caddb_bench_h" + std::to_string(i) + "_us");
+    for (int j = 0; j < 100; ++j) hist->Record(j * 17);
+  }
+  for (auto _ : state) {
+    std::string text =
+        caddb::obs::RenderPrometheus(registry.Snapshot());
+    benchmark::DoNotOptimize(text.data());
+  }
+}
+BENCHMARK(BM_MetricsSnapshotAndRender);
+
+// ---- Instrumented hot path: inherited-attribute read ----
+
+struct ReadFixture {
+  Database db;
+  Surrogate impl;
+
+  ReadFixture() {
+    LoadGatesSchema(&db);
+    Surrogate iface = NewInterface(&db, 3);
+    impl = Unwrap(db.CreateObject("GateImplementation"));
+    Unwrap(db.Bind(impl, iface, "AllOf_GateInterface"));
+  }
+};
+
+void BM_InheritedReadTracingOff(benchmark::State& state) {
+  ReadFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.db.Get(fx.impl, "Length"));
+  }
+}
+BENCHMARK(BM_InheritedReadTracingOff);
+
+void BM_InheritedReadTracingOn(benchmark::State& state) {
+  ReadFixture fx;
+  fx.db.observability()->trace.Enable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.db.Get(fx.impl, "Length"));
+  }
+}
+BENCHMARK(BM_InheritedReadTracingOn);
+
+void BM_InheritedReadTracingOnWithObserver(benchmark::State& state) {
+  ReadFixture fx;
+  fx.db.observability()->trace.Enable();
+  uint64_t seen = 0;
+  fx.db.AddObserver([&seen](const caddb::obs::SpanRecord&) { ++seen; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.db.Get(fx.impl, "Length"));
+  }
+  benchmark::DoNotOptimize(seen);
+}
+BENCHMARK(BM_InheritedReadTracingOnWithObserver);
+
+}  // namespace

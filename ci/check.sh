@@ -6,10 +6,13 @@
 #   3. Crash-recovery smoke: the fault-injection matrix under ASan
 #   4. Replication smoke: shipper/follower fault matrix + the kill -9
 #      promote drill under ASan+UBSan
-#   5. TSan build + the concurrency tests (lock manager, transactions,
-#      batched-fsync committers)
-#   6. Bench build: every benchmark target must compile (incl. bench_wal)
-#   7. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
+#   5. Observability smoke: metrics/trace/exposition tests under
+#      ASan+UBSan — a live workload fills the instruments and the
+#      Prometheus text must validate
+#   6. TSan build + the concurrency tests (lock manager, transactions,
+#      batched-fsync committers, the concurrent metrics/trace registry)
+#   7. Bench build: every benchmark target must compile (incl. bench_obs)
+#   8. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
 #
 # Each configuration gets its own build directory under build-ci/ so the
 # sanitizer runtimes never mix. Usage: ci/check.sh [jobs]
@@ -50,20 +53,29 @@ UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-ci/asan-ubsan --output-on-failure \
         -R '^(replication_test|replication_smoke_test)$'
 
-step "tsan: lock manager + transaction + batched-fsync tests"
+step "observability smoke: instruments + exposition under asan+ubsan"
+# obs_smoke_test drives a real workload with tracing on and asserts the
+# counters/histograms filled and the Prometheus text validates;
+# stats_replica_test covers DatabaseStats::Collect on replica databases in
+# every follower state (catching-up, caught-up, quarantined).
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure \
+        -R '^(obs_test|obs_smoke_test|stats_replica_test)$'
+
+step "tsan: lock manager + transaction + batched-fsync + obs registry tests"
 cmake -B build-ci/tsan -S . -DCADDB_WERROR=ON -DCADDB_TSAN=ON \
       "${GENERATOR_FLAGS[@]}"
 cmake --build build-ci/tsan -j "$JOBS" --target lock_manager_test txn_test \
-      wal_batch_sync_test
+      wal_batch_sync_test obs_test
 ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
-      -R '^(lock_manager_test|txn_test|wal_batch_sync_test)$'
+      -R '^(lock_manager_test|txn_test|wal_batch_sync_test|obs_test)$'
 
 step "bench build: all benchmark targets compile"
 cmake --build build-ci/werror -j "$JOBS" --target \
       bench_inheritance bench_inherit_cache bench_complex_objects \
       bench_composition bench_hierarchy bench_constraints bench_versions \
       bench_locking bench_ddl bench_store bench_persist bench_analysis \
-      bench_wal
+      bench_wal bench_obs
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy (advisory)"

@@ -32,7 +32,17 @@ const SubrelDef* EffectiveSchema::FindSubrel(const std::string& name) const {
   return nullptr;
 }
 
-Catalog::Catalog() {
+Catalog::Catalog(obs::Observability* obs)
+    : obs_(obs != nullptr ? obs : obs::Default()) {
+  m_cache_hits_ = obs_->metrics.GetCounter(
+      "caddb_catalog_schema_cache_hits_total",
+      "Effective-schema cache probes that found a cached schema");
+  m_cache_misses_ = obs_->metrics.GetCounter(
+      "caddb_catalog_schema_cache_misses_total",
+      "Effective-schema cache probes that had to compute the schema");
+  m_compute_us_ = obs_->metrics.GetHistogram(
+      "caddb_catalog_compute_schema_us",
+      "Time to compute one effective schema (cache miss path)");
   // Built-in simple domains, addressable by name from DDL text.
   domains_["integer"] = Domain::Int();
   domains_["real"] = Domain::Real();
@@ -217,10 +227,15 @@ Result<const EffectiveSchema*> Catalog::FindEffectiveSchema(
   auto it = schema_cache_.find(type_name);
   if (it != schema_cache_.end()) {
     ++schema_cache_hits_;
+    m_cache_hits_->Increment();
     return &it->second;
   }
   ++schema_cache_misses_;
+  m_cache_misses_->Increment();
   std::set<std::string> in_progress;
+  obs::Span span(&obs_->trace, "catalog.compute_schema", m_compute_us_,
+                 /*always_time=*/true);
+  span.AddAttribute("type", type_name);
   Result<EffectiveSchema> schema =
       ComputeEffectiveSchema(type_name, &in_progress);
   if (!schema.ok()) return schema.status();

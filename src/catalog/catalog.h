@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/types.h"
+#include "obs/observability.h"
 #include "util/result.h"
 #include "util/status.h"
 #include "values/domain.h"
@@ -52,7 +53,9 @@ struct EffectiveSchema {
 /// the whole-catalog consistency check.
 class Catalog : public Domain::Resolver {
  public:
-  Catalog();
+  /// `obs` (not owned) receives schema-cache counters and compute timings;
+  /// null falls back to the process-global obs::Default() bundle.
+  explicit Catalog(obs::Observability* obs = nullptr);
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
@@ -127,6 +130,13 @@ class Catalog : public Domain::Resolver {
   mutable uint64_t schema_cache_hits_ = 0;
   mutable uint64_t schema_cache_misses_ = 0;
   uint64_t schema_epoch_ = 0;
+
+  /// Registry mirrors of the per-instance telemetry above, plus the
+  /// compute-effective-schema timing (rare: once per type per epoch).
+  obs::Observability* obs_;
+  obs::Counter* m_cache_hits_;
+  obs::Counter* m_cache_misses_;
+  obs::Histogram* m_compute_us_;
 };
 
 }  // namespace caddb

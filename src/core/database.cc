@@ -36,14 +36,19 @@ Status Database::CheckWritable() const {
 
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& dir, const wal::DurabilityOptions& options) {
-  auto db = std::make_unique<Database>();
+  // An obs bundle in the options adopts the whole database (the replication
+  // follower routes every rebuild into one bundle this way); otherwise the
+  // database owns its own and recovery + log report into it.
+  auto db = std::make_unique<Database>(options.wal.obs);
+  wal::DurabilityOptions opts = options;
+  if (opts.wal.obs == nullptr) opts.wal.obs = db->observability();
   CADDB_ASSIGN_OR_RETURN(db->recovery_report_,
-                         wal::Recover(dir, db.get(), options));
+                         wal::Recover(dir, db.get(), opts));
   // The log is attached only now, so replay above did not re-log itself,
   // and always starts a fresh segment — a torn tail is never appended to.
   CADDB_ASSIGN_OR_RETURN(
       std::unique_ptr<wal::Wal> wal,
-      wal::Wal::Open(dir, options.wal, db->recovery_report_.last_lsn + 1));
+      wal::Wal::Open(dir, opts.wal, db->recovery_report_.last_lsn + 1));
   db->wal_ = std::move(wal);
   db->transactions_.set_wal(db->wal_.get());
   db->versions_.set_wal(db->wal_.get());
@@ -58,9 +63,11 @@ Result<std::unique_ptr<Database>> Database::Open(
 
 Result<std::unique_ptr<Database>> Database::OpenReadOnly(
     const std::string& dir, const wal::DurabilityOptions& options) {
-  auto db = std::make_unique<Database>();
+  auto db = std::make_unique<Database>(options.wal.obs);
+  wal::DurabilityOptions opts = options;
+  if (opts.wal.obs == nullptr) opts.wal.obs = db->observability();
   CADDB_ASSIGN_OR_RETURN(db->recovery_report_,
-                         wal::Recover(dir, db.get(), options));
+                         wal::Recover(dir, db.get(), opts));
   db->generation_ = db->recovery_report_.generation;
   db->read_only_ = true;
   return db;
@@ -75,6 +82,9 @@ Status Database::Checkpoint() {
         "checkpoint with active transactions would freeze uncommitted "
         "writes into the snapshot");
   }
+  obs::Span span(&obs_->trace, "wal.checkpoint", m_checkpoint_us_,
+                 /*always_time=*/true);
+  m_checkpoints_->Increment();
   CADDB_ASSIGN_OR_RETURN(std::string dump, persist::Dumper::Dump(*this));
   // Everything the snapshot reflects must be on disk before the covering
   // lsn claims it; then the snapshot covers last_lsn exactly (the store is

@@ -13,6 +13,7 @@
 #include "ddl/parser.h"
 #include "inherit/inheritance.h"
 #include "inherit/notification.h"
+#include "obs/observability.h"
 #include "query/expansion.h"
 #include "query/query.h"
 #include "store/store.h"
@@ -57,16 +58,28 @@ struct ReplicaInfo {
 /// single-threaded; multi-threaded access goes through transactions().
 class Database {
  public:
-  Database()
-      : store_(&catalog_),
-        inheritance_(&store_, &notifications_),
+  /// `obs` (not owned; must outlive the database) redirects all metrics and
+  /// traces into an external bundle; by default the database owns its own,
+  /// so two databases in one process (a primary and its follower) keep
+  /// separate books.
+  explicit Database(obs::Observability* obs = nullptr)
+      : obs_(obs != nullptr ? obs : &owned_obs_),
+        catalog_(obs_),
+        store_(&catalog_),
+        inheritance_(&store_, &notifications_, obs_),
         checker_(&inheritance_),
         query_(&inheritance_),
         expander_(&inheritance_),
         versions_(&inheritance_),
-        locks_(&catalog_),
+        locks_(&catalog_, obs_),
         transactions_(&inheritance_, &locks_, &acl_),
-        workspaces_(&inheritance_) {}
+        workspaces_(&inheritance_) {
+    m_checkpoints_ = obs_->metrics.GetCounter(
+        "caddb_wal_checkpoints_total", "Checkpoints published");
+    m_checkpoint_us_ = obs_->metrics.GetHistogram(
+        "caddb_wal_checkpoint_us",
+        "Checkpoint duration (dump + sync + publish + truncate)");
+  }
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -158,6 +171,19 @@ class Database {
   /// Both, merged and sorted — the `caddb check` entry point.
   analysis::DiagnosticBag Check() const;
 
+  // ---- Observability ----
+  /// The metrics/trace bundle this database (and every subsystem under it)
+  /// reports into. Never null.
+  obs::Observability* observability() const { return obs_; }
+  /// Span-completion subscription: `fn` runs, on the completing thread,
+  /// for every span finished while tracing is enabled. Returns a token for
+  /// RemoveObserver. Callbacks must not re-enter the tracer.
+  using Observer = obs::Tracer::Observer;
+  int AddObserver(Observer fn) {
+    return obs_->trace.AddObserver(std::move(fn));
+  }
+  void RemoveObserver(int token) { obs_->trace.RemoveObserver(token); }
+
   // ---- Subsystem access ----
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -229,6 +255,13 @@ class Database {
   /// kFailedPrecondition for read-only (replica) databases, OK otherwise.
   /// Every mutating convenience method and ExecuteDdl checks it first.
   Status CheckWritable() const;
+
+  // Declared first: every subsystem below registers its instruments with
+  // the bundle during construction.
+  obs::Observability owned_obs_;
+  obs::Observability* obs_;
+  obs::Counter* m_checkpoints_;
+  obs::Histogram* m_checkpoint_us_;
 
   Catalog catalog_;
   ObjectStore store_;

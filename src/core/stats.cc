@@ -1,5 +1,7 @@
 #include "core/stats.h"
 
+#include "obs/exposition.h"
+#include "util/json_writer.h"
 #include "util/string_util.h"
 
 namespace caddb {
@@ -58,6 +60,7 @@ DatabaseStats DatabaseStats::Collect(const Database& db) {
   stats.rel_types = db.catalog().RelTypeNames().size();
   stats.inher_rel_types = db.catalog().InherRelTypeNames().size();
   stats.domains = db.catalog().DomainNames().size();
+  stats.metrics = db.observability()->metrics.Snapshot();
   return stats;
 }
 
@@ -100,6 +103,70 @@ std::string DatabaseStats::ToString() const {
     out += "  " + type + ": " + std::to_string(count) + "\n";
   }
   return out;
+}
+
+std::string DatabaseStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("objects");
+  w.BeginObject();
+  w.Field("total", static_cast<uint64_t>(total_objects));
+  w.Field("plain", static_cast<uint64_t>(plain_objects));
+  w.Field("relationships", static_cast<uint64_t>(relationship_objects));
+  w.Field("inher_rels", static_cast<uint64_t>(inher_rel_objects));
+  w.Field("top_level", static_cast<uint64_t>(top_level_objects));
+  w.Field("subobjects", static_cast<uint64_t>(subobjects));
+  w.Field("bound_inheritors", static_cast<uint64_t>(bound_inheritors));
+  w.EndObject();
+  w.Key("per_type");
+  w.BeginObject();
+  for (const auto& [type, count] : per_type) {
+    w.Field(type, static_cast<uint64_t>(count));
+  }
+  w.EndObject();
+  w.Field("pending_notifications",
+          static_cast<uint64_t>(pending_notifications));
+  w.Key("resolution_cache");
+  w.BeginObject();
+  w.Field("mode", cache_mode);
+  w.Field("entries", static_cast<uint64_t>(cache_entries));
+  w.Field("hits", cache_hits);
+  w.Field("misses", cache_misses);
+  w.Field("invalidations", cache_invalidations);
+  w.EndObject();
+  w.Key("schema_cache");
+  w.BeginObject();
+  w.Field("hits", schema_cache_hits);
+  w.Field("misses", schema_cache_misses);
+  w.EndObject();
+  w.Key("schema_analyses");
+  w.BeginObject();
+  w.Field("run", schema_analyses_run);
+  w.Field("skipped", schema_analyses_skipped);
+  w.EndObject();
+  w.Key("schema");
+  w.BeginObject();
+  w.Field("object_types", static_cast<uint64_t>(object_types));
+  w.Field("rel_types", static_cast<uint64_t>(rel_types));
+  w.Field("inher_rel_types", static_cast<uint64_t>(inher_rel_types));
+  w.Field("domains", static_cast<uint64_t>(domains));
+  w.Field("classes", static_cast<uint64_t>(classes));
+  w.EndObject();
+  if (is_replica) {
+    w.Key("replica");
+    w.BeginObject();
+    w.Field("state", replica_state);
+    w.Field("generation", replica_generation);
+    w.Field("manifest_seq", replica_manifest_seq);
+    w.Field("replay_lsn", replay_lsn);
+    w.Field("shipped_lsn", shipped_lsn);
+    w.Field("lag", replica_lag);
+    w.EndObject();
+  }
+  w.Key("metrics");
+  obs::WriteMetricsJson(metrics, &w);
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace caddb

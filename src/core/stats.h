@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/database.h"
+#include "obs/metrics.h"
 
 namespace caddb {
 
@@ -54,10 +55,20 @@ struct DatabaseStats {
   uint64_t shipped_lsn = 0;
   uint64_t replica_lag = 0;
 
+  // Point-in-time copy of the database's metrics registry (every counter,
+  // gauge and histogram the subsystems registered). ToString leaves it out
+  // — the human report stays the curated summary above — but ToJson emits
+  // it in full, so `stats --format=json` is a superset of `metrics`.
+  obs::MetricsSnapshot metrics;
+
   static DatabaseStats Collect(const Database& db);
 
   /// Multi-line human-readable report.
   std::string ToString() const;
+
+  /// The whole report as one JSON object, metrics snapshot included
+  /// (same renderer the shell's `metrics --format=json` uses).
+  std::string ToJson() const;
 };
 
 }  // namespace caddb

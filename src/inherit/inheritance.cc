@@ -2,6 +2,29 @@
 
 namespace caddb {
 
+InheritanceManager::InheritanceManager(ObjectStore* store,
+                                       NotificationCenter* notifications,
+                                       obs::Observability* obs)
+    : store_(store),
+      notifications_(notifications),
+      obs_(obs != nullptr ? obs : obs::Default()) {
+  m_cache_hits_ = obs_->metrics.GetCounter(
+      "caddb_inherit_cache_hits_total",
+      "Resolution-cache probes served from a valid entry");
+  m_cache_misses_ = obs_->metrics.GetCounter(
+      "caddb_inherit_cache_misses_total",
+      "Resolution-cache probes that fell through to a chain walk");
+  m_cache_invalidations_ = obs_->metrics.GetCounter(
+      "caddb_inherit_cache_invalidations_total",
+      "Cache probes that evicted a stale entry (also counted as misses)");
+  m_resolutions_ = obs_->metrics.GetCounter(
+      "caddb_inherit_resolutions_total",
+      "Inherited attribute/subclass reads resolved (cached or walked)");
+  m_resolve_us_ = obs_->metrics.GetHistogram(
+      "caddb_inherit_resolve_us",
+      "Inherited read latency; recorded only while tracing is enabled");
+}
+
 const char* CacheModeName(CacheMode mode) {
   switch (mode) {
     case CacheMode::kOff:
@@ -82,12 +105,15 @@ const T* InheritanceManager::Probe(std::map<CacheKey, CacheEntry<T>>* cache,
   if (it != cache->end()) {
     if (EntryValid(it->second)) {
       ++cache_hits_;
+      m_cache_hits_->Increment();
       return &it->second.payload;
     }
     ++cache_invalidations_;
+    m_cache_invalidations_->Increment();
     cache->erase(it);
   }
   ++cache_misses_;
+  m_cache_misses_->Increment();
   return nullptr;
 }
 
@@ -118,6 +144,11 @@ void InheritanceManager::FillChain(std::map<CacheKey, CacheEntry<T>>* cache,
 
 Result<Value> InheritanceManager::GetAttribute(Surrogate s,
                                                const std::string& name) const {
+  // Trace-gated on purpose: this is the hottest read path, so the clock
+  // only runs (and the histogram only fills) while tracing is enabled.
+  obs::Span span(&obs_->trace, "inherit.get_attribute", m_resolve_us_);
+  span.AddAttribute("attr", name);
+  m_resolutions_->Increment();
   CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store_->Get(s));
 
   if (obj->kind() != ObjKind::kObject) {
@@ -175,6 +206,9 @@ Result<Value> InheritanceManager::GetAttribute(Surrogate s,
 
 Result<std::vector<Surrogate>> InheritanceManager::GetSubclass(
     Surrogate s, const std::string& name) const {
+  obs::Span span(&obs_->trace, "inherit.get_subclass", m_resolve_us_);
+  span.AddAttribute("subclass", name);
+  m_resolutions_->Increment();
   CADDB_ASSIGN_OR_RETURN(const DbObject* obj, store_->Get(s));
 
   if (obj->kind() != ObjKind::kObject) {

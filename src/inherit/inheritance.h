@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "inherit/notification.h"
+#include "obs/observability.h"
 #include "store/store.h"
 #include "util/result.h"
 #include "values/value.h"
@@ -49,9 +50,11 @@ const char* CacheModeName(CacheMode mode);
 class InheritanceManager {
  public:
   /// Neither pointer is owned; both must outlive the manager.
-  /// `notifications` may be null (no change logging).
-  InheritanceManager(ObjectStore* store, NotificationCenter* notifications)
-      : store_(store), notifications_(notifications) {}
+  /// `notifications` may be null (no change logging). `obs` (not owned)
+  /// receives resolution counters and trace spans; null falls back to the
+  /// process-global obs::Default() bundle.
+  InheritanceManager(ObjectStore* store, NotificationCenter* notifications,
+                     obs::Observability* obs = nullptr);
 
   InheritanceManager(const InheritanceManager&) = delete;
   InheritanceManager& operator=(const InheritanceManager&) = delete;
@@ -181,6 +184,16 @@ class InheritanceManager {
   mutable uint64_t cache_hits_ = 0;
   mutable uint64_t cache_misses_ = 0;
   mutable uint64_t cache_invalidations_ = 0;
+
+  /// Registry mirrors of the per-instance counters above (the members stay
+  /// authoritative for ResetCacheStats / per-database queries; the registry
+  /// view is monotone across resets), plus the trace-gated resolve timing.
+  obs::Observability* obs_;
+  obs::Counter* m_cache_hits_;
+  obs::Counter* m_cache_misses_;
+  obs::Counter* m_cache_invalidations_;
+  obs::Counter* m_resolutions_;
+  obs::Histogram* m_resolve_us_;
 };
 
 }  // namespace caddb

@@ -1,0 +1,290 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/json_writer.h"
+
+namespace caddb {
+namespace obs {
+namespace {
+
+void AppendHelpType(std::string* out, const std::string& name,
+                    const std::string& help, const char* type) {
+  if (!help.empty()) {
+    *out += "# HELP " + name + " " + help + "\n";
+  }
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':' || (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ParseValue(const std::string& s, double* out) {
+  if (s == "+Inf" || s == "Inf") {
+    *out = 1e308 * 10;  // inf without <limits> gymnastics
+    return true;
+  }
+  if (s == "-Inf") {
+    *out = -1e308 * 10;
+    return true;
+  }
+  if (s == "NaN") {
+    *out = 0;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+// Strips a histogram-series suffix so samples map back to their family.
+std::string FamilyName(const std::string& sample_name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    std::string suf(suffix);
+    if (sample_name.size() > suf.size() &&
+        sample_name.compare(sample_name.size() - suf.size(), suf.size(),
+                            suf) == 0) {
+      return sample_name.substr(0, sample_name.size() - suf.size());
+    }
+  }
+  return sample_name;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& c : snapshot.counters) {
+    AppendHelpType(&out, c.name, c.help, "counter");
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    AppendHelpType(&out, g.name, g.help, "gauge");
+    out += g.name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    AppendHelpType(&out, h.name, h.help, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.data.bounds.size(); ++i) {
+      cumulative += h.data.counts[i];
+      out += h.name + "_bucket{le=\"" + std::to_string(h.data.bounds[i]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += h.data.counts.empty() ? 0 : h.data.counts.back();
+    out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           "\n";
+    out += h.name + "_sum " + std::to_string(h.data.sum) + "\n";
+    out += h.name + "_count " + std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
+
+void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("counters");
+  writer->BeginObject();
+  for (const CounterSample& c : snapshot.counters) {
+    writer->Field(c.name, c.value);
+  }
+  writer->EndObject();
+  writer->Key("gauges");
+  writer->BeginObject();
+  for (const GaugeSample& g : snapshot.gauges) {
+    writer->Field(g.name, static_cast<int64_t>(g.value));
+  }
+  writer->EndObject();
+  writer->Key("histograms");
+  writer->BeginObject();
+  for (const HistogramSample& h : snapshot.histograms) {
+    writer->Key(h.name);
+    writer->BeginObject();
+    writer->Field("count", h.data.count);
+    writer->Field("sum", h.data.sum);
+    writer->Field("p50", h.data.Percentile(0.50));
+    writer->Field("p95", h.data.Percentile(0.95));
+    writer->Field("p99", h.data.Percentile(0.99));
+    writer->Key("buckets");
+    writer->BeginArray();
+    for (size_t i = 0; i < h.data.counts.size(); ++i) {
+      if (h.data.counts[i] == 0) continue;  // sparse: elide empty buckets
+      writer->BeginObject();
+      if (i < h.data.bounds.size()) {
+        writer->Field("le", h.data.bounds[i]);
+      } else {
+        writer->Field("le", "+Inf");
+      }
+      writer->Field("count", h.data.counts[i]);
+      writer->EndObject();
+    }
+    writer->EndArray();
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  JsonWriter writer;
+  WriteMetricsJson(snapshot, &writer);
+  return writer.str();
+}
+
+bool ValidatePrometheusText(const std::string& text, std::string* error) {
+  auto fail = [error](const std::string& line, const std::string& why) {
+    if (error != nullptr) *error = why + ": \"" + line + "\"";
+    return false;
+  };
+
+  std::map<std::string, std::string> family_type;  // name -> counter/gauge/...
+  struct HistState {
+    double last_bucket = -1;
+    bool saw_inf = false;
+    double inf_count = 0;
+    bool saw_count = false;
+    double count_value = 0;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream fields(line);
+      std::string hash, kind, name;
+      fields >> hash >> kind >> name;
+      if (kind != "HELP" && kind != "TYPE") {
+        return fail(line, "comment is neither # HELP nor # TYPE");
+      }
+      if (!IsValidMetricName(name)) {
+        return fail(line, "invalid metric name in comment");
+      }
+      if (kind == "TYPE") {
+        std::string type;
+        fields >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(line, "unknown metric type");
+        }
+        if (family_type.count(name) != 0) {
+          return fail(line, "duplicate # TYPE for family");
+        }
+        family_type[name] = type;
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      return fail(line, "sample has no value");
+    }
+    std::string name = line.substr(0, name_end);
+    if (!IsValidMetricName(name)) {
+      return fail(line, "invalid sample metric name");
+    }
+    std::string le;
+    size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      size_t close = line.find('}', name_end);
+      if (close == std::string::npos) {
+        return fail(line, "unterminated label set");
+      }
+      std::string labels = line.substr(name_end + 1, close - name_end - 1);
+      size_t le_pos = labels.find("le=\"");
+      if (le_pos != std::string::npos) {
+        size_t le_end = labels.find('"', le_pos + 4);
+        if (le_end == std::string::npos) {
+          return fail(line, "unterminated le label");
+        }
+        le = labels.substr(le_pos + 4, le_end - le_pos - 4);
+      }
+      value_start = close + 1;
+    }
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    std::string value_str = line.substr(value_start);
+    // Optional timestamp after the value; we only emit values, but accept it.
+    size_t space = value_str.find(' ');
+    if (space != std::string::npos) value_str = value_str.substr(0, space);
+    double value = 0;
+    if (!ParseValue(value_str, &value)) {
+      return fail(line, "unparseable sample value");
+    }
+
+    std::string family = FamilyName(name);
+    auto type_it = family_type.find(family);
+    if (type_it == family_type.end()) {
+      // A bare sample may match its own name (counter/gauge with no series
+      // suffix stripped).
+      type_it = family_type.find(name);
+      if (type_it == family_type.end()) {
+        return fail(line, "sample precedes its # TYPE");
+      }
+      family = name;
+    }
+
+    if (type_it->second == "histogram") {
+      HistState& st = hists[family];
+      if (name == family + "_bucket") {
+        if (le.empty()) return fail(line, "_bucket sample missing le label");
+        if (le == "+Inf") {
+          st.saw_inf = true;
+          st.inf_count = value;
+          if (value < st.last_bucket) {
+            return fail(line, "+Inf bucket below a finite bucket");
+          }
+        } else {
+          double bound = 0;
+          if (!ParseValue(le, &bound)) {
+            return fail(line, "unparseable le bound");
+          }
+          if (st.saw_inf) {
+            return fail(line, "finite bucket after +Inf");
+          }
+          if (value < st.last_bucket) {
+            return fail(line, "bucket counts not cumulative");
+          }
+          st.last_bucket = value;
+        }
+      } else if (name == family + "_count") {
+        st.saw_count = true;
+        st.count_value = value;
+      }
+    } else if (type_it->second == "counter") {
+      if (value < 0) return fail(line, "negative counter value");
+    }
+  }
+
+  for (const auto& [family, st] : hists) {
+    if (!st.saw_inf) {
+      return fail(family, "histogram missing +Inf bucket");
+    }
+    if (!st.saw_count) {
+      return fail(family, "histogram missing _count");
+    }
+    if (st.count_value != st.inf_count) {
+      return fail(family, "histogram _count does not match +Inf bucket");
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace obs
+}  // namespace caddb

@@ -1,0 +1,43 @@
+#ifndef CADDB_OBS_EXPOSITION_H_
+#define CADDB_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace caddb {
+
+class JsonWriter;
+
+namespace obs {
+
+/// Prometheus text exposition format (version 0.0.4): `# HELP` / `# TYPE`
+/// headers, counter/gauge sample lines, and full histogram series
+/// (`_bucket{le="..."}` cumulative counts ending in `+Inf`, `_sum`,
+/// `_count`). Counters keep their registered name (the `_total` suffix is
+/// part of the registered name by convention, not appended here).
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// JSON exposition: {"counters":{name:value,...},"gauges":{...},
+/// "histograms":{name:{"count":..,"sum":..,"p50":..,"p95":..,"p99":..,
+/// "buckets":[{"le":..,"count":..},...]}}}.
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
+
+/// Streams the same JSON shape as RenderMetricsJson as a value into an
+/// in-progress writer (after a Key() or inside an array), so DatabaseStats
+/// and the shell embed metrics without re-parsing.
+void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter* writer);
+
+/// Structural validator for the Prometheus text format, used by golden and
+/// smoke tests instead of a real scraper. Checks: every line is a comment,
+/// blank, or `name[{labels}] value`; metric names are well-formed; samples
+/// follow a `# TYPE` for their family; histogram `_bucket` series have
+/// parseable cumulative `le` labels ending in `+Inf` with `_count` matching
+/// the `+Inf` bucket. Returns true on success; on failure fills *error with
+/// the offending line and reason.
+bool ValidatePrometheusText(const std::string& text, std::string* error);
+
+}  // namespace obs
+}  // namespace caddb
+
+#endif  // CADDB_OBS_EXPOSITION_H_

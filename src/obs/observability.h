@@ -1,0 +1,29 @@
+#ifndef CADDB_OBS_OBSERVABILITY_H_
+#define CADDB_OBS_OBSERVABILITY_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace caddb {
+namespace obs {
+
+/// The observability bundle every instrumented subsystem points at: one
+/// metrics registry plus one tracer. A Database owns its own bundle (so
+/// two databases in one process — e.g. a primary and its follower — keep
+/// separate books); free-standing components fall back to Default().
+struct Observability {
+  MetricsRegistry metrics;
+  Tracer trace;
+};
+
+/// Process-global fallback bundle for components constructed without an
+/// explicit Observability (direct Wal users, tests). Never null.
+inline Observability* Default() {
+  static Observability* global = new Observability();
+  return global;
+}
+
+}  // namespace obs
+}  // namespace caddb
+
+#endif  // CADDB_OBS_OBSERVABILITY_H_

@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace caddb {
+namespace obs {
+namespace {
+
+// Per-thread stack of open recording spans, used to link children to their
+// enclosing span. Entries carry the tracer so independent tracers (e.g. a
+// primary and a follower database) nest independently.
+struct SpanFrame {
+  const Tracer* tracer;
+  uint64_t id;
+};
+thread_local std::vector<SpanFrame> g_span_stack;
+
+}  // namespace
+
+Tracer::Tracer(size_t ring_capacity, size_t slow_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      slow_capacity_(slow_capacity == 0 ? 1 : slow_capacity) {}
+
+uint64_t Tracer::NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<SpanRecord> Tracer::Dump(bool slow_only) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  const std::deque<SpanRecord>& source = slow_only ? slow_ : ring_;
+  return std::vector<SpanRecord>(source.begin(), source.end());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.clear();
+  slow_.clear();
+}
+
+int Tracer::AddObserver(Observer fn) {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  int token = next_observer_token_++;
+  observers_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void Tracer::RemoveObserver(int token) {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  for (size_t i = 0; i < observers_.size(); ++i) {
+    if (observers_[i].first == token) {
+      observers_.erase(observers_.begin() + i);
+      return;
+    }
+  }
+}
+
+void Tracer::FinishSpan(SpanRecord&& record) {
+  record.slow = record.duration_us >= slow_threshold_us();
+  total_spans_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (record.slow) {
+      slow_.push_back(record);
+      if (slow_.size() > slow_capacity_) slow_.pop_front();
+    }
+    ring_.push_back(record);
+    if (ring_.size() > ring_capacity_) ring_.pop_front();
+  }
+  // Observers run outside the ring lock so a callback may call Dump().
+  std::vector<Observer> to_call;
+  {
+    std::lock_guard<std::mutex> lock(observers_mu_);
+    if (observers_.empty()) return;
+    to_call.reserve(observers_.size());
+    for (const auto& [token, fn] : observers_) to_call.push_back(fn);
+  }
+  for (const Observer& fn : to_call) fn(record);
+}
+
+void Span::Start() {
+  timed_ = true;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    recording_ = true;
+    id_ = tracer_->next_id_.fetch_add(1, std::memory_order_relaxed);
+    for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
+      if (it->tracer == tracer_) {
+        parent_id_ = it->id;
+        break;
+      }
+    }
+    g_span_stack.push_back({tracer_, id_});
+  }
+  start_us_ = Tracer::NowUs();
+}
+
+void Span::Finish() {
+  const uint64_t duration = Tracer::NowUs() - start_us_;
+  if (histogram_ != nullptr) histogram_->Record(duration);
+  if (!recording_) return;
+  // Pop our frame. Spans are strictly nested per thread, so it is the top.
+  if (!g_span_stack.empty() && g_span_stack.back().id == id_ &&
+      g_span_stack.back().tracer == tracer_) {
+    g_span_stack.pop_back();
+  }
+  SpanRecord record;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.duration_us = duration;
+  record.attributes = std::move(attributes_);
+  tracer_->FinishSpan(std::move(record));
+}
+
+void Span::AddAttribute(const std::string& key, std::string value) {
+  if (!recording_) return;
+  attributes_.emplace_back(key, std::move(value));
+}
+
+void Span::AddAttribute(const std::string& key, uint64_t value) {
+  if (!recording_) return;
+  attributes_.emplace_back(key, std::to_string(value));
+}
+
+}  // namespace obs
+}  // namespace caddb

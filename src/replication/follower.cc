@@ -37,6 +37,36 @@ Follower::Follower(std::string replica_dir, FollowerOptions options)
     : replica_dir_(std::move(replica_dir)),
       staged_dir_((fs::path(replica_dir_) / ".staged").string()),
       options_(std::move(options)) {
+  obs_ = options_.obs != nullptr ? options_.obs
+         : options_.durability.wal.obs != nullptr ? options_.durability.wal.obs
+                                                  : obs::Default();
+  // Rebuilt read-only databases (and the promotion open) report into the
+  // follower's bundle rather than each rebuild getting a fresh one.
+  if (options_.durability.wal.obs == nullptr) {
+    options_.durability.wal.obs = obs_;
+  }
+  m_polls_ = obs_->metrics.GetCounter("caddb_replication_polls_total",
+                                      "Catch-up cycles started");
+  m_rebuilds_ = obs_->metrics.GetCounter(
+      "caddb_replication_rebuilds_total",
+      "Full rebuilds from staged shipments (applied manifests)");
+  m_retries_ = obs_->metrics.GetCounter(
+      "caddb_replication_read_retries_total",
+      "File-read attempts beyond the first (backoff retries)");
+  m_quarantines_ = obs_->metrics.GetCounter(
+      "caddb_replication_quarantines_total",
+      "Divergence verdicts (CAD201-205) entered");
+  m_reseeds_ = obs_->metrics.GetCounter(
+      "caddb_replication_reseeds_total",
+      "Reseed attempts on a quarantined replica");
+  m_lag_ = obs_->metrics.GetGauge(
+      "caddb_replication_replica_lag",
+      "shipped_lsn - replay_lsn after the last applied manifest");
+  m_poll_us_ = obs_->metrics.GetHistogram("caddb_replication_poll_us",
+                                          "One catch-up cycle, end to end");
+  m_rebuild_us_ = obs_->metrics.GetHistogram(
+      "caddb_replication_rebuild_us",
+      "Replay of a staged shipment into a fresh read-only database");
   if (!options_.file_reader) {
     options_.file_reader = [](const std::string& path) {
       return wal::ReadFileToString(path);
@@ -76,6 +106,7 @@ Follower::Follower(std::string replica_dir, FollowerOptions options)
 
 Status Follower::Quarantine(const std::string& code,
                             const std::string& reason) {
+  m_quarantines_->Increment();
   state_ = FollowerState::kQuarantined;
   quarantine_code_ = code;
   quarantine_reason_ = reason;
@@ -115,6 +146,7 @@ Result<std::string> Follower::ReadWithRetry(
       last_error = valid;
     }
     if (attempt < options_.max_attempts) {
+      m_retries_->Increment();
       options_.sleeper(backoff);
       backoff = std::min(backoff * 2, options_.max_backoff_us);
     }
@@ -133,6 +165,9 @@ Result<PollResult> Follower::Poll() {
   if (state_ == FollowerState::kPromoted) {
     return FailedPrecondition("replica was promoted; following has ended");
   }
+  obs::Span poll_span(&obs_->trace, "replication.poll", m_poll_us_,
+                      /*always_time=*/true);
+  m_polls_->Increment();
   PollResult result;
   result.manifest_seq = last_seq_;
   result.replay_lsn = replay_lsn_;
@@ -253,8 +288,12 @@ Result<PollResult> Follower::Poll() {
   // 5. Full rebuild from the staged, validated bytes.
   wal::DurabilityOptions durability = options_.durability;
   durability.fingerprint_lsn = replay_lsn_;
+  obs::Span rebuild_span(&obs_->trace, "replication.rebuild", m_rebuild_us_,
+                         /*always_time=*/true);
+  rebuild_span.AddAttribute("manifest_seq", manifest.seq);
   Result<std::unique_ptr<Database>> rebuilt =
       Database::OpenReadOnly(staged_dir_, durability);
+  m_rebuilds_->Increment();
   if (!rebuilt.ok()) {
     // Checksums matched what the primary shipped, yet it does not replay:
     // the primary shipped a broken history. That is divergence, not a
@@ -299,10 +338,54 @@ Result<PollResult> Follower::Poll() {
   shipped_lsn_ = manifest.shipped_lsn();
   state_ = FollowerState::kFollowing;
   db_->set_replica_info(replica_info());
+  m_lag_->Set(static_cast<int64_t>(replica_info().lag()));
   result.advanced = true;
   result.manifest_seq = last_seq_;
   result.replay_lsn = replay_lsn_;
   return result;
+}
+
+Result<PollResult> Follower::Reseed() {
+  if (state_ != FollowerState::kQuarantined) {
+    return FailedPrecondition(
+        std::string("replica is not quarantined (state: ") +
+        FollowerStateName(state_) + "); nothing to reseed");
+  }
+  m_reseeds_->Increment();
+  const std::string saved_code = quarantine_code_;
+  const std::string saved_reason = quarantine_reason_;
+  // Forget the divergence baseline: the operator accepts the primary's
+  // current history as the new truth, so the poll below re-stages from the
+  // manifest checkpoint with nothing to compare against.
+  state_ = FollowerState::kNeverSynced;
+  quarantine_code_.clear();
+  quarantine_reason_.clear();
+  db_.reset();
+  last_seq_ = 0;
+  generation_ = 0;
+  anchor_lsn_ = 0;
+  replay_lsn_ = 0;
+  fingerprint_ = 0;
+  shipped_lsn_ = 0;
+  Result<PollResult> polled = Poll();
+  if (polled.ok() && polled->advanced) {
+    // Only a completed rebuild clears the persisted verdict.
+    std::error_code ec;
+    fs::remove(fs::path(replica_dir_) / kQuarantineFileName, ec);
+    return polled;
+  }
+  // The rebuild did not complete. Unless the poll raised a *new* verdict,
+  // the original one stands — a reseed that went nowhere must not silently
+  // unlock the replica.
+  if (state_ != FollowerState::kQuarantined) {
+    state_ = FollowerState::kQuarantined;
+    quarantine_code_ = saved_code;
+    quarantine_reason_ = saved_reason;
+  }
+  if (!polled.ok()) return polled.status();
+  return FailedPrecondition(
+      "reseed found no applicable shipment; replica stays quarantined (" +
+      quarantine_code_ + ": " + quarantine_reason_ + ")");
 }
 
 ReplicaInfo Follower::replica_info() const {

@@ -34,6 +34,10 @@ struct FollowerOptions {
   /// default — a replica that replays into an inconsistent store must not
   /// serve it).
   wal::DurabilityOptions durability;
+  /// Metrics/trace bundle for the follower AND every database it rebuilds
+  /// (not owned; must outlive the follower). Null falls back to
+  /// durability.wal.obs, then to the process-global obs::Default().
+  obs::Observability* obs = nullptr;
 };
 
 enum class FollowerState {
@@ -104,6 +108,17 @@ class Follower {
   /// applying Poll — callers must re-fetch after each Poll, not cache.
   Database* db() { return db_.get(); }
 
+  /// Operator workflow for a quarantined replica (`replica reseed` in the
+  /// shell): accepts the primary's *current* history as the new truth and
+  /// re-stages from scratch. Forgets the divergence baseline (seq,
+  /// generation, anchor, fingerprint), clears the in-memory quarantine and
+  /// runs one full Poll; only a successful rebuild deletes the persisted
+  /// QUARANTINE verdict. If the rebuild does not complete (transport down,
+  /// no manifest, or a fresh divergence), the original verdict is restored
+  /// — a reseed that went nowhere must not silently unlock the replica.
+  /// Fails with kFailedPrecondition when the replica is not quarantined.
+  Result<PollResult> Reseed();
+
   FollowerState state() const { return state_; }
   /// "CAD201".."CAD205" once quarantined, empty otherwise.
   const std::string& quarantine_code() const { return quarantine_code_; }
@@ -127,6 +142,16 @@ class Follower {
   const std::string replica_dir_;
   const std::string staged_dir_;
   FollowerOptions options_;
+
+  obs::Observability* obs_;
+  obs::Counter* m_polls_;
+  obs::Counter* m_rebuilds_;
+  obs::Counter* m_retries_;
+  obs::Counter* m_quarantines_;
+  obs::Counter* m_reseeds_;
+  obs::Gauge* m_lag_;
+  obs::Histogram* m_poll_us_;
+  obs::Histogram* m_rebuild_us_;
 
   std::unique_ptr<Database> db_;
   FollowerState state_ = FollowerState::kNeverSynced;

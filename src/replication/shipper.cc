@@ -16,7 +16,20 @@ namespace fs = std::filesystem;
 Shipper::Shipper(Database* db, std::string replica_dir,
                  ShipperOptions options)
     : db_(db), replica_dir_(std::move(replica_dir)),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      obs_(db != nullptr ? db->observability() : obs::Default()) {
+  m_attempts_ = obs_->metrics.GetCounter(
+      "caddb_replication_ship_attempts_total",
+      "Shipment attempts (including ones a fault plan swallowed)");
+  m_files_ = obs_->metrics.GetCounter(
+      "caddb_replication_ship_files_total",
+      "Files copied into the replica directory");
+  m_bytes_ = obs_->metrics.GetCounter("caddb_replication_ship_bytes_total",
+                                      "Bytes copied into the replica "
+                                      "directory");
+  m_ship_us_ = obs_->metrics.GetHistogram(
+      "caddb_replication_ship_us", "One shipment attempt, end to end");
+}
 
 Result<ShipmentReport> Shipper::ShipNow() {
   // A fresh Shipper (primary restart) must not restart the manifest seq:
@@ -33,6 +46,9 @@ Result<ShipmentReport> Shipper::ShipNow() {
   }
   ShipmentReport report;
   ++attempts_;
+  obs::Span span(&obs_->trace, "replication.ship", m_ship_us_,
+                 /*always_time=*/true);
+  m_attempts_->Increment();
   report.fault = options_.faults.For(attempts_);
   if (report.fault == FaultKind::kStall) {
     return report;  // the transport hung; nothing reaches the replica
@@ -126,6 +142,10 @@ Result<ShipmentReport> Shipper::ShipNow() {
     ++report.files_copied;
     report.bytes_copied += to_write.size();
   }
+  m_files_->Increment(report.files_copied);
+  m_bytes_->Increment(report.bytes_copied);
+  span.AddAttribute("seq", report.seq);
+  span.AddAttribute("shipped_lsn", report.shipped_lsn);
 
   // Publish. kReorder withholds this manifest and lets the *next* attempt
   // re-publish it after its own — the classic late datagram.

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/observability.h"
 #include "replication/fault.h"
 #include "replication/manifest.h"
 #include "util/result.h"
@@ -72,6 +73,12 @@ class Shipper {
   Database* db_;
   const std::string replica_dir_;
   const ShipperOptions options_;
+  /// The primary database's bundle (obs::Default() when db is null).
+  obs::Observability* obs_;
+  obs::Counter* m_attempts_;
+  obs::Counter* m_files_;
+  obs::Counter* m_bytes_;
+  obs::Histogram* m_ship_us_;
   uint64_t attempts_ = 0;
   /// First ShipNow seeds attempts_ from the replica's existing manifest so
   /// a restarted primary's seq keeps ascending past the old one's.

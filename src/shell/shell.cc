@@ -7,11 +7,13 @@
 
 #include "core/stats.h"
 #include "ddl/printer.h"
+#include "obs/exposition.h"
 #include "persist/dump.h"
 #include "persist/value_codec.h"
 #include "query/report.h"
 #include "replication/follower.h"
 #include "replication/shipper.h"
+#include "util/json_writer.h"
 #include "util/string_util.h"
 #include "wal/wal.h"
 
@@ -514,7 +516,106 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     return true;
   }
   if (cmd == "stats") {
-    out << DatabaseStats::Collect(*db_).ToString();
+    DatabaseStats stats = DatabaseStats::Collect(*db_);
+    if (tokens.size() > 1 && tokens[1] == "--format=json") {
+      out << stats.ToJson() << "\n";
+    } else if (tokens.size() > 1 && tokens[1] != "--format=text") {
+      fail(InvalidArgument("use: stats [--format=json]"));
+    } else {
+      out << stats.ToString();
+    }
+    return true;
+  }
+  if (cmd == "metrics") {
+    std::string format = "text";
+    if (tokens.size() > 1) {
+      if (tokens[1] == "--format=json") {
+        format = "json";
+      } else if (tokens[1] == "--format=prom") {
+        format = "prom";
+      } else if (tokens[1] != "--format=text") {
+        fail(InvalidArgument("use: metrics [--format=json|prom]"));
+        return true;
+      }
+    }
+    const obs::MetricsSnapshot snapshot =
+        db_->observability()->metrics.Snapshot();
+    if (format == "prom") {
+      out << obs::RenderPrometheus(snapshot);
+    } else if (format == "json") {
+      out << obs::RenderMetricsJson(snapshot) << "\n";
+    } else {
+      for (const obs::CounterSample& c : snapshot.counters) {
+        out << c.name << " " << c.value << "\n";
+      }
+      for (const obs::GaugeSample& g : snapshot.gauges) {
+        out << g.name << " " << g.value << "\n";
+      }
+      for (const obs::HistogramSample& h : snapshot.histograms) {
+        out << h.name << " count=" << h.data.count
+            << " p50=" << static_cast<uint64_t>(h.data.Percentile(0.50))
+            << " p95=" << static_cast<uint64_t>(h.data.Percentile(0.95))
+            << " p99=" << static_cast<uint64_t>(h.data.Percentile(0.99))
+            << "\n";
+      }
+    }
+    return true;
+  }
+  if (cmd == "trace") {
+    obs::Tracer& trace = db_->observability()->trace;
+    if (tokens.size() < 2) {
+      out << "tracing " << (trace.enabled() ? "on" : "off")
+          << "; slow threshold " << trace.slow_threshold_us() << "us; "
+          << trace.total_spans() << " span(s) recorded\n";
+      return true;
+    }
+    if (tokens[1] == "on") {
+      trace.Enable();
+      out << "ok\n";
+    } else if (tokens[1] == "off") {
+      trace.Disable();
+      out << "ok\n";
+    } else if (tokens[1] == "clear") {
+      trace.Clear();
+      out << "ok\n";
+    } else if (tokens[1] == "threshold") {
+      if (!need(2)) return true;
+      uint64_t us = 0;
+      try {
+        us = std::stoull(tokens[2]);
+      } catch (...) {
+        fail(InvalidArgument("bad threshold '" + tokens[2] + "'"));
+        return true;
+      }
+      trace.set_slow_threshold_us(us);
+      out << "ok\n";
+    } else if (tokens[1] == "dump") {
+      bool slow_only = false;
+      if (tokens.size() > 2) {
+        if (tokens[2] == "--slow-only") {
+          slow_only = true;
+        } else {
+          fail(InvalidArgument("use: trace dump [--slow-only]"));
+          return true;
+        }
+      }
+      std::vector<obs::SpanRecord> spans = trace.Dump(slow_only);
+      for (const obs::SpanRecord& span : spans) {
+        out << "#" << span.id;
+        if (span.parent_id != 0) out << " (in #" << span.parent_id << ")";
+        out << " " << span.name << " " << span.duration_us << "us";
+        if (span.slow) out << " SLOW";
+        for (const auto& [key, value] : span.attributes) {
+          out << " " << key << "=" << value;
+        }
+        out << "\n";
+      }
+      out << "(" << spans.size() << (slow_only ? " slow" : "")
+          << " span(s))\n";
+    } else {
+      fail(InvalidArgument(
+          "use: trace [on|off|clear|threshold <us>|dump [--slow-only]]"));
+    }
     return true;
   }
   if (cmd == "cache") {
@@ -572,12 +673,63 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
 
   if (cmd == "wal") {
     if (tokens.size() < 2 || tokens[1] != "status") {
-      fail(InvalidArgument("use: wal status"));
+      fail(InvalidArgument("use: wal status [--format=json]"));
       return true;
+    }
+    bool json = false;
+    if (tokens.size() > 2) {
+      if (tokens[2] == "--format=json") {
+        json = true;
+      } else if (tokens[2] != "--format=text") {
+        fail(InvalidArgument("use: wal status [--format=json]"));
+        return true;
+      }
     }
     if (!db_->durable()) {
       fail(FailedPrecondition(
           "database is not durable (opened without a log directory)"));
+      return true;
+    }
+    if (json) {
+      const wal::WalStats stats = db_->wal()->stats();
+      const wal::RecoveryReport& recovery = db_->recovery_report();
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("log");
+      w.BeginObject();
+      w.Field("dir", stats.dir);
+      w.Field("sync_policy", wal::SyncPolicyName(db_->wal()->policy()));
+      w.Field("last_lsn", db_->wal()->last_lsn());
+      w.Field("synced_lsn", stats.synced_lsn);
+      w.Field("segment_start_lsn", stats.segment_start_lsn);
+      w.Field("records_appended", stats.records_appended);
+      w.Field("commits", stats.commits);
+      w.Field("fsyncs", stats.fsyncs);
+      w.Field("segments_created", stats.segments_created);
+      w.Field("bytes_appended", stats.bytes_appended);
+      w.Field("size_rotations", stats.size_rotations);
+      w.Field("compactions", stats.compactions);
+      w.Field("compaction_bytes_reclaimed",
+              stats.compaction_bytes_reclaimed);
+      w.EndObject();
+      w.Key("recovery");
+      w.BeginObject();
+      w.Field("checkpoint_lsn", recovery.checkpoint_lsn);
+      w.Field("generation", recovery.generation);
+      w.Field("segments_scanned", recovery.segments_scanned);
+      w.Field("records_scanned", recovery.records_scanned);
+      w.Field("records_applied", recovery.records_applied);
+      w.Field("txns_committed", recovery.txns_committed);
+      w.Field("txns_discarded", recovery.txns_discarded);
+      w.Field("last_lsn", recovery.last_lsn);
+      w.Field("tail_error", recovery.tail_error);
+      w.Field("fsck_ran", recovery.fsck_ran);
+      w.Field("repaired", recovery.repaired);
+      w.Field("applied_fingerprint",
+              static_cast<uint64_t>(recovery.applied_fingerprint));
+      w.EndObject();
+      w.EndObject();
+      out << w.str() << "\n";
       return true;
     }
     out << "log:        " << db_->wal()->stats().ToString() << "\n";
@@ -628,13 +780,50 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
   }
   if (cmd == "replica") {
     if (tokens.size() < 2) {
-      fail(InvalidArgument("use: replica status|poll|promote"));
+      fail(InvalidArgument("use: replica status|poll|promote|reseed"));
       return true;
     }
     if (tokens[1] == "status") {
+      bool json = false;
+      if (tokens.size() > 2) {
+        if (tokens[2] == "--format=json") {
+          json = true;
+        } else if (tokens[2] != "--format=text") {
+          fail(InvalidArgument("use: replica status [--format=json]"));
+          return true;
+        }
+      }
       const ReplicaInfo info = follower_ != nullptr
                                    ? follower_->replica_info()
                                    : db_->replica_info();
+      const bool quarantined =
+          follower_ != nullptr &&
+          follower_->state() == replication::FollowerState::kQuarantined;
+      if (json) {
+        JsonWriter w;
+        w.BeginObject();
+        w.Field("is_replica", info.is_replica);
+        if (info.is_replica) {
+          w.Field("state", info.state);
+          w.Field("generation", info.generation);
+          w.Field("manifest_seq", info.manifest_seq);
+          w.Field("replay_lsn", info.replay_lsn);
+          w.Field("shipped_lsn", info.shipped_lsn);
+          w.Field("lag", info.lag());
+        } else if (shipper_ != nullptr) {
+          w.Field("ships_to", shipper_->replica_dir());
+        }
+        if (quarantined) {
+          w.Key("quarantine");
+          w.BeginObject();
+          w.Field("code", follower_->quarantine_code());
+          w.Field("reason", follower_->quarantine_reason());
+          w.EndObject();
+        }
+        w.EndObject();
+        out << w.str() << "\n";
+        return true;
+      }
       if (!info.is_replica) {
         out << "not a replica (this database "
             << (shipper_ != nullptr ? "ships to " + shipper_->replica_dir()
@@ -647,9 +836,7 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       out << "manifest seq: " << info.manifest_seq << "\n";
       out << "replay lsn:   " << info.replay_lsn << " / shipped lsn "
           << info.shipped_lsn << " (lag " << info.lag() << ")\n";
-      if (follower_ != nullptr &&
-          follower_->state() ==
-              replication::FollowerState::kQuarantined) {
+      if (quarantined) {
         out << "quarantine:   " << follower_->quarantine_code() << ": "
             << follower_->quarantine_reason() << "\n";
       }
@@ -658,6 +845,23 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     if (follower_ == nullptr) {
       fail(FailedPrecondition("replica " + tokens[1] +
                               " needs follower mode (caddb_shell --follow)"));
+      return true;
+    }
+    if (tokens[1] == "reseed") {
+      // Surface the verdict being overridden before touching anything — an
+      // operator accepting a new history should see what was rejected.
+      if (follower_->state() == replication::FollowerState::kQuarantined) {
+        out << "quarantined: " << follower_->quarantine_code() << ": "
+            << follower_->quarantine_reason() << "\n";
+      }
+      Result<replication::PollResult> reseeded = follower_->Reseed();
+      if (!reseeded.ok()) {
+        fail(reseeded.status());
+        return true;
+      }
+      out << "ok: reseeded from manifest seq " << reseeded->manifest_seq
+          << " (replay lsn " << reseeded->replay_lsn
+          << "); quarantine cleared\n";
       return true;
     }
     if (tokens[1] == "poll") {
@@ -689,7 +893,7 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
           << db_->generation() << ", dir " << db_->wal()->dir() << ")\n";
       return true;
     }
-    fail(InvalidArgument("use: replica status|poll|promote"));
+    fail(InvalidArgument("use: replica status|poll|promote|reseed"));
     return true;
   }
 

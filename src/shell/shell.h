@@ -46,16 +46,25 @@ namespace shell {
 ///   pending @<id>         change log of an inheritor's binding
 ///   ack @<id>             acknowledge it
 ///   select <class-or-type> [<path>...] [where <expr...>]
-///   stats
+///   stats [--format=json]  population/cache report; json adds the full
+///       metrics snapshot
+///   metrics [--format=json|prom]   every registered counter/gauge/histogram
+///       (prom is Prometheus text exposition 0.0.4)
+///   trace [on|off|clear|threshold <us>|dump [--slow-only]]   operation
+///       tracing: RAII spans into a bounded ring; spans over the threshold
+///       are retained separately and shown by --slow-only
 ///   cache [off|global|fine|on|reset-stats]   resolution-cache mode & stats
 ///   dump <path> | load <path>
-///   wal status            log/recovery telemetry (durable databases only)
+///   wal status [--format=json]   log/recovery telemetry (durable only)
 ///   checkpoint            snapshot + truncate the log (durable only)
 ///   ship [<replica-dir>]  ship checkpoint + log to a replica directory
 ///       (the directory sticks after the first use; plain `ship` re-ships)
-///   replica status        replication state of this database / follower
+///   replica status [--format=json]   replication state of this database
 ///   replica poll          one follower catch-up cycle (follower mode)
 ///   replica promote       promote the follower to a writable primary
+///   replica reseed        accept the primary's current history after a
+///       quarantine: prints the verdict, re-stages from the manifest, and
+///       clears QUARANTINE only when the rebuild succeeds
 ///   echo <text...>
 ///   quit
 class Shell {

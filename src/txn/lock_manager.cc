@@ -9,6 +9,22 @@ const char* LockModeName(LockMode mode) {
   return mode == LockMode::kShared ? "S" : "X";
 }
 
+LockManager::LockManager(const Catalog* catalog, obs::Observability* obs)
+    : catalog_(catalog), obs_(obs != nullptr ? obs : obs::Default()) {
+  m_acquires_ = obs_->metrics.GetCounter("caddb_lock_acquires_total",
+                                         "Lock acquisitions granted");
+  m_waits_ = obs_->metrics.GetCounter(
+      "caddb_lock_waits_total", "Acquisitions that blocked on a conflict");
+  m_deadlocks_ = obs_->metrics.GetCounter(
+      "caddb_lock_deadlocks_total",
+      "Acquisitions aborted as deadlock victims");
+  m_timeouts_ = obs_->metrics.GetCounter("caddb_lock_timeouts_total",
+                                         "Acquisitions that timed out");
+  m_wait_us_ = obs_->metrics.GetHistogram(
+      "caddb_lock_wait_us",
+      "Blocked time of lock acquisitions that waited (granted or not)");
+}
+
 bool LockManager::ItemsOverlap(const std::string& part_a,
                                const std::string& part_b) const {
   if (part_a.empty() || part_b.empty()) return true;  // whole object involved
@@ -56,6 +72,17 @@ bool LockManager::Reaches(TxnId from, TxnId to) const {
 
 Status LockManager::Acquire(TxnId txn, const LockItem& item, LockMode mode,
                             std::chrono::milliseconds timeout) {
+  // Declared before the guard so the span (and any observer callback it
+  // triggers) completes only after mu_ is released.
+  obs::Span span(&obs_->trace, "lock.acquire");
+  span.AddAttribute("object", item.object.id);
+  if (!item.whole()) span.AddAttribute("part", item.part);
+  uint64_t wait_start_us = 0;  // nonzero once this acquire has blocked
+  auto record_wait = [this, &wait_start_us] {
+    if (wait_start_us != 0) {
+      m_wait_us_->Record(obs::Tracer::NowUs() - wait_start_us);
+    }
+  };
   std::unique_lock<std::mutex> lock(mu_);
   auto deadline = std::chrono::steady_clock::now() + timeout;
 
@@ -71,6 +98,8 @@ Status LockManager::Acquire(TxnId txn, const LockItem& item, LockMode mode,
     }
     if (own != nullptr &&
         (own->mode == LockMode::kExclusive || mode == LockMode::kShared)) {
+      record_wait();
+      m_acquires_->Increment();
       return OkStatus();  // already strong enough
     }
 
@@ -82,6 +111,8 @@ Status LockManager::Acquire(TxnId txn, const LockItem& item, LockMode mode,
         entries.push_back(Entry{txn, mode, item.part});
       }
       waits_for_.erase(txn);
+      record_wait();
+      m_acquires_->Increment();
       return OkStatus();
     }
 
@@ -95,6 +126,9 @@ Status LockManager::Acquire(TxnId txn, const LockItem& item, LockMode mode,
       if (Reaches(b, txn)) {
         waits_for_.erase(txn);
         cv_.notify_all();
+        record_wait();
+        m_deadlocks_->Increment();
+        span.AddAttribute("outcome", "deadlock");
         return DeadlockError(
             "transaction " + std::to_string(txn) + " would deadlock on " +
             LockModeName(mode) + "-lock of @" +
@@ -103,11 +137,18 @@ Status LockManager::Acquire(TxnId txn, const LockItem& item, LockMode mode,
       }
     }
 
+    if (wait_start_us == 0) {
+      wait_start_us = obs::Tracer::NowUs();
+      m_waits_->Increment();
+    }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // One more check after the timeout to avoid a spurious failure.
       if (Blockers(txn, item, mode).empty()) continue;
       waits_for_.erase(txn);
       cv_.notify_all();
+      record_wait();
+      m_timeouts_->Increment();
+      span.AddAttribute("outcome", "timeout");
       return FailedPrecondition(
           "lock wait timeout: transaction " + std::to_string(txn) + " on @" +
           std::to_string(item.object.id));

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "obs/observability.h"
 #include "util/status.h"
 #include "values/value.h"
 
@@ -51,8 +52,11 @@ struct LockItem {
 /// Thread-safe.
 class LockManager {
  public:
-  /// `catalog` is used to compare exported item sets; not owned.
-  explicit LockManager(const Catalog* catalog) : catalog_(catalog) {}
+  /// `catalog` is used to compare exported item sets; not owned. `obs` (not
+  /// owned) receives lock counters and wait timings; null falls back to the
+  /// process-global obs::Default() bundle.
+  explicit LockManager(const Catalog* catalog,
+                       obs::Observability* obs = nullptr);
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -93,6 +97,13 @@ class LockManager {
   bool Reaches(TxnId from, TxnId to) const;
 
   const Catalog* catalog_;
+
+  obs::Observability* obs_;
+  obs::Counter* m_acquires_;
+  obs::Counter* m_waits_;
+  obs::Counter* m_deadlocks_;
+  obs::Counter* m_timeouts_;
+  obs::Histogram* m_wait_us_;  // filled only by acquires that blocked
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

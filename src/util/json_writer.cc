@@ -1,0 +1,151 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace caddb {
+
+void JsonWriter::AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_value_) {
+    pending_value_ = false;
+    return;
+  }
+  if (!has_member_.empty()) {
+    if (has_member_.back()) out_.push_back(',');
+    has_member_.back() = true;
+  }
+}
+
+void JsonWriter::BeforeKey() {
+  if (has_member_.back()) out_.push_back(',');
+  has_member_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  has_member_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  has_member_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(const std::string& name) {
+  BeforeKey();
+  AppendEscaped(&out_, name);
+  out_.push_back(':');
+  pending_value_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  AppendEscaped(&out_, value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Field(const std::string& name, const std::string& value) {
+  Key(name);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& name, const char* value) {
+  Key(name);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& name, uint64_t value) {
+  Key(name);
+  UInt(value);
+}
+
+void JsonWriter::Field(const std::string& name, int64_t value) {
+  Key(name);
+  Int(value);
+}
+
+void JsonWriter::Field(const std::string& name, double value) {
+  Key(name);
+  Double(value);
+}
+
+void JsonWriter::Field(const std::string& name, bool value) {
+  Key(name);
+  Bool(value);
+}
+
+}  // namespace caddb

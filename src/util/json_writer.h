@@ -1,0 +1,70 @@
+#ifndef CADDB_UTIL_JSON_WRITER_H_
+#define CADDB_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace caddb {
+
+/// Minimal streaming JSON builder — the one renderer behind every
+/// machine-readable surface (`metrics --format=json`, `stats --format=json`,
+/// `wal status --format=json`, `replica status --format=json`), so the
+/// escaping and number formatting rules cannot drift apart per command.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("state");   w.String("caught-up");
+///   w.Key("lag");     w.UInt(0);
+///   w.EndObject();
+///   std::string json = w.str();
+///
+/// Commas are inserted automatically; keys must alternate with values inside
+/// objects. No validation beyond that — callers own the shape.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Member key inside an object (always followed by exactly one value).
+  void Key(const std::string& name);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  /// Non-finite doubles render as null (JSON has no NaN/Inf).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Key + value shorthands.
+  void Field(const std::string& name, const std::string& value);
+  void Field(const std::string& name, const char* value);
+  void Field(const std::string& name, uint64_t value);
+  void Field(const std::string& name, int64_t value);
+  void Field(const std::string& name, double value);
+  void Field(const std::string& name, bool value);
+
+  const std::string& str() const { return out_; }
+
+  /// Appends `s` to `out` as a quoted, escaped JSON string.
+  static void AppendEscaped(std::string* out, const std::string& s);
+
+ private:
+  /// Emits a comma when the current container already holds a member and the
+  /// next token is not a key's value.
+  void BeforeValue();
+  void BeforeKey();
+
+  std::string out_;
+  /// Per open container: true once a member has been written.
+  std::vector<bool> has_member_;
+  /// A Key was just written; the next value completes the member.
+  bool pending_value_ = false;
+};
+
+}  // namespace caddb
+
+#endif  // CADDB_UTIL_JSON_WRITER_H_

@@ -211,6 +211,16 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
   if (db->store().size() != 0 || !db->catalog().ObjectTypeNames().empty()) {
     return FailedPrecondition("Recover requires an empty database");
   }
+  obs::Observability* obs =
+      options.wal.obs != nullptr ? options.wal.obs : obs::Default();
+  obs->metrics
+      .GetCounter("caddb_recovery_runs_total", "Recovery passes started")
+      ->Increment();
+  obs::Span span(&obs->trace, "recovery.replay",
+                 obs->metrics.GetHistogram(
+                     "caddb_recovery_replay_us",
+                     "Whole recovery pass: checkpoint load + scan + redo"),
+                 /*always_time=*/true);
   RecoveryReport report;
 
   // 1. Snapshot: newest checkpoint whose CRC matches.
@@ -384,6 +394,17 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
                            findings.Summary());
     }
   }
+  obs->metrics
+      .GetCounter("caddb_recovery_records_applied_total",
+                  "Operations re-executed across all recovery passes")
+      ->Increment(report.records_applied);
+  obs->metrics
+      .GetCounter("caddb_recovery_txns_discarded_total",
+                  "Uncommitted or aborted transactions dropped by replay")
+      ->Increment(report.txns_discarded);
+  span.AddAttribute("records_applied", report.records_applied);
+  span.AddAttribute("txns_committed", report.txns_committed);
+  span.AddAttribute("last_lsn", report.last_lsn);
   return report;
 }
 

@@ -78,8 +78,29 @@ std::vector<SegmentFileInfo> ListSegments(const std::string& dir) {
 }
 
 Wal::Wal(std::string dir, WalOptions options, uint64_t next_lsn)
-    : dir_(std::move(dir)), options_(std::move(options)), next_lsn_(next_lsn) {
+    : dir_(std::move(dir)),
+      options_(std::move(options)),
+      obs_(options_.obs != nullptr ? options_.obs : obs::Default()),
+      next_lsn_(next_lsn) {
   synced_lsn_ = next_lsn_ - 1;
+  m_appends_ = obs_->metrics.GetCounter("caddb_wal_appends_total",
+                                        "Records appended to the log");
+  m_commits_ = obs_->metrics.GetCounter(
+      "caddb_wal_commits_total",
+      "Commit points (transaction commits + auto-committed operations)");
+  m_fsyncs_ = obs_->metrics.GetCounter("caddb_wal_fsyncs_total",
+                                       "fsync calls on the live segment");
+  m_bytes_ = obs_->metrics.GetCounter("caddb_wal_bytes_appended_total",
+                                      "Encoded frame bytes appended");
+  m_fsync_us_ = obs_->metrics.GetHistogram(
+      "caddb_wal_fsync_us", "fsync latency (in-line and syncer-thread)");
+  m_commits_per_fsync_ = obs_->metrics.GetHistogram(
+      "caddb_wal_commits_per_fsync",
+      "Commit points made durable by one fsync (group-commit batching)",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  m_append_us_ = obs_->metrics.GetHistogram(
+      "caddb_wal_append_us",
+      "Append latency; recorded only while tracing is enabled");
 }
 
 Wal::~Wal() {
@@ -142,6 +163,8 @@ Status Wal::AppendLocked(std::unique_lock<std::mutex>& lock,
   CADDB_RETURN_IF_ERROR(file_->Append(frame));
   ++stats_.records_appended;
   stats_.bytes_appended += frame.size();
+  m_appends_->Increment();
+  m_bytes_->Increment(frame.size());
   segment_bytes_written_ += frame.size();
   stats_.last_lsn = lsn;
   if (lsn_out != nullptr) *lsn_out = lsn;
@@ -156,7 +179,11 @@ void Wal::RequestSyncLocked(uint64_t target) {
 Status Wal::SyncFileLocked() {
   uint64_t target = next_lsn_ - 1;
   if (synced_lsn_ >= target) return OkStatus();
+  // Timed directly (no Span): this runs under mu_, and span completion may
+  // invoke observer callbacks that are allowed to call back into the Wal.
+  const uint64_t fsync_start_us = obs::Tracer::NowUs();
   Status s = file_->Sync();
+  m_fsync_us_->Record(obs::Tracer::NowUs() - fsync_start_us);
   if (!s.ok()) {
     sync_error_ = s;
     // Wake batched committers waiting on sync_done_cv_: their predicate
@@ -168,6 +195,11 @@ Status Wal::SyncFileLocked() {
   synced_lsn_ = target;
   stats_.synced_lsn = synced_lsn_;
   ++stats_.fsyncs;
+  m_fsyncs_->Increment();
+  if (commits_since_fsync_ > 0) {
+    m_commits_per_fsync_->Record(commits_since_fsync_);
+    commits_since_fsync_ = 0;
+  }
   sync_done_cv_.notify_all();
   return OkStatus();
 }
@@ -192,6 +224,8 @@ Status Wal::SyncLocked(std::unique_lock<std::mutex>& lock) {
 
 Status Wal::CommitSyncLocked(std::unique_lock<std::mutex>& lock) {
   ++stats_.commits;
+  m_commits_->Increment();
+  ++commits_since_fsync_;
   switch (options_.sync) {
     case SyncPolicy::kAlways:
       return SyncLocked(lock);
@@ -223,6 +257,7 @@ Status Wal::CommitSyncLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 Result<uint64_t> Wal::Append(const Record& record) {
+  obs::Span span(&obs_->trace, "wal.append", m_append_us_);
   std::vector<ClosedSegment> closed;
   uint64_t lsn = 0;
   {
@@ -236,6 +271,7 @@ Result<uint64_t> Wal::Append(const Record& record) {
 }
 
 Status Wal::AppendCommit(const Record& record) {
+  obs::Span span(&obs_->trace, "wal.commit", m_append_us_);
   std::vector<ClosedSegment> closed;
   Status result;
   {
@@ -349,7 +385,13 @@ void Wal::SyncerLoop() {
     // same fd meanwhile (concurrent write+fsync on one descriptor is
     // safe; the fsync simply covers whatever had been written when the
     // kernel processed it — we only *claim* `target`).
-    Status s = file->Sync();
+    Status s;
+    {
+      obs::Span span(&obs_->trace, "wal.fsync", m_fsync_us_,
+                     /*always_time=*/true);
+      span.AddAttribute("target_lsn", target);
+      s = file->Sync();
+    }
     lock.lock();
     sync_in_flight_ = false;
     if (!s.ok()) {
@@ -362,6 +404,11 @@ void Wal::SyncerLoop() {
         stats_.synced_lsn = synced_lsn_;
       }
       ++stats_.fsyncs;
+      m_fsyncs_->Increment();
+      if (commits_since_fsync_ > 0) {
+        m_commits_per_fsync_->Record(commits_since_fsync_);
+        commits_since_fsync_ = 0;
+      }
     }
     sync_done_cv_.notify_all();
   }

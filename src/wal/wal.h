@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/observability.h"
 #include "util/result.h"
 #include "wal/log_io.h"
 #include "wal/record.h"
@@ -82,6 +83,10 @@ struct WalOptions {
   /// previous batch is still being made durable. A failed fsync is sticky:
   /// every later commit/sync reports it.
   bool batched_fsync = false;
+  /// Metrics/trace bundle the log reports into (not owned; must outlive the
+  /// Wal). Null falls back to the process-global obs::Default() bundle.
+  /// Database::Open injects the database's own bundle here.
+  obs::Observability* obs = nullptr;
 };
 
 /// Point-in-time counters for `wal status` and the benchmarks.
@@ -199,6 +204,18 @@ class Wal {
 
   const std::string dir_;
   const WalOptions options_;
+
+  /// Registry mirrors of WalStats (which stays authoritative for
+  /// `wal status`), plus the fsync/group-commit timings.
+  obs::Observability* obs_;
+  obs::Counter* m_appends_;
+  obs::Counter* m_commits_;
+  obs::Counter* m_fsyncs_;
+  obs::Counter* m_bytes_;
+  obs::Histogram* m_fsync_us_;
+  obs::Histogram* m_commits_per_fsync_;
+  obs::Histogram* m_append_us_;  // trace-gated (hot path)
+  uint64_t commits_since_fsync_ = 0;
 
   mutable std::mutex mu_;
   std::unique_ptr<WritableFile> file_;

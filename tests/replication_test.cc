@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "replication/follower.h"
 #include "replication/manifest.h"
 #include "replication/shipper.h"
+#include "shell/shell.h"
 #include "wal/checkpoint.h"
 #include "workload/generator.h"
 #include "wal/crc32c.h"
@@ -898,6 +900,127 @@ TEST(ManifestTest, ValidateCatchesStructuralNonsense) {
   Manifest backwards = manifest;
   backwards.segments[0].last_lsn = 3;
   EXPECT_FALSE(backwards.Validate().ok());
+}
+
+// ---- Reseed (operator recovery from quarantine) ----
+
+TEST(ReplicationReseedTest, ReseedAppliesFreshShipmentAndClearsQuarantine) {
+  const std::string primary_dir = TestDir("reseed_primary");
+  const std::string replica_dir = TestDir("reseed_replica");
+  FollowedPair pair = MakeFollowedPair(primary_dir, replica_dir);
+  Manifest manifest = CurrentManifest(replica_dir);
+  manifest.seq += 1;
+  manifest.generation = 0;
+  PublishManifest(replica_dir, manifest);
+  ExpectQuarantined(pair.follower.get(), "CAD201");
+  EXPECT_TRUE(fs::exists(fs::path(replica_dir) / "QUARANTINE"));
+
+  // The operator decides the primary's current history is the new truth:
+  // the primary ships clean again (seq seeds past the tampered manifest),
+  // then reseed re-stages from scratch.
+  ASSERT_TRUE(ApplyStage(pair.primary.get(), 2).ok());
+  ASSERT_TRUE(pair.shipper->ShipNow().ok());
+  auto reseeded = pair.follower->Reseed();
+  ASSERT_TRUE(reseeded.ok()) << reseeded.status().ToString();
+  EXPECT_TRUE(reseeded->advanced);
+  EXPECT_EQ(pair.follower->state(), FollowerState::kFollowing);
+  EXPECT_TRUE(pair.follower->quarantine_code().empty());
+  EXPECT_FALSE(fs::exists(fs::path(replica_dir) / "QUARANTINE"))
+      << "successful rebuild must delete the persisted verdict";
+  ASSERT_NE(pair.follower->db(), nullptr);
+  EXPECT_EQ(CanonicalDump(*pair.follower->db()),
+            CanonicalDump(*pair.primary));
+
+  // Following continues normally afterwards.
+  ASSERT_TRUE(ApplyStage(pair.primary.get(), 3).ok());
+  ASSERT_TRUE(pair.shipper->ShipNow().ok());
+  auto next = pair.follower->Poll();
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_TRUE(next->advanced);
+  ASSERT_TRUE(pair.primary->Close().ok());
+}
+
+TEST(ReplicationReseedTest, FailedReseedRestoresTheVerdict) {
+  const std::string primary_dir = TestDir("reseed_fail_primary");
+  const std::string replica_dir = TestDir("reseed_fail_replica");
+  FollowedPair pair = MakeFollowedPair(primary_dir, replica_dir);
+  Manifest manifest = CurrentManifest(replica_dir);
+  manifest.seq += 1;
+  manifest.generation = 0;
+  PublishManifest(replica_dir, manifest);
+  ExpectQuarantined(pair.follower.get(), "CAD201");
+
+  // Transport is down: no manifest at all. The reseed goes nowhere, so it
+  // must not unlock the replica.
+  ASSERT_TRUE(
+      fs::remove(fs::path(replica_dir) / kManifestFileName));
+  auto reseeded = pair.follower->Reseed();
+  ASSERT_FALSE(reseeded.ok());
+  EXPECT_EQ(reseeded.status().code(), Code::kFailedPrecondition)
+      << reseeded.status().ToString();
+  EXPECT_EQ(pair.follower->state(), FollowerState::kQuarantined);
+  EXPECT_EQ(pair.follower->quarantine_code(), "CAD201");
+  EXPECT_TRUE(fs::exists(fs::path(replica_dir) / "QUARANTINE"));
+
+  // A process bounce still restores the quarantine from disk.
+  Follower restarted(replica_dir, FastFollowerOptions());
+  EXPECT_EQ(restarted.state(), FollowerState::kQuarantined);
+  EXPECT_EQ(restarted.quarantine_code(), "CAD201");
+  ASSERT_TRUE(pair.primary->Close().ok());
+}
+
+TEST(ReplicationReseedTest, ShellReseedPrintsVerdictAndClears) {
+  const std::string primary_dir = TestDir("shell_reseed_primary");
+  const std::string replica_dir = TestDir("shell_reseed_replica");
+  FollowedPair pair = MakeFollowedPair(primary_dir, replica_dir);
+  Manifest manifest = CurrentManifest(replica_dir);
+  manifest.seq += 1;
+  manifest.generation = 0;
+  PublishManifest(replica_dir, manifest);
+  ExpectQuarantined(pair.follower.get(), "CAD201");
+
+  shell::Shell sh(pair.follower->db());
+  sh.AttachFollower(pair.follower.get());
+
+  // `replica status --format=json` surfaces the quarantine verdict.
+  std::ostringstream status;
+  ASSERT_TRUE(sh.ExecuteLine("replica status --format=json", status));
+  EXPECT_EQ(sh.error_count(), 0u) << status.str();
+  EXPECT_NE(status.str().find("\"quarantine\":{\"code\":\"CAD201\""),
+            std::string::npos)
+      << status.str();
+  EXPECT_NE(status.str().find("\"is_replica\":true"), std::string::npos);
+
+  // A clean shipment, then the operator reseed: the verdict is echoed
+  // before anything happens, then cleared by the successful rebuild.
+  ASSERT_TRUE(ApplyStage(pair.primary.get(), 2).ok());
+  ASSERT_TRUE(pair.shipper->ShipNow().ok());
+  std::ostringstream reseed;
+  ASSERT_TRUE(sh.ExecuteLine("replica reseed", reseed));
+  EXPECT_EQ(sh.error_count(), 0u) << reseed.str();
+  EXPECT_NE(reseed.str().find("quarantined: CAD201:"), std::string::npos)
+      << reseed.str();
+  EXPECT_NE(reseed.str().find("quarantine cleared"), std::string::npos);
+  EXPECT_FALSE(fs::exists(fs::path(replica_dir) / "QUARANTINE"));
+
+  std::ostringstream after;
+  ASSERT_TRUE(sh.ExecuteLine("replica status --format=json", after));
+  EXPECT_NE(after.str().find("\"state\":\"caught-up\""), std::string::npos)
+      << after.str();
+  EXPECT_EQ(after.str().find("\"quarantine\""), std::string::npos);
+  ASSERT_TRUE(pair.primary->Close().ok());
+}
+
+TEST(ReplicationReseedTest, ReseedRefusesWhenNotQuarantined) {
+  const std::string primary_dir = TestDir("reseed_clean_primary");
+  const std::string replica_dir = TestDir("reseed_clean_replica");
+  FollowedPair pair = MakeFollowedPair(primary_dir, replica_dir);
+  auto reseeded = pair.follower->Reseed();
+  ASSERT_FALSE(reseeded.ok());
+  EXPECT_EQ(reseeded.status().code(), Code::kFailedPrecondition);
+  EXPECT_EQ(pair.follower->state(), FollowerState::kFollowing)
+      << "a refused reseed must not disturb a healthy follower";
+  ASSERT_TRUE(pair.primary->Close().ok());
 }
 
 TEST(FaultPlanTest, ParsesSpecsAndRejectsUnknownKinds) {

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "obs/exposition.h"
+
 namespace caddb {
 namespace shell {
 namespace {
@@ -247,6 +249,85 @@ TEST(ShellTest, CheckCommandRejectsUnknownArgument) {
   std::string out = RunScript(std::string(kBoxSchema) + "check bogus-mode\n",
                               &errors);
   EXPECT_EQ(errors, 1u) << out;
+}
+
+// ---- Observability commands ----
+
+TEST(ShellObsTest, MetricsCommandInAllThreeFormats) {
+  size_t errors = 0;
+  const std::string workload = std::string(kBoxSchema) +
+                               "create Box\n"
+                               "set @1 W i:3\n"
+                               "get @1 W\n";
+  std::string text = RunScript(workload + "metrics\n", &errors);
+  EXPECT_EQ(errors, 0u) << text;
+  EXPECT_NE(text.find("caddb_inherit_resolutions_total"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("caddb_catalog_schema_cache_misses_total"),
+            std::string::npos);
+
+  std::string prom = RunScript(workload + "metrics --format=prom\n", &errors);
+  EXPECT_EQ(errors, 0u) << prom;
+  std::string error;
+  // Strip the trailing shell framing only if any; the command output is the
+  // exposition itself.
+  EXPECT_TRUE(obs::ValidatePrometheusText(
+      prom.substr(prom.find("# ")), &error))
+      << error;
+  EXPECT_NE(prom.find("# TYPE caddb_inherit_resolutions_total counter"),
+            std::string::npos);
+
+  std::string json = RunScript(workload + "metrics --format=json\n", &errors);
+  EXPECT_EQ(errors, 0u) << json;
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos) << json;
+
+  RunScript(workload + "metrics --format=xml\n", &errors);
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST(ShellObsTest, TraceCommandsDriveTheTracer) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) +
+                                  "trace\n"
+                                  "trace threshold 0\n"
+                                  "trace on\n"
+                                  "create Box\n"
+                                  "set @1 W i:3\n"
+                                  "get @1 W\n"
+                                  "trace dump\n"
+                                  "trace dump --slow-only\n"
+                                  "trace off\n"
+                                  "trace clear\n"
+                                  "trace dump\n",
+                              &errors);
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("tracing off"), std::string::npos) << out;
+  EXPECT_NE(out.find("inherit.get_attribute"), std::string::npos) << out;
+  EXPECT_NE(out.find("attr=W"), std::string::npos) << out;
+  EXPECT_NE(out.find(" SLOW"), std::string::npos)
+      << "threshold 0 must promote every span";
+  EXPECT_NE(out.find("(0 span(s))"), std::string::npos)
+      << "clear must empty the ring";
+
+  RunScript("trace bogus\n", &errors);
+  EXPECT_EQ(errors, 1u);
+  RunScript("trace threshold not-a-number\n", &errors);
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST(ShellObsTest, StatsJsonEmbedsMetrics) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) +
+                                  "create Box\n"
+                                  "stats --format=json\n",
+                              &errors);
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("\"objects\":{\"total\":1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"per_type\":{\"Box\":1}"), std::string::npos);
+  EXPECT_NE(out.find("\"metrics\":{\"counters\":{"), std::string::npos);
+
+  RunScript("stats --format=yaml\n", &errors);
+  EXPECT_EQ(errors, 1u);
 }
 
 }  // namespace

@@ -560,6 +560,27 @@ TEST(ShellWalTest, WalStatusAndCheckpointCommands) {
   EXPECT_EQ(sh.error_count(), 0u);
 }
 
+TEST(ShellWalTest, WalStatusJsonSharesTheRenderer) {
+  std::string dir = TestDir("shell_wal_json");
+  auto db = Database::Open(dir);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->ExecuteDdl(kPlateSchema).ok());
+  shell::Shell sh((*db).get());
+  std::ostringstream out;
+  ASSERT_TRUE(sh.ExecuteLine("wal status --format=json", out));
+  EXPECT_EQ(sh.error_count(), 0u) << out.str();
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{') << json;
+  EXPECT_NE(json.find("\"log\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sync_policy\":"), std::string::npos);
+  EXPECT_NE(json.find("\"recovery\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"last_lsn\":"), std::string::npos);
+
+  std::ostringstream bad;
+  ASSERT_TRUE(sh.ExecuteLine("wal status --format=xml", bad));
+  EXPECT_EQ(sh.error_count(), 1u);
+}
+
 TEST(ShellWalTest, WalStatusFailsOnNonDurableDatabase) {
   Database db;
   shell::Shell sh(&db);
