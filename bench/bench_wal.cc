@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <filesystem>
 #include <thread>
 #include <vector>
@@ -142,6 +143,52 @@ void BM_Checkpoint(benchmark::State& state) {
   Abort(db->Close());
 }
 BENCHMARK(BM_Checkpoint)->Range(4, 64);
+
+/// Commit latency while a checkpointer runs continuously in the background
+/// (`range(0)`: 0 = quiesced baseline, 1 = checkpoint storm). With the paged
+/// store the checkpoint only stalls committers for its capture phase, so the
+/// two rows should sit within ~10% of each other; a stop-the-world dump
+/// would put the storm row at a multiple of the baseline. The pause_p99_us
+/// counter is the capture-phase stall straight from the engine's histogram.
+void BM_WalCommitDuringCheckpoint(benchmark::State& state) {
+  const bool storming = state.range(0) != 0;
+  const std::string dir = FreshDir(storming ? "during_ckpt" : "no_ckpt");
+  wal::DurabilityOptions options;
+  options.wal.sync = wal::SyncPolicy::kBatch;
+  auto db = Unwrap(Database::Open(dir, options));
+  LoadGatesSchema(db.get());
+  workload::NetlistParams params;
+  params.composites = 32;  // enough pages that a checkpoint batch is real work
+  Unwrap(workload::GenerateNetlist(db.get(), params));
+  Surrogate iface = NewInterface(db.get(), 2);
+  std::atomic<bool> stop{false};
+  std::thread checkpointer;
+  if (storming) {
+    checkpointer = std::thread([&db, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Abort(db->Checkpoint());
+      }
+    });
+  }
+  int64_t tick = 0;
+  for (auto _ : state) {
+    Abort(db->Set(iface, "Length", Value::Int(1 + (++tick % 500))));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  if (checkpointer.joinable()) checkpointer.join();
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(storming ? "checkpoint-storm" : "quiesced");
+  obs::MetricsSnapshot snapshot = db->observability()->metrics.Snapshot();
+  if (const obs::HistogramSample* pause =
+          snapshot.FindHistogram("caddb_wal_checkpoint_pause_us")) {
+    state.counters["checkpoints"] = static_cast<double>(pause->data.count);
+    if (pause->data.count > 0) {
+      state.counters["pause_p99_us"] = pause->data.Percentile(0.99);
+    }
+  }
+  Abort(db->Close());
+}
+BENCHMARK(BM_WalCommitDuringCheckpoint)->DenseRange(0, 1)->UseRealTime();
 
 /// Crash recovery: replay of a `range(0)`-operation log into a fresh
 /// process. The pristine directory (checkpoint of an empty database + one

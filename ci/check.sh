@@ -4,15 +4,18 @@
 #   1. Tier-1: warnings-as-errors build + full ctest suite
 #   2. ASan + UBSan build + full ctest suite
 #   3. Crash-recovery smoke: the fault-injection matrix under ASan
-#   4. Replication smoke: shipper/follower fault matrix + the kill -9
+#   4. Paged-store smoke: the page/buffer-pool unit tests plus the
+#      crash-at-every-page-flush matrix under ASan+UBSan
+#   5. Replication smoke: shipper/follower fault matrix + the kill -9
 #      promote drill under ASan+UBSan
-#   5. Observability smoke: metrics/trace/exposition tests under
+#   6. Observability smoke: metrics/trace/exposition tests under
 #      ASan+UBSan — a live workload fills the instruments and the
 #      Prometheus text must validate
-#   6. TSan build + the concurrency tests (lock manager, transactions,
-#      batched-fsync committers, the concurrent metrics/trace registry)
-#   7. Bench build: every benchmark target must compile (incl. bench_obs)
-#   8. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
+#   7. TSan build + the concurrency tests (lock manager, transactions,
+#      batched-fsync committers, the concurrent metrics/trace registry,
+#      the shared buffer pool)
+#   8. Bench build: every benchmark target must compile (incl. bench_obs)
+#   9. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
 #
 # Each configuration gets its own build directory under build-ci/ so the
 # sanitizer runtimes never mix. Usage: ci/check.sh [jobs]
@@ -44,6 +47,16 @@ UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-ci/asan-ubsan --output-on-failure \
         -R '^(wal_test|wal_recovery_test)$'
 
+step "paged-store smoke: page/pool units + page-flush crash matrix under asan+ubsan"
+# storage_test covers the slotted page, file manager failpoints, and the
+# buffer pool's WAL flush-ordering rule; store_paged_test runs a 2x-pool
+# workload and crashes at every page-flush failpoint, requiring clean
+# recovery each time — under the sanitizers a torn page that leaks into
+# replay fails loudly.
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure \
+        -R '^(storage_test|store_paged_test)$'
+
 step "replication smoke: fault matrix + kill -9 promote drill under asan+ubsan"
 # replication_test drives the drop/truncate/duplicate/reorder/corrupt/stall
 # matrix and every CAD201-205 quarantine; replication_smoke_test forks a
@@ -66,9 +79,9 @@ step "tsan: lock manager + transaction + batched-fsync + obs registry tests"
 cmake -B build-ci/tsan -S . -DCADDB_WERROR=ON -DCADDB_TSAN=ON \
       "${GENERATOR_FLAGS[@]}"
 cmake --build build-ci/tsan -j "$JOBS" --target lock_manager_test txn_test \
-      wal_batch_sync_test obs_test
+      wal_batch_sync_test obs_test buffer_pool_concurrency_test
 ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
-      -R '^(lock_manager_test|txn_test|wal_batch_sync_test|obs_test)$'
+      -R '^(lock_manager_test|txn_test|wal_batch_sync_test|obs_test|buffer_pool_concurrency_test)$'
 
 step "bench build: all benchmark targets compile"
 cmake --build build-ci/werror -j "$JOBS" --target \

@@ -1,10 +1,13 @@
 #ifndef CADDB_CORE_DATABASE_H_
 #define CADDB_CORE_DATABASE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/diagnostics.h"
@@ -16,6 +19,9 @@
 #include "obs/observability.h"
 #include "query/expansion.h"
 #include "query/query.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_manager.h"
+#include "storage/paged_heap.h"
 #include "store/store.h"
 #include "txn/access_control.h"
 #include "txn/lock_manager.h"
@@ -78,7 +84,15 @@ class Database {
         "caddb_wal_checkpoints_total", "Checkpoints published");
     m_checkpoint_us_ = obs_->metrics.GetHistogram(
         "caddb_wal_checkpoint_us",
-        "Checkpoint duration (dump + sync + publish + truncate)");
+        "Checkpoint duration (capture + stage + publish + truncate)");
+    m_checkpoint_pause_us_ = obs_->metrics.GetHistogram(
+        "caddb_wal_checkpoint_pause_us",
+        "Commit-blocking portion of a checkpoint (the capture critical "
+        "section under the store gate)");
+    // Transactions and workspaces serialize store access against checkpoint
+    // capture through one database-wide gate.
+    transactions_.set_store_gate(&store_gate_);
+    workspaces_.set_store_gate(&store_gate_);
   }
 
   Database(const Database&) = delete;
@@ -109,11 +123,45 @@ class Database {
       const std::string& dir,
       const wal::DurabilityOptions& options = wal::DurabilityOptions{});
 
-  /// Snapshot (Dumper::Dump) + atomic checkpoint publication + log
-  /// truncation. Fails with kFailedPrecondition while explicit transactions
-  /// are active: their uncommitted writes would be frozen into the snapshot
-  /// and survive a later abort.
+  /// Incremental checkpoint: captures the dirty/deleted object sets and
+  /// the live-transaction undo masks in one short critical section under
+  /// the store gate (commits block only for that capture, not for the I/O),
+  /// stages the dirty objects onto buffer-pool pages, embeds the dirtied
+  /// page images in the atomically-published checkpoint file (a double-
+  /// write journal), then writes the pages in place and truncates the log.
+  /// Writes of transactions still active at capture are masked with their
+  /// before-images, and the checkpoint records the oldest such begin lsn so
+  /// recovery replays them iff they later committed — active transactions
+  /// no longer block checkpointing. A failed attempt restores the dirty
+  /// sets and leaves the page batch pinned for retry.
   Status Checkpoint();
+
+  /// Recovery plumbing (called by wal::Recover and Open): opens pages.db in
+  /// `dir`, heals it with the checkpoint's page `images` (or overlays them,
+  /// read-only), adopts every stored object into the store, and wires the
+  /// demand-paging and dirty-tracking machinery.
+  Status InitPagedStore(const std::string& dir,
+                        const std::map<uint32_t, std::string>& images,
+                        const wal::DurabilityOptions& options);
+
+  /// Blocks Checkpoint() (and the in-place page writes + log truncation it
+  /// performs) while held. The replication shipper snapshots the
+  /// checkpoint file, the page file and the segments under this, so the
+  /// shipped triple is mutually consistent.
+  std::unique_lock<std::mutex> PauseCheckpoints() {
+    return std::unique_lock<std::mutex>(checkpoint_mu_);
+  }
+
+  /// Paged-store telemetry for `status` and the benchmarks.
+  struct StorageStats {
+    bool paged = false;
+    storage::BufferPoolStats pool;
+    storage::PagedHeap::Stats heap;
+    size_t resident_objects = 0;
+    size_t dirty_objects = 0;
+    uint64_t page_writes = 0;
+  };
+  StorageStats storage_stats() const;
 
   /// Syncs and closes the log; mutations afterwards are no longer logged.
   Status Close();
@@ -230,27 +278,29 @@ class Database {
                          const std::string& inher_rel_type);
   Status Unbind(Surrogate inheritor);
   Status Set(Surrogate s, const std::string& attr, Value v);
-  Result<Value> Get(Surrogate s, const std::string& attr) const {
-    return inheritance_.GetAttribute(s, attr);
-  }
+  /// Reads take the store gate too: with demand paging even a read may
+  /// fault an object in, and a background checkpointer may be trimming.
+  Result<Value> Get(Surrogate s, const std::string& attr) const;
   Result<std::vector<Surrogate>> Subclass(Surrogate s,
-                                          const std::string& name) const {
-    return inheritance_.GetSubclass(s, name);
-  }
+                                          const std::string& name) const;
   Status Delete(Surrogate s, ObjectStore::DeletePolicy policy =
                                  ObjectStore::DeletePolicy::kRestrict);
   /// Parses `text` as a constraint expression and evaluates it anchored at
   /// `s` (handy for top-down version selection and ad-hoc checks).
-  Result<bool> Holds(Surrogate s, const std::string& text) const {
-    Result<expr::ExprPtr> e = ddl::Parser::ParseConstraintExpression(text);
-    if (!e.ok()) return e.status();
-    return checker_.Evaluate(s, **e);
-  }
+  Result<bool> Holds(Surrogate s, const std::string& text) const;
 
  private:
   /// Appends `record` as an auto-committed operation when a wal is
-  /// attached; OK (and free) otherwise.
-  Status LogOp(const wal::Record& record);
+  /// attached (must hold store_gate_: the marker lsn and the store
+  /// mutation it describes become atomic w.r.t. checkpoint capture);
+  /// `*appended` tells FinishOp whether a durability wait is owed.
+  Status LogOpLocked(const wal::Record& record, bool* appended);
+  /// Outside the gate: waits for the commit's durability policy, then
+  /// trims resident objects to the configured budget.
+  Status FinishOp(Status result, bool appended);
+  void MaybeTrimResident();
+  void StartCheckpointer(uint64_t interval_ms);
+  void StopCheckpointer();
 
   /// kFailedPrecondition for read-only (replica) databases, OK otherwise.
   /// Every mutating convenience method and ExecuteDdl checks it first.
@@ -284,6 +334,32 @@ class Database {
   bool read_only_ = false;
   uint64_t generation_ = 0;
   ReplicaInfo replica_info_;
+
+  // Paged store (present once InitPagedStore ran — every durable open).
+  // Declaration order is destruction-in-reverse: the heap drops before the
+  // pool, the pool before the file manager.
+  std::unique_ptr<storage::FileManager> files_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::PagedHeap> heap_;
+  std::unique_ptr<ObjectPager> pager_;
+  size_t resident_budget_ = 0;
+
+  /// Serializes every store mutation/read against checkpoint capture.
+  /// Shared into the transaction and workspace managers. Lock order:
+  /// store_gate_ -> subsystem mutexes -> heap/pool/file mutexes.
+  mutable std::mutex store_gate_;
+  /// Serializes whole checkpoints (foreground calls, the background
+  /// checkpointer, and the shipper's consistency pause). Never taken while
+  /// store_gate_ is held.
+  std::mutex checkpoint_mu_;
+  obs::Histogram* m_checkpoint_pause_us_;
+
+  // Background checkpointer (Open with checkpoint_interval_ms != 0).
+  std::thread checkpointer_;
+  std::mutex checkpointer_mu_;
+  std::condition_variable checkpointer_cv_;
+  bool stop_checkpointer_ = false;
+  uint64_t checkpoint_interval_ms_ = 0;
 
   // CheckSchema memoization (satellite of the durability work: recovery and
   // eager DDL validation both call it repeatedly).

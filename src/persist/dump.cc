@@ -49,6 +49,47 @@ Result<Value> RemapValueRefs(const Value& v,
   }
 }
 
+namespace {
+
+/// Emits the version-manager block (design/version/vdefault/generic lines)
+/// shared by the full dump and the v3 meta snapshot.
+Status AppendVersionState(const Database& db, std::string* out) {
+  const VersionManager& versions = db.versions();
+  for (const std::string& name : versions.DesignObjectNames()) {
+    CADDB_ASSIGN_OR_RETURN(const DesignObject* design, versions.Find(name));
+    *out += "design " + name + " " + design->object_type() + "\n";
+    std::vector<const VersionInfo*> ordered;
+    for (const VersionInfo& v : design->versions()) ordered.push_back(&v);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const VersionInfo* a, const VersionInfo* b) {
+                return a->seq < b->seq;
+              });
+    for (const VersionInfo* v : ordered) {
+      *out += "version " + name + " " + std::to_string(v->object.id) + " " +
+              VersionStateName(v->state);
+      for (Surrogate p : v->predecessors) {
+        *out += " " + std::to_string(p.id);
+      }
+      *out += "\n";
+    }
+    if (design->default_version().valid()) {
+      *out += "vdefault " + name + " " +
+              std::to_string(design->default_version().id) + "\n";
+    }
+  }
+  for (const VersionManager::GenericBinding& g : versions.GenericBindings()) {
+    *out += "generic " + std::to_string(g.inheritor.id) + " " + g.design +
+            " " + g.inher_rel_type;
+    if (g.resolved_version.valid()) {
+      *out += " " + std::to_string(g.resolved_version.id);
+    }
+    *out += "\n";
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 Result<std::string> Dumper::Dump(const Database& db) {
   std::string out = "caddb-dump 1\n";
   const std::string schema = ddl::SchemaPrinter::Print(db.catalog());
@@ -105,37 +146,7 @@ Result<std::string> Dumper::Dump(const Database& db) {
   }
   // Version-manager state: design objects, version graphs, generic
   // bindings. Emitted after the objects so the loader can map surrogates.
-  const VersionManager& versions = db.versions();
-  for (const std::string& name : versions.DesignObjectNames()) {
-    CADDB_ASSIGN_OR_RETURN(const DesignObject* design, versions.Find(name));
-    out += "design " + name + " " + design->object_type() + "\n";
-    std::vector<const VersionInfo*> ordered;
-    for (const VersionInfo& v : design->versions()) ordered.push_back(&v);
-    std::sort(ordered.begin(), ordered.end(),
-              [](const VersionInfo* a, const VersionInfo* b) {
-                return a->seq < b->seq;
-              });
-    for (const VersionInfo* v : ordered) {
-      out += "version " + name + " " + std::to_string(v->object.id) + " " +
-             VersionStateName(v->state);
-      for (Surrogate p : v->predecessors) {
-        out += " " + std::to_string(p.id);
-      }
-      out += "\n";
-    }
-    if (design->default_version().valid()) {
-      out += "vdefault " + name + " " +
-             std::to_string(design->default_version().id) + "\n";
-    }
-  }
-  for (const VersionManager::GenericBinding& g : versions.GenericBindings()) {
-    out += "generic " + std::to_string(g.inheritor.id) + " " + g.design +
-           " " + g.inher_rel_type;
-    if (g.resolved_version.valid()) {
-      out += " " + std::to_string(g.resolved_version.id);
-    }
-    out += "\n";
-  }
+  CADDB_RETURN_IF_ERROR(AppendVersionState(db, &out));
 
   out += attr_lines;
   out += "end\n";
@@ -372,6 +383,144 @@ Status Dumper::Load(const std::string& dump, Database* db,
     CADDB_RETURN_IF_ERROR(here(std::move(attr_status)));
   }
   if (mapping_out != nullptr) *mapping_out = std::move(mapping);
+  return OkStatus();
+}
+
+Result<std::string> DumpMeta(const Database& db) {
+  std::string out = "caddb-meta 1\n";
+  const std::string schema = ddl::SchemaPrinter::Print(db.catalog());
+  out += "schema " + std::to_string(schema.size()) + "\n" + schema;
+  const ObjectStore& store = db.store();
+  for (const std::string& name : store.ClassNames()) {
+    CADDB_ASSIGN_OR_RETURN(std::string type, store.ClassType(name));
+    out += "class " + name + " " + type + "\n";
+  }
+  CADDB_RETURN_IF_ERROR(AppendVersionState(db, &out));
+  out += "nextsur " + std::to_string(store.next_surrogate()) + "\n";
+  out += "end\n";
+  return out;
+}
+
+Status LoadMeta(const std::string& meta, Database* db) {
+  size_t pos = 0;
+  size_t line_no = 0;
+  auto next_line = [&]() -> std::string {
+    ++line_no;
+    size_t eol = meta.find('\n', pos);
+    std::string line = eol == std::string::npos ? meta.substr(pos)
+                                                : meta.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? meta.size() : eol + 1;
+    return line;
+  };
+  auto here = [&](Status status) {
+    return Annotate("meta line " + std::to_string(line_no), std::move(status));
+  };
+  // Version lines reference page-adopted objects by their real surrogate.
+  auto check_id = [&](uint64_t id) -> Result<Surrogate> {
+    if (!db->store().Exists(Surrogate(id))) {
+      return ParseError("meta references unknown surrogate @" +
+                        std::to_string(id));
+    }
+    return Surrogate(id);
+  };
+
+  if (next_line() != "caddb-meta 1") {
+    return here(ParseError("not a caddb meta snapshot (bad magic line)"));
+  }
+  std::string schema_header = next_line();
+  if (!StartsWith(schema_header, "schema ")) {
+    return here(ParseError("missing schema section"));
+  }
+  size_t schema_size = 0;
+  try {
+    schema_size = static_cast<size_t>(std::stoull(schema_header.substr(7)));
+  } catch (...) {
+    return here(ParseError("bad schema byte count"));
+  }
+  if (pos + schema_size > meta.size()) {
+    return here(ParseError("truncated schema section"));
+  }
+  std::string schema = meta.substr(pos, schema_size);
+  pos += schema_size;
+  ++line_no;
+  CADDB_RETURN_IF_ERROR(here(db->ExecuteDdl(schema)));
+  CADDB_RETURN_IF_ERROR(here(db->ValidateSchema()));
+  const size_t schema_lines =
+      static_cast<size_t>(std::count(schema.begin(), schema.end(), '\n')) +
+      ((!schema.empty() && schema.back() != '\n') ? 1 : 0);
+  line_no = 2 + schema_lines;
+
+  bool saw_end = false;
+  while (pos < meta.size()) {
+    std::string line = next_line();
+    if (line.empty()) continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    Status line_status = [&]() -> Status {
+      std::istringstream in(line);
+      std::string tag;
+      in >> tag;
+      if (tag == "class") {
+        std::string name, type;
+        in >> name >> type;
+        // Store-level create: memberships come back via RepairIndexes.
+        CADDB_RETURN_IF_ERROR(db->store().CreateClass(name, type));
+      } else if (tag == "design") {
+        std::string name, type;
+        in >> name >> type;
+        CADDB_RETURN_IF_ERROR(db->versions().CreateDesignObject(name, type));
+      } else if (tag == "version") {
+        std::string design, state_name;
+        uint64_t id;
+        in >> design >> id >> state_name;
+        CADDB_ASSIGN_OR_RETURN(Surrogate object, check_id(id));
+        std::vector<Surrogate> predecessors;
+        uint64_t pred;
+        while (in >> pred) {
+          CADDB_ASSIGN_OR_RETURN(Surrogate p, check_id(pred));
+          predecessors.push_back(p);
+        }
+        CADDB_RETURN_IF_ERROR(
+            db->versions().AddVersion(design, object, predecessors));
+        CADDB_ASSIGN_OR_RETURN(VersionState state,
+                               VersionStateFromName(state_name));
+        CADDB_RETURN_IF_ERROR(db->versions().SetState(design, object, state));
+      } else if (tag == "vdefault") {
+        std::string design;
+        uint64_t id;
+        in >> design >> id;
+        CADDB_ASSIGN_OR_RETURN(Surrogate object, check_id(id));
+        CADDB_RETURN_IF_ERROR(db->versions().SetDefaultVersion(design, object));
+      } else if (tag == "generic") {
+        uint64_t inheritor_id;
+        std::string design, rel_type;
+        in >> inheritor_id >> design >> rel_type;
+        CADDB_ASSIGN_OR_RETURN(Surrogate inheritor, check_id(inheritor_id));
+        CADDB_ASSIGN_OR_RETURN(
+            uint64_t binding,
+            db->versions().BindGeneric(inheritor, design, rel_type));
+        uint64_t resolved_id = 0;
+        if (in >> resolved_id) {
+          CADDB_ASSIGN_OR_RETURN(Surrogate resolved, check_id(resolved_id));
+          CADDB_RETURN_IF_ERROR(db->versions().MarkResolved(binding, resolved));
+        }
+      } else if (tag == "nextsur") {
+        uint64_t next = 0;
+        in >> next;
+        if (in.fail() || next == 0) return ParseError("bad nextsur value");
+        db->store().SetNextSurrogate(next);
+      } else {
+        return ParseError("unknown meta record '" + tag + "'");
+      }
+      return OkStatus();
+    }();
+    CADDB_RETURN_IF_ERROR(here(std::move(line_status)));
+  }
+  if (!saw_end) {
+    return here(ParseError("meta snapshot is missing its end line"));
+  }
   return OkStatus();
 }
 

@@ -233,6 +233,10 @@ Result<PollResult> Follower::Poll() {
   std::vector<Wanted> wanted;
   wanted.push_back({manifest.checkpoint.file, manifest.checkpoint.bytes,
                     manifest.checkpoint.crc});
+  if (manifest.pagefile.present) {
+    wanted.push_back({manifest.pagefile.file, manifest.pagefile.bytes,
+                      manifest.pagefile.crc});
+  }
   for (const ManifestSegment& seg : manifest.segments) {
     wanted.push_back({seg.file, seg.bytes, seg.crc});
   }

@@ -44,6 +44,10 @@ std::string Manifest::Encode() const {
            std::to_string(checkpoint.bytes) + " " + CrcHex(checkpoint.crc) +
            "\n";
   }
+  if (pagefile.present) {
+    out += "pagefile " + pagefile.file + " " + std::to_string(pagefile.bytes) +
+           " " + CrcHex(pagefile.crc) + "\n";
+  }
   for (const ManifestSegment& seg : segments) {
     out += "segment " + seg.file + " " + std::to_string(seg.start_lsn) + " " +
            std::to_string(seg.last_lsn) + " " + std::to_string(seg.bytes) +
@@ -81,6 +85,14 @@ Result<Manifest> Manifest::Decode(const std::string& text) {
         return ParseError("manifest: bad checkpoint line '" + line + "'");
       }
       CADDB_ASSIGN_OR_RETURN(manifest.checkpoint.crc, ParseCrcHex(crc_hex));
+    } else if (tag == "pagefile") {
+      std::string crc_hex;
+      if (!(fields >> manifest.pagefile.file >> manifest.pagefile.bytes >>
+            crc_hex)) {
+        return ParseError("manifest: bad pagefile line '" + line + "'");
+      }
+      CADDB_ASSIGN_OR_RETURN(manifest.pagefile.crc, ParseCrcHex(crc_hex));
+      manifest.pagefile.present = true;
     } else if (tag == "segment") {
       ManifestSegment seg;
       std::string crc_hex, kind;

@@ -16,6 +16,7 @@ namespace replication {
 ///
 ///   caddb-replica 1 <seq> <generation>
 ///   checkpoint <file> <lsn> <bytes> <crc32c-hex>
+///   pagefile <file> <bytes> <crc32c-hex>
 ///   segment <file> <start-lsn> <last-lsn> <bytes> <crc32c-hex> <closed|tail>
 ///   end <crc32c-hex>
 ///
@@ -36,6 +37,19 @@ struct ManifestCheckpoint {
   uint32_t crc = 0;
 };
 
+/// The primary's page file (pages.db), shipped whole. Present only when the
+/// primary runs the paged store (incremental v3 checkpoints) — its object
+/// payloads live here, not in the checkpoint file, so a follower cannot
+/// replay without it. The shipper snapshots it under the primary's
+/// checkpoint pause so the (checkpoint, pagefile) pair is mutually
+/// consistent.
+struct ManifestPageFile {
+  std::string file;
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+  bool present = false;
+};
+
 struct ManifestSegment {
   std::string file;
   uint64_t start_lsn = 0;
@@ -49,6 +63,7 @@ struct Manifest {
   uint64_t seq = 0;
   uint64_t generation = 0;
   ManifestCheckpoint checkpoint;
+  ManifestPageFile pagefile;
   std::vector<ManifestSegment> segments;
 
   /// Newest lsn this manifest makes reachable.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "storage/file_manager.h"
 #include "wal/checkpoint.h"
 #include "wal/crc32c.h"
 #include "wal/log_io.h"
@@ -69,43 +70,68 @@ Result<ShipmentReport> Shipper::ShipNow() {
   manifest.seq = attempts_;
   manifest.generation = db_->generation();
 
-  std::vector<wal::CheckpointFileInfo> checkpoints =
-      wal::ListCheckpoints(wal_dir);
-  if (checkpoints.empty()) {
-    return FailedPrecondition("primary has no checkpoint to ship");
-  }
-  const wal::CheckpointFileInfo& newest = checkpoints.back();
-  CADDB_ASSIGN_OR_RETURN(std::string checkpoint_bytes,
-                         wal::ReadFileToString(newest.path));
-  manifest.checkpoint.file = fs::path(newest.path).filename().string();
-  manifest.checkpoint.lsn = newest.lsn;
-  manifest.checkpoint.bytes = checkpoint_bytes.size();
-  manifest.checkpoint.crc =
-      wal::Crc32c(checkpoint_bytes.data(), checkpoint_bytes.size());
-
   struct ShipFile {
     std::string name;
     std::string bytes;
   };
   std::vector<ShipFile> files;
-  files.push_back({manifest.checkpoint.file, std::move(checkpoint_bytes)});
+  {
+    // A checkpoint rewrites pages.db in place (phase two) and truncates
+    // segments; snapshotting the whole shipment under the checkpoint pause
+    // keeps the (checkpoint, pagefile, segments) triple mutually
+    // consistent. Appends to the live tail continue — DecodeFrames stops
+    // at the first incomplete frame, and the prefix before it is
+    // immutable (the log is append-only).
+    std::unique_lock<std::mutex> pause = db_->PauseCheckpoints();
 
-  const uint64_t live_start = db_->wal()->stats().segment_start_lsn;
-  for (const wal::SegmentFileInfo& segment : wal::ListSegments(wal_dir)) {
-    CADDB_ASSIGN_OR_RETURN(std::string bytes,
-                           wal::ReadFileToString(segment.path));
-    wal::SegmentContents contents = wal::DecodeFrames(bytes);
-    if (contents.frames.empty()) continue;  // nothing durable to ship yet
-    bytes.resize(contents.frames.back().end_offset);
-    ManifestSegment seg;
-    seg.file = fs::path(segment.path).filename().string();
-    seg.start_lsn = segment.start_lsn;
-    seg.last_lsn = contents.frames.back().lsn;
-    seg.bytes = bytes.size();
-    seg.crc = wal::Crc32c(bytes.data(), bytes.size());
-    seg.tail = segment.start_lsn == live_start;
-    manifest.segments.push_back(seg);
-    files.push_back({seg.file, std::move(bytes)});
+    std::vector<wal::CheckpointFileInfo> checkpoints =
+        wal::ListCheckpoints(wal_dir);
+    if (checkpoints.empty()) {
+      return FailedPrecondition("primary has no checkpoint to ship");
+    }
+    const wal::CheckpointFileInfo& newest = checkpoints.back();
+    CADDB_ASSIGN_OR_RETURN(std::string checkpoint_bytes,
+                           wal::ReadFileToString(newest.path));
+    manifest.checkpoint.file = fs::path(newest.path).filename().string();
+    manifest.checkpoint.lsn = newest.lsn;
+    manifest.checkpoint.bytes = checkpoint_bytes.size();
+    manifest.checkpoint.crc =
+        wal::Crc32c(checkpoint_bytes.data(), checkpoint_bytes.size());
+    files.push_back({manifest.checkpoint.file, std::move(checkpoint_bytes)});
+
+    // The page file carries the object payloads an incremental checkpoint
+    // does not: without it the shipped state cannot replay.
+    const std::string pagefile_path =
+        (fs::path(wal_dir) / storage::kPageFileName).string();
+    Result<std::string> page_bytes = wal::ReadFileToString(pagefile_path);
+    if (page_bytes.ok()) {
+      manifest.pagefile.file = storage::kPageFileName;
+      manifest.pagefile.bytes = page_bytes->size();
+      manifest.pagefile.crc =
+          wal::Crc32c(page_bytes->data(), page_bytes->size());
+      manifest.pagefile.present = true;
+      files.push_back({manifest.pagefile.file, std::move(*page_bytes)});
+    } else if (page_bytes.status().code() != Code::kNotFound) {
+      return page_bytes.status();
+    }
+
+    const uint64_t live_start = db_->wal()->stats().segment_start_lsn;
+    for (const wal::SegmentFileInfo& segment : wal::ListSegments(wal_dir)) {
+      CADDB_ASSIGN_OR_RETURN(std::string bytes,
+                             wal::ReadFileToString(segment.path));
+      wal::SegmentContents contents = wal::DecodeFrames(bytes);
+      if (contents.frames.empty()) continue;  // nothing durable to ship yet
+      bytes.resize(contents.frames.back().end_offset);
+      ManifestSegment seg;
+      seg.file = fs::path(segment.path).filename().string();
+      seg.start_lsn = segment.start_lsn;
+      seg.last_lsn = contents.frames.back().lsn;
+      seg.bytes = bytes.size();
+      seg.crc = wal::Crc32c(bytes.data(), bytes.size());
+      seg.tail = segment.start_lsn == live_start;
+      manifest.segments.push_back(seg);
+      files.push_back({seg.file, std::move(bytes)});
+    }
   }
 
   report.seq = manifest.seq;

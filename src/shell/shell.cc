@@ -15,6 +15,7 @@
 #include "replication/shipper.h"
 #include "util/json_writer.h"
 #include "util/string_util.h"
+#include "wal/log_io.h"
 #include "wal/wal.h"
 
 namespace caddb {
@@ -650,12 +651,13 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
         fail(dump.status());
         return true;
       }
-      std::ofstream file(tokens[1]);
-      if (!file) {
-        fail(InvalidArgument("cannot write '" + tokens[1] + "'"));
+      // Atomic + durable (temp file, fsync, rename, directory fsync): a
+      // crash mid-dump never leaves a truncated file under the target name.
+      Status written = wal::AtomicWriteFile(tokens[1], *dump);
+      if (!written.ok()) {
+        fail(written);
         return true;
       }
-      file << *dump;
       out << "ok (" << dump->size() << " bytes)\n";
     } else {
       std::ifstream file(tokens[1]);
@@ -742,6 +744,65 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     Status s = db_->Checkpoint();
     s.ok() ? void(out << "ok (lsn " << db_->wal()->last_lsn() << ")\n")
            : fail(s);
+    return true;
+  }
+  if (cmd == "storage") {
+    if (tokens.size() < 2 || tokens[1] != "status") {
+      fail(InvalidArgument("use: storage status [--format=json]"));
+      return true;
+    }
+    bool json = false;
+    if (tokens.size() > 2) {
+      if (tokens[2] == "--format=json") {
+        json = true;
+      } else if (tokens[2] != "--format=text") {
+        fail(InvalidArgument("use: storage status [--format=json]"));
+        return true;
+      }
+    }
+    const Database::StorageStats stats = db_->storage_stats();
+    if (!stats.paged) {
+      fail(FailedPrecondition("database has no paged store (opened without "
+                              "a directory)"));
+      return true;
+    }
+    if (json) {
+      JsonWriter w;
+      w.BeginObject();
+      w.Field("objects", stats.heap.objects);
+      w.Field("resident_objects", stats.resident_objects);
+      w.Field("dirty_objects", stats.dirty_objects);
+      w.Field("data_pages", stats.heap.data_pages);
+      w.Field("overflow_pages", stats.heap.overflow_pages);
+      w.Field("page_writes", stats.page_writes);
+      w.Key("pool");
+      w.BeginObject();
+      w.Field("capacity", stats.pool.capacity);
+      w.Field("pages", stats.pool.pages);
+      w.Field("pinned", stats.pool.pinned);
+      w.Field("dirty", stats.pool.dirty);
+      w.Field("hits", stats.pool.hits);
+      w.Field("misses", stats.pool.misses);
+      w.Field("evictions", stats.pool.evictions);
+      w.Field("dirty_evictions", stats.pool.dirty_evictions);
+      w.Field("flushes", stats.pool.flushes);
+      w.Field("overcommits", stats.pool.overcommits);
+      w.EndObject();
+      w.EndObject();
+      out << w.str() << "\n";
+      return true;
+    }
+    out << "objects:    " << stats.heap.objects << " on pages, "
+        << stats.resident_objects << " resident, " << stats.dirty_objects
+        << " dirty\n";
+    out << "pages:      " << stats.heap.data_pages << " data, "
+        << stats.heap.overflow_pages << " overflow, " << stats.page_writes
+        << " write(s)\n";
+    out << "pool:       " << stats.pool.pages << "/" << stats.pool.capacity
+        << " frames (" << stats.pool.pinned << " pinned, "
+        << stats.pool.dirty << " dirty), " << stats.pool.hits << " hit(s), "
+        << stats.pool.misses << " miss(es), " << stats.pool.evictions
+        << " eviction(s)\n";
     return true;
   }
 

@@ -1,0 +1,111 @@
+#ifndef CADDB_STORAGE_BUFFER_POOL_H_
+#define CADDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/file_manager.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace caddb {
+namespace storage {
+
+struct BufferPoolOptions {
+  /// Frames resident before eviction starts. The pool overcommits rather
+  /// than fail when every frame is pinned.
+  size_t capacity = 256;
+
+  /// WAL coupling (the flushed-LSN rule): a dirty page whose lsn is beyond
+  /// the durable WAL prefix must not reach disk, or a crash could leave page
+  /// state the log cannot explain. `flushed_lsn` reports the durable
+  /// watermark; `ensure_flushed` forces the WAL out to at least `lsn`.
+  /// Null callbacks mean "no WAL" — flush freely (non-durable databases).
+  std::function<uint64_t()> flushed_lsn;
+  std::function<Status(uint64_t lsn)> ensure_flushed;
+};
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_evictions = 0;  // evictions that needed a flush first
+  uint64_t flushes = 0;          // physical page writes issued by the pool
+  uint64_t overcommits = 0;      // frames added beyond capacity (all pinned)
+  size_t pages = 0;              // resident frames
+  size_t capacity = 0;
+  size_t pinned = 0;
+  size_t dirty = 0;
+};
+
+/// Page cache between the heap and the file: pin/unpin, dirty tracking, and
+/// clock eviction that prefers clean victims and honors the WAL rule before
+/// writing a dirty one. Frames are heap-allocated so a returned Page* stays
+/// valid while pinned, even as the frame table rehashes.
+///
+/// The pool's own mutex protects its tables and counters; the *contents* of
+/// a fetched Page are the caller's to synchronize (the database store gate
+/// serializes all page mutation).
+class BufferPool {
+ public:
+  BufferPool(FileManager* files, BufferPoolOptions options)
+      : files_(files), options_(std::move(options)) {}
+
+  /// Returns the page pinned (pin count +1). Misses read from the file; an
+  /// all-zero image materializes as an empty slotted page (fresh hole).
+  Result<Page*> Fetch(uint32_t page_id);
+
+  /// Allocates a brand-new page, resident, pinned, and dirty.
+  Result<Page*> Create(PageKind kind);
+
+  /// Extra pin on an already-resident page.
+  Status Pin(uint32_t page_id);
+  void Unpin(uint32_t page_id);
+  void MarkDirty(uint32_t page_id);
+
+  /// Flushes one dirty page (WAL rule first), leaving it resident and clean.
+  Status FlushPage(uint32_t page_id);
+  Status FlushAll();
+
+  /// Drops a frame (freed page). The frame must be unpinned or singly
+  /// pinned by the caller; its content is discarded, not flushed.
+  void Drop(uint32_t page_id);
+
+  BufferPoolStats stats() const;
+
+ private:
+  struct Frame {
+    explicit Frame(Page p) : page(std::move(p)) {}
+    Page page;
+    int pins = 0;
+    bool dirty = false;
+    bool ref = false;  // clock second-chance bit
+  };
+
+  /// Makes room for one more frame if at capacity. Called with mu_ held.
+  Status EvictForSpaceLocked();
+  Status FlushFrameLocked(uint32_t page_id, Frame* frame);
+
+  FileManager* files_;
+  BufferPoolOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint32_t, std::unique_ptr<Frame>> frames_;
+  std::vector<uint32_t> clock_;  // may hold stale ids; skipped on sweep
+  size_t hand_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t dirty_evictions_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t overcommits_ = 0;
+};
+
+}  // namespace storage
+}  // namespace caddb
+
+#endif  // CADDB_STORAGE_BUFFER_POOL_H_

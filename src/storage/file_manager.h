@@ -1,0 +1,101 @@
+#ifndef CADDB_STORAGE_FILE_MANAGER_H_
+#define CADDB_STORAGE_FILE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace caddb {
+namespace storage {
+
+/// Name of the page file inside a database directory.
+inline constexpr const char kPageFileName[] = "pages.db";
+
+struct FileManagerOptions {
+  /// Read-only opens never create or write the file; combined with an
+  /// overlay (SetOverlay) a follower can recover a staged directory without
+  /// modifying a single byte of it.
+  bool read_only = false;
+
+  /// Crash fault injection for tests: physical page writes with index >=
+  /// fail_after_writes are silently dropped (acknowledged but lost), and the
+  /// write at the boundary is torn in half — the moment a SIGKILL lands
+  /// mid-pwrite. Subsequent Syncs lie, like FailpointFile for the WAL.
+  uint64_t fail_after_writes = UINT64_MAX;
+
+  /// Clean-failure injection: the Nth physical write returns an error
+  /// instead, exercising the checkpoint's restore-dirty-set path.
+  uint64_t error_at_write = UINT64_MAX;
+};
+
+/// Owns the page file: positioned page reads/writes (pread/pwrite), page
+/// allocation with an in-memory freelist seeded by the startup scan, and an
+/// optional read overlay of checkpoint page images for read-only recovery.
+class FileManager {
+ public:
+  static Result<std::unique_ptr<FileManager>> Open(const std::string& path,
+                                                   FileManagerOptions options);
+  ~FileManager();
+
+  FileManager(const FileManager&) = delete;
+  FileManager& operator=(const FileManager&) = delete;
+
+  /// Reads page `id`: overlay image if present, else the file. Pages inside
+  /// the file that were never written read back as zeros (sparse holes).
+  Result<std::string> ReadPage(uint32_t id);
+
+  /// Writes exactly kPageSize bytes at page `id`, extending the file as
+  /// needed.
+  Status WritePage(uint32_t id, const std::string& bytes);
+
+  Status Sync();
+
+  /// Hands out the lowest free page id (freelist first, then file growth).
+  uint32_t AllocatePage();
+
+  /// Returns `id` to the freelist.
+  void FreePage(uint32_t id);
+
+  /// Startup-scan bookkeeping: marks `id` as occupied so allocation skips it.
+  void MarkLive(uint32_t id);
+
+  /// One past the highest page the file (or allocator) knows about.
+  uint32_t page_count() const;
+
+  /// Installs checkpoint page images consulted before the file on every
+  /// read. Used by read-only recovery; writable recovery writes the images
+  /// into the file instead.
+  void SetOverlay(std::map<uint32_t, std::string> overlay);
+
+  /// Number of physical page writes so far — sizes the crash-test matrix.
+  uint64_t writes() const;
+
+ private:
+  FileManager(int fd, std::string path, FileManagerOptions options,
+              uint32_t file_pages)
+      : fd_(fd),
+        path_(std::move(path)),
+        options_(options),
+        next_page_(file_pages) {}
+
+  int fd_;
+  std::string path_;
+  FileManagerOptions options_;
+
+  mutable std::mutex mu_;
+  std::set<uint32_t> free_;
+  uint32_t next_page_;
+  std::map<uint32_t, std::string> overlay_;
+  uint64_t write_count_ = 0;
+};
+
+}  // namespace storage
+}  // namespace caddb
+
+#endif  // CADDB_STORAGE_FILE_MANAGER_H_

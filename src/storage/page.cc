@@ -1,0 +1,221 @@
+#include "storage/page.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "wal/crc32c.h"
+
+namespace caddb {
+namespace storage {
+
+namespace {
+
+void PutU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v & 0xFF);
+  p[1] = static_cast<char>((v >> 8) & 0xFF);
+}
+
+void PutU32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void PutU64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+uint16_t GetU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(p[0]) |
+                               (static_cast<unsigned char>(p[1]) << 8));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool Page::IsAllZero(const std::string& bytes) {
+  for (char c : bytes) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+Result<Page> Page::Parse(uint32_t page_id, const std::string& bytes) {
+  if (bytes.size() != kPageSize) {
+    return InternalError("page " + std::to_string(page_id) + ": " +
+                         std::to_string(bytes.size()) + " bytes, want " +
+                         std::to_string(kPageSize));
+  }
+  uint32_t stored = wal::Crc32cUnmask(GetU32(bytes.data()));
+  uint32_t actual = wal::Crc32c(bytes.data() + 4, kPageSize - 4);
+  if (stored != actual) {
+    return InternalError("page " + std::to_string(page_id) +
+                         ": checksum mismatch (torn write or corruption)");
+  }
+  uint32_t id = GetU32(bytes.data() + 4);
+  if (id != page_id) {
+    return InternalError("page " + std::to_string(page_id) +
+                         ": header claims page id " + std::to_string(id));
+  }
+  uint16_t kind_raw = GetU16(bytes.data() + 16);
+  if (kind_raw > static_cast<uint16_t>(PageKind::kOverflow)) {
+    return InternalError("page " + std::to_string(page_id) +
+                         ": unknown page kind " + std::to_string(kind_raw));
+  }
+  Page page(page_id, static_cast<PageKind>(kind_raw));
+  page.lsn_ = GetU64(bytes.data() + 8);
+  uint16_t slot_count = GetU16(bytes.data() + 18);
+  size_t dir_bytes = static_cast<size_t>(slot_count) * kSlotEntryBytes;
+  if (kPageHeaderBytes + dir_bytes > kPageSize) {
+    return InternalError("page " + std::to_string(page_id) +
+                         ": slot directory overruns page");
+  }
+  const char* dir = bytes.data() + kPageSize - dir_bytes;
+  page.slots_.resize(slot_count);
+  for (uint16_t i = 0; i < slot_count; ++i) {
+    uint16_t offset = GetU16(dir + static_cast<size_t>(i) * kSlotEntryBytes);
+    uint16_t length =
+        GetU16(dir + static_cast<size_t>(i) * kSlotEntryBytes + 2);
+    if (offset == kDeadSlotOffset) continue;
+    if (offset < kPageHeaderBytes ||
+        static_cast<size_t>(offset) + length > kPageSize - dir_bytes) {
+      return InternalError("page " + std::to_string(page_id) + ": slot " +
+                           std::to_string(i) + " out of bounds");
+    }
+    page.slots_[i] = bytes.substr(offset, length);
+    page.live_bytes_ += length;
+    ++page.live_count_;
+  }
+  return page;
+}
+
+std::string Page::Serialize() const {
+  std::string out(kPageSize, '\0');
+  PutU32(&out[4], page_id_);
+  PutU64(&out[8], lsn_);
+  PutU16(&out[16], static_cast<uint16_t>(kind_));
+  PutU16(&out[18], static_cast<uint16_t>(slots_.size()));
+  size_t dir_bytes = slots_.size() * kSlotEntryBytes;
+  char* dir = &out[kPageSize - dir_bytes];
+  size_t heap = kPageHeaderBytes;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    char* entry = dir + i * kSlotEntryBytes;
+    if (!slots_[i].has_value()) {
+      PutU16(entry, kDeadSlotOffset);
+      PutU16(entry + 2, 0);
+      continue;
+    }
+    const std::string& record = *slots_[i];
+    std::memcpy(&out[heap], record.data(), record.size());
+    PutU16(entry, static_cast<uint16_t>(heap));
+    PutU16(entry + 2, static_cast<uint16_t>(record.size()));
+    heap += record.size();
+  }
+  PutU32(&out[0], wal::Crc32cMask(wal::Crc32c(out.data() + 4, kPageSize - 4)));
+  return out;
+}
+
+size_t Page::UsedBytes() const {
+  return kPageHeaderBytes + live_bytes_ + slots_.size() * kSlotEntryBytes;
+}
+
+size_t Page::FreeBytes() const {
+  size_t used = UsedBytes();
+  if (used >= kPageSize) return 0;
+  size_t spare = kPageSize - used;
+  // A record in a brand-new slot also costs a directory entry; only charge
+  // it when no dead slot is available for reuse.
+  bool has_dead = live_count_ < slots_.size();
+  if (!has_dead) {
+    if (spare < kSlotEntryBytes) return 0;
+    spare -= kSlotEntryBytes;
+  }
+  return spare;
+}
+
+bool Page::Fits(size_t record_bytes) const {
+  return record_bytes <= FreeBytes();
+}
+
+Result<uint16_t> Page::Insert(const std::string& record) {
+  if (!Fits(record.size())) {
+    return FailedPrecondition("page " + std::to_string(page_id_) +
+                              ": record of " + std::to_string(record.size()) +
+                              " bytes does not fit");
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].has_value()) {
+      slots_[i] = record;
+      live_bytes_ += record.size();
+      ++live_count_;
+      return static_cast<uint16_t>(i);
+    }
+  }
+  slots_.push_back(record);
+  live_bytes_ += record.size();
+  ++live_count_;
+  return static_cast<uint16_t>(slots_.size() - 1);
+}
+
+Status Page::Update(uint16_t slot, const std::string& record) {
+  if (slot >= slots_.size() || !slots_[slot].has_value()) {
+    return NotFound("page " + std::to_string(page_id_) + ": no record at slot " +
+                    std::to_string(slot));
+  }
+  size_t old_size = slots_[slot]->size();
+  if (record.size() > old_size &&
+      record.size() - old_size > kPageSize - UsedBytes()) {
+    return FailedPrecondition("page " + std::to_string(page_id_) +
+                              ": updated record does not fit");
+  }
+  live_bytes_ += record.size() - old_size;
+  slots_[slot] = record;
+  return OkStatus();
+}
+
+Status Page::Erase(uint16_t slot) {
+  if (slot >= slots_.size() || !slots_[slot].has_value()) {
+    return NotFound("page " + std::to_string(page_id_) + ": no record at slot " +
+                    std::to_string(slot));
+  }
+  live_bytes_ -= slots_[slot]->size();
+  --live_count_;
+  slots_[slot].reset();
+  // Trim trailing dead slots so a page emptied and refilled does not keep
+  // paying directory entries forever.
+  while (!slots_.empty() && !slots_.back().has_value()) slots_.pop_back();
+  return OkStatus();
+}
+
+Result<const std::string*> Page::Read(uint16_t slot) const {
+  if (slot >= slots_.size() || !slots_[slot].has_value()) {
+    return NotFound("page " + std::to_string(page_id_) + ": no record at slot " +
+                    std::to_string(slot));
+  }
+  return &*slots_[slot];
+}
+
+std::vector<uint16_t> Page::LiveSlots() const {
+  std::vector<uint16_t> out;
+  out.reserve(live_count_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].has_value()) out.push_back(static_cast<uint16_t>(i));
+  }
+  return out;
+}
+
+}  // namespace storage
+}  // namespace caddb

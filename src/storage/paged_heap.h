@@ -1,0 +1,101 @@
+#ifndef CADDB_STORAGE_PAGED_HEAP_H_
+#define CADDB_STORAGE_PAGED_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/file_manager.h"
+#include "util/result.h"
+
+namespace caddb {
+namespace storage {
+
+/// Record heap keyed by object surrogate, layered on slotted pages through
+/// the buffer pool. Small payloads live inline in a slotted page; payloads
+/// beyond Page::MaxRecordBytes() are chunked across a chain of overflow
+/// pages.
+///
+/// Mutation happens only in checkpoint batches: Upsert/Erase pin and dirty
+/// the touched pages, CaptureBatchImages serializes them for the checkpoint
+/// file (the double-write journal), and CompleteBatch writes them in place,
+/// syncs, and unpins — strictly after the checkpoint file is durable, so a
+/// torn in-place write is always healed from the published images. A failed
+/// checkpoint simply leaves the batch pinned and dirty for the next attempt.
+class PagedHeap {
+ public:
+  PagedHeap(FileManager* files, BufferPool* pool)
+      : files_(files), pool_(pool) {}
+
+  /// Startup scan: reads every page directly (no pool traffic), seeds the
+  /// file manager's freelist, builds the id -> location directory, and
+  /// hands each stored payload to `fn`.
+  Status LoadAll(
+      const std::function<Status(uint64_t id, const std::string& payload)>& fn);
+
+  bool Contains(uint64_t id) const;
+
+  /// Reads one payload through the buffer pool (demand paging).
+  Result<std::string> Fetch(uint64_t id) const;
+
+  // ---- Checkpoint batch ----
+
+  Status Upsert(uint64_t id, const std::string& payload);
+  Status Erase(uint64_t id);
+
+  /// Stamps every batch page with the checkpoint's lsn and returns their
+  /// serialized images for embedding in the checkpoint file.
+  std::vector<std::pair<uint32_t, std::string>> CaptureBatchImages(
+      uint64_t lsn);
+
+  /// Phase two, after the checkpoint file is durable: in-place writes,
+  /// fsync, unpin, and release of pages the batch emptied.
+  Status CompleteBatch();
+
+  size_t batch_pages() const;
+
+  struct Stats {
+    size_t objects = 0;
+    size_t data_pages = 0;
+    size_t overflow_pages = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// Where an object's record lives. slot == kOverflowSlot means `page_id`
+  /// heads an overflow chain.
+  struct Loc {
+    uint32_t page_id = 0;
+    uint16_t slot = 0;
+  };
+  static constexpr uint16_t kOverflowSlot = 0xFFFF;
+
+  Result<Page*> BatchPageLocked(uint32_t page_id);
+  Result<Page*> BatchCreateLocked(PageKind kind);
+  Status EraseLocked(uint64_t id);
+  Status InsertLocked(uint64_t id, const std::string& payload);
+
+  FileManager* files_;
+  BufferPool* pool_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Loc> dir_;
+  /// Data pages by free bytes, maintained on every batch mutation; the
+  /// insert path first-fits from here before growing the file.
+  std::map<uint32_t, size_t> page_free_;
+  std::set<uint32_t> overflow_pages_;
+  /// Pages pinned + dirtied by the in-flight (or failed-and-retrying)
+  /// checkpoint batch.
+  std::set<uint32_t> batch_;
+};
+
+}  // namespace storage
+}  // namespace caddb
+
+#endif  // CADDB_STORAGE_PAGED_HEAP_H_

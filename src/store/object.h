@@ -92,6 +92,8 @@ class DbObject {
   /// inherited-value cache invalidation and for checkin conflict detection.
   uint64_t version() const { return version_; }
   void BumpVersion() { ++version_; }
+  /// Restores a persisted counter; only the page codec may call this.
+  void set_version(uint64_t v) { version_ = v; }
 
  private:
   Surrogate surrogate_;

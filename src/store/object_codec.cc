@@ -1,0 +1,155 @@
+#include "store/object_codec.h"
+
+#include <sstream>
+#include <vector>
+
+#include "persist/value_codec.h"
+
+namespace caddb {
+namespace store_codec {
+
+namespace {
+
+void AppendIdList(std::ostringstream* out, const char* tag,
+                  const std::map<std::string, std::vector<Surrogate>>& lists) {
+  for (const auto& [name, members] : lists) {
+    *out << tag << ' ' << name;
+    for (Surrogate s : members) *out << ' ' << s.id;
+    *out << '\n';
+  }
+}
+
+Result<std::vector<Surrogate>> ParseIdList(std::istringstream* in) {
+  std::vector<Surrogate> out;
+  uint64_t id = 0;
+  while (*in >> id) out.push_back(Surrogate(id));
+  if (!in->eof()) return ParseError("object payload: bad surrogate list");
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeObjectPayload(
+    const DbObject& object,
+    const std::map<std::string, Value>* attr_overrides) {
+  std::ostringstream out;
+  out << "obj " << object.surrogate().id << ' '
+      << static_cast<int>(object.kind()) << ' ' << object.type_name() << ' '
+      << object.version() << '\n';
+  if (!object.class_name().empty()) {
+    out << "class " << object.class_name() << '\n';
+  }
+  if (object.parent().valid()) {
+    out << "parent " << object.parent().id << ' ' << object.parent_subclass()
+        << '\n';
+  }
+  if (object.bound_inher_rel().valid()) {
+    out << "bound " << object.bound_inher_rel().id << '\n';
+  }
+  for (const auto& [name, value] : object.attributes()) {
+    const Value* effective = &value;
+    if (attr_overrides) {
+      auto it = attr_overrides->find(name);
+      if (it != attr_overrides->end()) effective = &it->second;
+    }
+    if (effective->is_null()) continue;
+    out << "a " << name << ' ' << persist::EncodeValue(*effective) << '\n';
+  }
+  if (attr_overrides) {
+    // Overrides for attributes the object does not hold yet (the transaction
+    // wrote a brand-new attribute; its before-image is the absence restored
+    // by the null skip above — nothing to add for those, but an override of
+    // an existing null-valued map entry was already handled).
+    for (const auto& [name, value] : *attr_overrides) {
+      if (value.is_null()) continue;
+      if (object.attributes().count(name)) continue;
+      out << "a " << name << ' ' << persist::EncodeValue(value) << '\n';
+    }
+  }
+  AppendIdList(&out, "sub", object.subclasses());
+  AppendIdList(&out, "srel", object.subrels());
+  AppendIdList(&out, "part", object.participants());
+  out << "end\n";
+  return out.str();
+}
+
+Result<std::unique_ptr<DbObject>> DecodeObjectPayload(
+    const std::string& payload) {
+  std::istringstream lines(payload);
+  std::string line;
+  if (!std::getline(lines, line)) {
+    return ParseError("object payload: empty");
+  }
+  std::istringstream header(line);
+  std::string tag;
+  uint64_t surrogate = 0;
+  int kind_raw = -1;
+  std::string type_name;
+  uint64_t version = 0;
+  header >> tag >> surrogate >> kind_raw >> type_name >> version;
+  if (tag != "obj" || header.fail() || surrogate == 0 || kind_raw < 0 ||
+      kind_raw > static_cast<int>(ObjKind::kInherRel)) {
+    return ParseError("object payload: bad obj header '" + line + "'");
+  }
+  auto object = std::make_unique<DbObject>(Surrogate(surrogate), type_name,
+                                           static_cast<ObjKind>(kind_raw));
+  object->set_version(version);
+  bool ended = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (ended) return ParseError("object payload: content after end");
+    std::istringstream in(line);
+    in >> tag;
+    if (tag == "end") {
+      ended = true;
+    } else if (tag == "class") {
+      std::string name;
+      in >> name;
+      if (in.fail()) return ParseError("object payload: bad class line");
+      object->set_class_name(name);
+    } else if (tag == "parent") {
+      uint64_t parent = 0;
+      std::string subclass;
+      in >> parent >> subclass;
+      if (in.fail() || parent == 0) {
+        return ParseError("object payload: bad parent line");
+      }
+      object->SetParent(Surrogate(parent), subclass);
+    } else if (tag == "bound") {
+      uint64_t bound = 0;
+      in >> bound;
+      if (in.fail() || bound == 0) {
+        return ParseError("object payload: bad bound line");
+      }
+      object->set_bound_inher_rel(Surrogate(bound));
+    } else if (tag == "a") {
+      std::string name;
+      in >> name;
+      if (in.fail()) return ParseError("object payload: bad attribute line");
+      std::string rest;
+      std::getline(in, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      CADDB_ASSIGN_OR_RETURN(Value value, persist::DecodeValue(rest));
+      object->SetLocalAttribute(name, std::move(value));
+    } else if (tag == "sub" || tag == "srel" || tag == "part") {
+      std::string name;
+      in >> name;
+      if (in.fail()) return ParseError("object payload: bad list line");
+      CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> members, ParseIdList(&in));
+      if (tag == "sub") {
+        for (Surrogate s : members) object->AddToSubclass(name, s);
+      } else if (tag == "srel") {
+        for (Surrogate s : members) object->AddToSubrel(name, s);
+      } else {
+        object->SetParticipants(name, std::move(members));
+      }
+    } else {
+      return ParseError("object payload: unknown tag '" + tag + "'");
+    }
+  }
+  if (!ended) return ParseError("object payload: missing end line");
+  return object;
+}
+
+}  // namespace store_codec
+}  // namespace caddb

@@ -1,0 +1,43 @@
+#ifndef CADDB_STORE_OBJECT_CODEC_H_
+#define CADDB_STORE_OBJECT_CODEC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "store/object.h"
+#include "util/result.h"
+#include "values/value.h"
+
+namespace caddb {
+namespace store_codec {
+
+/// Serializes one DbObject into the line-oriented text payload stored on
+/// pages:
+///
+///   obj <surrogate> <kind> <type> <version>
+///   class <name>                 (top-level class membership, if any)
+///   parent <surrogate> <subclass>
+///   bound <surrogate>
+///   a <name> <encoded value>     (persist::EncodeValue)
+///   sub <name> <surrogate...>
+///   srel <name> <surrogate...>
+///   part <role> <surrogate...>
+///   end
+///
+/// Surrogates are stored raw — a page payload is identity-preserving, unlike
+/// a portable dump. `attr_overrides` substitutes before-images for attributes
+/// a live transaction has uncommitted writes on (checkpoint undo masking);
+/// an override mapping a name to a null Value removes the attribute.
+std::string EncodeObjectPayload(
+    const DbObject& object,
+    const std::map<std::string, Value>* attr_overrides = nullptr);
+
+/// Inverse of EncodeObjectPayload.
+Result<std::unique_ptr<DbObject>> DecodeObjectPayload(
+    const std::string& payload);
+
+}  // namespace store_codec
+}  // namespace caddb
+
+#endif  // CADDB_STORE_OBJECT_CODEC_H_

@@ -17,17 +17,43 @@ std::string Describe(const DbObject& obj) {
 
 DbObject* ObjectStore::Find(Surrogate s) {
   auto it = objects_.find(s.id);
-  return it == objects_.end() ? nullptr : it->second.get();
+  if (it == objects_.end()) return nullptr;
+  if (!it->second && !FaultIn(s.id)) return nullptr;
+  hot_.insert(s.id);
+  return it->second.get();
 }
 
 const DbObject* ObjectStore::Find(Surrogate s) const {
-  auto it = objects_.find(s.id);
-  return it == objects_.end() ? nullptr : it->second.get();
+  return const_cast<ObjectStore*>(this)->Find(s);
+}
+
+bool ObjectStore::FaultIn(uint64_t id) const {
+  if (pager_ == nullptr) {
+    last_pager_error_ =
+        InternalError("object " + std::to_string(id) +
+                      " is paged out but no pager is attached");
+    return false;
+  }
+  Result<std::unique_ptr<DbObject>> loaded = pager_->Fetch(id);
+  if (!loaded.ok()) {
+    last_pager_error_ = loaded.status();
+    return false;
+  }
+  objects_[id] = std::move(loaded).value();
+  paged_out_versions_.erase(id);
+  return true;
+}
+
+void ObjectStore::EnsureAllResident() const {
+  for (const auto& [id, obj] : objects_) {
+    if (!obj) (void)FaultIn(id);  // failures surface via last_pager_error_
+  }
 }
 
 void ObjectStore::Touch(DbObject* obj) {
   obj->BumpVersion();
   ++global_version_;
+  MarkDirty(obj->surrogate().id);
 }
 
 Status ObjectStore::CreateClass(const std::string& class_name,
@@ -75,6 +101,7 @@ Result<Surrogate> ObjectStore::NewObjectInternal(const std::string& type_name,
   objects_[s.id] = std::make_unique<DbObject>(s, type_name, kind);
   extents_[type_name].push_back(s);
   ++global_version_;
+  MarkDirty(s.id);
   return s;
 }
 
@@ -358,7 +385,13 @@ Result<const DbObject*> ObjectStore::Get(Surrogate s) const {
   return obj;
 }
 
-DbObject* ObjectStore::GetMutable(Surrogate s) { return Find(s); }
+DbObject* ObjectStore::GetMutable(Surrogate s) {
+  DbObject* obj = Find(s);
+  // The caller may mutate through this pointer; be conservative about what
+  // the next checkpoint must re-capture.
+  if (obj != nullptr) MarkDirty(s.id);
+  return obj;
+}
 
 Status ObjectStore::ValidateRefTargets(const Value& v,
                                        const Domain& d) const {
@@ -576,6 +609,17 @@ std::vector<std::string> ObjectStore::AuditIndexes() const {
   std::vector<std::string> out;
   auto describe = [](uint64_t id) { return "@" + std::to_string(id); };
 
+  // The audit walks the whole primary map; paged-out objects must be
+  // resident for it.
+  EnsureAllResident();
+  for (const auto& [id, obj] : objects_) {
+    if (!obj) {
+      out.push_back("object " + describe(id) +
+                    " is paged out and cannot be loaded (" +
+                    last_pager_error_.ToString() + ")");
+    }
+  }
+
   // classes_: every listed member is live, of the class's type, claims the
   // class, and is listed once.
   for (const auto& [name, info] : classes_) {
@@ -603,7 +647,7 @@ std::vector<std::string> ObjectStore::AuditIndexes() const {
     }
   }
   for (const auto& [id, obj] : objects_) {
-    if (obj->class_name().empty()) continue;
+    if (!obj || obj->class_name().empty()) continue;
     auto cls = classes_.find(obj->class_name());
     if (cls == classes_.end()) {
       out.push_back("object " + describe(id) + " claims unknown class '" +
@@ -637,6 +681,7 @@ std::vector<std::string> ObjectStore::AuditIndexes() const {
     }
   }
   for (const auto& [id, obj] : objects_) {
+    if (!obj) continue;
     auto ext = extents_.find(obj->type_name());
     if (ext == extents_.end() ||
         std::find(ext->second.begin(), ext->second.end(), obj->surrogate()) ==
@@ -678,7 +723,7 @@ std::vector<std::string> ObjectStore::AuditIndexes() const {
     }
   }
   for (const auto& [id, obj] : objects_) {
-    if (obj->kind() == ObjKind::kObject) continue;
+    if (!obj || obj->kind() == ObjKind::kObject) continue;
     for (const auto& [role, members] : obj->participants()) {
       for (Surrogate m : members) {
         auto used = where_used_.find(m.id);
@@ -697,10 +742,12 @@ void ObjectStore::RepairIndexes() {
   // The membership lists are fully derivable from the primary map; class
   // registrations keep their declared type, and a class that exists only as
   // an object's claim is recreated from that object.
+  EnsureAllResident();
   for (auto& [name, info] : classes_) info.members.clear();
   extents_.clear();
   where_used_.clear();
   for (const auto& [id, obj] : objects_) {  // ascending id = creation order
+    if (!obj) continue;  // unloadable; AuditIndexes reports the cause
     extents_[obj->type_name()].push_back(obj->surrogate());
     if (!obj->class_name().empty()) {
       ClassInfo& info = classes_[obj->class_name()];
@@ -794,9 +841,79 @@ Status ObjectStore::Delete(Surrogate s, DeletePolicy policy) {
     where_used_.erase(id);
   }
 
-  for (uint64_t id : doomed) objects_.erase(id);
+  for (uint64_t id : doomed) {
+    objects_.erase(id);
+    paged_out_versions_.erase(id);
+    hot_.erase(id);
+    dirty_.erase(id);
+    if (track_dirty_) deleted_.insert(id);
+  }
   ++global_version_;
   return OkStatus();
+}
+
+ObjectStore::CheckpointSet ObjectStore::TakeCheckpointSet() {
+  CheckpointSet out;
+  out.dirty.swap(dirty_);
+  out.deleted.swap(deleted_);
+  return out;
+}
+
+void ObjectStore::RestoreCheckpointSet(CheckpointSet set) {
+  for (uint64_t id : set.dirty) {
+    // An object deleted after the failed capture stays deleted-only.
+    if (objects_.count(id) > 0) dirty_.insert(id);
+  }
+  deleted_.insert(set.deleted.begin(), set.deleted.end());
+}
+
+void ObjectStore::MarkAllDirty() {
+  for (const auto& [id, obj] : objects_) dirty_.insert(id);
+}
+
+Status ObjectStore::AdoptLoadedObject(std::unique_ptr<DbObject> object) {
+  uint64_t id = object->surrogate().id;
+  if (id == 0) return InternalError("adopted object has no surrogate");
+  if (objects_.count(id) > 0) {
+    return InternalError("adopted object @" + std::to_string(id) +
+                         " already exists");
+  }
+  objects_[id] = std::move(object);
+  if (next_surrogate_ <= id) next_surrogate_ = id + 1;
+  return OkStatus();
+}
+
+void ObjectStore::SetNextSurrogate(uint64_t next) {
+  if (next > next_surrogate_) next_surrogate_ = next;
+}
+
+size_t ObjectStore::TrimResident(size_t budget) {
+  if (pager_ == nullptr || objects_.empty()) return 0;
+  size_t evicted = 0;
+  // Second-chance sweep in surrogate order, resuming where the last sweep
+  // stopped, bounded at two revolutions per call. Only clean, cold objects
+  // whose page record exists may be evicted — a dirty object's only
+  // up-to-date state is the in-memory copy.
+  size_t steps = objects_.size() * 2;
+  auto it = objects_.lower_bound(trim_cursor_);
+  while (steps-- > 0 && resident_objects() > budget) {
+    if (it == objects_.end()) it = objects_.begin();
+    uint64_t id = it->first;
+    std::unique_ptr<DbObject>& slot = it->second;
+    ++it;
+    trim_cursor_ = id + 1;
+    if (!slot) continue;
+    if (dirty_.count(id) > 0) continue;
+    if (hot_.count(id) > 0) {
+      hot_.erase(id);  // second chance spent
+      continue;
+    }
+    if (!pager_->Contains(id)) continue;
+    paged_out_versions_[id] = slot->version();
+    slot.reset();
+    ++evicted;
+  }
+  return evicted;
 }
 
 Status ObjectStore::Unbind(Surrogate inheritor_s) {

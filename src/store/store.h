@@ -14,6 +14,18 @@
 
 namespace caddb {
 
+/// Demand-paging backend of the ObjectStore. The database wires an adapter
+/// over the storage::PagedHeap in here; the store itself stays ignorant of
+/// pages, it only knows that a clean object it evicted can be fetched back.
+class ObjectPager {
+ public:
+  virtual ~ObjectPager() = default;
+  /// True when `id` has a persisted record (safe to evict a clean copy).
+  virtual bool Contains(uint64_t id) const = 0;
+  /// Materializes the persisted state of `id`.
+  virtual Result<std::unique_ptr<DbObject>> Fetch(uint64_t id) const = 0;
+};
+
 /// In-memory object store: owns every object, relationship object and
 /// inheritance-relationship object; allocates surrogates; maintains classes,
 /// per-type extents and the where-used index; enforces schema/domain rules,
@@ -91,6 +103,53 @@ class ObjectStore {
   bool Exists(Surrogate s) const { return objects_.count(s.id) > 0; }
   size_t size() const { return objects_.size(); }
 
+  // ---- Paging & incremental-checkpoint plumbing (driven by Database) ----
+  /// Attaches the demand-paging backend. A null entry in the object map is a
+  /// paged-out object; lookups fault it back in through the pager. Clean
+  /// objects may only be evicted while a pager is attached and already
+  /// holds their record.
+  void set_pager(const ObjectPager* pager) { pager_ = pager; }
+  /// Enables dirty/deleted tracking for incremental checkpoints. Off by
+  /// default so purely in-memory stores pay nothing.
+  void set_dirty_tracking(bool on) { track_dirty_ = on; }
+
+  struct CheckpointSet {
+    std::set<uint64_t> dirty;
+    std::set<uint64_t> deleted;
+  };
+  /// Claims the accumulated dirty/deleted sets for a checkpoint attempt,
+  /// resetting the accumulators (mutations from here on count toward the
+  /// next checkpoint).
+  CheckpointSet TakeCheckpointSet();
+  /// Failed-checkpoint path: folds a claimed set back into the accumulators
+  /// so the next attempt re-captures it.
+  void RestoreCheckpointSet(CheckpointSet set);
+  /// Queues every live object as dirty. Migration path: a database restored
+  /// from a full-dump (v1/v2) checkpoint has nothing on pages yet; marking
+  /// everything dirty makes the first incremental checkpoint write the
+  /// whole store out.
+  void MarkAllDirty();
+
+  /// Recovery: installs an object decoded from a page with its exact
+  /// surrogate, clean (the page still holds it), indexes left to
+  /// RepairIndexes. Bumps the surrogate allocator past it.
+  Status AdoptLoadedObject(std::unique_ptr<DbObject> object);
+  /// Recovery: restores the persisted surrogate allocator position.
+  void SetNextSurrogate(uint64_t next);
+  uint64_t next_surrogate() const { return next_surrogate_; }
+
+  /// Evicts clean, cold, pager-backed objects until at most `budget` remain
+  /// resident (second-chance sweep). Returns how many were paged out.
+  size_t TrimResident(size_t budget);
+  size_t resident_objects() const {
+    return objects_.size() - paged_out_versions_.size();
+  }
+  size_t dirty_objects() const { return dirty_.size(); }
+  size_t deleted_since_checkpoint() const { return deleted_.size(); }
+  /// Last demand-paging failure, for diagnostics: a fault-in that fails
+  /// surfaces as NotFound to the caller, with the real cause kept here.
+  const Status& last_pager_error() const { return last_pager_error_; }
+
   // ---- Attributes ----
   /// Validates the name against the (effective) schema, rejects writes to
   /// inherited attributes, validates `v` against the attribute domain
@@ -141,7 +200,9 @@ class ObjectStore {
   /// against these pairs.
   uint64_t ObjectVersion(Surrogate s) const {
     auto it = objects_.find(s.id);
-    return it == objects_.end() ? kDeadVersion : it->second->version();
+    if (it == objects_.end()) return kDeadVersion;
+    if (!it->second) return paged_out_versions_.at(s.id);
+    return it->second->version();
   }
 
  private:
@@ -152,6 +213,15 @@ class ObjectStore {
 
   DbObject* Find(Surrogate s);
   const DbObject* Find(Surrogate s) const;
+  /// Materializes a paged-out object through the pager. False on failure
+  /// (pager missing or I/O error — recorded in last_pager_error_).
+  bool FaultIn(uint64_t id) const;
+  /// Faults every paged-out object back in (index audit/rebuild walks the
+  /// whole primary map).
+  void EnsureAllResident() const;
+  void MarkDirty(uint64_t id) {
+    if (track_dirty_) dirty_.insert(id);
+  }
   Result<Surrogate> NewObjectInternal(const std::string& type_name,
                                       ObjKind kind);
   Status ValidateParticipants(
@@ -166,12 +236,29 @@ class ObjectStore {
   void Touch(DbObject* obj);
 
   const Catalog* catalog_;
-  std::map<uint64_t, std::unique_ptr<DbObject>> objects_;
+  /// Primary map. A null unique_ptr is a paged-out object: live (surrogate
+  /// reserved, indexed, versioned via paged_out_versions_) but resident
+  /// only on its page until a lookup faults it in. Mutable because const
+  /// lookups fault in.
+  mutable std::map<uint64_t, std::unique_ptr<DbObject>> objects_;
   std::map<std::string, ClassInfo> classes_;
   std::map<std::string, std::vector<Surrogate>> extents_;
   std::map<uint64_t, std::set<uint64_t>> where_used_;  // target -> rel objects
   uint64_t next_surrogate_ = 1;
   uint64_t global_version_ = 0;
+
+  // ---- Paging state ----
+  const ObjectPager* pager_ = nullptr;
+  bool track_dirty_ = false;
+  /// Version counters of paged-out objects (exactly the null slots above),
+  /// so ObjectVersion answers without a fault-in.
+  mutable std::map<uint64_t, uint64_t> paged_out_versions_;
+  /// Recently-looked-up ids: one sweep of second chance against trimming.
+  mutable std::set<uint64_t> hot_;
+  std::set<uint64_t> dirty_;    // mutated since the last checkpoint capture
+  std::set<uint64_t> deleted_;  // deleted since the last checkpoint capture
+  uint64_t trim_cursor_ = 0;
+  mutable Status last_pager_error_;
 };
 
 }  // namespace caddb

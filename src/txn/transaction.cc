@@ -21,13 +21,28 @@ Status TransactionManager::Commit(TxnId txn) {
       return NotFound("transaction " + std::to_string(txn) + " is not active");
     }
     begin_logged = it->second.begin_logged;
-    txns_.erase(it);
+    if (wal_ == nullptr || !begin_logged) txns_.erase(it);
   }
   // The commit marker goes to the log *before* the locks fall: any
   // conflicting write of another transaction can only be logged after it,
   // so log order stays consistent with the 2PL serialization order.
   if (wal_ != nullptr && begin_logged) {
-    Status logged = wal_->AppendCommit(wal::Record::Commit(txn));
+    Status logged;
+    {
+      // Marker-lsn assignment and removal from the active set happen
+      // atomically with respect to checkpoint capture (which snapshots
+      // last_lsn and the undo sets under the same gate). Otherwise a
+      // capture could see this transaction as still active while its
+      // marker lsn is already at or below the checkpoint lsn — its writes
+      // would be masked with before-images AND skipped on replay: a lost
+      // update. The fsync wait stays outside the gate.
+      std::lock_guard<std::mutex> gate(*store_mu_);
+      Result<uint64_t> lsn = wal_->AppendCommitRecord(wal::Record::Commit(txn));
+      logged = lsn.ok() ? OkStatus() : lsn.status();
+      std::lock_guard<std::mutex> lock(mu_);
+      txns_.erase(txn);
+    }
+    if (logged.ok()) logged = wal_->FinishCommit();
     if (!logged.ok()) {
       locks_->ReleaseAll(txn);
       return logged;
@@ -40,17 +55,23 @@ Status TransactionManager::Commit(TxnId txn) {
 Status TransactionManager::Abort(TxnId txn) {
   TxnState state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = txns_.find(txn);
-    if (it == txns_.end()) {
-      return NotFound("transaction " + std::to_string(txn) + " is not active");
+    // Removal from the active set and the before-image restores happen in
+    // one gate hold: a checkpoint capture either still sees the
+    // transaction active (and masks its writes with the same before-images
+    // the restores are about to apply) or sees the fully restored store —
+    // never restored-but-unmasked uncommitted state.
+    std::lock_guard<std::mutex> gate(*store_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = txns_.find(txn);
+      if (it == txns_.end()) {
+        return NotFound("transaction " + std::to_string(txn) +
+                        " is not active");
+      }
+      state = std::move(it->second);
+      txns_.erase(it);
     }
-    state = std::move(it->second);
-    txns_.erase(it);
-  }
-  // Restore before-images newest-first while still holding the X-locks.
-  {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    // Restore before-images newest-first while still holding the X-locks.
     for (auto it = state.undo.rbegin(); it != state.undo.rend(); ++it) {
       // Restoration also re-notifies inheritors: their view changed back.
       Status restored =
@@ -72,6 +93,23 @@ Status TransactionManager::Abort(TxnId txn) {
   return OkStatus();
 }
 
+TransactionManager::UndoSnapshot TransactionManager::SnapshotUndo() const {
+  UndoSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, state] : txns_) {
+    if (!state.begin_logged) continue;  // no logged writes, nothing to mask
+    if (out.oldest_begin_lsn == 0 || state.begin_lsn < out.oldest_begin_lsn) {
+      out.oldest_begin_lsn = state.begin_lsn;
+    }
+    for (const UndoRecord& undo : state.undo) {
+      // First write wins: undo records are appended in write order, so the
+      // earliest record per (object, attr) holds the pre-transaction value.
+      out.masks[undo.object.id].emplace(undo.attr, undo.before);
+    }
+  }
+  return out;
+}
+
 bool TransactionManager::IsActive(TxnId txn) const {
   std::lock_guard<std::mutex> lock(mu_);
   return txns_.count(txn) > 0;
@@ -85,7 +123,7 @@ Status TransactionManager::LockInheritanceChain(TxnId txn, Surrogate s,
   while (true) {
     const DbObject* obj;
     {
-      std::lock_guard<std::mutex> lock(store_mu_);
+      std::lock_guard<std::mutex> lock(*store_mu_);
       Result<const DbObject*> r = store->Get(current);
       if (!r.ok()) return r.status();
       obj = *r;
@@ -100,7 +138,7 @@ Status TransactionManager::LockInheritanceChain(TxnId txn, Surrogate s,
     Surrogate transmitter;
     std::string rel_type;
     {
-      std::lock_guard<std::mutex> lock(store_mu_);
+      std::lock_guard<std::mutex> lock(*store_mu_);
       Result<const DbObject*> rel = store->Get(rel_s);
       if (!rel.ok()) return rel.status();
       transmitter = (*rel)->Participant("transmitter");
@@ -125,13 +163,13 @@ Result<Value> TransactionManager::Read(TxnId txn, Surrogate s,
     user = it->second.user;
   }
   {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    std::lock_guard<std::mutex> lock(*store_mu_);
     CADDB_RETURN_IF_ERROR(acl_->CheckRead(user, s, *manager_->store()));
   }
   CADDB_RETURN_IF_ERROR(
       locks_->Acquire(txn, LockItem::Whole(s), LockMode::kShared));
   CADDB_RETURN_IF_ERROR(LockInheritanceChain(txn, s, attr));
-  std::lock_guard<std::mutex> lock(store_mu_);
+  std::lock_guard<std::mutex> lock(*store_mu_);
   return manager_->GetAttribute(s, attr);
 }
 
@@ -147,7 +185,7 @@ Status TransactionManager::Write(TxnId txn, Surrogate s,
     user = it->second.user;
   }
   {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    std::lock_guard<std::mutex> lock(*store_mu_);
     // The lock manager only grants what access control admits (section 6):
     // an X-lock for a user without update rights is refused outright.
     CADDB_RETURN_IF_ERROR(acl_->CheckUpdate(user, s, *manager_->store()));
@@ -155,7 +193,7 @@ Status TransactionManager::Write(TxnId txn, Surrogate s,
   CADDB_RETURN_IF_ERROR(
       locks_->Acquire(txn, LockItem::Whole(s), LockMode::kExclusive));
 
-  std::lock_guard<std::mutex> store_lock(store_mu_);
+  std::lock_guard<std::mutex> store_lock(*store_mu_);
   Result<Value> before = manager_->store()->GetLocalAttribute(s, attr);
   if (!before.ok()) return before.status();
   Value logged_value = wal_ != nullptr ? v : Value();
@@ -177,7 +215,11 @@ Status TransactionManager::Write(TxnId txn, Surrogate s,
   // here.
   if (wal_ != nullptr) {
     if (need_begin) {
-      CADDB_RETURN_IF_ERROR(wal_->Append(wal::Record::Begin(txn)).status());
+      CADDB_ASSIGN_OR_RETURN(uint64_t begin_lsn,
+                             wal_->Append(wal::Record::Begin(txn)));
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = txns_.find(txn);
+      if (it != txns_.end()) it->second.begin_lsn = begin_lsn;
     }
     CADDB_RETURN_IF_ERROR(
         wal_->Append(wal::Record::SetAttribute(txn, s.id, attr,
@@ -201,7 +243,7 @@ Result<size_t> TransactionManager::LockExpansion(TxnId txn, Surrogate root,
 
   std::vector<Surrogate> targets;
   {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    std::lock_guard<std::mutex> lock(*store_mu_);
     Expander expander(manager_);
     ExpandOptions options;
     options.materialize_attributes = false;  // structure walk only
@@ -213,7 +255,7 @@ Result<size_t> TransactionManager::LockExpansion(TxnId txn, Surrogate root,
   for (Surrogate s : targets) {
     Rights rights;
     {
-      std::lock_guard<std::mutex> lock(store_mu_);
+      std::lock_guard<std::mutex> lock(*store_mu_);
       rights = acl_->EffectiveRights(user, s, *manager_->store());
     }
     if (!rights.read) {

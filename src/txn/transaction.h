@@ -59,6 +59,29 @@ class TransactionManager {
   /// skips every record of an aborted or uncommitted transaction.
   void set_wal(wal::Wal* wal) { wal_ = wal; }
 
+  /// Shares the database-wide store gate: the mutex serializing all
+  /// physical store access across the transaction manager, the database's
+  /// auto-committed convenience operations, workspace checkin, and
+  /// checkpoint capture. Defaults to a private mutex for stand-alone use.
+  /// Must be called before any transaction starts.
+  void set_store_gate(std::mutex* gate) { store_mu_ = gate; }
+
+  /// Checkpoint capture: before-images of every uncommitted attribute
+  /// write, plus the begin lsn of the oldest logged transaction still
+  /// active. The checkpoint masks captured objects with these
+  /// before-images (the page image must never contain uncommitted state)
+  /// and retains log segments back to oldest_begin_lsn so a spanning
+  /// transaction's records survive truncation. Call with the store gate
+  /// held.
+  struct UndoSnapshot {
+    /// object id -> (attribute -> before-image); first write wins, so the
+    /// value is the state from before the transaction's first touch.
+    std::map<uint64_t, std::map<std::string, Value>> masks;
+    /// 0 when no logged transaction is active.
+    uint64_t oldest_begin_lsn = 0;
+  };
+  UndoSnapshot SnapshotUndo() const;
+
   /// Inheritance-aware read under S-locks: whole-object S-lock on `s`, plus
   /// exported-part S-locks up the transmitter chain when `attr` is
   /// inherited.
@@ -88,6 +111,8 @@ class TransactionManager {
     /// BEGIN is logged lazily at the first write, so read-only
     /// transactions leave no trace in the log.
     bool begin_logged = false;
+    /// Lsn of the logged BEGIN record (0 until begin_logged).
+    uint64_t begin_lsn = 0;
   };
 
   /// S-locks the exported parts up the inheritance chain for an inherited
@@ -99,8 +124,12 @@ class TransactionManager {
   AccessControl* acl_;
   wal::Wal* wal_ = nullptr;  // not owned; null = non-durable
 
-  mutable std::mutex mu_;        // guards txns_ and next id
-  mutable std::mutex store_mu_;  // serializes physical store access
+  mutable std::mutex mu_;  // guards txns_ and next id
+  /// Serializes physical store access. Points at the database-wide store
+  /// gate when set_store_gate was called; otherwise at own_store_mu_.
+  /// Lock order: store gate before mu_, never the reverse.
+  mutable std::mutex own_store_mu_;
+  std::mutex* store_mu_ = &own_store_mu_;
   std::map<TxnId, TxnState> txns_;
   TxnId next_txn_ = 1;
 };

@@ -38,6 +38,7 @@ Status WorkspaceManager::Checkout(WorkspaceId ws, Surrogate object) {
                          " is checked out by workspace " +
                          std::to_string(owner->second));
   }
+  std::lock_guard<std::mutex> gate(*store_mu_);
   CADDB_ASSIGN_OR_RETURN(const DbObject* obj, manager_->store()->Get(object));
   CheckedOutObject state;
   state.base_version = obj->version();
@@ -74,6 +75,7 @@ Status WorkspaceManager::Set(WorkspaceId ws, Surrogate object,
                               std::to_string(ws));
   }
   // Schema / domain / read-only validation against the live type.
+  std::lock_guard<std::mutex> gate(*store_mu_);
   CADDB_ASSIGN_OR_RETURN(const DbObject* obj, manager_->store()->Get(object));
   if (obj->kind() == ObjKind::kObject) {
     Result<EffectiveSchema> schema =
@@ -117,6 +119,25 @@ Result<Value> WorkspaceManager::Get(WorkspaceId ws, Surrogate object,
 }
 
 Status WorkspaceManager::Checkin(WorkspaceId ws) {
+  // The whole checkin — validation, the applies, and the group's commit
+  // marker — runs under the store gate: the group is not a
+  // transaction-manager transaction, so a checkpoint capture could not
+  // mask a half-applied batch; instead it must never observe one. Only the
+  // commit's durability wait runs outside the gate.
+  uint64_t group = 0;
+  Status result;
+  {
+    std::lock_guard<std::mutex> gate(*store_mu_);
+    result = CheckinLocked(ws, &group);
+  }
+  if (wal_ != nullptr && group != 0) {
+    Status durable = wal_->FinishCommit();
+    if (result.ok()) result = durable;
+  }
+  return result;
+}
+
+Status WorkspaceManager::CheckinLocked(WorkspaceId ws, uint64_t* group_out) {
   auto it = workspaces_.find(ws);
   if (it == workspaces_.end()) {
     return NotFound("workspace " + std::to_string(ws) + " does not exist");
@@ -137,7 +158,7 @@ Status WorkspaceManager::Checkin(WorkspaceId ws) {
   // Phase 2: apply dirty attributes and release checkouts. The writes are
   // logged as one bracketed group under a pseudo-transaction id, so a crash
   // mid-checkin replays either the whole batch or none of it.
-  uint64_t group = 0;
+  uint64_t& group = *group_out;
   auto log = [&](wal::Record record) -> Status {
     if (wal_ == nullptr) return OkStatus();
     if (group == 0) {
@@ -147,9 +168,11 @@ Status WorkspaceManager::Checkin(WorkspaceId ws) {
     record.txn = group;
     return wal_->Append(std::move(record)).status();
   };
+  // The marker is appended here under the gate; Checkin waits for
+  // durability (FinishCommit) after releasing it.
   auto commit_group = [&]() -> Status {
     if (group == 0) return OkStatus();
-    return wal_->AppendCommit(wal::Record::Commit(group));
+    return wal_->AppendCommitRecord(wal::Record::Commit(group)).status();
   };
   for (auto& [object_id, state] : it->second.objects) {
     for (auto& [attr, value] : state.dirty) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,7 +65,16 @@ class WorkspaceManager {
   /// recovery replays a checkin all-or-nothing with one durability point.
   void set_wal(wal::Wal* wal) { wal_ = wal; }
 
+  /// Shares the database-wide store gate (see
+  /// TransactionManager::set_store_gate). Checkout/Set/Get/Checkin take it
+  /// around store access — with demand paging even a read may fault an
+  /// object in — and Checkin holds it across the whole apply+log batch so
+  /// a checkpoint capture never snapshots a half-applied checkin.
+  void set_store_gate(std::mutex* gate) { store_mu_ = gate; }
+
  private:
+  Status CheckinLocked(WorkspaceId ws, uint64_t* group);
+
   struct CheckedOutObject {
     uint64_t base_version = 0;                // store version at checkout
     std::map<std::string, Value> copy;        // private attribute values
@@ -77,6 +87,8 @@ class WorkspaceManager {
 
   InheritanceManager* manager_;
   wal::Wal* wal_ = nullptr;  // not owned; null = non-durable
+  mutable std::mutex own_store_mu_;
+  std::mutex* store_mu_ = &own_store_mu_;
   std::map<WorkspaceId, Workspace> workspaces_;
   std::map<uint64_t, WorkspaceId> checkout_owner_;  // object -> workspace
   WorkspaceId next_id_ = 1;

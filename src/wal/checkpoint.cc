@@ -74,7 +74,92 @@ Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
   return WriteCheckpoint(dir, lsn, /*generation=*/0, dump);
 }
 
+Status WriteCheckpointV3(const std::string& dir, uint64_t lsn,
+                         uint64_t generation, const CheckpointData& data) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("cannot create checkpoint directory '" + dir +
+                         "': " + ec.message());
+  }
+  std::string body;
+  body += "replayfrom " + std::to_string(data.replay_from) + "\n";
+  body += "meta " + std::to_string(data.meta.size()) + "\n";
+  body += data.meta;
+  body += "pages " + std::to_string(data.pages.size()) + "\n";
+  for (const auto& [page_id, image] : data.pages) {
+    body += "page " + std::to_string(page_id) + " " +
+            std::to_string(image.size()) + "\n";
+    body += image;
+  }
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                Crc32cMask(Crc32c(body.data(), body.size())));
+  std::string contents = "caddb-checkpoint 3 " + std::to_string(lsn) + " " +
+                         std::to_string(generation) + " " +
+                         std::to_string(body.size()) + " " + crc_hex + "\n" +
+                         body;
+  const std::string path = (fs::path(dir) / CheckpointFileName(lsn)).string();
+  CADDB_RETURN_IF_ERROR(AtomicWriteFile(path, contents));
+  for (const CheckpointFileInfo& info : ListCheckpoints(dir)) {
+    if (info.lsn >= lsn) continue;
+    fs::remove(info.path, ec);
+    if (ec) {
+      return InternalError("cannot remove old checkpoint '" + info.path +
+                           "': " + ec.message());
+    }
+  }
+  return SyncDir(dir);
+}
+
 namespace {
+
+/// Parses the v3 body (after the CRC already checked out).
+Status ParseV3Body(const std::string& path, const std::string& body,
+                   LoadedCheckpoint* out) {
+  size_t pos = 0;
+  auto next_line = [&](std::string* line) -> bool {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) return false;
+    *line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    return true;
+  };
+  std::string line;
+  unsigned long long value = 0;
+  if (!next_line(&line) ||
+      std::sscanf(line.c_str(), "replayfrom %llu", &value) != 1) {
+    return ParseError("checkpoint '" + path + "': bad replayfrom line");
+  }
+  out->replay_from = value;
+  if (!next_line(&line) ||
+      std::sscanf(line.c_str(), "meta %llu", &value) != 1 ||
+      body.size() - pos < value) {
+    return ParseError("checkpoint '" + path + "': bad meta section");
+  }
+  out->meta = body.substr(pos, value);
+  pos += value;
+  unsigned long long page_count = 0;
+  if (!next_line(&line) ||
+      std::sscanf(line.c_str(), "pages %llu", &page_count) != 1) {
+    return ParseError("checkpoint '" + path + "': bad pages line");
+  }
+  for (unsigned long long i = 0; i < page_count; ++i) {
+    unsigned long long page_id = 0;
+    if (!next_line(&line) ||
+        std::sscanf(line.c_str(), "page %llu %llu", &page_id, &value) != 2 ||
+        body.size() - pos < value) {
+      return ParseError("checkpoint '" + path + "': bad page section " +
+                        std::to_string(i));
+    }
+    out->pages[static_cast<uint32_t>(page_id)] = body.substr(pos, value);
+    pos += value;
+  }
+  if (pos != body.size()) {
+    return ParseError("checkpoint '" + path + "': trailing bytes after pages");
+  }
+  return OkStatus();
+}
 
 /// Parses + CRC-checks one checkpoint file.
 Result<LoadedCheckpoint> ReadCheckpointFile(const CheckpointFileInfo& info) {
@@ -97,8 +182,8 @@ Result<LoadedCheckpoint> ReadCheckpointFile(const CheckpointFileInfo& info) {
   } else {
     header >> lsn >> generation >> body_bytes >> crc_hex;
   }
-  if (magic != "caddb-checkpoint" || (version != 1 && version != 2) ||
-      header.fail()) {
+  if (magic != "caddb-checkpoint" ||
+      (version != 1 && version != 2 && version != 3) || header.fail()) {
     return ParseError("checkpoint '" + info.path + "': bad header");
   }
   if (lsn != info.lsn) {
@@ -122,8 +207,13 @@ Result<LoadedCheckpoint> ReadCheckpointFile(const CheckpointFileInfo& info) {
   LoadedCheckpoint out;
   out.lsn = lsn;
   out.generation = generation;
-  out.dump = std::move(body);
+  out.format = version;
   out.path = info.path;
+  if (version == 3) {
+    CADDB_RETURN_IF_ERROR(ParseV3Body(info.path, body, &out));
+  } else {
+    out.dump = std::move(body);
+  }
   return out;
 }
 

@@ -2,7 +2,9 @@
 #define CADDB_WAL_CHECKPOINT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/result.h"
@@ -58,14 +60,54 @@ Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
 Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
                        const std::string& dump);
 
+/// Incremental (version 3) checkpoint payload. Instead of a full database
+/// dump, a v3 checkpoint carries
+///
+///   - `meta`: the non-paged state (schema DDL, class registry, version
+///     graph, next-surrogate counter) as persist meta-snapshot text, and
+///   - `pages`: the serialized images of every page dirtied since the last
+///     checkpoint — a double-write journal. The engine publishes the
+///     checkpoint file first and only then writes these pages into
+///     pages.db in place, so a crash mid-phase-two tears nothing that the
+///     images cannot heal on the next open.
+///   - `replay_from`: the begin lsn of the oldest transaction still active
+///     at capture; log records in (replay_from, lsn] whose transaction
+///     committed after `lsn` must be replayed even though they precede the
+///     checkpoint lsn. 0 when no transaction spanned the checkpoint.
+///
+/// On-disk: header line as v2, body =
+///
+///   replayfrom <lsn>\n
+///   meta <byte-count>\n<meta bytes>
+///   pages <count>\n
+///   page <id> <byte-count>\n<raw page image>   (repeated)
+struct CheckpointData {
+  std::string meta;
+  uint64_t replay_from = 0;
+  std::vector<std::pair<uint32_t, std::string>> pages;
+};
+
+/// Atomically publishes an incremental v3 checkpoint, then deletes every
+/// older checkpoint file.
+Status WriteCheckpointV3(const std::string& dir, uint64_t lsn,
+                         uint64_t generation, const CheckpointData& data);
+
 struct LoadedCheckpoint {
   /// 0 when no checkpoint exists (recovery replays the log from lsn 1).
   uint64_t lsn = 0;
   /// Log generation the checkpoint was written in (0 for version-1 files
   /// and for fresh directories).
   uint64_t generation = 0;
-  /// Empty when no checkpoint exists; otherwise a Dumper::Dump text.
+  /// File format the checkpoint was stored in (1, 2 or 3; 0 for a fresh
+  /// directory with no checkpoint at all).
+  int format = 0;
+  /// v1/v2: the full Dumper::Dump text. Empty for v3.
   std::string dump;
+  /// v3 only: meta-snapshot text, dirty-page images, and the oldest lsn
+  /// replay may still need (see CheckpointData).
+  std::string meta;
+  uint64_t replay_from = 0;
+  std::map<uint32_t, std::string> pages;
   std::string path;
 };
 

@@ -6,7 +6,6 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "wal/crc32c.h"
@@ -191,30 +190,80 @@ SegmentContents DecodeFrames(const std::string& data) {
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return NotFound("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  if (file.bad()) return InternalError("read of '" + path + "' failed");
-  return buffer.str();
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    // Only a genuinely missing file is NotFound; EACCES, EISDIR, EIO and
+    // friends are real failures a caller must not paper over as "empty".
+    if (errno == ENOENT) return NotFound("cannot open '" + path + "'");
+    return Errno("cannot open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("read of", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
 }
 
-Status AtomicWriteFile(const std::string& path, const std::string& data) {
+Status AtomicWriteFile(const std::string& path, const std::string& data,
+                       const FileFactory& factory) {
   const std::string tmp = path + ".tmp";
-  {
-    CADDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
-                           OpenWritableFile(tmp));
+  Status written = [&]() -> Status {
+    CADDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<WritableFile> file,
+        factory ? factory(tmp) : OpenWritableFile(tmp));
     CADDB_RETURN_IF_ERROR(file->Append(data));
     CADDB_RETURN_IF_ERROR(file->Sync());
     CADDB_RETURN_IF_ERROR(file->Close());
-  }
+    return OkStatus();
+  }();
   std::error_code ec;
+  if (!written.ok()) {
+    // Never leak the temp file: a half-written "<path>.tmp" left behind
+    // would survive forever (nothing else ever cleans it up).
+    std::filesystem::remove(tmp, ec);
+    return written;
+  }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
-    return InternalError("rename '" + tmp + "' -> '" + path +
-                         "': " + ec.message());
+    Status failed = InternalError("rename '" + tmp + "' -> '" + path +
+                                  "': " + ec.message());
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return failed;
   }
   return SyncDir(std::filesystem::path(path).parent_path().string());
+}
+
+Result<size_t> RemoveStaleTempFiles(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 4 || name.substr(name.size() - 4) != ".tmp") continue;
+    std::error_code rm;
+    if (fs::remove(entry.path(), rm) && !rm) ++removed;
+  }
+  if (ec) {
+    // A directory that does not exist yet holds no debris; Open creates
+    // it right after this sweep.
+    if (ec == std::errc::no_such_file_or_directory) return size_t{0};
+    return InternalError("cannot scan '" + dir + "' for stale temp files: " +
+                         ec.message());
+  }
+  if (removed > 0) CADDB_RETURN_IF_ERROR(SyncDir(dir));
+  return removed;
 }
 
 Status SyncDir(const std::string& dir) {

@@ -99,13 +99,26 @@ struct SegmentContents {
 /// stopping at the first torn or corrupt frame.
 SegmentContents DecodeFrames(const std::string& data);
 
-/// Reads a whole file into memory. kNotFound when it does not exist.
+/// Reads a whole file into memory. kNotFound only when it truly does not
+/// exist (ENOENT); every other open failure — permissions, a directory in
+/// the file's place, I/O errors — is kInternal, so callers (notably the
+/// replication follower probing its primary) never mistake a broken file
+/// for an absent one.
 Result<std::string> ReadFileToString(const std::string& path);
 
 /// Durably writes `data` to `path`: temp file in the same directory, write,
 /// fsync, rename over `path`, fsync the directory. The atomic-publish
-/// primitive behind checkpoints.
-Status AtomicWriteFile(const std::string& path, const std::string& data);
+/// primitive behind checkpoints. On any failure the temp file is unlinked,
+/// never leaked; `factory` overrides how the temp file is opened (fault
+/// injection in tests).
+Status AtomicWriteFile(const std::string& path, const std::string& data,
+                       const FileFactory& factory = nullptr);
+
+/// Removes stale "*.tmp" leftovers in `dir` — debris of AtomicWriteFile
+/// calls cut down by a crash between create and rename. Run by Database
+/// open recovery on the database directory; never touches non-tmp names.
+/// Returns the number removed.
+Result<size_t> RemoveStaleTempFiles(const std::string& dir);
 
 /// fsync(2) on a directory so renames/creates within it are durable.
 Status SyncDir(const std::string& dir);

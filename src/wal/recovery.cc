@@ -223,11 +223,33 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
                  /*always_time=*/true);
   RecoveryReport report;
 
+  // 0. GC: debris of atomic publishes cut down by a crash between create
+  // and rename. Only when we may write — a read-only observer must not
+  // mutate a directory another process may be recovering.
+  if (!options.read_only) {
+    CADDB_RETURN_IF_ERROR(RemoveStaleTempFiles(dir).status());
+  }
+
   // 1. Snapshot: newest checkpoint whose CRC matches.
   CADDB_ASSIGN_OR_RETURN(LoadedCheckpoint checkpoint,
                          ReadNewestCheckpoint(dir));
   std::map<uint64_t, uint64_t> mapping;  // writer's surrogate -> ours
-  if (!checkpoint.dump.empty()) {
+  if (checkpoint.format == 3) {
+    // v3: objects live on pages. Open the page file (healing any torn
+    // pages from the checkpoint's double-write images), adopt every paged
+    // object with its original surrogate, then apply the meta snapshot
+    // (schema, classes, version graph, allocator). Surrogates are NOT
+    // remapped — the page file is authoritative — so replay's translation
+    // map is seeded with identities.
+    CADDB_RETURN_IF_ERROR(
+        Annotate("checkpoint '" + checkpoint.path + "'",
+                 db->InitPagedStore(dir, checkpoint.pages, options)));
+    CADDB_RETURN_IF_ERROR(
+        Annotate("checkpoint '" + checkpoint.path + "'",
+                 persist::LoadMeta(checkpoint.meta, db)));
+    db->store().RepairIndexes();
+    for (Surrogate s : db->store().AllObjects()) mapping[s.id] = s.id;
+  } else if (!checkpoint.dump.empty()) {
     CADDB_RETURN_IF_ERROR(Annotate(
         "checkpoint '" + checkpoint.path + "'",
         persist::Dumper::Load(checkpoint.dump, db, &mapping)));
@@ -236,6 +258,16 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
   report.generation = checkpoint.generation;
   report.checkpoint_path = checkpoint.path;
   report.last_lsn = checkpoint.lsn;
+
+  // A v3 checkpoint captured while a transaction was in flight masked that
+  // transaction's writes with before-images; its records — which may start
+  // *before* the checkpoint lsn — must be replayed if it committed after.
+  // replay_floor is the newest lsn the scan may skip wholesale.
+  const uint64_t replay_floor =
+      (checkpoint.format == 3 && checkpoint.replay_from != 0 &&
+       checkpoint.replay_from <= checkpoint.lsn)
+          ? checkpoint.replay_from - 1
+          : checkpoint.lsn;
 
   // 2. Scan: every valid frame past the checkpoint, in lsn order. With
   // size-based rotation the log is a *chain* of segments, so segment seams
@@ -258,11 +290,12 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
     segments.push_back({segment, DecodeFrames(bytes),
                         fs::path(segment.path).filename().string()});
   }
-  if (!segments.empty() && checkpoint.lsn != 0 &&
-      segments.front().info.start_lsn > checkpoint.lsn + 1) {
+  if (!segments.empty() && replay_floor != 0 &&
+      segments.front().info.start_lsn > replay_floor + 1) {
     return InternalError(
-        "wal gap: checkpoint covers lsn " + std::to_string(checkpoint.lsn) +
-        " but the oldest segment " + segments.front().name + " starts at " +
+        "wal gap: replay needs lsn " + std::to_string(replay_floor + 1) +
+        " (checkpoint lsn " + std::to_string(checkpoint.lsn) +
+        ") but the oldest segment " + segments.front().name + " starts at " +
         std::to_string(segments.front().info.start_lsn) +
         " — records in between are missing");
   }
@@ -311,14 +344,14 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
                              std::to_string(prev_lsn) + ")");
       }
       prev_lsn = frame.lsn;
-      if (frame.lsn <= checkpoint.lsn) continue;  // covered by the snapshot
+      if (frame.lsn <= replay_floor) continue;  // covered by the snapshot
       const std::string where =
           "wal " + segment.name + " lsn " + std::to_string(frame.lsn);
       // A frame whose CRC matched but whose payload does not decode is not
       // a crash artifact — fail loudly instead of silently dropping data.
       Result<Record> record = Record::Decode(frame.payload);
       CADDB_RETURN_IF_ERROR(Annotate(where, record.status()));
-      report.last_lsn = frame.lsn;
+      report.last_lsn = std::max(report.last_lsn, frame.lsn);
       records.push_back({frame.lsn, std::move(*record),
                          Crc32c(frame.payload.data(), frame.payload.size()),
                          where});
@@ -354,7 +387,18 @@ Result<RecoveryReport> Recover(const std::string& dir, Database* db,
   std::map<uint64_t, uint64_t> binding_mapping;
   for (const ScannedRecord& scanned : records) {
     const Record& r = scanned.record;
-    if (r.txn != kAutoCommitTxn && commit_lsn.count(r.txn) == 0) continue;
+    // Pre-checkpoint records reach here only below a v3 checkpoint's
+    // replay window. An auto-committed one is already in the snapshot; a
+    // transaction's records matter only when its commit marker landed
+    // *after* the checkpoint (a commit at or before it means the capture
+    // saw the transaction as finished and included its state unmasked).
+    if (r.txn == kAutoCommitTxn) {
+      if (scanned.lsn <= checkpoint.lsn) continue;
+    } else {
+      auto committed = commit_lsn.find(r.txn);
+      if (committed == commit_lsn.end() || committed->second <= checkpoint.lsn)
+        continue;
+    }
     if (r.type == RecordType::kBegin || r.type == RecordType::kCommit ||
         r.type == RecordType::kAbort) {
       continue;

@@ -30,6 +30,24 @@ struct DurabilityOptions {
   /// replication follower uses it to prove that a re-replayed log prefix
   /// is byte-identical to what it applied last time.
   uint64_t fingerprint_lsn = 0;
+  /// Read-only open: the page file is opened without write access, healed
+  /// checkpoint page images are served from a read overlay instead of being
+  /// written back, and no stale-temp-file GC runs.
+  bool read_only = false;
+  /// Buffer-pool capacity in 8 KiB pages for the paged object store.
+  size_t buffer_pool_pages = 256;
+  /// When non-zero, after each auto-committed mutation the store trims
+  /// clean resident objects down to this budget (demand paging brings them
+  /// back on access). 0 = keep everything resident.
+  size_t resident_object_budget = 0;
+  /// Fault injection for the page file (see storage::FileManagerOptions):
+  /// the Nth page write tears/drops, or fails cleanly. Defaults off.
+  uint64_t page_fail_after_writes = ~uint64_t{0};
+  uint64_t page_error_at_write = ~uint64_t{0};
+  /// When non-zero, Database::Open starts a background thread running an
+  /// incremental checkpoint every this-many milliseconds. Commits are never
+  /// paused by it beyond the short capture critical section.
+  uint64_t checkpoint_interval_ms = 0;
 };
 
 /// What one recovery pass found and did. Surfaced by `wal status` and the

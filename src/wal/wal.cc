@@ -226,6 +226,10 @@ Status Wal::CommitSyncLocked(std::unique_lock<std::mutex>& lock) {
   ++stats_.commits;
   m_commits_->Increment();
   ++commits_since_fsync_;
+  return CommitPolicyLocked(lock);
+}
+
+Status Wal::CommitPolicyLocked(std::unique_lock<std::mutex>& lock) {
   switch (options_.sync) {
     case SyncPolicy::kAlways:
       return SyncLocked(lock);
@@ -285,6 +289,31 @@ Status Wal::AppendCommit(const Record& record) {
   return result;
 }
 
+Result<uint64_t> Wal::AppendCommitRecord(const Record& record) {
+  obs::Span span(&obs_->trace, "wal.commit", m_append_us_);
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t lsn = 0;
+  CADDB_RETURN_IF_ERROR(AppendLocked(lock, record, &lsn));
+  ++stats_.commits;
+  m_commits_->Increment();
+  ++commits_since_fsync_;
+  return lsn;
+}
+
+Status Wal::FinishCommit() {
+  std::vector<ClosedSegment> closed;
+  Status result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return FailedPrecondition("wal is closed");
+    result = CommitPolicyLocked(lock);
+    if (result.ok()) result = MaybeRotateBySizeLocked(lock);
+    closed.swap(pending_closed_);
+  }
+  FireCloseHook(std::move(closed));
+  return result;
+}
+
 Status Wal::Sync() {
   std::unique_lock<std::mutex> lock(mu_);
   return SyncLocked(lock);
@@ -299,7 +328,8 @@ Status Wal::MaybeRotateBySizeLocked(std::unique_lock<std::mutex>& lock) {
   return RotateLocked(lock, /*truncate=*/false);
 }
 
-Status Wal::RotateLocked(std::unique_lock<std::mutex>& lock, bool truncate) {
+Status Wal::RotateLocked(std::unique_lock<std::mutex>& lock, bool truncate,
+                         uint64_t retain_from) {
   // Stand the syncer down and block new appends, then drain any in-flight
   // fsync: after this, the segment's bytes are stable and nobody touches
   // the file descriptor we are about to close.
@@ -336,14 +366,22 @@ Status Wal::RotateLocked(std::unique_lock<std::mutex>& lock, bool truncate) {
 
   CADDB_RETURN_IF_ERROR(OpenSegmentLocked(next_lsn_));
   if (truncate) {
-    // Rotation-with-truncation happens only at checkpoints, so every older
-    // segment is entirely covered by the checkpoint the caller just
-    // published — safe to delete.
-    for (const SegmentFileInfo& segment : ListSegments(dir_)) {
+    // Rotation-with-truncation happens only at checkpoints. A segment may
+    // be deleted once every record in it is covered by the published
+    // checkpoint AND precedes retain_from (the oldest lsn a transaction
+    // spanning the checkpoint may still need replayed); a segment's
+    // records end where the next segment begins.
+    std::vector<SegmentFileInfo> segments = ListSegments(dir_);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const SegmentFileInfo& segment = segments[i];
       if (segment.start_lsn > old_start ||
           segment.start_lsn == segment_start_lsn_) {
         continue;
       }
+      const uint64_t next_start = i + 1 < segments.size()
+                                      ? segments[i + 1].start_lsn
+                                      : next_lsn_;
+      if (retain_from != 0 && next_start > retain_from) continue;
       std::error_code ec;
       fs::remove(segment.path, ec);
       if (ec) {
@@ -355,10 +393,12 @@ Status Wal::RotateLocked(std::unique_lock<std::mutex>& lock, bool truncate) {
   return SyncDir(dir_);
 }
 
-Status Wal::RotateAndTruncate() {
+Status Wal::RotateAndTruncate() { return RotateAndTruncate(0); }
+
+Status Wal::RotateAndTruncate(uint64_t retain_from_lsn) {
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_) return FailedPrecondition("wal is closed");
-  return RotateLocked(lock, /*truncate=*/true);
+  return RotateLocked(lock, /*truncate=*/true, retain_from_lsn);
 }
 
 void Wal::FireCloseHook(std::vector<ClosedSegment> closed) {

@@ -151,6 +151,17 @@ class Wal {
   /// auto-committed single operations go through here.
   Status AppendCommit(const Record& record);
 
+  /// Split commit, for a caller that must assign the commit marker's lsn
+  /// inside its own critical section but must not hold that section across
+  /// an fsync: the transaction manager appends the marker under the store
+  /// gate (so checkpoint capture observes marker-lsn assignment and
+  /// active-set changes atomically), releases the gate, then waits for
+  /// durability. AppendCommitRecord appends the marker and counts the
+  /// commit point, returning its lsn; FinishCommit applies the sync policy
+  /// and any pending size rotation. AppendCommit is the fused form.
+  Result<uint64_t> AppendCommitRecord(const Record& record);
+  Status FinishCommit();
+
   /// Forces everything appended so far to disk.
   Status Sync();
 
@@ -158,6 +169,14 @@ class Wal {
   /// deletes every older segment — called by checkpointing after the
   /// snapshot covering those records has been atomically published.
   Status RotateAndTruncate();
+
+  /// As above, but retains every segment holding records at or above
+  /// `retain_from_lsn`: a segment is deleted only when the following
+  /// segment starts at or below that lsn (so all its records precede it).
+  /// Incremental checkpoints pass the oldest lsn recovery may still need —
+  /// the begin lsn of the oldest transaction spanning the checkpoint.
+  /// 0 means no retention constraint (same as the no-argument form).
+  Status RotateAndTruncate(uint64_t retain_from_lsn);
 
   /// Syncs and closes the live segment. The Wal is unusable afterwards.
   Status Close();
@@ -184,6 +203,9 @@ class Wal {
                       uint64_t* lsn_out);
   /// Applies the commit-time sync policy (shared tail of AppendCommit).
   Status CommitSyncLocked(std::unique_lock<std::mutex>& lock);
+  /// The sync-policy switch alone (no commit counting): the deferred half
+  /// of the split commit.
+  Status CommitPolicyLocked(std::unique_lock<std::mutex>& lock);
   /// Makes everything appended so far durable — in-line fsync, or a
   /// request + wait on the syncer thread when batched_fsync is on.
   Status SyncLocked(std::unique_lock<std::mutex>& lock);
@@ -192,10 +214,12 @@ class Wal {
   /// Asks the syncer thread to cover lsns through `target`.
   void RequestSyncLocked(uint64_t target);
   /// Closes the live segment and opens a fresh one at next_lsn_. With
-  /// `truncate`, deletes every older segment (checkpoint path); without,
+  /// `truncate`, deletes older segments — all of them when `retain_from`
+  /// is 0, else only those entirely below it (checkpoint path); without,
   /// compacts the closed segment and queues it for the close hook (size
   /// rotation).
-  Status RotateLocked(std::unique_lock<std::mutex>& lock, bool truncate);
+  Status RotateLocked(std::unique_lock<std::mutex>& lock, bool truncate,
+                      uint64_t retain_from = 0);
   /// Size-rotation trigger, called after a successful append.
   Status MaybeRotateBySizeLocked(std::unique_lock<std::mutex>& lock);
   /// Drains pending_closed_ into the close hook; call with mu_ released.

@@ -690,9 +690,12 @@ TEST(ReplicationRetryTest, TransientReadFailuresBackOffWithCappedDoubling) {
   ASSERT_GE(sleeps.size(), 2u);
   EXPECT_EQ(sleeps[0], 1000u);
   EXPECT_EQ(sleeps[1], 2000u);
-  // Attempts: 3 for the manifest, 1 for each referenced file.
-  EXPECT_EQ(poll->read_attempts, 2u + 1u + CurrentManifest(replica_dir)
-                                               .segments.size() + 1u);
+  // Attempts: 3 for the manifest, 1 for each referenced file (checkpoint,
+  // page file if the primary ships one, and every segment).
+  const Manifest current = CurrentManifest(replica_dir);
+  EXPECT_EQ(poll->read_attempts,
+            2u + 1u + current.segments.size() + 1u +
+                (current.pagefile.present ? 1u : 0u));
   ASSERT_TRUE((*primary)->Close().ok());
 }
 

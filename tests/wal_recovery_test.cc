@@ -656,7 +656,7 @@ TEST(RecoveryRotationCrashTest, MissingOldestSegmentIsFatal) {
   fs::remove(fs::path(crash_dir) / fs::path(segments[0].path).filename());
   auto recovered = Database::Open(crash_dir);
   ASSERT_FALSE(recovered.ok());
-  EXPECT_NE(recovered.status().message().find("wal gap: checkpoint covers"),
+  EXPECT_NE(recovered.status().message().find("wal gap: replay needs lsn"),
             std::string::npos)
       << recovered.status().ToString();
 }

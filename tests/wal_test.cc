@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "core/database.h"
 #include "core/paper_schemas.h"
@@ -394,15 +395,30 @@ TEST(DurableDatabaseTest, AbortedTransactionNotReplayed) {
   EXPECT_EQ((*db)->Get(plates[0], "Thickness").value(), Value::Int(1));
 }
 
-TEST(DurableDatabaseTest, CheckpointRefusedWhileTransactionsActive) {
+TEST(DurableDatabaseTest, CheckpointSpanningActiveTransactionReplaysIt) {
   std::string dir = TestDir("db_ckpt_active_txn");
+  std::string before;
+  {
+    auto db = Database::Open(dir);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->ExecuteDdl(kPlateSchema).ok());
+    Surrogate plate = (*db)->CreateObject("Plate").value();
+    TxnId txn = (*db)->transactions().Begin("alice").value();
+    ASSERT_TRUE(
+        (*db)->transactions().Write(txn, plate, "Thickness", Value::Int(99))
+            .ok());
+    // Incremental checkpoints no longer refuse active transactions: the
+    // uncommitted write is masked out of the captured images and the
+    // checkpoint records the transaction's begin lsn as its replay floor.
+    EXPECT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->transactions().Commit(txn).ok());
+    before = CanonicalDump(**db);
+    // Crash (no clean Close): the commit record sits after the checkpoint,
+    // but the Write it covers sits before it.
+  }
   auto db = Database::Open(dir);
   ASSERT_TRUE(db.ok()) << db.status().ToString();
-  ASSERT_TRUE((*db)->ExecuteDdl(kPlateSchema).ok());
-  TxnId txn = (*db)->transactions().Begin("alice").value();
-  EXPECT_EQ((*db)->Checkpoint().code(), Code::kFailedPrecondition);
-  ASSERT_TRUE((*db)->transactions().Commit(txn).ok());
-  EXPECT_TRUE((*db)->Checkpoint().ok());
+  EXPECT_EQ(CanonicalDump(**db), before);
 }
 
 TEST(DurableDatabaseTest, NonDurableDatabaseRejectsCheckpoint) {
@@ -588,6 +604,104 @@ TEST(ShellWalTest, WalStatusFailsOnNonDurableDatabase) {
   ASSERT_TRUE(sh.ExecuteLine("wal status", out));
   EXPECT_EQ(sh.error_count(), 1u);
   EXPECT_NE(out.str().find("not durable"), std::string::npos) << out.str();
+}
+
+// ---- AtomicWriteFile / temp-file hygiene (bugfix satellites) ----
+
+/// WritableFile whose Append always fails — the disk filling up right after
+/// AtomicWriteFile created its temp file.
+class FailingAppendFile : public WritableFile {
+ public:
+  explicit FailingAppendFile(std::unique_ptr<WritableFile> base)
+      : base_(std::move(base)) {}
+  Status Append(const std::string&) override {
+    return Unavailable("injected append failure");
+  }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+};
+
+std::vector<std::string> TmpFilesIn(const std::string& dir) {
+  std::vector<std::string> tmps;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") {
+      tmps.push_back(entry.path().filename().string());
+    }
+  }
+  return tmps;
+}
+
+TEST(AtomicWriteFileTest, FailedWriteUnlinksItsTempFile) {
+  std::string dir = TestDir("atomic_unlink");
+  std::string target = (fs::path(dir) / "checkpoint.db").string();
+  FileFactory failing =
+      [](const std::string& path) -> Result<std::unique_ptr<WritableFile>> {
+    CADDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                           OpenWritableFile(path));
+    return std::unique_ptr<WritableFile>(
+        new FailingAppendFile(std::move(base)));
+  };
+  Status written = AtomicWriteFile(target, "payload", failing);
+  EXPECT_FALSE(written.ok());
+  // The temp file was created (the factory opened it) but must not linger.
+  EXPECT_TRUE(TmpFilesIn(dir).empty());
+  EXPECT_FALSE(fs::exists(target));
+}
+
+TEST(AtomicWriteFileTest, RemoveStaleTempFilesCollectsOnlyTmpDebris) {
+  std::string dir = TestDir("atomic_gc");
+  // Debris of an AtomicWriteFile cut down between create and rename.
+  std::ofstream((fs::path(dir) / "checkpoint.db.172.tmp").string())
+      << "half a checkpoint";
+  std::ofstream((fs::path(dir) / "orphan.tmp").string()) << "x";
+  std::ofstream((fs::path(dir) / "wal-01.log").string()) << "keep me";
+  Result<size_t> removed = RemoveStaleTempFiles(dir);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, 2u);
+  EXPECT_TRUE(TmpFilesIn(dir).empty());
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "wal-01.log"));
+  // A directory that does not exist yet (first Open of a fresh database
+  // path) holds no debris and must not fail the sweep.
+  Result<size_t> fresh = RemoveStaleTempFiles(dir + "/never-created");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(*fresh, 0u);
+}
+
+TEST(AtomicWriteFileTest, DatabaseOpenCollectsStaleTempFiles) {
+  std::string dir = TestDir("atomic_open_gc");
+  {
+    auto db = Database::Open(dir);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->ExecuteDdl(kPlateSchema).ok());
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  std::ofstream((fs::path(dir) / "checkpoint.db.99.tmp").string()) << "torn";
+  auto db = Database::Open(dir);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(TmpFilesIn(dir).empty());
+  // Read-only opens promise not to touch the directory — debris survives.
+  std::ofstream((fs::path(dir) / "another.tmp").string()) << "torn";
+  ASSERT_TRUE((*db)->Close().ok());
+  db->reset();
+  auto ro = Database::OpenReadOnly(dir);
+  ASSERT_TRUE(ro.ok()) << ro.status().ToString();
+  EXPECT_EQ(TmpFilesIn(dir).size(), 1u);
+}
+
+TEST(ReadFileToStringTest, MissingAndBrokenFilesAreDistinct) {
+  std::string dir = TestDir("read_errno");
+  Result<std::string> missing =
+      ReadFileToString((fs::path(dir) / "nope").string());
+  EXPECT_EQ(missing.status().code(), Code::kNotFound);
+  // A directory where a file should be is *not* "missing": the replication
+  // follower must not mistake a broken primary for an empty one.
+  Result<std::string> broken = ReadFileToString(dir);
+  EXPECT_FALSE(broken.ok());
+  EXPECT_NE(broken.status().code(), Code::kNotFound)
+      << broken.status().ToString();
 }
 
 }  // namespace
