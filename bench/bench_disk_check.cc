@@ -1,0 +1,110 @@
+// Offline disk-verifier benchmarks: full-directory verification cost as a
+// function of database size (pages + WAL + checkpoint all walked and
+// CRC-checked), and the page-file pass alone at growing page counts — the
+// numbers that say how expensive a pre-open `caddb_shell --check` is in an
+// operator's restart path.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "analysis/disk_verifier.h"
+#include "bench_common.h"
+#include "wal/recovery.h"
+
+namespace caddb {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSchema[] =
+    "obj-type Gate =\n"
+    "  attributes:\n"
+    "    Name: string;\n"
+    "    Blob: string;\n"
+    "end Gate;\n";
+
+/// Fresh directory under the build tree (never /tmp).
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::current_path() / "bench_disk_check_tmp" / name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Builds and closes a durable database with `gates` objects, each
+/// carrying a `blob_bytes` payload (overflow chains once the payload
+/// outgrows a page), checkpointing halfway and at close so the directory
+/// holds a v3 checkpoint, a live WAL tail and a populated page file.
+std::string BuildDir(const std::string& name, int gates, size_t blob_bytes) {
+  const std::string dir = FreshDir(name);
+  wal::DurabilityOptions options;
+  options.buffer_pool_pages = 64;
+  auto db = Unwrap(Database::Open(dir, options));
+  Abort(db->ExecuteDdl(kSchema));
+  for (int i = 0; i < gates; ++i) {
+    Surrogate gate = Unwrap(db->CreateObject("Gate"));
+    Abort(db->Set(gate, "Name", Value::String("g" + std::to_string(i))));
+    Abort(db->Set(
+        gate, "Blob",
+        Value::String(std::string(blob_bytes, static_cast<char>('a' + i % 26)))));
+    if (i == gates / 2) Abort(db->Checkpoint());
+  }
+  Abort(db->Checkpoint());
+  Abort(db->Close());
+  return dir;
+}
+
+/// Full cross-artifact verification of a closed database; arg 0 is the
+/// object count. bytes/s is the on-disk footprint walked per second.
+void BM_DiskCheckFull(benchmark::State& state) {
+  const int gates = static_cast<int>(state.range(0));
+  const std::string dir =
+      BuildDir("full_" + std::to_string(gates), gates, 256);
+  uint64_t footprint = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) footprint += entry.file_size();
+  }
+  uint64_t pages = 0;
+  for (auto _ : state) {
+    auto report =
+        Unwrap(analysis::VerifyDiskArtifacts(dir, analysis::DiskVerifyOptions{}));
+    if (!report.Clean()) {
+      state.SkipWithError("verifier found errors in a pristine database");
+      return;
+    }
+    pages = report.pages_scanned;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(footprint) *
+                          state.iterations());
+  state.counters["pages"] = static_cast<double>(pages);
+}
+BENCHMARK(BM_DiskCheckFull)->Arg(64)->Arg(512)->Arg(2048)->UseRealTime();
+
+/// Verification dominated by the page file: large overflow payloads make
+/// pages.db the bulk of the walk, isolating the per-page CRC + parse cost.
+void BM_DiskCheckPageHeavy(benchmark::State& state) {
+  const int gates = static_cast<int>(state.range(0));
+  const std::string dir = BuildDir(
+      "pages_" + std::to_string(gates), gates, 16 * 1024);
+  uint64_t pages = 0;
+  for (auto _ : state) {
+    auto report =
+        Unwrap(analysis::VerifyDiskArtifacts(dir, analysis::DiskVerifyOptions{}));
+    if (!report.Clean()) {
+      state.SkipWithError("verifier found errors in a pristine database");
+      return;
+    }
+    pages = report.pages_scanned;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(pages) * state.iterations());
+  state.counters["pages"] = static_cast<double>(pages);
+}
+BENCHMARK(BM_DiskCheckPageHeavy)->Arg(32)->Arg(256)->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace caddb

@@ -11,11 +11,15 @@
 #   6. Observability smoke: metrics/trace/exposition tests under
 #      ASan+UBSan — a live workload fills the instruments and the
 #      Prometheus text must validate
-#   7. TSan build + the concurrency tests (lock manager, transactions,
+#   7. Disk-verifier smoke: the CAD3xx corruption-injection matrix under
+#      ASan+UBSan, then `caddb_shell --check` over a database directory
+#      the stage itself produces — any CAD3xx error fails the run
+#   8. TSan build + the concurrency tests (lock manager, transactions,
 #      batched-fsync committers, the concurrent metrics/trace registry,
 #      the shared buffer pool)
-#   8. Bench build: every benchmark target must compile (incl. bench_obs)
-#   9. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
+#   9. Bench build: every benchmark target must compile (incl.
+#      bench_disk_check)
+#  10. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
 #
 # Each configuration gets its own build directory under build-ci/ so the
 # sanitizer runtimes never mix. Usage: ci/check.sh [jobs]
@@ -75,6 +79,26 @@ UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-ci/asan-ubsan --output-on-failure \
         -R '^(obs_test|obs_smoke_test|stats_replica_test)$'
 
+step "disk-verifier smoke: CAD3xx corruption matrix + offline --check under asan+ubsan"
+# disk_verifier_test injects every CAD3xx corruption class (bit flips, slot
+# overlaps, broken overflow chains, torn WAL tails, checkpoint/manifest
+# mismatches) and round-trips the guarded --fix repairs; it also re-verifies
+# every crash-matrix directory with zero errors (no false positives).
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure \
+        -R '^disk_verifier_test$'
+# End-to-end: build a database with the shell, close it, then run the
+# offline verifier binary the way an operator would. Exit 0 means clean
+# (warnings allowed); 1 = CAD3xx errors; 2 = could not run.
+FSCK_DIR="build-ci/fsck-smoke"
+rm -rf "$FSCK_DIR"
+mkdir -p "$FSCK_DIR"
+printf 'checkpoint\n' | \
+  build-ci/asan-ubsan/examples/caddb_shell "$FSCK_DIR/db" >/dev/null
+build-ci/asan-ubsan/examples/caddb_shell --check "$FSCK_DIR/db"
+build-ci/asan-ubsan/examples/caddb_shell --check "$FSCK_DIR/db" --format=json \
+  >/dev/null
+
 step "tsan: lock manager + transaction + batched-fsync + obs registry tests"
 cmake -B build-ci/tsan -S . -DCADDB_WERROR=ON -DCADDB_TSAN=ON \
       "${GENERATOR_FLAGS[@]}"
@@ -88,7 +112,7 @@ cmake --build build-ci/werror -j "$JOBS" --target \
       bench_inheritance bench_inherit_cache bench_complex_objects \
       bench_composition bench_hierarchy bench_constraints bench_versions \
       bench_locking bench_ddl bench_store bench_persist bench_analysis \
-      bench_wal bench_obs
+      bench_wal bench_obs bench_disk_check
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy (advisory)"

@@ -9,13 +9,25 @@
 //                                                ships into (`ship <dir>` on
 //                                                the primary side); read-only
 //                                                until `replica promote`
+//   ./build/examples/caddb_shell --check <dir> [--fix] [--format=json]
+//                                                offline disk verification:
+//                                                audits every on-disk
+//                                                artifact (CAD3xx) WITHOUT
+//                                                opening the database —
+//                                                works on a database too
+//                                                damaged to open. --fix
+//                                                applies the guarded repair
+//                                                plan and re-verifies.
+//                                                Exit 0: clean (warnings
+//                                                allowed), 1: errors found,
+//                                                2: cannot run at all.
 //   ./build/examples/caddb_shell < script.cdb    scripted session
 //
 // Try:
 //   caddb> schema <<<
 //     ...   obj-type Box = attributes: W, H: integer;
 //     ...     constraints: W > 0 and H > 0; end Box;
-//     ...   >>>
+//     ...     >>>
 //   caddb> create Box
 //   @1
 //   caddb> set @1 W i:3
@@ -28,11 +40,60 @@
 #include <memory>
 #include <string>
 
+#include "analysis/disk_verifier.h"
 #include "core/database.h"
 #include "replication/follower.h"
 #include "shell/shell.h"
 
+namespace {
+
+int RunOfflineCheck(int argc, char** argv) {
+  std::string dir;
+  caddb::analysis::DiskVerifyOptions options;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--fix") {
+      options.fix = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (dir.empty() && !arg.empty() && arg[0] != '-') {
+      dir = arg;
+    } else {
+      std::cerr << "unknown --check argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::cerr << "use: caddb_shell --check <dir> [--fix] [--format=json]\n";
+    return 2;
+  }
+  caddb::Result<caddb::analysis::DiskVerifyReport> report =
+      caddb::analysis::VerifyDiskArtifacts(dir, options);
+  if (!report.ok()) {
+    std::cerr << "check disk: " << report.status().ToString() << "\n";
+    return 2;
+  }
+  if (json) {
+    std::cout << report->RenderJson() << "\n";
+  } else {
+    std::cout << report->RenderText();
+  }
+  // After an applied fix the post-fix state is what the operator is left
+  // with; otherwise the findings themselves decide.
+  bool clean = report->fix_applied ? !report->post_fix.HasErrors()
+                                   : report->Clean();
+  return clean ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--check") {
+    return RunOfflineCheck(argc, argv);
+  }
   caddb::Database memory_db;
   std::unique_ptr<caddb::Database> durable_db;
   std::unique_ptr<caddb::replication::Follower> follower;
@@ -58,7 +119,9 @@ int main(int argc, char** argv) {
     auto opened = caddb::Database::Open(dir);
     if (!opened.ok()) {
       std::cerr << "cannot open database directory '" << dir
-                << "': " << opened.status().ToString() << "\n";
+                << "': " << opened.status().ToString() << "\n"
+                << "(diagnose without opening: caddb_shell --check " << dir
+                << ")\n";
       return 2;
     }
     durable_db = std::move(*opened);

@@ -20,42 +20,34 @@ const char* SeverityName(Severity severity);
 
 /// Stable diagnostic codes. Values are part of the tool's contract:
 /// scripts filter on them, tests pin them, and renumbering breaks both —
-/// append new codes, never reuse retired ones. CAD0xx are schema-level
-/// (catalog) findings, CAD1xx are store-level (fsck) findings.
+/// append new codes, never reuse retired ones.
 ///
-///   CAD001  inheritance cycle (inheritor-in / transmitter chain)
-///   CAD002  inher-rel-type names an unknown transmitter type
-///   CAD003  inher-rel-type names an unknown inheritor type
-///   CAD004  obj-type is inheritor-in an unknown inher-rel-type
-///   CAD005  inheritor type mismatch (rel requires a different inheritor)
-///   CAD006  inheriting clause names no attribute/subclass of transmitter
-///   CAD007  local declaration shadows an inherited item
-///   CAD008  constraint expression references an unknown name
-///   CAD009  subclass has an unknown element type
-///   CAD010  subrel has an unknown rel-type
-///   CAD011  participant role has an unknown object type
-///   CAD012  unresolved domain reference
-///   CAD013  inher-rel-type is never used as anyone's inheritor-in
-///   CAD014  inheritor-type restriction no type can ever satisfy
-///   CAD101  dangling surrogate reference
-///   CAD102  orphaned subobject (containment back-pointer broken)
-///   CAD103  locally stored value for an inherited (read-only) attribute
-///   CAD104  live object of an unregistered type
-///   CAD105  inheritance binding inconsistency
-///   CAD106  store index inconsistency (extent / class / where-used)
-///   CAD107  resolution-cache entry disagrees with a fresh resolution
+/// The single source of truth for the code families is CodeRegistry()
+/// below (diagnostics.cc): every code any analyzer emits must be registered
+/// there with a one-line description, the table in DESIGN.md §8/§13 is kept
+/// in sync with the registry by analysis_test, and nothing else documents
+/// the codes. Families:
 ///
-/// CAD2xx are replication findings, raised by replication::Follower when it
-/// refuses to apply shipped state (the replica quarantines itself rather
-/// than diverge silently):
-///
-///   CAD201  primary log generation moved backwards
-///   CAD202  checkpoint anchor moved backwards within one generation
-///   CAD203  replayed log prefix no longer matches what was applied
-///           (history rewritten under the follower's feet)
-///   CAD204  manifest structurally inconsistent (overlapping/backwards
-///           segments, tail before checkpoint, ...)
-///   CAD205  shipped state fails replay or fsck despite valid checksums
+///   CAD0xx  schema-level (catalog) findings
+///   CAD1xx  store-level (live fsck) findings
+///   CAD2xx  replication divergence (Follower quarantine verdicts)
+///   CAD3xx  offline disk verification (`check disk`, disk_verifier.h):
+///           pages.db / WAL / checkpoint / MANIFEST single-artifact audits
+///           plus the cross-artifact invariants between them
+
+/// One row of the code registry: the machine-stable code plus its
+/// human-readable one-liner (what the DESIGN.md table renders).
+struct DiagnosticCodeInfo {
+  const char* code;
+  const char* summary;
+};
+
+/// Every registered diagnostic code, ordered by code. Append-only.
+const std::vector<DiagnosticCodeInfo>& CodeRegistry();
+
+/// Registry lookup; nullptr for an unregistered code (a bug — the registry
+/// test fails on any emitted-but-unregistered code).
+const DiagnosticCodeInfo* FindCodeInfo(const std::string& code);
 
 /// One finding of the static analyzer.
 struct Diagnostic {

@@ -1,0 +1,103 @@
+#ifndef CADDB_ANALYSIS_DISK_VERIFIER_H_
+#define CADDB_ANALYSIS_DISK_VERIFIER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "util/result.h"
+
+namespace caddb {
+namespace analysis {
+
+/// Offline disk verifier: `caddb check disk` without opening the database
+/// for writes. Walks every on-disk artifact of a database (or replica)
+/// directory — pages.db, WAL segments, checkpoint files, MANIFEST,
+/// QUARANTINE, stale temp files — and cross-checks them against each other,
+/// reporting findings as stable CAD3xx diagnostics (see CodeRegistry()).
+///
+/// Severity policy: states that recovery provably heals on the next
+/// writable open (a torn WAL tail, a torn in-place page write covered by
+/// the newest checkpoint's double-write image, crashed-rotation artifacts,
+/// stale *.tmp debris) are warnings; states recovery cannot heal — or would
+/// silently lose committed data over — are errors. A directory produced by
+/// a crash at ANY write boundary therefore verifies with zero errors.
+///
+/// Logical audits (slot directories, records, overflow chains, the derived
+/// surrogate directory) run on the *healed* view: the newest usable
+/// checkpoint's page images overlaid on the raw file, exactly what a
+/// writable open would reconstruct.
+///
+/// Repairs (`--fix`) go through a plan -> guard -> apply -> re-verify
+/// pipeline and are restricted to four guarded classes:
+///
+///   fix-wal-tail    truncate a torn tail segment to its valid frame
+///                   prefix. Guard: the segment is the chain's effective
+///                   tail and no CRC-valid frame exists past the damage.
+///   fix-page-tail   truncate pages.db to a whole-page multiple. Guard:
+///                   a partial tail page can never parse; a writable open
+///                   performs the same trim.
+///   fix-orphan-page zero an orphaned overflow page (reclaiming it as a
+///                   freelist hole). Guard: the page parses as kOverflow
+///                   and is unreachable from every chain head on the
+///                   healed view — LoadAll refuses to open around it.
+///   fix-stale-tmp   remove "*.tmp" atomic-publish debris.
+///
+/// Anything ambiguous stays a diagnostic; without `fix` the plan is only
+/// printed (dry run). After applying, the verifier re-runs from scratch
+/// and reports the post-fix state.
+struct DiskVerifyOptions {
+  /// Apply the guarded repair plan (default: dry run — print it only).
+  bool fix = false;
+};
+
+/// One entry of the repair plan.
+struct RepairAction {
+  std::string kind;         // "fix-wal-tail", "fix-page-tail", ...
+  std::string code;         // the CAD3xx finding this repairs
+  std::string description;  // human-readable, names the file/page
+  bool applied = false;     // set when --fix actually performed it
+};
+
+struct DiskVerifyReport {
+  DiagnosticBag diagnostics;
+  std::vector<RepairAction> plan;
+  bool fix_applied = false;
+  /// Findings of the re-verification run after repairs were applied
+  /// (empty bag when nothing was applied).
+  DiagnosticBag post_fix;
+
+  // Coverage counters, so "clean" is distinguishable from "looked at
+  // nothing".
+  uint64_t pages_scanned = 0;
+  uint64_t segments_scanned = 0;
+  uint64_t checkpoints_scanned = 0;
+  bool manifest_present = false;
+
+  /// The surrogate -> (page id, slot) directory re-derived from raw pages
+  /// on the healed view (slot 0xFFFF = overflow chain head). A live
+  /// PagedHeap's DirectorySnapshot() must equal this immediately after a
+  /// checkpoint.
+  std::map<uint64_t, std::pair<uint32_t, uint16_t>> directory;
+
+  /// True when no finding is an error (warnings allowed — they are
+  /// heal-on-open states by the severity policy above).
+  bool Clean() const { return !diagnostics.HasErrors(); }
+
+  std::string RenderText() const;
+  std::string RenderJson() const;
+};
+
+/// Verifies every artifact under `dir`. Fails (the Result) only when the
+/// directory itself cannot be walked — every finding about its content is
+/// a diagnostic, not an error status.
+Result<DiskVerifyReport> VerifyDiskArtifacts(const std::string& dir,
+                                             const DiskVerifyOptions& options);
+
+}  // namespace analysis
+}  // namespace caddb
+
+#endif  // CADDB_ANALYSIS_DISK_VERIFIER_H_

@@ -163,6 +163,11 @@ class Database {
   };
   StorageStats storage_stats() const;
 
+  /// The paged heap (null until InitPagedStore — i.e. for in-memory
+  /// databases). Read-only inspection: the disk verifier's tests cross-check
+  /// its surrogate directory against the one re-derived from raw pages.
+  storage::PagedHeap* heap() { return heap_.get(); }
+
   /// Syncs and closes the log; mutations afterwards are no longer logged.
   Status Close();
 

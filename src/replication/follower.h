@@ -124,6 +124,7 @@ class Follower {
   const std::string& quarantine_code() const { return quarantine_code_; }
   const std::string& quarantine_reason() const { return quarantine_reason_; }
   ReplicaInfo replica_info() const;
+  const std::string& replica_dir() const { return replica_dir_; }
   const std::string& staged_dir() const { return staged_dir_; }
 
  private:

@@ -2,9 +2,11 @@
 
 #include <fstream>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
+#include "analysis/disk_verifier.h"
 #include "core/stats.h"
 #include "ddl/printer.h"
 #include "obs/exposition.h"
@@ -303,6 +305,60 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     s.ok() ? void(out << "ok\n") : fail(s);
     return true;
   }
+  if (cmd == "check" && tokens.size() > 1 && tokens[1] == "disk") {
+    // Offline disk verification against the database's own directory:
+    // `check disk [--format=json]`. Read-only — the checkpointer is paused
+    // and the log synced so the artifacts hold still while we walk them.
+    // `--fix` is refused here: repairs rewrite files a live database has
+    // open (use `caddb_shell --check <dir> --fix` on a closed one).
+    bool json = false;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      if (tokens[i] == "--format=json") {
+        json = true;
+      } else if (tokens[i] == "--format=text") {
+        json = false;
+      } else if (tokens[i] == "--fix") {
+        fail(FailedPrecondition(
+            "--fix rewrites files this process has open; close the "
+            "database and run `caddb_shell --check <dir> --fix`"));
+        return true;
+      } else {
+        fail(InvalidArgument("unknown check disk argument '" + tokens[i] +
+                             "' (expected --format=json)"));
+        return true;
+      }
+    }
+    std::string dir;
+    std::unique_lock<std::mutex> pause;
+    if (follower_ != nullptr) {
+      dir = follower_->replica_dir();
+    } else if (db_ != nullptr && db_->durable()) {
+      pause = db_->PauseCheckpoints();
+      Status synced = db_->wal()->Sync();
+      if (!synced.ok()) {
+        fail(synced);
+        return true;
+      }
+      dir = db_->wal()->dir();
+    } else {
+      fail(FailedPrecondition(
+          "check disk needs a durable database or follower mode"));
+      return true;
+    }
+    Result<analysis::DiskVerifyReport> report =
+        analysis::VerifyDiskArtifacts(dir, analysis::DiskVerifyOptions{});
+    if (!report.ok()) {
+      fail(report.status());
+      return true;
+    }
+    if (json) {
+      out << report->RenderJson() << "\n";
+    } else {
+      out << report->RenderText();
+    }
+    if (!report->Clean()) ++error_count_;
+    return true;
+  }
   if (cmd == "check" && (tokens.size() == 1 || tokens[1][0] != '@')) {
     // Static integrity analysis: `check [schema|store] [--format=json]`.
     // (`check @<id>` keeps its historic meaning: constraint check of one
@@ -386,6 +442,10 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       out << "@" << v.object.id << ": " << v.detail << "\n";
     }
     out << "(" << violations->size() << " violations)\n";
+    // Violations are findings, not command failures — but a script running
+    // `violations` as a gate needs the documented non-zero exit, exactly
+    // like `check` with errors or a failed `check-all`.
+    if (!violations->empty()) ++error_count_;
     return true;
   }
   if (cmd == "holds") {

@@ -39,6 +39,10 @@ namespace shell {
 ///   check [schema|store] [--repair] [--format=json]   static integrity
 ///       analysis; --repair rebuilds the store's secondary indexes from the
 ///       primary object map when the store pass finds errors, then re-checks
+///   check disk [--format=json]   offline disk verification (CAD3xx) of the
+///       database's own directory, read-only under a checkpoint pause; in
+///       follower mode it audits the replica directory. `--fix` is refused
+///       live — use `caddb_shell --check <dir> --fix` on a closed database
 ///   check @<id> | check-deep @<id> | check-all | violations
 ///   holds @<id> <expression...>
 ///   expand @<id> [depth]  |  expand-dot @<id> [depth]   (graphviz)
@@ -92,7 +96,12 @@ class Shell {
   /// `prompt` is set, writes "caddb> " before each line.
   void Run(std::istream& in, std::ostream& out, bool prompt = false);
 
-  /// Number of commands that reported an error so far (for scripts/tests).
+  /// Number of commands that reported an error so far. This is the shell's
+  /// exit-code contract: caddb_shell exits non-zero iff it is non-zero, and
+  /// every `check` variant feeds it — `check`/`check schema`/`check store`
+  /// on error-severity findings, `check disk` on any CAD3xx error,
+  /// `check @id`/`check-deep`/`check-all` on a violated constraint, and
+  /// `violations` on a non-empty violation list.
   size_t error_count() const { return error_count_; }
 
  private:

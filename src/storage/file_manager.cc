@@ -180,5 +180,17 @@ uint64_t FileManager::writes() const {
   return write_count_;
 }
 
+std::set<uint32_t> FileManager::free_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_;
+}
+
+Result<uint64_t> FileManager::FileSizeBytes() const {
+  if (fd_ < 0) return uint64_t{0};
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("cannot stat page file", path_);
+  return static_cast<uint64_t>(st.st_size);
+}
+
 }  // namespace storage
 }  // namespace caddb

@@ -76,6 +76,17 @@ class FileManager {
   /// Number of physical page writes so far — sizes the crash-test matrix.
   uint64_t writes() const;
 
+  /// Read-only inspection: the page file's path and a snapshot of the
+  /// in-memory freelist (pages returned by FreePage / holes found by the
+  /// startup scan). The disk verifier cross-checks its own derived freelist
+  /// against this on a live heap.
+  const std::string& path() const { return path_; }
+  std::set<uint32_t> free_pages() const;
+
+  /// Size of the file on disk in bytes (fstat), 0 for the absent read-only
+  /// file. A size that is not a kPageSize multiple is a torn tail page.
+  Result<uint64_t> FileSizeBytes() const;
+
  private:
   FileManager(int fd, std::string path, FileManagerOptions options,
               uint32_t file_pages)

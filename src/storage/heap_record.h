@@ -1,0 +1,106 @@
+#ifndef CADDB_STORAGE_HEAP_RECORD_H_
+#define CADDB_STORAGE_HEAP_RECORD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "storage/page.h"
+
+namespace caddb {
+namespace storage {
+namespace heap_record {
+
+/// Byte format of the records PagedHeap stores in page slots, shared by the
+/// heap itself and the offline disk verifier (which re-derives the
+/// surrogate -> page/slot directory from raw pages without a heap):
+///
+///   inline data record:  [u64 LE id][object payload]
+///   overflow record:     [u8 head?][u64 LE id][u32 LE next][payload chunk]
+///
+/// `next` is the page id of the chain's next overflow page, kNoChainPage at
+/// the end; `head` marks the chain's first page (exactly one per chain).
+
+/// End-of-chain marker for overflow `next` pointers (page 0 is a valid
+/// page, so 0 cannot terminate a chain).
+inline constexpr uint32_t kNoChainPage = 0xFFFFFFFF;
+
+inline constexpr size_t kDataHeaderBytes = 8;
+inline constexpr size_t kOverflowHeaderBytes = 13;
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+inline uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+inline std::string DataRecord(uint64_t id, const std::string& payload) {
+  std::string record;
+  record.reserve(kDataHeaderBytes + payload.size());
+  PutU64(&record, id);
+  record += payload;
+  return record;
+}
+
+inline std::string OverflowRecord(bool head, uint64_t id, uint32_t next,
+                                  const std::string& chunk) {
+  std::string record;
+  record.reserve(kOverflowHeaderBytes + chunk.size());
+  record.push_back(head ? 1 : 0);
+  PutU64(&record, id);
+  PutU32(&record, next);
+  record += chunk;
+  return record;
+}
+
+/// Parsed view of an overflow record (valid only while the record bytes
+/// live).
+struct OverflowView {
+  bool head = false;
+  uint64_t id = 0;
+  uint32_t next = kNoChainPage;
+  /// Offset of the payload chunk within the record.
+  static constexpr size_t chunk_offset() { return kOverflowHeaderBytes; }
+};
+
+/// Decodes the overflow header; false when the record is too short.
+inline bool ParseOverflow(const std::string& record, OverflowView* out) {
+  if (record.size() < kOverflowHeaderBytes) return false;
+  out->head = record[0] != 0;
+  out->id = GetU64(record.data() + 1);
+  out->next = GetU32(record.data() + 9);
+  return true;
+}
+
+/// Payload bytes one overflow page can carry.
+inline size_t OverflowChunkBytes() {
+  return Page::MaxRecordBytes() - kOverflowHeaderBytes;
+}
+
+}  // namespace heap_record
+}  // namespace storage
+}  // namespace caddb
+
+#endif  // CADDB_STORAGE_HEAP_RECORD_H_

@@ -53,6 +53,43 @@ bool Page::IsAllZero(const std::string& bytes) {
   return true;
 }
 
+Result<Page::RawHeader> Page::PeekHeader(const std::string& bytes) {
+  if (bytes.size() != kPageSize) {
+    return InternalError("page image of " + std::to_string(bytes.size()) +
+                         " bytes, want " + std::to_string(kPageSize));
+  }
+  RawHeader header;
+  header.crc_ok = wal::Crc32cUnmask(GetU32(bytes.data())) ==
+                  wal::Crc32c(bytes.data() + 4, kPageSize - 4);
+  header.stored_id = GetU32(bytes.data() + 4);
+  header.lsn = GetU64(bytes.data() + 8);
+  header.kind_raw = GetU16(bytes.data() + 16);
+  header.slot_count = GetU16(bytes.data() + 18);
+  return header;
+}
+
+Result<std::vector<std::pair<uint16_t, uint16_t>>> Page::RawSlotDirectory(
+    const std::string& bytes) {
+  if (bytes.size() != kPageSize) {
+    return InternalError("page image of " + std::to_string(bytes.size()) +
+                         " bytes, want " + std::to_string(kPageSize));
+  }
+  uint16_t slot_count = GetU16(bytes.data() + 18);
+  size_t dir_bytes = static_cast<size_t>(slot_count) * kSlotEntryBytes;
+  if (kPageHeaderBytes + dir_bytes > kPageSize) {
+    return InternalError("slot directory of " + std::to_string(slot_count) +
+                         " entries overruns the page");
+  }
+  std::vector<std::pair<uint16_t, uint16_t>> out;
+  out.reserve(slot_count);
+  const char* dir = bytes.data() + kPageSize - dir_bytes;
+  for (uint16_t i = 0; i < slot_count; ++i) {
+    out.emplace_back(GetU16(dir + static_cast<size_t>(i) * kSlotEntryBytes),
+                     GetU16(dir + static_cast<size_t>(i) * kSlotEntryBytes + 2));
+  }
+  return out;
+}
+
 Result<Page> Page::Parse(uint32_t page_id, const std::string& bytes) {
   if (bytes.size() != kPageSize) {
     return InternalError("page " + std::to_string(page_id) + ": " +

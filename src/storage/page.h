@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/result.h"
@@ -53,6 +54,29 @@ class Page {
   /// Parses `bytes` (exactly kPageSize) read from disk at `page_id`,
   /// validating the checksum and the stored page id.
   static Result<Page> Parse(uint32_t page_id, const std::string& bytes);
+
+  /// Raw header fields as stored, with nothing validated — the offline disk
+  /// verifier's view of a page whose checksum may not even match. crc_ok /
+  /// id is what Parse would check; callers decide what a mismatch means
+  /// (torn in-place write healed by a checkpoint image vs. real corruption).
+  struct RawHeader {
+    bool crc_ok = false;
+    uint32_t stored_id = 0;
+    uint64_t lsn = 0;
+    uint16_t kind_raw = 0;
+    uint16_t slot_count = 0;
+  };
+
+  /// Decodes the header of `bytes` (exactly kPageSize, else an error) and
+  /// verifies the checksum into RawHeader::crc_ok without failing on it.
+  static Result<RawHeader> PeekHeader(const std::string& bytes);
+
+  /// Raw (offset, length) slot-directory entries of `bytes`, dead slots
+  /// included as (kDeadSlotOffset, 0), with no bounds validation — the disk
+  /// verifier audits overlap and bounds itself, byte-exactly. Fails only
+  /// when the directory overruns the page.
+  static Result<std::vector<std::pair<uint16_t, uint16_t>>> RawSlotDirectory(
+      const std::string& bytes);
 
   /// True when every byte is zero — a never-written hole in a sparse file,
   /// treated as a free page by the startup scan.

@@ -2,70 +2,25 @@
 
 #include <algorithm>
 
+#include "storage/heap_record.h"
+
 namespace caddb {
 namespace storage {
 
+// The record byte format lives in heap_record.h, shared with the offline
+// disk verifier (analysis/disk_verifier.cc) which re-derives this heap's
+// directory from raw pages.
+using heap_record::DataRecord;
+using heap_record::GetU32;
+using heap_record::GetU64;
+using heap_record::kDataHeaderBytes;
+using heap_record::kOverflowHeaderBytes;
+using heap_record::OverflowChunkBytes;
+using heap_record::OverflowRecord;
+
 namespace {
 
-/// End-of-chain marker for overflow `next` pointers (page 0 is a valid page).
-constexpr uint32_t kNoPage = 0xFFFFFFFF;
-
-/// Inline data record: [u64 id][payload].
-constexpr size_t kDataHeaderBytes = 8;
-/// Overflow record: [u8 head?][u64 id][u32 next][chunk], one per page.
-constexpr size_t kOverflowHeaderBytes = 13;
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-uint32_t GetU32(const char* p) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
-  }
-  return v;
-}
-
-uint64_t GetU64(const char* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
-  }
-  return v;
-}
-
-std::string DataRecord(uint64_t id, const std::string& payload) {
-  std::string record;
-  record.reserve(kDataHeaderBytes + payload.size());
-  PutU64(&record, id);
-  record += payload;
-  return record;
-}
-
-std::string OverflowRecord(bool head, uint64_t id, uint32_t next,
-                           const std::string& chunk) {
-  std::string record;
-  record.reserve(kOverflowHeaderBytes + chunk.size());
-  record.push_back(head ? 1 : 0);
-  PutU64(&record, id);
-  PutU32(&record, next);
-  record += chunk;
-  return record;
-}
-
-/// Payload bytes one overflow page can carry.
-size_t OverflowChunkBytes() {
-  return Page::MaxRecordBytes() - kOverflowHeaderBytes;
-}
+constexpr uint32_t kNoPage = heap_record::kNoChainPage;
 
 }  // namespace
 
@@ -420,6 +375,16 @@ PagedHeap::Stats PagedHeap::stats() const {
   out.objects = dir_.size();
   out.data_pages = page_free_.size();
   out.overflow_pages = overflow_pages_.size();
+  return out;
+}
+
+std::map<uint64_t, std::pair<uint32_t, uint16_t>> PagedHeap::DirectorySnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<uint64_t, std::pair<uint32_t, uint16_t>> out;
+  for (const auto& [id, loc] : dir_) {
+    out.emplace(id, std::make_pair(loc.page_id, loc.slot));
+  }
   return out;
 }
 

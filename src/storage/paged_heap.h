@@ -67,6 +67,12 @@ class PagedHeap {
   };
   Stats stats() const;
 
+  /// Read-only inspection for the disk verifier: surrogate -> (page id,
+  /// slot) over the whole directory. Slot kOverflowSlotPublic means the
+  /// page heads an overflow chain.
+  static constexpr uint16_t kOverflowSlotPublic = 0xFFFF;
+  std::map<uint64_t, std::pair<uint32_t, uint16_t>> DirectorySnapshot() const;
+
  private:
   /// Where an object's record lives. slot == kOverflowSlot means `page_id`
   /// heads an overflow chain.

@@ -161,7 +161,8 @@ Status ParseV3Body(const std::string& path, const std::string& body,
   return OkStatus();
 }
 
-/// Parses + CRC-checks one checkpoint file.
+}  // namespace
+
 Result<LoadedCheckpoint> ReadCheckpointFile(const CheckpointFileInfo& info) {
   CADDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(info.path));
   size_t eol = contents.find('\n');
@@ -216,8 +217,6 @@ Result<LoadedCheckpoint> ReadCheckpointFile(const CheckpointFileInfo& info) {
   }
   return out;
 }
-
-}  // namespace
 
 Result<LoadedCheckpoint> ReadNewestCheckpoint(const std::string& dir) {
   std::vector<CheckpointFileInfo> all = ListCheckpoints(dir);

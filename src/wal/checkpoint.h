@@ -111,6 +111,12 @@ struct LoadedCheckpoint {
   std::string path;
 };
 
+/// Parses and CRC-checks one checkpoint file. Every failure is a parse
+/// error naming the file and the defect — the offline disk verifier audits
+/// each retained checkpoint individually through this, while normal
+/// recovery only cares about the newest usable one.
+Result<LoadedCheckpoint> ReadCheckpointFile(const CheckpointFileInfo& info);
+
 /// Loads the newest checkpoint whose header parses and whose body matches
 /// its CRC, skipping (but not deleting) invalid ones. A directory with no
 /// usable checkpoint yields {lsn = 0, dump = ""} — not an error.

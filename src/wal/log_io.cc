@@ -189,6 +189,19 @@ SegmentContents DecodeFrames(const std::string& data) {
   return out;
 }
 
+bool HasValidFrameAfter(const std::string& data, size_t offset) {
+  for (size_t pos = offset; pos + kFrameHeaderBytes <= data.size(); ++pos) {
+    uint32_t len = GetU32(data.data() + pos);
+    if (len > kMaxFramePayload) continue;
+    if (data.size() - pos - kFrameHeaderBytes < len) continue;
+    uint32_t stored_crc = Crc32cUnmask(GetU32(data.data() + pos + 4));
+    uint32_t crc = Crc32c(data.data() + pos + 8, 8);
+    crc = Crc32cExtend(crc, data.data() + pos + kFrameHeaderBytes, len);
+    if (crc == stored_crc) return true;
+  }
+  return false;
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {

@@ -99,6 +99,13 @@ struct SegmentContents {
 /// stopping at the first torn or corrupt frame.
 SegmentContents DecodeFrames(const std::string& data);
 
+/// Scans every byte offset >= `offset` for a complete, CRC-valid frame.
+/// Guard behind the disk verifier's torn-tail truncation repair: a tail is
+/// provably crash debris only when nothing decodable survives past the
+/// damage — a valid frame there means mid-file corruption stranded real
+/// records, which truncation would destroy.
+bool HasValidFrameAfter(const std::string& data, size_t offset);
+
 /// Reads a whole file into memory. kNotFound only when it truly does not
 /// exist (ENOENT); every other open failure — permissions, a directory in
 /// the file's place, I/O errors — is kInternal, so callers (notably the

@@ -505,6 +505,47 @@ TEST(DatabaseAnalysisTest, EagerDdlValidationFailsOnBrokenSchema) {
                   .ok());
 }
 
+TEST(CodeRegistryTest, RegistryIsSortedUniqueAndDescribed) {
+  const std::vector<DiagnosticCodeInfo>& registry = CodeRegistry();
+  ASSERT_FALSE(registry.empty());
+  for (size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_NE(registry[i].code, nullptr);
+    EXPECT_NE(registry[i].summary, nullptr);
+    EXPECT_GT(std::string(registry[i].summary).size(), 0u)
+        << registry[i].code << " has no summary";
+    if (i > 0) {
+      EXPECT_LT(std::string(registry[i - 1].code),
+                std::string(registry[i].code))
+          << "registry must stay sorted and duplicate-free";
+    }
+  }
+}
+
+TEST(CodeRegistryTest, EveryEmittedCodeFamilyIsRegistered) {
+  // The codes the analyzers and the disk verifier emit today. A new code
+  // added to any emitter must land in CodeRegistry() — add it there AND
+  // here. FindCodeInfo must also miss on junk.
+  const char* emitted[] = {
+      // schema analysis
+      "CAD001", "CAD002", "CAD003", "CAD004", "CAD005", "CAD006", "CAD007",
+      "CAD008", "CAD009", "CAD010", "CAD011", "CAD012", "CAD013", "CAD014",
+      // store fsck
+      "CAD101", "CAD102", "CAD103", "CAD104", "CAD105", "CAD106", "CAD107",
+      // replication divergence
+      "CAD201", "CAD202", "CAD203", "CAD204", "CAD205",
+      // offline disk verification
+      "CAD301", "CAD302", "CAD303", "CAD304", "CAD305", "CAD306", "CAD307",
+      "CAD308", "CAD309", "CAD310", "CAD311", "CAD312", "CAD313", "CAD314",
+      "CAD315", "CAD316", "CAD317", "CAD318", "CAD319", "CAD320", "CAD321",
+      "CAD322", "CAD323",
+  };
+  for (const char* code : emitted) {
+    EXPECT_NE(FindCodeInfo(code), nullptr) << code << " is not registered";
+  }
+  EXPECT_EQ(FindCodeInfo("CAD999"), nullptr);
+  EXPECT_EQ(FindCodeInfo(""), nullptr);
+}
+
 TEST(DatabaseAnalysisTest, CheckMergesSchemaAndStoreFindings) {
   Database db;
   ASSERT_TRUE(db.ExecuteDdl(schemas::kGatesBase).ok());

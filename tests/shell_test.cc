@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
+#include <system_error>
 
 #include "obs/exposition.h"
 
@@ -149,10 +151,23 @@ TEST(ShellTest, ViolationsSweepAndHolds) {
                                   "holds @1 W * H = 12\n"
                                   "violations\n",
                               &errors);
-  EXPECT_EQ(errors, 0u) << out;
+  // @2 has unset W/H: exactly one violating object, and a non-empty
+  // violation list counts toward the shell's exit code.
+  EXPECT_EQ(errors, 1u) << out;
   EXPECT_NE(out.find("true\n"), std::string::npos);
-  // @2 has unset W/H: exactly one violating object.
   EXPECT_NE(out.find("(1 violations)"), std::string::npos);
+}
+
+TEST(ShellTest, ViolationsWithCleanPopulationExitsClean) {
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) +
+                                  "create Box\n"
+                                  "set @1 W i:3\n"
+                                  "set @1 H i:4\n"
+                                  "violations\n",
+                              &errors);
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("(0 violations)"), std::string::npos) << out;
 }
 
 TEST(ShellTest, SelectProjectsTables) {
@@ -249,6 +264,59 @@ TEST(ShellTest, CheckCommandRejectsUnknownArgument) {
   std::string out = RunScript(std::string(kBoxSchema) + "check bogus-mode\n",
                               &errors);
   EXPECT_EQ(errors, 1u) << out;
+}
+
+// ---- check disk (offline verification from a live shell) ----
+
+TEST(ShellTest, CheckDiskOnDurableDatabaseIsCleanInBothFormats) {
+  std::string dir = ::testing::TempDir() + "/shell_check_disk";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir);
+  auto db = Database::Open(dir);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  size_t errors = 0;
+  std::string out = RunScript(std::string(kBoxSchema) +
+                                  "create Box\n"
+                                  "set @1 W i:3\n"
+                                  "set @1 H i:4\n"
+                                  "checkpoint\n"
+                                  "check disk\n"
+                                  "check disk --format=json\n",
+                              &errors, db->get());
+  EXPECT_EQ(errors, 0u) << out;
+  EXPECT_NE(out.find("scanned:"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"clean\":true"), std::string::npos) << out;
+  ASSERT_TRUE((*db)->Close().ok());
+}
+
+TEST(ShellTest, CheckDiskNeedsADurableDatabase) {
+  size_t errors = 0;
+  std::string out = RunScript("check disk\n", &errors);
+  EXPECT_EQ(errors, 1u) << out;
+  EXPECT_NE(out.find("durable"), std::string::npos) << out;
+}
+
+TEST(ShellTest, CheckDiskRefusesLiveFix) {
+  std::string dir = ::testing::TempDir() + "/shell_check_disk_fix";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir);
+  auto db = Database::Open(dir);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  size_t errors = 0;
+  std::string out = RunScript("check disk --fix\n", &errors, db->get());
+  EXPECT_EQ(errors, 1u) << out;
+  EXPECT_NE(out.find("--check"), std::string::npos) << out;
+  ASSERT_TRUE((*db)->Close().ok());
+}
+
+TEST(ShellTest, CheckDiskRejectsUnknownArgument) {
+  size_t errors = 0;
+  std::string out = RunScript("check disk --bogus\n", &errors);
+  EXPECT_EQ(errors, 1u) << out;
+  EXPECT_NE(out.find("unknown check disk argument"), std::string::npos)
+      << out;
 }
 
 // ---- Observability commands ----
