@@ -14,12 +14,17 @@
 #   7. Disk-verifier smoke: the CAD3xx corruption-injection matrix under
 #      ASan+UBSan, then `caddb_shell --check` over a database directory
 #      the stage itself produces — any CAD3xx error fails the run
-#   8. TSan build + the concurrency tests (lock manager, transactions,
+#   8. Net smoke: frame-decoder fuzz matrix + server/daemon tests under
+#      ASan+UBSan, then a live fleet — primary caddb_server with
+#      auto-ship, a scripted wire session, a Prometheus scrape, and a
+#      follower caddb_server auto-polling to caught-up — with clean
+#      SIGTERM shutdowns
+#   9. TSan build + the concurrency tests (lock manager, transactions,
 #      batched-fsync committers, the concurrent metrics/trace registry,
-#      the shared buffer pool)
-#   9. Bench build: every benchmark target must compile (incl.
-#      bench_disk_check)
-#  10. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
+#      the shared buffer pool, the network server and replication daemons)
+#  10. Bench build: every benchmark target must compile (incl.
+#      bench_disk_check, bench_net)
+#  11. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
 #
 # Each configuration gets its own build directory under build-ci/ so the
 # sanitizer runtimes never mix. Usage: ci/check.sh [jobs]
@@ -99,20 +104,90 @@ build-ci/asan-ubsan/examples/caddb_shell --check "$FSCK_DIR/db"
 build-ci/asan-ubsan/examples/caddb_shell --check "$FSCK_DIR/db" --format=json \
   >/dev/null
 
-step "tsan: lock manager + transaction + batched-fsync + obs registry tests"
+step "net smoke: server + wire session + scrape + auto-poll follower under asan+ubsan"
+# net_protocol_test runs the frame fuzz matrix (every bit flip, random
+# garbage) under the sanitizers; then a real fleet end to end: a primary
+# caddb_server with auto-ship, a scripted --connect session exercising
+# writes, a Prometheus scrape, and a follower caddb_server that auto-polls
+# to caught-up and serves the shipped data read-only over the wire. Both
+# servers must exit 0 on SIGTERM.
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure \
+        -R '^(net_protocol_test|net_server_test|net_daemon_test)$'
+NET_DIR="build-ci/net-smoke"
+rm -rf "$NET_DIR"
+mkdir -p "$NET_DIR"
+( exec build-ci/asan-ubsan/examples/caddb_server "$NET_DIR/primary" \
+       --port 0 --port-file "$NET_DIR/primary.port" \
+       --ship "$NET_DIR/replica" --ship-interval-ms 50 ) &
+PRIMARY_PID=$!
+( exec build-ci/asan-ubsan/examples/caddb_server --follow "$NET_DIR/replica" \
+       --port 0 --port-file "$NET_DIR/follower.port" \
+       --poll-interval-ms 50 ) &
+FOLLOWER_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$NET_DIR/primary.port" ] && [ -s "$NET_DIR/follower.port" ] && break
+  sleep 0.1
+done
+PRIMARY_PORT=$(cat "$NET_DIR/primary.port")
+FOLLOWER_PORT=$(cat "$NET_DIR/follower.port")
+# A writable session against the primary: schema, data, status — every
+# line must succeed (the proxy exits non-zero on a command error).
+printf '%s\n' \
+    'schema <<<' \
+    'obj-type Box = attributes: W, H: integer; end Box;' \
+    '>>>' \
+    'create Box' \
+    'set @1 W i:7' \
+    'get @1 W' \
+    'server status' \
+    'checkpoint' | \
+  build-ci/asan-ubsan/examples/caddb_shell --connect "127.0.0.1:$PRIMARY_PORT"
+# The scrape path serves validating Prometheus text with the net family.
+# (grep -q exits at the first match and closes the pipe; absorb the
+# scraper's resulting EPIPE exit so pipefail judges the grep, not it.)
+{ build-ci/asan-ubsan/examples/caddb_shell \
+    --scrape "127.0.0.1:$PRIMARY_PORT" || true; } | \
+  grep -q '^caddb_net_connections ' || {
+    echo "scrape missing caddb_net_connections"; exit 1; }
+# The follower's daemons catch it up with no manual ship/poll; its service
+# is read-only and serves the shipped value.
+FOLLOWER_OK=0
+for _ in $(seq 1 100); do
+  if printf 'get @1 W\n' | build-ci/asan-ubsan/examples/caddb_shell \
+       --connect "127.0.0.1:$FOLLOWER_PORT" 2>/dev/null | grep -q '^7$'; then
+    FOLLOWER_OK=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$FOLLOWER_OK" = 1 ] || { echo "follower never caught up"; exit 1; }
+# The proxy reports command errors on stderr and exits non-zero — both
+# expected here, so absorb the exit status before pipefail sees it and
+# assert on the error text instead.
+{ printf 'create Box\n' | build-ci/asan-ubsan/examples/caddb_shell \
+    --connect "127.0.0.1:$FOLLOWER_PORT" 2>&1 || true; } | \
+  grep -q 'read-only session' || {
+    echo "follower session was not read-only"; exit 1; }
+kill -TERM "$FOLLOWER_PID" "$PRIMARY_PID"
+wait "$FOLLOWER_PID"
+wait "$PRIMARY_PID"
+
+step "tsan: lock manager + transaction + batched-fsync + obs registry + net tests"
 cmake -B build-ci/tsan -S . -DCADDB_WERROR=ON -DCADDB_TSAN=ON \
       "${GENERATOR_FLAGS[@]}"
 cmake --build build-ci/tsan -j "$JOBS" --target lock_manager_test txn_test \
-      wal_batch_sync_test obs_test buffer_pool_concurrency_test
+      wal_batch_sync_test obs_test buffer_pool_concurrency_test \
+      net_server_test net_daemon_test
 ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
-      -R '^(lock_manager_test|txn_test|wal_batch_sync_test|obs_test|buffer_pool_concurrency_test)$'
+      -R '^(lock_manager_test|txn_test|wal_batch_sync_test|obs_test|buffer_pool_concurrency_test|net_server_test|net_daemon_test)$'
 
 step "bench build: all benchmark targets compile"
 cmake --build build-ci/werror -j "$JOBS" --target \
       bench_inheritance bench_inherit_cache bench_complex_objects \
       bench_composition bench_hierarchy bench_constraints bench_versions \
       bench_locking bench_ddl bench_store bench_persist bench_analysis \
-      bench_wal bench_obs bench_disk_check
+      bench_wal bench_obs bench_disk_check bench_net
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy (advisory)"

@@ -21,6 +21,17 @@
 //                                                Exit 0: clean (warnings
 //                                                allowed), 1: errors found,
 //                                                2: cannot run at all.
+//   ./build/examples/caddb_shell --connect host:port [--read-only]
+//                                                network session: proxy each
+//                                                command line to a running
+//                                                caddb_server over the framed
+//                                                protocol; same verbs, same
+//                                                exit-code contract
+//   ./build/examples/caddb_shell --scrape host:port [path]
+//                                                one-shot HTTP GET against a
+//                                                server's scrape endpoint
+//                                                (default path /metrics) —
+//                                                curl-free for CI
 //   ./build/examples/caddb_shell < script.cdb    scripted session
 //
 // Try:
@@ -42,10 +53,97 @@
 
 #include "analysis/disk_verifier.h"
 #include "core/database.h"
+#include "net/client.h"
 #include "replication/follower.h"
 #include "shell/shell.h"
 
 namespace {
+
+int RunConnect(int argc, char** argv) {
+  std::string host_port;
+  caddb::net::ClientOptions options;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--read-only") {
+      options.role = caddb::net::SessionRole::kReadOnly;
+    } else if (arg.rfind("--ns=", 0) == 0) {
+      options.ns = arg.substr(5);
+    } else if (host_port.empty() && !arg.empty() && arg[0] != '-') {
+      host_port = arg;
+    } else {
+      std::cerr << "unknown --connect argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (host_port.empty()) {
+    std::cerr << "use: caddb_shell --connect host:port [--read-only] "
+                 "[--ns=<label>]\n";
+    return 2;
+  }
+  auto split = caddb::net::SplitHostPort(host_port);
+  if (!split.ok()) {
+    std::cerr << split.status().ToString() << "\n";
+    return 2;
+  }
+  auto client =
+      caddb::net::Client::Connect(split->first, split->second, options);
+  if (!client.ok()) {
+    std::cerr << "connect: " << client.status().ToString() << "\n";
+    return 2;
+  }
+  const bool interactive = isatty(0) != 0;
+  if (interactive) {
+    std::cout << (*client)->banner() << " — "
+              << ((*client)->writable() ? "writable" : "read-only")
+              << " session; 'quit' exits.\n";
+  }
+  size_t errors = 0;
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "caddb> ";
+    if (!std::getline(std::cin, line)) break;
+    std::string output;
+    bool command_error = false;
+    caddb::Status s = (*client)->Execute(line, &output, &command_error);
+    if (!s.ok()) {
+      // A shed is a retryable refusal, not a dead connection; anything
+      // else ends the session.
+      std::cerr << "error: " << s.ToString() << "\n";
+      ++errors;
+      if (s.code() == caddb::Code::kUnavailable &&
+          s.ToString().find("request shed") != std::string::npos) {
+        continue;
+      }
+      return 2;
+    }
+    std::cout << output;
+    if (command_error) ++errors;
+    if (line == "quit" || line == "exit") break;
+  }
+  (*client)->Close();
+  return errors == 0 ? 0 : 1;
+}
+
+int RunScrape(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "use: caddb_shell --scrape host:port [path]\n";
+    return 2;
+  }
+  auto split = caddb::net::SplitHostPort(argv[2]);
+  if (!split.ok()) {
+    std::cerr << split.status().ToString() << "\n";
+    return 2;
+  }
+  const std::string path = argc > 3 ? argv[3] : "/metrics";
+  auto body =
+      caddb::net::Client::HttpGet(split->first, split->second, path);
+  if (!body.ok()) {
+    std::cerr << "scrape: " << body.status().ToString() << "\n";
+    return 2;
+  }
+  std::cout << *body;
+  return 0;
+}
 
 int RunOfflineCheck(int argc, char** argv) {
   std::string dir;
@@ -93,6 +191,12 @@ int RunOfflineCheck(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "--check") {
     return RunOfflineCheck(argc, argv);
+  }
+  if (argc > 1 && std::string(argv[1]) == "--connect") {
+    return RunConnect(argc, argv);
+  }
+  if (argc > 1 && std::string(argv[1]) == "--scrape") {
+    return RunScrape(argc, argv);
   }
   caddb::Database memory_db;
   std::unique_ptr<caddb::Database> durable_db;

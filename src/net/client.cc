@@ -1,0 +1,121 @@
+#include "net/client.h"
+
+namespace caddb {
+namespace net {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& address,
+                                                uint16_t port,
+                                                ClientOptions options) {
+  std::unique_ptr<Client> client(new Client());
+  CADDB_ASSIGN_OR_RETURN(client->sock_, ConnectTcp(address, port));
+  const std::string hello =
+      EncodeFrame(FrameType::kHello,
+                  EncodeHelloPayload(options.role, options.ns));
+  CADDB_RETURN_IF_ERROR(client->sock_.SendAll(hello.data(), hello.size()));
+  CADDB_ASSIGN_OR_RETURN(Frame reply, client->ReadFrame());
+  if (reply.type == FrameType::kShed) {
+    uint64_t id = 0;
+    std::string reason;
+    CADDB_RETURN_IF_ERROR(DecodeShedPayload(reply.payload, &id, &reason));
+    return Unavailable("connection refused: " + reason);
+  }
+  if (reply.type != FrameType::kHelloOk) {
+    return InvalidArgument("protocol error: expected hello-ok, got frame "
+                           "type " +
+                           std::to_string(static_cast<int>(reply.type)) +
+                           (reply.type == FrameType::kProtocolError
+                                ? " (" + reply.payload + ")"
+                                : ""));
+  }
+  SessionRole granted = SessionRole::kDefault;
+  CADDB_RETURN_IF_ERROR(
+      DecodeHelloOkPayload(reply.payload, &granted, &client->banner_));
+  client->writable_ = granted == SessionRole::kWritable;
+  return client;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (closed_ || !sock_.valid()) {
+    closed_ = true;
+    return;
+  }
+  closed_ = true;
+  const std::string goodbye = EncodeFrame(FrameType::kGoodbye, "");
+  (void)sock_.SendAll(goodbye.data(), goodbye.size());
+  sock_.Close();
+}
+
+Result<Frame> Client::ReadFrame() {
+  Frame frame;
+  char buf[16 * 1024];
+  while (true) {
+    if (decoder_.Next(&frame)) return frame;
+    CADDB_ASSIGN_OR_RETURN(size_t n, sock_.Recv(buf, sizeof(buf)));
+    if (n == 0) return Unavailable("connection closed by server");
+    CADDB_RETURN_IF_ERROR(decoder_.Feed(buf, n));
+  }
+}
+
+Status Client::Execute(const std::string& line, std::string* output,
+                       bool* command_error) {
+  if (closed_) return FailedPrecondition("client is closed");
+  const uint64_t id = next_id_++;
+  const std::string frame =
+      EncodeFrame(FrameType::kRequest, EncodeRequestPayload(id, line));
+  CADDB_RETURN_IF_ERROR(sock_.SendAll(frame.data(), frame.size()));
+  while (true) {
+    CADDB_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+    if (reply.type == FrameType::kResponse) {
+      uint64_t reply_id = 0;
+      CADDB_RETURN_IF_ERROR(
+          DecodeResponsePayload(reply.payload, &reply_id, command_error,
+                                output));
+      if (reply_id != id) continue;  // stale reply from a prior timeout
+      return OkStatus();
+    }
+    if (reply.type == FrameType::kShed) {
+      uint64_t reply_id = 0;
+      std::string reason;
+      CADDB_RETURN_IF_ERROR(
+          DecodeShedPayload(reply.payload, &reply_id, &reason));
+      return Unavailable("request shed: " + reason);
+    }
+    if (reply.type == FrameType::kProtocolError) {
+      closed_ = true;
+      return InvalidArgument(reply.payload);
+    }
+    return InvalidArgument("protocol error: unexpected frame type " +
+                           std::to_string(static_cast<int>(reply.type)));
+  }
+}
+
+Result<std::string> Client::HttpGet(const std::string& address, uint16_t port,
+                                    const std::string& path) {
+  CADDB_ASSIGN_OR_RETURN(Socket sock, ConnectTcp(address, port));
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " +
+                              address + "\r\n\r\n";
+  CADDB_RETURN_IF_ERROR(sock.SendAll(request.data(), request.size()));
+  std::string response;
+  char buf[16 * 1024];
+  while (true) {
+    CADDB_ASSIGN_OR_RETURN(size_t n, sock.Recv(buf, sizeof(buf)));
+    if (n == 0) break;
+    response.append(buf, n);
+  }
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Unavailable("malformed HTTP response");
+  }
+  const size_t status_sp = response.find(' ');
+  if (status_sp == std::string::npos ||
+      response.compare(status_sp + 1, 3, "200") != 0) {
+    return NotFound("HTTP " + response.substr(status_sp + 1, 3) + " for " +
+                    path);
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace net
+}  // namespace caddb

@@ -1,0 +1,72 @@
+#ifndef CADDB_NET_CLIENT_H_
+#define CADDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/result.h"
+
+namespace caddb {
+namespace net {
+
+/// Synchronous client for the caddb service protocol — the engine behind
+/// `caddb_shell --connect`. One request in flight at a time; pipelining is
+/// a server capability the tests exercise with raw frames.
+struct ClientOptions {
+  SessionRole role = SessionRole::kDefault;
+  /// Informational session label, reported by `server status`.
+  std::string ns;
+};
+
+class Client {
+ public:
+  /// Connects and completes the hello handshake.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& address,
+                                                 uint16_t port,
+                                                 ClientOptions options = {});
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Executes one command line on the server. On success `*output` is the
+  /// command's text output and `*command_error` mirrors the shell's
+  /// error_count contract (the command printed an `error:` line). A shed
+  /// reply surfaces as kUnavailable; a protocol error or lost connection as
+  /// a non-ok Status — the connection is unusable afterwards.
+  Status Execute(const std::string& line, std::string* output,
+                 bool* command_error);
+
+  /// Role the server granted at hello.
+  bool writable() const { return writable_; }
+  const std::string& banner() const { return banner_; }
+
+  /// Sends a goodbye frame and closes. The destructor calls it.
+  void Close();
+
+  /// One-shot plain HTTP GET against a server's scrape path; returns the
+  /// response body on 200.
+  static Result<std::string> HttpGet(const std::string& address,
+                                     uint16_t port, const std::string& path);
+
+ private:
+  Client() = default;
+
+  /// Blocks until one complete frame arrives.
+  Result<Frame> ReadFrame();
+
+  Socket sock_;
+  FrameDecoder decoder_;
+  uint64_t next_id_ = 1;
+  bool writable_ = false;
+  bool closed_ = false;
+  std::string banner_;
+};
+
+}  // namespace net
+}  // namespace caddb
+
+#endif  // CADDB_NET_CLIENT_H_

@@ -1,0 +1,204 @@
+#include "net/protocol.h"
+
+#include <cstdio>
+
+#include "wal/crc32c.h"
+
+namespace caddb {
+namespace net {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xff);
+  bytes[1] = static_cast<char>((v >> 8) & 0xff);
+  bytes[2] = static_cast<char>((v >> 16) & 0xff);
+  bytes[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(bytes, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kProtocolError);
+}
+
+Status ProtocolError(const std::string& what) {
+  return InvalidArgument("protocol error: " + what);
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
+  PutU32(&out, kFrameMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  // CRC over version..payload: everything after the magic, before the CRC.
+  const uint32_t crc = wal::Crc32c(out.data() + 4, out.size() - 4);
+  PutU32(&out, wal::Crc32cMask(crc));
+  return out;
+}
+
+Status FrameDecoder::Feed(const void* data, size_t n) {
+  if (!error_.ok()) return error_;
+  buffer_.append(static_cast<const char*>(data), n);
+  error_ = Parse();
+  return error_;
+}
+
+Status FrameDecoder::Parse() {
+  while (buffer_.size() - consumed_ >= kFrameHeaderSize) {
+    const char* p = buffer_.data() + consumed_;
+    const uint32_t magic = GetU32(p);
+    if (magic != kFrameMagic) {
+      return ProtocolError("bad frame magic 0x" + [&] {
+        char hex[16];
+        std::snprintf(hex, sizeof(hex), "%08x", magic);
+        return std::string(hex);
+      }());
+    }
+    const uint8_t version = static_cast<uint8_t>(p[4]);
+    if (version != kProtocolVersion) {
+      return ProtocolError("unsupported protocol version " +
+                           std::to_string(version));
+    }
+    const uint8_t type = static_cast<uint8_t>(p[5]);
+    if (!ValidFrameType(type)) {
+      return ProtocolError("unknown frame type " + std::to_string(type));
+    }
+    const uint32_t length = GetU32(p + 6);
+    if (length > kMaxFramePayload) {
+      return ProtocolError("oversized frame: " + std::to_string(length) +
+                           " bytes (max " + std::to_string(kMaxFramePayload) +
+                           ")");
+    }
+    const size_t total = kFrameHeaderSize + length + kFrameTrailerSize;
+    if (buffer_.size() - consumed_ < total) break;  // wait for more bytes
+    const uint32_t stored =
+        wal::Crc32cUnmask(GetU32(p + kFrameHeaderSize + length));
+    const uint32_t actual =
+        wal::Crc32c(p + 4, kFrameHeaderSize - 4 + length);
+    if (stored != actual) {
+      return ProtocolError("frame CRC mismatch");
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.assign(p + kFrameHeaderSize, length);
+    frames_.push_back(std::move(frame));
+    consumed_ += total;
+  }
+  // Compact once the consumed prefix dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return OkStatus();
+}
+
+bool FrameDecoder::Next(Frame* frame) {
+  if (frames_.empty()) return false;
+  *frame = std::move(frames_.front());
+  frames_.pop_front();
+  return true;
+}
+
+std::string EncodeRequestPayload(uint64_t id, const std::string& line) {
+  std::string out;
+  PutU64(&out, id);
+  out.append(line);
+  return out;
+}
+
+Status DecodeRequestPayload(const std::string& payload, uint64_t* id,
+                            std::string* line) {
+  if (payload.size() < 8) return ProtocolError("short request payload");
+  *id = GetU64(payload.data());
+  line->assign(payload, 8, payload.size() - 8);
+  return OkStatus();
+}
+
+std::string EncodeResponsePayload(uint64_t id, bool error,
+                                  const std::string& output) {
+  std::string out;
+  PutU64(&out, id);
+  out.push_back(error ? '\1' : '\0');
+  out.append(output);
+  return out;
+}
+
+Status DecodeResponsePayload(const std::string& payload, uint64_t* id,
+                             bool* error, std::string* output) {
+  if (payload.size() < 9) return ProtocolError("short response payload");
+  *id = GetU64(payload.data());
+  *error = payload[8] != '\0';
+  output->assign(payload, 9, payload.size() - 9);
+  return OkStatus();
+}
+
+std::string EncodeShedPayload(uint64_t id, const std::string& reason) {
+  std::string out;
+  PutU64(&out, id);
+  out.append(reason);
+  return out;
+}
+
+Status DecodeShedPayload(const std::string& payload, uint64_t* id,
+                         std::string* reason) {
+  if (payload.size() < 8) return ProtocolError("short shed payload");
+  *id = GetU64(payload.data());
+  reason->assign(payload, 8, payload.size() - 8);
+  return OkStatus();
+}
+
+std::string EncodeHelloPayload(SessionRole requested, const std::string& ns) {
+  std::string out;
+  out.push_back(static_cast<char>(requested));
+  out.append(ns);
+  return out;
+}
+
+Status DecodeHelloPayload(const std::string& payload, SessionRole* requested,
+                          std::string* ns) {
+  if (payload.empty()) return ProtocolError("empty hello payload");
+  const uint8_t role = static_cast<uint8_t>(payload[0]);
+  if (role > static_cast<uint8_t>(SessionRole::kReadOnly)) {
+    return ProtocolError("unknown session role " + std::to_string(role));
+  }
+  *requested = static_cast<SessionRole>(role);
+  ns->assign(payload, 1, payload.size() - 1);
+  return OkStatus();
+}
+
+std::string EncodeHelloOkPayload(SessionRole granted,
+                                 const std::string& banner) {
+  return EncodeHelloPayload(granted, banner);
+}
+
+Status DecodeHelloOkPayload(const std::string& payload, SessionRole* granted,
+                            std::string* banner) {
+  return DecodeHelloPayload(payload, granted, banner);
+}
+
+}  // namespace net
+}  // namespace caddb

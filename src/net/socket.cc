@@ -1,0 +1,158 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace caddb {
+namespace net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Socket::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+void Socket::ShutdownBoth() {
+  const int fd = this->fd();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Status Socket::SendAll(const void* data, size_t n) {
+  const int fd = this->fd();
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(Errno("send"));
+    }
+    if (w == 0) return Unavailable("send: connection closed");
+    sent += static_cast<size_t>(w);
+  }
+  return OkStatus();
+}
+
+Result<size_t> Socket::Recv(void* buf, size_t n) {
+  const int fd = this->fd();
+  while (true) {
+    ssize_t r = ::recv(fd, buf, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(Errno("recv"));
+    }
+    return static_cast<size_t>(r);
+  }
+}
+
+Result<Socket> ListenTcp(const std::string& address, uint16_t port,
+                         int backlog, uint16_t* bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return InternalError(Errno("socket"));
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgument("bad bind address '" + address + "'");
+  }
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Unavailable(Errno("bind " + address + ":" + std::to_string(port)));
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    return Unavailable(Errno("listen"));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual),
+                      &len) != 0) {
+      return InternalError(Errno("getsockname"));
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Result<Socket> Accept(const Socket& listener) {
+  while (true) {
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(Errno("accept"));
+    }
+    Socket sock(fd);
+    int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return sock;
+  }
+}
+
+std::string PeerName(const Socket& sock) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return "?";
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+Result<Socket> ConnectTcp(const std::string& address, uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return InternalError(Errno("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgument("bad address '" + address + "'");
+  }
+  while (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    return Unavailable(
+        Errno("connect " + address + ":" + std::to_string(port)));
+  }
+  int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<std::pair<std::string, uint16_t>> SplitHostPort(
+    const std::string& host_port) {
+  size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos) {
+    return InvalidArgument("expected host:port, got '" + host_port + "'");
+  }
+  std::string host = host_port.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  try {
+    unsigned long port = std::stoul(host_port.substr(colon + 1));
+    if (port == 0 || port > 65535) {
+      return InvalidArgument("port out of range in '" + host_port + "'");
+    }
+    return std::make_pair(std::move(host), static_cast<uint16_t>(port));
+  } catch (...) {
+    return InvalidArgument("bad port in '" + host_port + "'");
+  }
+}
+
+}  // namespace net
+}  // namespace caddb

@@ -1,0 +1,82 @@
+#ifndef CADDB_NET_SOCKET_H_
+#define CADDB_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/result.h"
+
+namespace caddb {
+namespace net {
+
+/// Thin RAII wrapper over a POSIX TCP socket. All I/O helpers retry EINTR,
+/// suppress SIGPIPE (MSG_NOSIGNAL) and report failures as Status — the
+/// server and client never touch errno directly.
+///
+/// Thread contract: ShutdownBoth() and the I/O helpers may run concurrently
+/// (the fd is atomic, and shutdown() on a live fd is how one thread wakes
+/// another's blocked recv). Close() releases the fd back to the kernel —
+/// an fd number the kernel may immediately hand to an unrelated open — so
+/// it must never race I/O on the same socket: the server defers every
+/// close until the threads using the socket have been joined or signalled
+/// out of it.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_.store(other.fd_.exchange(-1));
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_.load(std::memory_order_acquire); }
+  bool valid() const { return fd() >= 0; }
+  void Close();
+  /// Half-close both directions without releasing the fd: a blocked recv on
+  /// another thread wakes with EOF. Safe to call concurrently with I/O.
+  void ShutdownBoth();
+
+  /// Writes all `n` bytes (handling short writes). kUnavailable when the
+  /// peer has gone away.
+  Status SendAll(const void* data, size_t n);
+
+  /// Reads up to `n` bytes; 0 means orderly EOF.
+  Result<size_t> Recv(void* buf, size_t n);
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+/// Binds and listens on `address:port` (port 0 picks an ephemeral port;
+/// `*bound_port` reports the actual one).
+Result<Socket> ListenTcp(const std::string& address, uint16_t port,
+                         int backlog, uint16_t* bound_port);
+
+/// Blocking accept on a listening socket; TCP_NODELAY is set on the
+/// accepted connection.
+Result<Socket> Accept(const Socket& listener);
+
+/// "ip:port" of the connected peer ("?" when the socket is gone).
+std::string PeerName(const Socket& sock);
+
+/// Blocking connect to `address:port`.
+Result<Socket> ConnectTcp(const std::string& address, uint16_t port);
+
+/// Splits "host:port" (host may be empty → 127.0.0.1).
+Result<std::pair<std::string, uint16_t>> SplitHostPort(
+    const std::string& host_port);
+
+}  // namespace net
+}  // namespace caddb
+
+#endif  // CADDB_NET_SOCKET_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <memory>
+#include <random>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -35,7 +37,9 @@ const char* FollowerStateName(FollowerState state) {
 
 Follower::Follower(std::string replica_dir, FollowerOptions options)
     : replica_dir_(std::move(replica_dir)),
-      staged_dir_((fs::path(replica_dir_) / ".staged").string()),
+      staged_dir_(options.staged_dir.empty()
+                      ? (fs::path(replica_dir_) / ".staged").string()
+                      : options.staged_dir),
       options_(std::move(options)) {
   obs_ = options_.obs != nullptr ? options_.obs
          : options_.durability.wal.obs != nullptr ? options_.durability.wal.obs
@@ -75,6 +79,12 @@ Follower::Follower(std::string replica_dir, FollowerOptions options)
   if (!options_.sleeper) {
     options_.sleeper = [](uint64_t us) {
       std::this_thread::sleep_for(std::chrono::microseconds(us));
+    };
+  }
+  if (!options_.jitter_source) {
+    options_.jitter_source = [rng = std::make_shared<std::mt19937>(
+                                  std::random_device{}())]() mutable {
+      return std::uniform_real_distribution<double>(0.0, 1.0)(*rng);
     };
   }
   if (!options_.clock_us) {
@@ -147,7 +157,16 @@ Result<std::string> Follower::ReadWithRetry(
     }
     if (attempt < options_.max_attempts) {
       m_retries_->Increment();
-      options_.sleeper(backoff);
+      // Jittered delay in [backoff*(1-jitter), backoff]; the *schedule*
+      // (what doubles) is unjittered so the envelope stays predictable.
+      uint64_t delay = backoff;
+      if (options_.backoff_jitter > 0) {
+        const double shave = options_.jitter_source() *
+                             options_.backoff_jitter *
+                             static_cast<double>(backoff);
+        delay = backoff - static_cast<uint64_t>(shave);
+      }
+      options_.sleeper(delay);
       backoff = std::min(backoff * 2, options_.max_backoff_us);
     }
   }

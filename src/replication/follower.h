@@ -20,6 +20,20 @@ struct FollowerOptions {
   /// Exponential backoff between attempts: initial doubles up to max.
   uint64_t initial_backoff_us = 1000;
   uint64_t max_backoff_us = 64000;
+  /// Jitter fraction (0..1) subtracted uniformly from each backoff delay:
+  /// an attempt sleeps in [backoff*(1-jitter), backoff]. A fleet of
+  /// followers that all lost the same shipment would otherwise retry in
+  /// lockstep against the same transport. 0 restores the exact schedule
+  /// (tests that assert precise delays pin it).
+  double backoff_jitter = 0.5;
+  /// Uniform [0,1) source for the jitter; defaults to a per-follower
+  /// mt19937. Injectable so tests can pin the draw.
+  std::function<double()> jitter_source;
+  /// Staging directory for rebuilds; empty means `<replica_dir>/.staged`.
+  /// Multiple followers fanning out from one published replica tree must
+  /// each stage somewhere distinct — two rebuilds sharing a staging
+  /// directory would tear each other's files mid-replay.
+  std::string staged_dir;
   /// When non-zero, a read whose wall time exceeds this counts as a failed
   /// attempt even if it eventually returned bytes (a response that arrives
   /// after the deadline is as good as lost).

@@ -2,16 +2,16 @@
 #define CADDB_SHELL_SHELL_H_
 
 #include <iosfwd>
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "core/database.h"
+#include "shell/dispatcher.h"
 
 namespace caddb {
+namespace net {
+class Server;
+}  // namespace net
 namespace replication {
 class Follower;
-class Shipper;
 }  // namespace replication
 namespace shell {
 
@@ -20,6 +20,10 @@ namespace shell {
 /// command per line; `#` starts a comment. Values use the persist codec
 /// notation (i:42, e:NAND, s:"text", R{X=i:1;Y=i:2}, ...), objects are
 /// addressed as @<surrogate>.
+///
+/// The Shell is a REPL wrapper around shell::Dispatcher, which owns the
+/// whole verb set; net::Server creates one Dispatcher per connection, so
+/// the commands below round-trip unchanged over `caddb_shell --connect`.
 ///
 /// Commands:
 ///   schema <<<            ... multi-line DDL until a line '>>>'
@@ -61,6 +65,9 @@ namespace shell {
 ///   dump <path> | load <path>
 ///   wal status [--format=json]   log/recovery telemetry (durable only)
 ///   checkpoint            snapshot + truncate the log (durable only)
+///   storage status [--format=json]   paged-store/buffer-pool telemetry
+///   server status [--format=json]    network listener telemetry (sessions,
+///       queue depth, sheds, bytes) — needs an attached net::Server
 ///   ship [<replica-dir>]  ship checkpoint + log to a replica directory
 ///       (the directory sticks after the first use; plain `ship` re-ships)
 ///   replica status [--format=json]   replication state of this database
@@ -87,6 +94,10 @@ class Shell {
   /// outlive the shell or be detached by promotion.
   void AttachFollower(replication::Follower* follower);
 
+  /// Lets `server status` report on a listener running in this process.
+  /// Not owned; must outlive the shell.
+  void AttachServer(net::Server* server);
+
   /// Executes one command line; output (including error reports) goes to
   /// `out`. Returns false when the command asked to quit. Errors are
   /// reported inline, never thrown or returned: the shell always continues.
@@ -102,22 +113,10 @@ class Shell {
   /// on error-severity findings, `check disk` on any CAD3xx error,
   /// `check @id`/`check-deep`/`check-all` on a violated constraint, and
   /// `violations` on a non-empty violation list.
-  size_t error_count() const { return error_count_; }
+  size_t error_count() const { return dispatcher_.error_count(); }
 
  private:
-  /// Continuation state for the multi-line `schema <<<` form.
-  bool in_schema_block_ = false;
-  std::string schema_buffer_;
-
-  Database* db_;
-  size_t error_count_ = 0;
-
-  // Replication wiring. The shipper is created by the first `ship <dir>`;
-  // the follower is attached by follower mode; `replica promote` parks the
-  // promoted (owned) database here and detaches the follower.
-  std::unique_ptr<replication::Shipper> shipper_;
-  replication::Follower* follower_ = nullptr;
-  std::unique_ptr<Database> promoted_;
+  Dispatcher dispatcher_;
 };
 
 }  // namespace shell

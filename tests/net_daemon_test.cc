@@ -1,0 +1,241 @@
+#include "replication/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "core/database.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/observability.h"
+#include "replication/follower.h"
+#include "replication/shipper.h"
+
+namespace caddb {
+namespace replication {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TestDir {
+ public:
+  explicit TestDir(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("caddb_daemon_" + name + "_" + std::to_string(::getpid())))
+                  .string()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+    fs::create_directories(path_, ec);
+  }
+  ~TestDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string Sub(const std::string& name) const {
+    return (fs::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+constexpr const char* kBoxDdl =
+    "obj-type Box = attributes: W, H: integer; end Box;";
+
+/// Polls `done` every 10ms for up to 15s.
+bool WaitFor(const std::function<bool()>& done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return done();
+}
+
+DaemonOptions FastDaemon() {
+  DaemonOptions options;
+  options.interval_ms = 20;
+  return options;
+}
+
+FollowerOptions FastFollower(obs::Observability* obs = nullptr) {
+  FollowerOptions options;
+  options.initial_backoff_us = 100;
+  options.max_backoff_us = 400;
+  options.sleeper = [](uint64_t) {};
+  options.obs = obs;
+  return options;
+}
+
+TEST(NetDaemonTest, AutoShipAndAutoPollReachCaughtUpWithNoManualSteps) {
+  TestDir dir("autoship");
+  auto primary = Database::Open(dir.Sub("primary"));
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE((*primary)->ExecuteDdl(kBoxDdl).ok());
+  auto obj = (*primary)->CreateObject("Box", "");
+  ASSERT_TRUE(obj.ok());
+
+  Shipper shipper(primary->get(), dir.Sub("replica"));
+  Follower follower(dir.Sub("replica"), FastFollower());
+
+  // Never a manual ship or poll below: the daemons do all the work. Test
+  // reads of the (single-threaded) Follower are serialized against the
+  // poller thread through the same hook a net::Server would use.
+  std::mutex follower_mu;
+  AutoShipper auto_shipper(&shipper, FastDaemon());
+  AutoPoller auto_poller(&follower, FastDaemon(), [&follower_mu] {
+    return std::unique_lock<std::mutex>(follower_mu);
+  });
+
+  ASSERT_TRUE(WaitFor([&] {
+    std::lock_guard<std::mutex> lock(follower_mu);
+    return follower.state() == FollowerState::kFollowing &&
+           follower.replica_info().lag() == 0;
+  }));
+
+  // New writes on the primary flow through without intervention too.
+  auto second = (*primary)->CreateObject("Box", "");
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(WaitFor([&] {
+    std::lock_guard<std::mutex> lock(follower_mu);
+    Database* db = follower.db();
+    return db != nullptr && db->store().Exists(*second);
+  }));
+
+  auto_poller.Stop();
+  auto_shipper.Stop();
+  const AutoShipperStats ship_stats = auto_shipper.stats();
+  EXPECT_GT(ship_stats.ships, 0u);
+  EXPECT_GT(ship_stats.last_seq, 0u);
+  const AutoPollerStats poll_stats = auto_poller.stats();
+  EXPECT_GT(poll_stats.polls, 0u);
+  EXPECT_GE(poll_stats.advances, 1u);
+  // Stop is idempotent (the destructors call it again).
+  auto_poller.Stop();
+  ASSERT_TRUE((*primary)->Close().ok());
+}
+
+TEST(NetDaemonTest, TwoFollowersFanOutFromOnePublishedTree) {
+  TestDir dir("fanout");
+  auto primary = Database::Open(dir.Sub("primary"));
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE((*primary)->ExecuteDdl(kBoxDdl).ok());
+  ASSERT_TRUE((*primary)->CreateObject("Box", "").ok());
+  Shipper shipper(primary->get(), dir.Sub("replica"));
+  AutoShipper auto_shipper(&shipper, FastDaemon());
+
+  // Both followers tail the SAME replica tree; distinct staging
+  // directories are what keep their rebuilds from tearing each other.
+  FollowerOptions a_options = FastFollower();
+  a_options.staged_dir = dir.Sub("staged_a");
+  FollowerOptions b_options = FastFollower();
+  b_options.staged_dir = dir.Sub("staged_b");
+  Follower a(dir.Sub("replica"), std::move(a_options));
+  Follower b(dir.Sub("replica"), std::move(b_options));
+
+  std::mutex a_mu;
+  std::mutex b_mu;
+  AutoPoller poll_a(&a, FastDaemon(), [&a_mu] {
+    return std::unique_lock<std::mutex>(a_mu);
+  });
+  AutoPoller poll_b(&b, FastDaemon(), [&b_mu] {
+    return std::unique_lock<std::mutex>(b_mu);
+  });
+
+  ASSERT_TRUE(WaitFor([&] {
+    std::lock_guard<std::mutex> lock_a(a_mu);
+    std::lock_guard<std::mutex> lock_b(b_mu);
+    return a.state() == FollowerState::kFollowing &&
+           b.state() == FollowerState::kFollowing &&
+           a.replica_info().lag() == 0 && b.replica_info().lag() == 0;
+  }));
+  {
+    std::lock_guard<std::mutex> lock_a(a_mu);
+    std::lock_guard<std::mutex> lock_b(b_mu);
+    EXPECT_NE(a.db(), nullptr);
+    EXPECT_NE(b.db(), nullptr);
+    EXPECT_NE(a.staged_dir(), b.staged_dir());
+  }
+  poll_a.Stop();
+  poll_b.Stop();
+  auto_shipper.Stop();
+  ASSERT_TRUE((*primary)->Close().ok());
+}
+
+TEST(NetDaemonTest, JitterShortensTheSleepNotTheWork) {
+  TestDir dir("jitter");
+  auto primary = Database::Open(dir.Sub("primary"));
+  ASSERT_TRUE(primary.ok());
+  Shipper shipper(primary->get(), dir.Sub("replica"));
+  // A full-jitter draw of 1.0 collapses a huge interval to ~0: ships
+  // accumulate fast, proving the jittered wait is interval*(1 - u*jitter),
+  // not a fixed interval the source cannot shorten.
+  DaemonOptions options;
+  options.interval_ms = 60000;
+  options.jitter = 1.0;
+  options.jitter_source = [] { return 1.0; };
+  AutoShipper auto_shipper(&shipper, std::move(options));
+  EXPECT_TRUE(WaitFor([&] { return auto_shipper.stats().ships >= 5; }));
+  auto_shipper.Stop();
+  ASSERT_TRUE((*primary)->Close().ok());
+}
+
+TEST(NetDaemonTest, ServedFollowerCatchesUpOverTheWire) {
+  TestDir dir("served");
+  auto primary = Database::Open(dir.Sub("primary"));
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE((*primary)->ExecuteDdl(kBoxDdl).ok());
+  auto obj = (*primary)->CreateObject("Box", "");
+  ASSERT_TRUE(obj.ok());
+  Shipper shipper(primary->get(), dir.Sub("replica"));
+  AutoShipper auto_shipper(&shipper, FastDaemon());
+
+  // Follower + server share one obs bundle (the lag gauge the server's
+  // max_replica_lag gate reads lives there), exactly as caddb_server wires.
+  obs::Observability obs;
+  Follower follower(dir.Sub("replica"), FastFollower(&obs));
+  net::ServerOptions server_options;
+  server_options.obs = &obs;
+  auto started = net::Server::Start(nullptr, std::move(server_options));
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  net::Server* server = started->get();
+  server->ServeFollower(&follower);
+  AutoPoller auto_poller(&follower, FastDaemon(), [server] {
+    return server->PauseExecution();
+  });
+
+  auto client = net::Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_FALSE((*client)->writable());
+
+  // Requests shed until the poller has caught the follower up, then serve.
+  std::string output;
+  bool command_error = false;
+  ASSERT_TRUE(WaitFor([&] {
+    return (*client)
+        ->Execute("select Box", &output, &command_error)
+        .ok();
+  }));
+  EXPECT_FALSE(command_error) << output;
+  EXPECT_NE(output.find("(1 rows)"), std::string::npos);
+
+  // Still read-only end to end.
+  ASSERT_TRUE(
+      (*client)->Execute("create Box", &output, &command_error).ok());
+  EXPECT_TRUE(command_error);
+  EXPECT_NE(output.find("read-only session"), std::string::npos);
+
+  auto_poller.Stop();
+  auto_shipper.Stop();
+  (*started)->Shutdown();
+  ASSERT_TRUE((*primary)->Close().ok());
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace caddb

@@ -76,6 +76,8 @@ Status ApplyStage(Database* db, int stage) {
 FollowerOptions FastFollowerOptions(std::vector<uint64_t>* sleeps = nullptr) {
   FollowerOptions options;
   options.max_attempts = 3;
+  // Exact-schedule assertions below need the unjittered delays.
+  options.backoff_jitter = 0;
   options.sleeper = [sleeps](uint64_t us) {
     if (sleeps != nullptr) sleeps->push_back(us);
   };
@@ -671,6 +673,7 @@ TEST(ReplicationRetryTest, TransientReadFailuresBackOffWithCappedDoubling) {
   options.max_attempts = 5;
   options.initial_backoff_us = 1000;
   options.max_backoff_us = 2500;
+  options.backoff_jitter = 0;  // assert the exact schedule
   options.sleeper = [&sleeps](uint64_t us) { sleeps.push_back(us); };
   options.file_reader = [&failures_left](const std::string& path)
       -> Result<std::string> {
@@ -723,6 +726,75 @@ TEST(ReplicationRetryTest, ExhaustedRetriesReportUnavailableAndKeepServing) {
   EXPECT_EQ(follower.state(), FollowerState::kNeverSynced);
   // max_attempts attempts, a sleep between each pair, capped at 250us.
   EXPECT_EQ(sleeps, (std::vector<uint64_t>{100, 200, 250}));
+  ASSERT_TRUE((*primary)->Close().ok());
+}
+
+TEST(ReplicationRetryTest, BackoffJitterStaysInsideItsEnvelope) {
+  // Each retry delay is backoff - u*jitter*backoff for a fresh uniform
+  // draw u: always inside [backoff*(1-jitter), backoff], and the underlying
+  // doubling schedule is unaffected by what the draws were. Injected draws
+  // pin the arithmetic exactly; a default-constructed follower fleet gets
+  // independent per-follower RNGs so a lost shipment is not retried in
+  // lockstep.
+  const std::string primary_dir = TestDir("jitter_primary");
+  const std::string replica_dir = TestDir("jitter_replica");
+  auto primary = Database::Open(primary_dir);
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE(ApplyStage((*primary).get(), 1).ok());
+  Shipper shipper((*primary).get(), replica_dir);
+  ASSERT_TRUE(shipper.ShipNow().ok());
+
+  const std::vector<double> draws = {0.0, 1.0, 0.5, 0.25};
+  std::vector<uint64_t> sleeps;
+  FollowerOptions options;
+  options.max_attempts = 5;
+  options.initial_backoff_us = 1000;
+  options.max_backoff_us = 8000;
+  options.backoff_jitter = 0.5;
+  size_t draw_index = 0;
+  options.jitter_source = [&draws, &draw_index] {
+    return draws[draw_index++ % draws.size()];
+  };
+  options.sleeper = [&sleeps](uint64_t us) { sleeps.push_back(us); };
+  options.file_reader = [](const std::string& path) -> Result<std::string> {
+    return Unavailable("replica storage offline: " + path);
+  };
+  Follower follower(replica_dir, options);
+  ASSERT_FALSE(follower.Poll().ok());
+
+  // Unjittered schedule would be 1000, 2000, 4000, 8000; each delay is
+  // shaved by u*0.5*backoff for the injected draws 0.0, 1.0, 0.5, 0.25.
+  ASSERT_EQ(sleeps.size(), 4u);
+  EXPECT_EQ(sleeps[0], 1000u);  // u=0.0: no shave
+  EXPECT_EQ(sleeps[1], 1000u);  // u=1.0: full half shaved off 2000
+  EXPECT_EQ(sleeps[2], 3000u);  // u=0.5: 4000 - 1000
+  EXPECT_EQ(sleeps[3], 7000u);  // u=0.25: 8000 - 1000
+  for (size_t i = 0; i < sleeps.size(); ++i) {
+    const uint64_t backoff = std::min<uint64_t>(1000u << i, 8000u);
+    EXPECT_GE(sleeps[i], backoff / 2) << "delay " << i;
+    EXPECT_LE(sleeps[i], backoff) << "delay " << i;
+  }
+
+  // The default (no injected source) still lands inside the envelope.
+  std::vector<uint64_t> default_sleeps;
+  FollowerOptions defaults;
+  defaults.max_attempts = 4;
+  defaults.initial_backoff_us = 1000;
+  defaults.max_backoff_us = 8000;
+  defaults.sleeper = [&default_sleeps](uint64_t us) {
+    default_sleeps.push_back(us);
+  };
+  defaults.file_reader = [](const std::string& path) -> Result<std::string> {
+    return Unavailable("replica storage offline: " + path);
+  };
+  Follower default_follower(replica_dir, defaults);
+  ASSERT_FALSE(default_follower.Poll().ok());
+  ASSERT_EQ(default_sleeps.size(), 3u);
+  for (size_t i = 0; i < default_sleeps.size(); ++i) {
+    const uint64_t backoff = 1000u << i;
+    EXPECT_GE(default_sleeps[i], backoff / 2) << "delay " << i;
+    EXPECT_LE(default_sleeps[i], backoff) << "delay " << i;
+  }
   ASSERT_TRUE((*primary)->Close().ok());
 }
 

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <system_error>
 
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/exposition.h"
 
 namespace caddb {
@@ -396,6 +398,48 @@ TEST(ShellObsTest, StatsJsonEmbedsMetrics) {
 
   RunScript("stats --format=yaml\n", &errors);
   EXPECT_EQ(errors, 1u);
+}
+
+TEST(ShellNetTest, ServerStatusNeedsAnAttachedServer) {
+  size_t errors = 0;
+  std::string out = RunScript("server status\n", &errors);
+  EXPECT_EQ(errors, 1u);
+  EXPECT_NE(out.find("no network server is attached"), std::string::npos)
+      << out;
+  RunScript("server bogus\n", &errors);
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST(ShellNetTest, ServerStatusReportsListenerQueueAndSessions) {
+  Database db;
+  auto server = net::Server::Start(&db);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = net::Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string output;
+  bool command_error = false;
+  ASSERT_TRUE((*client)->Execute("echo hi", &output, &command_error).ok());
+
+  Shell shell(&db);
+  shell.AttachServer(server->get());
+  std::istringstream in(
+      "server status\n"
+      "server status --format=json\n"
+      "server status --format=yaml\n");
+  std::ostringstream out;
+  shell.Run(in, out);
+  EXPECT_EQ(shell.error_count(), 1u) << out.str();  // only the bad format
+  const std::string text = out.str();
+  EXPECT_NE(text.find("listening:  127.0.0.1:"), std::string::npos) << text;
+  EXPECT_NE(text.find("sessions:   1 active (1 accepted, 0 rejected)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ns= writable"), std::string::npos) << text;
+  // The JSON contract: one JsonWriter, stable field names.
+  EXPECT_NE(text.find("\"sessions_active\":1"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"connections_accepted\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"sessions\":[{\"id\":1"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"read_only\":false"), std::string::npos);
 }
 
 }  // namespace
