@@ -19,12 +19,16 @@
 #      auto-ship, a scripted wire session, a Prometheus scrape, and a
 #      follower caddb_server auto-polling to caught-up — with clean
 #      SIGTERM shutdowns
-#   9. TSan build + the concurrency tests (lock manager, transactions,
+#   9. Chaos smoke: failpoint registry + network chaos + scenario tests
+#      under ASan+UBSan, then a seeded caddb_soak run (primary + follower
+#      + wire readers under the default fault schedule) that must exit 0
+#  10. TSan build + the concurrency tests (lock manager, transactions,
 #      batched-fsync committers, the concurrent metrics/trace registry,
-#      the shared buffer pool, the network server and replication daemons)
-#  10. Bench build: every benchmark target must compile (incl.
+#      the shared buffer pool, the network server and replication
+#      daemons, the failpoint registry hammer)
+#  11. Bench build: every benchmark target must compile (incl.
 #      bench_disk_check, bench_net)
-#  11. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
+#  12. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
 #
 # Each configuration gets its own build directory under build-ci/ so the
 # sanitizer runtimes never mix. Usage: ci/check.sh [jobs]
@@ -173,14 +177,35 @@ kill -TERM "$FOLLOWER_PID" "$PRIMARY_PID"
 wait "$FOLLOWER_PID"
 wait "$PRIMARY_PID"
 
+step "chaos smoke: failpoint registry + network chaos + seeded soak under asan+ubsan"
+# fault_test covers the registry (spec grammar, trigger matrix, metrics
+# parity); fault_net_test drives socket chaos, server deadlines, the
+# retrying client's backoff contract, the wire-served `fault` verb, and
+# the SIGTERM-under-armed-chaos regression; workload_scenario_test and
+# soak_test run the scenario factories and short chaos soaks with every
+# oracle on.
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure \
+        -R '^(fault_test|fault_net_test|workload_scenario_test|soak_test)$'
+# A seeded soak the way an operator would run one: primary + follower +
+# wire readers under the default fault schedule. Exit 0 means every
+# invariant and differential oracle came back clean; the run reproduces
+# from its seed alone.
+SOAK_DIR="build-ci/chaos-smoke"
+rm -rf "$SOAK_DIR"
+mkdir -p "$SOAK_DIR"
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  build-ci/asan-ubsan/examples/caddb_soak "$SOAK_DIR/run" \
+      --seed 42 --ops 400 --duration 10s
+
 step "tsan: lock manager + transaction + batched-fsync + obs registry + net tests"
 cmake -B build-ci/tsan -S . -DCADDB_WERROR=ON -DCADDB_TSAN=ON \
       "${GENERATOR_FLAGS[@]}"
 cmake --build build-ci/tsan -j "$JOBS" --target lock_manager_test txn_test \
       wal_batch_sync_test obs_test buffer_pool_concurrency_test \
-      net_server_test net_daemon_test
+      net_server_test net_daemon_test fault_test
 ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
-      -R '^(lock_manager_test|txn_test|wal_batch_sync_test|obs_test|buffer_pool_concurrency_test|net_server_test|net_daemon_test)$'
+      -R '^(lock_manager_test|txn_test|wal_batch_sync_test|obs_test|buffer_pool_concurrency_test|net_server_test|net_daemon_test|fault_test)$'
 
 step "bench build: all benchmark targets compile"
 cmake --build build-ci/werror -j "$JOBS" --target \

@@ -32,6 +32,8 @@
 //                          give each follower of a shared tree its own)
 //   --poll-interval-ms N   auto-poll cadence (default 200)
 //   --max-lag N            shed reads when replication lag exceeds N
+//   --deadline-ms N        shed requests that waited in the queue longer
+//                          than N ms (bounded latency under chaos; 0 = off)
 //
 // SIGINT/SIGTERM shut down cleanly: stop daemons, drain the server, close
 // the database, exit 0.
@@ -69,6 +71,7 @@ struct Flags {
   std::string staged_dir;
   uint64_t poll_interval_ms = 200;
   int64_t max_lag = -1;
+  uint64_t deadline_ms = 0;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -132,6 +135,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       const char* v = value("--max-lag");
       if (v == nullptr) return false;
       flags->max_lag = std::stoll(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = value("--deadline-ms");
+      if (v == nullptr) return false;
+      flags->deadline_ms = std::stoull(v);
     } else if (!arg.empty() && arg[0] != '-' && flags->dir.empty()) {
       flags->dir = arg;
     } else {
@@ -171,6 +178,7 @@ int main(int argc, char** argv) {
   server_options.worker_threads = flags.workers;
   server_options.read_only = flags.read_only;
   server_options.max_replica_lag = flags.max_lag;
+  server_options.request_deadline_us = flags.deadline_ms * 1000;
 
   std::unique_ptr<caddb::Database> db;
   std::unique_ptr<caddb::replication::Follower> follower;

@@ -22,11 +22,16 @@
 //                                                allowed), 1: errors found,
 //                                                2: cannot run at all.
 //   ./build/examples/caddb_shell --connect host:port [--read-only]
+//                                [--retries=N] [--timeout-ms=N]
 //                                                network session: proxy each
 //                                                command line to a running
 //                                                caddb_server over the framed
 //                                                protocol; same verbs, same
-//                                                exit-code contract
+//                                                exit-code contract. Sheds,
+//                                                timeouts and lost
+//                                                connections retry with
+//                                                jittered backoff (N
+//                                                attempts, default 4)
 //   ./build/examples/caddb_shell --scrape host:port [path]
 //                                                one-shot HTTP GET against a
 //                                                server's scrape endpoint
@@ -62,12 +67,30 @@ namespace {
 int RunConnect(int argc, char** argv) {
   std::string host_port;
   caddb::net::ClientOptions options;
+  caddb::net::RetryOptions retry;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--read-only") {
       options.role = caddb::net::SessionRole::kReadOnly;
     } else if (arg.rfind("--ns=", 0) == 0) {
       options.ns = arg.substr(5);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      // Attempts per command (and per connect), jittered-backoff between
+      // them; 0 disables retrying entirely.
+      try {
+        uint64_t n = std::stoull(arg.substr(10));
+        retry.max_attempts = n == 0 ? 1 : n;
+      } catch (...) {
+        std::cerr << "bad --retries value in '" << arg << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      try {
+        options.recv_timeout_ms = std::stoull(arg.substr(13));
+      } catch (...) {
+        std::cerr << "bad --timeout-ms value in '" << arg << "'\n";
+        return 2;
+      }
     } else if (host_port.empty() && !arg.empty() && arg[0] != '-') {
       host_port = arg;
     } else {
@@ -77,7 +100,7 @@ int RunConnect(int argc, char** argv) {
   }
   if (host_port.empty()) {
     std::cerr << "use: caddb_shell --connect host:port [--read-only] "
-                 "[--ns=<label>]\n";
+                 "[--ns=<label>] [--retries=N] [--timeout-ms=N]\n";
     return 2;
   }
   auto split = caddb::net::SplitHostPort(host_port);
@@ -85,16 +108,17 @@ int RunConnect(int argc, char** argv) {
     std::cerr << split.status().ToString() << "\n";
     return 2;
   }
-  auto client =
-      caddb::net::Client::Connect(split->first, split->second, options);
+  auto client = caddb::net::RetryingClient::Connect(split->first,
+                                                    split->second, options,
+                                                    retry);
   if (!client.ok()) {
     std::cerr << "connect: " << client.status().ToString() << "\n";
     return 2;
   }
   const bool interactive = isatty(0) != 0;
-  if (interactive) {
-    std::cout << (*client)->banner() << " — "
-              << ((*client)->writable() ? "writable" : "read-only")
+  if (interactive && (*client)->client() != nullptr) {
+    std::cout << (*client)->client()->banner() << " — "
+              << ((*client)->client()->writable() ? "writable" : "read-only")
               << " session; 'quit' exits.\n";
   }
   size_t errors = 0;
@@ -104,16 +128,12 @@ int RunConnect(int argc, char** argv) {
     if (!std::getline(std::cin, line)) break;
     std::string output;
     bool command_error = false;
+    // Sheds, timeouts and lost connections are retried (with reconnect)
+    // inside the client, up to --retries attempts.
     caddb::Status s = (*client)->Execute(line, &output, &command_error);
     if (!s.ok()) {
-      // A shed is a retryable refusal, not a dead connection; anything
-      // else ends the session.
       std::cerr << "error: " << s.ToString() << "\n";
       ++errors;
-      if (s.code() == caddb::Code::kUnavailable &&
-          s.ToString().find("request shed") != std::string::npos) {
-        continue;
-      }
       return 2;
     }
     std::cout << output;

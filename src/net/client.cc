@@ -1,13 +1,52 @@
 #include "net/client.h"
 
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <random>
+
+#include "fault/failpoint.h"
+
 namespace caddb {
 namespace net {
+
+namespace {
+
+void RetrySleep(uint64_t delay_us) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(delay_us / 1000000);
+  ts.tv_nsec = static_cast<long>((delay_us % 1000000) * 1000);
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+double RandomDraw() {
+  thread_local std::mt19937 rng{std::random_device{}()};
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+}
+
+/// A shed means the server refused cleanly — the connection itself is
+/// still good; everything else retryable means the transport died.
+bool IsShed(const Status& status) {
+  return status.message().find("request shed") != std::string::npos;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& address,
                                                 uint16_t port,
                                                 ClientOptions options) {
   std::unique_ptr<Client> client(new Client());
   CADDB_ASSIGN_OR_RETURN(client->sock_, ConnectTcp(address, port));
+  // Armed net.client.* failpoints act on this side of the wire only —
+  // server sockets carry their own net.session.* sites.
+  client->sock_.SetFaultSites(fault::sites::kNetClientRead,
+                              fault::sites::kNetClientWrite);
+  if (options.recv_timeout_ms > 0) {
+    CADDB_RETURN_IF_ERROR(
+        client->sock_.SetRecvTimeout(options.recv_timeout_ms));
+  }
   const std::string hello =
       EncodeFrame(FrameType::kHello,
                   EncodeHelloPayload(options.role, options.ns));
@@ -115,6 +154,105 @@ Result<std::string> Client::HttpGet(const std::string& address, uint16_t port,
                     path);
   }
   return response.substr(header_end + 4);
+}
+
+uint64_t RetryBackoffUs(const RetryOptions& options, uint64_t attempt,
+                        double jitter_draw) {
+  uint64_t backoff = options.initial_backoff_us;
+  for (uint64_t i = 0; i < attempt; ++i) {
+    if (backoff >= options.max_backoff_us / 2) {
+      backoff = options.max_backoff_us;
+      break;
+    }
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options.max_backoff_us);
+  const double jitter = std::min(std::max(options.jitter, 0.0), 1.0);
+  const uint64_t cut = static_cast<uint64_t>(
+      static_cast<double>(backoff) * jitter * jitter_draw);
+  return backoff - cut;
+}
+
+RetryingClient::RetryingClient(std::string address, uint16_t port,
+                               ClientOptions options, RetryOptions retry)
+    : address_(std::move(address)),
+      port_(port),
+      options_(std::move(options)),
+      retry_(std::move(retry)) {}
+
+Result<std::unique_ptr<RetryingClient>> RetryingClient::Connect(
+    const std::string& address, uint16_t port, ClientOptions options,
+    RetryOptions retry) {
+  std::unique_ptr<RetryingClient> client(new RetryingClient(
+      address, port, std::move(options), std::move(retry)));
+  const uint64_t attempts = std::max<uint64_t>(client->retry_.max_attempts, 1);
+  Status last = OkStatus();
+  for (uint64_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      client->SleepBackoff(attempt - 1);
+      ++client->retries_;
+    }
+    last = client->EnsureConnected();
+    if (last.ok()) return client;
+    if (last.code() != Code::kUnavailable) return last;
+  }
+  return Unavailable(last.message() + " (after " +
+                     std::to_string(attempts) + " attempts)");
+}
+
+Status RetryingClient::EnsureConnected() {
+  if (client_ != nullptr) return OkStatus();
+  Result<std::unique_ptr<Client>> connected =
+      Client::Connect(address_, port_, options_);
+  if (!connected.ok()) return connected.status();
+  client_ = std::move(*connected);
+  return OkStatus();
+}
+
+void RetryingClient::SleepBackoff(uint64_t attempt) {
+  const double draw =
+      retry_.jitter_source ? retry_.jitter_source() : RandomDraw();
+  const uint64_t delay = RetryBackoffUs(retry_, attempt, draw);
+  if (retry_.sleeper) {
+    retry_.sleeper(delay);
+  } else {
+    RetrySleep(delay);
+  }
+}
+
+Status RetryingClient::Execute(const std::string& line, std::string* output,
+                               bool* command_error) {
+  const uint64_t attempts = std::max<uint64_t>(retry_.max_attempts, 1);
+  Status last = OkStatus();
+  for (uint64_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      SleepBackoff(attempt - 1);
+      ++retries_;
+    }
+    last = EnsureConnected();
+    if (last.ok()) {
+      last = client_->Execute(line, output, command_error);
+      if (last.ok()) return last;
+      if (IsShed(last)) {
+        ++sheds_seen_;  // clean refusal; the connection stays usable
+      } else {
+        // Transport died: timeout, reset, or a torn frame (which the
+        // decoder reports as a protocol error). All of them mean this
+        // connection is done — reconnect and retry, bounded by
+        // max_attempts.
+        client_.reset();
+      }
+    } else if (last.code() != Code::kUnavailable) {
+      return last;  // hopeless (bad address, refused role): don't retry
+    }
+  }
+  return Unavailable(last.message() + " (after " +
+                     std::to_string(attempts) + " attempts)");
+}
+
+void RetryingClient::Close() {
+  if (client_ != nullptr) client_->Close();
+  client_.reset();
 }
 
 }  // namespace net

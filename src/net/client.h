@@ -2,6 +2,7 @@
 #define CADDB_NET_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -19,6 +20,10 @@ struct ClientOptions {
   SessionRole role = SessionRole::kDefault;
   /// Informational session label, reported by `server status`.
   std::string ns;
+  /// Bounds every read (handshake included) with SO_RCVTIMEO, so a dropped
+  /// response degrades to a retryable kUnavailable ("recv timed out")
+  /// instead of a hung session. 0 = block forever.
+  uint64_t recv_timeout_ms = 0;
 };
 
 class Client {
@@ -64,6 +69,72 @@ class Client {
   bool writable_ = false;
   bool closed_ = false;
   std::string banner_;
+};
+
+/// Capped-exponential retry with subtractive jitter, mirroring the
+/// Follower's backoff contract: attempt k (0-based) backs off
+/// min(initial * 2^k, max) microseconds, jittered down into
+/// [backoff * (1 - jitter), backoff]. Clock/sleeper/jitter are injectable
+/// so tests pin the exact schedule.
+struct RetryOptions {
+  uint64_t max_attempts = 4;
+  uint64_t initial_backoff_us = 50 * 1000;
+  uint64_t max_backoff_us = 1000 * 1000;
+  double jitter = 0.5;
+  /// Uniform [0,1) draw per sleep; null = thread-local mt19937.
+  std::function<double()> jitter_source;
+  /// Sleeps between attempts; null = real sleep.
+  std::function<void(uint64_t)> sleeper;
+};
+
+/// The backoff schedule itself: attempt's capped-exponential base delay,
+/// reduced by `jitter_draw` (in [0,1)) of the jitter window.
+uint64_t RetryBackoffUs(const RetryOptions& options, uint64_t attempt,
+                        double jitter_draw);
+
+/// A Client that survives a flaky network: connect failures, timeouts,
+/// sheds and lost connections are retried with jittered backoff (and a
+/// transparent reconnect when the connection died). This is the engine
+/// behind `caddb_shell --connect` and the soak driver's wire readers.
+///
+/// Retrying after a lost connection may re-execute a request the server
+/// already ran (at-least-once); callers routing non-idempotent writes
+/// through it accept that, exactly as with any network proxy that retries.
+class RetryingClient {
+ public:
+  /// Connects (retrying) — returns the last error after max_attempts.
+  static Result<std::unique_ptr<RetryingClient>> Connect(
+      const std::string& address, uint16_t port, ClientOptions options = {},
+      RetryOptions retry = {});
+
+  /// Client::Execute with retries. Non-retryable errors (command-level
+  /// failures are not errors; protocol errors, bad arguments) return
+  /// immediately.
+  Status Execute(const std::string& line, std::string* output,
+                 bool* command_error);
+
+  void Close();
+
+  /// The live underlying client (null between a lost connection and the
+  /// next Execute's reconnect).
+  Client* client() { return client_.get(); }
+  uint64_t retries() const { return retries_; }
+  uint64_t sheds_seen() const { return sheds_seen_; }
+
+ private:
+  RetryingClient(std::string address, uint16_t port, ClientOptions options,
+                 RetryOptions retry);
+
+  Status EnsureConnected();
+  void SleepBackoff(uint64_t attempt);
+
+  std::string address_;
+  uint16_t port_ = 0;
+  ClientOptions options_;
+  RetryOptions retry_;
+  std::unique_ptr<Client> client_;
+  uint64_t retries_ = 0;
+  uint64_t sheds_seen_ = 0;
 };
 
 }  // namespace net

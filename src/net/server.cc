@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/database.h"
+#include "fault/failpoint.h"
 #include "obs/exposition.h"
 #include "replication/follower.h"
 #include "shell/dispatcher.h"
@@ -41,7 +42,15 @@ struct Server::Request {
   std::shared_ptr<Session> session;
   uint64_t id = 0;
   std::string line;
+  /// When the reader enqueued it — the deadline check compares queue wait
+  /// against ServerOptions::request_deadline_us.
+  uint64_t enqueue_us = 0;
 };
+
+uint64_t Server::NowUs() const {
+  if (options_.clock_us_for_test) return options_.clock_us_for_test();
+  return obs::Tracer::NowUs();
+}
 
 Server::Server(Database* db, ServerOptions options)
     : db_(db),
@@ -190,6 +199,10 @@ void Server::AcceptLoop() {
         session = std::make_shared<Session>();
         session->id = next_session_id_++;
         session->sock = std::move(*accepted);
+        // Chaos targeting: armed net.session.* failpoints act on every
+        // accepted connection's I/O (and only on server-side sockets).
+        session->sock.SetFaultSites(fault::sites::kNetSessionRead,
+                                    fault::sites::kNetSessionWrite);
         session->peer = PeerName(session->sock);
         sessions_[session->id] = session;
       }
@@ -357,7 +370,7 @@ void Server::HandleFrame(const std::shared_ptr<Session>& session,
     if (!stop_.load(std::memory_order_acquire) &&
         queue_.size() < options_.queue_capacity) {
       session->inflight.fetch_add(1, std::memory_order_acq_rel);
-      queue_.push_back(Request{session, id, std::move(line)});
+      queue_.push_back(Request{session, id, std::move(line), NowUs()});
       queue_cv_.notify_one();
       return;
     }
@@ -385,7 +398,16 @@ void Server::WorkerLoop() {
       queue_.pop_front();
     }
     if (options_.worker_hook_for_test) options_.worker_hook_for_test();
-    Execute(request);
+    const uint64_t deadline = options_.request_deadline_us;
+    const uint64_t waited =
+        deadline > 0 ? NowUs() - request.enqueue_us : 0;
+    if (deadline > 0 && waited > deadline) {
+      Shed(request.session, request.id,
+           "deadline exceeded: queued " + std::to_string(waited) +
+               "us > " + std::to_string(deadline) + "us");
+    } else {
+      Execute(request);
+    }
     request.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
   }
 }

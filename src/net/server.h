@@ -64,9 +64,17 @@ struct ServerOptions {
   /// before a follower's first rebuild). Defaults to the database's bundle;
   /// must outlive the server.
   obs::Observability* obs = nullptr;
+  /// Per-request deadline: a request that has waited in the queue longer
+  /// than this when a worker picks it up is shed ("deadline exceeded")
+  /// instead of executed — under chaos (slow-loris reads, stalled
+  /// workers) latency degrades to a bounded refusal, never an unbounded
+  /// queue wait. 0 disables.
+  uint64_t request_deadline_us = 0;
   /// Test hook: runs on the worker thread before each request executes
   /// (used to hold the queue saturated in backpressure tests).
   std::function<void()> worker_hook_for_test;
+  /// Test hook: replaces the monotonic clock the deadline check reads.
+  std::function<uint64_t()> clock_us_for_test;
 };
 
 /// Point-in-time telemetry for `server status` and tests.
@@ -172,6 +180,7 @@ class Server {
   /// when attached). Callers hold exec_mu_.
   Database* CurrentDb();
   void ReapFinishedReaders();
+  uint64_t NowUs() const;
 
   Database* db_;
   ServerOptions options_;

@@ -4,10 +4,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "fault/failpoint.h"
 
 namespace caddb {
 namespace net {
@@ -31,6 +34,37 @@ void Socket::ShutdownBoth() {
 }
 
 Status Socket::SendAll(const void* data, size_t n) {
+  const char* site = write_site_.load(std::memory_order_acquire);
+  if (site != nullptr && fault::FailpointRegistry::Global().any_armed()) {
+    fault::FiredAction a;
+    if (fault::FailpointRegistry::Global().Hit(site, &a)) {
+      switch (a.kind) {
+        case fault::ActionKind::kDrop:
+          return OkStatus();  // acknowledged, never reaches the wire
+        case fault::ActionKind::kDelay:
+          fault::FailpointRegistry::Global().SleepFor(a.delay_us);
+          break;  // slow write: stall, then send normally
+        case fault::ActionKind::kTruncate: {
+          // Half the frame escapes, then the connection dies mid-frame —
+          // the peer's decoder sees a torn length-prefixed frame.
+          const int fd = this->fd();
+          if (n > 1) {
+            (void)::send(fd, data, n / 2, MSG_NOSIGNAL);
+          }
+          ShutdownBoth();
+          return Unavailable(std::string("failpoint ") + site +
+                             ": injected mid-frame truncation");
+        }
+        case fault::ActionKind::kReset:
+          ShutdownBoth();
+          return Unavailable(std::string("failpoint ") + site +
+                             ": injected connection reset");
+        default:
+          return Unavailable(std::string("failpoint ") + site +
+                             ": injected send failure");
+      }
+    }
+  }
   const int fd = this->fd();
   const char* p = static_cast<const char*>(data);
   size_t sent = 0;
@@ -47,15 +81,50 @@ Status Socket::SendAll(const void* data, size_t n) {
 }
 
 Result<size_t> Socket::Recv(void* buf, size_t n) {
+  const char* site = read_site_.load(std::memory_order_acquire);
+  if (site != nullptr && fault::FailpointRegistry::Global().any_armed()) {
+    fault::FiredAction a;
+    if (fault::FailpointRegistry::Global().Hit(site, &a)) {
+      switch (a.kind) {
+        case fault::ActionKind::kDelay:
+          // Slow-loris read: stall before draining the kernel buffer.
+          fault::FailpointRegistry::Global().SleepFor(a.delay_us);
+          break;
+        case fault::ActionKind::kDrop:
+          return size_t{0};  // fake orderly EOF
+        case fault::ActionKind::kReset:
+          ShutdownBoth();
+          return Unavailable(std::string("failpoint ") + site +
+                             ": injected connection reset");
+        default:
+          return Unavailable(std::string("failpoint ") + site +
+                             ": injected recv failure");
+      }
+    }
+  }
   const int fd = this->fd();
   while (true) {
     ssize_t r = ::recv(fd, buf, n, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Unavailable("recv timed out");
+      }
       return Unavailable(Errno("recv"));
     }
     return static_cast<size_t>(r);
   }
+}
+
+Status Socket::SetRecvTimeout(uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(this->fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+      0) {
+    return InternalError(Errno("setsockopt(SO_RCVTIMEO)"));
+  }
+  return OkStatus();
 }
 
 Result<Socket> ListenTcp(const std::string& address, uint16_t port,

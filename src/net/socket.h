@@ -30,11 +30,16 @@ class Socket {
 
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
-  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_.exchange(-1)),
+        read_site_(other.read_site_.exchange(nullptr)),
+        write_site_(other.write_site_.exchange(nullptr)) {}
   Socket& operator=(Socket&& other) noexcept {
     if (this != &other) {
       Close();
       fd_.store(other.fd_.exchange(-1));
+      read_site_.store(other.read_site_.exchange(nullptr));
+      write_site_.store(other.write_site_.exchange(nullptr));
     }
     return *this;
   }
@@ -50,11 +55,29 @@ class Socket {
   /// peer has gone away.
   Status SendAll(const void* data, size_t n);
 
-  /// Reads up to `n` bytes; 0 means orderly EOF.
+  /// Reads up to `n` bytes; 0 means orderly EOF (or a timed-out recv as
+  /// kUnavailable when a receive timeout is set).
   Result<size_t> Recv(void* buf, size_t n);
+
+  /// Bounds every subsequent Recv with SO_RCVTIMEO; a timeout surfaces as
+  /// kUnavailable mentioning "timed out". 0 disables.
+  Status SetRecvTimeout(uint64_t timeout_ms);
+
+  /// Attaches this socket to a pair of failpoint sites (string literals /
+  /// static storage only). When armed in the global FailpointRegistry,
+  /// SendAll consults `write_site` (drop / truncate mid-frame / reset /
+  /// delay / error) and Recv consults `read_site` (slow-loris delay, fake
+  /// EOF, reset, error) before touching the fd. Unset sites cost one
+  /// relaxed atomic load per call.
+  void SetFaultSites(const char* read_site, const char* write_site) {
+    read_site_.store(read_site, std::memory_order_release);
+    write_site_.store(write_site, std::memory_order_release);
+  }
 
  private:
   std::atomic<int> fd_{-1};
+  std::atomic<const char*> read_site_{nullptr};
+  std::atomic<const char*> write_site_{nullptr};
 };
 
 /// Binds and listens on `address:port` (port 0 picks an ephemeral port;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -51,6 +52,22 @@ bool ParseValue(const std::string& s, double* out) {
   return end != nullptr && *end == '\0' && end != s.c_str();
 }
 
+// Splits an instrument name that carries an inline label set —
+// `caddb_fault_fired_total{site="wal.append.pre_fsync"}` — into the bare
+// family name and the `{...}` suffix (empty for unlabeled instruments).
+// HELP/TYPE lines must name the family, never the labeled series.
+void SplitLabels(const std::string& name, std::string* family,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+  } else {
+    *family = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
 // Strips a histogram-series suffix so samples map back to their family.
 std::string FamilyName(const std::string& sample_name) {
   for (const char* suffix : {"_bucket", "_sum", "_count"}) {
@@ -68,13 +85,25 @@ std::string FamilyName(const std::string& sample_name) {
 
 std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
+  // Labeled series of one family share a single HELP/TYPE declaration.
+  // The snapshot is name-ordered, so same-family series are adjacent, but
+  // the set keeps the once-per-family contract independent of ordering.
+  std::set<std::string> declared;
+  auto declare = [&](const std::string& family, const std::string& help,
+                     const char* type) {
+    if (!declared.insert(family).second) return;
+    AppendHelpType(&out, family, help, type);
+  };
+  std::string family, labels;
   for (const CounterSample& c : snapshot.counters) {
-    AppendHelpType(&out, c.name, c.help, "counter");
-    out += c.name + " " + std::to_string(c.value) + "\n";
+    SplitLabels(c.name, &family, &labels);
+    declare(family, c.help, "counter");
+    out += family + labels + " " + std::to_string(c.value) + "\n";
   }
   for (const GaugeSample& g : snapshot.gauges) {
-    AppendHelpType(&out, g.name, g.help, "gauge");
-    out += g.name + " " + std::to_string(g.value) + "\n";
+    SplitLabels(g.name, &family, &labels);
+    declare(family, g.help, "gauge");
+    out += family + labels + " " + std::to_string(g.value) + "\n";
   }
   for (const HistogramSample& h : snapshot.histograms) {
     AppendHelpType(&out, h.name, h.help, "histogram");

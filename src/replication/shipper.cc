@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "fault/failpoint.h"
 #include "storage/file_manager.h"
 #include "wal/checkpoint.h"
 #include "wal/crc32c.h"
@@ -51,6 +52,41 @@ Result<ShipmentReport> Shipper::ShipNow() {
                  /*always_time=*/true);
   m_attempts_->Increment();
   report.fault = options_.faults.For(attempts_);
+  // The registry site is the runtime-armable face of the same per-attempt
+  // matrix: an armed `replication.ship` action maps onto the FaultKind the
+  // static plan would have carried (the plan, when both are set, wins).
+  fault::FiredAction shipfault;
+  if (report.fault == FaultKind::kNone &&
+      fault::Hit(fault::sites::kReplicationShip, &shipfault)) {
+    switch (shipfault.kind) {
+      case fault::ActionKind::kDrop:
+        report.fault = FaultKind::kDrop;
+        break;
+      case fault::ActionKind::kTruncate:
+        report.fault = FaultKind::kTruncate;
+        break;
+      case fault::ActionKind::kDuplicate:
+        report.fault = FaultKind::kDuplicate;
+        break;
+      case fault::ActionKind::kReorder:
+        report.fault = FaultKind::kReorder;
+        break;
+      case fault::ActionKind::kCorrupt:
+        report.fault = FaultKind::kCorrupt;
+        break;
+      case fault::ActionKind::kStall:
+        report.fault = FaultKind::kStall;
+        break;
+      case fault::ActionKind::kDelay:
+        fault::FailpointRegistry::Global().SleepFor(shipfault.delay_us);
+        break;
+      default:
+        return Unavailable("failpoint replication.ship: injected failure" +
+                           (shipfault.message.empty()
+                                ? std::string()
+                                : ": " + shipfault.message));
+    }
+  }
   if (report.fault == FaultKind::kStall) {
     return report;  // the transport hung; nothing reaches the replica
   }
@@ -182,6 +218,8 @@ Result<ShipmentReport> Shipper::ShipNow() {
     reorder_stash_ = encoded;
     return report;
   }
+  CADDB_RETURN_IF_ERROR(
+      fault::Inject(fault::sites::kReplicationShipManifest));
   CADDB_RETURN_IF_ERROR(wal::AtomicWriteFile(manifest_path, encoded));
   if (report.fault == FaultKind::kDuplicate) {
     CADDB_RETURN_IF_ERROR(wal::AtomicWriteFile(manifest_path, encoded));

@@ -9,6 +9,7 @@
 #include "analysis/disk_verifier.h"
 #include "core/stats.h"
 #include "ddl/printer.h"
+#include "fault/failpoint.h"
 #include "net/server.h"
 #include "obs/exposition.h"
 #include "persist/dump.h"
@@ -114,6 +115,8 @@ bool Dispatcher::IsMutatingCommand(const std::vector<std::string>& tokens) {
       cmd == "checkpoint" || cmd == "ship") {
     return true;
   }
+  // Arming/disarming failpoints changes process behavior; listing reads.
+  if (cmd == "fault") return tokens.size() > 1 && tokens[1] != "list";
   // Mode changes are mutations; bare status forms are reads.
   if (cmd == "cache") return tokens.size() > 1;
   if (cmd == "trace") return tokens.size() > 1 && tokens[1] != "dump";
@@ -659,6 +662,80 @@ bool Dispatcher::ExecuteLine(const std::string& line, std::ostream& out) {
             << "\n";
       }
     }
+    return true;
+  }
+  if (cmd == "fault") {
+    // Failpoint control, local or over the wire. The registry is
+    // process-wide; arming binds the site's fire counter into this
+    // database's metrics registry so `metrics --format=prom` exports
+    // caddb_fault_fired_total{site="..."}.
+    fault::FailpointRegistry& registry = fault::FailpointRegistry::Global();
+    const std::string sub = tokens.size() > 1 ? tokens[1] : "list";
+    if (sub == "list") {
+      const bool json =
+          tokens.size() > 2 && tokens[2] == "--format=json";
+      if (tokens.size() > 2 && !json && tokens[2] != "--format=text") {
+        fail(InvalidArgument("use: fault list [--format=json]"));
+        return true;
+      }
+      const std::vector<fault::SiteInfo> sites = registry.List();
+      if (json) {
+        JsonWriter w;
+        w.BeginArray();
+        for (const fault::SiteInfo& site : sites) {
+          w.BeginObject();
+          w.Key("site");
+          w.String(site.name);
+          w.Key("armed");
+          w.Bool(site.armed);
+          w.Key("spec");
+          w.String(site.spec);
+          w.Key("hits");
+          w.UInt(site.hits);
+          w.Key("fired");
+          w.UInt(site.fired);
+          w.EndObject();
+        }
+        w.EndArray();
+        out << w.str() << "\n";
+      } else {
+        for (const fault::SiteInfo& site : sites) {
+          out << site.name << " " << site.spec << " hits=" << site.hits
+              << " fired=" << site.fired << "\n";
+        }
+      }
+      return true;
+    }
+    if (sub == "arm") {
+      if (tokens.size() < 4) {
+        fail(InvalidArgument(
+            "use: fault arm <site> <kind>[=value] [--skip=N] [--every=N] "
+            "[--times=N] [--p=F] [--seed=S]"));
+        return true;
+      }
+      std::vector<std::string> spec_tokens(tokens.begin() + 3, tokens.end());
+      Result<fault::FailpointSpec> spec =
+          fault::FailpointSpec::Parse(spec_tokens);
+      if (!spec.ok()) {
+        fail(spec.status());
+        return true;
+      }
+      Status s =
+          registry.Arm(tokens[2], *spec, &db_->observability()->metrics);
+      s.ok() ? void(out << "ok\n") : fail(s);
+      return true;
+    }
+    if (sub == "disarm") {
+      if (tokens.size() > 2 && tokens[2] == "--all") {
+        out << "disarmed " << registry.DisarmAll() << " site(s)\n";
+        return true;
+      }
+      if (!need(2)) return true;
+      Status s = registry.Disarm(tokens[2]);
+      s.ok() ? void(out << "ok\n") : fail(s);
+      return true;
+    }
+    fail(InvalidArgument("use: fault list|arm|disarm"));
     return true;
   }
   if (cmd == "trace") {

@@ -58,6 +58,14 @@ namespace shell {
 ///       metrics snapshot
 ///   metrics [--format=json|prom]   every registered counter/gauge/histogram
 ///       (prom is Prometheus text exposition 0.0.4)
+///   fault list [--format=json]   every failpoint site with its armed spec
+///       and hit/fired counters
+///   fault arm <site> <kind>[=value] [--skip=N] [--every=N] [--times=N]
+///       [--p=F] [--seed=S]   arm a failpoint (kinds: error[=msg], abort,
+///       delay=<dur>, cut=<bytes>, drop, truncate, reset, corrupt,
+///       duplicate, reorder, stall); fires export as
+///       caddb_fault_fired_total{site="..."} in `metrics`
+///   fault disarm <site>|--all
 ///   trace [on|off|clear|threshold <us>|dump [--slow-only]]   operation
 ///       tracing: RAII spans into a bounded ring; spans over the threshold
 ///       are retained separately and shown by --slow-only

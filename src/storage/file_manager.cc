@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "fault/failpoint.h"
+
 namespace caddb {
 namespace storage {
 
@@ -103,6 +105,10 @@ Status FileManager::WritePage(uint32_t id, const std::string& bytes) {
     return Unavailable("injected page-write failure at write " +
                        std::to_string(index));
   }
+  // Registry site for runtime-armed page-write faults (clean error / abort
+  // / delay); the byte-exact torn-write crash matrix below stays on the
+  // per-instance options.
+  CADDB_RETURN_IF_ERROR(fault::Inject(fault::sites::kStoragePageWrite));
   size_t limit = kPageSize;
   if (index > options_.fail_after_writes) {
     return OkStatus();  // acknowledged but lost — the post-crash writes
@@ -125,6 +131,7 @@ Status FileManager::WritePage(uint32_t id, const std::string& bytes) {
 
 Status FileManager::Sync() {
   if (options_.read_only || fd_ < 0) return OkStatus();
+  CADDB_RETURN_IF_ERROR(fault::Inject(fault::sites::kStoragePageFlush));
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (write_count_ > options_.fail_after_writes) {

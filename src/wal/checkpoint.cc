@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "fault/failpoint.h"
 #include "wal/crc32c.h"
 #include "wal/log_io.h"
 
@@ -56,6 +57,7 @@ Status WriteCheckpoint(const std::string& dir, uint64_t lsn,
                          std::to_string(dump.size()) + " " + crc_hex + "\n" +
                          dump;
   const std::string path = (fs::path(dir) / CheckpointFileName(lsn)).string();
+  CADDB_RETURN_IF_ERROR(fault::Inject(fault::sites::kWalCheckpointPublish));
   CADDB_RETURN_IF_ERROR(AtomicWriteFile(path, contents));
   // The new checkpoint is durable; older ones are now dead weight.
   for (const CheckpointFileInfo& info : ListCheckpoints(dir)) {
@@ -100,6 +102,7 @@ Status WriteCheckpointV3(const std::string& dir, uint64_t lsn,
                          std::to_string(body.size()) + " " + crc_hex + "\n" +
                          body;
   const std::string path = (fs::path(dir) / CheckpointFileName(lsn)).string();
+  CADDB_RETURN_IF_ERROR(fault::Inject(fault::sites::kWalCheckpointPublish));
   CADDB_RETURN_IF_ERROR(AtomicWriteFile(path, contents));
   for (const CheckpointFileInfo& info : ListCheckpoints(dir)) {
     if (info.lsn >= lsn) continue;

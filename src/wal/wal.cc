@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "fault/failpoint.h"
 #include "wal/compaction.h"
 
 namespace caddb {
@@ -143,6 +144,16 @@ Status Wal::OpenSegmentLocked(uint64_t start_lsn) {
       options_.file_factory ? options_.file_factory(path)
                             : OpenWritableFile(path);
   if (!file.ok()) return file.status();
+  // Registry-armed byte cut (`fault arm wal.file.cut cut=N`): the unified
+  // form of the FailpointFactory crash matrix — the new segment silently
+  // loses every byte past the budget and its fsyncs lie.
+  fault::FiredAction cut;
+  if (fault::Hit(fault::sites::kWalFileCut, &cut) &&
+      cut.kind == fault::ActionKind::kCut) {
+    file = Result<std::unique_ptr<WritableFile>>(
+        std::unique_ptr<WritableFile>(
+            new FailpointFile(std::move(*file), cut.arg)));
+  }
   file_ = std::move(*file);
   segment_path_ = path;
   segment_start_lsn_ = start_lsn;
@@ -182,7 +193,8 @@ Status Wal::SyncFileLocked() {
   // Timed directly (no Span): this runs under mu_, and span completion may
   // invoke observer callbacks that are allowed to call back into the Wal.
   const uint64_t fsync_start_us = obs::Tracer::NowUs();
-  Status s = file_->Sync();
+  Status s = fault::Inject(fault::sites::kWalAppendPreFsync);
+  if (s.ok()) s = file_->Sync();
   m_fsync_us_->Record(obs::Tracer::NowUs() - fsync_start_us);
   if (!s.ok()) {
     sync_error_ = s;

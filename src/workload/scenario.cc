@@ -1,0 +1,222 @@
+#include "workload/scenario.h"
+
+#include <random>
+
+#include "core/paper_schemas.h"
+
+namespace caddb {
+namespace workload {
+
+namespace {
+
+/// Standard bore drilled into every interface: the fixed dimensions keep
+/// the screwing arithmetic (s.Length = n.Length + sum(Bores.Length),
+/// diameters ordered) satisfiable by construction.
+constexpr int64_t kBoreDiameter = 9;
+constexpr int64_t kBoreLength = 20;
+constexpr int64_t kNutLength = 5;
+constexpr int64_t kPartDiameter = 8;
+
+Result<Surrogate> NewBore(Database* db, Surrogate owner, std::mt19937* rng) {
+  CADDB_ASSIGN_OR_RETURN(Surrogate bore, db->CreateSubobject(owner, "Bores"));
+  CADDB_RETURN_IF_ERROR(db->Set(bore, "Diameter", Value::Int(kBoreDiameter)));
+  CADDB_RETURN_IF_ERROR(db->Set(bore, "Length", Value::Int(kBoreLength)));
+  CADDB_RETURN_IF_ERROR(
+      db->Set(bore, "Position",
+              Value::Point(static_cast<int64_t>((*rng)() % 1000),
+                           static_cast<int64_t>((*rng)() % 1000))));
+  return bore;
+}
+
+}  // namespace
+
+Result<SteelYard> GenerateSteelYard(Database* db, const SteelParams& params) {
+  if (params.catalog_parts < 1 || params.girder_interfaces < 1 ||
+      params.bores_per_interface < 1 || params.structures < 0 ||
+      params.girders_per_structure < 1) {
+    return InvalidArgument("steel params out of range");
+  }
+  std::mt19937 rng(params.seed);
+  SteelYard out;
+
+  // The standard-parts catalog. Each screwing uses exactly two bores, so a
+  // consistent bolt is nut + 2 bores long.
+  for (int i = 0; i < params.catalog_parts; ++i) {
+    CADDB_ASSIGN_OR_RETURN(Surrogate bolt, db->CreateObject("BoltType"));
+    CADDB_RETURN_IF_ERROR(
+        db->Set(bolt, "Length", Value::Int(kNutLength + 2 * kBoreLength)));
+    CADDB_RETURN_IF_ERROR(
+        db->Set(bolt, "Diameter", Value::Int(kPartDiameter)));
+    out.bolts.push_back(bolt);
+    CADDB_ASSIGN_OR_RETURN(Surrogate nut, db->CreateObject("NutType"));
+    CADDB_RETURN_IF_ERROR(db->Set(nut, "Length", Value::Int(kNutLength)));
+    CADDB_RETURN_IF_ERROR(db->Set(nut, "Diameter", Value::Int(kPartDiameter)));
+    out.nuts.push_back(nut);
+  }
+
+  // Interface libraries. Girder proportions respect the schema constraint
+  // Length < 100 * Height * Width.
+  for (int i = 0; i < params.girder_interfaces; ++i) {
+    CADDB_ASSIGN_OR_RETURN(Surrogate iface,
+                           db->CreateObject("GirderInterface"));
+    const int64_t height = 10 + static_cast<int64_t>(rng() % 20);
+    const int64_t width = 5 + static_cast<int64_t>(rng() % 10);
+    const int64_t length =
+        1 + static_cast<int64_t>(rng() % (100 * height * width / 2));
+    CADDB_RETURN_IF_ERROR(db->Set(iface, "Length", Value::Int(length)));
+    CADDB_RETURN_IF_ERROR(db->Set(iface, "Height", Value::Int(height)));
+    CADDB_RETURN_IF_ERROR(db->Set(iface, "Width", Value::Int(width)));
+    for (int b = 0; b < params.bores_per_interface; ++b) {
+      CADDB_RETURN_IF_ERROR(NewBore(db, iface, &rng).status());
+      ++out.bores;
+    }
+    out.girder_interfaces.push_back(iface);
+  }
+  for (int i = 0; i < params.plate_interfaces; ++i) {
+    CADDB_ASSIGN_OR_RETURN(Surrogate iface, db->CreateObject("PlateInterface"));
+    CADDB_RETURN_IF_ERROR(
+        db->Set(iface, "Thickness",
+                Value::Int(10 + static_cast<int64_t>(rng() % 30))));
+    for (int b = 0; b < params.bores_per_interface; ++b) {
+      CADDB_RETURN_IF_ERROR(NewBore(db, iface, &rng).status());
+      ++out.bores;
+    }
+    out.plate_interfaces.push_back(iface);
+  }
+
+  // The yard: structures with member girders/plates bound to random
+  // interfaces, plus screwings over the members' (inherited) bores.
+  for (int s = 0; s < params.structures; ++s) {
+    CADDB_ASSIGN_OR_RETURN(Surrogate wcs,
+                           db->CreateObject("WeightCarrying_Structure"));
+    CADDB_RETURN_IF_ERROR(
+        db->Set(wcs, "Designer",
+                Value::String("designer-" + std::to_string(rng() % 8))));
+    CADDB_RETURN_IF_ERROR(
+        db->Set(wcs, "Description",
+                Value::String("structure-" + std::to_string(s))));
+    std::vector<Surrogate> members;
+    for (int g = 0; g < params.girders_per_structure; ++g) {
+      CADDB_ASSIGN_OR_RETURN(Surrogate girder,
+                             db->CreateSubobject(wcs, "Girders"));
+      Surrogate iface =
+          out.girder_interfaces[rng() % out.girder_interfaces.size()];
+      CADDB_ASSIGN_OR_RETURN(Surrogate binding,
+                             db->Bind(girder, iface, "AllOf_GirderIf"));
+      (void)binding;
+      members.push_back(girder);
+    }
+    for (int p = 0;
+         p < params.plates_per_structure && !out.plate_interfaces.empty();
+         ++p) {
+      CADDB_ASSIGN_OR_RETURN(Surrogate plate,
+                             db->CreateSubobject(wcs, "Plates"));
+      Surrogate iface =
+          out.plate_interfaces[rng() % out.plate_interfaces.size()];
+      CADDB_ASSIGN_OR_RETURN(Surrogate binding,
+                             db->Bind(plate, iface, "AllOf_PlateIf"));
+      (void)binding;
+      members.push_back(plate);
+    }
+
+    // Member bores, via the inheritance-resolved views — exactly what the
+    // Screwings where-clause admits.
+    std::vector<Surrogate> member_bores;
+    for (Surrogate member : members) {
+      CADDB_ASSIGN_OR_RETURN(std::vector<Surrogate> bores,
+                             db->Subclass(member, "Bores"));
+      member_bores.insert(member_bores.end(), bores.begin(), bores.end());
+    }
+    for (int w = 0;
+         w < params.screwings_per_structure && member_bores.size() >= 2;
+         ++w) {
+      const size_t first = rng() % member_bores.size();
+      size_t second = rng() % member_bores.size();
+      if (second == first) second = (second + 1) % member_bores.size();
+      CADDB_ASSIGN_OR_RETURN(
+          Surrogate screwing,
+          db->CreateSubrel(
+              wcs, "Screwings",
+              {{"Bores", {member_bores[first], member_bores[second]}}}));
+      CADDB_RETURN_IF_ERROR(
+          db->Set(screwing, "Strength",
+                  Value::Int(50 + static_cast<int64_t>(rng() % 50))));
+      const size_t part = rng() % out.bolts.size();
+      CADDB_ASSIGN_OR_RETURN(Surrogate bolt_slot,
+                             db->CreateSubobject(screwing, "Bolt"));
+      CADDB_ASSIGN_OR_RETURN(
+          Surrogate bolt_bind,
+          db->Bind(bolt_slot, out.bolts[part], "AllOf_BoltType"));
+      (void)bolt_bind;
+      CADDB_ASSIGN_OR_RETURN(Surrogate nut_slot,
+                             db->CreateSubobject(screwing, "Nut"));
+      CADDB_ASSIGN_OR_RETURN(
+          Surrogate nut_bind,
+          db->Bind(nut_slot, out.nuts[part], "AllOf_NutType"));
+      (void)nut_bind;
+      out.screwings.push_back(screwing);
+    }
+    out.structures.push_back(wcs);
+  }
+  return out;
+}
+
+Result<SteelYard> GenerateSteelYardInto(Database* db,
+                                        const SteelParams& params) {
+  CADDB_RETURN_IF_ERROR(db->ExecuteDdl(schemas::kSteel));
+  return GenerateSteelYard(db, params);
+}
+
+std::string DeepHierarchyDdl(int depth) {
+  std::string ddl = "obj-type HL0 = attributes: A, B: integer; end HL0;\n";
+  for (int i = 1; i <= depth; ++i) {
+    const std::string prev = "HL" + std::to_string(i - 1);
+    const std::string cur = "HL" + std::to_string(i);
+    const std::string rel = "HR" + std::to_string(i);
+    ddl += "inher-rel-type " + rel + " = transmitter: object-of-type " +
+           prev + "; inheritor: object; inheriting: A; end " + rel + ";\n";
+    ddl += "obj-type " + cur + " = inheritor-in: " + rel + "; attributes: C" +
+           std::to_string(i) + ": integer; end " + cur + ";\n";
+  }
+  return ddl;
+}
+
+Result<Hierarchy> GenerateDeepHierarchy(Database* db,
+                                        const HierarchyParams& params) {
+  if (params.depth < 1 || params.chains < 1) {
+    return InvalidArgument("hierarchy params out of range");
+  }
+  // Idempotent DDL: a second call on the same database (or a soak restart)
+  // finds the types already declared.
+  if (!db->catalog().FindObjectType("HL0")) {
+    CADDB_RETURN_IF_ERROR(db->ExecuteDdl(DeepHierarchyDdl(params.depth)));
+  }
+  std::mt19937 rng(params.seed);
+  Hierarchy out;
+  for (int c = 0; c < params.chains; ++c) {
+    std::vector<Surrogate> chain;
+    for (int k = 0; k <= params.depth; ++k) {
+      CADDB_ASSIGN_OR_RETURN(Surrogate node,
+                             db->CreateObject("HL" + std::to_string(k)));
+      chain.push_back(node);
+    }
+    const int64_t root_value = static_cast<int64_t>(rng() % 100000);
+    CADDB_RETURN_IF_ERROR(db->Set(chain[0], "A", Value::Int(root_value)));
+    CADDB_RETURN_IF_ERROR(db->Set(chain[0], "B", Value::Int(c)));
+    for (int k = 1; k <= params.depth; ++k) {
+      CADDB_ASSIGN_OR_RETURN(
+          Surrogate binding,
+          db->Bind(chain[k], chain[k - 1], "HR" + std::to_string(k)));
+      (void)binding;
+      CADDB_RETURN_IF_ERROR(
+          db->Set(chain[k], "C" + std::to_string(k),
+                  Value::Int(static_cast<int64_t>(rng() % 1000))));
+    }
+    out.chain_nodes.push_back(std::move(chain));
+    out.root_values.push_back(root_value);
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace caddb

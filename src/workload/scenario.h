@@ -1,0 +1,87 @@
+#ifndef CADDB_WORKLOAD_SCENARIO_H_
+#define CADDB_WORKLOAD_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace caddb {
+namespace workload {
+
+/// Parameters of the paper's section 5 steel-construction population: a
+/// catalog of standard parts (bolts/nuts), libraries of girder and plate
+/// interfaces with bores, and a yard of weight-carrying structures whose
+/// members inherit from the libraries and whose screwings tie member bores
+/// to catalog parts. Every generated value satisfies the schema's
+/// constraints (girder proportions, bolt/nut/bore arithmetic), so
+/// constraint checks over the population stay clean.
+struct SteelParams {
+  uint32_t seed = 7;
+  /// Bolt/nut pairs in the standard-parts catalog.
+  int catalog_parts = 4;
+  int girder_interfaces = 4;
+  int plate_interfaces = 3;
+  /// Bores drilled into each interface.
+  int bores_per_interface = 2;
+  /// Weight-carrying structures in the yard.
+  int structures = 6;
+  int girders_per_structure = 2;
+  int plates_per_structure = 1;
+  /// Screwings per structure; each uses two bores of the structure's own
+  /// members (the subrel's where-clause) plus one catalog bolt/nut pair.
+  int screwings_per_structure = 2;
+};
+
+/// The generated population, for soak drivers and stress tests to mutate
+/// and navigate.
+struct SteelYard {
+  std::vector<Surrogate> bolts;
+  std::vector<Surrogate> nuts;
+  std::vector<Surrogate> girder_interfaces;
+  std::vector<Surrogate> plate_interfaces;
+  std::vector<Surrogate> structures;
+  std::vector<Surrogate> screwings;
+  size_t bores = 0;
+};
+
+/// Populates `db` (which must already hold schemas::kSteel) with a random
+/// steel yard. Deterministic per seed.
+Result<SteelYard> GenerateSteelYard(Database* db, const SteelParams& params);
+
+/// Convenience: runs the steel DDL first.
+Result<SteelYard> GenerateSteelYardInto(Database* db,
+                                        const SteelParams& params);
+
+/// Parameters of a deep interface hierarchy: `chains` independent
+/// inheritance chains of `depth` hops, each hop re-transmitting the root's
+/// A attribute (the resolution-path stressor from the paper's interface
+/// discussion — reads at the leaf walk the full chain).
+struct HierarchyParams {
+  uint32_t seed = 11;
+  int depth = 6;
+  int chains = 3;
+};
+
+struct Hierarchy {
+  /// chain_nodes[c][k] is level-k node of chain c (k = 0 is the root).
+  std::vector<std::vector<Surrogate>> chain_nodes;
+  /// Root A values, seeded per chain; leaves must resolve to these.
+  std::vector<int64_t> root_values;
+};
+
+/// Declares the chain types (HL0..HLdepth / HR1..HRdepth — names chosen
+/// not to collide with other schemas) if absent and builds the bound,
+/// seeded chains. Deterministic per seed.
+Result<Hierarchy> GenerateDeepHierarchy(Database* db,
+                                        const HierarchyParams& params);
+
+/// The DDL GenerateDeepHierarchy executes, exposed so differential oracles
+/// can mirror the schema into a second database.
+std::string DeepHierarchyDdl(int depth);
+
+}  // namespace workload
+}  // namespace caddb
+
+#endif  // CADDB_WORKLOAD_SCENARIO_H_

@@ -1,0 +1,93 @@
+#ifndef CADDB_WORKLOAD_SOAK_H_
+#define CADDB_WORKLOAD_SOAK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "workload/scenario.h"
+
+namespace caddb {
+namespace workload {
+
+/// Configuration of one soak run: a durable primary (plus, by default, a
+/// net::Server serving it, a replication follower tailing it, and a wire
+/// reader hammering the server through a RetryingClient), mutated by a
+/// seeded op stream while a seeded fault schedule arms failpoints against
+/// every layer. Two oracles watch the whole time:
+///
+///   invariant oracle     `caddb check` (schema + store analysis) during
+///                        the run, replica-divergence/quarantine at the
+///                        end, and the offline disk verifier after close;
+///   differential oracle  a copy-based baseline database (the paper's
+///                        section 2 strawman) maintained alongside every
+///                        hierarchy mutation — primary reads resolved
+///                        through value inheritance must equal the
+///                        baseline's manually-refreshed copies.
+///
+/// The op stream depends only on the seed, never on fault timing, so a
+/// failing run reproduces from its seed alone.
+struct SoakOptions {
+  /// Root directory; the run creates <dir>/primary and <dir>/replica.
+  std::string dir;
+  uint32_t seed = 1;
+  /// Mutation ops to apply (the run's length in op terms).
+  uint64_t ops = 2000;
+  /// Wall-clock budget. 0 = run the ops as fast as possible; otherwise the
+  /// op stream is paced to spread over roughly this long, and the run
+  /// stops early when the budget is exhausted.
+  uint64_t duration_ms = 0;
+  /// Serve the primary over TCP and run a wire-reader thread against it.
+  bool with_server = true;
+  /// Ship to and poll a follower for the whole run.
+  bool with_replication = true;
+  /// Fault schedule: ";"-separated events `@<ms> arm <site> <spec>` /
+  /// `@<ms> disarm <site>`. Empty = a safe seeded default schedule;
+  /// "none" = no faults.
+  std::string fault_schedule;
+  /// Run the invariant oracle every this many ops (0 = only at the end).
+  uint64_t check_every = 250;
+  /// Publish a checkpoint every this many ops (0 = never during the run).
+  uint64_t checkpoint_every = 500;
+  int hierarchy_depth = 5;
+  int hierarchy_chains = 3;
+  SteelParams steel;
+};
+
+struct SoakReport {
+  uint64_t ops_applied = 0;
+  uint64_t op_failures = 0;
+  uint64_t reads = 0;
+  uint64_t read_failures = 0;
+  uint64_t retries = 0;  ///< wire-reader reconnect/backoff retries
+  uint64_t sheds = 0;    ///< wire-reader requests the server refused
+  uint64_t checks_run = 0;
+  uint64_t checkpoints = 0;
+  uint64_t faults_armed = 0;
+  uint64_t faults_fired = 0;
+  uint64_t invariant_violations = 0;
+  uint64_t differential_mismatches = 0;
+  /// FNV-1a over the generated op stream — equal for equal seeds, fault
+  /// schedule or not, so two runs are comparable by construction.
+  uint64_t ops_hash = 0;
+  bool follower_caught_up = true;
+  bool follower_quarantined = false;
+  bool disk_clean = true;
+  /// First oracle complaint, verbatim (empty when none).
+  std::string first_violation;
+
+  bool ok() const {
+    return invariant_violations == 0 && differential_mismatches == 0 &&
+           !follower_quarantined && follower_caught_up && disk_clean;
+  }
+  std::string RenderText() const;
+};
+
+/// Runs one soak. The returned Status is about the harness itself (could
+/// not open the primary, could not bind the server); oracle failures are
+/// reported in the SoakReport, not as an error.
+Result<SoakReport> RunSoak(const SoakOptions& options);
+
+}  // namespace workload
+}  // namespace caddb
+
+#endif  // CADDB_WORKLOAD_SOAK_H_

@@ -1,0 +1,422 @@
+// Network chaos: fault-injecting sockets, server-side deadlines, the
+// retry-with-backoff client, the `fault` verb served over the wire, and the
+// SIGTERM-under-chaos regression against the real caddb_server binary.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "fault/failpoint.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace caddb {
+namespace net {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Disarms every global failpoint on entry and exit, so chaos in one test
+/// never leaks into the next.
+struct FaultGuard {
+  FaultGuard() { fault::FailpointRegistry::Global().DisarmAll(); }
+  ~FaultGuard() {
+    fault::FailpointRegistry::Global().set_sleeper(nullptr);
+    fault::FailpointRegistry::Global().DisarmAll();
+  }
+};
+
+class TestDir {
+ public:
+  explicit TestDir(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("caddb_faultnet_" + name + "_" + std::to_string(::getpid())))
+                  .string()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+    fs::create_directories(path_, ec);
+  }
+  ~TestDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+  std::string Sub(const std::string& name) const {
+    return (fs::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+std::unique_ptr<Server> MustStart(Database* db, ServerOptions options = {}) {
+  options.port = 0;
+  auto started = Server::Start(db, std::move(options));
+  EXPECT_TRUE(started.ok()) << started.status().ToString();
+  return std::move(*started);
+}
+
+// ---------------------------------------------------------------------------
+// The backoff schedule (mirrors the Follower's contract).
+
+TEST(RetryBackoff, ExactScheduleWithoutJitter) {
+  RetryOptions options;
+  options.initial_backoff_us = 50 * 1000;
+  options.max_backoff_us = 1000 * 1000;
+  options.jitter = 0.0;
+  const uint64_t expected[] = {50000,  100000, 200000, 400000,
+                               800000, 1000000, 1000000};
+  for (uint64_t attempt = 0; attempt < 7; ++attempt) {
+    EXPECT_EQ(RetryBackoffUs(options, attempt, 0.77), expected[attempt])
+        << "attempt " << attempt;
+  }
+}
+
+TEST(RetryBackoff, JitterEnvelope) {
+  RetryOptions options;
+  options.initial_backoff_us = 50 * 1000;
+  options.max_backoff_us = 1000 * 1000;
+  options.jitter = 0.5;
+  for (uint64_t attempt = 0; attempt < 7; ++attempt) {
+    const uint64_t base = RetryBackoffUs(options, attempt, 0.0);
+    for (double draw : {0.0, 0.25, 0.5, 0.9999}) {
+      const uint64_t jittered = RetryBackoffUs(options, attempt, draw);
+      EXPECT_LE(jittered, base);
+      EXPECT_GE(jittered, base - base / 2) << "attempt " << attempt
+                                           << " draw " << draw;
+    }
+  }
+  // draw=0 keeps the full backoff; larger draws strictly shrink it.
+  EXPECT_EQ(RetryBackoffUs(options, 0, 0.0), 50000u);
+  EXPECT_EQ(RetryBackoffUs(options, 0, 1.0), 25000u);
+}
+
+TEST(RetryingClient, ConnectRetriesWithRecordedSchedule) {
+  // A freshly stopped server leaves a port nobody listens on.
+  uint16_t dead_port = 0;
+  {
+    Database db;
+    auto server = MustStart(&db);
+    dead_port = server->port();
+    server->Shutdown();
+  }
+  std::vector<uint64_t> sleeps;
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_us = 50 * 1000;
+  retry.max_backoff_us = 1000 * 1000;
+  retry.jitter_source = [] { return 0.0; };
+  retry.sleeper = [&sleeps](uint64_t us) { sleeps.push_back(us); };
+  auto client =
+      RetryingClient::Connect("127.0.0.1", dead_port, {}, retry);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), Code::kUnavailable);
+  EXPECT_NE(client.status().message().find("(after 3 attempts)"),
+            std::string::npos)
+      << client.status().ToString();
+  // Two sleeps between three attempts, exact schedule with jitter draw 0.
+  EXPECT_EQ(sleeps, (std::vector<uint64_t>{50000, 100000}));
+}
+
+// ---------------------------------------------------------------------------
+// Socket chaos against a live server.
+
+TEST(SocketChaos, DroppedResponseRetriesToSuccess) {
+  FaultGuard guard;
+  Database db;
+  auto server = MustStart(&db);
+  // First server-side write vanishes (send fakes success); the client's
+  // recv times out, reconnects, and the retry lands.
+  ASSERT_TRUE(fault::FailpointRegistry::Global()
+                  .ArmFromString("net.session.write drop --times=1")
+                  .ok());
+  ClientOptions options;
+  options.recv_timeout_ms = 200;
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.initial_backoff_us = 5 * 1000;
+  retry.max_backoff_us = 20 * 1000;
+  auto client =
+      RetryingClient::Connect("127.0.0.1", server->port(), options, retry);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string output;
+  bool command_error = false;
+  Status s = (*client)->Execute("stats", &output, &command_error);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FALSE(command_error);
+  EXPECT_GE((*client)->retries(), 1u);
+  (*client)->Close();
+}
+
+TEST(SocketChaos, ResetMidSessionReconnects) {
+  FaultGuard guard;
+  Database db;
+  auto server = MustStart(&db);
+  ASSERT_TRUE(fault::FailpointRegistry::Global()
+                  .ArmFromString("net.session.write reset --times=1")
+                  .ok());
+  ClientOptions options;
+  options.recv_timeout_ms = 500;
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.initial_backoff_us = 5 * 1000;
+  retry.max_backoff_us = 20 * 1000;
+  auto client =
+      RetryingClient::Connect("127.0.0.1", server->port(), options, retry);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string output;
+  bool command_error = false;
+  Status s = (*client)->Execute("stats", &output, &command_error);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE((*client)->retries(), 1u);
+  (*client)->Close();
+}
+
+TEST(SocketChaos, SlowLorisReadDelaysThroughSleeper) {
+  FaultGuard guard;
+  Database db;
+  auto server = MustStart(&db);
+  std::atomic<uint64_t> slept_us{0};
+  fault::FailpointRegistry::Global().set_sleeper(
+      [&slept_us](uint64_t us) { slept_us.fetch_add(us); });
+  ASSERT_TRUE(fault::FailpointRegistry::Global()
+                  .ArmFromString("net.session.read delay=3ms --times=4")
+                  .ok());
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string output;
+  bool command_error = false;
+  Status s = (*client)->Execute("stats", &output, &command_error);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(slept_us.load(), 0u);
+  (*client)->Close();
+}
+
+// ---------------------------------------------------------------------------
+// Server-side deadlines: queued-too-long requests are shed, not served.
+
+TEST(ServerDeadline, QueuedPastDeadlineIsShed) {
+  FaultGuard guard;
+  Database db;
+  ServerOptions options;
+  options.request_deadline_us = 1000;
+  // Every clock read advances one simulated second, so any queued request
+  // has "waited" far past the deadline by the time a worker picks it up.
+  auto ticks = std::make_shared<std::atomic<uint64_t>>(0);
+  options.clock_us_for_test = [ticks] {
+    return ticks->fetch_add(1) * 1000 * 1000;
+  };
+  auto server = MustStart(&db, std::move(options));
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string output;
+  bool command_error = false;
+  Status s = (*client)->Execute("stats", &output, &command_error);
+  EXPECT_EQ(s.code(), Code::kUnavailable);
+  EXPECT_NE(s.message().find("deadline exceeded"), std::string::npos)
+      << s.ToString();
+  (*client)->Close();
+}
+
+TEST(ServerDeadline, RetryingClientCountsShedsAndKeepsConnection) {
+  FaultGuard guard;
+  Database db;
+  ServerOptions options;
+  options.request_deadline_us = 1000;
+  auto ticks = std::make_shared<std::atomic<uint64_t>>(0);
+  options.clock_us_for_test = [ticks] {
+    return ticks->fetch_add(1) * 1000 * 1000;
+  };
+  auto server = MustStart(&db, std::move(options));
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.sleeper = [](uint64_t) {};
+  auto client =
+      RetryingClient::Connect("127.0.0.1", server->port(), {}, retry);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string output;
+  bool command_error = false;
+  Status s = (*client)->Execute("stats", &output, &command_error);
+  // Every attempt is shed by the fake clock; the client reports that and
+  // counts the clean refusals.
+  EXPECT_EQ(s.code(), Code::kUnavailable);
+  EXPECT_NE(s.message().find("(after 3 attempts)"), std::string::npos);
+  EXPECT_EQ((*client)->sheds_seen(), 3u);
+  (*client)->Close();
+}
+
+// ---------------------------------------------------------------------------
+// The `fault` verb over the wire: arm chaos on a remote server.
+
+TEST(FaultVerb, ListArmDisarmOverTheWire) {
+  FaultGuard guard;
+  Database db;
+  auto server = MustStart(&db);
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string output;
+  bool command_error = false;
+
+  ASSERT_TRUE((*client)
+                  ->Execute("fault arm wal.append.pre_fsync delay=1ms "
+                            "--every=2",
+                            &output, &command_error)
+                  .ok());
+  EXPECT_FALSE(command_error) << output;
+
+  ASSERT_TRUE(
+      (*client)->Execute("fault list", &output, &command_error).ok());
+  EXPECT_FALSE(command_error);
+  EXPECT_NE(output.find("wal.append.pre_fsync"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("delay=1000us --every=2"), std::string::npos)
+      << output;
+
+  ASSERT_TRUE((*client)
+                  ->Execute("fault list --format=json", &output,
+                            &command_error)
+                  .ok());
+  EXPECT_FALSE(command_error);
+  EXPECT_NE(output.find("\"site\""), std::string::npos) << output;
+  EXPECT_NE(output.find("\"armed\""), std::string::npos) << output;
+
+  ASSERT_TRUE((*client)
+                  ->Execute("fault arm no.such.site drop", &output,
+                            &command_error)
+                  .ok());
+  EXPECT_TRUE(command_error);
+  EXPECT_NE(output.find("no.such.site"), std::string::npos) << output;
+  EXPECT_NE(output.find("errno 2"), std::string::npos) << output;
+
+  ASSERT_TRUE((*client)
+                  ->Execute("fault disarm --all", &output, &command_error)
+                  .ok());
+  EXPECT_FALSE(command_error);
+  EXPECT_NE(output.find("disarmed 1"), std::string::npos) << output;
+  EXPECT_FALSE(fault::FailpointRegistry::Global().any_armed());
+  (*client)->Close();
+}
+
+TEST(FaultVerb, ArmIsRefusedOnReadOnlySessions) {
+  FaultGuard guard;
+  Database db;
+  auto server = MustStart(&db);
+  ClientOptions options;
+  options.role = SessionRole::kReadOnly;
+  auto client = Client::Connect("127.0.0.1", server->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string output;
+  bool command_error = false;
+  // Listing is read-only and allowed; arming is a mutation and refused.
+  ASSERT_TRUE(
+      (*client)->Execute("fault list", &output, &command_error).ok());
+  EXPECT_FALSE(command_error) << output;
+  ASSERT_TRUE((*client)
+                  ->Execute("fault arm net.session.write drop", &output,
+                            &command_error)
+                  .ok());
+  EXPECT_TRUE(command_error) << output;
+  EXPECT_FALSE(fault::FailpointRegistry::Global().any_armed());
+  (*client)->Close();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: SIGTERM with armed net failpoints during in-flight traffic
+// still exits cleanly. Drives the real caddb_server binary.
+
+#ifdef CADDB_SERVER_BIN
+TEST(ServerShutdown, SigtermUnderArmedNetChaosExitsZero) {
+  TestDir dir("sigterm");
+  const std::string port_file = dir.Sub("port");
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    ::execl(CADDB_SERVER_BIN, "caddb_server", dir.Sub("db").c_str(),
+            "--port", "0", "--port-file", port_file.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  // Wait for the server to publish its ephemeral port.
+  uint16_t port = 0;
+  for (int i = 0; i < 200 && port == 0; ++i) {
+    std::ifstream f(port_file);
+    int p = 0;
+    if (f >> p && p > 0) {
+      port = static_cast<uint16_t>(p);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_NE(port, 0) << "server never wrote its port file";
+
+  // Arm chaos inside the server process, over the wire.
+  {
+    auto admin = Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(admin.ok()) << admin.status().ToString();
+    std::string output;
+    bool command_error = false;
+    ASSERT_TRUE((*admin)
+                    ->Execute("fault arm net.session.write drop --p=0.3",
+                              &output, &command_error)
+                    .ok());
+    ASSERT_FALSE(command_error) << output;
+    ASSERT_TRUE((*admin)
+                    ->Execute("fault arm net.session.read delay=1ms "
+                              "--p=0.3",
+                              &output, &command_error)
+                    .ok());
+    ASSERT_FALSE(command_error) << output;
+    (*admin)->Close();
+  }
+
+  // In-flight traffic through the chaos while the signal lands.
+  std::vector<std::thread> traffic;
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < 3; ++t) {
+    traffic.emplace_back([port, &stop] {
+      ClientOptions options;
+      options.recv_timeout_ms = 200;
+      RetryOptions retry;
+      retry.max_attempts = 2;
+      retry.initial_backoff_us = 2 * 1000;
+      retry.max_backoff_us = 10 * 1000;
+      auto client =
+          RetryingClient::Connect("127.0.0.1", port, options, retry);
+      if (!client.ok()) return;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::string output;
+        bool command_error = false;
+        if (!(*client)->Execute("stats", &output, &command_error).ok()) {
+          break;  // server is gone
+        }
+      }
+      (*client)->Close();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_EQ(kill(child, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  stop.store(true);
+  for (std::thread& t : traffic) t.join();
+  ASSERT_TRUE(WIFEXITED(status)) << "server did not exit normally";
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "caddb_server must drain sessions and exit 0 under armed chaos";
+}
+#endif  // CADDB_SERVER_BIN
+
+}  // namespace
+}  // namespace net
+}  // namespace caddb

@@ -1,0 +1,134 @@
+// End-to-end soak harness tests: a short chaos run must come out clean on
+// every oracle, and the op stream must be a pure function of the seed.
+
+#include "workload/soak.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "fault/failpoint.h"
+
+namespace caddb {
+namespace workload {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TestDir {
+ public:
+  explicit TestDir(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("caddb_soak_" + name + "_" + std::to_string(::getpid())))
+                  .string()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+    fs::create_directories(path_, ec);
+  }
+  ~TestDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+SoakOptions SmallRun(const std::string& dir, uint32_t seed) {
+  SoakOptions options;
+  options.dir = dir;
+  options.seed = seed;
+  options.ops = 120;
+  options.check_every = 40;
+  options.checkpoint_every = 60;
+  options.hierarchy_depth = 3;
+  options.hierarchy_chains = 2;
+  options.steel.catalog_parts = 2;
+  options.steel.girder_interfaces = 2;
+  options.steel.plate_interfaces = 1;
+  options.steel.structures = 2;
+  options.steel.screwings_per_structure = 1;
+  return options;
+}
+
+TEST(Soak, CleanRunUnderInjectedFaults) {
+  TestDir dir("faults");
+  SoakOptions options = SmallRun(dir.path(), 5);
+  // An always-on schedule so even a fast run provably fires failpoints:
+  // WAL appends stall, the ship transport drops every 3rd attempt.
+  options.fault_schedule =
+      "@0 arm wal.append.pre_fsync delay=100us --p=1;"
+      "@0 arm replication.ship drop --every=3";
+  auto report = RunSoak(options);
+  fault::FailpointRegistry::Global().DisarmAll();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->RenderText();
+  EXPECT_EQ(report->ops_applied, 120u);
+  EXPECT_EQ(report->op_failures, 0u);
+  EXPECT_GE(report->checks_run, 3u);
+  EXPECT_EQ(report->faults_armed, 2u);
+  EXPECT_GT(report->faults_fired, 0u);
+  EXPECT_EQ(report->invariant_violations, 0u);
+  EXPECT_EQ(report->differential_mismatches, 0u);
+  EXPECT_TRUE(report->follower_caught_up);
+  EXPECT_FALSE(report->follower_quarantined);
+  EXPECT_TRUE(report->disk_clean);
+}
+
+TEST(Soak, OpsHashIsAPureFunctionOfTheSeed) {
+  TestDir a("hash_a");
+  TestDir b("hash_b");
+  TestDir c("hash_c");
+  SoakOptions options_a = SmallRun(a.path(), 42);
+  options_a.fault_schedule = "none";
+  options_a.with_server = false;
+  options_a.with_replication = false;
+  auto report_a = RunSoak(options_a);
+  ASSERT_TRUE(report_a.ok()) << report_a.status().ToString();
+
+  // Same seed, faults on, served over the wire: same stream.
+  SoakOptions options_b = SmallRun(b.path(), 42);
+  options_b.fault_schedule =
+      "@0 arm wal.append.pre_fsync delay=100us --p=0.5";
+  auto report_b = RunSoak(options_b);
+  fault::FailpointRegistry::Global().DisarmAll();
+  ASSERT_TRUE(report_b.ok()) << report_b.status().ToString();
+  EXPECT_EQ(report_a->ops_hash, report_b->ops_hash);
+
+  SoakOptions options_c = SmallRun(c.path(), 43);
+  options_c.fault_schedule = "none";
+  options_c.with_server = false;
+  options_c.with_replication = false;
+  auto report_c = RunSoak(options_c);
+  ASSERT_TRUE(report_c.ok()) << report_c.status().ToString();
+  EXPECT_NE(report_a->ops_hash, report_c->ops_hash);
+}
+
+TEST(Soak, QuietScheduleAndNoFleetStillRunsTheOracles) {
+  TestDir dir("quiet");
+  SoakOptions options = SmallRun(dir.path(), 9);
+  options.fault_schedule = "none";
+  options.with_server = false;
+  options.with_replication = false;
+  auto report = RunSoak(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->RenderText();
+  EXPECT_EQ(report->faults_armed, 0u);
+  EXPECT_EQ(report->faults_fired, 0u);
+  EXPECT_EQ(report->reads, 0u);
+  EXPECT_GE(report->checkpoints, 1u);
+}
+
+TEST(Soak, RejectsAnUnparsableFaultSchedule) {
+  TestDir dir("badsched");
+  SoakOptions options = SmallRun(dir.path(), 1);
+  options.fault_schedule = "@nonsense arm what";
+  auto report = RunSoak(options);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace caddb

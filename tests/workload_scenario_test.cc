@@ -1,0 +1,157 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace caddb {
+namespace workload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Steel yard: the paper's section 5 population, generated at scale.
+
+TEST(SteelYard, GeneratesTheConfiguredPopulation) {
+  Database db;
+  SteelParams params;
+  params.seed = 7;
+  auto yard = GenerateSteelYardInto(&db, params);
+  ASSERT_TRUE(yard.ok()) << yard.status().ToString();
+  EXPECT_EQ(yard->bolts.size(), static_cast<size_t>(params.catalog_parts));
+  EXPECT_EQ(yard->nuts.size(), static_cast<size_t>(params.catalog_parts));
+  EXPECT_EQ(yard->girder_interfaces.size(),
+            static_cast<size_t>(params.girder_interfaces));
+  EXPECT_EQ(yard->plate_interfaces.size(),
+            static_cast<size_t>(params.plate_interfaces));
+  EXPECT_EQ(yard->structures.size(), static_cast<size_t>(params.structures));
+  EXPECT_EQ(yard->screwings.size(),
+            static_cast<size_t>(params.structures *
+                                params.screwings_per_structure));
+  EXPECT_GT(yard->bores, 0u);
+}
+
+TEST(SteelYard, EveryGeneratedValueSatisfiesTheSchemaConstraints) {
+  Database db;
+  auto yard = GenerateSteelYardInto(&db, SteelParams{});
+  ASSERT_TRUE(yard.ok()) << yard.status().ToString();
+  // Schema + store analysis over the whole database.
+  EXPECT_FALSE(db.Check().HasErrors());
+  // Deep constraint evaluation over every structure: girder proportions,
+  // bolt/nut/bore arithmetic, the screwing where-clause.
+  for (Surrogate wcs : yard->structures) {
+    Status deep = db.constraints().CheckDeep(wcs);
+    EXPECT_TRUE(deep.ok()) << deep.ToString();
+  }
+  for (Surrogate screwing : yard->screwings) {
+    Status deep = db.constraints().CheckDeep(screwing);
+    EXPECT_TRUE(deep.ok()) << deep.ToString();
+  }
+}
+
+TEST(SteelYard, DeterministicPerSeed) {
+  auto lengths = [](uint32_t seed) {
+    Database db;
+    SteelParams params;
+    params.seed = seed;
+    auto yard = GenerateSteelYardInto(&db, params);
+    EXPECT_TRUE(yard.ok()) << yard.status().ToString();
+    std::vector<int64_t> out;
+    for (Surrogate g : yard->girder_interfaces) {
+      out.push_back(db.Get(g, "Length")->AsInt());
+      out.push_back(db.Get(g, "Height")->AsInt());
+      out.push_back(db.Get(g, "Width")->AsInt());
+    }
+    return out;
+  };
+  EXPECT_EQ(lengths(7), lengths(7));
+  EXPECT_NE(lengths(7), lengths(8));
+}
+
+TEST(SteelYard, RejectsUnusableParams) {
+  Database db;
+  SteelParams params;
+  params.bores_per_interface = 0;  // a screwing needs member bores
+  EXPECT_FALSE(GenerateSteelYardInto(&db, params).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Deep interface hierarchies: the resolution-path stressor.
+
+TEST(DeepHierarchy, LeavesResolveTheRootValue) {
+  Database db;
+  HierarchyParams params;
+  params.depth = 5;
+  params.chains = 3;
+  auto hierarchy = GenerateDeepHierarchy(&db, params);
+  ASSERT_TRUE(hierarchy.ok()) << hierarchy.status().ToString();
+  ASSERT_EQ(hierarchy->chain_nodes.size(), 3u);
+  ASSERT_EQ(hierarchy->root_values.size(), 3u);
+  for (size_t c = 0; c < hierarchy->chain_nodes.size(); ++c) {
+    const auto& chain = hierarchy->chain_nodes[c];
+    ASSERT_EQ(chain.size(), static_cast<size_t>(params.depth + 1));
+    for (size_t k = 0; k < chain.size(); ++k) {
+      auto value = db.Get(chain[k], "A");
+      ASSERT_TRUE(value.ok()) << "chain " << c << " level " << k << ": "
+                              << value.status().ToString();
+      EXPECT_EQ(value->AsInt(), hierarchy->root_values[c]);
+    }
+  }
+}
+
+TEST(DeepHierarchy, RootUpdatesPropagateToEveryLevel) {
+  Database db;
+  HierarchyParams params;
+  params.depth = 4;
+  params.chains = 2;
+  auto hierarchy = GenerateDeepHierarchy(&db, params);
+  ASSERT_TRUE(hierarchy.ok()) << hierarchy.status().ToString();
+  const auto& chain = hierarchy->chain_nodes[0];
+  ASSERT_TRUE(db.Set(chain[0], "A", Value::Int(4217)).ok());
+  for (size_t k = 1; k < chain.size(); ++k) {
+    EXPECT_EQ(db.Get(chain[k], "A")->AsInt(), 4217) << "level " << k;
+  }
+  // The other chain is independent.
+  EXPECT_EQ(db.Get(hierarchy->chain_nodes[1].back(), "A")->AsInt(),
+            hierarchy->root_values[1]);
+}
+
+TEST(DeepHierarchy, DdlIsIdempotentAcrossGenerations) {
+  Database db;
+  HierarchyParams params;
+  params.depth = 3;
+  params.chains = 1;
+  auto first = GenerateDeepHierarchy(&db, params);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Second generation re-uses the declared types and adds fresh chains.
+  auto second = GenerateDeepHierarchy(&db, params);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_FALSE(db.Check().HasErrors());
+}
+
+TEST(DeepHierarchy, ExposedDdlStandsAlone) {
+  Database db;
+  Status s = db.ExecuteDdl(DeepHierarchyDdl(4));
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(db.catalog().FindObjectType("HL0"), nullptr);
+  EXPECT_NE(db.catalog().FindObjectType("HL4"), nullptr);
+}
+
+TEST(DeepHierarchy, DeterministicPerSeed) {
+  auto roots = [](uint32_t seed) {
+    Database db;
+    HierarchyParams params;
+    params.seed = seed;
+    auto hierarchy = GenerateDeepHierarchy(&db, params);
+    EXPECT_TRUE(hierarchy.ok());
+    return hierarchy->root_values;
+  };
+  EXPECT_EQ(roots(11), roots(11));
+  EXPECT_NE(roots(11), roots(12));
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace caddb
