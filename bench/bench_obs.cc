@@ -138,6 +138,53 @@ void BM_InheritedReadTracingOn(benchmark::State& state) {
 }
 BENCHMARK(BM_InheritedReadTracingOn);
 
+// ---- Structured event log (obs v2) ----
+
+void BM_LogSuppressed(benchmark::State& state) {
+  // The disabled path every instrumented callsite pays: one level check,
+  // message never built. This is the ≤5% budget number for CADDB_LOG.
+  caddb::obs::EventLog log;
+  log.set_level(caddb::obs::LogLevel::kWarn);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    CADDB_LOG(&log, caddb::obs::LogLevel::kDebug, "bench",
+              "expensive message " + std::to_string(++n));
+  }
+  benchmark::DoNotOptimize(log.total());
+}
+BENCHMARK(BM_LogSuppressed);
+
+void BM_LogAdmittedToRing(benchmark::State& state) {
+  // Admission with no sink: format + ring insert under the ring mutex.
+  caddb::obs::EventLog log;
+  log.set_level(caddb::obs::LogLevel::kDebug);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    CADDB_LOG(&log, caddb::obs::LogLevel::kInfo, "bench",
+              "event " + std::to_string(++n));
+  }
+  benchmark::DoNotOptimize(log.total());
+}
+BENCHMARK(BM_LogAdmittedToRing);
+
+void BM_HistoryTickAndWindow(benchmark::State& state) {
+  // One snapshotter tick over a realistic registry plus the delta/rate
+  // computation `metrics --watch` and /vars?window= run per request.
+  caddb::obs::MetricsRegistry registry;
+  for (int i = 0; i < 20; ++i) {
+    registry.GetCounter("caddb_bench_c" + std::to_string(i) + "_total")
+        ->Increment(i);
+  }
+  caddb::obs::MetricsHistory history(&registry, /*capacity=*/64);
+  history.Tick();
+  for (auto _ : state) {
+    history.Tick();
+    caddb::obs::RateWindow window = history.Window(0);
+    benchmark::DoNotOptimize(window.rates.size());
+  }
+}
+BENCHMARK(BM_HistoryTickAndWindow);
+
 void BM_InheritedReadTracingOnWithObserver(benchmark::State& state) {
   ReadFixture fx;
   fx.db.observability()->trace.Enable();

@@ -11,24 +11,30 @@
 #   6. Observability smoke: metrics/trace/exposition tests under
 #      ASan+UBSan — a live workload fills the instruments and the
 #      Prometheus text must validate
-#   7. Disk-verifier smoke: the CAD3xx corruption-injection matrix under
+#   7. Obs-v2 smoke: event-log + wire-trace tests under ASan+UBSan, then
+#      a live caddb_server with --log-file and the metrics-history
+#      snapshotter — the JSONL sink must fill, `log tail` and
+#      `trace dump --format=json` must answer over the wire, and the
+#      /vars?window= scrape must return a rate window
+#   8. Disk-verifier smoke: the CAD3xx corruption-injection matrix under
 #      ASan+UBSan, then `caddb_shell --check` over a database directory
 #      the stage itself produces — any CAD3xx error fails the run
-#   8. Net smoke: frame-decoder fuzz matrix + server/daemon tests under
+#   9. Net smoke: frame-decoder fuzz matrix + server/daemon tests under
 #      ASan+UBSan, then a live fleet — primary caddb_server with
 #      auto-ship, a scripted wire session, a Prometheus scrape, and a
 #      follower caddb_server auto-polling to caught-up — with clean
 #      SIGTERM shutdowns
-#   9. Chaos smoke: failpoint registry + network chaos + scenario tests
+#  10. Chaos smoke: failpoint registry + network chaos + scenario tests
 #      under ASan+UBSan, then a seeded caddb_soak run (primary + follower
 #      + wire readers under the default fault schedule) that must exit 0
-#  10. TSan build + the concurrency tests (lock manager, transactions,
+#  11. TSan build + the concurrency tests (lock manager, transactions,
 #      batched-fsync committers, the concurrent metrics/trace registry,
-#      the shared buffer pool, the network server and replication
-#      daemons, the failpoint registry hammer)
-#  11. Bench build: every benchmark target must compile (incl.
-#      bench_disk_check, bench_net)
-#  12. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
+#      the event-log ring + sink hammer, the shared buffer pool, the
+#      network server and replication daemons, the failpoint registry
+#      hammer)
+#  12. Bench build: every benchmark target must compile (incl.
+#      bench_disk_check, bench_net, the bench_obs log/history numbers)
+#  13. clang-tidy over src/ (advisory; skipped when clang-tidy is absent)
 #
 # Each configuration gets its own build directory under build-ci/ so the
 # sanitizer runtimes never mix. Usage: ci/check.sh [jobs]
@@ -87,6 +93,69 @@ step "observability smoke: instruments + exposition under asan+ubsan"
 UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-ci/asan-ubsan --output-on-failure \
         -R '^(obs_test|obs_smoke_test|stats_replica_test)$'
+
+step "obs-v2 smoke: event log + wire traces + live /vars window under asan+ubsan"
+# obs_log_test covers the leveled event log (ring bounds, sink rate-limit
+# accounting, the concurrent hammer, failpoint fire events) and the
+# metrics-history ring; net_trace_test covers the trace-context wire
+# extension (round trip, old-peer interop, torn-extension rejection), the
+# client→server→manifest→follower-rebuild trace chain, and a cross-process
+# round trip against the real server binary.
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure \
+        -R '^(obs_log_test|net_trace_test)$'
+# Live: a server with a JSONL log sink and the history snapshotter. The
+# wire session tails the log and dumps traces as JSON; the raw-HTTP scrape
+# asks /vars?window= for counter rates out of the history ring.
+OBS_DIR="build-ci/obs-smoke"
+rm -rf "$OBS_DIR"
+mkdir -p "$OBS_DIR"
+( exec build-ci/asan-ubsan/examples/caddb_server "$OBS_DIR/db" \
+       --port 0 --port-file "$OBS_DIR/server.port" \
+       --log-file "$OBS_DIR/server.log" --log-level debug \
+       --history-interval-ms 50 ) &
+OBS_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$OBS_DIR/server.port" ] && break
+  sleep 0.1
+done
+OBS_PORT=$(cat "$OBS_DIR/server.port")
+printf '%s\n' \
+    'trace on' \
+    'echo obs-smoke' \
+    'log tail 10' \
+    'trace dump --format=json' \
+    'metrics --watch --window=60000 --format=json' | \
+  build-ci/asan-ubsan/examples/caddb_shell --connect "127.0.0.1:$OBS_PORT" \
+  > "$OBS_DIR/session.out"
+grep -q '"trace_id":"' "$OBS_DIR/session.out" || {
+  echo "trace dump --format=json carried no trace ids"; exit 1; }
+# The snapshotter needs two ticks before a window exists; poll briefly.
+# (Each attempt runs in a subshell so a refused /dev/tcp connect kills the
+# attempt, not the script.)
+VARS_OK=0
+for _ in $(seq 1 100); do
+  RESP=$( (exec 3<>"/dev/tcp/127.0.0.1/$OBS_PORT" &&
+           printf 'GET /vars?window=60000 HTTP/1.0\r\n\r\n' >&3 &&
+           cat <&3) 2>/dev/null || true)
+  if printf '%s' "$RESP" | grep -q '"rates":\['; then
+    VARS_OK=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$VARS_OK" = 1 ] || { echo "/vars?window= never served a rate window"; exit 1; }
+kill -TERM "$OBS_PID"
+wait "$OBS_PID"
+# The sink is JSONL: every line a JSON object, and startup + shutdown both
+# logged at info.
+[ -s "$OBS_DIR/server.log" ] || { echo "log sink never wrote"; exit 1; }
+grep -q '"msg":"serving on ' "$OBS_DIR/server.log" || {
+  echo "startup event missing from log sink"; exit 1; }
+grep -q '"msg":"shutting down"' "$OBS_DIR/server.log" || {
+  echo "shutdown event missing from log sink"; exit 1; }
+if grep -qv '^{' "$OBS_DIR/server.log"; then
+  echo "log sink emitted a non-JSONL line"; exit 1; fi
 
 step "disk-verifier smoke: CAD3xx corruption matrix + offline --check under asan+ubsan"
 # disk_verifier_test injects every CAD3xx corruption class (bit flips, slot
@@ -198,14 +267,14 @@ UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   build-ci/asan-ubsan/examples/caddb_soak "$SOAK_DIR/run" \
       --seed 42 --ops 400 --duration 10s
 
-step "tsan: lock manager + transaction + batched-fsync + obs registry + net tests"
+step "tsan: lock manager + transaction + batched-fsync + obs registry/log + net tests"
 cmake -B build-ci/tsan -S . -DCADDB_WERROR=ON -DCADDB_TSAN=ON \
       "${GENERATOR_FLAGS[@]}"
 cmake --build build-ci/tsan -j "$JOBS" --target lock_manager_test txn_test \
-      wal_batch_sync_test obs_test buffer_pool_concurrency_test \
-      net_server_test net_daemon_test fault_test
+      wal_batch_sync_test obs_test obs_log_test net_trace_test \
+      buffer_pool_concurrency_test net_server_test net_daemon_test fault_test
 ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
-      -R '^(lock_manager_test|txn_test|wal_batch_sync_test|obs_test|buffer_pool_concurrency_test|net_server_test|net_daemon_test|fault_test)$'
+      -R '^(lock_manager_test|txn_test|wal_batch_sync_test|obs_test|obs_log_test|net_trace_test|buffer_pool_concurrency_test|net_server_test|net_daemon_test|fault_test)$'
 
 step "bench build: all benchmark targets compile"
 cmake --build build-ci/werror -j "$JOBS" --target \

@@ -34,6 +34,17 @@
 //   --max-lag N            shed reads when replication lag exceeds N
 //   --deadline-ms N        shed requests that waited in the queue longer
 //                          than N ms (bounded latency under chaos; 0 = off)
+//   --log-file PATH        append structured events as JSONL to PATH
+//   --log-level LVL        minimum event level: debug|info|warn|error|off
+//                          (default info)
+//   --log-rate-limit N     at most N sink lines per second (default 1000;
+//                          the in-memory ring is never limited)
+//   --history-interval-ms N   metrics-history snapshot cadence feeding
+//                          `metrics --watch` and `/vars?window=`
+//                          (default 1000; 0 = off)
+//   --trace                start with tracing enabled (how a read-only
+//                          follower gets spans: its sessions cannot run
+//                          `trace on`)
 //
 // SIGINT/SIGTERM shut down cleanly: stop daemons, drain the server, close
 // the database, exit 0.
@@ -46,6 +57,7 @@
 
 #include "core/database.h"
 #include "net/server.h"
+#include "obs/observability.h"
 #include "replication/daemon.h"
 #include "replication/follower.h"
 #include "replication/shipper.h"
@@ -72,6 +84,11 @@ struct Flags {
   uint64_t poll_interval_ms = 200;
   int64_t max_lag = -1;
   uint64_t deadline_ms = 0;
+  std::string log_file;
+  std::string log_level = "info";
+  uint64_t log_rate_limit = 1000;
+  uint64_t history_interval_ms = 1000;
+  bool trace = false;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -139,6 +156,24 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       const char* v = value("--deadline-ms");
       if (v == nullptr) return false;
       flags->deadline_ms = std::stoull(v);
+    } else if (arg == "--log-file") {
+      const char* v = value("--log-file");
+      if (v == nullptr) return false;
+      flags->log_file = v;
+    } else if (arg == "--log-level") {
+      const char* v = value("--log-level");
+      if (v == nullptr) return false;
+      flags->log_level = v;
+    } else if (arg == "--log-rate-limit") {
+      const char* v = value("--log-rate-limit");
+      if (v == nullptr) return false;
+      flags->log_rate_limit = std::stoull(v);
+    } else if (arg == "--history-interval-ms") {
+      const char* v = value("--history-interval-ms");
+      if (v == nullptr) return false;
+      flags->history_interval_ms = std::stoull(v);
+    } else if (arg == "--trace") {
+      flags->trace = true;
     } else if (!arg.empty() && arg[0] != '-' && flags->dir.empty()) {
       flags->dir = arg;
     } else {
@@ -242,6 +277,36 @@ int main(int argc, char** argv) {
               << server->address() << std::endl;
   }
 
+  // The follower serves from the external bundle; a primary's bundle lives
+  // inside its Database. All the observability wiring targets whichever one
+  // the server actually reports from.
+  caddb::obs::Observability* active_obs =
+      flags.follow ? obs.get() : db->observability();
+  {
+    caddb::obs::LogLevel level;
+    if (!caddb::obs::ParseLogLevel(flags.log_level, &level)) {
+      std::cerr << "bad --log-level '" << flags.log_level
+                << "' (debug|info|warn|error|off)\n";
+      return 2;
+    }
+    active_obs->log.set_level(level);
+    active_obs->log.set_sink_rate_limit(flags.log_rate_limit);
+    if (!flags.log_file.empty()) {
+      caddb::Status opened = active_obs->log.OpenSink(flags.log_file);
+      if (!opened.ok()) {
+        std::cerr << "cannot open --log-file: " << opened.ToString() << "\n";
+        return 2;
+      }
+    }
+  }
+  if (flags.history_interval_ms > 0) {
+    active_obs->history.Start(flags.history_interval_ms);
+  }
+  if (flags.trace) active_obs->trace.Enable();
+  CADDB_LOG(&active_obs->log, caddb::obs::LogLevel::kInfo, "net",
+            std::string("serving on ") + server->address() +
+                (flags.follow ? " (follower)" : " (primary)"));
+
   if (!flags.port_file.empty()) {
     std::ofstream f(flags.port_file);
     f << server->port() << "\n";
@@ -249,9 +314,13 @@ int main(int argc, char** argv) {
 
   WaitForSignal();
   std::cout << "caddb_server: shutting down" << std::endl;
+  CADDB_LOG(&active_obs->log, caddb::obs::LogLevel::kInfo, "net",
+            "shutting down");
   if (auto_shipper != nullptr) auto_shipper->Stop();
   if (auto_poller != nullptr) auto_poller->Stop();
   server->Shutdown();
+  active_obs->history.Stop();
+  active_obs->log.CloseSink();
   if (db != nullptr) {
     caddb::Status closed = db->Close();
     if (!closed.ok()) {

@@ -272,9 +272,16 @@ Status Database::Checkpoint() {
     // are idempotent).
     std::lock_guard<std::mutex> gate(store_gate_);
     store_.RestoreCheckpointSet(std::move(set));
+    CADDB_LOG(&obs_->log, obs::LogLevel::kWarn, "storage",
+              "checkpoint attempt failed, dirty set restored: " +
+                  staged.ToString());
     return staged;
   }
   m_checkpoints_->Increment();
+  CADDB_LOG(&obs_->log, obs::LogLevel::kInfo, "storage",
+            "checkpoint published through lsn " + std::to_string(lsn_cap) +
+                " (" + std::to_string(encoded.size()) + " object(s), " +
+                std::to_string(data.pages.size()) + " page image(s))");
 
   // Phase 5 — in-place page writes, fsync, unpin. A crash (or torn write)
   // in here is healed from the just-published images on the next open.

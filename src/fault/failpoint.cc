@@ -270,7 +270,8 @@ Status FailpointRegistry::Declare(const std::string& site,
 
 Status FailpointRegistry::Arm(const std::string& site,
                               const FailpointSpec& spec,
-                              obs::MetricsRegistry* metrics) {
+                              obs::MetricsRegistry* metrics,
+                              obs::EventLog* log) {
   if (spec.kind == ActionKind::kOff) return Disarm(site);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(site);
@@ -297,11 +298,13 @@ Status FailpointRegistry::Arm(const std::string& site,
           : metrics->GetCounter(
                 "caddb_fault_fired_total{site=\"" + site + "\"}",
                 "Failpoint fires by site");
+  s.event_log = log;
   return OkStatus();
 }
 
 Status FailpointRegistry::ArmFromString(const std::string& directive,
-                                        obs::MetricsRegistry* metrics) {
+                                        obs::MetricsRegistry* metrics,
+                                        obs::EventLog* log) {
   std::vector<std::string> tokens;
   std::istringstream in(directive);
   std::string tok;
@@ -317,7 +320,7 @@ Status FailpointRegistry::ArmFromString(const std::string& directive,
     return InvalidArgument(WithErrno(
         "fault arm '" + site + "': " + spec.status().message(), EINVAL));
   }
-  return Arm(site, *spec, metrics);
+  return Arm(site, *spec, metrics, log);
 }
 
 Status FailpointRegistry::Disarm(const std::string& site) {
@@ -331,6 +334,7 @@ Status FailpointRegistry::Disarm(const std::string& site) {
   if (s.armed) {
     s.armed = false;
     s.fired_counter = nullptr;
+    s.event_log = nullptr;
     armed_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   return OkStatus();
@@ -343,6 +347,7 @@ size_t FailpointRegistry::DisarmAll() {
     if (s.armed) {
       s.armed = false;
       s.fired_counter = nullptr;
+      s.event_log = nullptr;
       armed_count_.fetch_sub(1, std::memory_order_relaxed);
       ++disarmed;
     }
@@ -368,27 +373,47 @@ std::vector<SiteInfo> FailpointRegistry::List() const {
 }
 
 bool FailpointRegistry::Hit(const std::string& site, FiredAction* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sites_.find(site);
-  if (it == sites_.end() || !it->second.armed) return false;
-  Site& s = it->second;
-  const FailpointSpec& spec = s.spec;
-  ++s.hits;
-  if (s.hits <= spec.skip) return false;
-  const uint64_t eligible = s.hits - spec.skip;
-  if ((eligible - 1) % spec.every != 0) return false;
-  if (spec.times != 0 && s.fired >= spec.times) return false;
-  if (spec.probability < 1.0) {
-    std::uniform_real_distribution<double> uniform(0.0, 1.0);
-    if (uniform(s.rng) >= spec.probability) return false;
+  // Captured under mu_, emitted after — the log sink may do file I/O and
+  // Hit() promises not to dawdle while holding the registry lock.
+  obs::EventLog* fire_log = nullptr;
+  uint64_t fire_hit = 0, fire_no = 0;
+  std::string fire_spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return false;
+    Site& s = it->second;
+    const FailpointSpec& spec = s.spec;
+    ++s.hits;
+    if (s.hits <= spec.skip) return false;
+    const uint64_t eligible = s.hits - spec.skip;
+    if ((eligible - 1) % spec.every != 0) return false;
+    if (spec.times != 0 && s.fired >= spec.times) return false;
+    if (spec.probability < 1.0) {
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      if (uniform(s.rng) >= spec.probability) return false;
+    }
+    ++s.fired;
+    if (s.fired_counter != nullptr) s.fired_counter->Increment();
+    if (out != nullptr) {
+      out->kind = spec.kind;
+      out->delay_us = spec.delay_us;
+      out->arg = spec.arg;
+      out->message = spec.message;
+    }
+    if (s.event_log != nullptr &&
+        s.event_log->ShouldLog(obs::LogLevel::kWarn)) {
+      fire_log = s.event_log;
+      fire_hit = s.hits;
+      fire_no = s.fired;
+      fire_spec = spec.ToString();
+    }
   }
-  ++s.fired;
-  if (s.fired_counter != nullptr) s.fired_counter->Increment();
-  if (out != nullptr) {
-    out->kind = spec.kind;
-    out->delay_us = spec.delay_us;
-    out->arg = spec.arg;
-    out->message = spec.message;
+  if (fire_log != nullptr) {
+    fire_log->Log(obs::LogLevel::kWarn, "fault",
+                  "failpoint " + site + " fired (hit " +
+                      std::to_string(fire_hit) + ", fire " +
+                      std::to_string(fire_no) + "): " + fire_spec);
   }
   return true;
 }

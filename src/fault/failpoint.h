@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/result.h"
 
@@ -124,14 +125,19 @@ class FailpointRegistry {
   /// `metrics` is non-null the site exports its fire count as the counter
   /// `caddb_fault_fired_total{site="<site>"}` in that registry (which must
   /// outlive the armed spec — disarm before tearing the registry down).
-  /// Errors name the failing site and carry an errno: unknown site →
-  /// ENOENT, unsupported or malformed spec → EINVAL.
+  /// When `log` is non-null every fire additionally emits a kWarn event
+  /// ("fault" subsystem) naming the site, the firing hit, and the armed
+  /// spec, so metric spikes can be matched to the exact injections that
+  /// caused them. Errors name the failing site and carry an errno:
+  /// unknown site → ENOENT, unsupported or malformed spec → EINVAL.
   Status Arm(const std::string& site, const FailpointSpec& spec,
-             obs::MetricsRegistry* metrics = nullptr);
+             obs::MetricsRegistry* metrics = nullptr,
+             obs::EventLog* log = nullptr);
 
   /// Arm() on "<site> <spec tokens...>" in one string.
   Status ArmFromString(const std::string& directive,
-                       obs::MetricsRegistry* metrics = nullptr);
+                       obs::MetricsRegistry* metrics = nullptr,
+                       obs::EventLog* log = nullptr);
 
   /// Disarms `site` (unknown site → NotFound naming it, with ENOENT).
   Status Disarm(const std::string& site);
@@ -173,6 +179,7 @@ class FailpointRegistry {
     uint64_t fired = 0;
     std::mt19937 rng;
     obs::Counter* fired_counter = nullptr;  // null when no metrics bound
+    obs::EventLog* event_log = nullptr;     // null when no log bound
   };
 
   mutable std::mutex mu_;

@@ -70,6 +70,14 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& address,
   CADDB_RETURN_IF_ERROR(
       DecodeHelloOkPayload(reply.payload, &granted, &client->banner_));
   client->writable_ = granted == SessionRole::kWritable;
+  client->obs_ = options.obs;
+  client->server_traces_ =
+      BannerHasCapability(client->banner_, kTraceCapability);
+  if (client->obs_ != nullptr) {
+    client->h_execute_ = client->obs_->metrics.GetHistogram(
+        "caddb_net_client_execute_us",
+        "Client-observed request round-trip latency (us)");
+  }
   return client;
 }
 
@@ -101,17 +109,32 @@ Status Client::Execute(const std::string& line, std::string* output,
                        bool* command_error) {
   if (closed_) return FailedPrecondition("client is closed");
   const uint64_t id = next_id_++;
+  // The client is where distributed traces are born: this span (or, with
+  // tracing off but an enclosing span open, that one) becomes the remote
+  // net.request span's parent on trace-capable servers.
+  obs::Tracer* tracer = obs_ != nullptr ? &obs_->trace : nullptr;
+  obs::Span span(tracer, "net.client.execute", h_execute_);
+  obs::TraceContext ctx;
+  if (server_traces_ && tracer != nullptr) {
+    ctx = span.context();
+    if (!ctx.valid()) ctx = tracer->CurrentContext();
+  }
   const std::string frame =
-      EncodeFrame(FrameType::kRequest, EncodeRequestPayload(id, line));
+      EncodeFrame(FrameType::kRequest, EncodeRequestPayload(id, line, ctx));
   CADDB_RETURN_IF_ERROR(sock_.SendAll(frame.data(), frame.size()));
   while (true) {
     CADDB_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
     if (reply.type == FrameType::kResponse) {
       uint64_t reply_id = 0;
+      obs::TraceContext server_ctx;
       CADDB_RETURN_IF_ERROR(
           DecodeResponsePayload(reply.payload, &reply_id, command_error,
-                                output));
+                                output, &server_ctx));
       if (reply_id != id) continue;  // stale reply from a prior timeout
+      last_server_ctx_ = server_ctx;
+      if (server_ctx.valid()) {
+        span.AddAttribute("server_span", server_ctx.parent_span_id);
+      }
       return OkStatus();
     }
     if (reply.type == FrameType::kShed) {
@@ -233,13 +256,19 @@ Status RetryingClient::Execute(const std::string& line, std::string* output,
     if (last.ok()) {
       last = client_->Execute(line, output, command_error);
       if (last.ok()) return last;
+      obs::EventLog* log =
+          options_.obs != nullptr ? &options_.obs->log : nullptr;
       if (IsShed(last)) {
         ++sheds_seen_;  // clean refusal; the connection stays usable
+        CADDB_LOG(log, obs::LogLevel::kInfo, "net",
+                  "request shed, backing off: " + last.message());
       } else {
         // Transport died: timeout, reset, or a torn frame (which the
         // decoder reports as a protocol error). All of them mean this
         // connection is done — reconnect and retry, bounded by
         // max_attempts.
+        CADDB_LOG(log, obs::LogLevel::kWarn, "net",
+                  "connection lost, will reconnect: " + last.message());
         client_.reset();
       }
     } else if (last.code() != Code::kUnavailable) {

@@ -8,6 +8,7 @@
 
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/observability.h"
 #include "util/result.h"
 
 namespace caddb {
@@ -24,6 +25,12 @@ struct ClientOptions {
   /// response degrades to a retryable kUnavailable ("recv timed out")
   /// instead of a hung session. 0 = block forever.
   uint64_t recv_timeout_ms = 0;
+  /// Client-side observability. When set, each Execute opens a
+  /// `net.client.execute` span whose context rides the request's trace
+  /// extension to trace-capable servers (HelloOk banner `caps=trace`), so
+  /// the server's `net.request` span joins the client-rooted tree.
+  /// Old servers never see the extension. Null = untraced (old behaviour).
+  obs::Observability* obs = nullptr;
 };
 
 class Client {
@@ -48,6 +55,13 @@ class Client {
   /// Role the server granted at hello.
   bool writable() const { return writable_; }
   const std::string& banner() const { return banner_; }
+  /// Server advertised `caps=trace` — requests carry trace context.
+  bool server_traces() const { return server_traces_; }
+  /// The server-side context of the last successful Execute (its
+  /// net.request span), invalid when the server sent none.
+  const obs::TraceContext& last_server_context() const {
+    return last_server_ctx_;
+  }
 
   /// Sends a goodbye frame and closes. The destructor calls it.
   void Close();
@@ -68,7 +82,11 @@ class Client {
   uint64_t next_id_ = 1;
   bool writable_ = false;
   bool closed_ = false;
+  bool server_traces_ = false;
   std::string banner_;
+  obs::Observability* obs_ = nullptr;
+  obs::Histogram* h_execute_ = nullptr;
+  obs::TraceContext last_server_ctx_;
 };
 
 /// Capped-exponential retry with subtractive jitter, mirroring the

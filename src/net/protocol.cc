@@ -123,36 +123,121 @@ bool FrameDecoder::Next(Frame* frame) {
   return true;
 }
 
+namespace {
+
+// "\0T1" + u64 trace_id + u64 parent_span_id. The NUL cannot begin a
+// command line or output, so the block's presence is self-describing.
+constexpr size_t kTraceExtSize = 3 + 8 + 8;
+
+void AppendTraceExt(std::string* out, const obs::TraceContext& ctx) {
+  out->push_back('\0');
+  out->push_back('T');
+  out->push_back('1');
+  PutU64(out, ctx.trace_id);
+  PutU64(out, ctx.parent_span_id);
+}
+
+// Consumes a trace extension at `*offset` if one is present; advances the
+// offset past it. Absence is not an error (old peer); a NUL that is not a
+// well-formed extension is.
+Status ConsumeTraceExt(const std::string& payload, size_t* offset,
+                       obs::TraceContext* ctx) {
+  *ctx = obs::TraceContext{};
+  if (*offset >= payload.size() || payload[*offset] != '\0') {
+    return OkStatus();
+  }
+  if (payload.size() < *offset + kTraceExtSize ||
+      payload[*offset + 1] != 'T' || payload[*offset + 2] != '1') {
+    return ProtocolError("malformed trace extension");
+  }
+  ctx->trace_id = GetU64(payload.data() + *offset + 3);
+  ctx->parent_span_id = GetU64(payload.data() + *offset + 11);
+  *offset += kTraceExtSize;
+  return OkStatus();
+}
+
+}  // namespace
+
+bool BannerHasCapability(const std::string& banner, const std::string& cap) {
+  size_t pos = 0;
+  while (pos < banner.size()) {
+    size_t end = banner.find(' ', pos);
+    if (end == std::string::npos) end = banner.size();
+    const std::string word = banner.substr(pos, end - pos);
+    if (word.rfind("caps=", 0) == 0) {
+      size_t at = 5;
+      while (at <= word.size()) {
+        size_t comma = word.find(',', at);
+        if (comma == std::string::npos) comma = word.size();
+        if (word.compare(at, comma - at, cap) == 0) return true;
+        at = comma + 1;
+      }
+    }
+    pos = end + 1;
+  }
+  return false;
+}
+
 std::string EncodeRequestPayload(uint64_t id, const std::string& line) {
+  return EncodeRequestPayload(id, line, obs::TraceContext{});
+}
+
+std::string EncodeRequestPayload(uint64_t id, const std::string& line,
+                                 const obs::TraceContext& ctx) {
   std::string out;
   PutU64(&out, id);
+  if (ctx.valid()) AppendTraceExt(&out, ctx);
   out.append(line);
   return out;
 }
 
 Status DecodeRequestPayload(const std::string& payload, uint64_t* id,
                             std::string* line) {
+  obs::TraceContext ignored;
+  return DecodeRequestPayload(payload, id, line, &ignored);
+}
+
+Status DecodeRequestPayload(const std::string& payload, uint64_t* id,
+                            std::string* line, obs::TraceContext* ctx) {
   if (payload.size() < 8) return ProtocolError("short request payload");
   *id = GetU64(payload.data());
-  line->assign(payload, 8, payload.size() - 8);
+  size_t offset = 8;
+  CADDB_RETURN_IF_ERROR(ConsumeTraceExt(payload, &offset, ctx));
+  line->assign(payload, offset, payload.size() - offset);
   return OkStatus();
 }
 
 std::string EncodeResponsePayload(uint64_t id, bool error,
                                   const std::string& output) {
+  return EncodeResponsePayload(id, error, output, obs::TraceContext{});
+}
+
+std::string EncodeResponsePayload(uint64_t id, bool error,
+                                  const std::string& output,
+                                  const obs::TraceContext& ctx) {
   std::string out;
   PutU64(&out, id);
   out.push_back(error ? '\1' : '\0');
+  if (ctx.valid()) AppendTraceExt(&out, ctx);
   out.append(output);
   return out;
 }
 
 Status DecodeResponsePayload(const std::string& payload, uint64_t* id,
                              bool* error, std::string* output) {
+  obs::TraceContext ignored;
+  return DecodeResponsePayload(payload, id, error, output, &ignored);
+}
+
+Status DecodeResponsePayload(const std::string& payload, uint64_t* id,
+                             bool* error, std::string* output,
+                             obs::TraceContext* ctx) {
   if (payload.size() < 9) return ProtocolError("short response payload");
   *id = GetU64(payload.data());
   *error = payload[8] != '\0';
-  output->assign(payload, 9, payload.size() - 9);
+  size_t offset = 9;
+  CADDB_RETURN_IF_ERROR(ConsumeTraceExt(payload, &offset, ctx));
+  output->assign(payload, offset, payload.size() - offset);
   return OkStatus();
 }
 

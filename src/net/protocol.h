@@ -5,6 +5,7 @@
 #include <deque>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace caddb {
@@ -91,20 +92,50 @@ class FrameDecoder {
 };
 
 // ---- Payload codecs ----
-// Request:  u64 id | command line bytes
-// Response: u64 id | u8 error flag | output bytes
+// Request:  u64 id | [trace ext] | command line bytes
+// Response: u64 id | u8 error flag | [trace ext] | output bytes
 // Shed:     u64 id | reason bytes             (id 0: connection-level shed)
 // Hello:    u8 requested SessionRole | namespace bytes
 // HelloOk:  u8 granted SessionRole | banner bytes
+//
+// The trace extension is a versioned block "\0T1" + u64 trace_id +
+// u64 parent_span_id inserted where the text would begin. Command lines
+// and outputs are text and never start with NUL, so its presence is
+// unambiguous: a new peer accepts both forms (absent extension means "no
+// context" — the receiver starts a new trace root), while an old decoder
+// would misread the block as text. To protect old peers the extension is
+// only ever *sent* negotiated: clients look for the "trace" capability in
+// the HelloOk banner's `caps=` word before attaching context, and the
+// server echoes context only on responses to requests that carried it.
+
+/// Banner word advertising optional protocol features, e.g. "caps=trace".
+/// Old clients simply display it; new clients parse it.
+constexpr const char* kTraceCapability = "trace";
+/// True when `banner` contains a whitespace-delimited `caps=` word whose
+/// comma-separated list includes `cap`.
+bool BannerHasCapability(const std::string& banner, const std::string& cap);
 
 std::string EncodeRequestPayload(uint64_t id, const std::string& line);
+std::string EncodeRequestPayload(uint64_t id, const std::string& line,
+                                 const obs::TraceContext& ctx);
 Status DecodeRequestPayload(const std::string& payload, uint64_t* id,
                             std::string* line);
+/// `ctx` is left invalid (trace_id 0) when the payload has no extension.
+Status DecodeRequestPayload(const std::string& payload, uint64_t* id,
+                            std::string* line, obs::TraceContext* ctx);
 
 std::string EncodeResponsePayload(uint64_t id, bool error,
                                   const std::string& output);
+/// The response extension carries the server's trace_id + net.request
+/// span id so the client can stitch the remote subtree to its root.
+std::string EncodeResponsePayload(uint64_t id, bool error,
+                                  const std::string& output,
+                                  const obs::TraceContext& ctx);
 Status DecodeResponsePayload(const std::string& payload, uint64_t* id,
                              bool* error, std::string* output);
+Status DecodeResponsePayload(const std::string& payload, uint64_t* id,
+                             bool* error, std::string* output,
+                             obs::TraceContext* ctx);
 
 std::string EncodeShedPayload(uint64_t id, const std::string& reason);
 Status DecodeShedPayload(const std::string& payload, uint64_t* id,

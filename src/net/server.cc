@@ -11,6 +11,7 @@
 #include "obs/exposition.h"
 #include "replication/follower.h"
 #include "shell/dispatcher.h"
+#include "util/json_writer.h"
 
 namespace caddb {
 namespace net {
@@ -36,6 +37,12 @@ struct Server::Session {
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
   std::atomic<size_t> inflight{0};
+  /// Previous stats() sample, for per-session rates between successive
+  /// `server status` calls. Guarded by sessions_mu_ (stats() holds it).
+  uint64_t prev_requests = 0;
+  uint64_t prev_bytes_in = 0;
+  uint64_t prev_bytes_out = 0;
+  uint64_t prev_sample_us = 0;
 };
 
 struct Server::Request {
@@ -45,6 +52,11 @@ struct Server::Request {
   /// When the reader enqueued it — the deadline check compares queue wait
   /// against ServerOptions::request_deadline_us.
   uint64_t enqueue_us = 0;
+  /// The client's trace context, carried explicitly across the reader →
+  /// worker hand-off: the thread-local span stack does not survive the
+  /// queue, so without this the net.request span would root a fresh tree
+  /// on whichever worker picked it up.
+  obs::TraceContext ctx;
 };
 
 uint64_t Server::NowUs() const {
@@ -259,6 +271,9 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
       if (!fed.ok()) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         m_protocol_errors_->Increment();
+        CADDB_LOG(&obs_->log, obs::LogLevel::kWarn, "net",
+                  "session " + std::to_string(session->id) +
+                      " framing lost: " + fed.ToString());
         WriteFrame(session, FrameType::kProtocolError, fed.ToString());
         break;
       }
@@ -267,6 +282,9 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
       if (!fed.ok()) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         m_protocol_errors_->Increment();
+        CADDB_LOG(&obs_->log, obs::LogLevel::kWarn, "net",
+                  "session " + std::to_string(session->id) +
+                      " framing lost: " + fed.ToString());
         WriteFrame(session, FrameType::kProtocolError, fed.ToString());
         break;
       }
@@ -318,8 +336,13 @@ void Server::HandleFrame(const std::shared_ptr<Session>& session,
     session->hello_done.store(true, std::memory_order_release);
     const SessionRole granted =
         session->read_only ? SessionRole::kReadOnly : SessionRole::kWritable;
-    std::string banner = "caddb " + address();
+    // The caps word is the trace-capability handshake: clients that parse
+    // it attach trace context to requests; old clients just display it.
+    std::string banner = "caddb " + address() + " caps=trace";
     if (forced_read_only) banner += " (read-only)";
+    CADDB_LOG(&obs_->log, obs::LogLevel::kDebug, "net",
+              "session " + std::to_string(session->id) + " hello from " +
+                  session->peer + (session->read_only ? " (read-only)" : ""));
     WriteFrame(session, FrameType::kHelloOk,
                EncodeHelloOkPayload(granted, banner));
     return;
@@ -335,7 +358,8 @@ void Server::HandleFrame(const std::shared_ptr<Session>& session,
   }
   uint64_t id = 0;
   std::string line;
-  const Status decoded = DecodeRequestPayload(frame.payload, &id, &line);
+  obs::TraceContext ctx;
+  const Status decoded = DecodeRequestPayload(frame.payload, &id, &line, &ctx);
   if (!decoded.ok()) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     m_protocol_errors_->Increment();
@@ -370,7 +394,7 @@ void Server::HandleFrame(const std::shared_ptr<Session>& session,
     if (!stop_.load(std::memory_order_acquire) &&
         queue_.size() < options_.queue_capacity) {
       session->inflight.fetch_add(1, std::memory_order_acq_rel);
-      queue_.push_back(Request{session, id, std::move(line), NowUs()});
+      queue_.push_back(Request{session, id, std::move(line), NowUs(), ctx});
       queue_cv_.notify_one();
       return;
     }
@@ -419,6 +443,7 @@ void Server::Execute(const Request& request) {
   bool quit = false;
   bool shed = false;
   std::string shed_reason;
+  obs::TraceContext server_ctx;
   {
     std::lock_guard<std::mutex> exec(exec_mu_);
     Database* db = CurrentDb();
@@ -435,8 +460,13 @@ void Server::Execute(const Request& request) {
           "replica lag " + std::to_string(m_replica_lag_->value()) +
           " exceeds max " + std::to_string(options_.max_replica_lag);
     } else {
-      obs::Span span(&obs_->trace, "net.request", m_request_us_,
+      // The client's wire context (carried through the queue in
+      // request.ctx) parents this span; Database spans opened inside
+      // ExecuteLine nest under it via the thread-local stack, so the
+      // whole server-side subtree joins the client-rooted trace.
+      obs::Span span(&obs_->trace, "net.request", request.ctx, m_request_us_,
                      /*always_time=*/true);
+      server_ctx = span.context();
       if (session->dispatcher == nullptr) {
         session->dispatcher = std::make_unique<shell::Dispatcher>(db);
         session->dispatcher->set_read_only(session->read_only);
@@ -458,8 +488,12 @@ void Server::Execute(const Request& request) {
   session->requests.fetch_add(1, std::memory_order_relaxed);
   requests_.fetch_add(1, std::memory_order_relaxed);
   m_requests_->Increment();
+  // Echo this request's server-side context only to clients that sent
+  // context themselves — old clients would misread the extension as text.
   WriteFrame(session, FrameType::kResponse,
-             EncodeResponsePayload(request.id, error, output));
+             request.ctx.valid()
+                 ? EncodeResponsePayload(request.id, error, output, server_ctx)
+                 : EncodeResponsePayload(request.id, error, output));
   // `quit` over the wire ends the session, same as at the local prompt.
   if (quit) session->sock.ShutdownBoth();
 }
@@ -481,6 +515,9 @@ void Server::Shed(const std::shared_ptr<Session>& session, uint64_t id,
   session->sheds.fetch_add(1, std::memory_order_relaxed);
   sheds_.fetch_add(1, std::memory_order_relaxed);
   m_sheds_->Increment();
+  CADDB_LOG(&obs_->log, obs::LogLevel::kInfo, "net",
+            "shed request " + std::to_string(id) + " on session " +
+                std::to_string(session->id) + ": " + reason);
   WriteFrame(session, FrameType::kShed, EncodeShedPayload(id, reason));
 }
 
@@ -513,6 +550,12 @@ void Server::HandleHttp(const std::shared_ptr<Session>& session,
       path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
     }
   }
+  std::string query;
+  const size_t query_at = path.find('?');
+  if (query_at != std::string::npos) {
+    query = path.substr(query_at + 1);
+    path.resize(query_at);
+  }
   std::string status = "200 OK";
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
@@ -522,6 +565,25 @@ void Server::HandleHttp(const std::shared_ptr<Session>& session,
     // The exact bytes of the shell's `metrics --format=prom`.
     body = obs::RenderPrometheus(obs_->metrics.Snapshot());
     content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/vars") {
+    // Counter rates + current gauges over ?window= milliseconds, from the
+    // metrics-history ring (caddb_server runs the snapshotter; embedders
+    // Tick() themselves). `samples` < 2 means the ring cannot answer yet.
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    m_scrapes_->Increment();
+    uint64_t window_ms = 10000;
+    const size_t w = query.find("window=");
+    if (w != std::string::npos) {
+      window_ms = 0;
+      for (size_t i = w + 7; i < query.size(); ++i) {
+        if (query[i] < '0' || query[i] > '9') break;
+        window_ms = window_ms * 10 + static_cast<uint64_t>(query[i] - '0');
+      }
+    }
+    JsonWriter json;
+    obs::WriteRateWindowJson(obs_->history.Window(window_ms), &json);
+    body = json.str() + "\n";
+    content_type = "application/json";
   } else if (path == "/healthz") {
     body = "ok\n";
   } else {
@@ -561,6 +623,7 @@ ServerStats Server::stats() const {
   }
   std::lock_guard<std::mutex> lock(sessions_mu_);
   stats.sessions_active = sessions_.size();
+  const uint64_t now_us = NowUs();
   for (const auto& [id, session] : sessions_) {
     SessionInfo info;
     info.id = session->id;
@@ -572,6 +635,25 @@ ServerStats Server::stats() const {
     info.bytes_in = session->bytes_in.load(std::memory_order_relaxed);
     info.bytes_out = session->bytes_out.load(std::memory_order_relaxed);
     info.inflight = session->inflight.load(std::memory_order_relaxed);
+    // `server top`-style rates: movement since the previous stats() call.
+    // The first call for a session has no baseline and reports 0.
+    if (session->prev_sample_us != 0 && now_us > session->prev_sample_us) {
+      const double seconds =
+          static_cast<double>(now_us - session->prev_sample_us) / 1e6;
+      info.requests_per_sec =
+          static_cast<double>(info.requests - session->prev_requests) /
+          seconds;
+      info.bytes_in_per_sec =
+          static_cast<double>(info.bytes_in - session->prev_bytes_in) /
+          seconds;
+      info.bytes_out_per_sec =
+          static_cast<double>(info.bytes_out - session->prev_bytes_out) /
+          seconds;
+    }
+    session->prev_requests = info.requests;
+    session->prev_bytes_in = info.bytes_in;
+    session->prev_bytes_out = info.bytes_out;
+    session->prev_sample_us = now_us;
     stats.sessions.push_back(std::move(info));
   }
   return stats;

@@ -88,6 +88,10 @@ struct SessionInfo {
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
   size_t inflight = 0;
+  /// Rates since the previous stats() sample (0 on a session's first one).
+  double requests_per_sec = 0;
+  double bytes_in_per_sec = 0;
+  double bytes_out_per_sec = 0;
 };
 
 struct ServerStats {

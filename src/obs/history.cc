@@ -1,0 +1,160 @@
+#include "obs/history.h"
+
+#include <chrono>
+
+#include "obs/log.h"    // EventLog::WallMs
+#include "obs/trace.h"  // Tracer::NowUs
+#include "util/json_writer.h"
+
+namespace caddb {
+namespace obs {
+
+MetricsHistory::MetricsHistory(MetricsRegistry* registry, size_t capacity)
+    : registry_(registry), capacity_(capacity == 0 ? 2 : capacity) {}
+
+MetricsHistory::~MetricsHistory() { Stop(); }
+
+void MetricsHistory::Tick() {
+  HistorySample sample;
+  sample.wall_ms = EventLog::WallMs();
+  sample.mono_us = Tracer::NowUs();
+  sample.snapshot = registry_->Snapshot();
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.push_back(std::move(sample));
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void MetricsHistory::Start(uint64_t interval_ms) {
+  interval_ms_.store(interval_ms == 0 ? 1 : interval_ms,
+                     std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) {
+    cv_.notify_all();  // retune the in-flight sleep to the new interval
+    return;
+  }
+  stop_ = false;
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread(&MetricsHistory::RunLoop, this);
+}
+
+void MetricsHistory::Stop() {
+  std::thread joiner;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    cv_.notify_all();
+    joiner = std::move(thread_);
+  }
+  joiner.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void MetricsHistory::RunLoop() {
+  while (true) {
+    Tick();
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(
+            interval_ms_.load(std::memory_order_relaxed)),
+        [this] { return stop_; });
+    if (stop_) return;
+  }
+}
+
+size_t MetricsHistory::size() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_.size();
+}
+
+std::vector<HistorySample> MetricsHistory::Samples() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return std::vector<HistorySample>(ring_.begin(), ring_.end());
+}
+
+void MetricsHistory::Clear() {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.clear();
+}
+
+RateWindow MetricsHistory::Window(uint64_t window_ms) const {
+  RateWindow out;
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  out.samples = ring_.size();
+  if (ring_.empty()) return out;
+  const HistorySample& newest = ring_.back();
+  out.to_wall_ms = newest.wall_ms;
+  out.gauges = newest.snapshot.gauges;
+  if (ring_.size() < 2) return out;
+
+  // Base sample: the oldest one still inside the window. If every older
+  // sample predates the window, fall back to the second-newest so a rate
+  // is always computable once two samples exist.
+  size_t base_index = ring_.size() - 2;
+  if (window_ms != 0) {
+    const uint64_t span_us = window_ms * 1000;
+    const uint64_t cutoff_us =
+        span_us <= newest.mono_us ? newest.mono_us - span_us : 0;
+    for (size_t i = 0; i + 1 < ring_.size(); ++i) {
+      if (ring_[i].mono_us >= cutoff_us) {
+        base_index = i;
+        break;
+      }
+    }
+  } else {
+    base_index = 0;
+  }
+  const HistorySample& base = ring_[base_index];
+  out.from_wall_ms = base.wall_ms;
+  out.elapsed_us = newest.mono_us - base.mono_us;
+  const double seconds =
+      static_cast<double>(out.elapsed_us) / 1000000.0;
+  for (const CounterSample& now : newest.snapshot.counters) {
+    const CounterSample* then = base.snapshot.FindCounter(now.name);
+    const uint64_t old_value = then != nullptr ? then->value : 0;
+    // A counter below its old value was Reset() mid-window; count the
+    // post-reset increments rather than a bogus huge delta.
+    const uint64_t delta =
+        now.value >= old_value ? now.value - old_value : now.value;
+    if (delta == 0) continue;
+    CounterRate rate;
+    rate.name = now.name;
+    rate.delta = delta;
+    rate.per_sec =
+        seconds > 0 ? static_cast<double>(delta) / seconds : 0.0;
+    out.rates.push_back(std::move(rate));
+  }
+  return out;
+}
+
+void WriteRateWindowJson(const RateWindow& window, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("from_ms", window.from_wall_ms);
+  w->Field("to_ms", window.to_wall_ms);
+  w->Field("elapsed_us", window.elapsed_us);
+  w->Field("samples", static_cast<uint64_t>(window.samples));
+  w->Key("rates");
+  w->BeginArray();
+  for (const CounterRate& rate : window.rates) {
+    w->BeginObject();
+    w->Field("name", rate.name);
+    w->Field("delta", rate.delta);
+    w->Field("per_sec", rate.per_sec);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("gauges");
+  w->BeginArray();
+  for (const GaugeSample& gauge : window.gauges) {
+    w->BeginObject();
+    w->Field("name", gauge.name);
+    w->Field("value", gauge.value);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace obs
+}  // namespace caddb

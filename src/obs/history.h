@@ -1,0 +1,106 @@
+#ifndef CADDB_OBS_HISTORY_H_
+#define CADDB_OBS_HISTORY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace caddb {
+class JsonWriter;
+
+namespace obs {
+
+/// One timestamped capture of a whole registry. `mono_us` (steady clock)
+/// orders samples and times rates; `wall_ms` labels them for humans.
+struct HistorySample {
+  uint64_t wall_ms = 0;
+  uint64_t mono_us = 0;
+  MetricsSnapshot snapshot;
+};
+
+/// A counter's movement across a window.
+struct CounterRate {
+  std::string name;
+  uint64_t delta = 0;
+  double per_sec = 0.0;
+};
+
+/// Rates over one resolved window: the newest sample against the oldest
+/// sample still inside `window_ms` of it. `gauges` carries the newest
+/// point-in-time levels alongside, so one Window() answers both "how fast"
+/// and "how much right now".
+struct RateWindow {
+  uint64_t from_wall_ms = 0;
+  uint64_t to_wall_ms = 0;
+  uint64_t elapsed_us = 0;
+  size_t samples = 0;  // ring occupancy when the window was resolved
+  std::vector<CounterRate> rates;  // zero-delta counters omitted
+  std::vector<GaugeSample> gauges;
+};
+
+/// Bounded ring of registry snapshots with delta/rate extraction — the
+/// store behind `metrics --watch`, `server status` per-session rates, and
+/// the server's `/vars?window=` path. Sampling is pull-based (Tick()) with
+/// an optional background thread (Start/Stop) for long-lived processes;
+/// embedders that already own a timer just call Tick() themselves.
+class MetricsHistory {
+ public:
+  explicit MetricsHistory(MetricsRegistry* registry, size_t capacity = 64);
+  MetricsHistory(const MetricsHistory&) = delete;
+  MetricsHistory& operator=(const MetricsHistory&) = delete;
+  ~MetricsHistory();
+
+  /// Captures one sample now. Safe from any thread.
+  void Tick();
+
+  /// Background snapshotter at `interval_ms` (first sample immediately).
+  /// Idempotent: a second Start() retunes the interval.
+  void Start(uint64_t interval_ms);
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  uint64_t interval_ms() const {
+    return interval_ms_.load(std::memory_order_relaxed);
+  }
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Ring contents, oldest first.
+  std::vector<HistorySample> Samples() const;
+  void Clear();
+
+  /// Newest sample vs the oldest one within `window_ms` of it (0 = the
+  /// whole ring). Empty-rate window with samples < 2 when the ring cannot
+  /// answer yet.
+  RateWindow Window(uint64_t window_ms) const;
+
+ private:
+  void RunLoop();
+
+  MetricsRegistry* const registry_;
+  const size_t capacity_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> interval_ms_{0};
+
+  mutable std::mutex ring_mu_;
+  std::deque<HistorySample> ring_;
+
+  std::mutex thread_mu_;  // guards thread_/stop_ against Start/Stop races
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// The `/vars?window=` and `metrics --watch --format=json` body.
+void WriteRateWindowJson(const RateWindow& window, JsonWriter* w);
+
+}  // namespace obs
+}  // namespace caddb
+
+#endif  // CADDB_OBS_HISTORY_H_

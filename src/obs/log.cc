@@ -1,0 +1,165 @@
+#include "obs/log.h"
+
+#include <chrono>
+
+#include "util/json_writer.h"
+
+namespace caddb {
+namespace obs {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  if (text == "debug") *out = LogLevel::kDebug;
+  else if (text == "info") *out = LogLevel::kInfo;
+  else if (text == "warn") *out = LogLevel::kWarn;
+  else if (text == "error") *out = LogLevel::kError;
+  else if (text == "off") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[trace_id & 0xf];
+    trace_id >>= 4;
+  }
+  return out;
+}
+
+void WriteLogRecordJson(const LogRecord& record, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("seq", record.seq);
+  w->Field("ts_ms", record.wall_ms);
+  w->Field("level", LogLevelName(record.level));
+  w->Field("subsystem", record.subsystem);
+  w->Field("msg", record.message);
+  if (record.trace_id != 0) {
+    w->Field("trace_id", TraceIdHex(record.trace_id));
+    w->Field("span_id", record.span_id);
+  }
+  w->EndObject();
+}
+
+EventLog::EventLog(size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+EventLog::~EventLog() { CloseSink(); }
+
+uint64_t EventLog::WallMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void EventLog::BindMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  m_events_ = metrics->GetCounter("caddb_log_events_total",
+                                  "Structured log records admitted");
+  m_dropped_ = metrics->GetCounter(
+      "caddb_log_sink_dropped_total",
+      "Log records dropped by the file sink's rate limiter");
+}
+
+Status EventLog::OpenSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_.is_open()) sink_.close();
+  sink_.clear();
+  sink_.open(path, std::ios::out | std::ios::app);
+  if (!sink_.is_open()) {
+    return InternalError("cannot open log sink " + path);
+  }
+  return OkStatus();
+}
+
+void EventLog::CloseSink() {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_.is_open()) {
+    sink_.flush();
+    sink_.close();
+  }
+}
+
+bool EventLog::sink_open() const {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  return sink_.is_open();
+}
+
+void EventLog::Log(LogLevel level, const char* subsystem,
+                   std::string message) {
+  LogRecord record;
+  record.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  record.wall_ms = WallMs();
+  record.level = level;
+  record.subsystem = subsystem;
+  record.message = std::move(message);
+  if (tracer_ != nullptr) {
+    const TraceContext ctx = tracer_->CurrentContext();
+    record.trace_id = ctx.trace_id;
+    record.span_id = ctx.parent_span_id;
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (m_events_ != nullptr) m_events_->Increment();
+
+  // Sink first, with the line rendered outside the ring lock; a slow disk
+  // never blocks readers of the ring for longer than its own mutex.
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    if (sink_.is_open()) {
+      const uint64_t second = record.wall_ms / 1000;
+      if (second != sink_window_s_) {
+        sink_window_s_ = second;
+        sink_window_count_ = 0;
+      }
+      const uint64_t limit =
+          sink_rate_limit_.load(std::memory_order_relaxed);
+      if (limit != 0 && sink_window_count_ >= limit) {
+        sink_dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (m_dropped_ != nullptr) m_dropped_->Increment();
+      } else {
+        ++sink_window_count_;
+        JsonWriter w;
+        WriteLogRecordJson(record, &w);
+        sink_ << w.str() << '\n';
+        sink_.flush();
+        sink_written_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.push_back(std::move(record));
+  if (ring_.size() > ring_capacity_) ring_.pop_front();
+}
+
+std::vector<LogRecord> EventLog::Tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  const size_t count = n < ring_.size() ? n : ring_.size();
+  return std::vector<LogRecord>(ring_.end() - static_cast<long>(count),
+                                ring_.end());
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.clear();
+}
+
+}  // namespace obs
+}  // namespace caddb

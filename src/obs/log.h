@@ -1,0 +1,158 @@
+#ifndef CADDB_OBS_LOG_H_
+#define CADDB_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace caddb {
+class JsonWriter;
+
+namespace obs {
+
+/// Severity, ordered. An EventLog admits records at or above its minimum
+/// level; kOff as the minimum silences everything.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+/// Accepts "debug"/"info"/"warn"/"error"/"off" (case-sensitive).
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// One structured event. `wall_ms` is wall-clock (epoch milliseconds, the
+/// only wall time in the observability layer — spans stay on the steady
+/// clock); `trace_id`/`span_id` are stamped from the calling thread's open
+/// span so log lines interleave with trace trees, 0 when none was open.
+struct LogRecord {
+  uint64_t seq = 0;       // 1-based admission order
+  uint64_t wall_ms = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string subsystem;  // "wal", "net", "replication", "fault", "storage"
+  std::string message;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+/// Structured, leveled event log: a bounded in-memory ring (always on —
+/// `log tail` serves from it) plus an optional JSONL file sink with a
+/// per-second rate limit and a drop counter. The disabled path mirrors
+/// Span's: the CADDB_LOG macro does one relaxed atomic load and a compare
+/// before evaluating the message expression, so sub-threshold call sites
+/// cost ~ns and never build their strings.
+class EventLog {
+ public:
+  explicit EventLog(size_t ring_capacity = 1024);
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+  ~EventLog();
+
+  void set_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(
+        min_level_.load(std::memory_order_relaxed));
+  }
+  /// The macro's guard. Inline: one relaxed load + compare.
+  bool ShouldLog(LogLevel level) const {
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Stamp records with the calling thread's open span of this tracer.
+  void set_tracer(const Tracer* tracer) { tracer_ = tracer; }
+  /// Registers caddb_log_events_total / caddb_log_sink_dropped_total.
+  void BindMetrics(MetricsRegistry* metrics);
+
+  /// Opens (appends to) a JSONL file sink. One JSON object per line.
+  Status OpenSink(const std::string& path);
+  void CloseSink();
+  bool sink_open() const;
+  /// At most this many lines per wall second reach the file; the rest are
+  /// counted in sink_dropped(). The ring is never rate-limited.
+  void set_sink_rate_limit(uint64_t per_sec) {
+    sink_rate_limit_.store(per_sec, std::memory_order_relaxed);
+  }
+
+  /// Admits one record (level is NOT re-checked here — call ShouldLog or
+  /// use CADDB_LOG). Safe from any thread.
+  void Log(LogLevel level, const char* subsystem, std::string message);
+
+  /// The newest `n` records, oldest first.
+  std::vector<LogRecord> Tail(size_t n) const;
+  void Clear();
+
+  uint64_t total() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  uint64_t sink_dropped() const {
+    return sink_dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t sink_written() const {
+    return sink_written_.load(std::memory_order_relaxed);
+  }
+  size_t ring_capacity() const { return ring_capacity_; }
+
+  /// Epoch milliseconds; the wall-clock base for LogRecord::wall_ms.
+  static uint64_t WallMs();
+
+ private:
+  const size_t ring_capacity_;
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> sink_dropped_{0};
+  std::atomic<uint64_t> sink_written_{0};
+  std::atomic<uint64_t> sink_rate_limit_{1000};
+  const Tracer* tracer_ = nullptr;
+
+  mutable std::mutex ring_mu_;
+  std::deque<LogRecord> ring_;
+
+  mutable std::mutex sink_mu_;
+  std::ofstream sink_;
+  uint64_t sink_window_s_ = 0;      // wall second of the current window
+  uint64_t sink_window_count_ = 0;  // lines written in that second
+
+  Counter* m_events_ = nullptr;
+  Counter* m_dropped_ = nullptr;
+};
+
+/// One record as a JSON object (the sink's line format and the
+/// `log tail --format=json` element format — one writer, zero drift).
+void WriteLogRecordJson(const LogRecord& record, JsonWriter* w);
+
+/// 16 lowercase hex digits; the canonical rendering of a trace id in every
+/// human- and machine-readable surface.
+std::string TraceIdHex(uint64_t trace_id);
+
+}  // namespace obs
+}  // namespace caddb
+
+/// Leveled structured logging with a ~ns disabled path. The message
+/// expression is evaluated only when the level passes, so call sites may
+/// concatenate freely:
+///   CADDB_LOG(log, obs::LogLevel::kWarn, "wal", "torn tail at lsn " + ...);
+/// A null `log` is a no-op.
+#define CADDB_LOG(log, level, subsystem, message)                        \
+  do {                                                                   \
+    ::caddb::obs::EventLog* caddb_log_tmp_ = (log);                      \
+    if (caddb_log_tmp_ != nullptr && caddb_log_tmp_->ShouldLog(level)) { \
+      caddb_log_tmp_->Log((level), (subsystem), (message));              \
+    }                                                                    \
+  } while (0)
+
+#endif  // CADDB_OBS_LOG_H_

@@ -1,6 +1,8 @@
 #ifndef CADDB_OBS_OBSERVABILITY_H_
 #define CADDB_OBS_OBSERVABILITY_H_
 
+#include "obs/history.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -8,12 +10,20 @@ namespace caddb {
 namespace obs {
 
 /// The observability bundle every instrumented subsystem points at: one
-/// metrics registry plus one tracer. A Database owns its own bundle (so
-/// two databases in one process — e.g. a primary and its follower — keep
-/// separate books); free-standing components fall back to Default().
+/// metrics registry, one tracer, one structured event log, and one
+/// metrics-history ring. A Database owns its own bundle (so two databases
+/// in one process — e.g. a primary and its follower — keep separate
+/// books); free-standing components fall back to Default().
 struct Observability {
   MetricsRegistry metrics;
   Tracer trace;
+  EventLog log;
+  MetricsHistory history{&metrics};
+
+  Observability() {
+    log.set_tracer(&trace);
+    log.BindMetrics(&metrics);
+  }
 };
 
 /// Process-global fallback bundle for components constructed without an

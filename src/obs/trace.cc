@@ -2,18 +2,46 @@
 
 #include <chrono>
 
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 namespace caddb {
 namespace obs {
 namespace {
 
 // Per-thread stack of open recording spans, used to link children to their
 // enclosing span. Entries carry the tracer so independent tracers (e.g. a
-// primary and a follower database) nest independently.
+// primary and a follower database) nest independently, and the trace id so
+// children stay in their root's distributed tree.
 struct SpanFrame {
   const Tracer* tracer;
   uint64_t id;
+  uint64_t trace_id;
 };
 thread_local std::vector<SpanFrame> g_span_stack;
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t TraceIdSeed() {
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const uint64_t wall = static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+#ifdef _WIN32
+  const uint64_t pid = static_cast<uint64_t>(_getpid());
+#else
+  const uint64_t pid = static_cast<uint64_t>(getpid());
+#endif
+  return SplitMix64(now) ^ SplitMix64(wall ^ (pid << 32) ^ pid);
+}
 
 }  // namespace
 
@@ -26,6 +54,21 @@ uint64_t Tracer::NowUs() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+uint64_t Tracer::NewTraceId() {
+  static std::atomic<uint64_t> counter{TraceIdSeed()};
+  uint64_t id =
+      SplitMix64(counter.fetch_add(1, std::memory_order_relaxed));
+  // 0 is the "no context" sentinel; remap the one colliding value.
+  return id == 0 ? 1 : id;
+}
+
+TraceContext Tracer::CurrentContext() const {
+  for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
+    if (it->tracer == this) return TraceContext{it->trace_id, it->id};
+  }
+  return TraceContext{};
 }
 
 std::vector<SpanRecord> Tracer::Dump(bool slow_only) const {
@@ -85,13 +128,23 @@ void Span::Start() {
   if (tracer_ != nullptr && tracer_->enabled()) {
     recording_ = true;
     id_ = tracer_->next_id_.fetch_add(1, std::memory_order_relaxed);
-    for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
-      if (it->tracer == tracer_) {
-        parent_id_ = it->id;
-        break;
+    if (has_explicit_parent_ && explicit_parent_.valid()) {
+      // A hand-off (cross-thread or cross-process) outranks whatever is
+      // on this thread's stack.
+      parent_id_ = explicit_parent_.parent_span_id;
+      trace_id_ = explicit_parent_.trace_id;
+    } else {
+      for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend();
+           ++it) {
+        if (it->tracer == tracer_) {
+          parent_id_ = it->id;
+          trace_id_ = it->trace_id;
+          break;
+        }
       }
     }
-    g_span_stack.push_back({tracer_, id_});
+    if (trace_id_ == 0) trace_id_ = Tracer::NewTraceId();
+    g_span_stack.push_back({tracer_, id_, trace_id_});
   }
   start_us_ = Tracer::NowUs();
 }
@@ -108,6 +161,7 @@ void Span::Finish() {
   SpanRecord record;
   record.id = id_;
   record.parent_id = parent_id_;
+  record.trace_id = trace_id_;
   record.name = name_;
   record.start_us = start_us_;
   record.duration_us = duration;

@@ -15,12 +15,27 @@
 namespace caddb {
 namespace obs {
 
+/// Propagated trace identity: which distributed trace a span belongs to
+/// and which span caused it. `trace_id == 0` means "no context" — the
+/// receiver starts a new root. This is what crosses thread hand-offs
+/// (the server's request queue), the CADF wire (kRequest/kResponse
+/// payload extension), and the replication MANIFEST.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
 /// A completed span, as retained in the trace ring buffer and delivered to
 /// observers. `parent_id` is 0 for root spans; nested spans on the same
-/// thread link to their enclosing span.
+/// thread link to their enclosing span. `trace_id` groups spans into one
+/// distributed tree: children inherit it, roots mint a fresh one (or adopt
+/// the one a remote caller propagated).
 struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent_id = 0;
+  uint64_t trace_id = 0;
   std::string name;          // "<subsystem>.<operation>", e.g. "wal.fsync"
   uint64_t start_us = 0;     // steady-clock microseconds (ordering only)
   uint64_t duration_us = 0;
@@ -62,6 +77,15 @@ class Tracer {
     return total_spans_.load(std::memory_order_relaxed);
   }
   size_t ring_capacity() const { return ring_capacity_; }
+
+  /// The innermost open span of *this* tracer on the calling thread, as a
+  /// context a child (possibly in another thread or process) can adopt.
+  /// Invalid (trace_id 0) when no span is open or tracing is off.
+  TraceContext CurrentContext() const;
+
+  /// A fresh 64-bit trace id: a splitmix64 stream seeded from clock and
+  /// pid so two processes do not collide. Never returns 0.
+  static uint64_t NewTraceId();
 
   using Observer = std::function<void(const SpanRecord&)>;
   /// Returns a token for RemoveObserver. Callbacks run on the thread that
@@ -110,6 +134,22 @@ class Span {
       : tracer_(tracer), name_(name), histogram_(histogram) {
     if (always_time || (tracer_ != nullptr && tracer_->enabled())) Start();
   }
+
+  // Adopts an explicit parent context instead of the thread-local stack —
+  // the hand-off for work executing on a different thread (the server's
+  // worker pool) or for a remote caller's wire context. An invalid
+  // context degrades to the normal root/stack behaviour, so callers can
+  // pass whatever they received without checking.
+  Span(Tracer* tracer, const char* name, const TraceContext& parent,
+       Histogram* histogram = nullptr, bool always_time = false)
+      : tracer_(tracer),
+        name_(name),
+        histogram_(histogram),
+        explicit_parent_(parent),
+        has_explicit_parent_(true) {
+    if (always_time || (tracer_ != nullptr && tracer_->enabled())) Start();
+  }
+
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   ~Span() {
@@ -123,6 +163,13 @@ class Span {
   /// True when the span will produce a ring record on destruction.
   bool recording() const { return recording_; }
 
+  /// This span as a parent for remote/cross-thread children. Invalid when
+  /// the span is not recording.
+  TraceContext context() const {
+    if (!recording_) return TraceContext{};
+    return TraceContext{trace_id_, id_};
+  }
+
  private:
   void Start();   // reads the clock; claims an id when tracing is enabled
   void Finish();  // records the histogram and emits the SpanRecord
@@ -133,6 +180,9 @@ class Span {
   uint64_t start_us_ = 0;
   uint64_t id_ = 0;
   uint64_t parent_id_ = 0;
+  uint64_t trace_id_ = 0;
+  TraceContext explicit_parent_;
+  bool has_explicit_parent_ = false;
   bool timed_ = false;      // clock was read at construction
   bool recording_ = false;  // a SpanRecord will be emitted
   std::vector<std::pair<std::string, std::string>> attributes_;

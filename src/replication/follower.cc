@@ -120,6 +120,8 @@ Status Follower::Quarantine(const std::string& code,
   state_ = FollowerState::kQuarantined;
   quarantine_code_ = code;
   quarantine_reason_ = reason;
+  CADDB_LOG(&obs_->log, obs::LogLevel::kError, "replication",
+            "quarantined (" + code + "): " + reason);
   // Best effort: losing the persisted diagnostic must not mask the
   // in-memory refusal.
   (void)wal::AtomicWriteFile(
@@ -311,8 +313,11 @@ Result<PollResult> Follower::Poll() {
   // 5. Full rebuild from the staged, validated bytes.
   wal::DurabilityOptions durability = options_.durability;
   durability.fingerprint_lsn = replay_lsn_;
-  obs::Span rebuild_span(&obs_->trace, "replication.rebuild", m_rebuild_us_,
-                         /*always_time=*/true);
+  // The manifest's trace stamp (the originating commit's context) parents
+  // the rebuild span: one tree from client command to follower catch-up.
+  // Unstamped manifests (old primary, tracing off) root a local span.
+  obs::Span rebuild_span(&obs_->trace, "replication.rebuild", manifest.trace,
+                         m_rebuild_us_, /*always_time=*/true);
   rebuild_span.AddAttribute("manifest_seq", manifest.seq);
   Result<std::unique_ptr<Database>> rebuilt =
       Database::OpenReadOnly(staged_dir_, durability);
@@ -365,6 +370,10 @@ Result<PollResult> Follower::Poll() {
   result.advanced = true;
   result.manifest_seq = last_seq_;
   result.replay_lsn = replay_lsn_;
+  CADDB_LOG(&obs_->log, obs::LogLevel::kInfo, "replication",
+            "applied manifest seq " + std::to_string(last_seq_) +
+                ", replayed through lsn " + std::to_string(replay_lsn_) +
+                " (lag " + std::to_string(replica_info().lag()) + ")");
   return result;
 }
 

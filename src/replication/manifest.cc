@@ -38,6 +38,10 @@ Result<uint32_t> ParseCrcHex(const std::string& hex) {
 std::string Manifest::Encode() const {
   std::string out = "caddb-replica 1 " + std::to_string(seq) + " " +
                     std::to_string(generation) + "\n";
+  if (trace.valid()) {
+    out += "trace " + std::to_string(trace.trace_id) + " " +
+           std::to_string(trace.parent_span_id) + "\n";
+  }
   if (!checkpoint.file.empty()) {
     out += "checkpoint " + checkpoint.file + " " +
            std::to_string(checkpoint.lsn) + " " +
@@ -78,6 +82,11 @@ Result<Manifest> Manifest::Decode(const std::string& text) {
                           std::to_string(version));
       }
       saw_header = true;
+    } else if (tag == "trace") {
+      if (!(fields >> manifest.trace.trace_id >>
+            manifest.trace.parent_span_id)) {
+        return ParseError("manifest: bad trace line '" + line + "'");
+      }
     } else if (tag == "checkpoint") {
       std::string crc_hex;
       if (!(fields >> manifest.checkpoint.file >> manifest.checkpoint.lsn >>

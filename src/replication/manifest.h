@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace caddb {
@@ -15,10 +16,17 @@ namespace replication {
 /// format, one record per line:
 ///
 ///   caddb-replica 1 <seq> <generation>
+///   trace <trace-id> <span-id>
 ///   checkpoint <file> <lsn> <bytes> <crc32c-hex>
 ///   pagefile <file> <bytes> <crc32c-hex>
 ///   segment <file> <start-lsn> <last-lsn> <bytes> <crc32c-hex> <closed|tail>
 ///   end <crc32c-hex>
+///
+/// The optional `trace` record is the distributed-trace link: the context
+/// of the last commit the shipment covers (captured by the Wal, stamped by
+/// the Shipper). A follower parents its rebuild span on it, so a trace
+/// tree started in a client spans primary commit → ship → rebuild.
+/// Old manifests simply omit the line; the end CRC covers it when present.
 ///
 /// `seq` increases with every publication — a follower that has applied
 /// seq S ignores any manifest with seq <= S, which is what makes reordered
@@ -62,6 +70,9 @@ struct ManifestSegment {
 struct Manifest {
   uint64_t seq = 0;
   uint64_t generation = 0;
+  /// Originating-commit trace context (invalid when the primary traced
+  /// nothing — the line is omitted from the encoding).
+  obs::TraceContext trace;
   ManifestCheckpoint checkpoint;
   ManifestPageFile pagefile;
   std::vector<ManifestSegment> segments;

@@ -105,6 +105,9 @@ Result<ShipmentReport> Shipper::ShipNow() {
   Manifest manifest;
   manifest.seq = attempts_;
   manifest.generation = db_->generation();
+  // The distributed-trace link: the last commit's context, so a follower's
+  // rebuild span joins the tree of the client request that caused it.
+  manifest.trace = db_->wal()->last_commit_context();
 
   struct ShipFile {
     std::string name;
@@ -208,6 +211,11 @@ Result<ShipmentReport> Shipper::ShipNow() {
   m_bytes_->Increment(report.bytes_copied);
   span.AddAttribute("seq", report.seq);
   span.AddAttribute("shipped_lsn", report.shipped_lsn);
+  CADDB_LOG(&obs_->log, obs::LogLevel::kInfo, "replication",
+            "shipped seq " + std::to_string(report.seq) + " through lsn " +
+                std::to_string(report.shipped_lsn) + " (" +
+                std::to_string(report.files_copied) + " file(s), " +
+                std::to_string(report.bytes_copied) + " bytes)");
 
   // Publish. kReorder withholds this manifest and lets the *next* attempt
   // re-publish it after its own — the classic late datagram.

@@ -1,10 +1,12 @@
 #include "shell/dispatcher.h"
 
+#include <chrono>
 #include <fstream>
 #include <istream>
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/disk_verifier.h"
 #include "core/stats.h"
@@ -12,6 +14,8 @@
 #include "fault/failpoint.h"
 #include "net/server.h"
 #include "obs/exposition.h"
+#include "obs/history.h"
+#include "obs/log.h"
 #include "persist/dump.h"
 #include "persist/value_codec.h"
 #include "query/report.h"
@@ -120,6 +124,8 @@ bool Dispatcher::IsMutatingCommand(const std::vector<std::string>& tokens) {
   // Mode changes are mutations; bare status forms are reads.
   if (cmd == "cache") return tokens.size() > 1;
   if (cmd == "trace") return tokens.size() > 1 && tokens[1] != "dump";
+  // `log level` changes process behavior; `log tail` / bare status read.
+  if (cmd == "log") return tokens.size() > 1 && tokens[1] == "level";
   if (cmd == "check") return Contains(tokens, "--repair");
   if (cmd == "replica") {
     return tokens.size() > 1 &&
@@ -630,6 +636,57 @@ bool Dispatcher::ExecuteLine(const std::string& line, std::ostream& out) {
     return true;
   }
   if (cmd == "metrics") {
+    if (tokens.size() > 1 && tokens[1] == "--watch") {
+      // Rates from the metrics-history ring. A running snapshotter (the
+      // server's) answers from its samples; otherwise two inline ticks
+      // ~100ms apart make the window computable on any database.
+      uint64_t window_ms = 10000;
+      bool json = false;
+      bool bad = false;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i] == "--format=json") {
+          json = true;
+        } else if (tokens[i].rfind("--window=", 0) == 0) {
+          try {
+            window_ms = std::stoull(tokens[i].substr(9));
+          } catch (...) {
+            bad = true;
+          }
+        } else if (tokens[i] != "--format=text") {
+          bad = true;
+        }
+      }
+      if (bad) {
+        fail(InvalidArgument(
+            "use: metrics --watch [--window=MS] [--format=json]"));
+        return true;
+      }
+      obs::MetricsHistory& history = db_->observability()->history;
+      if (!history.running() || history.size() < 2) {
+        history.Tick();
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        history.Tick();
+      }
+      const obs::RateWindow window = history.Window(window_ms);
+      if (json) {
+        JsonWriter w;
+        obs::WriteRateWindowJson(window, &w);
+        out << w.str() << "\n";
+        return true;
+      }
+      out << "window:     " << (window.elapsed_us / 1000) << "ms ("
+          << window.samples << " sample(s) in ring)\n";
+      for (const obs::CounterRate& rate : window.rates) {
+        char per_sec[32];
+        std::snprintf(per_sec, sizeof(per_sec), "%.1f", rate.per_sec);
+        out << rate.name << " +" << rate.delta << " (" << per_sec
+            << "/s)\n";
+      }
+      for (const obs::GaugeSample& g : window.gauges) {
+        out << g.name << " = " << g.value << "\n";
+      }
+      return true;
+    }
     std::string format = "text";
     if (tokens.size() > 1) {
       if (tokens[1] == "--format=json") {
@@ -637,7 +694,8 @@ bool Dispatcher::ExecuteLine(const std::string& line, std::ostream& out) {
       } else if (tokens[1] == "--format=prom") {
         format = "prom";
       } else if (tokens[1] != "--format=text") {
-        fail(InvalidArgument("use: metrics [--format=json|prom]"));
+        fail(InvalidArgument(
+            "use: metrics [--format=json|prom] | metrics --watch"));
         return true;
       }
     }
@@ -720,8 +778,11 @@ bool Dispatcher::ExecuteLine(const std::string& line, std::ostream& out) {
         fail(spec.status());
         return true;
       }
-      Status s =
-          registry.Arm(tokens[2], *spec, &db_->observability()->metrics);
+      // Fires hit both surfaces at once: the metrics counter for rate
+      // dashboards and a kWarn "fault" event for the who/when/what.
+      Status s = registry.Arm(tokens[2], *spec,
+                              &db_->observability()->metrics,
+                              &db_->observability()->log);
       s.ok() ? void(out << "ok\n") : fail(s);
       return true;
     }
@@ -768,18 +829,51 @@ bool Dispatcher::ExecuteLine(const std::string& line, std::ostream& out) {
       out << "ok\n";
     } else if (tokens[1] == "dump") {
       bool slow_only = false;
-      if (tokens.size() > 2) {
-        if (tokens[2] == "--slow-only") {
+      bool json = false;
+      bool bad = false;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i] == "--slow-only") {
           slow_only = true;
-        } else {
-          fail(InvalidArgument("use: trace dump [--slow-only]"));
-          return true;
+        } else if (tokens[i] == "--format=json") {
+          json = true;
+        } else if (tokens[i] != "--format=text") {
+          bad = true;
         }
       }
+      if (bad) {
+        fail(InvalidArgument(
+            "use: trace dump [--slow-only] [--format=json]"));
+        return true;
+      }
       std::vector<obs::SpanRecord> spans = trace.Dump(slow_only);
+      if (json) {
+        JsonWriter w;
+        w.BeginArray();
+        for (const obs::SpanRecord& span : spans) {
+          w.BeginObject();
+          w.Field("id", span.id);
+          w.Field("parent", span.parent_id);
+          w.Field("trace_id", obs::TraceIdHex(span.trace_id));
+          w.Field("name", span.name);
+          w.Field("start_us", span.start_us);
+          w.Field("duration_us", span.duration_us);
+          w.Field("slow", span.slow);
+          w.Key("attributes");
+          w.BeginObject();
+          for (const auto& [key, value] : span.attributes) {
+            w.Field(key, value);
+          }
+          w.EndObject();
+          w.EndObject();
+        }
+        w.EndArray();
+        out << w.str() << "\n";
+        return true;
+      }
       for (const obs::SpanRecord& span : spans) {
         out << "#" << span.id;
         if (span.parent_id != 0) out << " (in #" << span.parent_id << ")";
+        out << " [" << obs::TraceIdHex(span.trace_id) << "]";
         out << " " << span.name << " " << span.duration_us << "us";
         if (span.slow) out << " SLOW";
         for (const auto& [key, value] : span.attributes) {
@@ -791,8 +885,80 @@ bool Dispatcher::ExecuteLine(const std::string& line, std::ostream& out) {
           << " span(s))\n";
     } else {
       fail(InvalidArgument(
-          "use: trace [on|off|clear|threshold <us>|dump [--slow-only]]"));
+          "use: trace [on|off|clear|threshold <us>|dump [--slow-only] "
+          "[--format=json]]"));
     }
+    return true;
+  }
+  if (cmd == "log") {
+    obs::EventLog& log = db_->observability()->log;
+    if (tokens.size() < 2) {
+      out << "level " << obs::LogLevelName(log.level()) << "; "
+          << log.total() << " event(s) admitted; sink "
+          << (log.sink_open() ? "open" : "closed") << " ("
+          << log.sink_written() << " written, " << log.sink_dropped()
+          << " dropped)\n";
+      return true;
+    }
+    if (tokens[1] == "level") {
+      if (!need(2)) return true;
+      obs::LogLevel level;
+      if (!obs::ParseLogLevel(tokens[2], &level)) {
+        fail(InvalidArgument("bad log level '" + tokens[2] +
+                             "' (debug|info|warn|error|off)"));
+        return true;
+      }
+      log.set_level(level);
+      out << "ok\n";
+      return true;
+    }
+    if (tokens[1] == "tail") {
+      size_t n = 20;
+      bool json = false;
+      bool bad = false;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i] == "--format=json") {
+          json = true;
+        } else if (tokens[i] == "--format=text") {
+          // default
+        } else {
+          try {
+            n = std::stoull(tokens[i]);
+          } catch (...) {
+            bad = true;
+          }
+        }
+      }
+      if (bad) {
+        fail(InvalidArgument("use: log tail [n] [--format=json]"));
+        return true;
+      }
+      const std::vector<obs::LogRecord> records = log.Tail(n);
+      if (json) {
+        JsonWriter w;
+        w.BeginArray();
+        for (const obs::LogRecord& record : records) {
+          obs::WriteLogRecordJson(record, &w);
+        }
+        w.EndArray();
+        out << w.str() << "\n";
+        return true;
+      }
+      for (const obs::LogRecord& record : records) {
+        out << record.seq << " " << obs::LogLevelName(record.level) << " ["
+            << record.subsystem << "] " << record.message;
+        if (record.trace_id != 0) {
+          out << " trace=" << obs::TraceIdHex(record.trace_id) << "/"
+              << record.span_id;
+        }
+        out << "\n";
+      }
+      out << "(" << records.size() << " event(s))\n";
+      return true;
+    }
+    fail(InvalidArgument(
+        "use: log [tail [n] [--format=json]|level <debug|info|warn|error|"
+        "off>]"));
     return true;
   }
   if (cmd == "cache") {
@@ -1028,6 +1194,9 @@ bool Dispatcher::ExecuteLine(const std::string& line, std::ostream& out) {
         w.Field("requests", s.requests);
         w.Field("sheds", s.sheds);
         w.Field("inflight", static_cast<uint64_t>(s.inflight));
+        w.Field("requests_per_sec", s.requests_per_sec);
+        w.Field("bytes_in_per_sec", s.bytes_in_per_sec);
+        w.Field("bytes_out_per_sec", s.bytes_out_per_sec);
         w.EndObject();
       }
       w.EndArray();
@@ -1046,10 +1215,12 @@ bool Dispatcher::ExecuteLine(const std::string& line, std::ostream& out) {
         << stats.bytes_out << " bytes out, " << stats.protocol_errors
         << " protocol error(s), " << stats.scrapes << " scrape(s)\n";
     for (const net::SessionInfo& s : stats.sessions) {
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%.1f", s.requests_per_sec);
       out << "  #" << s.id << " " << s.peer << " ns=" << s.ns
           << (s.read_only ? " read-only" : " writable") << " "
           << s.requests << " request(s), " << s.sheds << " shed(s), "
-          << s.inflight << " in flight\n";
+          << s.inflight << " in flight, " << rate << " req/s\n";
     }
     return true;
   }

@@ -58,17 +58,26 @@ namespace shell {
 ///       metrics snapshot
 ///   metrics [--format=json|prom]   every registered counter/gauge/histogram
 ///       (prom is Prometheus text exposition 0.0.4)
+///   metrics --watch [--window=MS] [--format=json]   counter deltas and
+///       per-second rates over the metrics-history ring (a server's
+///       background snapshotter feeds it; standalone shells take two inline
+///       samples ~100ms apart)
 ///   fault list [--format=json]   every failpoint site with its armed spec
 ///       and hit/fired counters
 ///   fault arm <site> <kind>[=value] [--skip=N] [--every=N] [--times=N]
 ///       [--p=F] [--seed=S]   arm a failpoint (kinds: error[=msg], abort,
 ///       delay=<dur>, cut=<bytes>, drop, truncate, reset, corrupt,
 ///       duplicate, reorder, stall); fires export as
-///       caddb_fault_fired_total{site="..."} in `metrics`
+///       caddb_fault_fired_total{site="..."} in `metrics` and emit kWarn
+///       "fault" events into the log
 ///   fault disarm <site>|--all
-///   trace [on|off|clear|threshold <us>|dump [--slow-only]]   operation
-///       tracing: RAII spans into a bounded ring; spans over the threshold
-///       are retained separately and shown by --slow-only
+///   trace [on|off|clear|threshold <us>|dump [--slow-only] [--format=json]]
+///       operation tracing: RAII spans into a bounded ring; spans over the
+///       threshold are retained separately and shown by --slow-only; every
+///       span carries its 16-hex-digit distributed trace id
+///   log                   event-log status (level, counts, sink state)
+///   log tail [n] [--format=json]   newest n structured events (default 20)
+///   log level <debug|info|warn|error|off>   runtime level change
 ///   cache [off|global|fine|on|reset-stats]   resolution-cache mode & stats
 ///   dump <path> | load <path>
 ///   wal status [--format=json]   log/recovery telemetry (durable only)

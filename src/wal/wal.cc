@@ -293,6 +293,9 @@ Status Wal::AppendCommit(const Record& record) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     CADDB_RETURN_IF_ERROR(AppendLocked(lock, record, nullptr));
+    // The committing thread's open trace (the wal.commit span above, with
+    // its net.request/client ancestry) — the shipper's manifest stamp.
+    last_commit_ctx_ = obs_->trace.CurrentContext();
     result = CommitSyncLocked(lock);
     if (result.ok()) result = MaybeRotateBySizeLocked(lock);
     closed.swap(pending_closed_);
@@ -306,10 +309,16 @@ Result<uint64_t> Wal::AppendCommitRecord(const Record& record) {
   std::unique_lock<std::mutex> lock(mu_);
   uint64_t lsn = 0;
   CADDB_RETURN_IF_ERROR(AppendLocked(lock, record, &lsn));
+  last_commit_ctx_ = obs_->trace.CurrentContext();
   ++stats_.commits;
   m_commits_->Increment();
   ++commits_since_fsync_;
   return lsn;
+}
+
+obs::TraceContext Wal::last_commit_context() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return last_commit_ctx_;
 }
 
 Status Wal::FinishCommit() {
@@ -337,6 +346,9 @@ Status Wal::MaybeRotateBySizeLocked(std::unique_lock<std::mutex>& lock) {
     return OkStatus();
   }
   ++stats_.size_rotations;
+  CADDB_LOG(&obs_->log, obs::LogLevel::kInfo, "wal",
+            "size rotation at lsn " + std::to_string(next_lsn_ - 1) + " (" +
+                std::to_string(segment_bytes_written_) + " bytes)");
   return RotateLocked(lock, /*truncate=*/false);
 }
 
@@ -448,6 +460,8 @@ void Wal::SyncerLoop() {
     sync_in_flight_ = false;
     if (!s.ok()) {
       sync_error_ = s;
+      CADDB_LOG(&obs_->log, obs::LogLevel::kError, "wal",
+                "fsync failed (log poisoned): " + s.ToString());
     } else {
       // Rotation waits for !sync_in_flight_ before swapping file_, so the
       // descriptor we synced is still the live segment.

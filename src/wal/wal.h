@@ -195,6 +195,12 @@ class Wal {
   SyncPolicy policy() const { return options_.sync; }
   WalStats stats() const;
 
+  /// Trace context captured from the committing thread at the most recent
+  /// commit point (invalid while tracing is off). The replication shipper
+  /// stamps this into the MANIFEST so a follower's rebuild span links back
+  /// to the originating commit's distributed trace.
+  obs::TraceContext last_commit_context() const;
+
  private:
   Wal(std::string dir, WalOptions options, uint64_t next_lsn);
 
@@ -252,6 +258,7 @@ class Wal {
   std::chrono::steady_clock::time_point oldest_unsynced_commit_{};
   bool closed_ = false;
   uint64_t next_group_txn_ = (1ull << 62) + 1;
+  obs::TraceContext last_commit_ctx_;  // guarded by mu_
   WalStats stats_{};
   std::vector<ClosedSegment> pending_closed_;  // awaiting the close hook
 

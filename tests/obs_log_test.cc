@@ -1,0 +1,436 @@
+// The structured event log and the metrics-history ring: level gating and
+// the CADDB_LOG lazy-message contract, ring bounding and tail order, the
+// JSONL sink with its per-second rate limiter and exact drop accounting,
+// trace-context stamping, the failpoint-fire log hook, and snapshot
+// delta/rate extraction. The concurrent hammer tests run under TSan in
+// ci/check.sh stage 10.
+
+#include "obs/log.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/failpoint.h"
+#include "obs/history.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json_writer.h"
+
+namespace caddb {
+namespace obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() /
+          ("caddb_obslog_" + name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+// ---- Levels ----
+
+TEST(LogLevelTest, NamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    LogLevel parsed;
+    ASSERT_TRUE(ParseLogLevel(LogLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  LogLevel ignored;
+  EXPECT_FALSE(ParseLogLevel("verbose", &ignored));
+  EXPECT_FALSE(ParseLogLevel("", &ignored));
+}
+
+TEST(EventLogTest, LevelGatesAdmission) {
+  EventLog log;
+  log.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(log.ShouldLog(LogLevel::kDebug));
+  EXPECT_FALSE(log.ShouldLog(LogLevel::kInfo));
+  EXPECT_TRUE(log.ShouldLog(LogLevel::kWarn));
+  EXPECT_TRUE(log.ShouldLog(LogLevel::kError));
+
+  CADDB_LOG(&log, LogLevel::kInfo, "test", "below threshold");
+  CADDB_LOG(&log, LogLevel::kError, "test", "admitted");
+  EXPECT_EQ(log.total(), 1u);
+  ASSERT_EQ(log.Tail(10).size(), 1u);
+  EXPECT_EQ(log.Tail(10)[0].message, "admitted");
+
+  log.set_level(LogLevel::kOff);
+  CADDB_LOG(&log, LogLevel::kError, "test", "silenced");
+  EXPECT_EQ(log.total(), 1u);
+}
+
+TEST(EventLogTest, MacroDoesNotEvaluateSuppressedMessages) {
+  EventLog log;
+  log.set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("built");
+  };
+  CADDB_LOG(&log, LogLevel::kDebug, "test", expensive());
+  EXPECT_EQ(evaluations, 0) << "suppressed messages must not be built";
+  CADDB_LOG(&log, LogLevel::kError, "test", expensive());
+  EXPECT_EQ(evaluations, 1);
+  // A null log is a cheap no-op, never a crash.
+  EventLog* null_log = nullptr;
+  CADDB_LOG(null_log, LogLevel::kError, "test", expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+// ---- Ring ----
+
+TEST(EventLogTest, RingBoundsAndTailOrder) {
+  EventLog log(/*ring_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    log.Log(LogLevel::kInfo, "test", "event " + std::to_string(i));
+  }
+  EXPECT_EQ(log.total(), 10u);
+  std::vector<LogRecord> tail = log.Tail(100);
+  ASSERT_EQ(tail.size(), 4u) << "ring keeps only the newest capacity";
+  EXPECT_EQ(tail.front().message, "event 6");
+  EXPECT_EQ(tail.back().message, "event 9");
+  // seq is the global admission order, dense and increasing.
+  EXPECT_EQ(tail.front().seq + 3, tail.back().seq);
+
+  ASSERT_EQ(log.Tail(2).size(), 2u);
+  EXPECT_EQ(log.Tail(2)[0].message, "event 8");
+
+  log.Clear();
+  EXPECT_TRUE(log.Tail(10).empty());
+}
+
+TEST(EventLogTest, RecordsCarryTheOpenSpanContext) {
+  Tracer tracer;
+  tracer.Enable();
+  EventLog log;
+  log.set_tracer(&tracer);
+
+  log.Log(LogLevel::kInfo, "test", "outside any span");
+  {
+    Span span(&tracer, "test.op");
+    log.Log(LogLevel::kInfo, "test", "inside");
+    std::vector<LogRecord> tail = log.Tail(1);
+    ASSERT_EQ(tail.size(), 1u);
+    EXPECT_EQ(tail[0].trace_id, span.context().trace_id);
+    EXPECT_EQ(tail[0].span_id, span.context().parent_span_id);
+    EXPECT_NE(tail[0].trace_id, 0u);
+  }
+  std::vector<LogRecord> all = log.Tail(10);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].trace_id, 0u) << "no open span -> no context";
+}
+
+TEST(EventLogTest, JsonRecordShape) {
+  LogRecord record;
+  record.seq = 7;
+  record.wall_ms = 1234;
+  record.level = LogLevel::kWarn;
+  record.subsystem = "wal";
+  record.message = "torn \"tail\"";
+  record.trace_id = 0xabcdef;
+  record.span_id = 42;
+  JsonWriter w;
+  WriteLogRecordJson(record, &w);
+  const std::string json = w.str();
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(json.find("\"subsystem\":\"wal\""), std::string::npos);
+  EXPECT_NE(json.find("\"msg\":\"torn \\\"tail\\\"\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"trace_id\":\"0000000000abcdef\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"span_id\":42"), std::string::npos);
+
+  // Context-free records omit the trace fields entirely.
+  record.trace_id = 0;
+  JsonWriter w2;
+  WriteLogRecordJson(record, &w2);
+  EXPECT_EQ(w2.str().find("trace_id"), std::string::npos);
+}
+
+TEST(TraceIdHexTest, SixteenLowercaseDigits) {
+  EXPECT_EQ(TraceIdHex(0), "0000000000000000");
+  EXPECT_EQ(TraceIdHex(0xDEADBEEFULL), "00000000deadbeef");
+  EXPECT_EQ(TraceIdHex(~0ULL), "ffffffffffffffff");
+}
+
+// ---- Sink ----
+
+TEST(EventLogSinkTest, WritesJsonlAndSurvivesReopen) {
+  const std::string path = TempPath("sink");
+  {
+    EventLog log;
+    ASSERT_TRUE(log.OpenSink(path).ok());
+    EXPECT_TRUE(log.sink_open());
+    log.Log(LogLevel::kInfo, "test", "first");
+    log.Log(LogLevel::kWarn, "test", "second");
+    log.CloseSink();
+    EXPECT_FALSE(log.sink_open());
+    // Reopen appends, never truncates: a restart keeps history.
+    ASSERT_TRUE(log.OpenSink(path).ok());
+    log.Log(LogLevel::kError, "test", "third");
+  }
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+  }
+  EXPECT_EQ(lines, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogSinkTest, RateLimiterDropsAreCountedExactly) {
+  const std::string path = TempPath("ratelimit");
+  EventLog log;
+  log.set_sink_rate_limit(5);
+  ASSERT_TRUE(log.OpenSink(path).ok());
+  const uint64_t kEvents = 200;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    log.Log(LogLevel::kInfo, "test", "burst " + std::to_string(i));
+  }
+  log.CloseSink();
+  // Every admitted event either reached the file or was counted dropped.
+  EXPECT_EQ(log.sink_written() + log.sink_dropped(), kEvents);
+  EXPECT_GT(log.sink_dropped(), 0u) << "200 events in <40s must overflow 5/s";
+  // The ring is never rate-limited.
+  EXPECT_EQ(log.total(), kEvents);
+  std::ifstream in(path);
+  std::string line;
+  uint64_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, log.sink_written());
+  std::remove(path.c_str());
+}
+
+TEST(EventLogSinkTest, UnwritableSinkPathIsAnError) {
+  EventLog log;
+  EXPECT_FALSE(log.OpenSink("/nonexistent-dir/deeper/sink.jsonl").ok());
+  EXPECT_FALSE(log.sink_open());
+}
+
+// ---- Concurrency (TSan target) ----
+
+TEST(EventLogConcurrencyTest, ParallelLoggersNeverLoseAdmissionCounts) {
+  Tracer tracer;
+  tracer.Enable();
+  EventLog log(/*ring_capacity=*/64);
+  log.set_tracer(&tracer);
+  MetricsRegistry metrics;
+  log.BindMetrics(&metrics);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, &tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span span(&tracer, "hammer.op");
+        CADDB_LOG(&log, LogLevel::kInfo, "test",
+                  "t" + std::to_string(t) + " i" + std::to_string(i));
+      }
+    });
+  }
+  // A reader races the writers: Tail and level flips must be safe.
+  std::thread reader([&log] {
+    for (int i = 0; i < 200; ++i) {
+      (void)log.Tail(16);
+      log.set_level(i % 2 == 0 ? LogLevel::kInfo : LogLevel::kDebug);
+    }
+    log.set_level(LogLevel::kInfo);
+  });
+  for (std::thread& t : threads) t.join();
+  reader.join();
+
+  EXPECT_EQ(log.total(), uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(log.Tail(1000).size(), 64u);
+}
+
+TEST(EventLogConcurrencyTest, ParallelSinkWritesKeepExactAccounting) {
+  const std::string path = TempPath("concsink");
+  EventLog log;
+  log.set_sink_rate_limit(50);
+  ASSERT_TRUE(log.OpenSink(path).ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Log(LogLevel::kWarn, "test", "contended");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  log.CloseSink();
+  EXPECT_EQ(log.sink_written() + log.sink_dropped(),
+            uint64_t(kThreads) * kPerThread);
+  std::ifstream in(path);
+  std::string line;
+  uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{') << "interleaved write: " << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, log.sink_written());
+  std::remove(path.c_str());
+}
+
+// ---- Failpoint fires -> structured events ----
+
+TEST(FaultLogTest, ArmedSiteFiresEmitWarnEvents) {
+  fault::FailpointRegistry registry;
+  EventLog log;
+  MetricsRegistry metrics;
+  fault::FailpointSpec spec;
+  spec.kind = fault::ActionKind::kError;
+  spec.every = 2;
+  ASSERT_TRUE(registry
+                  .Arm(fault::sites::kWalAppendPreFsync, spec, &metrics,
+                       &log)
+                  .ok());
+  fault::FiredAction action;
+  EXPECT_TRUE(registry.Hit(fault::sites::kWalAppendPreFsync, &action));
+  EXPECT_FALSE(registry.Hit(fault::sites::kWalAppendPreFsync, &action));
+  EXPECT_TRUE(registry.Hit(fault::sites::kWalAppendPreFsync, &action));
+
+  std::vector<LogRecord> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 2u) << "one event per fire, none per miss";
+  EXPECT_EQ(tail[0].level, LogLevel::kWarn);
+  EXPECT_EQ(tail[0].subsystem, "fault");
+  EXPECT_NE(tail[0].message.find(fault::sites::kWalAppendPreFsync),
+            std::string::npos)
+      << tail[0].message;
+  EXPECT_NE(tail[0].message.find("error --every=2"), std::string::npos)
+      << tail[0].message;
+  EXPECT_NE(tail[1].message.find("hit 3, fire 2"), std::string::npos)
+      << tail[1].message;
+  // The metrics counter moved in lockstep.
+  const MetricsSnapshot snap = metrics.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 2u);
+
+  // Disarm drops the binding; later re-arms without a log stay silent.
+  ASSERT_TRUE(registry.Disarm(fault::sites::kWalAppendPreFsync).ok());
+  spec.every = 1;
+  ASSERT_TRUE(registry.Arm(fault::sites::kWalAppendPreFsync, spec).ok());
+  EXPECT_TRUE(registry.Hit(fault::sites::kWalAppendPreFsync, &action));
+  EXPECT_EQ(log.Tail(10).size(), 2u);
+}
+
+// ---- Metrics history ----
+
+TEST(MetricsHistoryTest, WindowComputesDeltasAndRates) {
+  MetricsRegistry metrics;
+  Counter* requests = metrics.GetCounter("caddb_req_total");
+  Gauge* depth = metrics.GetGauge("caddb_depth");
+  MetricsHistory history(&metrics, /*capacity=*/8);
+
+  EXPECT_EQ(history.Window(0).samples, 0u);
+  history.Tick();
+  EXPECT_TRUE(history.Window(0).rates.empty()) << "one sample cannot rate";
+
+  requests->Increment(10);
+  depth->Set(3);
+  // A measurable gap so elapsed_us (steady clock) is strictly positive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  history.Tick();
+  RateWindow window = history.Window(0);
+  EXPECT_EQ(window.samples, 2u);
+  ASSERT_EQ(window.rates.size(), 1u);
+  EXPECT_EQ(window.rates[0].name, "caddb_req_total");
+  EXPECT_EQ(window.rates[0].delta, 10u);
+  EXPECT_GT(window.rates[0].per_sec, 0.0);
+  ASSERT_EQ(window.gauges.size(), 1u);
+  EXPECT_EQ(window.gauges[0].value, 3);
+
+  // A counter that did not move is omitted from the rate list.
+  history.Tick();
+  EXPECT_EQ(history.Window(0).rates.size(), 1u)
+      << "whole-ring window still sees the earlier movement";
+}
+
+TEST(MetricsHistoryTest, RingIsBoundedAndResetsAreSane) {
+  MetricsRegistry metrics;
+  Counter* c = metrics.GetCounter("caddb_r_total");
+  MetricsHistory history(&metrics, /*capacity=*/3);
+  for (int i = 0; i < 6; ++i) {
+    c->Increment();
+    history.Tick();
+  }
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.Samples().front().snapshot.counters[0].value, 4u);
+
+  // A registry Reset mid-window must not produce a bogus huge delta: the
+  // post-reset value is taken as the whole delta.
+  metrics.Reset();
+  c->Increment(2);
+  history.Tick();
+  RateWindow window = history.Window(0);
+  ASSERT_EQ(window.rates.size(), 1u);
+  EXPECT_EQ(window.rates[0].delta, 2u);
+
+  history.Clear();
+  EXPECT_EQ(history.size(), 0u);
+}
+
+TEST(MetricsHistoryTest, BackgroundSnapshotterTicksAndStops) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("caddb_bg_total")->Increment();
+  MetricsHistory history(&metrics, /*capacity=*/16);
+  history.Start(/*interval_ms=*/5);
+  EXPECT_TRUE(history.running());
+  for (int i = 0; i < 100 && history.size() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(history.size(), 3u);
+  history.Stop();
+  EXPECT_FALSE(history.running());
+  const size_t after_stop = history.size();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(history.size(), after_stop) << "no ticks after Stop";
+  // Start is idempotent and restartable.
+  history.Start(5);
+  history.Start(10);
+  EXPECT_EQ(history.interval_ms(), 10u);
+  history.Stop();
+}
+
+TEST(MetricsHistoryTest, RateWindowJsonShape) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("caddb_j_total")->Increment(4);
+  metrics.GetGauge("caddb_j_level")->Set(-2);
+  MetricsHistory history(&metrics);
+  history.Tick();
+  metrics.GetCounter("caddb_j_total")->Increment(6);
+  history.Tick();
+  JsonWriter w;
+  WriteRateWindowJson(history.Window(0), &w);
+  const std::string json = w.str();
+  EXPECT_NE(json.find("\"rates\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"caddb_j_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"delta\":6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\":["), std::string::npos);
+  EXPECT_NE(json.find("\"value\":-2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"samples\":2"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace caddb

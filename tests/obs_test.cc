@@ -175,6 +175,86 @@ TEST(TracerTest, NestedSpansLinkParentToChild) {
   EXPECT_EQ(spans[2].parent_id, 0u);
 }
 
+TEST(TraceContextTest, RootsMintDistinctNonZeroTraceIds) {
+  EXPECT_NE(Tracer::NewTraceId(), 0u);
+  EXPECT_NE(Tracer::NewTraceId(), Tracer::NewTraceId());
+
+  Tracer tracer;
+  tracer.Enable();
+  { Span a(&tracer, "a.op"); }
+  { Span b(&tracer, "b.op"); }
+  std::vector<SpanRecord> spans = tracer.Dump();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].trace_id, 0u);
+  EXPECT_NE(spans[1].trace_id, 0u);
+  EXPECT_NE(spans[0].trace_id, spans[1].trace_id)
+      << "unrelated roots must not share a trace";
+}
+
+TEST(TraceContextTest, ChildrenInheritTheRootsTraceId) {
+  Tracer tracer;
+  tracer.Enable();
+  TraceContext root_ctx;
+  {
+    Span outer(&tracer, "outer.op");
+    root_ctx = outer.context();
+    EXPECT_TRUE(root_ctx.valid());
+    { Span inner(&tracer, "inner.op"); }
+  }
+  std::vector<SpanRecord> spans = tracer.Dump();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, root_ctx.trace_id);
+  EXPECT_EQ(spans[1].trace_id, root_ctx.trace_id);
+  EXPECT_EQ(tracer.CurrentContext().trace_id, 0u)
+      << "no open span -> invalid current context";
+}
+
+TEST(TraceContextTest, ExplicitParentOutranksTheThreadLocalStack) {
+  Tracer tracer;
+  tracer.Enable();
+  const TraceContext remote{0xfeed, 0xbeef};
+  {
+    Span ambient(&tracer, "ambient.op");
+    // The explicit parent wins even with a different span open here —
+    // this is the worker-pool hand-off: the decoding thread's context
+    // travels with the request, not the executing thread's stack.
+    Span adopted(&tracer, "adopted.op", remote);
+    EXPECT_EQ(adopted.context().trace_id, 0xfeedu);
+  }
+  std::vector<SpanRecord> spans = tracer.Dump();
+  const SpanRecord* adopted = nullptr;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "adopted.op") adopted = &span;
+  }
+  ASSERT_NE(adopted, nullptr);
+  EXPECT_EQ(adopted->trace_id, 0xfeedu);
+  EXPECT_EQ(adopted->parent_id, 0xbeefu);
+
+  // An invalid explicit parent degrades to a stack walk / fresh root.
+  { Span fallback(&tracer, "fallback.op", TraceContext{}); }
+  spans = tracer.Dump();
+  EXPECT_NE(spans.back().trace_id, 0u);
+  EXPECT_EQ(spans.back().parent_id, 0u);
+}
+
+TEST(TraceContextTest, ExplicitParentPropagatesAcrossThreads) {
+  Tracer tracer;
+  tracer.Enable();
+  TraceContext handoff;
+  {
+    Span root(&tracer, "reader.op");
+    handoff = root.context();
+  }
+  std::thread worker([&tracer, handoff] {
+    Span span(&tracer, "worker.op", handoff);
+  });
+  worker.join();
+  std::vector<SpanRecord> spans = tracer.Dump();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].trace_id, spans[0].trace_id);
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+}
+
 TEST(TracerTest, RingIsBoundedOldestEvictedFirst) {
   Tracer tracer(/*ring_capacity=*/4, /*slow_capacity=*/2);
   tracer.Enable();
